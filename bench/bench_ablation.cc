@@ -1,0 +1,159 @@
+// EXP-ABL — ablations of SketchTree's design choices. Not a paper table,
+// but each study validates a claim the paper makes in passing:
+//
+//  A. Virtual stream count p (Section 5.3 / 7.5: "an increase in this
+//     number would reduce the self-join size of the streams and provide
+//     better accuracy as expected").
+//  B. Confidence parameter s2 (Theorem 1: the median over s2 groups
+//     controls the failure probability delta = 2^(-s2/2)).
+//  C. Top-k sampling probability (Section 5.2: "top-k processing could
+//     be invoked with a probability p for each tree pattern" when
+//     per-pattern invocation is too expensive).
+//  D. Fingerprint degree (Section 6.1: collisions merge pattern counts;
+//     their probability is controlled by the polynomial degree).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+using namespace sketchtree;
+using namespace sketchtree::bench;
+
+namespace {
+
+constexpr int kTrees = 1000;
+constexpr int kMaxEdges = 3;
+
+double MeanWorkloadError(SketchTree& sketch, const Workload& workload) {
+  double total = 0;
+  for (const WorkloadQuery& query : workload.queries) {
+    double estimate = *sketch.EstimateCountOrdered(query.pattern);
+    total += SanityBoundedRelativeError(
+        estimate, static_cast<double>(query.actual_count));
+  }
+  return total / workload.queries.size();
+}
+
+void StudyVirtualStreams(const Workload& workload) {
+  std::printf("A. virtual stream count p (s1=25, s2=7, no top-k)\n");
+  std::printf("   %-8s %-18s %s\n", "p", "mean rel. error",
+              "(error falls as p rises: smaller per-stream self-join)");
+  for (uint32_t p : {1u, 7u, 31u, 127u}) {
+    SketchConfig config;
+    config.max_edges = kMaxEdges;
+    config.s1 = 25;
+    config.num_streams = p;
+    config.topk = 0;
+    config.sketch_seed = 3;
+    SketchTree sketch = BuildSketch(config);
+    ForEachTree(Dataset::kTreebank, kTrees,
+                [&](const LabeledTree& tree) { sketch.Update(tree); });
+    std::printf("   %-8u %-18.3f\n", p, MeanWorkloadError(sketch, workload));
+  }
+  std::printf("\n");
+}
+
+void StudyConfidence(const Workload& workload) {
+  std::printf("B. confidence parameter s2 (s1=25, p=23, top-k=4/stream)\n");
+  std::printf("   %-8s %-12s %-12s %s\n", "s2", "worst", "mean",
+              "(median over s2 groups suppresses outlier draws)");
+  for (int s2 : {1, 3, 7, 11}) {
+    double worst = 0;
+    double mean = 0;
+    constexpr int kDraws = 3;
+    for (int draw = 1; draw <= kDraws; ++draw) {
+      SketchConfig config;
+      config.max_edges = kMaxEdges;
+      config.s1 = 25;
+      config.s2 = s2;
+      config.num_streams = 23;
+      config.topk = 4;
+      config.sketch_seed = static_cast<uint64_t>(draw) * 31;
+      SketchTree sketch = BuildSketch(config);
+      ForEachTree(Dataset::kTreebank, kTrees,
+                  [&](const LabeledTree& tree) { sketch.Update(tree); });
+      double err = MeanWorkloadError(sketch, workload);
+      worst = std::max(worst, err);
+      mean += err / kDraws;
+    }
+    std::printf("   %-8d %-12.3f %-12.3f\n", s2, worst, mean);
+  }
+  std::printf("\n");
+}
+
+void StudyTopkSampling(const Workload& workload) {
+  std::printf("C. top-k sampling probability (s1=25, p=23, "
+              "top-k=8/stream)\n");
+  std::printf("   %-8s %-14s %-14s\n", "prob", "stream time s",
+              "mean rel. error");
+  for (double prob : {0.1, 0.5, 1.0}) {
+    SketchTreeOptions options;
+    options.max_pattern_edges = kMaxEdges;
+    options.s1 = 25;
+    options.s2 = 7;
+    options.num_virtual_streams = 23;
+    options.topk_size = 8;
+    options.topk_probability = prob;
+    options.fingerprint_degree = kDegree;
+    options.seed = kMappingSeed;
+    options.sketch_seed = 5;
+    SketchTree sketch = *SketchTree::Create(options);
+    WallTimer timer;
+    ForEachTree(Dataset::kTreebank, kTrees,
+                [&](const LabeledTree& tree) { sketch.Update(tree); });
+    double seconds = timer.ElapsedSeconds();
+    std::printf("   %-8.1f %-14.2f %-14.3f\n", prob, seconds,
+                MeanWorkloadError(sketch, workload));
+  }
+  std::printf("\n");
+}
+
+void StudyFingerprintDegree() {
+  std::printf("D. fingerprint degree vs Rabin collisions (Section 6.1)\n");
+  std::printf("   %-8s %-20s %s\n", "degree", "distinct patterns",
+              "(fewer distinct => residue collisions merged counts)");
+  // k = 6 to push the distinct-pattern count high enough that small
+  // degrees visibly collide (birthday regime for 2^16 residues).
+  constexpr int kDeepEdges = 6;
+  uint64_t reference = 0;
+  std::vector<std::pair<int, uint64_t>> rows;
+  for (int degree : {16, 20, 24, 31, 61}) {
+    ExactCounter exact = *ExactCounter::Create(degree, kMappingSeed);
+    ForEachTree(Dataset::kTreebank, kTrees, [&](const LabeledTree& tree) {
+      exact.Update(tree, kDeepEdges);
+    });
+    if (degree == 61) reference = exact.distinct_patterns();
+    rows.emplace_back(degree, exact.distinct_patterns());
+  }
+  for (const auto& [degree, distinct] : rows) {
+    std::printf("   %-8d %-20llu (%llu merged)\n", degree,
+                static_cast<unsigned long long>(distinct),
+                static_cast<unsigned long long>(reference - distinct));
+  }
+  std::printf("   (k=%d; reference without collisions: %llu)\n\n",
+              kDeepEdges, static_cast<unsigned long long>(reference));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-ABL: design-choice ablations (TREEBANK, %d trees, "
+              "k=%d)\n",
+              kTrees, kMaxEdges);
+  PrintRule('=');
+  ExactCounter exact = BuildExact(Dataset::kTreebank, kTrees, kMaxEdges);
+  std::vector<SelectivityRange> ranges = RangesFromCountBands(
+      ScaleOf(Dataset::kTreebank).count_bands, exact.total_patterns());
+  Workload workload = BuildWorkload(Dataset::kTreebank, kTrees, kMaxEdges,
+                                    &exact, ranges, /*per_range=*/15,
+                                    /*seed=*/7);
+  std::printf("workload: %zu queries\n\n", workload.queries.size());
+
+  StudyVirtualStreams(workload);
+  StudyConfidence(workload);
+  StudyTopkSampling(workload);
+  StudyFingerprintDegree();
+  return 0;
+}

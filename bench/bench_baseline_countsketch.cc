@@ -1,0 +1,117 @@
+// EXP-BASE — AMS (the paper's choice) vs COUNT sketch (Charikar et al.,
+// cited in Section 2.2 as the alternative) at equal counter budgets on
+// the TREEBANK pattern stream.
+//
+// The comparison explains the paper's design: COUNT sketches are
+// competitive — often better — for *point* estimates because bucketing
+// isolates heavy values the way AMS needs top-k deletion to; but AMS's
+// linear-projection form is what enables the sum, product, and general
+// expression estimators of Sections 3.2 and 4 (a COUNT sketch has no
+// unbiased product estimator), which is why SketchTree builds on AMS.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "sketch/count_sketch.h"
+
+using namespace sketchtree;
+using namespace sketchtree::bench;
+
+namespace {
+
+constexpr int kTrees = 1000;
+constexpr int kMaxEdges = 3;
+
+struct Row {
+  size_t counters;
+  double ams_error;
+  double ams_topk_error;
+  double cs_error;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-BASE: AMS vs COUNT sketch at equal counter budgets\n");
+  PrintRule('=');
+  ExactCounter exact = BuildExact(Dataset::kTreebank, kTrees, kMaxEdges);
+  std::vector<SelectivityRange> ranges = RangesFromCountBands(
+      ScaleOf(Dataset::kTreebank).count_bands, exact.total_patterns());
+  Workload workload = BuildWorkload(Dataset::kTreebank, kTrees, kMaxEdges,
+                                    &exact, ranges, /*per_range=*/15,
+                                    /*seed=*/7);
+  std::printf("workload: %zu queries over %llu pattern instances\n\n",
+              workload.queries.size(),
+              static_cast<unsigned long long>(exact.total_patterns()));
+
+  // Budgets: p * s1 * s2 AMS counters == width * depth CS counters.
+  struct Budget {
+    int s1;
+    uint32_t p;
+    int cs_width;
+    int cs_depth;
+  };
+  const Budget budgets[] = {
+      {10, 7, 98, 5},     // 490 counters.
+      {25, 7, 245, 5},    // 1225.
+      {25, 23, 805, 5},   // 4025.
+      {50, 23, 1610, 5},  // 8050.
+  };
+
+  std::printf("%10s %12s %14s %12s\n", "counters", "AMS", "AMS+topk",
+              "CountSketch");
+  PrintRule();
+  for (const Budget& budget : budgets) {
+    size_t counters = static_cast<size_t>(budget.s1) * 7 * budget.p;
+
+    auto ams_error = [&](size_t topk) {
+      SketchConfig config;
+      config.max_edges = kMaxEdges;
+      config.s1 = budget.s1;
+      config.num_streams = budget.p;
+      config.topk = topk;
+      config.sketch_seed = 3;
+      SketchTree sketch = BuildSketch(config);
+      ForEachTree(Dataset::kTreebank, kTrees,
+                  [&](const LabeledTree& tree) { sketch.Update(tree); });
+      double total = 0;
+      for (const WorkloadQuery& query : workload.queries) {
+        total += SanityBoundedRelativeError(
+            *sketch.EstimateCountOrdered(query.pattern),
+            static_cast<double>(query.actual_count));
+      }
+      return total / workload.queries.size();
+    };
+
+    // COUNT sketch over the same 1-D value stream.
+    CountSketch cs =
+        *CountSketch::Create(budget.cs_width, budget.cs_depth, 3);
+    {
+      ExactCounter mapper = *ExactCounter::Create(kDegree, kMappingSeed);
+      ForEachTree(Dataset::kTreebank, kTrees, [&](const LabeledTree& tree) {
+        EnumerateTreePatterns(
+            tree, kMaxEdges,
+            [&](LabeledTree::NodeId root,
+                const std::vector<PatternEdge>& edges) {
+              cs.Update(mapper.canonicalizer()->MapPatternEdges(tree, root,
+                                                                edges));
+            });
+      });
+      double total = 0;
+      for (const WorkloadQuery& query : workload.queries) {
+        uint64_t value = mapper.MapPattern(query.pattern);
+        total += SanityBoundedRelativeError(
+            cs.EstimatePoint(value),
+            static_cast<double>(query.actual_count));
+      }
+      std::printf("%10zu %12.3f %14.3f %12.3f\n", counters, ams_error(0),
+                  ams_error(4), total / workload.queries.size());
+    }
+  }
+  std::printf(
+      "\nShape check: COUNT sketch beats plain AMS on point queries at\n"
+      "equal memory (bucket isolation ~ built-in heavy-hitter removal);\n"
+      "AMS + top-k closes the gap — and only the AMS linear projection\n"
+      "supports the sum/product/expression estimators of Sections 3-4.\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared plumbing for the paper-reproduction benchmark binaries: dataset
+// replay, ground-truth construction, workload building, and table
+// printing. Every bench binary is deterministic and runs with no
+// arguments.
+#ifndef SKETCHTREE_BENCH_BENCH_COMMON_H_
+#define SKETCHTREE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sketch_tree.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/treebank_gen.h"
+#include "datagen/workload.h"
+#include "exact/exact_counter.h"
+#include "stats/error_stats.h"
+
+namespace sketchtree {
+namespace bench {
+
+/// The two evaluation datasets of Section 7.2, in their synthetic form
+/// (see DESIGN.md "Substitutions"). Streams are deterministic: replaying
+/// a dataset yields the identical tree sequence, which the two-pass
+/// workload builder relies on.
+enum class Dataset { kTreebank, kDblp };
+
+inline const char* Name(Dataset dataset) {
+  return dataset == Dataset::kTreebank ? "TREEBANK" : "DBLP";
+}
+
+/// Visits the first `n` trees of the dataset stream.
+template <typename F>
+void ForEachTree(Dataset dataset, int n, F&& f) {
+  if (dataset == Dataset::kTreebank) {
+    TreebankGenerator gen;
+    for (int i = 0; i < n; ++i) f(gen.Next());
+  } else {
+    DblpGenerator gen;
+    for (int i = 0; i < n; ++i) f(gen.Next());
+  }
+}
+
+/// Default experiment scales (kept laptop-friendly; the paper's absolute
+/// stream sizes are quoted in EXPERIMENTS.md).
+struct DatasetScale {
+  int num_trees;       ///< Stream length for accuracy experiments.
+  int max_edges;       ///< k for accuracy experiments.
+  int table1_trees;    ///< Stream length for the Table 1 inventory.
+  int table1_edges;    ///< k for Table 1 (paper: 6 / 4).
+  /// Count bands defining the selectivity ranges: band i is
+  /// [bands[i], bands[i+1]) occurrences.
+  std::vector<uint64_t> count_bands;
+};
+
+inline DatasetScale ScaleOf(Dataset dataset) {
+  if (dataset == Dataset::kTreebank) {
+    return {/*num_trees=*/1500, /*max_edges=*/3,
+            /*table1_trees=*/6000, /*table1_edges=*/6,
+            /*count_bands=*/{30, 60, 120, 240, 600}};
+  }
+  return {/*num_trees=*/1200, /*max_edges=*/3,
+          /*table1_trees=*/8000, /*table1_edges=*/4,
+          /*count_bands=*/{20, 60, 150, 400, 1000}};
+}
+
+/// Fingerprint/seed shared by every exact counter and sketch in the
+/// bench suite so all of them agree on the pattern -> value mapping.
+constexpr int kDegree = 31;
+constexpr uint64_t kMappingSeed = 42;
+
+/// Pass 1: exact counts over the stream.
+inline ExactCounter BuildExact(Dataset dataset, int n, int k) {
+  ExactCounter exact = *ExactCounter::Create(kDegree, kMappingSeed);
+  ForEachTree(dataset, n,
+              [&](const LabeledTree& tree) { exact.Update(tree, k); });
+  return exact;
+}
+
+/// Converts absolute count bands into selectivity ranges for a stream of
+/// `total` patterns.
+inline std::vector<SelectivityRange> RangesFromCountBands(
+    const std::vector<uint64_t>& bands, uint64_t total) {
+  std::vector<SelectivityRange> ranges;
+  for (size_t i = 0; i + 1 < bands.size(); ++i) {
+    ranges.push_back({static_cast<double>(bands[i]) / total,
+                      static_cast<double>(bands[i + 1]) / total});
+  }
+  return ranges;
+}
+
+/// Pass 2: select representative query patterns per selectivity range
+/// (Section 7.3's workload construction).
+inline Workload BuildWorkload(Dataset dataset, int n, int k,
+                              ExactCounter* exact,
+                              std::vector<SelectivityRange> ranges,
+                              size_t per_range, uint64_t seed) {
+  WorkloadBuilder builder(exact, std::move(ranges), per_range, seed,
+                          /*acceptance_probability=*/0.3);
+  if (dataset == Dataset::kTreebank) {
+    TreebankGenerator gen;
+    for (int i = 0; i < n && !builder.Full(); ++i) {
+      builder.Collect(gen.Next(), k);
+    }
+  } else {
+    DblpGenerator gen;
+    for (int i = 0; i < n && !builder.Full(); ++i) {
+      builder.Collect(gen.Next(), k);
+    }
+  }
+  return builder.Build();
+}
+
+/// A sketch configured like the paper's experiments (p = 229 virtual
+/// streams, s2 = 7). The mapping seed is pinned to kMappingSeed so every
+/// sketch agrees with the bench's ExactCounter on pattern -> value;
+/// `sketch_seed` varies only the xi randomness, which is how repeated
+/// runs ("averaged over 5 runs", Section 7.5) draw fresh sketches.
+struct SketchConfig {
+  int max_edges = 3;
+  int s1 = 50;
+  int s2 = 7;
+  uint32_t num_streams = 229;
+  size_t topk = 0;
+  uint64_t sketch_seed = 1;  ///< Run index; mapping stays fixed.
+};
+
+inline SketchTree BuildSketch(const SketchConfig& config) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = config.max_edges;
+  options.s1 = config.s1;
+  options.s2 = config.s2;
+  options.num_virtual_streams = config.num_streams;
+  options.topk_size = config.topk;
+  options.fingerprint_degree = kDegree;
+  options.seed = kMappingSeed;
+  options.sketch_seed = config.sketch_seed;
+  return *SketchTree::Create(options);
+}
+
+inline void PrintRule(char c = '-') {
+  for (int i = 0; i < 78; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_BENCH_BENCH_COMMON_H_

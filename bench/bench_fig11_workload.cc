@@ -1,0 +1,72 @@
+// EXP-F11 — reproduces Figure 11 of the paper: the distribution of the
+// SUM workload (11a: random triples of distinct patterns, selectivity =
+// sum of counts / total sequences) and the PRODUCT workload (11b: random
+// pairs, selectivity = product of counts / total sequences) built from
+// the TREEBANK single-pattern workload of Figure 8(a).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace sketchtree;
+using namespace sketchtree::bench;
+
+namespace {
+
+/// Histograms composite selectivities over log-spaced buckets derived
+/// from the observed min/max, mirroring the figure's x-axis.
+void PrintHistogram(const char* title,
+                    const std::vector<CompositeQuery>& queries) {
+  std::printf("%s (%zu queries)\n", title, queries.size());
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const CompositeQuery& q : queries) {
+    lo = std::min(lo, q.selectivity);
+    hi = std::max(hi, q.selectivity);
+  }
+  constexpr int kBuckets = 6;
+  std::printf("%-30s %10s\n", "selectivity range", "# queries");
+  PrintRule();
+  double step = (hi * 1.0001 - lo) / kBuckets;
+  for (int b = 0; b < kBuckets; ++b) {
+    SelectivityRange range{lo + b * step, lo + (b + 1) * step};
+    size_t count = 0;
+    for (const CompositeQuery& q : queries) {
+      if (range.Contains(q.selectivity)) ++count;
+    }
+    std::printf("%-30s %10zu\n", range.ToString().c_str(), count);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-F11 (Figure 11): SUM and PRODUCT workloads (TREEBANK)\n");
+  PrintRule('=');
+  DatasetScale scale = ScaleOf(Dataset::kTreebank);
+  ExactCounter exact =
+      BuildExact(Dataset::kTreebank, scale.num_trees, scale.max_edges);
+  std::vector<SelectivityRange> ranges =
+      RangesFromCountBands(scale.count_bands, exact.total_patterns());
+  Workload base = BuildWorkload(Dataset::kTreebank, scale.num_trees,
+                                scale.max_edges, &exact, ranges,
+                                /*per_range=*/20, /*seed=*/7);
+  std::printf("base workload: %zu single patterns; stream total %llu\n\n",
+              base.queries.size(),
+              static_cast<unsigned long long>(exact.total_patterns()));
+
+  // Paper: 10,000 SUM triples and 6,811 PRODUCT pairs; scaled down.
+  std::vector<CompositeQuery> sums = MakeSumWorkload(
+      base, /*arity=*/3, /*count=*/1000, exact.total_patterns(), /*seed=*/5);
+  std::vector<CompositeQuery> products = MakeProductWorkload(
+      base, /*count=*/700, exact.total_patterns(), /*seed=*/6);
+
+  PrintHistogram("Figure 11(a): SUM workload (triples of distinct patterns)",
+                 sums);
+  PrintHistogram("Figure 11(b): PRODUCT workload (pairs of distinct "
+                 "patterns)",
+                 products);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// EXP-F8 — reproduces Figure 8 of the paper: the single-pattern query
+// workloads for TREEBANK (8a) and DBLP (8b), histogrammed by selectivity
+// range, with the interval of actual counts per range.
+//
+// Paper: TREEBANK queries in [0.00001, 0.0002) with counts [872, 18256];
+//        DBLP queries in [0.000005, 0.0001) with counts [206, 4547].
+// Here the ranges are rescaled to the synthetic streams' lengths (see
+// EXPERIMENTS.md) but play the same role for EXP-F10/F12.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "query/pattern_query.h"
+
+using namespace sketchtree;
+using namespace sketchtree::bench;
+
+namespace {
+
+void WorkloadHistogram(Dataset dataset) {
+  DatasetScale scale = ScaleOf(dataset);
+  ExactCounter exact = BuildExact(dataset, scale.num_trees, scale.max_edges);
+  std::vector<SelectivityRange> ranges =
+      RangesFromCountBands(scale.count_bands, exact.total_patterns());
+  Workload workload = BuildWorkload(dataset, scale.num_trees,
+                                    scale.max_edges, &exact, ranges,
+                                    /*per_range=*/25, /*seed=*/7);
+
+  std::printf("Figure 8 workload — %s (%d trees, %llu pattern instances)\n",
+              Name(dataset), scale.num_trees,
+              static_cast<unsigned long long>(exact.total_patterns()));
+  std::printf("%-26s %10s %12s %12s %10s\n", "selectivity range",
+              "# queries", "min count", "max count", "max edges");
+  PrintRule();
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    std::vector<size_t> in_range = workload.QueriesInRange(r);
+    uint64_t min_count = 0;
+    uint64_t max_count = 0;
+    int32_t max_edges = 0;
+    for (size_t q : in_range) {
+      const WorkloadQuery& query = workload.queries[q];
+      min_count = min_count == 0
+                      ? query.actual_count
+                      : std::min(min_count, query.actual_count);
+      max_count = std::max(max_count, query.actual_count);
+      max_edges = std::max(max_edges, PatternEdgeCount(query.pattern));
+    }
+    std::printf("%-26s %10zu %12llu %12llu %10d\n",
+                ranges[r].ToString().c_str(), in_range.size(),
+                static_cast<unsigned long long>(min_count),
+                static_cast<unsigned long long>(max_count), max_edges);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXP-F8 (Figure 8): query workloads by selectivity\n");
+  PrintRule('=');
+  WorkloadHistogram(Dataset::kTreebank);
+  WorkloadHistogram(Dataset::kDblp);
+  return 0;
+}

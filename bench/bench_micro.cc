@@ -1,0 +1,162 @@
+// EXP-MICRO — google-benchmark microbenchmarks for the hot paths that
+// underlie every experiment: the per-pattern canonical mapping, the
+// per-value sketch update, point estimation, and EnumTree itself. Not a
+// paper exhibit; supports the cost analysis of EXP-F9 and EXP-COST.
+#include <benchmark/benchmark.h>
+
+#include "core/sketch_tree.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/treebank_gen.h"
+#include "enumtree/enum_tree.h"
+#include "enumtree/pattern.h"
+#include "hashing/pairing.h"
+#include "sketch/sketch_array.h"
+#include "stream/virtual_streams.h"
+
+namespace sketchtree {
+namespace {
+
+void BM_RabinMapPattern(benchmark::State& state) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 42);
+  LabelHasher hasher(&fp);
+  PatternCanonicalizer canon(&fp, &hasher);
+  TreebankGenerator gen;
+  LabeledTree tree = gen.Next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canon.MapPatternTree(tree));
+  }
+}
+BENCHMARK(BM_RabinMapPattern);
+
+void BM_PairingFunctionMap(benchmark::State& state) {
+  std::vector<uint64_t> tuple = {17, 3, 250, 2, 3, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PFk(tuple));
+  }
+}
+BENCHMARK(BM_PairingFunctionMap);
+
+void BM_SketchArrayUpdate(benchmark::State& state) {
+  SketchArray array(static_cast<int>(state.range(0)), 7, 8, 42);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    array.Update(++v & 0x7FFFFFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchArrayUpdate)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_SketchPointEstimate(benchmark::State& state) {
+  SketchArray array(50, 7, 8, 42);
+  for (uint64_t v = 0; v < 1000; ++v) array.Update(v * 2654435761u);
+  uint64_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.EstimatePoint(++q));
+  }
+}
+BENCHMARK(BM_SketchPointEstimate);
+
+void BM_VirtualStreamInsert(benchmark::State& state) {
+  VirtualStreamsOptions options;
+  options.num_streams = 229;
+  options.s1 = 50;
+  options.s2 = 7;
+  options.topk_capacity = static_cast<size_t>(state.range(0));
+  VirtualStreams streams = *VirtualStreams::Create(options);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    streams.Insert((++v * 2654435761u) & 0x7FFFFFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VirtualStreamInsert)->Arg(0)->Arg(100);
+
+void BM_EnumTreeTreebank(benchmark::State& state) {
+  TreebankGenerator gen;
+  std::vector<LabeledTree> trees;
+  for (int i = 0; i < 64; ++i) trees.push_back(gen.Next());
+  const int k = static_cast<int>(state.range(0));
+  size_t i = 0;
+  uint64_t patterns = 0;
+  for (auto _ : state) {
+    patterns += EnumerateTreePatterns(
+        trees[i++ & 63], k, [](LabeledTree::NodeId, const auto&) {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(patterns));
+}
+BENCHMARK(BM_EnumTreeTreebank)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_EnumTreeDblp(benchmark::State& state) {
+  DblpGenerator gen;
+  std::vector<LabeledTree> trees;
+  for (int i = 0; i < 64; ++i) trees.push_back(gen.Next());
+  const int k = static_cast<int>(state.range(0));
+  size_t i = 0;
+  uint64_t patterns = 0;
+  for (auto _ : state) {
+    patterns += EnumerateTreePatterns(
+        trees[i++ & 63], k, [](LabeledTree::NodeId, const auto&) {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(patterns));
+}
+BENCHMARK(BM_EnumTreeDblp)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_FullUpdateTreebank(benchmark::State& state) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = static_cast<int>(state.range(0));
+  options.s2 = 7;
+  options.num_virtual_streams = 229;
+  options.topk_size = 100;
+  SketchTree sketch = *SketchTree::Create(options);
+  TreebankGenerator gen;
+  std::vector<LabeledTree> trees;
+  for (int i = 0; i < 64; ++i) trees.push_back(gen.Next());
+  size_t i = 0;
+  uint64_t patterns = 0;
+  for (auto _ : state) {
+    patterns += sketch.Update(trees[i++ & 63]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(patterns));
+}
+BENCHMARK(BM_FullUpdateTreebank)->Arg(25)->Arg(50);
+
+void BM_SynopsisSerialize(benchmark::State& state) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 50;
+  options.s2 = 7;
+  options.num_virtual_streams = 229;
+  options.topk_size = 50;
+  SketchTree sketch = *SketchTree::Create(options);
+  TreebankGenerator gen;
+  for (int i = 0; i < 200; ++i) sketch.Update(gen.Next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.SerializeToString());
+  }
+}
+BENCHMARK(BM_SynopsisSerialize);
+
+void BM_SynopsisDeserialize(benchmark::State& state) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 50;
+  options.s2 = 7;
+  options.num_virtual_streams = 229;
+  options.topk_size = 50;
+  SketchTree sketch = *SketchTree::Create(options);
+  TreebankGenerator gen;
+  for (int i = 0; i < 200; ++i) sketch.Update(gen.Next());
+  std::string bytes = sketch.SerializeToString();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SketchTree::DeserializeFromString(bytes));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SynopsisDeserialize);
+
+}  // namespace
+}  // namespace sketchtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Example 4 from the paper: "Does a language L support free word order,
+// and if so to what extent?"
+//
+// A linguist streams a treebank and compares the counts of the six
+// subject/verb/object constituent orders under a clause node. A rigid
+// SVO language concentrates nearly all mass on one ordered arrangement;
+// a free-word-order language spreads it out. SketchTree answers this in
+// one pass: the six ordered counts are six COUNT_ord queries, and their
+// total is one unordered COUNT query.
+//
+//   ./free_word_order
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/sketch_tree.h"
+#include "exact/exact_counter.h"
+#include "tree/tree_serialization.h"
+
+using sketchtree::ExactCounter;
+using sketchtree::LabeledTree;
+using sketchtree::ParseSExpr;
+using sketchtree::Pcg64;
+using sketchtree::SketchTree;
+using sketchtree::SketchTreeOptions;
+
+namespace {
+
+/// Generates clause trees S(SUBJ, VERB, OBJ) for a synthetic language
+/// whose word-order freedom is a parameter: with probability
+/// `scramble_probability`, the three constituents are randomly permuted;
+/// otherwise canonical SVO order is used.
+LabeledTree MakeClause(Pcg64& rng, double scramble_probability) {
+  const char* constituents[3] = {"SUBJ", "VERB", "OBJ"};
+  int order[3] = {0, 1, 2};
+  if (rng.NextDouble() < scramble_probability) {
+    for (int i = 2; i > 0; --i) {
+      int j = static_cast<int>(rng.NextBounded(i + 1));
+      std::swap(order[i], order[j]);
+    }
+  }
+  LabeledTree tree;
+  auto s = tree.AddNode("S", LabeledTree::kInvalidNode);
+  for (int i = 0; i < 3; ++i) {
+    auto c = tree.AddNode(constituents[order[i]], s);
+    // A little inner structure so trees are not all identical.
+    tree.AddNode(i == 1 ? "V" : "N", c);
+  }
+  return tree;
+}
+
+void AnalyzeLanguage(const char* name, double scramble_probability,
+                     uint64_t seed) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 50;
+  options.s2 = 7;
+  options.num_virtual_streams = 31;
+  options.topk_size = 30;
+  options.seed = 17;
+  SketchTree sketch = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+
+  Pcg64 rng(seed);
+  constexpr int kSentences = 3000;
+  for (int i = 0; i < kSentences; ++i) {
+    LabeledTree clause = MakeClause(rng, scramble_probability);
+    sketch.Update(clause);
+    exact.Update(clause, options.max_pattern_edges);
+  }
+
+  // The six permutations of S(SUBJ, VERB, OBJ) as ordered patterns.
+  const char* orders[6] = {
+      "S(SUBJ,VERB,OBJ)", "S(SUBJ,OBJ,VERB)", "S(VERB,SUBJ,OBJ)",
+      "S(VERB,OBJ,SUBJ)", "S(OBJ,SUBJ,VERB)", "S(OBJ,VERB,SUBJ)",
+  };
+  std::printf("language %s (scramble prob %.2f), %d sentences\n", name,
+              scramble_probability, kSentences);
+  std::printf("  %-20s %10s %10s\n", "word order", "estimate", "exact");
+  double dominant = 0.0;
+  double total = 0.0;
+  for (const char* text : orders) {
+    LabeledTree query = *ParseSExpr(text);
+    double estimate = *sketch.EstimateCountOrdered(query);
+    std::printf("  %-20s %10.1f %10llu\n", text, estimate,
+                static_cast<unsigned long long>(exact.CountOrdered(query)));
+    dominant = std::max(dominant, estimate);
+    total += std::max(0.0, estimate);
+  }
+  // The unordered count equals the sum of the six arrangements and is a
+  // single sum-estimator query.
+  double unordered = *sketch.EstimateCount(*ParseSExpr("S(SUBJ,VERB,OBJ)"));
+  std::printf("  unordered COUNT(S{SUBJ,VERB,OBJ}) = %.1f\n", unordered);
+  std::printf("  word-order freedom: dominant order holds %.0f%% of "
+              "clause mass\n\n",
+              100.0 * dominant / (total > 0 ? total : 1));
+}
+
+}  // namespace
+
+int main() {
+  AnalyzeLanguage("RigidSVO (English-like)", 0.02, 1);
+  AnalyzeLanguage("SemiFree (German-like)", 0.45, 2);
+  AnalyzeLanguage("FreeOrder (Sanskrit-like)", 1.0, 3);
+  return 0;
+}

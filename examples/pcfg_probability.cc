@@ -1,0 +1,150 @@
+// Example 7 from the paper: estimating probabilistic-context-free-grammar
+// rule probabilities — and a whole parse tree's probability — from a
+// treebank stream.
+//
+// Each production rule alpha -> beta1 ... betan is itself a tree pattern
+// (alpha with ordered children beta1..betan). Its probability is
+//
+//          COUNT_ord(alpha -> beta)
+//   -------------------------------------   (Equation 8)
+//   sum over gamma COUNT_ord(alpha -> gamma)
+//
+// so both numerator and denominator are SketchTree count queries, and a
+// parse tree's probability is a product of such ratios — the numerator
+// product being exactly the PRODUCT expression estimator of Section 4.
+//
+//   ./pcfg_probability
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "exact/exact_counter.h"
+#include "query/expression.h"
+#include "tree/tree_serialization.h"
+
+using sketchtree::CountExpression;
+using sketchtree::ExactCounter;
+using sketchtree::ExprTerm;
+using sketchtree::LabeledTree;
+using sketchtree::ParseSExpr;
+using sketchtree::SketchTree;
+using sketchtree::SketchTreeOptions;
+using sketchtree::TreebankGenerator;
+
+namespace {
+
+/// Rules whose left-hand side is S, NP, VP in our synthetic treebank.
+/// Each rule is written as the ordered tree pattern it corresponds to.
+struct RuleFamily {
+  const char* lhs;
+  std::vector<const char*> rules;
+};
+
+const RuleFamily kFamilies[] = {
+    {"S", {"S(NP,VP)", "S(ADVP,NP,VP)"}},
+    {"NP", {"NP(PRP)", "NP(DT,NN)", "NP(DT,JJ,NN)", "NP(NN)", "NP(DT,NNS)",
+            "NP(NNS)", "NP(DT,NNP)", "NP(NNP)"}},
+    {"VP", {"VP(VBD,NP)", "VP(VBZ,NP)", "VP(VBD)", "VP(VBD,PP)",
+            "VP(VBD,SBAR)", "VP(VBD,NP,NP)"}},
+};
+
+double RuleProbability(SketchTree& sketch, const RuleFamily& family,
+                       const char* rule) {
+  double numerator = *sketch.EstimateCountOrdered(*ParseSExpr(rule));
+  // Denominator: total frequency of the family, one sum estimator
+  // (Theorem 2) rather than per-rule queries.
+  std::vector<LabeledTree> all;
+  for (const char* r : family.rules) all.push_back(*ParseSExpr(r));
+  double denominator = *sketch.EstimateCountOrderedSum(all);
+  return denominator > 0 ? numerator / denominator : 0.0;
+}
+
+double ExactRuleProbability(ExactCounter& exact, const RuleFamily& family,
+                            const char* rule) {
+  double numerator =
+      static_cast<double>(exact.CountOrdered(*ParseSExpr(rule)));
+  double denominator = 0;
+  for (const char* r : family.rules) {
+    denominator += static_cast<double>(exact.CountOrdered(*ParseSExpr(r)));
+  }
+  return denominator > 0 ? numerator / denominator : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 75;
+  options.s2 = 7;
+  options.num_virtual_streams = 59;
+  options.topk_size = 100;
+  options.seed = 9;
+  SketchTree sketch = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+
+  TreebankGenerator treebank;
+  constexpr int kTrees = 2500;
+  for (int i = 0; i < kTrees; ++i) {
+    LabeledTree tree = treebank.Next();
+    sketch.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+  }
+  std::printf("learned rule statistics from %d parse trees\n\n", kTrees);
+
+  // 1. Per-rule probabilities.
+  for (const RuleFamily& family : kFamilies) {
+    std::printf("%s productions:\n", family.lhs);
+    for (const char* rule : family.rules) {
+      std::printf("  P(%-16s) = %6.3f   (exact %6.3f)\n", rule,
+                  RuleProbability(sketch, family, rule),
+                  ExactRuleProbability(exact, family, rule));
+    }
+    std::printf("\n");
+  }
+
+  // 2. Probability of a full parse: S -> NP VP, NP -> DT NN,
+  //    VP -> VBD NP. The numerator product is one PRODUCT expression.
+  const char* parse_rules[] = {"S(NP,VP)", "NP(DT,NN)", "VP(VBD,NP)"};
+  const RuleFamily* parse_families[] = {&kFamilies[0], &kFamilies[1],
+                                        &kFamilies[2]};
+  // Numerator: COUNT_ord(r1) * COUNT_ord(r2) * COUNT_ord(r3) in a single
+  // unbiased product estimator (requires 2*3-wise independent xi; the
+  // default independence of 8 covers it).
+  std::string product_expr;
+  for (int i = 0; i < 3; ++i) {
+    if (i) product_expr += " * ";
+    product_expr += std::string("COUNT_ORD(") + parse_rules[i] + ")";
+  }
+  double numerator = *sketch.EstimateExpression(product_expr);
+
+  double denominator = 1.0;
+  double exact_numerator = 1.0;
+  double exact_denominator = 1.0;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<LabeledTree> all;
+    double exact_family = 0;
+    for (const char* r : parse_families[i]->rules) {
+      all.push_back(*ParseSExpr(r));
+      exact_family +=
+          static_cast<double>(exact.CountOrdered(*ParseSExpr(r)));
+    }
+    denominator *= *sketch.EstimateCountOrderedSum(all);
+    exact_numerator *=
+        static_cast<double>(exact.CountOrdered(*ParseSExpr(parse_rules[i])));
+    exact_denominator *= exact_family;
+  }
+
+  double probability = denominator > 0 ? numerator / denominator : 0.0;
+  double exact_probability =
+      exact_denominator > 0 ? exact_numerator / exact_denominator : 0.0;
+  std::printf("parse tree using {S->NP VP, NP->DT NN, VP->VBD NP}:\n");
+  std::printf("  numerator (product expression) = %.3e (exact %.3e)\n",
+              numerator, exact_numerator);
+  std::printf("  P(parse) = %.4f   (exact %.4f)\n", probability,
+              exact_probability);
+  return 0;
+}

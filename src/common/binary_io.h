@@ -1,0 +1,116 @@
+#ifndef SKETCHTREE_COMMON_BINARY_IO_H_
+#define SKETCHTREE_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Little-endian binary encoder for synopsis serialization. Appends to an
+/// internal buffer; strings are length-prefixed.
+class BinaryWriter {
+ public:
+  void WriteU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void WriteU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  void WriteDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  void WriteString(std::string_view s) {
+    WriteU64(s.size());
+    buffer_.append(s.data(), s.size());
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Release() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Matching decoder. Every read validates the remaining length and
+/// returns OutOfRange on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8() {
+    SKETCHTREE_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> ReadU32() {
+    SKETCHTREE_RETURN_NOT_OK(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  Result<uint64_t> ReadU64() {
+    SKETCHTREE_RETURN_NOT_OK(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    }
+    return v;
+  }
+
+  Result<double> ReadDouble() {
+    SKETCHTREE_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> ReadString() {
+    SKETCHTREE_ASSIGN_OR_RETURN(uint64_t length, ReadU64());
+    if (length > data_.size() - pos_) {
+      return Status::OutOfRange("truncated string in binary input");
+    }
+    std::string s(data_.substr(pos_, length));
+    pos_ += length;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Need(size_t bytes) {
+    if (data_.size() - pos_ < bytes) {
+      return Status::OutOfRange("truncated binary input at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_BINARY_IO_H_

@@ -1,0 +1,60 @@
+#include "common/rng.h"
+
+namespace sketchtree {
+
+namespace {
+
+constexpr unsigned __int128 kPcgMultiplier =
+    (static_cast<unsigned __int128>(2549297995355413924ULL) << 64) |
+    4865540595714422341ULL;
+
+uint64_t RotateRight(uint64_t value, unsigned rot) {
+  return (value >> rot) | (value << ((64 - rot) & 63));
+}
+
+}  // namespace
+
+Pcg64::Pcg64(uint64_t seed, uint64_t stream) {
+  inc_ = (static_cast<unsigned __int128>(stream) << 1) | 1;
+  state_ = 0;
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint64_t Pcg64::Next() {
+  state_ = state_ * kPcgMultiplier + inc_;
+  // PCG-XSL-RR output function: xor the halves, rotate by the top bits.
+  uint64_t xored = static_cast<uint64_t>(state_ >> 64) ^
+                   static_cast<uint64_t>(state_);
+  unsigned rot = static_cast<unsigned>(state_ >> 122);
+  return RotateRight(xored, rot);
+}
+
+uint64_t Pcg64::NextBounded(uint64_t bound) {
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<unsigned __int128>(Next()) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Pcg64::NextDouble() {
+  // 53 random bits scaled to [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t DeriveSeed(uint64_t base, uint64_t index) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace sketchtree

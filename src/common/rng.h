@@ -1,0 +1,50 @@
+#ifndef SKETCHTREE_COMMON_RNG_H_
+#define SKETCHTREE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sketchtree {
+
+/// PCG64 (PCG-XSL-RR 128/64) pseudo-random number generator.
+///
+/// The paper used the GNU Scientific Library for pseudo-random numbers; this
+/// self-contained generator plays the same role. It is deterministic for a
+/// given seed, which makes every experiment in the repository reproducible.
+///
+/// Satisfies the C++ `UniformRandomBitGenerator` concept, so it can be used
+/// with <random> distributions and std::shuffle.
+class Pcg64 {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator. Two different `(seed, stream)` pairs yield
+  /// statistically independent sequences.
+  explicit Pcg64(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform in [0, bound). `bound` must be nonzero. Uses rejection sampling
+  /// (Lemire's method) so the result is exactly uniform.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  unsigned __int128 state_;
+  unsigned __int128 inc_;  // Stream selector; always odd.
+};
+
+/// Derives a fresh, well-mixed 64-bit seed from `base` and `index`
+/// (SplitMix64 finalizer). Used to give each AMS sketch instance an
+/// independent random seed.
+uint64_t DeriveSeed(uint64_t base, uint64_t index);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_RNG_H_

@@ -1,0 +1,137 @@
+#ifndef SKETCHTREE_COMMON_STATUS_H_
+#define SKETCHTREE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sketchtree {
+
+/// Outcome of an operation that can fail, in the Arrow/RocksDB idiom.
+///
+/// Library code never throws; fallible operations return a `Status` (or a
+/// `Result<T>`, see below). A default-constructed `Status` is OK.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kOutOfRange,
+    kNotFound,
+    kIOError,
+    kUnimplemented,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  /// Human-readable "<CODE>: <message>" string for logs and test output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Accessing the value of an errored `Result` is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse:
+  //   Result<int> F() { return 42; }
+  //   Result<int> G() { return Status::InvalidArgument("nope"); }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SKETCHTREE_RETURN_NOT_OK(expr)       \
+  do {                                       \
+    ::sketchtree::Status _st = (expr);       \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define SKETCHTREE_INTERNAL_CONCAT2(a, b) a##b
+#define SKETCHTREE_INTERNAL_CONCAT(a, b) SKETCHTREE_INTERNAL_CONCAT2(a, b)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// propagating the error. `lhs` must name a fresh variable declaration.
+#define SKETCHTREE_ASSIGN_OR_RETURN(lhs, expr)                        \
+  SKETCHTREE_INTERNAL_ASSIGN_OR_RETURN(                               \
+      SKETCHTREE_INTERNAL_CONCAT(_sketchtree_result_, __LINE__), lhs, expr)
+
+#define SKETCHTREE_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                         \
+  if (!tmp.ok()) {                                           \
+    return tmp.status();                                     \
+  }                                                          \
+  lhs = std::move(tmp).value()
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_STATUS_H_

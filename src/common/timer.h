@@ -1,0 +1,29 @@
+#ifndef SKETCHTREE_COMMON_TIMER_H_
+#define SKETCHTREE_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sketchtree {
+
+/// Simple wall-clock stopwatch for the benchmark harness.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_TIMER_H_

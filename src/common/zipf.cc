@@ -1,0 +1,28 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sketchtree {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) : theta_(theta) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = total;
+  }
+  for (size_t r = 0; r < n; ++r) cdf_[r] /= total;
+  cdf_.back() = 1.0;  // Guard against floating-point drift.
+}
+
+size_t ZipfSampler::Sample(Pcg64& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace sketchtree

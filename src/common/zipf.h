@@ -1,0 +1,36 @@
+#ifndef SKETCHTREE_COMMON_ZIPF_H_
+#define SKETCHTREE_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+
+/// Samples from a Zipf distribution over {0, 1, ..., n-1}:
+/// P(rank r) proportional to 1 / (r+1)^theta.
+///
+/// Used by the synthetic DBLP generator to reproduce the highly skewed
+/// value distribution the paper observed (Section 7.7): a handful of very
+/// frequent tree patterns dominate the self-join size.
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `theta` >= 0 (0 is uniform).
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Pcg64& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // Cumulative probabilities, cdf_.back() == 1.
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_ZIPF_H_

@@ -1,0 +1,126 @@
+// Synopsis (de)serialization for SketchTree. Format (little-endian):
+//
+//   magic "SKTR" | version u32 | options | trees_processed u64 |
+//   virtual-streams state | has_summary u8 [ | summary state ]
+//
+// Only mutable state is stored; all randomness is re-derived from the
+// options' seeds on load, making the format compact and the round trip
+// bit-exact.
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "core/sketch_tree.h"
+
+namespace sketchtree {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53'4B'54'52;  // "SKTR".
+constexpr uint32_t kVersion = 1;
+
+void WriteOptions(const SketchTreeOptions& options, BinaryWriter* writer) {
+  writer->WriteU32(static_cast<uint32_t>(options.max_pattern_edges));
+  writer->WriteU32(static_cast<uint32_t>(options.s1));
+  writer->WriteU32(static_cast<uint32_t>(options.s2));
+  writer->WriteU32(options.num_virtual_streams);
+  writer->WriteU64(options.topk_size);
+  writer->WriteDouble(options.topk_probability);
+  writer->WriteU32(static_cast<uint32_t>(options.fingerprint_degree));
+  writer->WriteU32(static_cast<uint32_t>(options.independence));
+  writer->WriteU64(options.seed);
+  writer->WriteU64(options.sketch_seed);
+  writer->WriteU8(options.build_structural_summary ? 1 : 0);
+  writer->WriteU64(options.summary_max_nodes);
+}
+
+Result<SketchTreeOptions> ReadOptions(BinaryReader* reader) {
+  SketchTreeOptions options;
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t max_edges, reader->ReadU32());
+  options.max_pattern_edges = static_cast<int>(max_edges);
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t s1, reader->ReadU32());
+  options.s1 = static_cast<int>(s1);
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t s2, reader->ReadU32());
+  options.s2 = static_cast<int>(s2);
+  SKETCHTREE_ASSIGN_OR_RETURN(options.num_virtual_streams, reader->ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint64_t topk, reader->ReadU64());
+  options.topk_size = topk;
+  SKETCHTREE_ASSIGN_OR_RETURN(options.topk_probability,
+                              reader->ReadDouble());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t degree, reader->ReadU32());
+  options.fingerprint_degree = static_cast<int>(degree);
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t independence, reader->ReadU32());
+  options.independence = static_cast<int>(independence);
+  SKETCHTREE_ASSIGN_OR_RETURN(options.seed, reader->ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(options.sketch_seed, reader->ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint8_t build_summary, reader->ReadU8());
+  options.build_structural_summary = build_summary != 0;
+  SKETCHTREE_ASSIGN_OR_RETURN(options.summary_max_nodes, reader->ReadU64());
+  return options;
+}
+
+}  // namespace
+
+std::string SketchTree::SerializeToString() const {
+  BinaryWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(kVersion);
+  WriteOptions(options_, &writer);
+  writer.WriteU64(trees_processed_);
+  streams_->SaveState(&writer);
+  writer.WriteU8(summary_ != nullptr ? 1 : 0);
+  if (summary_ != nullptr) summary_->SaveState(&writer);
+  return writer.Release();
+}
+
+Result<SketchTree> SketchTree::DeserializeFromString(
+    std::string_view bytes) {
+  BinaryReader reader(bytes);
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a SketchTree synopsis (bad magic)");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported synopsis version " +
+                                   std::to_string(version));
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTreeOptions options,
+                              ReadOptions(&reader));
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTree sketch, Create(options));
+  SKETCHTREE_ASSIGN_OR_RETURN(sketch.trees_processed_, reader.ReadU64());
+  SKETCHTREE_RETURN_NOT_OK(sketch.streams_->LoadState(&reader));
+  SKETCHTREE_ASSIGN_OR_RETURN(uint8_t has_summary, reader.ReadU8());
+  if ((has_summary != 0) != (sketch.summary_ != nullptr)) {
+    return Status::InvalidArgument(
+        "summary presence flag conflicts with the serialized options");
+  }
+  if (sketch.summary_ != nullptr) {
+    SKETCHTREE_RETURN_NOT_OK(sketch.summary_->LoadState(&reader));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after synopsis");
+  }
+  return sketch;
+}
+
+Status SketchTree::SaveToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IOError("cannot open '" + path + "' for write");
+  std::string bytes = SerializeToString();
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) return Status::IOError("error writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<SketchTree> SketchTree::LoadFromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) return Status::IOError("error reading '" + path + "'");
+  std::string bytes = content.str();
+  return DeserializeFromString(bytes);
+}
+
+}  // namespace sketchtree

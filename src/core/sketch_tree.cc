@@ -1,0 +1,262 @@
+#include "core/sketch_tree.h"
+
+#include <algorithm>
+
+#include "enumtree/enum_tree.h"
+#include "query/pattern_query.h"
+#include "query/unordered.h"
+#include "sketch/estimators.h"
+
+namespace sketchtree {
+
+SketchTree::SketchTree(const SketchTreeOptions& options,
+                       std::unique_ptr<RabinFingerprinter> fingerprinter,
+                       std::unique_ptr<VirtualStreams> streams)
+    : options_(options),
+      fingerprinter_(std::move(fingerprinter)),
+      hasher_(std::make_unique<LabelHasher>(fingerprinter_.get())),
+      canonicalizer_(std::make_unique<PatternCanonicalizer>(
+          fingerprinter_.get(), hasher_.get())),
+      streams_(std::move(streams)) {}
+
+Result<SketchTree> SketchTree::Create(const SketchTreeOptions& options) {
+  if (options.max_pattern_edges < 1 || options.max_pattern_edges > 64) {
+    return Status::InvalidArgument("max_pattern_edges must be in [1, 64]");
+  }
+  // Hard resource caps: the synopsis allocates s1 * s2 * num_streams
+  // counters up front, so unbounded values (e.g. from corrupted
+  // serialized options) must be rejected, not attempted.
+  if (options.s1 > 1'000'000 || options.s2 > 10'000) {
+    return Status::InvalidArgument("s1/s2 exceed supported limits");
+  }
+  if (options.num_virtual_streams > 1'000'003) {
+    return Status::InvalidArgument("num_virtual_streams exceeds 1000003");
+  }
+  if (options.independence > 64) {
+    return Status::InvalidArgument("independence exceeds 64");
+  }
+  uint64_t counters = static_cast<uint64_t>(options.s1) * options.s2 *
+                      options.num_virtual_streams;
+  if (counters > (uint64_t{1} << 31)) {
+    return Status::InvalidArgument(
+        "synopsis would need more than 2^31 counters; lower s1/s2/streams");
+  }
+  if (options.fingerprint_degree < 16 || options.fingerprint_degree > 61) {
+    return Status::InvalidArgument(
+        "fingerprint_degree must be in [16, 61] (the paper uses 31)");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      RabinFingerprinter fp,
+      RabinFingerprinter::FromSeed(options.fingerprint_degree, options.seed));
+
+  VirtualStreamsOptions vs_options;
+  vs_options.num_streams = options.num_virtual_streams;
+  vs_options.s1 = options.s1;
+  vs_options.s2 = options.s2;
+  vs_options.independence = options.independence;
+  vs_options.seed = options.sketch_seed != 0 ? options.sketch_seed
+                                             : options.seed;
+  vs_options.topk_capacity = options.topk_size;
+  vs_options.topk_probability = options.topk_probability;
+  SKETCHTREE_ASSIGN_OR_RETURN(VirtualStreams streams,
+                              VirtualStreams::Create(vs_options));
+
+  SketchTree sketch(
+      options, std::make_unique<RabinFingerprinter>(std::move(fp)),
+      std::make_unique<VirtualStreams>(std::move(streams)));
+  if (options.build_structural_summary) {
+    StructuralSummary::Options summary_options;
+    summary_options.max_nodes = options.summary_max_nodes;
+    sketch.summary_ = std::make_unique<StructuralSummary>(summary_options);
+  }
+  return sketch;
+}
+
+uint64_t SketchTree::Update(const LabeledTree& tree) {
+  uint64_t emitted = EnumerateTreePatterns(
+      tree, options_.max_pattern_edges,
+      [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
+        uint64_t value = canonicalizer_->MapPatternEdges(tree, root, edges);
+        streams_->Insert(value);
+      });
+  if (summary_ != nullptr) summary_->Update(tree);
+  ++trees_processed_;
+  return emitted;
+}
+
+uint64_t SketchTree::Remove(const LabeledTree& tree) {
+  uint64_t removed = EnumerateTreePatterns(
+      tree, options_.max_pattern_edges,
+      [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
+        uint64_t value = canonicalizer_->MapPatternEdges(tree, root, edges);
+        streams_->Insert(value, -1.0);
+      });
+  if (trees_processed_ > 0) --trees_processed_;
+  return removed;
+}
+
+Result<uint64_t> SketchTree::MapQuery(const LabeledTree& query) {
+  if (query.empty()) {
+    return Status::InvalidArgument("empty query pattern");
+  }
+  if (PatternEdgeCount(query) > options_.max_pattern_edges) {
+    return Status::InvalidArgument(
+        "query has " + std::to_string(PatternEdgeCount(query)) +
+        " edges but the synopsis only enumerates patterns with up to " +
+        std::to_string(options_.max_pattern_edges));
+  }
+  return canonicalizer_->MapPatternTree(query);
+}
+
+Result<double> SketchTree::EstimateCountOrdered(const LabeledTree& query) {
+  SKETCHTREE_ASSIGN_OR_RETURN(uint64_t value, MapQuery(query));
+  return streams_->EstimatePoint(value);
+}
+
+Result<double> SketchTree::EstimateCountOrderedSum(
+    const std::vector<LabeledTree>& queries) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty query set");
+  }
+  std::vector<uint64_t> values;
+  values.reserve(queries.size());
+  for (const LabeledTree& query : queries) {
+    SKETCHTREE_ASSIGN_OR_RETURN(uint64_t value, MapQuery(query));
+    values.push_back(value);
+  }
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument(
+        "sum estimator requires distinct patterns (Section 3.2)");
+  }
+  return streams_->EstimateSum(values);
+}
+
+Result<double> SketchTree::EstimateCount(const LabeledTree& query) {
+  SKETCHTREE_ASSIGN_OR_RETURN(std::vector<LabeledTree> arrangements,
+                              OrderedArrangements(query));
+  return EstimateCountOrderedSum(arrangements);
+}
+
+Result<double> SketchTree::EstimateExpression(
+    const CountExpression& expression) {
+  if (2 * expression.MaxDegree() > options_.independence) {
+    return Status::InvalidArgument(
+        "expression has a degree-" + std::to_string(expression.MaxDegree()) +
+        " product but independence=" + std::to_string(options_.independence) +
+        " only supports degree " + std::to_string(options_.independence / 2) +
+        " (Appendix C needs 2m-wise xi variables)");
+  }
+
+  // Pre-map every term's patterns and validate within-term distinctness
+  // (xi_q^2 == 1 would bias the product estimator otherwise).
+  struct MappedTerm {
+    double coeff;
+    std::vector<uint64_t> values;
+    double m_factorial;
+  };
+  std::vector<MappedTerm> terms;
+  terms.reserve(expression.terms().size());
+  std::vector<uint64_t> all_values;
+  for (const ExprTerm& term : expression.terms()) {
+    MappedTerm mapped;
+    mapped.coeff = term.coeff;
+    for (const LabeledTree& pattern : term.patterns) {
+      SKETCHTREE_ASSIGN_OR_RETURN(uint64_t value, MapQuery(pattern));
+      mapped.values.push_back(value);
+      all_values.push_back(value);
+    }
+    std::vector<uint64_t> sorted = mapped.values;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      return Status::InvalidArgument(
+          "a product term repeats a pattern; terminals must be distinct "
+          "(Section 4)");
+    }
+    mapped.m_factorial = Factorial(term.degree());
+    terms.push_back(std::move(mapped));
+  }
+
+  // One boosted pass over the whole expression: per instance, evaluate
+  // E'' = sum_t coeff_t * X^{m_t} / m_t! * prod(xi), where X is the
+  // single combined projection over *all* query trees of the expression
+  // — "first computing the addition of all the relevant sketches for
+  // the query trees in the expression" (Section 5.3) — including the
+  // top-k compensation for every referenced value.
+  double estimate = BoostedEstimate(
+      options_.s1, options_.s2, [&](int i, int j) {
+        double x = streams_->CombinedX(i, j, all_values);
+        double value = 0.0;
+        for (const MappedTerm& term : terms) {
+          double xi_prod = 1.0;
+          for (uint64_t v : term.values) xi_prod *= streams_->Xi(i, j, v);
+          double x_pow = 1.0;
+          for (int e = 0; e < static_cast<int>(term.values.size()); ++e) {
+            x_pow *= x;
+          }
+          value += term.coeff * x_pow / term.m_factorial * xi_prod;
+        }
+        return value;
+      });
+  return estimate;
+}
+
+Result<double> SketchTree::EstimateExpression(std::string_view text) {
+  SKETCHTREE_ASSIGN_OR_RETURN(CountExpression expression,
+                              CountExpression::Parse(text));
+  return EstimateExpression(expression);
+}
+
+Result<double> SketchTree::EstimateExtended(const ExtendedQuery& query) {
+  if (summary_ == nullptr) {
+    return Status::InvalidArgument(
+        "extended queries need build_structural_summary=true");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      std::vector<LabeledTree> resolved,
+      ResolveExtendedQuery(query, *summary_, options_.max_pattern_edges));
+  if (resolved.empty()) {
+    // The summary proves no occurrence exists.
+    return 0.0;
+  }
+  return EstimateCountOrderedSum(resolved);
+}
+
+Result<double> SketchTree::EstimateExtended(std::string_view text) {
+  SKETCHTREE_ASSIGN_OR_RETURN(ExtendedQuery query, ExtendedQuery::Parse(text));
+  return EstimateExtended(query);
+}
+
+Status SketchTree::Merge(const SketchTree& other) {
+  const SketchTreeOptions& a = options_;
+  const SketchTreeOptions& b = other.options_;
+  if (a.max_pattern_edges != b.max_pattern_edges || a.s1 != b.s1 ||
+      a.s2 != b.s2 || a.num_virtual_streams != b.num_virtual_streams ||
+      a.fingerprint_degree != b.fingerprint_degree ||
+      a.independence != b.independence || a.seed != b.seed ||
+      a.sketch_seed != b.sketch_seed) {
+    return Status::InvalidArgument(
+        "Merge requires synopses built with identical options");
+  }
+  SKETCHTREE_RETURN_NOT_OK(streams_->MergeFrom(*other.streams_));
+  if (summary_ != nullptr && other.summary_ != nullptr) {
+    summary_->MergeFrom(*other.summary_);
+  }
+  trees_processed_ += other.trees_processed_;
+  return Status::OK();
+}
+
+SketchTreeStats SketchTree::Stats() const {
+  SketchTreeStats stats;
+  stats.trees_processed = trees_processed_;
+  stats.patterns_processed = streams_->values_inserted();
+  stats.memory_bytes = streams_->MemoryBytes();
+  for (uint32_t r = 0; r < options_.num_virtual_streams; ++r) {
+    const TopKTracker* tracker = streams_->topk(r);
+    if (tracker != nullptr) stats.tracked_patterns += tracker->size();
+  }
+  return stats;
+}
+
+}  // namespace sketchtree

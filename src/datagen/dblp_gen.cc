@@ -1,0 +1,88 @@
+#include "datagen/dblp_gen.h"
+
+namespace sketchtree {
+
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+
+const char* const kRecordTypes[] = {"article", "inproceedings", "book",
+                                    "phdthesis", "mastersthesis"};
+// Cumulative selection thresholds: articles and inproceedings dominate
+// DBLP.
+const double kRecordCdf[] = {0.55, 0.90, 0.95, 0.98, 1.0};
+
+}  // namespace
+
+DblpGenerator::DblpGenerator(const DblpGenOptions& options)
+    : options_(options),
+      rng_(options.seed, /*stream=*/0xdb1),
+      author_zipf_(options.author_pool, options.zipf_theta),
+      venue_zipf_(options.venue_pool, options.zipf_theta),
+      word_zipf_(options.title_word_pool, options.zipf_theta),
+      year_zipf_(46, 0.7) {}  // 1960..2005, mildly skewed toward recent.
+
+void DblpGenerator::AddField(LabeledTree* tree, NodeId parent,
+                             const std::string& element,
+                             const std::string& value) {
+  NodeId field = tree->AddNode(element, parent);
+  tree->AddNode(value, field);
+}
+
+LabeledTree DblpGenerator::Next() {
+  LabeledTree tree;
+  double roll = rng_.NextDouble();
+  size_t type = 0;
+  while (roll > kRecordCdf[type]) ++type;
+  NodeId root = tree.AddNode(kRecordTypes[type], LabeledTree::kInvalidNode);
+
+  // 1–4 authors, Zipf over the author pool: a few prolific authors appear
+  // in many records — the pattern-frequency skew of Section 7.7.
+  int num_authors = 1 + static_cast<int>(rng_.NextBounded(4));
+  for (int a = 0; a < num_authors; ++a) {
+    AddField(&tree, root, "author",
+             "author" + std::to_string(author_zipf_.Sample(rng_)));
+  }
+
+  // Title: a single Zipf-ranked keyword label (queries match on it).
+  AddField(&tree, root, "title",
+           "kw" + std::to_string(word_zipf_.Sample(rng_)));
+
+  AddField(&tree, root, "year",
+           std::to_string(1960 + 45 - year_zipf_.Sample(rng_)));
+
+  if (type == 0) {  // article
+    AddField(&tree, root, "journal",
+             "journal" + std::to_string(venue_zipf_.Sample(rng_)));
+    if (rng_.NextDouble() < 0.7) {
+      AddField(&tree, root, "volume",
+               std::to_string(1 + rng_.NextBounded(40)));
+    }
+  } else if (type == 1) {  // inproceedings
+    AddField(&tree, root, "booktitle",
+             "conf" + std::to_string(venue_zipf_.Sample(rng_)));
+  } else if (type == 2) {  // book
+    AddField(&tree, root, "publisher",
+             "pub" + std::to_string(venue_zipf_.Sample(rng_) % 20));
+    AddField(&tree, root, "isbn", "isbn" + std::to_string(rng_.Next() % 997));
+  } else {  // theses
+    AddField(&tree, root, "school",
+             "school" + std::to_string(venue_zipf_.Sample(rng_) % 30));
+  }
+
+  if (rng_.NextDouble() < 0.6) {
+    AddField(&tree, root, "pages",
+             std::to_string(1 + rng_.NextBounded(500)));
+  }
+  if (rng_.NextDouble() < 0.5) {
+    tree.AddNode("ee", root);  // Electronic-edition marker, no value.
+  }
+  if (rng_.NextDouble() < 0.3) {
+    tree.AddNode("url", root);
+  }
+
+  ++trees_generated_;
+  return tree;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,141 @@
+#include "datagen/treebank_gen.h"
+
+namespace sketchtree {
+
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+
+const char* const kNouns[] = {"NN", "NNS", "NNP"};
+const char* const kVerbs[] = {"VBD", "VBZ", "VBP", "VB"};
+const char* const kWhWords[] = {"WP", "WRB", "WDT"};
+
+}  // namespace
+
+TreebankGenerator::TreebankGenerator(const TreebankGenOptions& options)
+    : options_(options), rng_(options.seed, /*stream=*/0x7b) {}
+
+LabeledTree TreebankGenerator::Next() {
+  LabeledTree tree;
+  // ~12% of sentences are questions (SBARQ), the rest declaratives (S) —
+  // gives the question-answering queries of Examples 5–6 non-trivial
+  // counts.
+  if (rng_.NextDouble() < 0.12) {
+    NodeId root = tree.AddNode("SBARQ", LabeledTree::kInvalidNode);
+    ExpandWhQuestion(&tree, root, 1);
+  } else {
+    NodeId root = tree.AddNode("S", LabeledTree::kInvalidNode);
+    ExpandS(&tree, root, 1);
+  }
+  ++trees_generated_;
+  return tree;
+}
+
+void TreebankGenerator::ExpandS(LabeledTree* tree, NodeId parent, int depth) {
+  // S -> NP VP (.) with optional leading ADVP.
+  if (rng_.NextDouble() < 0.15) {
+    NodeId advp = tree->AddNode("ADVP", parent);
+    tree->AddNode("RB", advp);
+  }
+  ExpandNP(tree, parent, depth + 1);
+  ExpandVP(tree, parent, depth + 1);
+}
+
+void TreebankGenerator::ExpandNP(LabeledTree* tree, NodeId parent,
+                                 int depth) {
+  NodeId np = tree->AddNode("NP", parent);
+  double roll = rng_.NextDouble();
+  if (roll < 0.25) {
+    tree->AddNode("PRP", np);  // Pronoun.
+    return;
+  }
+  if (roll < 0.5) {
+    tree->AddNode("DT", np);
+    tree->AddNode(kNouns[rng_.NextBounded(3)], np);
+  } else if (roll < 0.7) {
+    tree->AddNode("DT", np);
+    tree->AddNode("JJ", np);
+    tree->AddNode(kNouns[rng_.NextBounded(3)], np);
+  } else {
+    tree->AddNode(kNouns[rng_.NextBounded(3)], np);
+  }
+  // Recursive modifiers keep TREEBANK narrow but deep.
+  if (depth < options_.max_depth && rng_.NextDouble() < 0.3) {
+    ExpandPP(tree, np, depth + 1);
+  }
+  if (depth < options_.max_depth && rng_.NextDouble() < 0.12) {
+    ExpandSBAR(tree, np, depth + 1);  // Relative clause.
+  }
+}
+
+void TreebankGenerator::ExpandVP(LabeledTree* tree, NodeId parent,
+                                 int depth) {
+  NodeId vp = tree->AddNode("VP", parent);
+  tree->AddNode(kVerbs[rng_.NextBounded(4)], vp);
+  double roll = rng_.NextDouble();
+  if (depth >= options_.max_depth) {
+    if (roll < 0.6) ExpandNPShallow(tree, vp);
+    return;
+  }
+  if (roll < 0.45) {
+    ExpandNP(tree, vp, depth + 1);  // Transitive.
+  } else if (roll < 0.6) {
+    ExpandNP(tree, vp, depth + 1);  // Ditransitive.
+    ExpandNP(tree, vp, depth + 1);
+  } else if (roll < 0.75) {
+    ExpandPP(tree, vp, depth + 1);
+  } else if (roll < 0.88) {
+    ExpandSBAR(tree, vp, depth + 1);  // Clausal complement.
+  }
+  // else intransitive.
+}
+
+void TreebankGenerator::ExpandPP(LabeledTree* tree, NodeId parent,
+                                 int depth) {
+  NodeId pp = tree->AddNode("PP", parent);
+  tree->AddNode("IN", pp);
+  if (depth < options_.max_depth) {
+    ExpandNP(tree, pp, depth + 1);
+  } else {
+    ExpandNPShallow(tree, pp);
+  }
+}
+
+void TreebankGenerator::ExpandSBAR(LabeledTree* tree, NodeId parent,
+                                   int depth) {
+  NodeId sbar = tree->AddNode("SBAR", parent);
+  if (rng_.NextDouble() < 0.5) tree->AddNode("IN", sbar);
+  if (depth < options_.max_depth) {
+    NodeId s = tree->AddNode("S", sbar);
+    ExpandS(tree, s, depth + 1);
+  } else {
+    NodeId s = tree->AddNode("S", sbar);
+    ExpandNPShallow(tree, s);
+    NodeId vp = tree->AddNode("VP", s);
+    tree->AddNode(kVerbs[rng_.NextBounded(4)], vp);
+  }
+}
+
+void TreebankGenerator::ExpandNPShallow(LabeledTree* tree, NodeId parent) {
+  NodeId np = tree->AddNode("NP", parent);
+  if (rng_.NextDouble() < 0.5) tree->AddNode("DT", np);
+  tree->AddNode(kNouns[rng_.NextBounded(3)], np);
+}
+
+void TreebankGenerator::ExpandWhQuestion(LabeledTree* tree, NodeId parent,
+                                         int depth) {
+  // SBARQ -> WHNP SQ, SQ -> VP(VBD|VBZ|VBP, NP) — the shape of Figure 5's
+  // question-answering patterns Q1/Q2.
+  NodeId whnp = tree->AddNode("WHNP", parent);
+  tree->AddNode(kWhWords[rng_.NextBounded(3)], whnp);
+  NodeId sq = tree->AddNode("SQ", parent);
+  NodeId vp = tree->AddNode("VP", sq);
+  tree->AddNode(kVerbs[rng_.NextBounded(3)], vp);  // VBD | VBZ | VBP.
+  if (depth < options_.max_depth) {
+    ExpandNP(tree, vp, depth + 1);
+  } else {
+    ExpandNPShallow(tree, vp);
+  }
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,57 @@
+#ifndef SKETCHTREE_DATAGEN_TREEBANK_GEN_H_
+#define SKETCHTREE_DATAGEN_TREEBANK_GEN_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// Synthetic stand-in for the TREEBANK dataset (Section 7.2): narrow,
+/// deep parse trees with recursive element names (clauses nested inside
+/// clauses) and *no* text values — the real corpus's values were
+/// encrypted, so the paper's TREEBANK queries use element names only.
+///
+/// Trees are produced by a small probabilistic Penn-Treebank-style
+/// grammar: S expands to NP/VP constituents, VPs can embed SBAR/S
+/// recursively, NPs can embed PPs, and so on. Depth is capped; near the
+/// cap, expansions collapse to preterminals, keeping tree sizes in the
+/// tens of nodes while preserving the deep/narrow/recursive shape that
+/// drives the paper's TREEBANK results (gradual skew: errors improve
+/// steadily with top-k size, Section 7.6).
+struct TreebankGenOptions {
+  uint64_t seed = 1;
+  int max_depth = 12;  ///< Maximum nesting of constituents.
+};
+
+class TreebankGenerator {
+ public:
+  explicit TreebankGenerator(const TreebankGenOptions& options = {});
+
+  /// Generates the next parse tree of the stream. Deterministic for a
+  /// given seed: re-constructing with the same options replays the same
+  /// stream (used for the two-pass workload builder).
+  LabeledTree Next();
+
+  uint64_t trees_generated() const { return trees_generated_; }
+
+ private:
+  void ExpandS(LabeledTree* tree, LabeledTree::NodeId parent, int depth);
+  void ExpandNP(LabeledTree* tree, LabeledTree::NodeId parent, int depth);
+  void ExpandVP(LabeledTree* tree, LabeledTree::NodeId parent, int depth);
+  void ExpandPP(LabeledTree* tree, LabeledTree::NodeId parent, int depth);
+  void ExpandSBAR(LabeledTree* tree, LabeledTree::NodeId parent, int depth);
+  void ExpandWhQuestion(LabeledTree* tree, LabeledTree::NodeId parent,
+                        int depth);
+  /// Depth-capped NP: a determiner/noun pair with no recursion.
+  void ExpandNPShallow(LabeledTree* tree, LabeledTree::NodeId parent);
+
+  TreebankGenOptions options_;
+  Pcg64 rng_;
+  uint64_t trees_generated_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_DATAGEN_TREEBANK_GEN_H_

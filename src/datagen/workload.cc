@@ -1,0 +1,133 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+
+#include "enumtree/enum_tree.h"
+
+namespace sketchtree {
+
+std::vector<size_t> Workload::QueriesInRange(size_t r) const {
+  std::vector<size_t> out;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (ranges[r].Contains(queries[q].selectivity)) out.push_back(q);
+  }
+  return out;
+}
+
+WorkloadBuilder::WorkloadBuilder(ExactCounter* exact,
+                                 std::vector<SelectivityRange> ranges,
+                                 size_t max_per_range, uint64_t seed,
+                                 double acceptance_probability)
+    : exact_(exact),
+      ranges_(std::move(ranges)),
+      max_per_range_(max_per_range),
+      acceptance_probability_(acceptance_probability),
+      rng_(seed, /*stream=*/0x301c),
+      buckets_(ranges_.size()) {}
+
+void WorkloadBuilder::Collect(const LabeledTree& tree, int max_edges) {
+  if (Full()) return;
+  const double total = static_cast<double>(exact_->total_patterns());
+  EnumerateTreePatterns(
+      tree, max_edges,
+      [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
+        uint64_t value =
+            exact_->canonicalizer()->MapPatternEdges(tree, root, edges);
+        if (taken_.count(value) != 0) return;
+        uint64_t count = exact_->CountValue(value);
+        double selectivity = static_cast<double>(count) / total;
+        for (size_t r = 0; r < ranges_.size(); ++r) {
+          if (!ranges_[r].Contains(selectivity)) continue;
+          if (buckets_[r].size() >= max_per_range_) return;
+          if (acceptance_probability_ < 1.0 &&
+              rng_.NextDouble() >= acceptance_probability_) {
+            return;  // Thinning: leave this value for a later occurrence.
+          }
+          WorkloadQuery query;
+          query.pattern = ExtractPattern(tree, root, edges);
+          query.actual_count = count;
+          query.selectivity = selectivity;
+          buckets_[r].push_back(std::move(query));
+          taken_.insert(value);
+          return;
+        }
+      });
+}
+
+bool WorkloadBuilder::Full() const {
+  for (const auto& bucket : buckets_) {
+    if (bucket.size() < max_per_range_) return false;
+  }
+  return true;
+}
+
+Workload WorkloadBuilder::Build() {
+  Workload workload;
+  workload.ranges = ranges_;
+  for (auto& bucket : buckets_) {
+    for (auto& query : bucket) workload.queries.push_back(std::move(query));
+    bucket.clear();
+  }
+  return workload;
+}
+
+namespace {
+
+std::vector<CompositeQuery> MakeCompositeWorkload(const Workload& base,
+                                                  size_t arity, size_t count,
+                                                  uint64_t denominator,
+                                                  uint64_t seed,
+                                                  bool product) {
+  std::vector<CompositeQuery> out;
+  if (base.queries.size() < arity || arity == 0) return out;
+  Pcg64 rng(seed, /*stream=*/product ? 0xbe7a : 0xa1fa);
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    CompositeQuery composite;
+    // Draw `arity` distinct base-query indices.
+    while (composite.components.size() < arity) {
+      size_t candidate = rng.NextBounded(base.queries.size());
+      if (std::find(composite.components.begin(), composite.components.end(),
+                    candidate) == composite.components.end()) {
+        composite.components.push_back(candidate);
+      }
+    }
+    if (product) {
+      uint64_t acc = 1;
+      for (size_t q : composite.components) {
+        acc *= base.queries[q].actual_count;
+      }
+      composite.actual = acc;
+    } else {
+      uint64_t acc = 0;
+      for (size_t q : composite.components) {
+        acc += base.queries[q].actual_count;
+      }
+      composite.actual = acc;
+    }
+    composite.selectivity =
+        static_cast<double>(composite.actual) / denominator;
+    out.push_back(std::move(composite));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CompositeQuery> MakeSumWorkload(const Workload& base,
+                                            size_t arity, size_t count,
+                                            uint64_t denominator,
+                                            uint64_t seed) {
+  return MakeCompositeWorkload(base, arity, count, denominator, seed,
+                               /*product=*/false);
+}
+
+std::vector<CompositeQuery> MakeProductWorkload(const Workload& base,
+                                                size_t count,
+                                                uint64_t denominator,
+                                                uint64_t seed) {
+  return MakeCompositeWorkload(base, /*arity=*/2, count, denominator, seed,
+                               /*product=*/true);
+}
+
+}  // namespace sketchtree

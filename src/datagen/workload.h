@@ -1,0 +1,95 @@
+#ifndef SKETCHTREE_DATAGEN_WORKLOAD_H_
+#define SKETCHTREE_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "exact/exact_counter.h"
+#include "stats/error_stats.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// One single-pattern query of a workload, with its ground truth.
+struct WorkloadQuery {
+  LabeledTree pattern;
+  uint64_t actual_count = 0;
+  double selectivity = 0.0;  ///< actual_count / total patterns in stream.
+};
+
+/// A query workload bucketed by selectivity, as in Figure 8.
+struct Workload {
+  std::vector<SelectivityRange> ranges;
+  std::vector<WorkloadQuery> queries;
+
+  /// Indices of queries whose selectivity falls in ranges[r].
+  std::vector<size_t> QueriesInRange(size_t r) const;
+};
+
+/// Builds a workload the way the paper did (Section 7.3): query patterns
+/// are *selected from the dataset itself* with the desired selectivities.
+/// Usage is two-pass over the (deterministically re-generated) stream:
+///
+///   pass 1: feed every tree to an ExactCounter            (true counts)
+///   pass 2: feed every tree to WorkloadBuilder::Collect   (representatives)
+///
+/// Collect re-enumerates each tree's patterns, keeps those whose true
+/// selectivity lands in a requested range, deduplicates by canonical
+/// value, and randomly thins acceptances so queries are drawn from across
+/// the whole stream rather than its prefix.
+class WorkloadBuilder {
+ public:
+  /// `exact` must have already processed the full stream (pass 1) and must
+  /// outlive the builder. `max_per_range` caps each bucket;
+  /// `acceptance_probability` thins candidate patterns (1.0 = greedy).
+  WorkloadBuilder(ExactCounter* exact, std::vector<SelectivityRange> ranges,
+                  size_t max_per_range, uint64_t seed,
+                  double acceptance_probability = 0.25);
+
+  /// Pass-2 visit of one stream tree.
+  void Collect(const LabeledTree& tree, int max_edges);
+
+  /// True when every bucket is full (Collect may be stopped early).
+  bool Full() const;
+
+  Workload Build();
+
+ private:
+  ExactCounter* exact_;
+  std::vector<SelectivityRange> ranges_;
+  size_t max_per_range_;
+  double acceptance_probability_;
+  Pcg64 rng_;
+  std::vector<std::vector<WorkloadQuery>> buckets_;
+  std::unordered_set<uint64_t> taken_;
+};
+
+/// A composite query over `arity` distinct base queries: the SUM workload
+/// estimates sum(counts), the PRODUCT workload prod(counts)
+/// (Sections 7.8–7.9).
+struct CompositeQuery {
+  std::vector<size_t> components;  ///< Indices into the base workload.
+  uint64_t actual = 0;
+  double selectivity = 0.0;
+};
+
+/// Random `count` combinations of `arity` distinct base queries with
+/// actual = sum of counts, selectivity = actual / denominator (the
+/// paper's SUM workload construction, Section 7.8.1).
+std::vector<CompositeQuery> MakeSumWorkload(const Workload& base,
+                                            size_t arity, size_t count,
+                                            uint64_t denominator,
+                                            uint64_t seed);
+
+/// Random `count` pairs of distinct base queries with actual = product of
+/// counts, selectivity = actual / denominator (Section 7.9.1).
+std::vector<CompositeQuery> MakeProductWorkload(const Workload& base,
+                                                size_t count,
+                                                uint64_t denominator,
+                                                uint64_t seed);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_DATAGEN_WORKLOAD_H_

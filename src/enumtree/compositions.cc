@@ -1,0 +1,74 @@
+#include "enumtree/compositions.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sketchtree {
+
+namespace {
+
+void CompositionsRec(int total, const std::vector<int>& caps, size_t part,
+                     int suffix_cap,  // Sum of caps[part..] (prunes early).
+                     std::vector<int>* current,
+                     const std::function<void(const std::vector<int>&)>& cb) {
+  if (part == caps.size()) {
+    if (total == 0) cb(*current);
+    return;
+  }
+  if (total > suffix_cap) return;  // Remaining parts cannot absorb `total`.
+  int next_suffix = suffix_cap - caps[part];
+  int lo = std::max(0, total - next_suffix);
+  int hi = std::min(caps[part], total);
+  for (int x = lo; x <= hi; ++x) {
+    (*current)[part] = x;
+    CompositionsRec(total - x, caps, part + 1, next_suffix, current, cb);
+  }
+}
+
+}  // namespace
+
+void ForEachComposition(
+    int total, const std::vector<int>& caps,
+    const std::function<void(const std::vector<int>&)>& callback) {
+  if (total < 0) return;
+  if (caps.empty()) {
+    if (total == 0) {
+      std::vector<int> empty;
+      callback(empty);
+    }
+    return;
+  }
+  int suffix_cap = std::accumulate(caps.begin(), caps.end(), 0);
+  std::vector<int> current(caps.size(), 0);
+  CompositionsRec(total, caps, 0, suffix_cap, &current, callback);
+}
+
+void ForEachCombination(
+    int n, int t,
+    const std::function<void(const std::vector<int>&)>& callback) {
+  if (t < 0 || t > n) return;
+  std::vector<int> indices(t);
+  std::iota(indices.begin(), indices.end(), 0);
+  if (t == 0) {
+    callback(indices);
+    return;
+  }
+  while (true) {
+    callback(indices);
+    // Advance to the next lexicographic combination.
+    int i = t - 1;
+    while (i >= 0 && indices[i] == n - t + i) --i;
+    if (i < 0) break;
+    ++indices[i];
+    for (int j = i + 1; j < t; ++j) indices[j] = indices[j - 1] + 1;
+  }
+}
+
+uint64_t CountCompositions(int total, const std::vector<int>& caps) {
+  uint64_t count = 0;
+  ForEachComposition(total, caps,
+                     [&](const std::vector<int>&) { ++count; });
+  return count;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,37 @@
+#ifndef SKETCHTREE_ENUMTREE_COMPOSITIONS_H_
+#define SKETCHTREE_ENUMTREE_COMPOSITIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sketchtree {
+
+/// Enumerates all weak compositions of `total` into `caps.size()` parts
+/// with part m bounded by caps[m]:
+///   x_0 + x_1 + ... + x_{t-1} == total,  0 <= x_m <= caps[m].
+///
+/// EnumTree (Algorithm 3, line 12) uses this to distribute the remaining
+/// `k - t` pattern edges over the `t` selected children; the caps prune
+/// branches where a child's subtree cannot possibly supply that many edges.
+///
+/// The callback receives each solution vector; it must not retain the
+/// reference past the call.
+void ForEachComposition(
+    int total, const std::vector<int>& caps,
+    const std::function<void(const std::vector<int>&)>& callback);
+
+/// Enumerates all size-`t` subsets of {0, 1, ..., n-1} in lexicographic
+/// order (EnumTree's child-edge selection, Algorithm 3 line 10). The
+/// callback receives the selected indices in increasing order.
+void ForEachCombination(
+    int n, int t,
+    const std::function<void(const std::vector<int>&)>& callback);
+
+/// Number of weak compositions of `total` into parts bounded by `caps`,
+/// used by tests as an independent oracle.
+uint64_t CountCompositions(int total, const std::vector<int>& caps);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_ENUMTREE_COMPOSITIONS_H_

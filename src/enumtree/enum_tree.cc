@@ -1,0 +1,174 @@
+#include "enumtree/enum_tree.h"
+
+#include <algorithm>
+
+#include "enumtree/compositions.h"
+
+namespace sketchtree {
+
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+using Pattern = std::vector<PatternEdge>;
+
+/// Memoized enumeration state for one input tree (Algorithm 3).
+class EnumTreeImpl {
+ public:
+  EnumTreeImpl(const LabeledTree& tree, int max_edges)
+      : tree_(tree), k_(max_edges) {
+    memo_.resize(tree.size());
+    subtree_edges_.resize(tree.size(), 0);
+  }
+
+  uint64_t Run(const PatternVisitor& visitor) {
+    uint64_t emitted = 0;
+    for (NodeId i : tree_.PostorderIds()) {
+      // Children are memoized already (postorder).
+      subtree_edges_[i] = 0;
+      for (NodeId c : tree_.children(i)) {
+        subtree_edges_[i] += subtree_edges_[c] + 1;
+      }
+      ComputeNode(i);
+      for (int j = 1; j <= k_; ++j) {
+        for (const Pattern& pattern : memo_[i][j - 1]) {
+          visitor(i, pattern);
+          ++emitted;
+        }
+      }
+    }
+    return emitted;
+  }
+
+ private:
+  /// Fills memo_[i][j-1] for all j in [1, k].
+  void ComputeNode(NodeId i) {
+    memo_[i].assign(k_, {});
+    const auto& children = tree_.children(i);
+    const int fanout = static_cast<int>(children.size());
+    if (fanout == 0) return;
+
+    for (int j = 1; j <= std::min(k_, subtree_edges_[i]); ++j) {
+      std::vector<Pattern>* out_bucket = &memo_[i][j - 1];
+      const int max_t = std::min(fanout, j);
+      for (int t = 1; t <= max_t; ++t) {
+        ForEachCombination(fanout, t, [&](const std::vector<int>& picked) {
+          // Remaining j - t edges are distributed over the picked
+          // children, each capped by its subtree's edge capacity (and by
+          // k - 1, the largest memoized size).
+          std::vector<int> caps(t);
+          for (int m = 0; m < t; ++m) {
+            caps[m] = std::min(subtree_edges_[children[picked[m]]], j - t);
+          }
+          ForEachComposition(j - t, caps, [&](const std::vector<int>& xs) {
+            EmitProducts(i, children, picked, xs, out_bucket);
+          });
+        });
+      }
+    }
+  }
+
+  /// Cartesian product of memoized child results (Equation 9): every
+  /// combination of one sub-pattern per picked child (the empty pattern
+  /// when x_m == 0) plus the picked child edges forms one pattern of j
+  /// edges rooted at i, appended to *out. Note `out` points into
+  /// memo_[i], which is never reallocated while this runs because i's
+  /// sub-results live in its descendants' memos.
+  void EmitProducts(NodeId i, const std::vector<NodeId>& children,
+                    const std::vector<int>& picked,
+                    const std::vector<int>& xs, std::vector<Pattern>* out) {
+    const int t = static_cast<int>(picked.size());
+    // choice[m] indexes into memo_[child_m][xs[m]-1]; -1 means "empty
+    // pattern" (xs[m] == 0, the paper's bottom element).
+    Pattern current;
+    current.reserve(t + 8);
+    for (int m = 0; m < t; ++m) {
+      current.emplace_back(i, children[picked[m]]);
+    }
+
+    // Bail out early if any picked child has no qualifying sub-pattern.
+    for (int m = 0; m < t; ++m) {
+      if (xs[m] > 0 && memo_[children[picked[m]]][xs[m] - 1].empty()) return;
+    }
+
+    // Iterative odometer over the product space.
+    std::vector<size_t> choice(t, 0);
+    while (true) {
+      Pattern pattern = current;
+      for (int m = 0; m < t; ++m) {
+        if (xs[m] == 0) continue;
+        const Pattern& sub = memo_[children[picked[m]]][xs[m] - 1][choice[m]];
+        pattern.insert(pattern.end(), sub.begin(), sub.end());
+      }
+      out->push_back(std::move(pattern));
+
+      int m = t - 1;
+      while (m >= 0) {
+        size_t bucket_size =
+            xs[m] == 0 ? 1 : memo_[children[picked[m]]][xs[m] - 1].size();
+        if (++choice[m] < bucket_size) break;
+        choice[m] = 0;
+        --m;
+      }
+      if (m < 0) break;
+    }
+  }
+
+  const LabeledTree& tree_;
+  const int k_;
+  // memo_[node][j-1]: all patterns with exactly j edges rooted at node.
+  std::vector<std::vector<std::vector<Pattern>>> memo_;
+  std::vector<int> subtree_edges_;
+};
+
+}  // namespace
+
+uint64_t EnumerateTreePatterns(const LabeledTree& tree, int max_edges,
+                               const PatternVisitor& visitor) {
+  if (tree.empty() || max_edges <= 0) return 0;
+  EnumTreeImpl impl(tree, max_edges);
+  return impl.Run(visitor);
+}
+
+uint64_t CountTreePatterns(const LabeledTree& tree, int max_edges) {
+  if (tree.empty() || max_edges <= 0) return 0;
+  // Count-only dynamic program: C(i, j) = number of patterns of exactly j
+  // edges rooted at i. Much cheaper than materializing the patterns.
+  const int k = max_edges;
+  std::vector<std::vector<uint64_t>> counts(tree.size(),
+                                            std::vector<uint64_t>(k + 1, 0));
+  std::vector<int> subtree_edges(tree.size(), 0);
+  uint64_t total = 0;
+  for (LabeledTree::NodeId i : tree.PostorderIds()) {
+    counts[i][0] = 1;  // The empty pattern (node only); not emitted.
+    int cap = 0;
+    for (LabeledTree::NodeId c : tree.children(i)) {
+      cap += subtree_edges[c] + 1;
+    }
+    subtree_edges[i] = cap;
+    const auto& children = tree.children(i);
+    const int fanout = static_cast<int>(children.size());
+    for (int j = 1; j <= std::min(k, cap); ++j) {
+      const int max_t = std::min(fanout, j);
+      for (int t = 1; t <= max_t; ++t) {
+        ForEachCombination(fanout, t, [&](const std::vector<int>& picked) {
+          std::vector<int> caps(t);
+          for (int m = 0; m < t; ++m) {
+            caps[m] = std::min(subtree_edges[children[picked[m]]], j - t);
+          }
+          ForEachComposition(j - t, caps, [&](const std::vector<int>& xs) {
+            uint64_t product = 1;
+            for (int m = 0; m < t; ++m) {
+              product *= counts[children[picked[m]]][xs[m]];
+              if (product == 0) break;
+            }
+            counts[i][j] += product;
+          });
+        });
+      }
+      total += counts[i][j];
+    }
+  }
+  return total;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,44 @@
+#ifndef SKETCHTREE_ENUMTREE_ENUM_TREE_H_
+#define SKETCHTREE_ENUMTREE_ENUM_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// One edge of a tree pattern, as a (parent, child) pair of data-tree node
+/// ids — the representation used by Algorithm 3 in the paper.
+using PatternEdge = std::pair<LabeledTree::NodeId, LabeledTree::NodeId>;
+
+/// Receives each enumerated pattern: the node the pattern is rooted at and
+/// its edge set (edges of the data tree). The edge vector is reused across
+/// calls; copy it if you need to keep it.
+using PatternVisitor = std::function<void(
+    LabeledTree::NodeId root, const std::vector<PatternEdge>& edges)>;
+
+/// EnumTree (Section 5.1, Algorithm 3): enumerates every ordered tree
+/// pattern of the data tree with 1 to `max_edges` edges — i.e., every
+/// connected subtree induced by an edge subset. Patterns are emitted for
+/// every root in postorder; for a fixed root, patterns of j edges are
+/// emitted before patterns of j+1.
+///
+/// Larger patterns are composed from memoized smaller ones: P(i, n) picks
+/// t >= 1 child edges of i, distributes the remaining n - t edges over the
+/// selected children (integer compositions, capped by each child's subtree
+/// size), and takes the Cartesian product of the memoized child results.
+/// Memos are scoped to this call (the stream processes one tree at a time).
+///
+/// Returns the number of patterns emitted.
+uint64_t EnumerateTreePatterns(const LabeledTree& tree, int max_edges,
+                               const PatternVisitor& visitor);
+
+/// Counts the patterns without visiting them (same traversal).
+uint64_t CountTreePatterns(const LabeledTree& tree, int max_edges);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_ENUMTREE_ENUM_TREE_H_

@@ -1,0 +1,161 @@
+#include "enumtree/pattern.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sketchtree {
+
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+
+/// Children of `node` selected by `edges`, in document order. NodeIds are
+/// assigned monotonically as nodes are appended in document order, so
+/// ascending id order is document order.
+void SelectedChildren(NodeId node, const std::vector<PatternEdge>& edges,
+                      std::vector<NodeId>* out) {
+  out->clear();
+  for (const PatternEdge& e : edges) {
+    if (e.first == node) out->push_back(e.second);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace
+
+LabeledTree ExtractPattern(const LabeledTree& tree, NodeId root,
+                           const std::vector<PatternEdge>& edges) {
+  LabeledTree out;
+  std::vector<NodeId> kids;
+  // DFS; stack frames carry (data node, parent in the output tree).
+  struct Frame {
+    NodeId data_node;
+    NodeId out_parent;
+  };
+  std::vector<Frame> stack = {{root, LabeledTree::kInvalidNode}};
+  std::vector<NodeId> scratch;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    NodeId id = out.AddNode(tree.label(f.data_node), f.out_parent);
+    SelectedChildren(f.data_node, edges, &scratch);
+    // Push in reverse so children are emitted left-to-right.
+    for (auto it = scratch.rbegin(); it != scratch.rend(); ++it) {
+      stack.push_back({*it, id});
+    }
+  }
+  return out;
+}
+
+uint64_t PatternCanonicalizer::MapPatternEdges(
+    const LabeledTree& tree, NodeId root,
+    const std::vector<PatternEdge>& edges) {
+  const int32_t n = static_cast<int32_t>(edges.size()) + 1;
+  labels_.resize(n);
+  if (static_cast<int32_t>(kids_.size()) < n) kids_.resize(n);
+  for (int32_t i = 0; i < n; ++i) kids_[i].clear();
+
+  // Build the local tree in DFS preorder: local index 0 is the root;
+  // every node's children are appended in document order. `pending`
+  // frames carry (data node, local index already assigned).
+  std::vector<std::pair<NodeId, int32_t>> pending;
+  pending.emplace_back(root, 0);
+  labels_[0] = hasher_->Hash(tree.label(root));
+  int32_t next_local = 1;
+  std::vector<NodeId> scratch;
+  while (!pending.empty()) {
+    auto [data_node, local] = pending.back();
+    pending.pop_back();
+    SelectedChildren(data_node, edges, &scratch);
+    for (NodeId child : scratch) {
+      int32_t child_local = next_local++;
+      labels_[child_local] = hasher_->Hash(tree.label(child));
+      kids_[local].push_back(child_local);
+      pending.emplace_back(child, child_local);
+    }
+  }
+  assert(next_local == n && "edges do not form a tree rooted at root");
+  return FingerprintLocalTree(n);
+}
+
+uint64_t PatternCanonicalizer::MapPatternTree(const LabeledTree& pattern) {
+  assert(!pattern.empty());
+  const int32_t n = pattern.size();
+  labels_.resize(n);
+  if (static_cast<int32_t>(kids_.size()) < n) kids_.resize(n);
+  for (int32_t i = 0; i < n; ++i) kids_[i].clear();
+
+  // Map pattern NodeIds to local DFS-preorder indices so the two entry
+  // points produce identical local structures for identical shapes.
+  std::vector<std::pair<NodeId, int32_t>> pending;
+  pending.emplace_back(pattern.root(), 0);
+  labels_[0] = hasher_->Hash(pattern.label(pattern.root()));
+  int32_t next_local = 1;
+  while (!pending.empty()) {
+    auto [node, local] = pending.back();
+    pending.pop_back();
+    for (NodeId child : pattern.children(node)) {
+      int32_t child_local = next_local++;
+      labels_[child_local] = hasher_->Hash(pattern.label(child));
+      kids_[local].push_back(child_local);
+      pending.emplace_back(child, child_local);
+    }
+  }
+  return FingerprintLocalTree(n);
+}
+
+uint64_t PatternCanonicalizer::FingerprintLocalTree(int32_t n) {
+  // Mirrors ExtendedPrufer() in prufer/prufer.cc, but on the scratch local
+  // tree with hashed labels and with the LPS emitted as hash tokens.
+  number_.assign(n, 0);
+  dummy_number_.assign(n, 0);
+
+  // Iterative postorder over local indices; root is 0.
+  stack_.clear();
+  stack_.emplace_back(0, 0);
+  int32_t counter = 0;
+  // Record postorder visit order to drive pass 2 without re-traversal.
+  std::vector<int32_t> postorder;
+  postorder.reserve(n);
+  while (!stack_.empty()) {
+    auto& [v, next_child] = stack_.back();
+    if (next_child < kids_[v].size()) {
+      int32_t c = kids_[v][next_child];
+      ++next_child;
+      stack_.emplace_back(c, 0);
+    } else {
+      if (kids_[v].empty()) dummy_number_[v] = ++counter;
+      number_[v] = ++counter;
+      postorder.push_back(v);
+      stack_.pop_back();
+    }
+  }
+  const int32_t extended_size = counter;
+
+  // Sequence entries in number order 1..extended_size-1.
+  lps_tokens_.assign(extended_size - 1, 0);
+  nps_tokens_.assign(extended_size - 1, 0);
+  // Parent of each local node: derive from kids_ during emission.
+  for (int32_t v : postorder) {
+    if (kids_[v].empty()) {
+      int32_t slot = dummy_number_[v] - 1;
+      lps_tokens_[slot] = labels_[v];
+      nps_tokens_[slot] = number_[v];
+    }
+    for (int32_t c : kids_[v]) {
+      int32_t slot = number_[c] - 1;
+      lps_tokens_[slot] = labels_[v];
+      nps_tokens_[slot] = number_[v];
+    }
+  }
+
+  // Fingerprint LPS . NPS with the length folded in (Fingerprint does the
+  // folding; we emulate it over the two buffers to avoid concatenating).
+  uint64_t fp = fingerprinter_->Fingerprint(lps_tokens_);
+  for (uint64_t token : nps_tokens_) {
+    fp = fingerprinter_->Extend(fp, static_cast<uint64_t>(token));
+  }
+  return fp;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,71 @@
+#ifndef SKETCHTREE_ENUMTREE_PATTERN_H_
+#define SKETCHTREE_ENUMTREE_PATTERN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "enumtree/enum_tree.h"
+#include "hashing/label_hasher.h"
+#include "hashing/rabin.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// Materializes the pattern given by `(root, edges)` of `tree` as a
+/// standalone LabeledTree: nodes keep their labels and their relative
+/// document order. Used for tests, examples, and workload representatives
+/// (the hot path uses PatternCanonicalizer and never builds this tree).
+LabeledTree ExtractPattern(const LabeledTree& tree, LabeledTree::NodeId root,
+                           const std::vector<PatternEdge>& edges);
+
+/// Computes the canonical one-dimensional value of a tree pattern
+/// (Section 2.3): extend leaves with dummy children, number all nodes of
+/// the *pattern* in postorder, derive LPS and NPS, and map the token
+/// sequence LPS . NPS to a Rabin residue. Every structurally identical
+/// ordered labeled pattern yields the same value regardless of where it
+/// occurs in the data.
+///
+/// One instance is reused across all patterns of a stream: scratch buffers
+/// are kept between calls so the per-pattern cost is linear in the pattern
+/// size with no allocation in the steady state.
+class PatternCanonicalizer {
+ public:
+  /// Both pointers must outlive the canonicalizer; `hasher` must be built
+  /// over the same fingerprinter so label hashes and the sequence
+  /// fingerprint share one irreducible polynomial.
+  PatternCanonicalizer(const RabinFingerprinter* fingerprinter,
+                       LabelHasher* hasher)
+      : fingerprinter_(fingerprinter), hasher_(hasher) {}
+
+  /// 1-D value of a pattern of `tree` given as an edge set rooted at
+  /// `root` (what EnumTree emits). `edges` may be in any order. An empty
+  /// edge set denotes the single-node pattern {root}.
+  uint64_t MapPatternEdges(const LabeledTree& tree, LabeledTree::NodeId root,
+                           const std::vector<PatternEdge>& edges);
+
+  /// 1-D value of a free-standing pattern/query tree. Guaranteed to match
+  /// MapPatternEdges for occurrences of the same ordered labeled shape.
+  uint64_t MapPatternTree(const LabeledTree& pattern);
+
+ private:
+  /// Shared tail: extended-Prüfer tokens of the local structure currently
+  /// in labels_/kids_ (root at local index 0), fingerprinted.
+  uint64_t FingerprintLocalTree(int32_t n);
+
+  const RabinFingerprinter* fingerprinter_;
+  LabelHasher* hasher_;
+
+  // Scratch local tree (indices 0..n-1, root at 0) reused across calls.
+  std::vector<uint64_t> labels_;
+  std::vector<std::vector<int32_t>> kids_;
+  // Scratch buffers for the Prüfer pass.
+  std::vector<int32_t> number_;
+  std::vector<int32_t> dummy_number_;
+  std::vector<uint64_t> lps_tokens_;
+  std::vector<uint64_t> nps_tokens_;
+  std::vector<std::pair<int32_t, size_t>> stack_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_ENUMTREE_PATTERN_H_

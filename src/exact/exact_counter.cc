@@ -1,0 +1,59 @@
+#include "exact/exact_counter.h"
+
+#include "enumtree/enum_tree.h"
+#include "query/unordered.h"
+
+namespace sketchtree {
+
+ExactCounter::ExactCounter(std::unique_ptr<RabinFingerprinter> fingerprinter)
+    : fingerprinter_(std::move(fingerprinter)),
+      hasher_(std::make_unique<LabelHasher>(fingerprinter_.get())),
+      canonicalizer_(std::make_unique<PatternCanonicalizer>(
+          fingerprinter_.get(), hasher_.get())) {}
+
+Result<ExactCounter> ExactCounter::Create(int degree, uint64_t seed) {
+  SKETCHTREE_ASSIGN_OR_RETURN(RabinFingerprinter fp,
+                              RabinFingerprinter::FromSeed(degree, seed));
+  return ExactCounter(std::make_unique<RabinFingerprinter>(std::move(fp)));
+}
+
+uint64_t ExactCounter::Update(const LabeledTree& tree, int max_edges) {
+  uint64_t emitted = EnumerateTreePatterns(
+      tree, max_edges,
+      [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
+        uint64_t value = canonicalizer_->MapPatternEdges(tree, root, edges);
+        ++counts_[value];
+      });
+  total_patterns_ += emitted;
+  ++trees_processed_;
+  return emitted;
+}
+
+uint64_t ExactCounter::CountOrdered(const LabeledTree& query) {
+  return CountValue(MapPattern(query));
+}
+
+Result<uint64_t> ExactCounter::CountExtended(const ExtendedQuery& query,
+                                             const StructuralSummary& summary,
+                                             int max_edges) {
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      std::vector<LabeledTree> resolved,
+      ResolveExtendedQuery(query, summary, max_edges));
+  uint64_t total = 0;
+  for (const LabeledTree& pattern : resolved) {
+    total += CountValue(canonicalizer_->MapPatternTree(pattern));
+  }
+  return total;
+}
+
+Result<uint64_t> ExactCounter::CountUnordered(const LabeledTree& query) {
+  SKETCHTREE_ASSIGN_OR_RETURN(std::vector<LabeledTree> arrangements,
+                              OrderedArrangements(query));
+  uint64_t total = 0;
+  for (const LabeledTree& arrangement : arrangements) {
+    total += CountValue(canonicalizer_->MapPatternTree(arrangement));
+  }
+  return total;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,110 @@
+#ifndef SKETCHTREE_EXACT_EXACT_COUNTER_H_
+#define SKETCHTREE_EXACT_EXACT_COUNTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "enumtree/pattern.h"
+#include "hashing/label_hasher.h"
+#include "hashing/rabin.h"
+#include "query/extended_query.h"
+#include "summary/structural_summary.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// The deterministic baseline of Section 2.2: one counter per distinct
+/// tree pattern, keyed by the same canonical 1-D mapping the sketches use.
+/// Serves three roles in this repository:
+///
+///  * the "naive counting" comparator whose memory blow-up motivates
+///    SketchTree (Table 1 counts its counters);
+///  * ground truth for every accuracy experiment (relative errors are
+///    measured against these counts);
+///  * the oracle for workload generation (selecting queries by
+///    selectivity requires true counts).
+///
+/// Constructed with the same fingerprint degree and seed as a SketchTree
+/// instance, its mapping is bit-identical to the sketch's, so both sides
+/// agree on what "a pattern" is (including any Rabin collisions, which
+/// then affect both equally — matching the paper's measurement setup).
+class ExactCounter {
+ public:
+  /// `degree`/`seed` must match the SketchTree options it is compared to.
+  static Result<ExactCounter> Create(int degree, uint64_t seed);
+
+  /// Enumerates all patterns of `tree` with 1..max_edges edges and bumps
+  /// their counters. Returns the number of patterns processed.
+  uint64_t Update(const LabeledTree& tree, int max_edges);
+
+  /// Exact count for a canonical value.
+  uint64_t CountValue(uint64_t value) const {
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Exact COUNT_ord(Q).
+  uint64_t CountOrdered(const LabeledTree& query);
+
+  /// Exact COUNT(Q) — sum over ordered arrangements (Section 3.3).
+  Result<uint64_t> CountUnordered(const LabeledTree& query);
+
+  /// Exact count of an extended query ('//', '*'), resolved against a
+  /// structural summary of the same stream (Section 6.2).
+  Result<uint64_t> CountExtended(const ExtendedQuery& query,
+                                 const StructuralSummary& summary,
+                                 int max_edges);
+
+  /// Canonical 1-D mapping of a pattern (same as the paired SketchTree).
+  uint64_t MapPattern(const LabeledTree& pattern) {
+    return canonicalizer_->MapPatternTree(pattern);
+  }
+
+  uint64_t distinct_patterns() const { return counts_.size(); }
+  uint64_t total_patterns() const { return total_patterns_; }
+  uint64_t trees_processed() const { return trees_processed_; }
+
+  /// Exact self-join size SJ(S) = sum over distinct values of count^2 —
+  /// the quantity every error bound in Section 3 depends on.
+  double SelfJoinSize() const {
+    double total = 0;
+    for (const auto& [value, count] : counts_) {
+      total += static_cast<double>(count) * static_cast<double>(count);
+    }
+    return total;
+  }
+
+  const std::unordered_map<uint64_t, uint64_t>& counts() const {
+    return counts_;
+  }
+
+  const RabinFingerprinter& fingerprinter() const { return *fingerprinter_; }
+
+  /// The shared canonical mapper (edge-set fast path included) — used by
+  /// the workload builder to map enumerated patterns identically.
+  PatternCanonicalizer* canonicalizer() { return canonicalizer_.get(); }
+
+  /// Bytes the naive approach needs: one (value, counter) pair per
+  /// distinct pattern — the figure Table 1's motivation contrasts with
+  /// the sketch sizes of Section 7.5.
+  size_t MemoryBytes() const {
+    return counts_.size() * (sizeof(uint64_t) + sizeof(uint64_t));
+  }
+
+ private:
+  ExactCounter(std::unique_ptr<RabinFingerprinter> fingerprinter);
+
+  std::unique_ptr<RabinFingerprinter> fingerprinter_;
+  std::unique_ptr<LabelHasher> hasher_;
+  std::unique_ptr<PatternCanonicalizer> canonicalizer_;
+  std::unordered_map<uint64_t, uint64_t> counts_;
+  uint64_t total_patterns_ = 0;
+  uint64_t trees_processed_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_EXACT_EXACT_COUNTER_H_

@@ -1,0 +1,48 @@
+#include "hashing/bch.h"
+
+#include <bit>
+
+#include "common/rng.h"
+#include "hashing/gf2.h"
+
+namespace sketchtree {
+
+namespace {
+
+constexpr int kFieldDegree = 61;
+
+int Parity(uint64_t bits) { return std::popcount(bits) & 1; }
+
+/// The GF(2^61) field polynomial. Independence comes entirely from the
+/// random parity vector s, so one fixed (randomly chosen once) field
+/// suffices for all generators — and keeps Create cheap.
+uint64_t FieldPolynomial() {
+  static const uint64_t poly = [] {
+    Pcg64 rng(0xF1E1D0, /*stream=*/0xbc4);
+    return *gf2::RandomIrreducible(kFieldDegree, rng);
+  }();
+  return poly;
+}
+
+}  // namespace
+
+Result<BchXiGenerator> BchXiGenerator::Create(uint64_t seed) {
+  Pcg64 rng(seed, /*stream=*/0xbc4);
+  const uint64_t mask = (uint64_t{1} << kFieldDegree) - 1;
+  uint64_t s0 = rng.Next() & 1;
+  uint64_t s1 = rng.Next() & mask;
+  uint64_t s2 = rng.Next() & mask;
+  return BchXiGenerator(FieldPolynomial(), s0, s1, s2);
+}
+
+int BchXiGenerator::Xi(uint64_t v) const {
+  // v's field representation (injective for v < 2^61; larger inputs are
+  // reduced, which merely aliases them to a field element).
+  uint64_t x = gf2::Reduce64(v, field_poly_);
+  uint64_t x2 = gf2::ModMul(x, x, field_poly_);
+  uint64_t x3 = gf2::ModMul(x2, x, field_poly_);
+  int bit = static_cast<int>(s0_) ^ Parity(s1_ & x) ^ Parity(s2_ & x3);
+  return bit ? -1 : +1;
+}
+
+}  // namespace sketchtree

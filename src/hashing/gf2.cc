@@ -1,0 +1,133 @@
+#include "hashing/gf2.h"
+
+#include <bit>
+
+namespace sketchtree {
+namespace gf2 {
+
+namespace {
+
+constexpr uint64_t kX = 2;  // The polynomial "x".
+
+/// Carry-less product of two degree-<=63 polynomials (up to 127 bits).
+unsigned __int128 ClMul(uint64_t a, uint64_t b) {
+  unsigned __int128 acc = 0;
+  while (b != 0) {
+    int i = std::countr_zero(b);
+    acc ^= static_cast<unsigned __int128>(a) << i;
+    b &= b - 1;
+  }
+  return acc;
+}
+
+/// Remainder of polynomial division a mod b (b != 0).
+uint64_t PolyMod(uint64_t a, uint64_t b) {
+  int db = Degree(b);
+  int da = Degree(a);
+  while (da >= db) {
+    a ^= b << (da - db);
+    da = Degree(a);
+  }
+  return a;
+}
+
+}  // namespace
+
+int Degree(uint64_t poly) {
+  if (poly == 0) return -1;
+  return 63 - std::countl_zero(poly);
+}
+
+uint64_t Reduce128(unsigned __int128 value, uint64_t modulus) {
+  int d = Degree(modulus);
+  while (true) {
+    uint64_t high = static_cast<uint64_t>(value >> 64);
+    int pos;
+    if (high != 0) {
+      pos = 64 + Degree(high);
+    } else {
+      uint64_t low = static_cast<uint64_t>(value);
+      pos = Degree(low);
+    }
+    if (pos < d) break;
+    value ^= static_cast<unsigned __int128>(modulus) << (pos - d);
+  }
+  return static_cast<uint64_t>(value);
+}
+
+uint64_t Reduce64(uint64_t value, uint64_t modulus) {
+  return PolyMod(value, modulus);
+}
+
+uint64_t ModMul(uint64_t a, uint64_t b, uint64_t modulus) {
+  return Reduce128(ClMul(a, b), modulus);
+}
+
+uint64_t ModPow(uint64_t base, uint64_t exponent, uint64_t modulus) {
+  uint64_t result = Reduce64(1, modulus);
+  base = Reduce64(base, modulus);
+  while (exponent != 0) {
+    if (exponent & 1) result = ModMul(result, base, modulus);
+    base = ModMul(base, base, modulus);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t r = PolyMod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+bool IsIrreducible(uint64_t poly) {
+  int d = Degree(poly);
+  if (d < 1) return false;
+  if (d == 1) return true;  // x and x+1 are both irreducible.
+  if ((poly & 1) == 0) return false;  // Divisible by x.
+
+  // h_k = x^(2^k) mod poly, computed by k successive squarings of x.
+  auto frobenius = [&](int k) {
+    uint64_t h = kX;
+    for (int i = 0; i < k; ++i) h = ModMul(h, h, poly);
+    return h;
+  };
+
+  // Rabin's test part 1: x^(2^d) == x mod poly.
+  if (frobenius(d) != kX) return false;
+
+  // Part 2: for each prime divisor q of d, gcd(x^(2^(d/q)) - x, poly) == 1.
+  int remaining = d;
+  for (int q = 2; q * q <= remaining; ++q) {
+    if (remaining % q != 0) continue;
+    while (remaining % q == 0) remaining /= q;
+    uint64_t h = frobenius(d / q);
+    if (Gcd(h ^ kX, poly) != 1) return false;
+  }
+  if (remaining > 1) {  // `remaining` is the last prime factor of d.
+    uint64_t h = frobenius(d / remaining);
+    if (Gcd(h ^ kX, poly) != 1) return false;
+  }
+  return true;
+}
+
+Result<uint64_t> RandomIrreducible(int degree, Pcg64& rng) {
+  if (degree < 2 || degree > 63) {
+    return Status::InvalidArgument("RandomIrreducible: degree must be in "
+                                   "[2, 63], got " + std::to_string(degree));
+  }
+  const uint64_t top = uint64_t{1} << degree;
+  const uint64_t mask = top - 1;
+  while (true) {
+    // Leading coefficient 1 (degree exact) and constant term 1 (otherwise x
+    // divides the candidate).
+    uint64_t candidate = top | (rng.Next() & mask) | 1;
+    if (IsIrreducible(candidate)) return candidate;
+  }
+}
+
+}  // namespace gf2
+}  // namespace sketchtree

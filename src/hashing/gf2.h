@@ -1,0 +1,52 @@
+#ifndef SKETCHTREE_HASHING_GF2_H_
+#define SKETCHTREE_HASHING_GF2_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Polynomials over GF(2) of degree <= 63, represented as a uint64_t bit
+/// mask (bit i is the coefficient of x^i). These back Rabin's
+/// fingerprinting scheme (Section 6.1 of the paper): a random irreducible
+/// polynomial of degree 31 is drawn, and sequences are mapped to residues
+/// modulo it.
+namespace gf2 {
+
+/// Degree of `poly` (-1 for the zero polynomial).
+int Degree(uint64_t poly);
+
+/// Product of two GF(2) polynomials (carry-less multiplication), reduced
+/// modulo `modulus`. Both inputs must have degree < Degree(modulus).
+uint64_t ModMul(uint64_t a, uint64_t b, uint64_t modulus);
+
+/// Reduces an arbitrary 128-bit polynomial modulo `modulus`.
+uint64_t Reduce128(unsigned __int128 value, uint64_t modulus);
+
+/// Reduces a 64-bit polynomial modulo `modulus`.
+uint64_t Reduce64(uint64_t value, uint64_t modulus);
+
+/// a^e mod modulus (square-and-multiply over GF(2)[x]).
+uint64_t ModPow(uint64_t base, uint64_t exponent, uint64_t modulus);
+
+/// Polynomial GCD over GF(2).
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+/// Rabin's irreducibility test for a degree-d polynomial over GF(2):
+/// f is irreducible iff x^(2^d) == x (mod f) and, for every prime divisor
+/// q of d, gcd(x^(2^(d/q)) - x mod f, f) == 1.
+bool IsIrreducible(uint64_t poly);
+
+/// Draws a uniformly random irreducible polynomial of exactly `degree`
+/// (2 <= degree <= 63) using rejection sampling; a random degree-d
+/// polynomial is irreducible with probability ~1/d, so this terminates
+/// quickly. Deterministic for a given `rng` state.
+Result<uint64_t> RandomIrreducible(int degree, Pcg64& rng);
+
+}  // namespace gf2
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_HASHING_GF2_H_

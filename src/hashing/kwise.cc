@@ -1,0 +1,45 @@
+#include "hashing/kwise.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+
+namespace kwise_internal {
+
+uint64_t MulMod(uint64_t a, uint64_t b) {
+  // 2^61 = 1 (mod p) for p = 2^61 - 1, so a 122-bit product reduces by
+  // adding its high and low 61-bit halves.
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+  uint64_t low = static_cast<uint64_t>(prod) & KWiseHash::kPrime;
+  uint64_t high = static_cast<uint64_t>(prod >> 61);
+  uint64_t sum = low + high;
+  if (sum >= KWiseHash::kPrime) sum -= KWiseHash::kPrime;
+  return sum;
+}
+
+}  // namespace kwise_internal
+
+KWiseHash::KWiseHash(int independence, uint64_t seed) {
+  assert(independence >= 2);
+  Pcg64 rng(seed, /*stream=*/0xC0FFEE);
+  coeffs_.resize(independence);
+  for (auto& c : coeffs_) c = rng.NextBounded(kPrime);
+}
+
+uint64_t KWiseHash::Eval(uint64_t v) const {
+  // Inputs can be any 64-bit value; fold into the field first. The fold is
+  // injective on [0, kPrime), which covers all degree-<=61 Rabin residues.
+  uint64_t x = v % kPrime;
+  // Horner evaluation from the highest coefficient down.
+  uint64_t acc = 0;
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = kwise_internal::MulMod(acc, x);
+    acc += coeffs_[i];
+    if (acc >= kPrime) acc -= kPrime;
+  }
+  return acc;
+}
+
+}  // namespace sketchtree

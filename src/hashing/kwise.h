@@ -1,0 +1,51 @@
+#ifndef SKETCHTREE_HASHING_KWISE_H_
+#define SKETCHTREE_HASHING_KWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// A k-wise independent hash family over the Mersenne-prime field
+/// GF(2^61 - 1): h(v) = c_{k-1} v^{k-1} + ... + c_1 v + c_0 (mod p) with
+/// uniformly random coefficients. Any k distinct inputs hash to k
+/// independent, uniform field elements.
+///
+/// SketchTree uses the low bit of h(v) as the four-wise independent ±1
+/// variable xi_v of the AMS sketch (degree 3 == 4-wise); the generalized
+/// count-expression estimators of Section 4 / Appendix C require k-wise
+/// independence for k-fold products, which higher degrees provide. The
+/// paper generates these variables from BCH parity-check matrices; the
+/// polynomial family gives the identical independence guarantee.
+class KWiseHash {
+ public:
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  /// `independence` is k (>= 2); the polynomial degree is k - 1.
+  /// Coefficients are drawn deterministically from `seed`.
+  KWiseHash(int independence, uint64_t seed);
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+  /// h(v) in [0, kPrime).
+  uint64_t Eval(uint64_t v) const;
+
+  /// The ±1 AMS variable: xi(v) = +1 if the low bit of h(v) is 1, else -1.
+  int Xi(uint64_t v) const { return (Eval(v) & 1) ? +1 : -1; }
+
+ private:
+  std::vector<uint64_t> coeffs_;  // c_0 .. c_{k-1}.
+};
+
+namespace kwise_internal {
+
+/// (a * b) mod (2^61 - 1) without 128-bit division, exposed for tests.
+uint64_t MulMod(uint64_t a, uint64_t b);
+
+}  // namespace kwise_internal
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_HASHING_KWISE_H_

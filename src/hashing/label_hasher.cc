@@ -1,0 +1,3 @@
+// LabelHasher is header-only; this file exists so the build system has a
+// translation unit to attach future out-of-line definitions to.
+#include "hashing/label_hasher.h"

@@ -1,0 +1,47 @@
+#ifndef SKETCHTREE_HASHING_LABEL_HASHER_H_
+#define SKETCHTREE_HASHING_LABEL_HASHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "hashing/rabin.h"
+
+namespace sketchtree {
+
+/// Online mapping from node labels to numbers, hash(X) in the paper
+/// (Sections 2.2 and 6.1): labels are treated as bit strings and reduced
+/// modulo the fingerprinter's irreducible polynomial. No global symbol
+/// table or schema is required — the mapping is computed on the fly — but a
+/// small memo cache avoids re-hashing labels that repeat across stream
+/// elements (XML vocabularies are tiny compared to stream length).
+class LabelHasher {
+ public:
+  explicit LabelHasher(const RabinFingerprinter* fingerprinter)
+      : fingerprinter_(fingerprinter) {}
+
+  /// Hash of `label`. Cached after first use.
+  uint64_t Hash(const std::string& label) {
+    auto it = cache_.find(label);
+    if (it != cache_.end()) return it->second;
+    uint64_t h = fingerprinter_->FingerprintBytes(label);
+    cache_.emplace(label, h);
+    return h;
+  }
+
+  /// Uncached hash for callers that manage their own interning.
+  uint64_t HashUncached(std::string_view label) const {
+    return fingerprinter_->FingerprintBytes(label);
+  }
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  const RabinFingerprinter* fingerprinter_;
+  std::unordered_map<std::string, uint64_t> cache_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_HASHING_LABEL_HASHER_H_

@@ -1,0 +1,101 @@
+#include "hashing/pairing.h"
+
+#include <cmath>
+
+namespace sketchtree {
+
+namespace {
+
+constexpr uint128 kMax128 = ~static_cast<uint128>(0);
+
+/// a + b with overflow detection.
+bool AddOverflow(uint128 a, uint128 b, uint128* out) {
+  if (a > kMax128 - b) return true;
+  *out = a + b;
+  return false;
+}
+
+/// a * b with overflow detection (portable schoolbook check).
+bool MulOverflow(uint128 a, uint128 b, uint128* out) {
+  if (a == 0 || b == 0) {
+    *out = 0;
+    return false;
+  }
+  if (a > kMax128 / b) return true;
+  *out = a * b;
+  return false;
+}
+
+/// Integer floor(sqrt(z)) for 128-bit z, via Newton iteration seeded from
+/// a double approximation.
+uint128 ISqrt(uint128 z) {
+  if (z == 0) return 0;
+  // Initial guess from long double (enough precision to converge quickly).
+  long double approx = static_cast<long double>(z);
+  uint128 x = static_cast<uint128>(sqrtl(approx)) + 2;
+  while (true) {
+    uint128 y = (x + z / x) / 2;
+    if (y >= x) break;
+    x = y;
+  }
+  while (x * x > z) --x;
+  return x;
+}
+
+}  // namespace
+
+Result<uint128> PF2(uint128 x, uint128 y) {
+  // PF2(x, y) = (s * (s + 1)) / 2 + x, where s = x + y. One of s, s+1 is
+  // even, so divide that one before multiplying to postpone overflow.
+  uint128 s;
+  if (AddOverflow(x, y, &s)) {
+    return Status::OutOfRange("PF2: x + y overflows 128 bits");
+  }
+  uint128 s1;
+  if (AddOverflow(s, 1, &s1)) {
+    return Status::OutOfRange("PF2: s + 1 overflows 128 bits");
+  }
+  uint128 a = s;
+  uint128 b = s1;
+  if (a % 2 == 0) {
+    a /= 2;
+  } else {
+    b /= 2;
+  }
+  uint128 tri;
+  if (MulOverflow(a, b, &tri)) {
+    return Status::OutOfRange("PF2: triangular term overflows 128 bits");
+  }
+  uint128 out;
+  if (AddOverflow(tri, x, &out)) {
+    return Status::OutOfRange("PF2: result overflows 128 bits");
+  }
+  return out;
+}
+
+std::pair<uint128, uint128> UnPF2(uint128 z) {
+  // Find the diagonal s with tri(s) <= z < tri(s+1), where
+  // tri(s) = s(s+1)/2. Then x = z - tri(s), y = s - x.
+  // s = floor((sqrt(8z + 1) - 1) / 2); compute via isqrt and adjust to be
+  // safe against rounding.
+  uint128 s = (ISqrt(8 * z + 1) - 1) / 2;
+  auto tri = [](uint128 v) { return v % 2 == 0 ? (v / 2) * (v + 1)
+                                               : v * ((v + 1) / 2); };
+  while (tri(s) > z) --s;
+  while (tri(s + 1) <= z) ++s;
+  uint128 x = z - tri(s);
+  uint128 y = s - x;
+  return {x, y};
+}
+
+Result<uint128> PFk(const std::vector<uint64_t>& tuple) {
+  // Fold the length in first so tuples of different lengths cannot collide
+  // (the paper achieves the same by padding to a common length).
+  uint128 acc = static_cast<uint128>(tuple.size());
+  for (uint64_t element : tuple) {
+    SKETCHTREE_ASSIGN_OR_RETURN(acc, PF2(acc, element));
+  }
+  return acc;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,37 @@
+#ifndef SKETCHTREE_HASHING_PAIRING_H_
+#define SKETCHTREE_HASHING_PAIRING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// 128-bit unsigned integer used by the pairing functions; the range of
+/// PF(.) grows quadratically per application, which is exactly why the
+/// paper falls back to Rabin fingerprints (Section 6.1) for long sequences.
+using uint128 = unsigned __int128;
+
+/// The paper's pairing function (Section 2.2):
+///   PF2(x, y) = 1/2 (x^2 + 2xy + y^2 + 3x + y)
+/// A bijection between ordered pairs of non-negative integers and
+/// non-negative integers. Returns OutOfRange if the result (or an
+/// intermediate) would exceed 128 bits.
+Result<uint128> PF2(uint128 x, uint128 y);
+
+/// Inverse of PF2: recovers the unique (x, y) with PF2(x, y) == z.
+std::pair<uint128, uint128> UnPF2(uint128 z);
+
+/// Inductive k-ary pairing: PF(x1, ..., xk) = PF2(PF(x1, ..., x_{k-1}), xk).
+///
+/// To keep the map injective across tuples of different lengths without the
+/// paper's padding step, the tuple length is folded in as a leading element:
+/// PFk(t) = PF2(PF2(...PF2(len, t0)..., ), t_{k-1}). Returns OutOfRange on
+/// 128-bit overflow (expected for all but small tuples).
+Result<uint128> PFk(const std::vector<uint64_t>& tuple);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_HASHING_PAIRING_H_

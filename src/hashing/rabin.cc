@@ -1,0 +1,55 @@
+#include "hashing/rabin.h"
+
+#include "hashing/gf2.h"
+
+namespace sketchtree {
+
+Result<RabinFingerprinter> RabinFingerprinter::Create(uint64_t irreducible) {
+  int degree = gf2::Degree(irreducible);
+  if (degree < 8 || degree > 63) {
+    return Status::InvalidArgument(
+        "RabinFingerprinter: degree must be in [8, 63], got " +
+        std::to_string(degree));
+  }
+  if (!gf2::IsIrreducible(irreducible)) {
+    return Status::InvalidArgument(
+        "RabinFingerprinter: polynomial is not irreducible");
+  }
+  uint64_t x_pow_d = gf2::ModPow(2, static_cast<uint64_t>(degree),
+                                 irreducible);
+  uint64_t x_pow_8 = gf2::ModPow(2, 8, irreducible);
+  return RabinFingerprinter(irreducible, degree, x_pow_d, x_pow_8);
+}
+
+Result<RabinFingerprinter> RabinFingerprinter::FromSeed(int degree,
+                                                        uint64_t seed) {
+  Pcg64 rng(seed, /*stream=*/0x5eed);
+  SKETCHTREE_ASSIGN_OR_RETURN(uint64_t poly,
+                              gf2::RandomIrreducible(degree, rng));
+  return Create(poly);
+}
+
+uint64_t RabinFingerprinter::Fingerprint(
+    const std::vector<uint64_t>& tokens) const {
+  // Fold the length in first: without it, sequences that are "shifted"
+  // variants of each other (e.g. [0, a] vs [a]) could collide trivially.
+  uint64_t fp = gf2::Reduce64(tokens.size() + 1, irreducible_);
+  for (uint64_t token : tokens) fp = Extend(fp, token);
+  return fp;
+}
+
+uint64_t RabinFingerprinter::Extend(uint64_t fp, uint64_t token) const {
+  fp = gf2::ModMul(fp, x_pow_d_, irreducible_);
+  return fp ^ gf2::Reduce64(token, irreducible_);
+}
+
+uint64_t RabinFingerprinter::FingerprintBytes(std::string_view bytes) const {
+  uint64_t fp = gf2::Reduce64(bytes.size() + 1, irreducible_);
+  for (unsigned char c : bytes) {
+    fp = gf2::ModMul(fp, x_pow_8_, irreducible_);
+    fp ^= c;
+  }
+  return fp;
+}
+
+}  // namespace sketchtree

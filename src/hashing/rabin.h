@@ -1,0 +1,63 @@
+#ifndef SKETCHTREE_HASHING_RABIN_H_
+#define SKETCHTREE_HASHING_RABIN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Rabin fingerprinting over GF(2) (Section 6.1): sequences of 64-bit
+/// tokens are treated as long bit strings (one degree-d block per token)
+/// and reduced modulo a random irreducible polynomial `p_irr` of degree d.
+/// The residue fits in d bits; the paper uses d = 31 so every tree pattern
+/// maps to a 32-bit word.
+///
+/// Distinct sequences collide with probability O(len / 2^d); collisions
+/// make SketchTree merge two patterns' counts, exactly the trade-off the
+/// paper accepts.
+class RabinFingerprinter {
+ public:
+  /// Creates a fingerprinter for the given irreducible polynomial.
+  /// `irreducible` must be irreducible of degree in [8, 63] (checked).
+  static Result<RabinFingerprinter> Create(uint64_t irreducible);
+
+  /// Convenience: draws a random irreducible polynomial of `degree` from
+  /// `seed` and builds the fingerprinter. Same seed => same polynomial.
+  static Result<RabinFingerprinter> FromSeed(int degree, uint64_t seed);
+
+  int degree() const { return degree_; }
+  uint64_t irreducible() const { return irreducible_; }
+
+  /// Fingerprint of a token sequence:
+  ///   fp = sum_i token_i * x^(d * (n - 1 - i))   (mod p_irr)
+  /// computed online as fp = fp * x^d + token_i per token.
+  uint64_t Fingerprint(const std::vector<uint64_t>& tokens) const;
+
+  /// Streaming variant: extend `fp` by one token.
+  uint64_t Extend(uint64_t fp, uint64_t token) const;
+
+  /// Fingerprint of a byte string (used for online label hashing,
+  /// Section 6.1): one 8-bit block per byte, length folded in so prefixes
+  /// of each other do not trivially collide.
+  uint64_t FingerprintBytes(std::string_view bytes) const;
+
+ private:
+  RabinFingerprinter(uint64_t irreducible, int degree, uint64_t x_pow_d,
+                     uint64_t x_pow_8)
+      : irreducible_(irreducible),
+        degree_(degree),
+        x_pow_d_(x_pow_d),
+        x_pow_8_(x_pow_8) {}
+
+  uint64_t irreducible_;
+  int degree_;
+  uint64_t x_pow_d_;  // x^degree mod p_irr: per-token shift.
+  uint64_t x_pow_8_;  // x^8 mod p_irr: per-byte shift.
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_HASHING_RABIN_H_

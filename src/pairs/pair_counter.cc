@@ -1,0 +1,60 @@
+#include "pairs/pair_counter.h"
+
+namespace sketchtree {
+
+void NaivePairCounter::Update(const LabeledTree& tree) {
+  for (LabeledTree::NodeId id = 0; id < tree.size(); ++id) {
+    LabeledTree::NodeId parent = tree.parent(id);
+    if (parent == LabeledTree::kInvalidNode) continue;
+    ++counts_[Key(tree.label(parent), tree.label(id))];
+    ++total_pairs_;
+  }
+}
+
+uint64_t NaivePairCounter::Count(std::string_view parent,
+                                 std::string_view child) const {
+  auto it = counts_.find(Key(parent, child));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+SketchPairCounter::SketchPairCounter(
+    const Options& options, std::unique_ptr<RabinFingerprinter> fingerprinter)
+    : options_(options),
+      fingerprinter_(std::move(fingerprinter)),
+      hasher_(std::make_unique<LabelHasher>(fingerprinter_.get())),
+      sketches_(std::make_unique<SketchArray>(
+          options.s1, options.s2, /*independence=*/4, options.seed)) {}
+
+Result<SketchPairCounter> SketchPairCounter::Create(const Options& options) {
+  if (options.s1 < 1 || options.s2 < 1) {
+    return Status::InvalidArgument("s1 and s2 must be >= 1");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      RabinFingerprinter fp,
+      RabinFingerprinter::FromSeed(options.fingerprint_degree,
+                                   options.seed));
+  return SketchPairCounter(
+      options, std::make_unique<RabinFingerprinter>(std::move(fp)));
+}
+
+uint64_t SketchPairCounter::MapPair(std::string_view parent,
+                                    std::string_view child) {
+  return fingerprinter_->Fingerprint(
+      {hasher_->HashUncached(parent), hasher_->HashUncached(child)});
+}
+
+void SketchPairCounter::Update(const LabeledTree& tree) {
+  for (LabeledTree::NodeId id = 0; id < tree.size(); ++id) {
+    LabeledTree::NodeId parent = tree.parent(id);
+    if (parent == LabeledTree::kInvalidNode) continue;
+    sketches_->Update(MapPair(tree.label(parent), tree.label(id)));
+    ++total_pairs_;
+  }
+}
+
+double SketchPairCounter::Estimate(std::string_view parent,
+                                   std::string_view child) {
+  return sketches_->EstimatePoint(MapPair(parent, child));
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,96 @@
+#ifndef SKETCHTREE_PAIRS_PAIR_COUNTER_H_
+#define SKETCHTREE_PAIRS_PAIR_COUNTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "hashing/label_hasher.h"
+#include "hashing/rabin.h"
+#include "sketch/sketch_array.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// Section 2.2's warm-up problem: counting occurrences of parent-child
+/// label pairs in a stream of labeled trees. These two classes implement
+/// both sides of the paper's exposition — the naive counter-per-pair
+/// approach (|Sigma|^2 counters in the worst case) and the sketched
+/// alternative that maps each pair to a one-dimensional value via the
+/// pairing function and feeds an AMS sketch.
+
+/// One counter per distinct (parent label, child label) pair. Exact, but
+/// memory grows with the square of the alphabet in the worst case — the
+/// paper's motivation for sketching.
+class NaivePairCounter {
+ public:
+  /// Counts every parent-child edge of `tree`.
+  void Update(const LabeledTree& tree);
+
+  uint64_t Count(std::string_view parent, std::string_view child) const;
+
+  uint64_t total_pairs() const { return total_pairs_; }
+  size_t distinct_pairs() const { return counts_.size(); }
+  size_t MemoryBytes() const {
+    return counts_.size() * (sizeof(uint64_t) + 2 * 24);
+  }
+
+ private:
+  static std::string Key(std::string_view parent, std::string_view child) {
+    std::string key(parent);
+    key.push_back('\0');  // Labels cannot collide across the separator.
+    key.append(child);
+    return key;
+  }
+
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t total_pairs_ = 0;
+};
+
+/// The sketched counterpart: pair (X, Y) -> PF2(hash(X), hash(Y)) -> AMS
+/// sketch (Section 2.2's construction, with Rabin label hashing from
+/// Section 6.1). Fixed memory regardless of alphabet size.
+class SketchPairCounter {
+ public:
+  struct Options {
+    int s1 = 50;
+    int s2 = 7;
+    int fingerprint_degree = 31;
+    uint64_t seed = 42;
+  };
+
+  static Result<SketchPairCounter> Create(const Options& options);
+
+  /// Sketches every parent-child edge of `tree`.
+  void Update(const LabeledTree& tree);
+
+  /// Approximate count of the (parent, child) pair.
+  double Estimate(std::string_view parent, std::string_view child);
+
+  uint64_t total_pairs() const { return total_pairs_; }
+  size_t MemoryBytes() const { return sketches_->MemoryBytes(); }
+
+ private:
+  SketchPairCounter(const Options& options,
+                    std::unique_ptr<RabinFingerprinter> fingerprinter);
+
+  /// The 1-D mapping of a label pair: PF2 over the two label hashes
+  /// would overflow only for astronomically large hashes, and degree-31
+  /// residues keep it within 64 bits; we fingerprint the 2-token
+  /// sequence, which is the paper's Section 6.1 fallback and exactly
+  /// matches how full patterns are mapped.
+  uint64_t MapPair(std::string_view parent, std::string_view child);
+
+  Options options_;
+  std::unique_ptr<RabinFingerprinter> fingerprinter_;
+  std::unique_ptr<LabelHasher> hasher_;
+  std::unique_ptr<SketchArray> sketches_;
+  uint64_t total_pairs_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_PAIRS_PAIR_COUNTER_H_

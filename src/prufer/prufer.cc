@@ -1,0 +1,126 @@
+#include "prufer/prufer.h"
+
+#include <cassert>
+
+namespace sketchtree {
+
+PruferSequences ExtendedPrufer(const LabeledTree& tree) {
+  assert(!tree.empty());
+  const std::vector<LabeledTree::NodeId> postorder = tree.PostorderIds();
+  const int32_t n = tree.size();
+
+  // Pass 1: extended postorder numbers. The dummy child of a leaf v is
+  // numbered immediately before v (it is v's only child).
+  std::vector<int32_t> number(n, 0);        // Extended number of original v.
+  std::vector<int32_t> dummy_number(n, 0);  // Number of v's dummy (leaves).
+  int32_t counter = 0;
+  for (LabeledTree::NodeId v : postorder) {
+    if (tree.is_leaf(v)) dummy_number[v] = ++counter;
+    number[v] = ++counter;
+  }
+  const int32_t extended_size = counter;
+
+  // Pass 2: deletion order is number order 1..extended_size-1; each deleted
+  // node records its parent's (label, number).
+  PruferSequences out;
+  out.lps.resize(extended_size - 1);
+  out.nps.resize(extended_size - 1);
+  for (LabeledTree::NodeId v : postorder) {
+    if (tree.is_leaf(v)) {
+      // The dummy's parent is v itself.
+      int32_t slot = dummy_number[v] - 1;
+      out.lps[slot] = tree.label(v);
+      out.nps[slot] = number[v];
+    }
+    if (tree.parent(v) != LabeledTree::kInvalidNode) {
+      int32_t slot = number[v] - 1;
+      out.lps[slot] = tree.label(tree.parent(v));
+      out.nps[slot] = number[tree.parent(v)];
+    }
+  }
+  return out;
+}
+
+Result<LabeledTree> TreeFromPrufer(const PruferSequences& seqs) {
+  if (seqs.lps.size() != seqs.nps.size()) {
+    return Status::InvalidArgument("LPS and NPS lengths differ");
+  }
+  if (seqs.lps.empty()) {
+    return Status::InvalidArgument("empty Prüfer sequences");
+  }
+  const int32_t extended_size = static_cast<int32_t>(seqs.size()) + 1;
+
+  // Node numbered i (1-based) is deleted at step i and its parent is
+  // nps[i-1]; the root is node `extended_size`.
+  std::vector<int32_t> parent_of(extended_size + 1, 0);
+  std::vector<std::string> label_of(extended_size + 1);
+  std::vector<bool> has_label(extended_size + 1, false);
+  for (int32_t i = 1; i < extended_size; ++i) {
+    int32_t p = seqs.nps[i - 1];
+    if (p <= i || p > extended_size) {
+      return Status::InvalidArgument(
+          "NPS[" + std::to_string(i - 1) + "]=" + std::to_string(p) +
+          " is not a valid postorder parent of node " + std::to_string(i));
+    }
+    parent_of[i] = p;
+    const std::string& lbl = seqs.lps[i - 1];
+    if (has_label[p] && label_of[p] != lbl) {
+      return Status::InvalidArgument("node " + std::to_string(p) +
+                                     " assigned conflicting labels '" +
+                                     label_of[p] + "' and '" + lbl + "'");
+    }
+    label_of[p] = lbl;
+    has_label[p] = true;
+  }
+  if (!has_label[extended_size]) {
+    return Status::Internal("root never appeared as a parent");
+  }
+
+  // Children of p, in increasing number order, are p's ordered children.
+  std::vector<std::vector<int32_t>> children(extended_size + 1);
+  for (int32_t i = 1; i < extended_size; ++i) {
+    children[parent_of[i]].push_back(i);
+  }
+
+  // Internal nodes of the extended tree (nodes that appear as a parent) are
+  // the nodes of the original tree; childless nodes are dummies. Every
+  // dummy must be an only child of an original leaf — verify while
+  // rebuilding.
+  LabeledTree tree;
+  struct Frame {
+    int32_t num;
+    LabeledTree::NodeId built_parent;
+  };
+  std::vector<Frame> stack = {{extended_size, LabeledTree::kInvalidNode}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    LabeledTree::NodeId id = tree.AddNode(label_of[f.num], f.built_parent);
+    const auto& kids = children[f.num];
+    bool has_dummy = false;
+    bool has_real = false;
+    for (int32_t c : kids) {
+      if (has_label[c]) {
+        has_real = true;
+      } else {
+        has_dummy = true;
+        if (kids.size() != 1) {
+          return Status::InvalidArgument(
+              "dummy node " + std::to_string(c) +
+              " is not an only child; not a valid extended tree");
+        }
+      }
+    }
+    if (!has_dummy && !has_real && f.num != extended_size) {
+      // Unreachable: childless internal nodes are dummies by construction.
+      return Status::Internal("internal node without children");
+    }
+    // Push real children in reverse so they are emitted left-to-right.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      if (has_label[*it]) stack.push_back({*it, id});
+    }
+  }
+  return tree;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,53 @@
+#ifndef SKETCHTREE_PRUFER_PRUFER_H_
+#define SKETCHTREE_PRUFER_PRUFER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// The extended Prüfer sequence pair of a labeled tree, as defined by the
+/// PRIX system and adopted by SketchTree (Section 2.3):
+///
+///  * a dummy child is attached to every leaf of the original tree;
+///  * all nodes of the extended tree are numbered in postorder;
+///  * leaves are deleted in increasing postorder-number order, and each
+///    deletion records its parent's (label, postorder number).
+///
+/// `lps[i]` is the label and `nps[i]` the postorder number of the parent of
+/// the (i+1)-th deleted node. Together LPS and NPS uniquely identify the
+/// original labeled tree; `TreeFromPrufer` inverts the transform.
+struct PruferSequences {
+  std::vector<std::string> lps;  ///< Labeled Prüfer Sequence.
+  std::vector<int32_t> nps;      ///< Numbered Prüfer Sequence.
+
+  size_t size() const { return lps.size(); }
+  bool operator==(const PruferSequences& other) const {
+    return lps == other.lps && nps == other.nps;
+  }
+};
+
+/// Computes the extended Prüfer sequences of `tree` in O(n).
+///
+/// A key property used throughout SketchTree: because postorder numbers of
+/// children are smaller than their parent's, the Prüfer deletion order
+/// (always remove the leaf with the smallest label) is exactly postorder
+/// number order 1, 2, ..., N-1, where N is the extended tree size.
+///
+/// `tree` must be non-empty. A single-node tree yields a length-1 sequence
+/// (its dummy extension has two nodes).
+PruferSequences ExtendedPrufer(const LabeledTree& tree);
+
+/// Reconstructs the *original* tree (dummy leaves stripped) from extended
+/// Prüfer sequences. Returns InvalidArgument if the sequences are not a
+/// valid extended Prüfer pair (mismatched lengths, numbers out of range,
+/// parent numbers not exceeding child numbers, ...).
+Result<LabeledTree> TreeFromPrufer(const PruferSequences& seqs);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_PRUFER_PRUFER_H_

@@ -1,0 +1,273 @@
+#include "query/expression.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "query/unordered.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+
+namespace {
+
+/// A polynomial in COUNT_ord terminals: sum of ExprTerms.
+using Poly = std::vector<ExprTerm>;
+
+Status CheckLimits(const Poly& poly, size_t max_terms, int max_degree) {
+  if (poly.size() > max_terms) {
+    return Status::OutOfRange("expression expands to more than " +
+                              std::to_string(max_terms) + " terms");
+  }
+  for (const ExprTerm& term : poly) {
+    if (term.degree() > max_degree) {
+      return Status::OutOfRange(
+          "expression contains a product of more than " +
+          std::to_string(max_degree) + " counts");
+    }
+  }
+  return Status::OK();
+}
+
+Poly Add(Poly a, const Poly& b, double sign) {
+  for (const ExprTerm& term : b) {
+    ExprTerm copy;
+    copy.coeff = term.coeff * sign;
+    copy.patterns = term.patterns;
+    a.push_back(std::move(copy));
+  }
+  return a;
+}
+
+Result<Poly> Multiply(const Poly& a, const Poly& b, size_t max_terms,
+                      int max_degree) {
+  Poly out;
+  out.reserve(a.size() * b.size());
+  for (const ExprTerm& ta : a) {
+    for (const ExprTerm& tb : b) {
+      ExprTerm product;
+      product.coeff = ta.coeff * tb.coeff;
+      product.patterns = ta.patterns;
+      product.patterns.insert(product.patterns.end(), tb.patterns.begin(),
+                              tb.patterns.end());
+      out.push_back(std::move(product));
+    }
+  }
+  SKETCHTREE_RETURN_NOT_OK(CheckLimits(out, max_terms, max_degree));
+  return out;
+}
+
+/// Recursive-descent parser over:
+///   expr   := term (('+' | '-') term)*
+///   term   := factor ('*' factor)*
+///   factor := COUNT_ORD '(' pattern ')' | COUNT '(' pattern ')'
+///           | '(' expr ')'
+class ExpressionParser {
+ public:
+  ExpressionParser(std::string_view text, size_t max_terms, int max_degree)
+      : text_(text), max_terms_(max_terms), max_degree_(max_degree) {}
+
+  Result<Poly> Parse() {
+    SKETCHTREE_ASSIGN_OR_RETURN(Poly poly, ParseExpr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_));
+    }
+    return poly;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (!AtEnd() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    SkipSpace();
+    if (text_.size() - pos_ < kw.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) != kw[i]) {
+        return false;
+      }
+    }
+    pos_ += kw.size();
+    return true;
+  }
+
+  Result<Poly> ParseExpr() {
+    SKETCHTREE_ASSIGN_OR_RETURN(Poly acc, ParseTerm());
+    while (true) {
+      if (Consume('+')) {
+        SKETCHTREE_ASSIGN_OR_RETURN(Poly rhs, ParseTerm());
+        acc = Add(std::move(acc), rhs, +1.0);
+      } else if (Consume('-')) {
+        SKETCHTREE_ASSIGN_OR_RETURN(Poly rhs, ParseTerm());
+        acc = Add(std::move(acc), rhs, -1.0);
+      } else {
+        break;
+      }
+      SKETCHTREE_RETURN_NOT_OK(CheckLimits(acc, max_terms_, max_degree_));
+    }
+    return acc;
+  }
+
+  Result<Poly> ParseTerm() {
+    SKETCHTREE_ASSIGN_OR_RETURN(Poly acc, ParseFactor());
+    while (Consume('*')) {
+      SKETCHTREE_ASSIGN_OR_RETURN(Poly rhs, ParseFactor());
+      SKETCHTREE_ASSIGN_OR_RETURN(
+          acc, Multiply(acc, rhs, max_terms_, max_degree_));
+    }
+    return acc;
+  }
+
+  Result<Poly> ParseFactor() {
+    SkipSpace();
+    // COUNT_ORD must be tried before COUNT (common prefix).
+    if (ConsumeKeyword("COUNT_ORD")) return ParseCount(/*ordered=*/true);
+    if (ConsumeKeyword("COUNT")) return ParseCount(/*ordered=*/false);
+    if (Consume('(')) {
+      SKETCHTREE_ASSIGN_OR_RETURN(Poly inner, ParseExpr());
+      if (!Consume(')')) {
+        return Status::InvalidArgument("expected ')' at offset " +
+                                       std::to_string(pos_));
+      }
+      return inner;
+    }
+    return Status::InvalidArgument(
+        "expected COUNT, COUNT_ORD, or '(' at offset " + std::to_string(pos_));
+  }
+
+  Result<Poly> ParseCount(bool ordered) {
+    if (!Consume('(')) {
+      return Status::InvalidArgument("expected '(' after COUNT at offset " +
+                                     std::to_string(pos_));
+    }
+    // Scan the balanced pattern text up to the matching ')', honoring
+    // quoted labels so parentheses inside quotes do not confuse the scan.
+    size_t start = pos_;
+    int depth = 1;
+    bool in_quote = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (in_quote) {
+        if (c == '\\') {
+          ++pos_;  // Skip the escaped character too.
+        } else if (c == '\'') {
+          in_quote = false;
+        }
+      } else if (c == '\'') {
+        in_quote = true;
+      } else if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        if (--depth == 0) break;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unterminated COUNT(...) pattern");
+    }
+    std::string_view pattern_text = text_.substr(start, pos_ - start);
+    ++pos_;  // Matching ')'.
+
+    SKETCHTREE_ASSIGN_OR_RETURN(LabeledTree pattern,
+                                ParseSExpr(pattern_text));
+    Poly poly;
+    if (ordered) {
+      ExprTerm term;
+      term.patterns.push_back(std::move(pattern));
+      poly.push_back(std::move(term));
+    } else {
+      // COUNT(Q) = sum of COUNT_ord over Q's ordered arrangements.
+      SKETCHTREE_ASSIGN_OR_RETURN(std::vector<LabeledTree> arrangements,
+                                  OrderedArrangements(pattern, max_terms_));
+      for (LabeledTree& arrangement : arrangements) {
+        ExprTerm term;
+        term.patterns.push_back(std::move(arrangement));
+        poly.push_back(std::move(term));
+      }
+      SKETCHTREE_RETURN_NOT_OK(CheckLimits(poly, max_terms_, max_degree_));
+    }
+    return poly;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t max_terms_;
+  int max_degree_;
+};
+
+}  // namespace
+
+Result<CountExpression> CountExpression::Parse(std::string_view text,
+                                               size_t max_terms,
+                                               int max_degree) {
+  ExpressionParser parser(text, max_terms, max_degree);
+  SKETCHTREE_ASSIGN_OR_RETURN(Poly poly, parser.Parse());
+  if (poly.empty()) {
+    return Status::InvalidArgument("empty expression");
+  }
+  return CountExpression(std::move(poly));
+}
+
+Result<CountExpression> CountExpression::FromTerms(std::vector<ExprTerm> terms,
+                                                   int max_degree) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("expression needs at least one term");
+  }
+  for (const ExprTerm& term : terms) {
+    if (term.patterns.empty()) {
+      return Status::InvalidArgument("term with no patterns");
+    }
+    if (term.degree() > max_degree) {
+      return Status::OutOfRange("term degree exceeds max_degree");
+    }
+  }
+  return CountExpression(std::move(terms));
+}
+
+int CountExpression::MaxDegree() const {
+  int max_degree = 0;
+  for (const ExprTerm& term : terms_) {
+    max_degree = std::max(max_degree, term.degree());
+  }
+  return max_degree;
+}
+
+std::string CountExpression::ToString() const {
+  std::string out;
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    const ExprTerm& term = terms_[t];
+    double coeff = term.coeff;
+    if (t == 0) {
+      if (coeff < 0) out += "- ";
+    } else {
+      out += coeff < 0 ? " - " : " + ";
+    }
+    double magnitude = coeff < 0 ? -coeff : coeff;
+    if (magnitude != 1.0) {
+      out += std::to_string(magnitude) + " * ";
+    }
+    for (size_t p = 0; p < term.patterns.size(); ++p) {
+      if (p > 0) out += " * ";
+      out += "COUNT_ORD(" + TreeToSExpr(term.patterns[p]) + ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,71 @@
+#ifndef SKETCHTREE_QUERY_EXPRESSION_H_
+#define SKETCHTREE_QUERY_EXPRESSION_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// One expanded term of a count expression: coefficient times a product of
+/// ordered tree pattern counts,
+///   coeff * COUNT_ord(P_1) * ... * COUNT_ord(P_m).
+struct ExprTerm {
+  double coeff = 1.0;
+  std::vector<LabeledTree> patterns;
+
+  int degree() const { return static_cast<int>(patterns.size()); }
+};
+
+/// A count query expression per the grammar of Section 4,
+///
+///   E -> E + E | E - E | E * E | COUNT_ord(Q) | COUNT(Q)
+///
+/// parsed from text such as
+///
+///   COUNT_ORD(A(B,C)) * COUNT_ORD(D(E)) - COUNT(F(G,H))
+///
+/// where patterns use the s-expression syntax. `COUNT(Q)` (unordered) is
+/// expanded into the sum of `COUNT_ORD` over all ordered arrangements of Q
+/// (Section 3.3). Parentheses group subexpressions.
+///
+/// The expression is normalized to a sum-of-products polynomial; the core
+/// evaluates each term with the Section 4 estimator X^m/m! * prod(xi).
+class CountExpression {
+ public:
+  /// Parses and expands `text`. Fails with InvalidArgument on syntax
+  /// errors and with OutOfRange if expansion exceeds `max_terms` terms or
+  /// any term's degree exceeds `max_degree` (each extra degree doubles the
+  /// xi-independence requirement).
+  static Result<CountExpression> Parse(std::string_view text,
+                                       size_t max_terms = 4096,
+                                       int max_degree = 4);
+
+  /// Builds an expression directly from expanded terms (used by callers
+  /// that construct queries programmatically).
+  static Result<CountExpression> FromTerms(std::vector<ExprTerm> terms,
+                                           int max_degree = 4);
+
+  const std::vector<ExprTerm>& terms() const { return terms_; }
+
+  /// Largest term degree; the synopsis must have independence >= 2 * this
+  /// for the estimate to be unbiased (Appendix C).
+  int MaxDegree() const;
+
+  /// Human-readable normalized form, for diagnostics.
+  std::string ToString() const;
+
+ private:
+  explicit CountExpression(std::vector<ExprTerm> terms)
+      : terms_(std::move(terms)) {}
+
+  std::vector<ExprTerm> terms_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_QUERY_EXPRESSION_H_

@@ -1,0 +1,356 @@
+#include "query/extended_query.h"
+
+#include <cctype>
+#include <set>
+
+#include "query/unordered.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+
+namespace {
+
+bool IsBareLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == '#' || c == '@';
+}
+
+/// Recursive-descent parser for the extended syntax:
+///   node  := ['//'] ('*' | label) [ '(' node (',' node)* ')' ]
+class ExtendedParser {
+ public:
+  explicit ExtendedParser(std::string_view text) : text_(text) {}
+
+  Result<ExtendedQueryNode> Parse() {
+    SKETCHTREE_ASSIGN_OR_RETURN(ExtendedQueryNode root, ParseNode());
+    if (root.descendant_edge) {
+      return Status::InvalidArgument(
+          "the query root cannot carry a '//' edge");
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_));
+    }
+    return root;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Result<ExtendedQueryNode> ParseNode() {
+    ExtendedQueryNode node;
+    SkipSpace();
+    if (!AtEnd() && Peek() == '/') {
+      if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '/') {
+        return Status::InvalidArgument("single '/' at offset " +
+                                       std::to_string(pos_) +
+                                       "; child edges are implicit, use "
+                                       "'//' for descendant edges");
+      }
+      pos_ += 2;
+      node.descendant_edge = true;
+      SkipSpace();
+    }
+    if (AtEnd()) return Status::InvalidArgument("expected label, got EOF");
+    if (Peek() == '*') {
+      ++pos_;
+      node.wildcard = true;
+    } else if (Peek() == '\'') {
+      ++pos_;
+      while (!AtEnd() && Peek() != '\'') {
+        char c = Peek();
+        if (c == '\\') {
+          ++pos_;
+          if (AtEnd()) {
+            return Status::InvalidArgument("dangling escape");
+          }
+          c = Peek();
+        }
+        node.label.push_back(c);
+        ++pos_;
+      }
+      if (AtEnd()) return Status::InvalidArgument("unterminated quote");
+      ++pos_;
+    } else {
+      while (!AtEnd() && IsBareLabelChar(Peek())) {
+        node.label.push_back(Peek());
+        ++pos_;
+      }
+      if (node.label.empty()) {
+        return Status::InvalidArgument("expected label at offset " +
+                                       std::to_string(pos_));
+      }
+    }
+    SkipSpace();
+    if (!AtEnd() && Peek() == '(') {
+      ++pos_;
+      while (true) {
+        SKETCHTREE_ASSIGN_OR_RETURN(ExtendedQueryNode child, ParseNode());
+        node.children.push_back(std::move(child));
+        SkipSpace();
+        if (AtEnd()) return Status::InvalidArgument("missing ')'");
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        if (Peek() == ')') {
+          ++pos_;
+          break;
+        }
+        return Status::InvalidArgument("expected ',' or ')' at offset " +
+                                       std::to_string(pos_));
+      }
+    }
+    return node;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+void AppendNodeString(const ExtendedQueryNode& node, std::string* out) {
+  if (node.descendant_edge) *out += "//";
+  *out += node.wildcard ? "*" : node.label;
+  if (!node.children.empty()) {
+    out->push_back('(');
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendNodeString(node.children[i], out);
+    }
+    out->push_back(')');
+  }
+}
+
+bool NodeIsPlain(const ExtendedQueryNode& node) {
+  if (node.wildcard || node.descendant_edge) return false;
+  for (const ExtendedQueryNode& child : node.children) {
+    if (!NodeIsPlain(child)) return false;
+  }
+  return true;
+}
+
+/// Resolution engine (Figure 7): enumerates, per query node matched to a
+/// summary node, every materialized plain subtree; '//' edges expand via
+/// summary descendants with their intermediate label chains.
+class Resolver {
+ public:
+  Resolver(const StructuralSummary& summary, int max_edges,
+           size_t max_patterns)
+      : summary_(summary),
+        max_nodes_(static_cast<size_t>(max_edges) + 1),
+        max_patterns_(max_patterns) {}
+
+  Result<std::vector<LabeledTree>> Resolve(const ExtendedQueryNode& root) {
+    std::set<std::string> seen;
+    std::vector<LabeledTree> out;
+    // Pattern occurrences are rooted anywhere in the data, so the query
+    // root may anchor at any summary node (not only stream roots).
+    for (SummaryNode sid = 0;
+         sid < static_cast<SummaryNode>(summary_.num_nodes()); ++sid) {
+      if (!Matches(root, summary_.label(sid))) continue;
+      std::vector<LabeledTree> variants;
+      SKETCHTREE_RETURN_NOT_OK(VariantsFor(root, sid, &variants));
+      for (LabeledTree& variant : variants) {
+        std::string key = TreeToSExpr(variant);
+        if (seen.insert(key).second) {
+          if (out.size() >= max_patterns_) {
+            return Status::OutOfRange(
+                "extended query resolves to more than " +
+                std::to_string(max_patterns_) + " plain patterns");
+          }
+          out.push_back(std::move(variant));
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  using SummaryNode = StructuralSummary::NodeId;
+
+  static bool Matches(const ExtendedQueryNode& q, const std::string& label) {
+    return q.wildcard || q.label == label;
+  }
+
+  Status ChargeWork() {
+    if (++work_ > 64 * max_patterns_) {
+      return Status::OutOfRange(
+          "extended query resolution exceeded its work budget");
+    }
+    return Status::OK();
+  }
+
+  /// All plain subtrees rooted at a node labeled label(s) that realize
+  /// query node `q` at summary node `s`. Subtrees exceeding the node
+  /// budget are pruned (they can only grow upward).
+  Status VariantsFor(const ExtendedQueryNode& q, SummaryNode s,
+                     std::vector<LabeledTree>* out) {
+    SKETCHTREE_RETURN_NOT_OK(ChargeWork());
+    out->clear();
+    // Branch variants per query child.
+    std::vector<std::vector<LabeledTree>> branches(q.children.size());
+    for (size_t c = 0; c < q.children.size(); ++c) {
+      SKETCHTREE_RETURN_NOT_OK(
+          CollectChildBranches(q.children[c], s, &branches[c]));
+      if (branches[c].empty()) return Status::OK();  // No match: no variants.
+    }
+    // Cartesian product over child branches. A combination exceeding the
+    // node budget is an error, not a skip: Section 6.2's sum-of-
+    // frequencies technique requires every resolved pattern to fit
+    // within k edges, and dropping one would silently undercount.
+    std::vector<size_t> choice(q.children.size(), 0);
+    while (true) {
+      int32_t total_nodes = 1;
+      for (size_t c = 0; c < q.children.size(); ++c) {
+        total_nodes += branches[c][choice[c]].size();
+      }
+      if (static_cast<size_t>(total_nodes) > max_nodes_) {
+        return Status::OutOfRange(
+            "extended query resolves to a pattern with more than k=" +
+            std::to_string(max_nodes_ - 1) +
+            " edges; raise max_pattern_edges (Section 6.2 caveat)");
+      }
+      {
+        LabeledTree variant;
+        LabeledTree::NodeId root =
+            variant.AddNode(summary_.label(s), LabeledTree::kInvalidNode);
+        for (size_t c = 0; c < q.children.size(); ++c) {
+          const LabeledTree& branch = branches[c][choice[c]];
+          CopySubtree(&variant, root, branch, branch.root());
+        }
+        out->push_back(std::move(variant));
+      }
+      if (q.children.empty()) break;
+      size_t c = q.children.size();
+      bool advanced = false;
+      while (c-- > 0) {
+        if (++choice[c] < branches[c].size()) {
+          advanced = true;
+          break;
+        }
+        choice[c] = 0;
+        if (c == 0) break;
+      }
+      if (!advanced) break;
+    }
+    return Status::OK();
+  }
+
+  /// All plain branches (subtrees hanging below the parent) realizing
+  /// query child `qc` under summary node `s`.
+  Status CollectChildBranches(const ExtendedQueryNode& qc, SummaryNode s,
+                              std::vector<LabeledTree>* out) {
+    out->clear();
+    if (!qc.descendant_edge) {
+      for (const auto& [label, sc] : summary_.children(s)) {
+        if (!Matches(qc, label)) continue;
+        std::vector<LabeledTree> subs;
+        SKETCHTREE_RETURN_NOT_OK(VariantsFor(qc, sc, &subs));
+        for (LabeledTree& sub : subs) out->push_back(std::move(sub));
+      }
+      return Status::OK();
+    }
+    // '//': every strict descendant of s whose label matches, with the
+    // intermediate label chain materialized above the match.
+    std::vector<std::string> chain;
+    return DescendantBranches(qc, s, &chain, out);
+  }
+
+  /// True if any strict descendant of `s` matches `qc`'s label.
+  bool AnyDescendantMatches(const ExtendedQueryNode& qc, SummaryNode s) {
+    for (const auto& [label, sd] : summary_.children(s)) {
+      if (Matches(qc, label)) return true;
+      if (AnyDescendantMatches(qc, sd)) return true;
+    }
+    return false;
+  }
+
+  Status DescendantBranches(const ExtendedQueryNode& qc, SummaryNode s,
+                            std::vector<std::string>* chain,
+                            std::vector<LabeledTree>* out) {
+    SKETCHTREE_RETURN_NOT_OK(ChargeWork());
+    // chain holds the labels strictly between s and the current node.
+    if (chain->size() + 1 >= max_nodes_) {
+      // Deeper matches would resolve to patterns beyond k edges — an
+      // error if they exist (Section 6.2 caveat), harmless otherwise.
+      if (AnyDescendantMatches(qc, s)) {
+        return Status::OutOfRange(
+            "a '//' edge reaches matches deeper than k=" +
+            std::to_string(max_nodes_ - 1) +
+            " edges; raise max_pattern_edges (Section 6.2 caveat)");
+      }
+      return Status::OK();
+    }
+    for (const auto& [label, sd] : summary_.children(s)) {
+      if (Matches(qc, label)) {
+        std::vector<LabeledTree> subs;
+        SKETCHTREE_RETURN_NOT_OK(VariantsFor(qc, sd, &subs));
+        for (LabeledTree& sub : subs) {
+          if (chain->empty()) {
+            out->push_back(std::move(sub));
+            continue;
+          }
+          // Wrap the subtree in the intermediate chain.
+          LabeledTree wrapped;
+          LabeledTree::NodeId parent = LabeledTree::kInvalidNode;
+          for (const std::string& link : *chain) {
+            parent = wrapped.AddNode(link, parent);
+          }
+          CopySubtree(&wrapped, parent, sub, sub.root());
+          out->push_back(std::move(wrapped));
+        }
+      }
+      // Recurse deeper with this node as part of the chain.
+      chain->push_back(label);
+      SKETCHTREE_RETURN_NOT_OK(DescendantBranches(qc, sd, chain, out));
+      chain->pop_back();
+    }
+    return Status::OK();
+  }
+
+  const StructuralSummary& summary_;
+  size_t max_nodes_;
+  size_t max_patterns_;
+  size_t work_ = 0;
+};
+
+}  // namespace
+
+Result<ExtendedQuery> ExtendedQuery::Parse(std::string_view text) {
+  ExtendedParser parser(text);
+  SKETCHTREE_ASSIGN_OR_RETURN(ExtendedQueryNode root, parser.Parse());
+  return ExtendedQuery(std::move(root));
+}
+
+bool ExtendedQuery::IsPlain() const { return NodeIsPlain(root_); }
+
+std::string ExtendedQuery::ToString() const {
+  std::string out;
+  AppendNodeString(root_, &out);
+  return out;
+}
+
+Result<std::vector<LabeledTree>> ResolveExtendedQuery(
+    const ExtendedQuery& query, const StructuralSummary& summary,
+    int max_edges, size_t max_patterns) {
+  if (summary.saturated()) {
+    return Status::InvalidArgument(
+        "structural summary saturated its node cap; extended-query "
+        "resolution could undercount");
+  }
+  if (max_edges < 1) {
+    return Status::InvalidArgument("max_edges must be >= 1");
+  }
+  Resolver resolver(summary, max_edges, max_patterns);
+  return resolver.Resolve(query.root());
+}
+
+}  // namespace sketchtree

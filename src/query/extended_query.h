@@ -1,0 +1,72 @@
+#ifndef SKETCHTREE_QUERY_EXTENDED_QUERY_H_
+#define SKETCHTREE_QUERY_EXTENDED_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "summary/structural_summary.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// One node of an extended tree-pattern query (Section 6.2): XPath-style
+/// wildcards and ancestor-descendant edges on top of the plain
+/// parent-child pattern language.
+struct ExtendedQueryNode {
+  std::string label;            ///< Ignored when wildcard is true.
+  bool wildcard = false;        ///< '*': matches any label.
+  bool descendant_edge = false; ///< '//' edge from the parent ('/' if not).
+  std::vector<ExtendedQueryNode> children;
+};
+
+/// An extended query, parsed from the plain pattern syntax augmented
+/// with:
+///   *      a wildcard node label              A(*,C)
+///   //X    an ancestor-descendant edge        A(//C)     (strict, >= 1 edge)
+///
+/// e.g. `A(B,//C(*))` — A with child B and descendant C, C having any
+/// single child. The root cannot carry '//'.
+class ExtendedQuery {
+ public:
+  static Result<ExtendedQuery> Parse(std::string_view text);
+
+  const ExtendedQueryNode& root() const { return root_; }
+
+  /// True if the query uses no extension (plain parent-child pattern).
+  bool IsPlain() const;
+
+  /// Normalized textual form.
+  std::string ToString() const;
+
+ private:
+  explicit ExtendedQuery(ExtendedQueryNode root) : root_(std::move(root)) {}
+  ExtendedQueryNode root_;
+};
+
+/// Resolves an extended query against a structural summary into the set
+/// of distinct parent-child-only patterns whose frequencies sum to the
+/// query's frequency (the paper's Figure 7 construction):
+///  * a wildcard is replaced by every label the summary permits at that
+///    position;
+///  * a '//' edge is expanded into every label chain the summary
+///    contains between the two endpoints, materializing the intermediate
+///    nodes.
+///
+/// Fails with:
+///  * FailedPrecondition-like InvalidArgument if the summary is
+///    saturated (it may be missing paths, so the sum would undercount);
+///  * OutOfRange if any resolved pattern exceeds `max_edges` (the paper's
+///    k-limit caveat in Section 6.2) or more than `max_patterns` resolved
+///    patterns arise.
+///
+/// An empty result means the summary proves the count is zero.
+Result<std::vector<LabeledTree>> ResolveExtendedQuery(
+    const ExtendedQuery& query, const StructuralSummary& summary,
+    int max_edges, size_t max_patterns = 4096);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_QUERY_EXTENDED_QUERY_H_

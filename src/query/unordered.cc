@@ -1,0 +1,114 @@
+#include "query/unordered.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+
+/// Recursively computes the distinct arrangements of the subtree rooted at
+/// `node`, keyed by canonical s-expression (for deduplication). Budget is
+/// decremented as arrangements are produced; exhausting it aborts.
+Status ArrangementsOf(const LabeledTree& pattern, NodeId node,
+                      size_t* budget,
+                      std::map<std::string, LabeledTree>* out) {
+  out->clear();
+  const auto& children = pattern.children(node);
+  if (children.empty()) {
+    LabeledTree leaf;
+    leaf.AddNode(pattern.label(node), LabeledTree::kInvalidNode);
+    if (*budget == 0) return Status::OutOfRange("arrangement budget");
+    --*budget;
+    out->emplace(TreeToSExpr(leaf), std::move(leaf));
+    return Status::OK();
+  }
+
+  // Child variant sets, each a vector of (sexpr, subtree).
+  std::vector<std::vector<std::pair<std::string, LabeledTree>>> variants;
+  variants.reserve(children.size());
+  for (NodeId child : children) {
+    std::map<std::string, LabeledTree> child_out;
+    SKETCHTREE_RETURN_NOT_OK(
+        ArrangementsOf(pattern, child, budget, &child_out));
+    std::vector<std::pair<std::string, LabeledTree>> v;
+    v.reserve(child_out.size());
+    for (auto& [key, tree] : child_out) v.emplace_back(key, std::move(tree));
+    variants.push_back(std::move(v));
+  }
+
+  const size_t m = children.size();
+  // Odometer over one variant choice per child.
+  std::vector<size_t> choice(m, 0);
+  std::vector<int> perm(m);
+  while (true) {
+    // All permutations of the chosen child subtrees. Permuting indices and
+    // deduplicating via the output map handles equal sibling subtrees.
+    std::iota(perm.begin(), perm.end(), 0);
+    do {
+      LabeledTree arranged;
+      NodeId root = arranged.AddNode(pattern.label(node),
+                                     LabeledTree::kInvalidNode);
+      for (size_t slot = 0; slot < m; ++slot) {
+        const LabeledTree& sub =
+            variants[perm[slot]][choice[perm[slot]]].second;
+        CopySubtree(&arranged, root, sub, sub.root());
+      }
+      std::string key = TreeToSExpr(arranged);
+      if (out->find(key) == out->end()) {
+        if (*budget == 0) return Status::OutOfRange("arrangement budget");
+        --*budget;
+        out->emplace(std::move(key), std::move(arranged));
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    // Advance the odometer; when every position wraps, we are done.
+    size_t c = m;
+    while (c-- > 0) {
+      if (++choice[c] < variants[c].size()) break;
+      choice[c] = 0;
+      if (c == 0) return Status::OK();
+    }
+  }
+}
+
+}  // namespace
+
+LabeledTree::NodeId CopySubtree(LabeledTree* dst, NodeId dst_parent,
+                                const LabeledTree& src, NodeId src_node) {
+  NodeId copied = dst->AddNode(src.label(src_node), dst_parent);
+  for (NodeId child : src.children(src_node)) {
+    CopySubtree(dst, copied, src, child);
+  }
+  return copied;
+}
+
+Result<std::vector<LabeledTree>> OrderedArrangements(
+    const LabeledTree& pattern, size_t max_arrangements) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  size_t budget = max_arrangements;
+  std::map<std::string, LabeledTree> out;
+  Status st = ArrangementsOf(pattern, pattern.root(), &budget, &out);
+  if (!st.ok()) {
+    if (st.IsOutOfRange()) {
+      return Status::OutOfRange(
+          "pattern has more than " + std::to_string(max_arrangements) +
+          " ordered arrangements");
+    }
+    return st;
+  }
+  std::vector<LabeledTree> result;
+  result.reserve(out.size());
+  for (auto& [key, tree] : out) result.push_back(std::move(tree));
+  return result;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,36 @@
+#ifndef SKETCHTREE_QUERY_UNORDERED_H_
+#define SKETCHTREE_QUERY_UNORDERED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// All distinct ordered tree patterns obtainable from `pattern` by
+/// permuting the children of every node (Section 3.3, Figure 4): an
+/// unordered count COUNT(Q) is the sum of COUNT_ord over these
+/// arrangements, which SketchTree estimates with the single sum estimator
+/// of Section 3.2.
+///
+/// Structurally identical arrangements (from permuting equal sibling
+/// subtrees) are deduplicated, so the result contains each distinct
+/// ordered pattern exactly once. The arrangement count grows factorially
+/// with fanout; if it would exceed `max_arrangements`, returns OutOfRange
+/// rather than exploding.
+Result<std::vector<LabeledTree>> OrderedArrangements(
+    const LabeledTree& pattern, size_t max_arrangements = 10000);
+
+/// Copies the subtree of `src` rooted at `src_node` into `dst` under
+/// `dst_parent` (kInvalidNode makes it the root). Returns the id of the
+/// copied root. Exposed for reuse by the expression builder and tests.
+LabeledTree::NodeId CopySubtree(LabeledTree* dst,
+                                LabeledTree::NodeId dst_parent,
+                                const LabeledTree& src,
+                                LabeledTree::NodeId src_node);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_QUERY_UNORDERED_H_

@@ -1,0 +1,3 @@
+// AmsSketch is header-only; this file exists so the build system has a
+// translation unit to attach future out-of-line definitions to.
+#include "sketch/ams_sketch.h"

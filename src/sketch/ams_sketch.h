@@ -1,0 +1,49 @@
+#ifndef SKETCHTREE_SKETCH_AMS_SKETCH_H_
+#define SKETCHTREE_SKETCH_AMS_SKETCH_H_
+
+#include <cstdint>
+
+#include "hashing/kwise.h"
+
+namespace sketchtree {
+
+/// One AMS atomic sketch (Alon–Matias–Szegedy, Section 3): the randomized
+/// linear projection X = sum_i f_i * xi_i of a stream's frequency vector,
+/// where the xi_i are k-wise independent ±1 variables derived from this
+/// instance's random seed.
+///
+/// Updates are additive, so deletions (negative weights) are supported —
+/// the property the top-k strategy of Section 5.2 relies on. The counter
+/// is a double because top-k removes *estimated* (fractional) frequencies.
+class AmsSketch {
+ public:
+  /// `independence` = k of the xi family (4 suffices for point and sum
+  /// estimates; k-fold products need 2k-wise, Appendix C).
+  AmsSketch(uint64_t seed, int independence)
+      : xi_(independence, seed) {}
+
+  /// Adds `weight` occurrences of value `v` (negative weight deletes).
+  void Add(uint64_t v, double weight = 1.0) { x_ += weight * Xi(v); }
+
+  /// The ±1 variable xi_v of this instance. Not stored — recomputed from
+  /// the seed during query processing, exactly as the paper prescribes.
+  int Xi(uint64_t v) const { return xi_.Xi(v); }
+
+  /// Current projection value X.
+  double value() const { return x_; }
+
+  /// Overwrites X directly — used only by synopsis deserialization (the
+  /// xi family is rebuilt from the seed, so the counter is the whole
+  /// per-instance state).
+  void set_value(double x) { x_ = x; }
+
+  void Reset() { x_ = 0.0; }
+
+ private:
+  KWiseHash xi_;
+  double x_ = 0.0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SKETCH_AMS_SKETCH_H_

@@ -1,0 +1,58 @@
+#include "sketch/count_sketch.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+
+CountSketch::CountSketch(int width, int depth, uint64_t seed)
+    : width_(width), depth_(depth) {
+  table_.assign(static_cast<size_t>(width) * depth, 0.0);
+  bucket_hash_.reserve(depth);
+  sign_hash_.reserve(depth);
+  for (int row = 0; row < depth; ++row) {
+    bucket_hash_.emplace_back(/*independence=*/2,
+                              DeriveSeed(seed, 2 * row));
+    sign_hash_.emplace_back(/*independence=*/4,
+                            DeriveSeed(seed, 2 * row + 1));
+  }
+}
+
+Result<CountSketch> CountSketch::Create(int width, int depth,
+                                        uint64_t seed) {
+  if (width < 1 || depth < 1) {
+    return Status::InvalidArgument("CountSketch: width and depth must be "
+                                   ">= 1");
+  }
+  return CountSketch(width, depth, seed);
+}
+
+void CountSketch::Update(uint64_t v, double weight) {
+  for (int row = 0; row < depth_; ++row) {
+    table_[static_cast<size_t>(row) * width_ + BucketOf(row, v)] +=
+        weight * sign_hash_[row].Xi(v);
+  }
+}
+
+double CountSketch::EstimatePoint(uint64_t v) const {
+  std::vector<double> rows(depth_);
+  for (int row = 0; row < depth_; ++row) {
+    rows[row] = sign_hash_[row].Xi(v) *
+                table_[static_cast<size_t>(row) * width_ + BucketOf(row, v)];
+  }
+  size_t mid = rows.size() / 2;
+  std::nth_element(rows.begin(), rows.begin() + mid, rows.end());
+  if (rows.size() % 2 == 1) return rows[mid];
+  double upper = rows[mid];
+  double lower = *std::max_element(rows.begin(), rows.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+size_t CountSketch::MemoryBytes() const {
+  // One double per bucket plus two 64-bit seeds per row.
+  return table_.size() * sizeof(double) +
+         static_cast<size_t>(depth_) * 2 * sizeof(uint64_t);
+}
+
+}  // namespace sketchtree

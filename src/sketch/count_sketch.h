@@ -1,0 +1,58 @@
+#ifndef SKETCHTREE_SKETCH_COUNT_SKETCH_H_
+#define SKETCHTREE_SKETCH_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "hashing/kwise.h"
+
+namespace sketchtree {
+
+/// The COUNT sketch of Charikar, Chen, and Farach-Colton, which the
+/// paper cites (Section 2.2) as an alternative point-frequency sketch
+/// and whose bucket structure inspired the virtual streams of
+/// Section 5.3. Implemented here as a comparison baseline for the AMS
+/// synopsis (see bench_baseline_countsketch).
+///
+/// `depth` independent rows each hash a value into one of `width`
+/// buckets (pairwise-independent bucket hash) and add a four-wise
+/// independent ±1 sign; a point estimate is the median over rows of
+/// sign * bucket. Unbiased per row, with per-row variance bounded by
+/// SJ(S)/width — the bucketing plays the role AMS delegates to
+/// averaging s1 instances.
+class CountSketch {
+ public:
+  /// `width` buckets per row, `depth` rows; both >= 1.
+  static Result<CountSketch> Create(int width, int depth, uint64_t seed);
+
+  int width() const { return width_; }
+  int depth() const { return depth_; }
+
+  /// Adds `weight` occurrences of `v` (negative deletes).
+  void Update(uint64_t v, double weight = 1.0);
+
+  /// Median-of-rows point estimate of f_v.
+  double EstimatePoint(uint64_t v) const;
+
+  /// Counter table + per-row seeds, in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  CountSketch(int width, int depth, uint64_t seed);
+
+  size_t BucketOf(int row, uint64_t v) const {
+    return static_cast<size_t>(bucket_hash_[row].Eval(v) %
+                               static_cast<uint64_t>(width_));
+  }
+
+  int width_;
+  int depth_;
+  std::vector<double> table_;  // Row-major: [row * width + bucket].
+  std::vector<KWiseHash> bucket_hash_;  // Pairwise independent.
+  std::vector<KWiseHash> sign_hash_;    // Four-wise independent.
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SKETCH_COUNT_SKETCH_H_

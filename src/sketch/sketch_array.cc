@@ -1,0 +1,59 @@
+#include "sketch/sketch_array.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+
+SketchArray::SketchArray(int s1, int s2, int independence, uint64_t base_seed)
+    : s1_(s1), s2_(s2) {
+  assert(s1 >= 1 && s2 >= 1);
+  sketches_.reserve(static_cast<size_t>(s1) * s2);
+  for (int i = 0; i < s2; ++i) {
+    for (int j = 0; j < s1; ++j) {
+      uint64_t seed =
+          DeriveSeed(base_seed, static_cast<uint64_t>(i) * s1 + j);
+      sketches_.emplace_back(seed, independence);
+    }
+  }
+}
+
+void SketchArray::Update(uint64_t v, double weight) {
+  for (AmsSketch& sketch : sketches_) sketch.Add(v, weight);
+}
+
+double SketchArray::EstimatePoint(uint64_t v) const {
+  return BoostedEstimate(s1_, s2_, [&](int i, int j) {
+    const AmsSketch& s = instance(i, j);
+    return s.Xi(v) * s.value();
+  });
+}
+
+size_t SketchArray::MemoryBytes() const {
+  // One double counter plus one 64-bit seed per instance (the xi variables
+  // themselves are recomputed from the seed, not stored — Section 3.1).
+  return sketches_.size() * (sizeof(double) + sizeof(uint64_t));
+}
+
+double BoostedEstimate(
+    int s1, int s2,
+    const std::function<double(int i, int j)>& per_instance) {
+  std::vector<double> medians;
+  medians.reserve(s2);
+  for (int i = 0; i < s2; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < s1; ++j) sum += per_instance(i, j);
+    medians.push_back(sum / s1);
+  }
+  size_t mid = medians.size() / 2;
+  std::nth_element(medians.begin(), medians.begin() + mid, medians.end());
+  if (medians.size() % 2 == 1) return medians[mid];
+  // Even s2: average the two middle values for a symmetric median.
+  double upper = medians[mid];
+  double lower = *std::max_element(medians.begin(), medians.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,60 @@
+#ifndef SKETCHTREE_SKETCH_SKETCH_ARRAY_H_
+#define SKETCHTREE_SKETCH_SKETCH_ARRAY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sketch/ams_sketch.h"
+
+namespace sketchtree {
+
+/// The boosted s1 × s2 grid of iid AMS sketch instances (Section 3.1):
+/// s1 controls accuracy (instances are averaged), s2 controls confidence
+/// (averages are median-selected). Instance (i, j) — i in [0, s2),
+/// j in [0, s1) — has its own seed derived from `base_seed`, so two
+/// SketchArrays built with the same base seed have identical xi families
+/// (the virtual-stream sharing of Section 5.3).
+class SketchArray {
+ public:
+  SketchArray(int s1, int s2, int independence, uint64_t base_seed);
+
+  int s1() const { return s1_; }
+  int s2() const { return s2_; }
+
+  /// Adds `weight` occurrences of `v` to every instance (Algorithm 1's
+  /// inner double loop).
+  void Update(uint64_t v, double weight = 1.0);
+
+  const AmsSketch& instance(int i, int j) const {
+    return sketches_[static_cast<size_t>(i) * s1_ + j];
+  }
+  AmsSketch& instance(int i, int j) {
+    return sketches_[static_cast<size_t>(i) * s1_ + j];
+  }
+
+  /// Point estimate of the frequency of `v` (the xi_v * X estimator with
+  /// average/median boosting, Algorithm 2 with a single query value).
+  double EstimatePoint(uint64_t v) const;
+
+  /// Memory footprint of the sketch counters + per-instance seeds, in
+  /// bytes, for the paper-style memory accounting of Section 7.5.
+  size_t MemoryBytes() const;
+
+ private:
+  int s1_;
+  int s2_;
+  std::vector<AmsSketch> sketches_;  // Row-major: [i * s1 + j].
+};
+
+/// Average-of-s1 / median-of-s2 boosting over arbitrary per-instance
+/// estimates: `per_instance(i, j)` returns instance (i, j)'s estimate.
+/// This is the reusable core of Algorithm 2 — point, sum, product, and
+/// general expression estimators all differ only in the per-instance term.
+double BoostedEstimate(
+    int s1, int s2,
+    const std::function<double(int i, int j)>& per_instance);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SKETCH_SKETCH_ARRAY_H_

@@ -1,0 +1,49 @@
+#include "stats/error_stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sketchtree {
+
+std::string SelectivityRange::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%g, %g)", lo, hi);
+  return buf;
+}
+
+double SanityBoundedRelativeError(double approx, double actual) {
+  if (actual <= 0.0) {
+    // Degenerate: a zero actual count has no relative error; report the
+    // absolute estimate instead so wildly wrong answers still register.
+    return std::fabs(approx);
+  }
+  if (approx < 0.0) approx = 0.1 * actual;  // Paper's sanity bound.
+  return std::fabs(approx - actual) / actual;
+}
+
+void ErrorAccumulator::Add(double selectivity, double relative_error) {
+  for (size_t r = 0; r < ranges_.size(); ++r) {
+    if (ranges_[r].Contains(selectivity)) {
+      sums_[r] += relative_error;
+      counts_[r] += 1;
+      return;
+    }
+  }
+  ++dropped_;
+}
+
+std::vector<ErrorAccumulator::Bucket> ErrorAccumulator::Buckets() const {
+  std::vector<Bucket> buckets;
+  buckets.reserve(ranges_.size());
+  for (size_t r = 0; r < ranges_.size(); ++r) {
+    Bucket bucket;
+    bucket.range = ranges_[r];
+    bucket.num_queries = counts_[r];
+    bucket.mean_relative_error =
+        counts_[r] == 0 ? 0.0 : sums_[r] / counts_[r];
+    buckets.push_back(bucket);
+  }
+  return buckets;
+}
+
+}  // namespace sketchtree

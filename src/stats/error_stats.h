@@ -1,0 +1,60 @@
+#ifndef SKETCHTREE_STATS_ERROR_STATS_H_
+#define SKETCHTREE_STATS_ERROR_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sketchtree {
+
+/// A half-open selectivity interval [lo, hi), as used along the x-axis
+/// grouping of the paper's Figures 8 and 10–12.
+struct SelectivityRange {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool Contains(double selectivity) const {
+    return selectivity >= lo && selectivity < hi;
+  }
+  std::string ToString() const;
+};
+
+/// The paper's error metric (Section 7.5): standard relative error
+/// |approx - actual| / actual, with the sanity bound for negative
+/// estimates — a negative approximate count is replaced by
+/// 0.1 * actual before measuring.
+double SanityBoundedRelativeError(double approx, double actual);
+
+/// Accumulates per-query relative errors into selectivity buckets and
+/// reports the mean per bucket ("the average of the average relative
+/// error for the set of queries in each selectivity range").
+class ErrorAccumulator {
+ public:
+  explicit ErrorAccumulator(std::vector<SelectivityRange> ranges)
+      : ranges_(std::move(ranges)),
+        sums_(ranges_.size(), 0.0),
+        counts_(ranges_.size(), 0) {}
+
+  /// Records one query's relative error. Selectivities outside every
+  /// range are ignored (and counted in dropped()).
+  void Add(double selectivity, double relative_error);
+
+  struct Bucket {
+    SelectivityRange range;
+    double mean_relative_error = 0.0;
+    size_t num_queries = 0;
+  };
+  std::vector<Bucket> Buckets() const;
+
+  size_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<SelectivityRange> ranges_;
+  std::vector<double> sums_;
+  std::vector<size_t> counts_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_STATS_ERROR_STATS_H_

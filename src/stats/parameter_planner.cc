@@ -1,0 +1,41 @@
+#include "stats/parameter_planner.h"
+
+#include <cmath>
+
+namespace sketchtree {
+
+Result<ParameterPlan> PlanParameters(double epsilon, double delta,
+                                     double self_join_size,
+                                     double min_frequency) {
+  if (!(epsilon > 0.0) || epsilon >= 10.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 10)");
+  }
+  if (!(delta > 0.0) || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (!(self_join_size >= 0.0)) {
+    return Status::InvalidArgument("self_join_size must be >= 0");
+  }
+  if (!(min_frequency > 0.0)) {
+    return Status::InvalidArgument("min_frequency must be > 0");
+  }
+  ParameterPlan plan;
+  // Theorem 1: s1 = 8 SJ(S) / (eps^2 f_q^2), s2 = 2 lg(1/delta).
+  double s1 = 8.0 * self_join_size /
+              (epsilon * epsilon * min_frequency * min_frequency);
+  plan.s1 = static_cast<int>(std::ceil(std::max(1.0, s1)));
+  plan.s2 = static_cast<int>(std::ceil(
+      std::max(1.0, 2.0 * std::log2(1.0 / delta))));
+  // Per instance: one double counter + one 64-bit seed (Section 3.1).
+  plan.bytes_per_stream = static_cast<size_t>(plan.s1) *
+                          static_cast<size_t>(plan.s2) *
+                          (sizeof(double) + sizeof(uint64_t));
+  return plan;
+}
+
+double AchievableEpsilon(int s1, double self_join_size, double frequency) {
+  if (s1 < 1 || frequency <= 0.0 || self_join_size < 0.0) return HUGE_VAL;
+  return std::sqrt(8.0 * self_join_size / s1) / frequency;
+}
+
+}  // namespace sketchtree

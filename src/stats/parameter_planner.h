@@ -1,0 +1,46 @@
+#ifndef SKETCHTREE_STATS_PARAMETER_PLANNER_H_
+#define SKETCHTREE_STATS_PARAMETER_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// A synopsis sizing recommendation derived from Theorem 1.
+struct ParameterPlan {
+  int s1 = 0;  ///< Instances to average: ceil(8 SJ / (eps^2 f^2)).
+  int s2 = 0;  ///< Groups to median: ceil(2 lg(1/delta)).
+  /// Counter + seed bytes for one virtual stream's sketch array; multiply
+  /// by the number of virtual streams for the full synopsis.
+  size_t bytes_per_stream = 0;
+};
+
+/// Sizes a synopsis per Theorem 1: to estimate a pattern of frequency at
+/// least `min_frequency` within relative error `epsilon` with
+/// probability at least 1 - `delta`, over a stream whose (per-virtual-
+/// stream) self-join size is `self_join_size`.
+///
+/// `self_join_size` can be the exact SJ(S) of a profiling run
+/// (ExactCounter::SelfJoinSize), an online AMS estimate
+/// (SketchTree::EstimateSelfJoinSize), or an upper bound; dividing the
+/// whole-stream SJ by the number of virtual streams is the right input
+/// when partitioning (Section 5.3), and top-k deletion lowers it further
+/// (Section 5.2).
+///
+/// Fails on non-positive or out-of-range inputs.
+Result<ParameterPlan> PlanParameters(double epsilon, double delta,
+                                     double self_join_size,
+                                     double min_frequency);
+
+/// The reverse direction: given an s1 the memory budget affords and the
+/// stream's (per-virtual-stream) self-join size, the relative error
+/// Theorem 1 guarantees (with constant-probability confidence per
+/// group) for patterns of frequency `frequency`:
+///   epsilon = sqrt(8 * SJ / s1) / f.
+double AchievableEpsilon(int s1, double self_join_size, double frequency);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_STATS_PARAMETER_PLANNER_H_

@@ -1,0 +1,230 @@
+#include "stream/virtual_streams.h"
+
+#include <algorithm>
+
+#include "sketch/estimators.h"
+
+namespace sketchtree {
+
+bool IsPrime(uint32_t n) {
+  if (n < 2) return false;
+  if (n % 2 == 0) return n == 2;
+  for (uint32_t d = 3; static_cast<uint64_t>(d) * d <= n; d += 2) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+Result<VirtualStreams> VirtualStreams::Create(
+    const VirtualStreamsOptions& options) {
+  if (options.num_streams == 0) {
+    return Status::InvalidArgument("num_streams must be >= 1");
+  }
+  if (options.num_streams > 1 && !IsPrime(options.num_streams)) {
+    return Status::InvalidArgument(
+        "num_streams must be prime (got " +
+        std::to_string(options.num_streams) + ")");
+  }
+  if (options.s1 < 1 || options.s2 < 1) {
+    return Status::InvalidArgument("s1 and s2 must be >= 1");
+  }
+  if (options.independence < 4) {
+    return Status::InvalidArgument(
+        "independence must be >= 4 (AMS needs four-wise xi variables)");
+  }
+  if (options.topk_probability < 0.0 || options.topk_probability > 1.0) {
+    return Status::InvalidArgument("topk_probability must be in [0, 1]");
+  }
+  return VirtualStreams(options);
+}
+
+VirtualStreams::VirtualStreams(const VirtualStreamsOptions& options)
+    : options_(options), sampling_rng_(options.seed, /*stream=*/0x70b5) {
+  arrays_.reserve(options_.num_streams);
+  for (uint32_t r = 0; r < options_.num_streams; ++r) {
+    // Identical base seed across streams: shared xi variables
+    // (Section 5.3), enabling sketch addition across streams.
+    arrays_.emplace_back(options_.s1, options_.s2, options_.independence,
+                         options_.seed);
+  }
+  if (options_.topk_capacity > 0) {
+    trackers_.reserve(options_.num_streams);
+    for (uint32_t r = 0; r < options_.num_streams; ++r) {
+      trackers_.emplace_back(options_.topk_capacity, &arrays_[r]);
+    }
+  }
+}
+
+void VirtualStreams::Insert(uint64_t v, double weight) {
+  uint32_t r = ResidueOf(v);
+  arrays_[r].Update(v, weight);
+  if (weight >= 0) {
+    values_inserted_ += static_cast<uint64_t>(weight);
+  } else {
+    uint64_t removed = static_cast<uint64_t>(-weight);
+    values_inserted_ -= removed < values_inserted_ ? removed
+                                                   : values_inserted_;
+  }
+  if (!trackers_.empty()) {
+    if (options_.topk_probability >= 1.0 ||
+        sampling_rng_.NextDouble() < options_.topk_probability) {
+      trackers_[r].Process(v);
+    }
+  }
+}
+
+double VirtualStreams::CombinedX(int i, int j,
+                                 const std::vector<uint64_t>& values) const {
+  // Sum the sketches of the distinct streams hit by the query values
+  // (X_{a union b} = X_a + X_b under shared seeds) ...
+  double x = 0.0;
+  // Queries touch a handful of values; a linear-scanned scratch list is
+  // cheaper than a hash set.
+  std::vector<uint32_t> seen;
+  seen.reserve(values.size());
+  for (uint64_t v : values) {
+    uint32_t r = ResidueOf(v);
+    if (std::find(seen.begin(), seen.end(), r) != seen.end()) continue;
+    seen.push_back(r);
+    x += arrays_[r].instance(i, j).value();
+  }
+  // ... then compensate for tracked query values whose instances were
+  // deleted from the sketches: d = sum xi_v * f_v (Section 5.2).
+  if (!trackers_.empty()) {
+    for (uint64_t v : values) {
+      auto freq = trackers_[ResidueOf(v)].TrackedFrequency(v);
+      if (freq.has_value()) {
+        x += Xi(i, j, v) * *freq;
+      }
+    }
+  }
+  return x;
+}
+
+double VirtualStreams::EstimatePoint(uint64_t v) const {
+  return EstimateSum({v});
+}
+
+double VirtualStreams::EstimateSum(
+    const std::vector<uint64_t>& values) const {
+  return EstimateSumGeneric(
+      options_.s1, options_.s2, values,
+      [&](int i, int j, uint64_t v) { return Xi(i, j, v); },
+      [&](int i, int j) { return CombinedX(i, j, values); });
+}
+
+double VirtualStreams::EstimateProduct(
+    const std::vector<uint64_t>& values) const {
+  return EstimateProductGeneric(
+      options_.s1, options_.s2, values,
+      [&](int i, int j, uint64_t v) { return Xi(i, j, v); },
+      [&](int i, int j) { return CombinedX(i, j, values); });
+}
+
+double VirtualStreams::EstimateSelfJoinSize() const {
+  // Per stream, F2 = E[X^2]; the streams are disjoint so totals add.
+  // Boost within each stream with the usual average/median.
+  double total = 0.0;
+  for (const SketchArray& array : arrays_) {
+    total += BoostedEstimate(options_.s1, options_.s2, [&](int i, int j) {
+      double x = array.instance(i, j).value();
+      return x * x;
+    });
+  }
+  return total;
+}
+
+Status VirtualStreams::MergeFrom(const VirtualStreams& other) {
+  if (other.options_.num_streams != options_.num_streams ||
+      other.options_.s1 != options_.s1 || other.options_.s2 != options_.s2 ||
+      other.options_.independence != options_.independence ||
+      other.options_.seed != options_.seed) {
+    return Status::InvalidArgument(
+        "MergeFrom requires identical sketch dimensions and seed");
+  }
+  for (uint32_t r = 0; r < options_.num_streams; ++r) {
+    for (int i = 0; i < options_.s2; ++i) {
+      for (int j = 0; j < options_.s1; ++j) {
+        AmsSketch& mine = arrays_[r].instance(i, j);
+        mine.set_value(mine.value() +
+                       other.arrays_[r].instance(i, j).value());
+      }
+    }
+    // Re-add the other side's tracked (deleted) mass so the merged
+    // counters reflect its full sub-stream; only this tracker's
+    // deletions remain outstanding, preserving the delete condition.
+    if (!other.trackers_.empty()) {
+      for (const auto& [value, freq] : other.trackers_[r].tracked()) {
+        arrays_[r].Update(value, +freq);
+      }
+    }
+  }
+  values_inserted_ += other.values_inserted_;
+  return Status::OK();
+}
+
+void VirtualStreams::SaveState(BinaryWriter* writer) const {
+  writer->WriteU64(values_inserted_);
+  writer->WriteU32(options_.num_streams);
+  writer->WriteU32(static_cast<uint32_t>(options_.s1));
+  writer->WriteU32(static_cast<uint32_t>(options_.s2));
+  for (const SketchArray& array : arrays_) {
+    for (int i = 0; i < options_.s2; ++i) {
+      for (int j = 0; j < options_.s1; ++j) {
+        writer->WriteDouble(array.instance(i, j).value());
+      }
+    }
+  }
+  writer->WriteU32(static_cast<uint32_t>(trackers_.size()));
+  for (const TopKTracker& tracker : trackers_) {
+    writer->WriteU64(tracker.tracked().size());
+    for (const auto& [value, freq] : tracker.tracked()) {
+      writer->WriteU64(value);
+      writer->WriteDouble(freq);
+    }
+  }
+}
+
+Status VirtualStreams::LoadState(BinaryReader* reader) {
+  SKETCHTREE_ASSIGN_OR_RETURN(values_inserted_, reader->ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t num_streams, reader->ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t s1, reader->ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t s2, reader->ReadU32());
+  if (num_streams != options_.num_streams ||
+      s1 != static_cast<uint32_t>(options_.s1) ||
+      s2 != static_cast<uint32_t>(options_.s2)) {
+    return Status::InvalidArgument(
+        "serialized synopsis dimensions do not match the options");
+  }
+  for (SketchArray& array : arrays_) {
+    for (int i = 0; i < options_.s2; ++i) {
+      for (int j = 0; j < options_.s1; ++j) {
+        SKETCHTREE_ASSIGN_OR_RETURN(double x, reader->ReadDouble());
+        array.instance(i, j).set_value(x);
+      }
+    }
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t num_trackers, reader->ReadU32());
+  if (num_trackers != trackers_.size()) {
+    return Status::InvalidArgument(
+        "serialized top-k tracker count does not match the options");
+  }
+  for (TopKTracker& tracker : trackers_) {
+    SKETCHTREE_ASSIGN_OR_RETURN(uint64_t entries, reader->ReadU64());
+    for (uint64_t e = 0; e < entries; ++e) {
+      SKETCHTREE_ASSIGN_OR_RETURN(uint64_t value, reader->ReadU64());
+      SKETCHTREE_ASSIGN_OR_RETURN(double freq, reader->ReadDouble());
+      SKETCHTREE_RETURN_NOT_OK(tracker.RestoreTracked(value, freq));
+    }
+  }
+  return Status::OK();
+}
+
+size_t VirtualStreams::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const SketchArray& array : arrays_) bytes += array.MemoryBytes();
+  for (const TopKTracker& tracker : trackers_) bytes += tracker.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,131 @@
+#ifndef SKETCHTREE_STREAM_VIRTUAL_STREAMS_H_
+#define SKETCHTREE_STREAM_VIRTUAL_STREAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "sketch/sketch_array.h"
+#include "topk/topk_tracker.h"
+
+namespace sketchtree {
+
+/// Configuration of the partitioned synopsis.
+struct VirtualStreamsOptions {
+  /// Number of virtual streams p (Section 5.3). Must be prime — the
+  /// residue v mod p then spreads Rabin residues uniformly. 1 disables
+  /// partitioning.
+  uint32_t num_streams = 229;
+  int s1 = 50;  ///< Accuracy: instances averaged per group.
+  int s2 = 7;   ///< Confidence: groups median-selected.
+  /// Independence k of the xi families. 4 suffices for point/sum counts;
+  /// products of m counts need 2m-wise (default supports m <= 4).
+  int independence = 8;
+  uint64_t seed = 42;
+  /// Top-k size per virtual stream; 0 disables tracking (Section 5.2).
+  size_t topk_capacity = 0;
+  /// Probability of invoking top-k processing per inserted value
+  /// (Section 5.2 suggests sampling when per-pattern invocation is too
+  /// expensive). 1.0 = always.
+  double topk_probability = 1.0;
+};
+
+/// Splits the 1-D value stream into p disjoint virtual streams by residue
+/// (Section 5.3) and maintains one s1 × s2 AMS sketch array — plus,
+/// optionally, one top-k tracker — per stream. All arrays share the same
+/// base seed, so instance (i, j) has identical xi variables in every
+/// stream and X_{i union j} is simply the elementwise sum of sketches:
+/// the property estimators rely on when a query touches several streams.
+class VirtualStreams {
+ public:
+  static Result<VirtualStreams> Create(const VirtualStreamsOptions& options);
+
+  const VirtualStreamsOptions& options() const { return options_; }
+  int s1() const { return options_.s1; }
+  int s2() const { return options_.s2; }
+
+  /// Routes `v` to its virtual stream, updates the sketches with
+  /// `weight` occurrences (negative weight deletes — the turnstile
+  /// property of AMS sketches, Section 3), and (with the configured
+  /// probability) runs top-k processing.
+  void Insert(uint64_t v, double weight = 1.0);
+
+  uint32_t ResidueOf(uint64_t v) const {
+    return static_cast<uint32_t>(v % options_.num_streams);
+  }
+
+  /// xi_v for instance (i, j) — identical in every stream by seed sharing.
+  int Xi(int i, int j, uint64_t v) const {
+    return arrays_[0].instance(i, j).Xi(v);
+  }
+
+  /// Instance (i, j)'s combined projection for a query over `values`:
+  /// the sum of X over the distinct virtual streams the values land in,
+  /// plus the top-k compensation  d = sum over tracked query values of
+  /// xi_v * f_v  (Section 5.2's modified Algorithm 2).
+  double CombinedX(int i, int j, const std::vector<uint64_t>& values) const;
+
+  /// Point estimate of f_v (Algorithm 2 + compensation).
+  double EstimatePoint(uint64_t v) const;
+
+  /// Estimate of sum_j f_{v_j}; `values` must be distinct.
+  double EstimateSum(const std::vector<uint64_t>& values) const;
+
+  /// Estimate of prod_j f_{v_j}; `values` must be distinct.
+  double EstimateProduct(const std::vector<uint64_t>& values) const;
+
+  /// Estimate of the *residual* self-join size SJ(S) = sum_i f_i^2 of
+  /// the sketched stream (after top-k deletions), via the AMS second
+  /// frequency moment estimator E[X^2] = F2, summed over the disjoint
+  /// virtual streams. This is the quantity Theorems 1-2 tie accuracy
+  /// to, so it feeds the parameter planner directly.
+  double EstimateSelfJoinSize() const;
+
+  /// Top-k tracker of stream `r`, or nullptr if tracking is disabled.
+  const TopKTracker* topk(uint32_t r) const {
+    return trackers_.empty() ? nullptr : &trackers_[r];
+  }
+
+  /// Total values inserted so far (stream length).
+  uint64_t values_inserted() const { return values_inserted_; }
+
+  /// Sketch counters + seeds + top-k structures, in bytes (Section 7.5's
+  /// "total memory allocated for the synopses").
+  size_t MemoryBytes() const;
+
+  /// Folds another synopsis built with the *same options* (hence the
+  /// same xi families) into this one, exploiting the linearity of AMS
+  /// sketches: counters add elementwise. The other side's top-k
+  /// deletions are compensated during the fold (its tracked mass is
+  /// re-added), so this tracker's delete condition still holds
+  /// afterwards. Enables parallel/distributed stream ingestion.
+  Status MergeFrom(const VirtualStreams& other);
+
+  /// Serializes the mutable state (counters, top-k entries, stream
+  /// length). The xi families and sampling RNG are rebuilt from the
+  /// options on load, so only counters and tracked values are written.
+  void SaveState(BinaryWriter* writer) const;
+
+  /// Restores state written by SaveState into a VirtualStreams created
+  /// with the *same options*. Fails on dimension mismatches or
+  /// truncation.
+  Status LoadState(BinaryReader* reader);
+
+ private:
+  VirtualStreams(const VirtualStreamsOptions& options);
+
+  VirtualStreamsOptions options_;
+  std::vector<SketchArray> arrays_;    // One per virtual stream.
+  std::vector<TopKTracker> trackers_;  // Empty when top-k disabled.
+  Pcg64 sampling_rng_;
+  uint64_t values_inserted_ = 0;
+};
+
+/// Deterministic primality check for 32-bit values (validates p).
+bool IsPrime(uint32_t n);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_STREAM_VIRTUAL_STREAMS_H_

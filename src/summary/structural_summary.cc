@@ -1,0 +1,160 @@
+#include "summary/structural_summary.h"
+
+namespace sketchtree {
+
+StructuralSummary::NodeId StructuralSummary::Intern(
+    NodeId parent, const std::string& label) {
+  std::map<std::string, NodeId>& siblings =
+      parent == kInvalidNode ? roots_ : nodes_[parent].children;
+  auto it = siblings.find(label);
+  if (it != siblings.end()) return it->second;
+  if (nodes_.size() >= options_.max_nodes) {
+    saturated_ = true;
+    return kInvalidNode;
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.label = label;
+  nodes_.push_back(std::move(node));
+  // Insert after push_back: `siblings` may alias nodes_[parent].children,
+  // but the map itself is stable; only nodes_ reallocation would matter,
+  // and we re-resolve it here.
+  std::map<std::string, NodeId>& fresh_siblings =
+      parent == kInvalidNode ? roots_ : nodes_[parent].children;
+  fresh_siblings.emplace(label, id);
+  return id;
+}
+
+void StructuralSummary::Update(const LabeledTree& tree) {
+  ++trees_processed_;
+  if (tree.empty()) return;
+  // Parallel DFS over (data node, summary node).
+  struct Frame {
+    LabeledTree::NodeId data_node;
+    NodeId summary_node;
+    size_t depth;
+  };
+  NodeId root = Intern(kInvalidNode, tree.label(tree.root()));
+  if (root == kInvalidNode) return;
+  std::vector<Frame> stack = {{tree.root(), root, 1}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (options_.max_depth != 0 && frame.depth >= options_.max_depth) {
+      continue;
+    }
+    for (LabeledTree::NodeId child : tree.children(frame.data_node)) {
+      NodeId summary_child = Intern(frame.summary_node, tree.label(child));
+      if (summary_child == kInvalidNode) continue;
+      stack.push_back({child, summary_child, frame.depth + 1});
+    }
+  }
+}
+
+void StructuralSummary::MergeFrom(const StructuralSummary& other) {
+  if (other.saturated_) saturated_ = true;
+  trees_processed_ += other.trees_processed_;
+  // DFS over the other trie, interning each path into this one.
+  struct Frame {
+    NodeId theirs;
+    NodeId mine;
+  };
+  std::vector<Frame> stack;
+  for (const auto& [label, theirs] : other.roots_) {
+    NodeId mine = Intern(kInvalidNode, label);
+    if (mine == kInvalidNode) return;
+    stack.push_back({theirs, mine});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    for (const auto& [label, their_child] :
+         other.nodes_[frame.theirs].children) {
+      NodeId my_child = Intern(frame.mine, label);
+      if (my_child == kInvalidNode) return;
+      stack.push_back({their_child, my_child});
+    }
+  }
+}
+
+void StructuralSummary::SaveState(BinaryWriter* writer) const {
+  writer->WriteU8(saturated_ ? 1 : 0);
+  writer->WriteU64(trees_processed_);
+  writer->WriteU64(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer->WriteString(node.label);
+    writer->WriteU64(node.children.size());
+    for (const auto& [label, child] : node.children) {
+      writer->WriteU32(static_cast<uint32_t>(child));
+    }
+  }
+  writer->WriteU64(roots_.size());
+  for (const auto& [label, id] : roots_) {
+    writer->WriteU32(static_cast<uint32_t>(id));
+  }
+}
+
+Status StructuralSummary::LoadState(BinaryReader* reader) {
+  if (!nodes_.empty()) {
+    return Status::InvalidArgument("LoadState requires an empty summary");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(uint8_t saturated, reader->ReadU8());
+  saturated_ = saturated != 0;
+  SKETCHTREE_ASSIGN_OR_RETURN(trees_processed_, reader->ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint64_t num_nodes, reader->ReadU64());
+  // Every serialized node occupies at least 16 bytes (label length +
+  // child count), so a claimed count beyond that is corruption — reject
+  // before allocating.
+  if (num_nodes > reader->remaining() / 16 + 1) {
+    return Status::OutOfRange("corrupt summary: node count exceeds input");
+  }
+  // Two-phase load: labels first, then edges (children reference labels
+  // of already-materialized nodes).
+  struct PendingEdges {
+    std::vector<NodeId> children;
+  };
+  std::vector<PendingEdges> pending(num_nodes);
+  nodes_.resize(num_nodes);
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    SKETCHTREE_ASSIGN_OR_RETURN(nodes_[n].label, reader->ReadString());
+    SKETCHTREE_ASSIGN_OR_RETURN(uint64_t num_children, reader->ReadU64());
+    if (num_children > num_nodes) {
+      return Status::OutOfRange("corrupt summary: child count too large");
+    }
+    for (uint64_t c = 0; c < num_children; ++c) {
+      SKETCHTREE_ASSIGN_OR_RETURN(uint32_t child, reader->ReadU32());
+      if (child >= num_nodes) {
+        return Status::OutOfRange("corrupt summary: child id out of range");
+      }
+      pending[n].children.push_back(static_cast<NodeId>(child));
+    }
+  }
+  for (uint64_t n = 0; n < num_nodes; ++n) {
+    for (NodeId child : pending[n].children) {
+      nodes_[n].children.emplace(nodes_[child].label, child);
+    }
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(uint64_t num_roots, reader->ReadU64());
+  if (num_roots > num_nodes) {
+    return Status::OutOfRange("corrupt summary: root count too large");
+  }
+  for (uint64_t r = 0; r < num_roots; ++r) {
+    SKETCHTREE_ASSIGN_OR_RETURN(uint32_t id, reader->ReadU32());
+    if (id >= num_nodes) {
+      return Status::OutOfRange("corrupt summary: root id out of range");
+    }
+    roots_.emplace(nodes_[id].label, static_cast<NodeId>(id));
+  }
+  return Status::OK();
+}
+
+size_t StructuralSummary::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node) + node.label.size();
+    bytes += node.children.size() * (sizeof(NodeId) + 32);
+  }
+  return bytes;
+}
+
+}  // namespace sketchtree

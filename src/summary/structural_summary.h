@@ -1,0 +1,100 @@
+#ifndef SKETCHTREE_SUMMARY_STRUCTURAL_SUMMARY_H_
+#define SKETCHTREE_SUMMARY_STRUCTURAL_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// A structural summary of the tree stream — a DataGuide-style trie of
+/// the distinct root-to-node *label paths* seen so far. Section 6.2 of
+/// the paper assumes exactly this: "if a structural summary exists or can
+/// be constructed online using limited space, then SketchTree can be
+/// extended to process queries that contain ancestor-descendant
+/// relationships ('//') and wildcard nodes ('*')".
+///
+/// The summary is maintained online in one pass (call Update alongside
+/// SketchTree::Update). For tree data every label path is merged into a
+/// single summary node, so the summary's size is bounded by the number of
+/// distinct label paths — tiny for schematic data like DBLP, modest even
+/// for TREEBANK-style recursion once depth-capped. A hard node cap keeps
+/// the "limited space" promise: once exceeded, the summary marks itself
+/// saturated and extended-query resolution refuses to answer (rather than
+/// answering incompletely).
+class StructuralSummary {
+ public:
+  using NodeId = int32_t;
+  static constexpr NodeId kInvalidNode = -1;
+
+  struct Options {
+    /// Maximum number of summary nodes before the summary saturates.
+    size_t max_nodes = 100000;
+    /// Label paths longer than this are not recorded (guards against
+    /// unbounded recursion in adversarial inputs). 0 = unlimited.
+    size_t max_depth = 0;
+  };
+
+  StructuralSummary() = default;
+  explicit StructuralSummary(const Options& options) : options_(options) {}
+
+  /// Merges all root-to-node label paths of `tree` into the summary.
+  void Update(const LabeledTree& tree);
+
+  /// Merges every label path of `other` into this summary (trie union).
+  /// Saturation carries over if either side saturated or the union
+  /// exceeds this summary's node cap.
+  void MergeFrom(const StructuralSummary& other);
+
+  /// True once the node cap was hit; the summary may then be missing
+  /// paths and must not be used for exact resolution.
+  bool saturated() const { return saturated_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  uint64_t trees_processed() const { return trees_processed_; }
+
+  /// Top-level summary nodes: one per distinct root label.
+  const std::map<std::string, NodeId>& roots() const { return roots_; }
+
+  const std::string& label(NodeId id) const { return nodes_[id].label; }
+  /// Children by label, sorted (deterministic resolution order).
+  const std::map<std::string, NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+
+  /// Bytes used by the trie (paper-style memory accounting).
+  size_t MemoryBytes() const;
+
+  /// Serializes the trie (nodes, edges, roots, flags).
+  void SaveState(BinaryWriter* writer) const;
+
+  /// Restores state written by SaveState into an empty summary with the
+  /// same options.
+  Status LoadState(BinaryReader* reader);
+
+ private:
+  struct Node {
+    std::string label;
+    std::map<std::string, NodeId> children;
+  };
+
+  /// Returns the child of `parent` labeled `label`, creating it if
+  /// needed; kInvalidNode when saturated. parent == kInvalidNode
+  /// addresses the root map.
+  NodeId Intern(NodeId parent, const std::string& label);
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::map<std::string, NodeId> roots_;
+  bool saturated_ = false;
+  uint64_t trees_processed_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SUMMARY_STRUCTURAL_SUMMARY_H_

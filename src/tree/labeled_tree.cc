@@ -1,0 +1,95 @@
+#include "tree/labeled_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sketchtree {
+
+LabeledTree::NodeId LabeledTree::AddNode(std::string label, NodeId parent) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.label = std::move(label);
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  if (parent == kInvalidNode) {
+    assert(root_ == kInvalidNode && "tree already has a root");
+    root_ = id;
+  } else {
+    assert(parent >= 0 && parent < id);
+    nodes_[parent].children.push_back(id);
+  }
+  return id;
+}
+
+std::vector<LabeledTree::NodeId> LabeledTree::PostorderIds() const {
+  std::vector<NodeId> order;
+  if (empty()) return order;
+  order.reserve(nodes_.size());
+  // Iterative postorder: stack of (node, next-child-index).
+  std::vector<std::pair<NodeId, size_t>> stack;
+  stack.emplace_back(root_, 0);
+  while (!stack.empty()) {
+    auto& [id, next_child] = stack.back();
+    const auto& kids = nodes_[id].children;
+    if (next_child < kids.size()) {
+      NodeId child = kids[next_child];
+      ++next_child;
+      stack.emplace_back(child, 0);
+    } else {
+      order.push_back(id);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+std::vector<int32_t> LabeledTree::PostorderNumbers() const {
+  std::vector<int32_t> numbers(nodes_.size(), 0);
+  int32_t counter = 0;
+  for (NodeId id : PostorderIds()) numbers[id] = ++counter;
+  return numbers;
+}
+
+int32_t LabeledTree::Depth() const {
+  if (empty()) return 0;
+  int32_t max_depth = 0;
+  std::vector<std::pair<NodeId, int32_t>> stack = {{root_, 0}};
+  while (!stack.empty()) {
+    auto [id, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    for (NodeId child : nodes_[id].children) {
+      stack.emplace_back(child, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+int32_t LabeledTree::MaxFanout() const {
+  int32_t max_fanout = 0;
+  for (const Node& node : nodes_) {
+    max_fanout = std::max(max_fanout,
+                          static_cast<int32_t>(node.children.size()));
+  }
+  return max_fanout;
+}
+
+bool LabeledTree::operator==(const LabeledTree& other) const {
+  if (size() != other.size()) return false;
+  if (empty()) return true;
+  // NodeIds may differ between structurally equal trees (insertion order),
+  // so compare by parallel traversal from the roots.
+  std::vector<std::pair<NodeId, NodeId>> stack = {{root_, other.root_}};
+  while (!stack.empty()) {
+    auto [a, b] = stack.back();
+    stack.pop_back();
+    if (nodes_[a].label != other.nodes_[b].label) return false;
+    const auto& ka = nodes_[a].children;
+    const auto& kb = other.nodes_[b].children;
+    if (ka.size() != kb.size()) return false;
+    for (size_t i = 0; i < ka.size(); ++i) stack.emplace_back(ka[i], kb[i]);
+  }
+  return true;
+}
+
+}  // namespace sketchtree

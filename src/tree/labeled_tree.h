@@ -1,0 +1,72 @@
+#ifndef SKETCHTREE_TREE_LABELED_TREE_H_
+#define SKETCHTREE_TREE_LABELED_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sketchtree {
+
+/// An ordered, rooted, labeled tree — the stream element type of SketchTree
+/// (e.g., one XML document).
+///
+/// Nodes live in a flat vector and are addressed by `NodeId` (their index).
+/// Children are kept in document order. The structure is append-only: nodes
+/// are added via `AddNode` (or `TreeBuilder`), never removed, so NodeIds are
+/// stable.
+class LabeledTree {
+ public:
+  using NodeId = int32_t;
+  static constexpr NodeId kInvalidNode = -1;
+
+  LabeledTree() = default;
+
+  /// Adds a node with the given label under `parent` (appended as the last
+  /// child). Pass `kInvalidNode` for the root; a tree has exactly one root.
+  /// Returns the new node's id.
+  NodeId AddNode(std::string label, NodeId parent);
+
+  bool empty() const { return nodes_.empty(); }
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+  NodeId root() const { return root_; }
+
+  const std::string& label(NodeId id) const { return nodes_[id].label; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  const std::vector<NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+  bool is_leaf(NodeId id) const { return nodes_[id].children.empty(); }
+  int32_t fanout(NodeId id) const {
+    return static_cast<int32_t>(nodes_[id].children.size());
+  }
+
+  /// Node ids in postorder (children before parents, siblings left-to-right).
+  std::vector<NodeId> PostorderIds() const;
+
+  /// 1-based postorder number for every node, indexed by NodeId. This is the
+  /// numbering the Prüfer transform (PRIX) uses as unique node labels.
+  std::vector<int32_t> PostorderNumbers() const;
+
+  /// Number of edges on the longest root-to-leaf path (0 for a single node).
+  int32_t Depth() const;
+
+  /// Largest fanout over all nodes (0 for a single node).
+  int32_t MaxFanout() const;
+
+  /// Structural + label equality (same shape, same labels, same child order).
+  bool operator==(const LabeledTree& other) const;
+
+ private:
+  struct Node {
+    std::string label;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
+  };
+
+  std::vector<Node> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_TREE_LABELED_TREE_H_

@@ -1,0 +1,52 @@
+#include "tree/tree_builder.h"
+
+#include <utility>
+
+namespace sketchtree {
+
+Status TreeBuilder::Open(const std::string& label) {
+  if (root_closed_) {
+    return Status::InvalidArgument(
+        "TreeBuilder: cannot add a second root ('" + label + "')");
+  }
+  LabeledTree::NodeId parent =
+      open_stack_.empty() ? LabeledTree::kInvalidNode : open_stack_.back();
+  open_stack_.push_back(tree_.AddNode(label, parent));
+  return Status::OK();
+}
+
+Status TreeBuilder::Close() {
+  if (open_stack_.empty()) {
+    return Status::InvalidArgument("TreeBuilder: Close() with no open node");
+  }
+  open_stack_.pop_back();
+  if (open_stack_.empty()) root_closed_ = true;
+  return Status::OK();
+}
+
+Status TreeBuilder::Leaf(const std::string& label) {
+  SKETCHTREE_RETURN_NOT_OK(Open(label));
+  return Close();
+}
+
+Result<LabeledTree> TreeBuilder::Finish() {
+  if (!open_stack_.empty()) {
+    return Status::InvalidArgument("TreeBuilder: Finish() with " +
+                                   std::to_string(open_stack_.size()) +
+                                   " node(s) still open");
+  }
+  if (tree_.empty()) {
+    return Status::InvalidArgument("TreeBuilder: Finish() on empty builder");
+  }
+  LabeledTree out = std::move(tree_);
+  Reset();
+  return out;
+}
+
+void TreeBuilder::Reset() {
+  tree_ = LabeledTree();
+  open_stack_.clear();
+  root_closed_ = false;
+}
+
+}  // namespace sketchtree

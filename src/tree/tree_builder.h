@@ -1,0 +1,47 @@
+#ifndef SKETCHTREE_TREE_TREE_BUILDER_H_
+#define SKETCHTREE_TREE_TREE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// Event-driven construction of a LabeledTree, matching the shape of a SAX
+/// parse: `Open(label)` descends into a new child, `Close()` returns to the
+/// parent. `Finish()` validates that every Open was closed and yields the
+/// tree.
+class TreeBuilder {
+ public:
+  TreeBuilder() = default;
+
+  /// Starts a new node labeled `label` as a child of the currently open node
+  /// (or as the root). Fails if the root has already been closed.
+  Status Open(const std::string& label);
+
+  /// Closes the most recently opened node. Fails if nothing is open.
+  Status Close();
+
+  /// Convenience: Open + Close (a leaf child of the current node).
+  Status Leaf(const std::string& label);
+
+  int32_t depth() const { return static_cast<int32_t>(open_stack_.size()); }
+
+  /// Returns the completed tree. Fails if nodes are still open or nothing
+  /// was ever added. Resets the builder for reuse.
+  Result<LabeledTree> Finish();
+
+  /// Discards all state so the builder can be reused.
+  void Reset();
+
+ private:
+  LabeledTree tree_;
+  std::vector<LabeledTree::NodeId> open_stack_;
+  bool root_closed_ = false;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_TREE_TREE_BUILDER_H_

@@ -1,0 +1,159 @@
+#include "tree/tree_serialization.h"
+
+#include <cctype>
+
+#include "tree/tree_builder.h"
+
+namespace sketchtree {
+
+namespace {
+
+bool IsBareLabelChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == '#' || c == '@';
+}
+
+bool NeedsQuoting(const std::string& label) {
+  if (label.empty()) return true;
+  for (char c : label) {
+    if (!IsBareLabelChar(c)) return true;
+  }
+  return false;
+}
+
+void AppendLabel(const std::string& label, std::string* out) {
+  if (!NeedsQuoting(label)) {
+    *out += label;
+    return;
+  }
+  out->push_back('\'');
+  for (char c : label) {
+    if (c == '\'' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('\'');
+}
+
+void AppendSubtree(const LabeledTree& tree, LabeledTree::NodeId id,
+                   std::string* out) {
+  AppendLabel(tree.label(id), out);
+  const auto& kids = tree.children(id);
+  if (kids.empty()) return;
+  out->push_back('(');
+  for (size_t i = 0; i < kids.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendSubtree(tree, kids[i], out);
+  }
+  out->push_back(')');
+}
+
+/// Recursive-descent parser over the s-expression grammar:
+///   tree  := label [ '(' tree (',' tree)* ')' ]
+///   label := bare | quoted
+class SExprParser {
+ public:
+  explicit SExprParser(std::string_view text) : text_(text) {}
+
+  Result<LabeledTree> Parse() {
+    SKETCHTREE_RETURN_NOT_OK(ParseTree());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing input at offset " +
+                                     std::to_string(pos_));
+    }
+    return builder_.Finish();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  Status ParseLabel(std::string* out) {
+    SkipSpace();
+    if (AtEnd()) return Status::InvalidArgument("expected label, got EOF");
+    out->clear();
+    if (Peek() == '\'') {
+      ++pos_;
+      while (!AtEnd() && Peek() != '\'') {
+        char c = Peek();
+        if (c == '\\') {
+          ++pos_;
+          if (AtEnd()) {
+            return Status::InvalidArgument("dangling escape in quoted label");
+          }
+          c = Peek();
+        }
+        out->push_back(c);
+        ++pos_;
+      }
+      if (AtEnd()) {
+        return Status::InvalidArgument("unterminated quoted label");
+      }
+      ++pos_;  // Closing quote.
+      return Status::OK();
+    }
+    while (!AtEnd() && IsBareLabelChar(Peek())) {
+      out->push_back(Peek());
+      ++pos_;
+    }
+    if (out->empty()) {
+      return Status::InvalidArgument("expected label at offset " +
+                                     std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Status ParseTree() {
+    std::string label;
+    SKETCHTREE_RETURN_NOT_OK(ParseLabel(&label));
+    SKETCHTREE_RETURN_NOT_OK(builder_.Open(label));
+    SkipSpace();
+    if (!AtEnd() && Peek() == '(') {
+      ++pos_;
+      while (true) {
+        SKETCHTREE_RETURN_NOT_OK(ParseTree());
+        SkipSpace();
+        if (AtEnd()) {
+          return Status::InvalidArgument("unbalanced '(': missing ')'");
+        }
+        if (Peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        if (Peek() == ')') {
+          ++pos_;
+          break;
+        }
+        return Status::InvalidArgument("expected ',' or ')' at offset " +
+                                       std::to_string(pos_));
+      }
+    }
+    return builder_.Close();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  TreeBuilder builder_;
+};
+
+}  // namespace
+
+std::string TreeToSExpr(const LabeledTree& tree) {
+  std::string out;
+  if (tree.empty()) return out;
+  AppendSubtree(tree, tree.root(), &out);
+  return out;
+}
+
+Result<LabeledTree> ParseSExpr(std::string_view text) {
+  return SExprParser(text).Parse();
+}
+
+}  // namespace sketchtree

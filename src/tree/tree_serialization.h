@@ -1,0 +1,28 @@
+#ifndef SKETCHTREE_TREE_TREE_SERIALIZATION_H_
+#define SKETCHTREE_TREE_TREE_SERIALIZATION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// Serializes a tree to the s-expression-like syntax used throughout the
+/// repository for queries and fixtures:
+///
+///   A(B,C(D,E))
+///
+/// Labels made of [A-Za-z0-9_.#@-] are written bare; anything else is
+/// single-quoted with backslash escapes for `'` and `\`.
+std::string TreeToSExpr(const LabeledTree& tree);
+
+/// Parses the syntax produced by TreeToSExpr. Whitespace between tokens is
+/// ignored. Returns InvalidArgument on malformed input (unbalanced
+/// parentheses, trailing garbage, empty labels, ...).
+Result<LabeledTree> ParseSExpr(std::string_view text);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_TREE_TREE_SERIALIZATION_H_

@@ -1,0 +1,283 @@
+#include "xml/sax_parser.h"
+
+#include <cctype>
+
+namespace sketchtree {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, SaxHandler* handler)
+      : in_(input), handler_(handler) {}
+
+  Status Run() {
+    // Skip a UTF-8 BOM if present.
+    if (in_.substr(0, 3) == "\xEF\xBB\xBF") pos_ = 3;
+
+    while (pos_ < in_.size()) {
+      if (in_[pos_] == '<') {
+        SKETCHTREE_RETURN_NOT_OK(Markup());
+      } else {
+        SKETCHTREE_RETURN_NOT_OK(Text());
+      }
+    }
+    if (!open_tags_.empty()) {
+      return Error("unclosed element '" + std::string(open_tags_.back()) +
+                   "' at end of input");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("XML: " + message + " (offset " +
+                                   std::to_string(pos_) + ")");
+  }
+
+  bool StartsWith(std::string_view prefix) const {
+    return in_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  /// Advances past `terminator`, returning the content in between.
+  Result<std::string_view> Until(std::string_view terminator) {
+    size_t found = in_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      return Error("unterminated construct, expected '" +
+                   std::string(terminator) + "'");
+    }
+    std::string_view content = in_.substr(pos_, found - pos_);
+    pos_ = found + terminator.size();
+    return content;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < in_.size() &&
+           std::isspace(static_cast<unsigned char>(in_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::string_view> Name() {
+    size_t start = pos_;
+    if (pos_ >= in_.size() || !IsNameStartChar(in_[pos_])) {
+      return Error("expected a name");
+    }
+    ++pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    return in_.substr(start, pos_ - start);
+  }
+
+  Status DecodeEntities(std::string_view raw, std::string* out) const {
+    out->clear();
+    out->reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      char c = raw[i];
+      if (c != '&') {
+        out->push_back(c);
+        ++i;
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Status::InvalidArgument("XML: unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out->push_back('&');
+      } else if (entity == "lt") {
+        out->push_back('<');
+      } else if (entity == "gt") {
+        out->push_back('>');
+      } else if (entity == "quot") {
+        out->push_back('"');
+      } else if (entity == "apos") {
+        out->push_back('\'');
+      } else if (!entity.empty() && entity[0] == '#') {
+        // Numeric character reference; emit as raw bytes for the common
+        // ASCII range, else UTF-8 encode.
+        int base = 10;
+        std::string_view digits = entity.substr(1);
+        if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+          base = 16;
+          digits = digits.substr(1);
+        }
+        uint32_t code = 0;
+        if (digits.empty()) {
+          return Status::InvalidArgument("XML: empty character reference");
+        }
+        for (char d : digits) {
+          int v;
+          if (d >= '0' && d <= '9') {
+            v = d - '0';
+          } else if (base == 16 && d >= 'a' && d <= 'f') {
+            v = d - 'a' + 10;
+          } else if (base == 16 && d >= 'A' && d <= 'F') {
+            v = d - 'A' + 10;
+          } else {
+            return Status::InvalidArgument(
+                "XML: bad character reference '&" + std::string(entity) +
+                ";'");
+          }
+          code = code * base + v;
+          if (code > 0x10FFFF) {
+            return Status::InvalidArgument("XML: character reference out of "
+                                           "range");
+          }
+        }
+        AppendUtf8(code, out);
+      } else {
+        return Status::InvalidArgument("XML: unknown entity '&" +
+                                       std::string(entity) + ";'");
+      }
+      i = semi + 1;
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status Text() {
+    size_t start = pos_;
+    while (pos_ < in_.size() && in_[pos_] != '<') ++pos_;
+    std::string_view raw = in_.substr(start, pos_ - start);
+    SKETCHTREE_RETURN_NOT_OK(DecodeEntities(raw, &decode_buffer_));
+    if (!decode_buffer_.empty()) {
+      return handler_->Characters(decode_buffer_);
+    }
+    return Status::OK();
+  }
+
+  Status Markup() {
+    if (StartsWith("<!--")) {
+      pos_ += 4;
+      return Until("-->").status();
+    }
+    if (StartsWith("<![CDATA[")) {
+      pos_ += 9;
+      SKETCHTREE_ASSIGN_OR_RETURN(std::string_view cdata, Until("]]>"));
+      if (!cdata.empty()) return handler_->Characters(cdata);
+      return Status::OK();
+    }
+    if (StartsWith("<?")) {
+      pos_ += 2;
+      return Until("?>").status();
+    }
+    if (StartsWith("<!")) {
+      // DOCTYPE (possibly with an internal subset in brackets). Skip it.
+      pos_ += 2;
+      int bracket_depth = 0;
+      while (pos_ < in_.size()) {
+        char c = in_[pos_++];
+        if (c == '[') {
+          ++bracket_depth;
+        } else if (c == ']') {
+          --bracket_depth;
+        } else if (c == '>' && bracket_depth == 0) {
+          return Status::OK();
+        }
+      }
+      return Error("unterminated '<!' declaration");
+    }
+    if (StartsWith("</")) {
+      pos_ += 2;
+      SKETCHTREE_ASSIGN_OR_RETURN(std::string_view name, Name());
+      SkipWhitespace();
+      if (pos_ >= in_.size() || in_[pos_] != '>') {
+        return Error("expected '>' after end tag name");
+      }
+      ++pos_;
+      if (open_tags_.empty() || open_tags_.back() != name) {
+        return Error("mismatched end tag '</" + std::string(name) + ">'");
+      }
+      open_tags_.pop_back();
+      return handler_->EndElement(name);
+    }
+    return StartTag();
+  }
+
+  Status StartTag() {
+    ++pos_;  // '<'
+    SKETCHTREE_ASSIGN_OR_RETURN(std::string_view name, Name());
+    attributes_.clear();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= in_.size()) return Error("unterminated start tag");
+      char c = in_[pos_];
+      if (c == '>') {
+        ++pos_;
+        open_tags_.push_back(name);
+        return handler_->StartElement(name, attributes_);
+      }
+      if (c == '/') {
+        ++pos_;
+        if (pos_ >= in_.size() || in_[pos_] != '>') {
+          return Error("expected '>' after '/'");
+        }
+        ++pos_;
+        SKETCHTREE_RETURN_NOT_OK(handler_->StartElement(name, attributes_));
+        return handler_->EndElement(name);
+      }
+      // Attribute.
+      SKETCHTREE_ASSIGN_OR_RETURN(std::string_view attr_name, Name());
+      SkipWhitespace();
+      if (pos_ >= in_.size() || in_[pos_] != '=') {
+        return Error("expected '=' after attribute name");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= in_.size() || (in_[pos_] != '"' && in_[pos_] != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = in_[pos_++];
+      size_t value_start = pos_;
+      while (pos_ < in_.size() && in_[pos_] != quote) ++pos_;
+      if (pos_ >= in_.size()) return Error("unterminated attribute value");
+      std::string_view raw = in_.substr(value_start, pos_ - value_start);
+      ++pos_;
+      std::string decoded;
+      SKETCHTREE_RETURN_NOT_OK(DecodeEntities(raw, &decoded));
+      attributes_.emplace_back(attr_name, std::move(decoded));
+    }
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  SaxHandler* handler_;
+  std::vector<std::string_view> open_tags_;
+  std::vector<std::pair<std::string_view, std::string>> attributes_;
+  std::string decode_buffer_;
+};
+
+}  // namespace
+
+Status ParseXml(std::string_view input, SaxHandler* handler) {
+  return Parser(input, handler).Run();
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,49 @@
+#ifndef SKETCHTREE_XML_SAX_PARSER_H_
+#define SKETCHTREE_XML_SAX_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Receives parse events from ParseXml. All string_views point into the
+/// input buffer or a short-lived decode buffer and must not be retained.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+
+  /// Start tag. `attributes` are (name, decoded value) pairs in document
+  /// order.
+  virtual Status StartElement(
+      std::string_view name,
+      const std::vector<std::pair<std::string_view, std::string>>&
+          attributes) = 0;
+
+  /// End tag (also fired for self-closing elements).
+  virtual Status EndElement(std::string_view name) = 0;
+
+  /// Text content with entities decoded; CDATA sections arrive verbatim.
+  /// Whitespace-only runs are NOT suppressed — the handler decides.
+  virtual Status Characters(std::string_view text) = 0;
+};
+
+/// A small, self-contained, non-validating streaming XML parser — the
+/// substrate that turns XML documents (the paper's stream elements) into
+/// labeled trees. Supports elements, attributes, character data, CDATA,
+/// comments, processing instructions, XML declarations, DOCTYPE (skipped),
+/// and the five predefined entities plus numeric character references.
+/// Namespaces are not expanded (prefixes are kept as part of names), and
+/// external DTDs are ignored — sufficient for data-oriented XML like
+/// TREEBANK and DBLP.
+///
+/// Returns InvalidArgument with an offset-bearing message on malformed
+/// input (mismatched tags, unterminated constructs, stray '<', ...).
+Status ParseXml(std::string_view input, SaxHandler* handler);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_XML_SAX_PARSER_H_

@@ -1,0 +1,198 @@
+#include "xml/xml_tree_reader.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "query/unordered.h"
+#include "tree/tree_builder.h"
+#include "xml/sax_parser.h"
+
+namespace sketchtree {
+
+namespace {
+
+std::string TrimAndClip(std::string_view text, size_t max_length) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  std::string_view trimmed = text.substr(begin, end - begin);
+  if (max_length > 0 && trimmed.size() > max_length) {
+    trimmed = trimmed.substr(0, max_length);
+  }
+  return std::string(trimmed);
+}
+
+class TreeBuildingHandler : public SaxHandler {
+ public:
+  TreeBuildingHandler(const XmlTreeOptions& options) : options_(options) {}
+
+  Status StartElement(
+      std::string_view name,
+      const std::vector<std::pair<std::string_view, std::string>>& attributes)
+      override {
+    if (builder_.depth() == 0 && seen_root_) {
+      return Status::InvalidArgument(
+          "XML: multiple root elements in document");
+    }
+    seen_root_ = true;
+    SKETCHTREE_RETURN_NOT_OK(builder_.Open(std::string(name)));
+    if (options_.include_attributes) {
+      for (const auto& [attr_name, attr_value] : attributes) {
+        SKETCHTREE_RETURN_NOT_OK(builder_.Open("@" + std::string(attr_name)));
+        SKETCHTREE_RETURN_NOT_OK(builder_.Leaf(
+            TrimAndClip(attr_value, options_.max_text_length)));
+        SKETCHTREE_RETURN_NOT_OK(builder_.Close());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override { return builder_.Close(); }
+
+  Status Characters(std::string_view text) override {
+    if (!options_.include_text) return Status::OK();
+    if (builder_.depth() == 0) return Status::OK();  // Prolog whitespace.
+    std::string value = TrimAndClip(text, options_.max_text_length);
+    if (value.empty()) return Status::OK();
+    return builder_.Leaf(value);
+  }
+
+  Result<LabeledTree> Finish() { return builder_.Finish(); }
+
+ private:
+  XmlTreeOptions options_;
+  TreeBuilder builder_;
+  bool seen_root_ = false;
+};
+
+/// Builds one tree per depth-1 subtree of the forest document and hands
+/// it to the callback; the enclosing root element is only a wrapper.
+class ForestStreamingHandler : public SaxHandler {
+ public:
+  ForestStreamingHandler(
+      const XmlTreeOptions& options,
+      const std::function<Status(LabeledTree)>& callback)
+      : options_(options), callback_(callback) {}
+
+  Status StartElement(
+      std::string_view name,
+      const std::vector<std::pair<std::string_view, std::string>>& attributes)
+      override {
+    ++depth_;
+    if (depth_ == 1) {
+      if (seen_root_) {
+        return Status::InvalidArgument(
+            "XML: multiple root elements in forest document");
+      }
+      seen_root_ = true;
+      return Status::OK();  // The wrapper element is not part of any tree.
+    }
+    SKETCHTREE_RETURN_NOT_OK(builder_.Open(std::string(name)));
+    if (options_.include_attributes) {
+      for (const auto& [attr_name, attr_value] : attributes) {
+        SKETCHTREE_RETURN_NOT_OK(builder_.Open("@" + std::string(attr_name)));
+        SKETCHTREE_RETURN_NOT_OK(builder_.Leaf(
+            TrimAndClip(attr_value, options_.max_text_length)));
+        SKETCHTREE_RETURN_NOT_OK(builder_.Close());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status EndElement(std::string_view) override {
+    --depth_;
+    if (depth_ == 0) return Status::OK();  // Wrapper closed.
+    SKETCHTREE_RETURN_NOT_OK(builder_.Close());
+    if (depth_ == 1) {
+      // A complete stream tree: hand it off and reset for the next one.
+      SKETCHTREE_ASSIGN_OR_RETURN(LabeledTree tree, builder_.Finish());
+      return callback_(std::move(tree));
+    }
+    return Status::OK();
+  }
+
+  Status Characters(std::string_view text) override {
+    if (!options_.include_text || depth_ <= 1) return Status::OK();
+    std::string value = TrimAndClip(text, options_.max_text_length);
+    if (value.empty()) return Status::OK();
+    return builder_.Leaf(value);
+  }
+
+ private:
+  XmlTreeOptions options_;
+  const std::function<Status(LabeledTree)>& callback_;
+  TreeBuilder builder_;
+  int depth_ = 0;
+  bool seen_root_ = false;
+};
+
+}  // namespace
+
+Status StreamXmlForest(
+    std::string_view xml,
+    const std::function<Status(LabeledTree tree)>& callback,
+    const XmlTreeOptions& options) {
+  ForestStreamingHandler handler(options, callback);
+  return ParseXml(xml, &handler);
+}
+
+Status StreamXmlForestFile(
+    const std::string& path,
+    const std::function<Status(LabeledTree tree)>& callback,
+    const XmlTreeOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("error reading '" + path + "'");
+  }
+  std::string xml = content.str();
+  return StreamXmlForest(xml, callback, options);
+}
+
+Result<LabeledTree> XmlToTree(std::string_view xml,
+                              const XmlTreeOptions& options) {
+  TreeBuildingHandler handler(options);
+  SKETCHTREE_RETURN_NOT_OK(ParseXml(xml, &handler));
+  return handler.Finish();
+}
+
+Result<std::vector<LabeledTree>> XmlForestToTrees(
+    std::string_view xml, const XmlTreeOptions& options) {
+  SKETCHTREE_ASSIGN_OR_RETURN(LabeledTree document, XmlToTree(xml, options));
+  std::vector<LabeledTree> forest;
+  for (LabeledTree::NodeId child : document.children(document.root())) {
+    LabeledTree tree;
+    CopySubtree(&tree, LabeledTree::kInvalidNode, document, child);
+    forest.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+Result<std::vector<LabeledTree>> ReadXmlForestFile(
+    const std::string& path, const XmlTreeOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) {
+    return Status::IOError("error reading '" + path + "'");
+  }
+  std::string xml = content.str();
+  return XmlForestToTrees(xml, options);
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,62 @@
+#ifndef SKETCHTREE_XML_XML_TREE_READER_H_
+#define SKETCHTREE_XML_XML_TREE_READER_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// How XML maps onto labeled trees (mirroring the paper's treatment of
+/// TREEBANK and DBLP):
+///  * an element becomes a node labeled with the element name;
+///  * each attribute `a="v"` becomes a child node `@a` with a single
+///    child labeled `v` (the value as a node label, Section 2.1);
+///  * each non-whitespace text/CDATA run becomes a child node labeled
+///    with the trimmed text.
+struct XmlTreeOptions {
+  bool include_attributes = true;
+  bool include_text = true;
+  /// Text values longer than this are truncated (keeps pathological CDATA
+  /// from bloating labels); 0 = unlimited.
+  size_t max_text_length = 64;
+};
+
+/// Parses one complete XML document into a tree.
+Result<LabeledTree> XmlToTree(std::string_view xml,
+                              const XmlTreeOptions& options = {});
+
+/// Parses an XML document and splits the root's children into separate
+/// trees — exactly how the paper derives a *stream* of trees from one
+/// large document ("a forest of trees were created by removing the root
+/// tag", Section 7.2).
+Result<std::vector<LabeledTree>> XmlForestToTrees(
+    std::string_view xml, const XmlTreeOptions& options = {});
+
+/// Reads `path` fully and applies XmlForestToTrees.
+Result<std::vector<LabeledTree>> ReadXmlForestFile(
+    const std::string& path, const XmlTreeOptions& options = {});
+
+/// Streaming variant: parses the forest document and invokes `callback`
+/// once per root-child tree, holding only the *current* tree in memory —
+/// the appropriate interface for the paper's single-pass model on large
+/// forests. A non-OK status from the callback aborts the parse and is
+/// returned.
+Status StreamXmlForest(
+    std::string_view xml,
+    const std::function<Status(LabeledTree tree)>& callback,
+    const XmlTreeOptions& options = {});
+
+/// StreamXmlForest over the contents of `path`.
+Status StreamXmlForestFile(
+    const std::string& path,
+    const std::function<Status(LabeledTree tree)>& callback,
+    const XmlTreeOptions& options = {});
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_XML_XML_TREE_READER_H_

@@ -1,0 +1,69 @@
+#include "sketch/ams_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sketchtree {
+namespace {
+
+TEST(AmsSketchTest, StartsAtZero) {
+  AmsSketch sketch(1, 4);
+  EXPECT_EQ(sketch.value(), 0.0);
+}
+
+TEST(AmsSketchTest, AddMovesByXi) {
+  AmsSketch sketch(2, 4);
+  int xi = sketch.Xi(77);
+  sketch.Add(77);
+  EXPECT_EQ(sketch.value(), xi);
+  sketch.Add(77);
+  EXPECT_EQ(sketch.value(), 2 * xi);
+}
+
+TEST(AmsSketchTest, WeightedAddAndDelete) {
+  AmsSketch sketch(3, 4);
+  sketch.Add(5, 10.0);
+  sketch.Add(9, 4.0);
+  // Deleting all instances of both values restores zero — the AMS
+  // property Section 5.2's top-k strategy depends on.
+  sketch.Add(5, -10.0);
+  sketch.Add(9, -4.0);
+  EXPECT_DOUBLE_EQ(sketch.value(), 0.0);
+}
+
+TEST(AmsSketchTest, XiConsistentWithinInstance) {
+  AmsSketch sketch(4, 4);
+  for (uint64_t v = 0; v < 50; ++v) {
+    EXPECT_EQ(sketch.Xi(v), sketch.Xi(v));
+  }
+}
+
+TEST(AmsSketchTest, PointEstimatorIsUnbiasedEmpirically) {
+  // E[xi_q X] = f_q: average xi_q * X over many independent instances.
+  // Stream: value 1 x 20, value 2 x 5, value 3 x 9.
+  constexpr int kInstances = 20000;
+  double sum_q1 = 0;
+  double sum_absent = 0;
+  for (int seed = 0; seed < kInstances; ++seed) {
+    AmsSketch sketch(seed, 4);
+    sketch.Add(1, 20);
+    sketch.Add(2, 5);
+    sketch.Add(3, 9);
+    sum_q1 += sketch.Xi(1) * sketch.value();
+    sum_absent += sketch.Xi(42) * sketch.value();
+  }
+  // Var(xi_1 X) <= SJ = 400+25+81 ~ 506; stderr ~ sqrt(506/20000) ~ 0.16.
+  EXPECT_NEAR(sum_q1 / kInstances, 20.0, 1.0);
+  EXPECT_NEAR(sum_absent / kInstances, 0.0, 1.0);
+}
+
+TEST(AmsSketchTest, Reset) {
+  AmsSketch sketch(5, 4);
+  sketch.Add(1);
+  sketch.Reset();
+  EXPECT_EQ(sketch.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,77 @@
+#include "hashing/bch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hashing/gf2.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(BchXiTest, DeterministicPerSeed) {
+  BchXiGenerator a = *BchXiGenerator::Create(5);
+  BchXiGenerator b = *BchXiGenerator::Create(5);
+  for (uint64_t v = 0; v < 200; ++v) EXPECT_EQ(a.Xi(v), b.Xi(v));
+}
+
+TEST(BchXiTest, FieldPolynomialIsIrreducibleDegree61) {
+  BchXiGenerator gen = *BchXiGenerator::Create(7);
+  EXPECT_EQ(gf2::Degree(gen.field_polynomial()), 61);
+  EXPECT_TRUE(gf2::IsIrreducible(gen.field_polynomial()));
+}
+
+TEST(BchXiTest, ProducesPlusMinusOne) {
+  BchXiGenerator gen = *BchXiGenerator::Create(9);
+  for (uint64_t v = 0; v < 500; ++v) {
+    int xi = gen.Xi(v);
+    EXPECT_TRUE(xi == 1 || xi == -1);
+  }
+}
+
+TEST(BchXiTest, SignsAreBalanced) {
+  BchXiGenerator gen = *BchXiGenerator::Create(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (uint64_t v = 1; v <= kN; ++v) sum += gen.Xi(v * 2654435761ULL);
+  EXPECT_LT(std::fabs(sum / kN), 0.02);
+}
+
+class BchProductTest : public ::testing::TestWithParam<int> {};
+
+// The four-wise independence guarantee: products of up to four distinct
+// values' signs average to zero over random seeds — same property the
+// estimator analysis (Equations 1-2) uses.
+TEST_P(BchProductTest, ProductsOfDistinctSignsAverageToZero) {
+  const int k = GetParam();
+  constexpr int kSeeds = 40000;
+  double sum = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    BchXiGenerator gen = *BchXiGenerator::Create(seed);
+    double prod = 1;
+    for (int v = 0; v < k; ++v) prod *= gen.Xi(1000 + 37 * v);
+    sum += prod;
+  }
+  EXPECT_LT(std::fabs(sum / kSeeds), 0.025) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BchProductTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(BchXiTest, AmsEstimatorOnBchSignsIsUnbiased) {
+  // Build a one-counter AMS sketch by hand from BCH signs; E[xi_q X]
+  // must equal f_q, exactly as with the polynomial family.
+  constexpr int kSeeds = 30000;
+  const double freq[3] = {12, 5, 8};
+  double sum = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    BchXiGenerator gen = *BchXiGenerator::Create(seed);
+    double x = 0;
+    for (int v = 0; v < 3; ++v) x += freq[v] * gen.Xi(100 + v);
+    sum += gen.Xi(100) * x;
+  }
+  EXPECT_NEAR(sum / kSeeds, 12.0, 0.6);
+}
+
+}  // namespace
+}  // namespace sketchtree

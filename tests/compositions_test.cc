@@ -1,0 +1,133 @@
+#include "enumtree/compositions.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace sketchtree {
+namespace {
+
+/// Independent oracle: counts bounded compositions by dynamic programming.
+uint64_t DpCount(int total, const std::vector<int>& caps) {
+  if (total < 0) return 0;
+  std::vector<uint64_t> ways(total + 1, 0);
+  ways[0] = 1;
+  for (int cap : caps) {
+    std::vector<uint64_t> next(total + 1, 0);
+    for (int s = 0; s <= total; ++s) {
+      if (ways[s] == 0) continue;
+      for (int x = 0; x <= cap && s + x <= total; ++x) {
+        next[s + x] += ways[s];
+      }
+    }
+    ways = std::move(next);
+  }
+  return ways[total];
+}
+
+TEST(CompositionsTest, EverySolutionIsValidAndUnique) {
+  std::vector<int> caps = {3, 1, 4, 2};
+  std::set<std::vector<int>> seen;
+  ForEachComposition(5, caps, [&](const std::vector<int>& xs) {
+    ASSERT_EQ(xs.size(), caps.size());
+    int sum = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_GE(xs[i], 0);
+      EXPECT_LE(xs[i], caps[i]);
+      sum += xs[i];
+    }
+    EXPECT_EQ(sum, 5);
+    EXPECT_TRUE(seen.insert(xs).second) << "duplicate composition";
+  });
+  EXPECT_EQ(seen.size(), DpCount(5, caps));
+}
+
+TEST(CompositionsTest, CountMatchesDpOracleOnSweep) {
+  std::vector<std::vector<int>> cap_sets = {
+      {}, {0}, {5}, {1, 1, 1}, {2, 3}, {4, 0, 2, 1}, {6, 6, 6}};
+  for (const auto& caps : cap_sets) {
+    int max_total = std::accumulate(caps.begin(), caps.end(), 0) + 2;
+    for (int total = 0; total <= max_total; ++total) {
+      EXPECT_EQ(CountCompositions(total, caps), DpCount(total, caps))
+          << "total=" << total << " parts=" << caps.size();
+    }
+  }
+}
+
+TEST(CompositionsTest, ZeroTotalHasSingleEmptySolution) {
+  int calls = 0;
+  ForEachComposition(0, {2, 2}, [&](const std::vector<int>& xs) {
+    ++calls;
+    EXPECT_EQ(xs, (std::vector<int>{0, 0}));
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CompositionsTest, InfeasibleTotalsProduceNothing) {
+  EXPECT_EQ(CountCompositions(10, {2, 3}), 0u);
+  EXPECT_EQ(CountCompositions(-1, {2, 3}), 0u);
+  EXPECT_EQ(CountCompositions(1, {}), 0u);
+}
+
+TEST(CompositionsTest, EmptyCapsWithZeroTotal) {
+  EXPECT_EQ(CountCompositions(0, {}), 1u);
+}
+
+TEST(CombinationsTest, AllSubsetsEnumeratedInLexOrder) {
+  std::vector<std::vector<int>> combos;
+  ForEachCombination(5, 3, [&](const std::vector<int>& c) {
+    combos.push_back(c);
+  });
+  EXPECT_EQ(combos.size(), 10u);  // C(5,3).
+  for (size_t i = 0; i < combos.size(); ++i) {
+    // Indices strictly increasing within a combination.
+    for (size_t j = 1; j < combos[i].size(); ++j) {
+      EXPECT_LT(combos[i][j - 1], combos[i][j]);
+    }
+    // Combinations are in lexicographic order (hence unique).
+    if (i > 0) {
+      EXPECT_LT(combos[i - 1], combos[i]);
+    }
+  }
+  EXPECT_EQ(combos.front(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(combos.back(), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(CombinationsTest, EdgeCases) {
+  int calls = 0;
+  ForEachCombination(4, 0, [&](const std::vector<int>& c) {
+    ++calls;
+    EXPECT_TRUE(c.empty());
+  });
+  EXPECT_EQ(calls, 1);  // The empty subset.
+
+  calls = 0;
+  ForEachCombination(3, 3, [&](const std::vector<int>& c) {
+    ++calls;
+    EXPECT_EQ(c, (std::vector<int>{0, 1, 2}));
+  });
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  ForEachCombination(2, 3, [&](const std::vector<int>&) { ++calls; });
+  EXPECT_EQ(calls, 0);  // t > n.
+}
+
+TEST(CombinationsTest, CountsMatchBinomials) {
+  auto binom = [](int n, int t) {
+    uint64_t r = 1;
+    for (int i = 0; i < t; ++i) r = r * (n - i) / (i + 1);
+    return r;
+  };
+  for (int n = 0; n <= 10; ++n) {
+    for (int t = 0; t <= n; ++t) {
+      uint64_t calls = 0;
+      ForEachCombination(n, t, [&](const std::vector<int>&) { ++calls; });
+      EXPECT_EQ(calls, binom(n, t)) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,102 @@
+#include "sketch/count_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(CountSketchTest, CreateValidates) {
+  EXPECT_FALSE(CountSketch::Create(0, 5, 1).ok());
+  EXPECT_FALSE(CountSketch::Create(16, 0, 1).ok());
+  ASSERT_TRUE(CountSketch::Create(16, 5, 1).ok());
+}
+
+TEST(CountSketchTest, Dimensions) {
+  CountSketch cs = *CountSketch::Create(64, 5, 2);
+  EXPECT_EQ(cs.width(), 64);
+  EXPECT_EQ(cs.depth(), 5);
+  EXPECT_EQ(cs.MemoryBytes(), 64u * 5u * 8u + 5u * 16u);
+}
+
+TEST(CountSketchTest, ExactOnSparseStream) {
+  // With far more buckets than distinct values, collisions are unlikely
+  // in every row, and the median estimate is exact.
+  CountSketch cs = *CountSketch::Create(1024, 5, 3);
+  cs.Update(10, 50);
+  cs.Update(11, 3);
+  EXPECT_NEAR(cs.EstimatePoint(10), 50.0, 4.0);
+  EXPECT_NEAR(cs.EstimatePoint(11), 3.0, 4.0);
+  EXPECT_NEAR(cs.EstimatePoint(999), 0.0, 4.0);
+}
+
+TEST(CountSketchTest, DeletionSupported) {
+  CountSketch cs = *CountSketch::Create(256, 5, 5);
+  cs.Update(7, 100);
+  cs.Update(7, -100);
+  EXPECT_DOUBLE_EQ(cs.EstimatePoint(7), 0.0);
+}
+
+TEST(CountSketchTest, MedianRobustToHeavyColliders) {
+  // A heavy value lands in one bucket per row; a light value collides
+  // with it in (at most) a few rows, and the median shrugs it off.
+  CountSketch cs = *CountSketch::Create(32, 7, 7);
+  cs.Update(1, 100000);
+  cs.Update(2, 10);
+  double estimate = cs.EstimatePoint(2);
+  EXPECT_NEAR(estimate, 10.0, 50.0);  // Not dragged to ~100000.
+}
+
+TEST(CountSketchTest, RowEstimateIsUnbiasedOverSeeds) {
+  // depth=1: the single-row estimator sign * bucket must average to f_v
+  // over independent seeds.
+  constexpr int kSeeds = 30000;
+  double total = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    CountSketch cs = *CountSketch::Create(8, 1, seed);
+    cs.Update(1, 9);
+    cs.Update(2, 4);
+    cs.Update(3, 6);
+    total += cs.EstimatePoint(1);
+  }
+  EXPECT_NEAR(total / kSeeds, 9.0, 0.5);
+}
+
+TEST(CountSketchTest, AccuracyImprovesWithWidth) {
+  // Var per row ~ SJ/width: mean squared error over many values should
+  // shrink as width grows.
+  auto mse = [](int width) {
+    CountSketch cs = *CountSketch::Create(width, 5, 11);
+    Pcg64 rng(13);
+    std::vector<double> freq(200);
+    for (int v = 0; v < 200; ++v) {
+      freq[v] = 1 + static_cast<double>(rng.NextBounded(20));
+      cs.Update(v, freq[v]);
+    }
+    double total = 0;
+    for (int v = 0; v < 200; ++v) {
+      double e = cs.EstimatePoint(v) - freq[v];
+      total += e * e;
+    }
+    return total / 200;
+  };
+  EXPECT_LT(mse(512), mse(16));
+}
+
+TEST(CountSketchTest, Deterministic) {
+  CountSketch a = *CountSketch::Create(64, 5, 17);
+  CountSketch b = *CountSketch::Create(64, 5, 17);
+  for (uint64_t v = 0; v < 100; ++v) {
+    a.Update(v % 11);
+    b.Update(v % 11);
+  }
+  for (uint64_t v = 0; v < 11; ++v) {
+    EXPECT_DOUBLE_EQ(a.EstimatePoint(v), b.EstimatePoint(v));
+  }
+}
+
+}  // namespace
+}  // namespace sketchtree

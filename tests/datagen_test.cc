@@ -1,0 +1,173 @@
+#include "datagen/dblp_gen.h"
+#include "datagen/treebank_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(TreebankGenTest, DeterministicPerSeed) {
+  TreebankGenerator a;
+  TreebankGenerator b;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(a.Next() == b.Next()) << "tree " << i;
+  }
+}
+
+TEST(TreebankGenTest, DifferentSeedsProduceDifferentStreams) {
+  TreebankGenOptions options_a;
+  options_a.seed = 1;
+  TreebankGenOptions options_b;
+  options_b.seed = 2;
+  TreebankGenerator a(options_a);
+  TreebankGenerator b(options_b);
+  int differ = 0;
+  for (int i = 0; i < 30; ++i) {
+    if (!(a.Next() == b.Next())) ++differ;
+  }
+  EXPECT_GT(differ, 20);
+}
+
+TEST(TreebankGenTest, TreesAreNarrowAndDeep) {
+  TreebankGenerator gen;
+  double total_depth = 0;
+  int max_fanout = 0;
+  constexpr int kTrees = 300;
+  for (int i = 0; i < kTrees; ++i) {
+    LabeledTree tree = gen.Next();
+    ASSERT_GE(tree.size(), 3);
+    total_depth += tree.Depth();
+    max_fanout = std::max(max_fanout, tree.MaxFanout());
+  }
+  EXPECT_GT(total_depth / kTrees, 3.0);  // Deep on average.
+  EXPECT_LE(max_fanout, 6);              // Narrow.
+}
+
+TEST(TreebankGenTest, DepthIsBounded) {
+  TreebankGenOptions options;
+  options.max_depth = 6;
+  TreebankGenerator gen(options);
+  for (int i = 0; i < 200; ++i) {
+    // Each constituent level adds at most ~3 tree levels (e.g. SBAR ->
+    // S -> NP -> NN); the cap must keep depth finite and modest.
+    EXPECT_LE(gen.Next().Depth(), 3 * options.max_depth);
+  }
+}
+
+TEST(TreebankGenTest, UsesTreebankVocabulary) {
+  const std::set<std::string> vocabulary = {
+      "S",    "SBARQ", "SBAR", "SQ",  "NP",  "VP",  "PP",  "WHNP", "ADVP",
+      "NN",   "NNS",   "NNP",  "VB",  "VBD", "VBZ", "VBP", "DT",   "JJ",
+      "IN",   "PRP",   "RB",   "WP",  "WRB", "WDT"};
+  TreebankGenerator gen;
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    LabeledTree tree = gen.Next();
+    for (int32_t id = 0; id < tree.size(); ++id) {
+      EXPECT_TRUE(vocabulary.count(tree.label(id)))
+          << "unexpected label " << tree.label(id);
+      seen.insert(tree.label(id));
+    }
+  }
+  // Recursion-defining labels all appear in a few hundred trees.
+  for (const char* label : {"S", "NP", "VP", "SBAR", "SBARQ", "SQ"}) {
+    EXPECT_TRUE(seen.count(label)) << label;
+  }
+}
+
+TEST(TreebankGenTest, LabelsRecursDepthwise) {
+  // TREEBANK's signature property: recursive element names — an S nested
+  // under another S (via SBAR) must occur in a modest sample.
+  TreebankGenerator gen;
+  bool found_nested_s = false;
+  for (int i = 0; i < 500 && !found_nested_s; ++i) {
+    LabeledTree tree = gen.Next();
+    for (int32_t id = 0; id < tree.size(); ++id) {
+      if (tree.label(id) != "S") continue;
+      for (auto p = tree.parent(id); p != LabeledTree::kInvalidNode;
+           p = tree.parent(p)) {
+        if (tree.label(p) == "S") {
+          found_nested_s = true;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found_nested_s);
+}
+
+TEST(DblpGenTest, DeterministicPerSeed) {
+  DblpGenerator a;
+  DblpGenerator b;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(a.Next() == b.Next()) << "record " << i;
+  }
+}
+
+TEST(DblpGenTest, RecordsAreShallowAndBushy) {
+  DblpGenerator gen;
+  double total_fanout = 0;
+  constexpr int kTrees = 300;
+  for (int i = 0; i < kTrees; ++i) {
+    LabeledTree tree = gen.Next();
+    EXPECT_LE(tree.Depth(), 2);  // record -> field -> value.
+    total_fanout += tree.fanout(tree.root());
+  }
+  EXPECT_GT(total_fanout / kTrees, 4.0);  // Bushy roots.
+}
+
+TEST(DblpGenTest, RecordTypesFollowConfiguredMix) {
+  DblpGenerator gen;
+  std::map<std::string, int> type_counts;
+  constexpr int kTrees = 2000;
+  for (int i = 0; i < kTrees; ++i) {
+    LabeledTree tree = gen.Next();
+    ++type_counts[tree.label(tree.root())];
+  }
+  EXPECT_GT(type_counts["article"], type_counts["inproceedings"]);
+  EXPECT_GT(type_counts["inproceedings"], type_counts["book"]);
+  EXPECT_NEAR(type_counts["article"] / double(kTrees), 0.55, 0.05);
+}
+
+TEST(DblpGenTest, ValuesAreZipfSkewed) {
+  DblpGenerator gen;
+  std::map<std::string, int> author_counts;
+  for (int i = 0; i < 2000; ++i) {
+    LabeledTree tree = gen.Next();
+    for (auto child : tree.children(tree.root())) {
+      if (tree.label(child) != "author") continue;
+      ++author_counts[tree.label(tree.children(child)[0])];
+    }
+  }
+  // The most frequent author dominates: author0 should hold a large
+  // multiple of the median author's count.
+  int max_count = 0;
+  for (const auto& [author, count] : author_counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_EQ(author_counts.count("author0"), 1u);
+  EXPECT_EQ(author_counts["author0"], max_count);
+  EXPECT_GT(max_count, 20 * std::max(1, author_counts["author199"]));
+}
+
+TEST(DblpGenTest, FieldsHaveValueChildren) {
+  DblpGenerator gen;
+  LabeledTree tree = gen.Next();
+  bool saw_valued_field = false;
+  for (auto child : tree.children(tree.root())) {
+    if (tree.label(child) == "title") {
+      ASSERT_EQ(tree.fanout(child), 1);
+      EXPECT_EQ(tree.label(tree.children(child)[0]).rfind("kw", 0), 0u);
+      saw_valued_field = true;
+    }
+  }
+  EXPECT_TRUE(saw_valued_field);
+}
+
+}  // namespace
+}  // namespace sketchtree

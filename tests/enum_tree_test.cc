@@ -1,0 +1,173 @@
+#include "enumtree/enum_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+using Key = std::pair<NodeId, std::vector<PatternEdge>>;
+
+std::set<Key> CollectPatterns(const LabeledTree& tree, int k) {
+  std::set<Key> out;
+  EnumerateTreePatterns(tree, k, [&](NodeId root,
+                                     const std::vector<PatternEdge>& edges) {
+    std::vector<PatternEdge> sorted = edges;
+    std::sort(sorted.begin(), sorted.end());
+    bool inserted = out.emplace(root, std::move(sorted)).second;
+    EXPECT_TRUE(inserted) << "duplicate pattern emitted";
+  });
+  return out;
+}
+
+/// Brute-force oracle: every non-empty subset of the tree's edges that
+/// forms a connected subtree (exactly one edge whose parent has no
+/// incoming selected edge, and every other edge's parent is some selected
+/// edge's child) with at most k edges.
+std::set<Key> BruteForcePatterns(const LabeledTree& tree, int k) {
+  std::vector<PatternEdge> all_edges;
+  for (NodeId id = 0; id < tree.size(); ++id) {
+    if (tree.parent(id) != LabeledTree::kInvalidNode) {
+      all_edges.emplace_back(tree.parent(id), id);
+    }
+  }
+  std::set<Key> out;
+  const size_t e = all_edges.size();
+  for (uint64_t mask = 1; mask < (uint64_t{1} << e); ++mask) {
+    if (__builtin_popcountll(mask) > k) continue;
+    std::vector<PatternEdge> selected;
+    std::set<NodeId> children;
+    for (size_t i = 0; i < e; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        selected.push_back(all_edges[i]);
+        children.insert(all_edges[i].second);
+      }
+    }
+    std::set<NodeId> roots;
+    bool connected = true;
+    for (const PatternEdge& edge : selected) {
+      if (children.count(edge.first) == 0) roots.insert(edge.first);
+    }
+    connected = roots.size() == 1;
+    if (!connected) continue;
+    std::sort(selected.begin(), selected.end());
+    out.emplace(*roots.begin(), std::move(selected));
+  }
+  return out;
+}
+
+LabeledTree RandomOrderedTree(Pcg64& rng, int max_nodes) {
+  LabeledTree tree;
+  int n = 2 + static_cast<int>(rng.NextBounded(max_nodes - 1));
+  const char* labels[] = {"A", "B", "C"};
+  tree.AddNode(labels[rng.NextBounded(3)], LabeledTree::kInvalidNode);
+  for (int i = 1; i < n; ++i) {
+    auto parent = static_cast<NodeId>(rng.NextBounded(i));
+    tree.AddNode(labels[rng.NextBounded(3)], parent);
+  }
+  return tree;
+}
+
+TEST(EnumTreeTest, SingleNodeTreeHasNoPatterns) {
+  LabeledTree t = *ParseSExpr("A");
+  EXPECT_EQ(EnumerateTreePatterns(t, 3, [](NodeId, const auto&) {}), 0u);
+  EXPECT_EQ(CountTreePatterns(t, 3), 0u);
+}
+
+TEST(EnumTreeTest, SingleEdgeTree) {
+  LabeledTree t = *ParseSExpr("A(B)");
+  std::set<Key> patterns = CollectPatterns(t, 3);
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns.begin()->first, t.root());
+}
+
+TEST(EnumTreeTest, HandComputedThreeEdgeExample) {
+  // A(B(D,E),C): patterns with exactly 3 edges rooted at A are
+  //   {(A,B),(B,D),(B,E)}, {(A,B),(A,C),(B,D)}, {(A,B),(A,C),(B,E)}.
+  LabeledTree t = *ParseSExpr("A(B(D,E),C)");
+  std::set<Key> all = CollectPatterns(t, 4);
+  int three_edge_rooted_at_a = 0;
+  for (const Key& key : all) {
+    if (key.first == t.root() && key.second.size() == 3) {
+      ++three_edge_rooted_at_a;
+    }
+  }
+  EXPECT_EQ(three_edge_rooted_at_a, 3);
+  // Total patterns: rooted at B: {BD},{BE},{BD,BE} = 3;
+  // rooted at A with 1 edge: {AB},{AC} = 2; 2 edges: {AB,AC},{AB,BD},
+  // {AB,BE} = 3; 3 edges: 3 (above); 4 edges: the whole tree = 1.
+  EXPECT_EQ(all.size(), 3u + 2u + 3u + 3u + 1u);
+}
+
+TEST(EnumTreeTest, MaxEdgesLimitsSize) {
+  LabeledTree t = *ParseSExpr("A(B(D,E),C)");
+  for (int k = 1; k <= 4; ++k) {
+    EnumerateTreePatterns(t, k, [&](NodeId, const auto& edges) {
+      EXPECT_LE(static_cast<int>(edges.size()), k);
+      EXPECT_GE(edges.size(), 1u);
+    });
+  }
+}
+
+TEST(EnumTreeTest, KZeroOrEmptyTreeYieldNothing) {
+  LabeledTree t = *ParseSExpr("A(B)");
+  EXPECT_EQ(EnumerateTreePatterns(t, 0, [](NodeId, const auto&) {}), 0u);
+  LabeledTree empty;
+  EXPECT_EQ(EnumerateTreePatterns(empty, 3, [](NodeId, const auto&) {}), 0u);
+}
+
+TEST(EnumTreeTest, CountMatchesEnumeration) {
+  Pcg64 rng(5);
+  for (int iter = 0; iter < 20; ++iter) {
+    LabeledTree t = RandomOrderedTree(rng, 12);
+    for (int k = 1; k <= 4; ++k) {
+      uint64_t enumerated =
+          EnumerateTreePatterns(t, k, [](NodeId, const auto&) {});
+      EXPECT_EQ(CountTreePatterns(t, k), enumerated)
+          << TreeToSExpr(t) << " k=" << k;
+    }
+  }
+}
+
+TEST(EnumTreeTest, PathGraphCounts) {
+  // On a path of n edges, patterns with <= k edges are sub-paths starting
+  // at any node: for each root, min(k, remaining) patterns.
+  LabeledTree t = *ParseSExpr("A(B(C(D(E))))");  // 4 edges.
+  // k=2: root A: 2, B: 2, C: 2, D: 1, E: 0 => 7.
+  EXPECT_EQ(CountTreePatterns(t, 2), 7u);
+  // k=4: 4 + 3 + 2 + 1 = 10.
+  EXPECT_EQ(CountTreePatterns(t, 4), 10u);
+}
+
+TEST(EnumTreeTest, StarGraphCounts) {
+  // Root with f children: patterns rooted at the center with j edges are
+  // C(f, j); leaves contribute none. k=3, f=5: C(5,1)+C(5,2)+C(5,3)=25.
+  LabeledTree t = *ParseSExpr("R(A,B,C,D,E)");
+  EXPECT_EQ(CountTreePatterns(t, 3), 5u + 10u + 10u);
+}
+
+class EnumTreeOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumTreeOracleTest, MatchesBruteForceOnRandomTrees) {
+  Pcg64 rng(GetParam());
+  for (int iter = 0; iter < 15; ++iter) {
+    LabeledTree t = RandomOrderedTree(rng, 12);  // <= 11 edges.
+    for (int k = 1; k <= 5; ++k) {
+      std::set<Key> fast = CollectPatterns(t, k);
+      std::set<Key> slow = BruteForcePatterns(t, k);
+      EXPECT_EQ(fast, slow) << TreeToSExpr(t) << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumTreeOracleTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,73 @@
+#include "stats/error_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchtree {
+namespace {
+
+TEST(RelativeErrorTest, BasicCases) {
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(110, 100), 0.10);
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(90, 100), 0.10);
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(100, 100), 0.0);
+}
+
+TEST(RelativeErrorTest, NegativeEstimateUsesSanityBound) {
+  // Paper, Section 7.5: a negative approximate count is replaced by
+  // 0.1 * actual, giving relative error 0.9.
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(-5, 100), 0.9);
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(-1e9, 40), 0.9);
+}
+
+TEST(RelativeErrorTest, ZeroActualFallsBackToAbsolute) {
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(7, 0), 7.0);
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(-7, 0), 7.0);
+  EXPECT_DOUBLE_EQ(SanityBoundedRelativeError(0, 0), 0.0);
+}
+
+TEST(SelectivityRangeTest, HalfOpenContainment) {
+  SelectivityRange range{0.001, 0.002};
+  EXPECT_TRUE(range.Contains(0.001));
+  EXPECT_TRUE(range.Contains(0.0015));
+  EXPECT_FALSE(range.Contains(0.002));
+  EXPECT_FALSE(range.Contains(0.0005));
+}
+
+TEST(SelectivityRangeTest, ToStringIsReadable) {
+  SelectivityRange range{0.00001, 0.0002};
+  EXPECT_EQ(range.ToString(), "[1e-05, 0.0002)");
+}
+
+TEST(ErrorAccumulatorTest, BucketsByRange) {
+  ErrorAccumulator acc({{0.0, 0.1}, {0.1, 0.5}});
+  acc.Add(0.05, 0.2);
+  acc.Add(0.07, 0.4);
+  acc.Add(0.2, 1.0);
+  auto buckets = acc.Buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].num_queries, 2u);
+  EXPECT_DOUBLE_EQ(buckets[0].mean_relative_error, 0.3);
+  EXPECT_EQ(buckets[1].num_queries, 1u);
+  EXPECT_DOUBLE_EQ(buckets[1].mean_relative_error, 1.0);
+  EXPECT_EQ(acc.dropped(), 0u);
+}
+
+TEST(ErrorAccumulatorTest, OutOfRangeSamplesAreDropped) {
+  ErrorAccumulator acc({{0.1, 0.2}});
+  acc.Add(0.5, 1.0);
+  acc.Add(0.05, 1.0);
+  EXPECT_EQ(acc.dropped(), 2u);
+  EXPECT_EQ(acc.Buckets()[0].num_queries, 0u);
+  EXPECT_DOUBLE_EQ(acc.Buckets()[0].mean_relative_error, 0.0);
+}
+
+TEST(ErrorAccumulatorTest, FirstMatchingRangeWins) {
+  // Overlapping ranges: the sample lands in the first one only.
+  ErrorAccumulator acc({{0.0, 1.0}, {0.0, 1.0}});
+  acc.Add(0.5, 0.3);
+  auto buckets = acc.Buckets();
+  EXPECT_EQ(buckets[0].num_queries, 1u);
+  EXPECT_EQ(buckets[1].num_queries, 0u);
+}
+
+}  // namespace
+}  // namespace sketchtree

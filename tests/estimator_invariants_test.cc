@@ -1,0 +1,112 @@
+// Cross-cutting invariants tying the query-layer estimators together:
+// algebraic identities that must hold *exactly* (not just in
+// expectation) because the underlying per-instance estimators are the
+// same deterministic functions of the same sketch state.
+#include <gtest/gtest.h>
+
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "query/expression.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+SketchTree PopulatedSketch(uint64_t seed = 5) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 40;
+  options.s2 = 7;
+  options.num_virtual_streams = 23;
+  options.topk_size = 8;
+  options.seed = seed;
+  SketchTree sketch = *SketchTree::Create(options);
+  TreebankGenerator gen;
+  for (int i = 0; i < 150; ++i) sketch.Update(gen.Next());
+  return sketch;
+}
+
+TEST(EstimatorInvariantsTest, SingletonSumEqualsPointEstimate) {
+  SketchTree sketch = PopulatedSketch();
+  LabeledTree q = *ParseSExpr("NP(DT,NN)");
+  std::vector<LabeledTree> singleton;
+  singleton.push_back(*ParseSExpr("NP(DT,NN)"));
+  EXPECT_DOUBLE_EQ(*sketch.EstimateCountOrderedSum(singleton),
+                   *sketch.EstimateCountOrdered(q));
+}
+
+TEST(EstimatorInvariantsTest, ExpressionOfOnePatternEqualsPointEstimate) {
+  SketchTree sketch = PopulatedSketch();
+  EXPECT_DOUBLE_EQ(*sketch.EstimateExpression("COUNT_ORD(NP(DT,NN))"),
+                   *sketch.EstimateCountOrdered(*ParseSExpr("NP(DT,NN)")));
+}
+
+TEST(EstimatorInvariantsTest, UnorderedOfAsymmetricPatternViaExpression) {
+  // COUNT(Q) as a method and as an expression keyword must agree.
+  SketchTree sketch = PopulatedSketch();
+  LabeledTree q = *ParseSExpr("S(NP,VP)");
+  EXPECT_DOUBLE_EQ(*sketch.EstimateCount(q),
+                   *sketch.EstimateExpression("COUNT(S(NP,VP))"));
+}
+
+TEST(EstimatorInvariantsTest, ExpressionAdditionEqualsSumEstimator) {
+  // Section 5.3 semantics: an expression is evaluated against the single
+  // combined X over all its query trees, so a sum of two COUNT_ORD
+  // terms is exactly the Section 3.2 sum estimator. (It is NOT the sum
+  // of two separately boosted point estimates — medians are not
+  // linear.)
+  SketchTree sketch = PopulatedSketch();
+  std::vector<LabeledTree> pair;
+  pair.push_back(*ParseSExpr("NP(DT,NN)"));
+  pair.push_back(*ParseSExpr("VP(VBD)"));
+  double via_sum_estimator = *sketch.EstimateCountOrderedSum(pair);
+  double via_expression = *sketch.EstimateExpression(
+      "COUNT_ORD(NP(DT,NN)) + COUNT_ORD(VP(VBD))");
+  EXPECT_DOUBLE_EQ(via_expression, via_sum_estimator);
+}
+
+TEST(EstimatorInvariantsTest, NegationFlipsTheEstimate) {
+  SketchTree sketch = PopulatedSketch();
+  double forward = *sketch.EstimateExpression(
+      "COUNT_ORD(NP(DT,NN)) - COUNT_ORD(VP(VBD))");
+  double backward = *sketch.EstimateExpression(
+      "COUNT_ORD(VP(VBD)) - COUNT_ORD(NP(DT,NN))");
+  EXPECT_DOUBLE_EQ(forward, -backward);
+}
+
+TEST(EstimatorInvariantsTest, ProductCommutes) {
+  SketchTree sketch = PopulatedSketch();
+  EXPECT_DOUBLE_EQ(
+      *sketch.EstimateExpression(
+          "COUNT_ORD(NP(DT,NN)) * COUNT_ORD(VP(VBD))"),
+      *sketch.EstimateExpression(
+          "COUNT_ORD(VP(VBD)) * COUNT_ORD(NP(DT,NN))"));
+}
+
+TEST(EstimatorInvariantsTest, QueriesDoNotMutateState) {
+  SketchTree sketch = PopulatedSketch();
+  LabeledTree q = *ParseSExpr("NP(DT,NN)");
+  double first = *sketch.EstimateCountOrdered(q);
+  // A barrage of queries of every kind...
+  (void)*sketch.EstimateCount(*ParseSExpr("S(NP,VP)"));
+  (void)*sketch.EstimateExpression(
+      "COUNT_ORD(NP(DT,NN)) * COUNT_ORD(VP(VBD))");
+  (void)sketch.EstimateSelfJoinSize();
+  // ...must leave every estimate unchanged.
+  EXPECT_DOUBLE_EQ(*sketch.EstimateCountOrdered(q), first);
+}
+
+TEST(EstimatorInvariantsTest, DifferentMasterSeedsChangeEstimatesOnly) {
+  // Different seeds yield different randomness but consistent semantics:
+  // both sketches remain close to each other on a well-provisioned
+  // query.
+  SketchTree a = PopulatedSketch(5);
+  SketchTree b = PopulatedSketch(6);
+  LabeledTree q = *ParseSExpr("NP(DT,NN)");
+  double est_a = *a.EstimateCountOrdered(q);
+  double est_b = *b.EstimateCountOrdered(q);
+  EXPECT_NEAR(est_a, est_b, 0.35 * (est_a + est_b) / 2 + 10);
+}
+
+}  // namespace
+}  // namespace sketchtree

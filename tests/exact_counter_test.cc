@@ -1,0 +1,97 @@
+#include "exact/exact_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(ExactCounterTest, CountsSimplePatterns) {
+  ExactCounter counter = *ExactCounter::Create(31, 42);
+  counter.Update(*ParseSExpr("A(B,C)"), 2);
+  // Patterns: A(B), A(C), A(B,C) — all distinct, one instance each.
+  EXPECT_EQ(counter.total_patterns(), 3u);
+  EXPECT_EQ(counter.distinct_patterns(), 3u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(B)")), 1u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(C)")), 1u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(B,C)")), 1u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(C,B)")), 0u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("X(Y)")), 0u);
+}
+
+TEST(ExactCounterTest, AccumulatesAcrossTrees) {
+  ExactCounter counter = *ExactCounter::Create(31, 42);
+  counter.Update(*ParseSExpr("A(B)"), 2);
+  counter.Update(*ParseSExpr("A(B)"), 2);
+  counter.Update(*ParseSExpr("A(B(C))"), 2);
+  EXPECT_EQ(counter.trees_processed(), 3u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(B)")), 3u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("B(C)")), 1u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(B(C))")), 1u);
+}
+
+// Figure 1 of the paper, reconstructed: Q = A with children B, C.
+// T1 contributes 2 ordered matches (B before C), T2 contributes 2
+// reversed matches (C before B), T3 contributes 1 ordered match:
+// COUNT_ord(Q) = 3 and unordered COUNT(Q) = 5.
+TEST(ExactCounterTest, FigureOneSemantics) {
+  ExactCounter counter = *ExactCounter::Create(31, 42);
+  counter.Update(*ParseSExpr("A(B,B,C)"), 2);  // T1: 2 ordered (B,C) pairs.
+  counter.Update(*ParseSExpr("A(C,C,B)"), 2);  // T2: 2 (C,B) pairs.
+  counter.Update(*ParseSExpr("A(B,C)"), 2);    // T3: 1 ordered pair.
+  LabeledTree q = *ParseSExpr("A(B,C)");
+  EXPECT_EQ(counter.CountOrdered(q), 3u);
+  Result<uint64_t> unordered = counter.CountUnordered(q);
+  ASSERT_TRUE(unordered.ok());
+  EXPECT_EQ(*unordered, 5u);
+}
+
+TEST(ExactCounterTest, UnorderedCountSumsArrangements) {
+  ExactCounter counter = *ExactCounter::Create(31, 42);
+  counter.Update(*ParseSExpr("R(X,Y(P,Q))"), 4);
+  counter.Update(*ParseSExpr("R(Y(Q,P),X)"), 4);
+  LabeledTree query = *ParseSExpr("R(X,Y(P,Q))");
+  // Ordered: only the first tree matches the exact arrangement.
+  EXPECT_EQ(counter.CountOrdered(query), 1u);
+  // Unordered: both trees contain the unordered pattern once.
+  EXPECT_EQ(*counter.CountUnordered(query), 2u);
+}
+
+TEST(ExactCounterTest, MaxEdgesLimitsEnumeration) {
+  ExactCounter counter = *ExactCounter::Create(31, 42);
+  counter.Update(*ParseSExpr("A(B(C(D)))"), 2);
+  // The 3-edge pattern was never enumerated.
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(B(C(D)))")), 0u);
+  EXPECT_EQ(counter.CountOrdered(*ParseSExpr("A(B(C))")), 1u);
+}
+
+TEST(ExactCounterTest, SameSeedSameMapping) {
+  ExactCounter a = *ExactCounter::Create(31, 42);
+  ExactCounter b = *ExactCounter::Create(31, 42);
+  LabeledTree pattern = *ParseSExpr("S(NP,VP)");
+  EXPECT_EQ(a.MapPattern(pattern), b.MapPattern(pattern));
+  // Different seed draws a different irreducible polynomial, so mappings
+  // (almost surely) differ.
+  ExactCounter c = *ExactCounter::Create(31, 43);
+  EXPECT_NE(a.fingerprinter().irreducible(), c.fingerprinter().irreducible());
+}
+
+TEST(ExactCounterTest, MemoryScalesWithDistinctPatterns) {
+  ExactCounter counter = *ExactCounter::Create(31, 42);
+  EXPECT_EQ(counter.MemoryBytes(), 0u);
+  counter.Update(*ParseSExpr("A(B,C)"), 2);
+  EXPECT_EQ(counter.MemoryBytes(), 3u * 16u);
+}
+
+TEST(ExactCounterTest, CountValueByMapping) {
+  ExactCounter counter = *ExactCounter::Create(31, 42);
+  LabeledTree tree = *ParseSExpr("A(B)");
+  counter.Update(tree, 2);
+  uint64_t value = counter.MapPattern(*ParseSExpr("A(B)"));
+  EXPECT_EQ(counter.CountValue(value), 1u);
+  EXPECT_EQ(counter.CountValue(value ^ 1), 0u);
+}
+
+}  // namespace
+}  // namespace sketchtree

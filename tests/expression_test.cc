@@ -1,0 +1,147 @@
+#include "query/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(ExpressionTest, SingleOrderedCount) {
+  Result<CountExpression> e = CountExpression::Parse("COUNT_ORD(A(B,C))");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(e->terms()[0].coeff, 1.0);
+  ASSERT_EQ(e->terms()[0].degree(), 1);
+  EXPECT_EQ(TreeToSExpr(e->terms()[0].patterns[0]), "A(B,C)");
+  EXPECT_EQ(e->MaxDegree(), 1);
+}
+
+TEST(ExpressionTest, SumAndDifference) {
+  Result<CountExpression> e = CountExpression::Parse(
+      "COUNT_ORD(A) + COUNT_ORD(B) - COUNT_ORD(C)");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->terms().size(), 3u);
+  EXPECT_DOUBLE_EQ(e->terms()[0].coeff, 1.0);
+  EXPECT_DOUBLE_EQ(e->terms()[1].coeff, 1.0);
+  EXPECT_DOUBLE_EQ(e->terms()[2].coeff, -1.0);
+}
+
+TEST(ExpressionTest, ProductTerm) {
+  Result<CountExpression> e =
+      CountExpression::Parse("COUNT_ORD(A(B)) * COUNT_ORD(C(D))");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->terms().size(), 1u);
+  EXPECT_EQ(e->terms()[0].degree(), 2);
+  EXPECT_EQ(e->MaxDegree(), 2);
+}
+
+TEST(ExpressionTest, PrecedenceTimesBindsTighter) {
+  // A*B + C expands to two terms: degree 2 and degree 1.
+  Result<CountExpression> e = CountExpression::Parse(
+      "COUNT_ORD(A) * COUNT_ORD(B) + COUNT_ORD(C)");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->terms().size(), 2u);
+  EXPECT_EQ(e->terms()[0].degree(), 2);
+  EXPECT_EQ(e->terms()[1].degree(), 1);
+}
+
+TEST(ExpressionTest, ParenthesesDistribute) {
+  // (A + B) * C = A*C + B*C.
+  Result<CountExpression> e = CountExpression::Parse(
+      "(COUNT_ORD(A) + COUNT_ORD(B)) * COUNT_ORD(C)");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->terms().size(), 2u);
+  EXPECT_EQ(e->terms()[0].degree(), 2);
+  EXPECT_EQ(e->terms()[1].degree(), 2);
+}
+
+TEST(ExpressionTest, DifferenceOfProductsMatchesPaperExample) {
+  // Example 3: C(Q1)C(Q2) + C(Q3)C(Q4) - C(Q5)C(Q6).
+  Result<CountExpression> e = CountExpression::Parse(
+      "COUNT_ORD(Q1) * COUNT_ORD(Q2) + COUNT_ORD(Q3) * COUNT_ORD(Q4) "
+      "- COUNT_ORD(Q5) * COUNT_ORD(Q6)");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->terms().size(), 3u);
+  EXPECT_DOUBLE_EQ(e->terms()[2].coeff, -1.0);
+  for (const ExprTerm& term : e->terms()) EXPECT_EQ(term.degree(), 2);
+}
+
+TEST(ExpressionTest, UnorderedCountExpandsArrangements) {
+  // COUNT(A(B,C)) = COUNT_ORD(A(B,C)) + COUNT_ORD(A(C,B)).
+  Result<CountExpression> e = CountExpression::Parse("COUNT(A(B,C))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->terms().size(), 2u);
+}
+
+TEST(ExpressionTest, UnorderedTimesOrderedDistributes) {
+  // COUNT(A(B,C)) * COUNT_ORD(D) -> 2 degree-2 terms.
+  Result<CountExpression> e =
+      CountExpression::Parse("COUNT(A(B,C)) * COUNT_ORD(D)");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->terms().size(), 2u);
+  EXPECT_EQ(e->terms()[0].degree(), 2);
+}
+
+TEST(ExpressionTest, CaseInsensitiveKeywords) {
+  EXPECT_TRUE(CountExpression::Parse("count_ord(A)").ok());
+  EXPECT_TRUE(CountExpression::Parse("Count(A)").ok());
+}
+
+TEST(ExpressionTest, QuotedLabelsInsidePatterns) {
+  Result<CountExpression> e =
+      CountExpression::Parse("COUNT_ORD(A('odd (label)'))");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->terms()[0].patterns[0].size(), 2);
+}
+
+TEST(ExpressionTest, SyntaxErrors) {
+  EXPECT_FALSE(CountExpression::Parse("").ok());
+  EXPECT_FALSE(CountExpression::Parse("COUNT_ORD(A) +").ok());
+  EXPECT_FALSE(CountExpression::Parse("COUNT_ORD A").ok());
+  EXPECT_FALSE(CountExpression::Parse("COUNT_ORD(A(B)").ok());
+  EXPECT_FALSE(CountExpression::Parse("FOO(A)").ok());
+  EXPECT_FALSE(CountExpression::Parse("COUNT_ORD(A) COUNT_ORD(B)").ok());
+  EXPECT_FALSE(CountExpression::Parse("(COUNT_ORD(A)").ok());
+}
+
+TEST(ExpressionTest, DegreeLimitEnforced) {
+  Result<CountExpression> e = CountExpression::Parse(
+      "COUNT_ORD(A) * COUNT_ORD(B) * COUNT_ORD(C)",
+      /*max_terms=*/4096, /*max_degree=*/2);
+  EXPECT_FALSE(e.ok());
+  EXPECT_TRUE(e.status().IsOutOfRange());
+}
+
+TEST(ExpressionTest, TermLimitEnforced) {
+  Result<CountExpression> e = CountExpression::Parse(
+      "(COUNT_ORD(A) + COUNT_ORD(B)) * (COUNT_ORD(C) + COUNT_ORD(D))",
+      /*max_terms=*/3);
+  EXPECT_FALSE(e.ok());
+  EXPECT_TRUE(e.status().IsOutOfRange());
+}
+
+TEST(ExpressionTest, FromTermsValidates) {
+  std::vector<ExprTerm> terms(1);
+  EXPECT_FALSE(CountExpression::FromTerms(std::move(terms)).ok());
+
+  std::vector<ExprTerm> ok_terms(1);
+  ok_terms[0].patterns.push_back(*ParseSExpr("A(B)"));
+  Result<CountExpression> e = CountExpression::FromTerms(std::move(ok_terms));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->terms().size(), 1u);
+
+  EXPECT_FALSE(CountExpression::FromTerms({}).ok());
+}
+
+TEST(ExpressionTest, ToStringShowsNormalizedForm) {
+  CountExpression e = *CountExpression::Parse(
+      "COUNT_ORD(A) - COUNT_ORD(B) * COUNT_ORD(C)");
+  std::string text = e.ToString();
+  EXPECT_NE(text.find("COUNT_ORD(A)"), std::string::npos);
+  EXPECT_NE(text.find(" - "), std::string::npos);
+  EXPECT_NE(text.find("COUNT_ORD(B) * COUNT_ORD(C)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sketchtree

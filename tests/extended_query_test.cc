@@ -1,0 +1,170 @@
+#include "query/extended_query.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "exact/exact_counter.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+std::set<std::string> ResolveToStrings(const char* query_text,
+                                       const StructuralSummary& summary,
+                                       int max_edges) {
+  ExtendedQuery query = *ExtendedQuery::Parse(query_text);
+  Result<std::vector<LabeledTree>> resolved =
+      ResolveExtendedQuery(query, summary, max_edges);
+  EXPECT_TRUE(resolved.ok()) << resolved.status().ToString();
+  std::set<std::string> out;
+  for (const LabeledTree& pattern : *resolved) {
+    EXPECT_TRUE(out.insert(TreeToSExpr(pattern)).second) << "duplicate";
+  }
+  return out;
+}
+
+TEST(ExtendedQueryParseTest, PlainPattern) {
+  ExtendedQuery q = *ExtendedQuery::Parse("A(B,C(D))");
+  EXPECT_TRUE(q.IsPlain());
+  EXPECT_EQ(q.ToString(), "A(B,C(D))");
+}
+
+TEST(ExtendedQueryParseTest, WildcardsAndDescendants) {
+  ExtendedQuery q = *ExtendedQuery::Parse("A(*,//C(*),B)");
+  EXPECT_FALSE(q.IsPlain());
+  EXPECT_EQ(q.ToString(), "A(*,//C(*),B)");
+  const ExtendedQueryNode& root = q.root();
+  ASSERT_EQ(root.children.size(), 3u);
+  EXPECT_TRUE(root.children[0].wildcard);
+  EXPECT_TRUE(root.children[1].descendant_edge);
+  EXPECT_FALSE(root.children[2].descendant_edge);
+}
+
+TEST(ExtendedQueryParseTest, Errors) {
+  EXPECT_FALSE(ExtendedQuery::Parse("//A(B)").ok());  // Root with '//'.
+  EXPECT_FALSE(ExtendedQuery::Parse("A(/B)").ok());   // Single slash.
+  EXPECT_FALSE(ExtendedQuery::Parse("A(B").ok());
+  EXPECT_FALSE(ExtendedQuery::Parse("").ok());
+  EXPECT_FALSE(ExtendedQuery::Parse("A(B,)").ok());
+}
+
+class ResolutionTest : public ::testing::Test {
+ protected:
+  ResolutionTest() {
+    // The Figure 7 structural summary: A with children B and C, B with
+    // child C.
+    summary_.Update(*ParseSExpr("A(B(C),C)"));
+  }
+  StructuralSummary summary_;
+};
+
+TEST_F(ResolutionTest, WildcardResolvesToLabels) {
+  // Figure 7(b): Q1 = A(*) resolves to {A(B), A(C)}.
+  EXPECT_EQ(ResolveToStrings("A(*)", summary_, 4),
+            (std::set<std::string>{"A(B)", "A(C)"}));
+}
+
+TEST_F(ResolutionTest, DescendantResolvesViaChains) {
+  // Figure 7(c): Q2 = A//C resolves to {A(C), A(B(C))}.
+  EXPECT_EQ(ResolveToStrings("A(//C)", summary_, 4),
+            (std::set<std::string>{"A(C)", "A(B(C))"}));
+}
+
+TEST_F(ResolutionTest, PlainQueryResolvesToItself) {
+  EXPECT_EQ(ResolveToStrings("A(B(C))", summary_, 4),
+            (std::set<std::string>{"A(B(C))"}));
+}
+
+TEST_F(ResolutionTest, UnsatisfiableQueryResolvesEmpty) {
+  EXPECT_TRUE(ResolveToStrings("A(X)", summary_, 4).empty());
+  EXPECT_TRUE(ResolveToStrings("X(*)", summary_, 4).empty());
+  EXPECT_TRUE(ResolveToStrings("A(//X)", summary_, 4).empty());
+}
+
+TEST_F(ResolutionTest, CombinedWildcardAndDescendant) {
+  // A(*, //C): first child any label, second a descendant C. Resolutions
+  // combine both choices.
+  EXPECT_EQ(ResolveToStrings("A(*,//C)", summary_, 4),
+            (std::set<std::string>{"A(B,C)", "A(C,C)", "A(B,B(C))",
+                                   "A(C,B(C))"}));
+}
+
+TEST_F(ResolutionTest, NestedStructureUnderWildcard) {
+  // A(*(C)): any child of A that itself has child C -> only B qualifies.
+  EXPECT_EQ(ResolveToStrings("A(*(C))", summary_, 4),
+            (std::set<std::string>{"A(B(C))"}));
+}
+
+TEST_F(ResolutionTest, SaturatedSummaryRefused) {
+  StructuralSummary::Options options;
+  options.max_nodes = 1;
+  StructuralSummary tiny(options);
+  tiny.Update(*ParseSExpr("A(B)"));
+  ASSERT_TRUE(tiny.saturated());
+  ExtendedQuery query = *ExtendedQuery::Parse("A(*)");
+  Result<std::vector<LabeledTree>> resolved =
+      ResolveExtendedQuery(query, tiny, 4);
+  EXPECT_FALSE(resolved.ok());
+  EXPECT_TRUE(resolved.status().IsInvalidArgument());
+}
+
+TEST_F(ResolutionTest, OversizedResolutionIsAnError) {
+  // With k = 1, A(B(C)) (2 edges) cannot be represented: the paper's
+  // Section 6.2 caveat makes this an error, not a silent undercount.
+  ExtendedQuery query = *ExtendedQuery::Parse("A(//C)");
+  Result<std::vector<LabeledTree>> resolved =
+      ResolveExtendedQuery(query, summary_, /*max_edges=*/1);
+  EXPECT_FALSE(resolved.ok());
+  EXPECT_TRUE(resolved.status().IsOutOfRange());
+}
+
+TEST(ExtendedResolutionTest, DeepChainsMaterialize) {
+  StructuralSummary summary;
+  summary.Update(*ParseSExpr("R(A(B(C(T))),T)"));
+  EXPECT_EQ(ResolveToStrings("R(//T)", summary, 4),
+            (std::set<std::string>{"R(T)", "R(A(B(C(T))))"}));
+  // Descendant anchored below the root.
+  EXPECT_EQ(ResolveToStrings("A(//T)", summary, 4),
+            (std::set<std::string>{"A(B(C(T)))"}));
+}
+
+TEST(ExtendedResolutionTest, RecursiveLabelsYieldMultipleChains) {
+  StructuralSummary summary;
+  summary.Update(*ParseSExpr("S(VP(S(VP(V))),V)"));
+  // S//V: direct child, via VP, via VP/S/VP.
+  EXPECT_EQ(ResolveToStrings("S(//V)", summary, 4),
+            (std::set<std::string>{"S(V)", "S(VP(V))",
+                                   "S(VP(S(VP(V))))"}));
+}
+
+TEST(ExtendedResolutionTest, CountsMatchExactCounter) {
+  // End-to-end ground truth: resolve against a summary and sum exact
+  // counts; verify hand-computed occurrence totals.
+  ExactCounter exact = *ExactCounter::Create(31, 42);
+  StructuralSummary summary;
+  const char* docs[] = {
+      "A(B(C),C)",   // A//C occurrences: A(C) x1, A(B(C)) x1.
+      "A(C,C)",      // A(C) x2.
+      "A(B(C))",     // A(B(C)) x1.
+      "A(B,B(C))",   // A(B(C)) x1 (the second B).
+  };
+  for (const char* doc : docs) {
+    LabeledTree tree = *ParseSExpr(doc);
+    exact.Update(tree, 3);
+    summary.Update(tree);
+  }
+  ExtendedQuery query = *ExtendedQuery::Parse("A(//C)");
+  Result<uint64_t> count = exact.CountExtended(query, summary, 3);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  // A(C): 1 + 2 = 3; A(B(C)): 1 + 1 + 1 = 3.
+  EXPECT_EQ(*count, 6u);
+
+  ExtendedQuery wildcard = *ExtendedQuery::Parse("A(*)");
+  // A(B): doc1 x1, doc3 x1, doc4 x2 = 4; A(C): doc1 x1, doc2 x2 = 3.
+  EXPECT_EQ(*exact.CountExtended(wildcard, summary, 3), 7u);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,136 @@
+#include "hashing/gf2.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace sketchtree {
+namespace {
+
+TEST(Gf2Test, Degree) {
+  EXPECT_EQ(gf2::Degree(0), -1);
+  EXPECT_EQ(gf2::Degree(1), 0);
+  EXPECT_EQ(gf2::Degree(0b10), 1);
+  EXPECT_EQ(gf2::Degree(0b1011), 3);
+  EXPECT_EQ(gf2::Degree(uint64_t{1} << 63), 63);
+}
+
+TEST(Gf2Test, Reduce64) {
+  // x^3 mod (x^3 + x + 1) = x + 1.
+  EXPECT_EQ(gf2::Reduce64(0b1000, 0b1011), 0b011u);
+  // Already reduced values pass through.
+  EXPECT_EQ(gf2::Reduce64(0b101, 0b1011), 0b101u);
+}
+
+TEST(Gf2Test, ModMulAgainstHandComputation) {
+  // In GF(8) = GF(2)[x]/(x^3+x+1): (x+1)(x^2+1) = x^3+x^2+x+1
+  // = (x+1) + x^2 + x + 1 = x^2  (since x^3 = x+1).
+  EXPECT_EQ(gf2::ModMul(0b011, 0b101, 0b1011), 0b100u);
+  // x * x = x^2.
+  EXPECT_EQ(gf2::ModMul(0b010, 0b010, 0b1011), 0b100u);
+  // Multiplication by 1 is identity.
+  for (uint64_t a = 0; a < 8; ++a) {
+    EXPECT_EQ(gf2::ModMul(a, 1, 0b1011), a);
+  }
+}
+
+TEST(Gf2Test, ModMulIsCommutativeAndDistributive) {
+  const uint64_t f = 0b100011011;  // AES polynomial x^8+x^4+x^3+x+1.
+  for (uint64_t a = 1; a < 64; a += 7) {
+    for (uint64_t b = 1; b < 64; b += 5) {
+      EXPECT_EQ(gf2::ModMul(a, b, f), gf2::ModMul(b, a, f));
+      for (uint64_t c = 1; c < 32; c += 11) {
+        EXPECT_EQ(gf2::ModMul(a ^ b, c, f),
+                  gf2::ModMul(a, c, f) ^ gf2::ModMul(b, c, f));
+      }
+    }
+  }
+}
+
+TEST(Gf2Test, ModPow) {
+  const uint64_t f = 0b1011;  // x^3 + x + 1, irreducible.
+  // The multiplicative group of GF(8) has order 7: a^7 = 1 for a != 0.
+  for (uint64_t a = 1; a < 8; ++a) {
+    EXPECT_EQ(gf2::ModPow(a, 7, f), 1u) << "a=" << a;
+  }
+  EXPECT_EQ(gf2::ModPow(2, 0, f), 1u);
+  EXPECT_EQ(gf2::ModPow(2, 1, f), 2u);
+  EXPECT_EQ(gf2::ModPow(2, 3, f), 0b011u);  // x^3 = x + 1.
+}
+
+TEST(Gf2Test, Gcd) {
+  // gcd(x^2 + x, x) = x  (x^2+x = x(x+1)).
+  EXPECT_EQ(gf2::Gcd(0b110, 0b10), 0b10u);
+  // Coprime: gcd(x+1, x) = 1.
+  EXPECT_EQ(gf2::Gcd(0b11, 0b10), 1u);
+  EXPECT_EQ(gf2::Gcd(0b1011, 0b111), 1u);
+}
+
+/// Brute-force irreducibility for small degrees: try all factor
+/// candidates of degree 1..d/2 via polynomial long division.
+bool BruteForceIrreducible(uint64_t poly) {
+  int d = gf2::Degree(poly);
+  if (d < 1) return false;
+  for (int fd = 1; fd <= d / 2; ++fd) {
+    for (uint64_t candidate = (uint64_t{1} << fd);
+         candidate < (uint64_t{1} << (fd + 1)); ++candidate) {
+      // poly mod candidate == 0 <=> candidate divides poly.
+      uint64_t rem = poly;
+      while (gf2::Degree(rem) >= fd) {
+        rem ^= candidate << (gf2::Degree(rem) - fd);
+      }
+      if (rem == 0) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Gf2Test, IrreducibilityMatchesBruteForceUpToDegree10) {
+  for (uint64_t poly = 2; poly < (1 << 11); ++poly) {
+    EXPECT_EQ(gf2::IsIrreducible(poly), BruteForceIrreducible(poly))
+        << "poly=" << poly;
+  }
+}
+
+TEST(Gf2Test, IrreducibleCountsMatchTheNecklakeFormula) {
+  // Number of monic irreducible polynomials of degree n over GF(2):
+  // n=1:2, 2:1, 3:2, 4:3, 5:6, 6:9, 7:18, 8:30.
+  const int expected[] = {0, 2, 1, 2, 3, 6, 9, 18, 30};
+  for (int d = 1; d <= 8; ++d) {
+    int count = 0;
+    for (uint64_t poly = uint64_t{1} << d; poly < (uint64_t{1} << (d + 1));
+         ++poly) {
+      if (gf2::IsIrreducible(poly)) ++count;
+    }
+    EXPECT_EQ(count, expected[d]) << "degree " << d;
+  }
+}
+
+TEST(Gf2Test, RandomIrreducibleHasRequestedDegree) {
+  Pcg64 rng(17);
+  for (int degree : {8, 16, 31, 61, 63}) {
+    Result<uint64_t> poly = gf2::RandomIrreducible(degree, rng);
+    ASSERT_TRUE(poly.ok());
+    EXPECT_EQ(gf2::Degree(*poly), degree);
+    EXPECT_TRUE(gf2::IsIrreducible(*poly));
+  }
+}
+
+TEST(Gf2Test, RandomIrreducibleRejectsBadDegrees) {
+  Pcg64 rng(1);
+  EXPECT_FALSE(gf2::RandomIrreducible(1, rng).ok());
+  EXPECT_FALSE(gf2::RandomIrreducible(0, rng).ok());
+  EXPECT_FALSE(gf2::RandomIrreducible(64, rng).ok());
+}
+
+TEST(Gf2Test, RandomIrreducibleVariesWithRngState) {
+  Pcg64 rng(23);
+  std::map<uint64_t, int> seen;
+  for (int i = 0; i < 20; ++i) {
+    seen[*gf2::RandomIrreducible(31, rng)]++;
+  }
+  EXPECT_GT(seen.size(), 15u);  // Nearly all draws distinct.
+}
+
+}  // namespace
+}  // namespace sketchtree

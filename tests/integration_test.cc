@@ -1,0 +1,282 @@
+// End-to-end tests of the full pipeline: generators -> EnumTree -> Prüfer
+// canonicalization -> virtual-stream AMS sketches (+ top-k) -> estimators,
+// measured against the exact baseline — a miniature of the paper's
+// Section 7 experiments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sketch_tree.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/treebank_gen.h"
+#include "datagen/workload.h"
+#include "exact/exact_counter.h"
+#include "query/pattern_query.h"
+#include "query/unordered.h"
+#include "stats/error_stats.h"
+#include "tree/tree_serialization.h"
+#include "xml/xml_tree_reader.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(IntegrationTest, TreebankAccuracyWithinTolerance) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 50;
+  options.s2 = 7;
+  options.num_virtual_streams = 59;
+  options.topk_size = 40;
+  options.seed = 42;
+  SketchTree st = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+
+  TreebankGenerator gen;
+  constexpr int kTrees = 400;
+  for (int i = 0; i < kTrees; ++i) {
+    LabeledTree tree = gen.Next();
+    st.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+  }
+
+  // Build a mid-selectivity workload and demand a low mean error.
+  WorkloadBuilder builder(&exact, {{0.0005, 0.05}}, 30, /*seed=*/3, 0.5);
+  TreebankGenerator replay;
+  for (int i = 0; i < kTrees && !builder.Full(); ++i) {
+    builder.Collect(replay.Next(), options.max_pattern_edges);
+  }
+  Workload workload = builder.Build();
+  ASSERT_GE(workload.queries.size(), 10u);
+
+  double total_error = 0;
+  for (const WorkloadQuery& query : workload.queries) {
+    double estimate = *st.EstimateCountOrdered(query.pattern);
+    total_error += SanityBoundedRelativeError(
+        estimate, static_cast<double>(query.actual_count));
+  }
+  double mean_error = total_error / workload.queries.size();
+  // The paper reports 10-15% at comparable settings; the tracked top-k
+  // makes this small stream much easier. Allow a loose bound to keep the
+  // test robust.
+  EXPECT_LT(mean_error, 0.25) << "mean relative error " << mean_error;
+}
+
+TEST(IntegrationTest, DblpSkewTamedByTopK) {
+  SketchTreeOptions base;
+  base.max_pattern_edges = 2;
+  base.s1 = 25;
+  base.s2 = 7;
+  base.num_virtual_streams = 23;
+  base.seed = 11;
+
+  SketchTreeOptions with_topk = base;
+  with_topk.topk_size = 30;
+
+  SketchTree plain = *SketchTree::Create(base);
+  SketchTree tracked = *SketchTree::Create(with_topk);
+  ExactCounter exact =
+      *ExactCounter::Create(base.fingerprint_degree, base.seed);
+
+  DblpGenerator gen;
+  constexpr int kTrees = 500;
+  for (int i = 0; i < kTrees; ++i) {
+    LabeledTree tree = gen.Next();
+    plain.Update(tree);
+    tracked.Update(tree);
+    exact.Update(tree, base.max_pattern_edges);
+  }
+
+  WorkloadBuilder builder(&exact, {{0.0002, 0.01}}, 25, /*seed=*/5, 0.5);
+  DblpGenerator replay;
+  for (int i = 0; i < kTrees && !builder.Full(); ++i) {
+    builder.Collect(replay.Next(), base.max_pattern_edges);
+  }
+  Workload workload = builder.Build();
+  ASSERT_GE(workload.queries.size(), 8u);
+
+  double err_plain = 0;
+  double err_tracked = 0;
+  for (const WorkloadQuery& query : workload.queries) {
+    double actual = static_cast<double>(query.actual_count);
+    err_plain += SanityBoundedRelativeError(
+        *plain.EstimateCountOrdered(query.pattern), actual);
+    err_tracked += SanityBoundedRelativeError(
+        *tracked.EstimateCountOrdered(query.pattern), actual);
+  }
+  err_plain /= workload.queries.size();
+  err_tracked /= workload.queries.size();
+  // Section 7.7's shape: on skewed data, tracking even a small top-k
+  // slashes the error.
+  EXPECT_LT(err_tracked, err_plain);
+  EXPECT_LT(err_tracked, 0.30) << "tracked error " << err_tracked;
+}
+
+TEST(IntegrationTest, SumAndProductExpressionsTrackExact) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 120;
+  options.s2 = 7;
+  options.num_virtual_streams = 31;
+  options.topk_size = 60;
+  options.seed = 21;
+  SketchTree st = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+
+  TreebankGenerator gen;
+  for (int i = 0; i < 300; ++i) {
+    LabeledTree tree = gen.Next();
+    st.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+  }
+
+  LabeledTree q1 = *ParseSExpr("NP(DT,NN)");
+  LabeledTree q2 = *ParseSExpr("VP(VBD,NP)");
+  double f1 = static_cast<double>(exact.CountOrdered(q1));
+  double f2 = static_cast<double>(exact.CountOrdered(q2));
+  ASSERT_GT(f1, 0);
+  ASSERT_GT(f2, 0);
+
+  double sum = *st.EstimateExpression(
+      "COUNT_ORD(NP(DT,NN)) + COUNT_ORD(VP(VBD,NP))");
+  EXPECT_NEAR(sum, f1 + f2, 0.25 * (f1 + f2));
+
+  double product = *st.EstimateExpression(
+      "COUNT_ORD(NP(DT,NN)) * COUNT_ORD(VP(VBD,NP))");
+  EXPECT_NEAR(product, f1 * f2, 0.5 * f1 * f2);
+
+  double difference = *st.EstimateExpression(
+      "COUNT_ORD(NP(DT,NN)) - COUNT_ORD(VP(VBD,NP))");
+  EXPECT_NEAR(difference, f1 - f2, 0.25 * (f1 + f2));
+}
+
+TEST(IntegrationTest, UnorderedCountsOnGeneratedData) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 2;
+  options.s1 = 100;
+  options.s2 = 7;
+  options.num_virtual_streams = 31;
+  options.topk_size = 50;
+  options.seed = 31;
+  SketchTree st = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+
+  TreebankGenerator gen;
+  for (int i = 0; i < 250; ++i) {
+    LabeledTree tree = gen.Next();
+    st.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+  }
+
+  // S with {NP, VP} in either order.
+  LabeledTree query = *ParseSExpr("S(VP,NP)");
+  uint64_t actual = *exact.CountUnordered(query);
+  ASSERT_GT(actual, 0u);
+  double estimate = *st.EstimateCount(query);
+  EXPECT_NEAR(estimate, static_cast<double>(actual), 0.25 * actual + 5);
+  // The unordered count dominates the ordered count of this arrangement.
+  EXPECT_GE(actual, exact.CountOrdered(query));
+}
+
+TEST(IntegrationTest, XmlToSketchEndToEnd) {
+  const char* xml =
+      "<stream>"
+      "<article><author>a1</author><year>2001</year></article>"
+      "<article><author>a1</author><year>2002</year></article>"
+      "<article><author>a2</author><year>2001</year></article>"
+      "<book><author>a1</author></book>"
+      "</stream>";
+  std::vector<LabeledTree> forest = *XmlForestToTrees(xml);
+  ASSERT_EQ(forest.size(), 4u);
+
+  SketchTreeOptions options;
+  options.max_pattern_edges = 2;
+  options.s1 = 120;
+  options.s2 = 7;
+  options.num_virtual_streams = 7;
+  options.seed = 3;
+  SketchTree st = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+  for (const LabeledTree& tree : forest) {
+    st.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+  }
+  LabeledTree query = *ParseSExpr("article(author(a1))");
+  EXPECT_EQ(exact.CountOrdered(query), 2u);
+  EXPECT_NEAR(*st.EstimateCountOrdered(query), 2.0, 2.5);
+}
+
+TEST(IntegrationTest, ExtendedQueriesOnGeneratedTreebank) {
+  // Section 6.2 end-to-end: '//' and '*' queries over a generated stream
+  // agree (approximately) with the exact resolved counts.
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 100;
+  options.s2 = 7;
+  options.num_virtual_streams = 31;
+  options.topk_size = 60;
+  options.seed = 51;
+  options.build_structural_summary = true;
+  SketchTree st = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+  StructuralSummary summary;
+
+  TreebankGenerator gen;
+  for (int i = 0; i < 250; ++i) {
+    LabeledTree tree = gen.Next();
+    st.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+    summary.Update(tree);
+  }
+
+  // Note: '//' queries must resolve within k edges (Section 6.2 caveat);
+  // SBARQ//SQ has only the direct chain, unlike e.g. PP//NN whose chains
+  // recurse past k and correctly error out.
+  for (const char* text :
+       {"NP(*)", "VP(VBD,*)", "SBARQ(//SQ)", "NP(DT,*)"}) {
+    ExtendedQuery query = *ExtendedQuery::Parse(text);
+    Result<uint64_t> actual =
+        exact.CountExtended(query, summary, options.max_pattern_edges);
+    ASSERT_TRUE(actual.ok()) << text << ": " << actual.status().ToString();
+    Result<double> estimate = st.EstimateExtended(query);
+    ASSERT_TRUE(estimate.ok()) << text << ": "
+                               << estimate.status().ToString();
+    double tolerance = 0.25 * static_cast<double>(*actual) + 10.0;
+    EXPECT_NEAR(*estimate, static_cast<double>(*actual), tolerance) << text;
+    ASSERT_GT(*actual, 0u) << text;
+  }
+}
+
+TEST(IntegrationTest, MemoryStaysFarBelowExactCounting) {
+  // The motivating claim: the synopsis is much smaller than one counter
+  // per distinct pattern once the stream is large enough.
+  SketchTreeOptions options;
+  options.max_pattern_edges = 4;
+  options.s1 = 25;
+  options.s2 = 7;
+  options.num_virtual_streams = 31;
+  options.topk_size = 20;
+  options.seed = 1;
+  SketchTree st = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+  TreebankGenerator gen;
+  for (int i = 0; i < 800; ++i) {
+    LabeledTree tree = gen.Next();
+    st.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+  }
+  // Sanity check of scale rather than a strict inequality (the synopsis
+  // size is constant; the counter table keeps growing with the stream).
+  EXPECT_GT(exact.distinct_patterns(), 1000u);
+  double ratio = static_cast<double>(st.Stats().memory_bytes) /
+                 static_cast<double>(exact.MemoryBytes());
+  EXPECT_LT(ratio, 5.0);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,104 @@
+#include "hashing/kwise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(KWiseTest, MulModMatches128BitReference) {
+  Pcg64 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.NextBounded(KWiseHash::kPrime);
+    uint64_t b = rng.NextBounded(KWiseHash::kPrime);
+    unsigned __int128 expect =
+        (static_cast<unsigned __int128>(a) * b) % KWiseHash::kPrime;
+    EXPECT_EQ(kwise_internal::MulMod(a, b),
+              static_cast<uint64_t>(expect));
+  }
+}
+
+TEST(KWiseTest, MulModEdgeCases) {
+  const uint64_t p = KWiseHash::kPrime;
+  EXPECT_EQ(kwise_internal::MulMod(0, 123), 0u);
+  EXPECT_EQ(kwise_internal::MulMod(1, p - 1), p - 1);
+  EXPECT_EQ(kwise_internal::MulMod(p - 1, p - 1), 1u);  // (-1)^2 = 1.
+}
+
+TEST(KWiseTest, EvalDeterministicAndSeedSensitive) {
+  KWiseHash a(4, 99);
+  KWiseHash b(4, 99);
+  KWiseHash c(4, 100);
+  int differs = 0;
+  for (uint64_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(a.Eval(v), b.Eval(v));
+    if (a.Eval(v) != c.Eval(v)) ++differs;
+  }
+  EXPECT_GT(differs, 90);
+}
+
+TEST(KWiseTest, EvalStaysInField) {
+  KWiseHash h(4, 7);
+  for (uint64_t v = 0; v < 1000; ++v) {
+    EXPECT_LT(h.Eval(v * 2654435761ULL), KWiseHash::kPrime);
+  }
+}
+
+TEST(KWiseTest, XiIsPlusMinusOne) {
+  KWiseHash h(4, 11);
+  for (uint64_t v = 0; v < 1000; ++v) {
+    int xi = h.Xi(v);
+    EXPECT_TRUE(xi == 1 || xi == -1);
+  }
+}
+
+TEST(KWiseTest, XiIsBalanced) {
+  // E[xi_v] = 0: over many values the empirical mean should be small.
+  KWiseHash h(4, 13);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (uint64_t v = 0; v < kN; ++v) sum += h.Xi(v);
+  EXPECT_LT(std::fabs(sum / kN), 0.01);
+}
+
+// Empirical k-wise independence: for fixed distinct values, the product
+// xi_{v1} * ... * xi_{vk} must average to ~0 over random seeds (that is
+// what makes cross terms vanish in the AMS analysis).
+class XiProductTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XiProductTest, ProductOfDistinctXisAveragesToZero) {
+  const int k = GetParam();
+  constexpr int kSeeds = 60000;
+  double sum = 0;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    KWiseHash h(/*independence=*/4, seed);
+    double prod = 1;
+    for (int v = 0; v < k; ++v) prod *= h.Xi(1000 + 37 * v);
+    sum += prod;
+  }
+  // Standard error ~ 1/sqrt(kSeeds) ~ 0.004; allow 5 sigma.
+  EXPECT_LT(std::fabs(sum / kSeeds), 0.021) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, XiProductTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(KWiseTest, XiSquaredIsAlwaysOne) {
+  KWiseHash h(4, 17);
+  for (uint64_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(h.Xi(v) * h.Xi(v), 1);
+  }
+}
+
+TEST(KWiseTest, HigherIndependenceSupported) {
+  KWiseHash h(10, 21);
+  EXPECT_EQ(h.independence(), 10);
+  int xi = h.Xi(12345);
+  EXPECT_TRUE(xi == 1 || xi == -1);
+}
+
+}  // namespace
+}  // namespace sketchtree

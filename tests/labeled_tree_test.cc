@@ -1,0 +1,139 @@
+#include "tree/labeled_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+
+LabeledTree MakeExampleTree() {
+  // A with children B, C, D; B has children E, F; D has child G.
+  LabeledTree t;
+  NodeId a = t.AddNode("A", LabeledTree::kInvalidNode);
+  NodeId b = t.AddNode("B", a);
+  t.AddNode("C", a);
+  NodeId d = t.AddNode("D", a);
+  t.AddNode("E", b);
+  t.AddNode("F", b);
+  t.AddNode("G", d);
+  return t;
+}
+
+TEST(LabeledTreeTest, EmptyTree) {
+  LabeledTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_EQ(t.root(), LabeledTree::kInvalidNode);
+  EXPECT_TRUE(t.PostorderIds().empty());
+  EXPECT_EQ(t.Depth(), 0);
+  EXPECT_EQ(t.MaxFanout(), 0);
+}
+
+TEST(LabeledTreeTest, BasicStructure) {
+  LabeledTree t = MakeExampleTree();
+  EXPECT_EQ(t.size(), 7);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.label(0), "A");
+  EXPECT_EQ(t.parent(0), LabeledTree::kInvalidNode);
+  ASSERT_EQ(t.fanout(0), 3);
+  EXPECT_EQ(t.label(t.children(0)[0]), "B");
+  EXPECT_EQ(t.label(t.children(0)[1]), "C");
+  EXPECT_EQ(t.label(t.children(0)[2]), "D");
+  EXPECT_TRUE(t.is_leaf(t.children(0)[1]));
+  EXPECT_FALSE(t.is_leaf(0));
+}
+
+TEST(LabeledTreeTest, PostorderVisitsChildrenBeforeParents) {
+  LabeledTree t = MakeExampleTree();
+  std::vector<NodeId> order = t.PostorderIds();
+  ASSERT_EQ(order.size(), 7u);
+  std::vector<std::string> labels;
+  for (NodeId id : order) labels.push_back(t.label(id));
+  EXPECT_EQ(labels,
+            (std::vector<std::string>{"E", "F", "B", "C", "G", "D", "A"}));
+}
+
+TEST(LabeledTreeTest, PostorderNumbersAreOneBasedAndRootIsLast) {
+  LabeledTree t = MakeExampleTree();
+  std::vector<int32_t> numbers = t.PostorderNumbers();
+  EXPECT_EQ(numbers[t.root()], 7);
+  // Children have smaller numbers than their parents.
+  for (NodeId id = 0; id < t.size(); ++id) {
+    for (NodeId child : t.children(id)) {
+      EXPECT_LT(numbers[child], numbers[id]);
+    }
+  }
+  // Numbers are a permutation of 1..n.
+  std::vector<int32_t> sorted = numbers;
+  std::sort(sorted.begin(), sorted.end());
+  for (int32_t i = 0; i < t.size(); ++i) EXPECT_EQ(sorted[i], i + 1);
+}
+
+TEST(LabeledTreeTest, DepthAndFanout) {
+  LabeledTree t = MakeExampleTree();
+  EXPECT_EQ(t.Depth(), 2);
+  EXPECT_EQ(t.MaxFanout(), 3);
+
+  LabeledTree single;
+  single.AddNode("X", LabeledTree::kInvalidNode);
+  EXPECT_EQ(single.Depth(), 0);
+  EXPECT_EQ(single.MaxFanout(), 0);
+}
+
+TEST(LabeledTreeTest, EqualityIsStructural) {
+  LabeledTree a = MakeExampleTree();
+  LabeledTree b = MakeExampleTree();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(LabeledTreeTest, EqualityIgnoresInsertionOrder) {
+  // Same shape built in different AddNode orders.
+  LabeledTree a;
+  NodeId ra = a.AddNode("A", LabeledTree::kInvalidNode);
+  NodeId ba = a.AddNode("B", ra);
+  a.AddNode("D", ba);
+  a.AddNode("C", ra);
+
+  LabeledTree b;
+  NodeId rb = b.AddNode("A", LabeledTree::kInvalidNode);
+  NodeId bb = b.AddNode("B", rb);
+  b.AddNode("C", rb);  // Sibling added before B's child this time.
+  b.AddNode("D", bb);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(LabeledTreeTest, InequalityOnLabels) {
+  LabeledTree a = *ParseSExpr("A(B,C)");
+  LabeledTree b = *ParseSExpr("A(B,D)");
+  EXPECT_FALSE(a == b);
+}
+
+TEST(LabeledTreeTest, InequalityOnChildOrder) {
+  LabeledTree a = *ParseSExpr("A(B,C)");
+  LabeledTree b = *ParseSExpr("A(C,B)");
+  EXPECT_FALSE(a == b);
+}
+
+TEST(LabeledTreeTest, InequalityOnShape) {
+  LabeledTree a = *ParseSExpr("A(B(C))");
+  LabeledTree b = *ParseSExpr("A(B,C)");
+  EXPECT_FALSE(a == b);
+}
+
+TEST(LabeledTreeTest, ChildIdsAscendInDocumentOrder) {
+  // PatternCanonicalizer relies on this: sibling NodeIds ascend left to
+  // right because AddNode assigns ids monotonically.
+  LabeledTree t = MakeExampleTree();
+  for (NodeId id = 0; id < t.size(); ++id) {
+    const auto& kids = t.children(id);
+    for (size_t i = 1; i < kids.size(); ++i) {
+      EXPECT_LT(kids[i - 1], kids[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,109 @@
+// Tests for sharded ingestion via SketchTree::Merge: linearity of AMS
+// sketches means merging per-shard synopses (same options) is equivalent
+// to streaming everything through one synopsis.
+#include <gtest/gtest.h>
+
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+SketchTreeOptions MergeOptions(size_t topk = 0) {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 40;
+  options.s2 = 7;
+  options.num_virtual_streams = 13;
+  options.topk_size = topk;
+  options.seed = 71;
+  options.build_structural_summary = true;
+  return options;
+}
+
+TEST(MergeTest, ShardedEqualsSequentialWithoutTopK) {
+  SketchTree shard_a = *SketchTree::Create(MergeOptions());
+  SketchTree shard_b = *SketchTree::Create(MergeOptions());
+  SketchTree sequential = *SketchTree::Create(MergeOptions());
+
+  TreebankGenerator gen;
+  for (int i = 0; i < 200; ++i) {
+    LabeledTree tree = gen.Next();
+    (i % 2 == 0 ? shard_a : shard_b).Update(tree);
+    sequential.Update(tree);
+  }
+  ASSERT_TRUE(shard_a.Merge(shard_b).ok());
+
+  // Without top-k, the merged counters are bit-identical to sequential.
+  for (const char* text : {"NP(DT,NN)", "S(NP,VP)", "VP(VBD)", "PP(IN)"}) {
+    LabeledTree query = *ParseSExpr(text);
+    EXPECT_DOUBLE_EQ(*shard_a.EstimateCountOrdered(query),
+                     *sequential.EstimateCountOrdered(query))
+        << text;
+  }
+  EXPECT_EQ(shard_a.Stats().patterns_processed,
+            sequential.Stats().patterns_processed);
+  EXPECT_EQ(shard_a.Stats().trees_processed,
+            sequential.Stats().trees_processed);
+  // Summaries merged too: extended queries work on the union.
+  EXPECT_DOUBLE_EQ(*shard_a.EstimateExtended("NP(*)"),
+                   *sequential.EstimateExtended("NP(*)"));
+}
+
+TEST(MergeTest, TopKShardsRemainAccurate) {
+  // With top-k on, merged estimates are not bit-identical (the other
+  // shard's tracked mass returns to the sketch untracked, raising the
+  // self-join size) but must remain accurate. s1 is raised accordingly.
+  SketchTreeOptions options = MergeOptions(/*topk=*/10);
+  options.s1 = 200;
+  SketchTree shard_a = *SketchTree::Create(options);
+  SketchTree shard_b = *SketchTree::Create(options);
+
+  LabeledTree heavy = *ParseSExpr("H(H,H)");
+  LabeledTree light = *ParseSExpr("L(M)");
+  for (int i = 0; i < 400; ++i) shard_a.Update(heavy);
+  for (int i = 0; i < 200; ++i) shard_b.Update(heavy);
+  for (int i = 0; i < 30; ++i) shard_b.Update(light);
+
+  ASSERT_TRUE(shard_a.Merge(shard_b).ok());
+  // Per-instance std after merge ~ sqrt(SJ)/sqrt(s1) ~ 200/14 ~ 14.
+  EXPECT_NEAR(*shard_a.EstimateCountOrdered(*ParseSExpr("H(H,H)")), 600.0,
+              70.0);
+  EXPECT_NEAR(*shard_a.EstimateCountOrdered(*ParseSExpr("L(M)")), 30.0,
+              50.0);
+}
+
+TEST(MergeTest, MismatchedOptionsRejected) {
+  SketchTree a = *SketchTree::Create(MergeOptions());
+  SketchTreeOptions different = MergeOptions();
+  different.s1 = 41;
+  SketchTree b = *SketchTree::Create(different);
+  EXPECT_TRUE(a.Merge(b).IsInvalidArgument());
+
+  different = MergeOptions();
+  different.seed = 72;
+  SketchTree c = *SketchTree::Create(different);
+  EXPECT_TRUE(a.Merge(c).IsInvalidArgument());
+}
+
+TEST(MergeTest, MergeOfSerializedShards) {
+  // The distributed workflow: shards serialize, a combiner deserializes
+  // and merges.
+  SketchTree shard_a = *SketchTree::Create(MergeOptions());
+  SketchTree shard_b = *SketchTree::Create(MergeOptions());
+  shard_a.Update(*ParseSExpr("A(B,C)"));
+  shard_b.Update(*ParseSExpr("A(B,C)"));
+  shard_b.Update(*ParseSExpr("A(B)"));
+
+  SketchTree restored_a =
+      *SketchTree::DeserializeFromString(shard_a.SerializeToString());
+  SketchTree restored_b =
+      *SketchTree::DeserializeFromString(shard_b.SerializeToString());
+  ASSERT_TRUE(restored_a.Merge(restored_b).ok());
+  EXPECT_NEAR(*restored_a.EstimateCountOrdered(*ParseSExpr("A(B)")), 3.0,
+              2.0);
+}
+
+}  // namespace
+}  // namespace sketchtree

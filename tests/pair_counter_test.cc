@@ -1,0 +1,89 @@
+#include "pairs/pair_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(NaivePairCounterTest, CountsEdgesByLabelPair) {
+  NaivePairCounter counter;
+  counter.Update(*ParseSExpr("A(B,B,C(B))"));
+  EXPECT_EQ(counter.Count("A", "B"), 2u);
+  EXPECT_EQ(counter.Count("A", "C"), 1u);
+  EXPECT_EQ(counter.Count("C", "B"), 1u);
+  EXPECT_EQ(counter.Count("B", "A"), 0u);  // Ordered pair, not symmetric.
+  EXPECT_EQ(counter.total_pairs(), 4u);
+  EXPECT_EQ(counter.distinct_pairs(), 3u);
+}
+
+TEST(NaivePairCounterTest, AccumulatesAcrossTrees) {
+  NaivePairCounter counter;
+  counter.Update(*ParseSExpr("A(B)"));
+  counter.Update(*ParseSExpr("A(B)"));
+  EXPECT_EQ(counter.Count("A", "B"), 2u);
+}
+
+TEST(NaivePairCounterTest, SeparatorPreventsLabelSplicing) {
+  // ("AB", "C") must differ from ("A", "BC").
+  NaivePairCounter counter;
+  counter.Update(*ParseSExpr("AB(C)"));
+  EXPECT_EQ(counter.Count("AB", "C"), 1u);
+  EXPECT_EQ(counter.Count("A", "BC"), 0u);
+}
+
+TEST(SketchPairCounterTest, CreateValidates) {
+  SketchPairCounter::Options options;
+  options.s1 = 0;
+  EXPECT_FALSE(SketchPairCounter::Create(options).ok());
+}
+
+TEST(SketchPairCounterTest, TracksNaiveCounter) {
+  SketchPairCounter::Options options;
+  options.s1 = 150;
+  SketchPairCounter sketched = *SketchPairCounter::Create(options);
+  NaivePairCounter naive;
+  DblpGenerator gen;
+  for (int i = 0; i < 150; ++i) {
+    LabeledTree tree = gen.Next();
+    sketched.Update(tree);
+    naive.Update(tree);
+  }
+  EXPECT_EQ(sketched.total_pairs(), naive.total_pairs());
+  for (const auto& [parent, child] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"article", "author"},
+           {"article", "title"},
+           {"inproceedings", "booktitle"},
+           {"article", "nonexistent"}}) {
+    double actual = static_cast<double>(naive.Count(parent, child));
+    // SJ of the pair stream is dominated by the few hundred distinct
+    // pairs; with s1=150 the estimates land close.
+    EXPECT_NEAR(sketched.Estimate(parent, child), actual,
+                0.2 * actual + 30.0)
+        << parent << "/" << child;
+  }
+}
+
+TEST(SketchPairCounterTest, MemoryIsIndependentOfAlphabet) {
+  SketchPairCounter sketched = *SketchPairCounter::Create({});
+  size_t before = sketched.MemoryBytes();
+  // Thousands of distinct labels: naive memory grows, sketch stays put.
+  NaivePairCounter naive;
+  for (int i = 0; i < 2000; ++i) {
+    LabeledTree tree;
+    auto root = tree.AddNode("root" + std::to_string(i),
+                             LabeledTree::kInvalidNode);
+    tree.AddNode("leaf" + std::to_string(i), root);
+    sketched.Update(tree);
+    naive.Update(tree);
+  }
+  EXPECT_EQ(sketched.MemoryBytes(), before);
+  EXPECT_EQ(naive.distinct_pairs(), 2000u);
+  EXPECT_GT(naive.MemoryBytes(), sketched.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,113 @@
+#include "hashing/pairing.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace sketchtree {
+namespace {
+
+// Direct evaluation of the paper's formula for small values:
+// PF2(x, y) = 1/2 (x^2 + 2xy + y^2 + 3x + y).
+uint64_t PaperPF2(uint64_t x, uint64_t y) {
+  return (x * x + 2 * x * y + y * y + 3 * x + y) / 2;
+}
+
+TEST(PairingTest, MatchesPaperFormula) {
+  for (uint64_t x = 0; x < 30; ++x) {
+    for (uint64_t y = 0; y < 30; ++y) {
+      Result<uint128> z = PF2(x, y);
+      ASSERT_TRUE(z.ok());
+      EXPECT_EQ(static_cast<uint64_t>(*z), PaperPF2(x, y))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(PairingTest, IsBijectiveOnGrid) {
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 60; ++x) {
+    for (uint64_t y = 0; y < 60; ++y) {
+      Result<uint128> z = PF2(x, y);
+      ASSERT_TRUE(z.ok());
+      EXPECT_TRUE(seen.insert(static_cast<uint64_t>(*z)).second)
+          << "collision at x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(PairingTest, CoversAllNaturals) {
+  // The first n*(n+1)/2 codes are exactly the pairs on the first
+  // diagonals: every z in [0, 55) is hit by some (x, y) with x+y < 10.
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < 10; ++x) {
+    for (uint64_t y = 0; x + y < 10; ++y) {
+      seen.insert(static_cast<uint64_t>(*PF2(x, y)));
+    }
+  }
+  for (uint64_t z = 0; z < 55; ++z) {
+    EXPECT_TRUE(seen.count(z)) << "missing code " << z;
+  }
+}
+
+TEST(PairingTest, UnpairInvertsPair) {
+  for (uint64_t x = 0; x < 40; ++x) {
+    for (uint64_t y = 0; y < 40; ++y) {
+      auto [ux, uy] = UnPF2(*PF2(x, y));
+      EXPECT_EQ(static_cast<uint64_t>(ux), x);
+      EXPECT_EQ(static_cast<uint64_t>(uy), y);
+    }
+  }
+}
+
+TEST(PairingTest, UnpairInvertsLargeValues) {
+  uint128 x = static_cast<uint128>(1) << 50;
+  uint128 y = (static_cast<uint128>(1) << 49) + 12345;
+  auto [ux, uy] = UnPF2(*PF2(x, y));
+  EXPECT_TRUE(ux == x);
+  EXPECT_TRUE(uy == y);
+}
+
+TEST(PairingTest, OverflowIsReported) {
+  uint128 huge = ~static_cast<uint128>(0) - 10;
+  Result<uint128> z = PF2(huge, huge);
+  EXPECT_FALSE(z.ok());
+  EXPECT_TRUE(z.status().IsOutOfRange());
+}
+
+TEST(PFkTest, DistinctTuplesGetDistinctCodes) {
+  std::set<std::pair<uint64_t, uint64_t>> codes;  // Split 128-bit code.
+  std::vector<std::vector<uint64_t>> tuples = {
+      {1, 2, 3}, {1, 3, 2}, {3, 2, 1}, {1, 2}, {2, 3}, {1, 2, 3, 4}, {0}, {},
+      {0, 0},    {0, 0, 0}};
+  for (const auto& tuple : tuples) {
+    Result<uint128> z = PFk(tuple);
+    ASSERT_TRUE(z.ok());
+    auto split = std::make_pair(static_cast<uint64_t>(*z >> 64),
+                                static_cast<uint64_t>(*z));
+    EXPECT_TRUE(codes.insert(split).second)
+        << "collision for tuple of size " << tuple.size();
+  }
+}
+
+TEST(PFkTest, LengthFoldingSeparatesPaddedTuples) {
+  // Without length folding, (x) and (x, 0) can collide under naive
+  // inductive pairing. Verify they do not.
+  Result<uint128> a = PFk({7});
+  Result<uint128> b = PFk({7, 0});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(*a == *b);
+}
+
+TEST(PFkTest, OverflowOnLongTuples) {
+  // The paper's motivation for Rabin fingerprints: PF's range explodes.
+  std::vector<uint64_t> tuple(40, 1ULL << 40);
+  Result<uint128> z = PFk(tuple);
+  EXPECT_FALSE(z.ok());
+  EXPECT_TRUE(z.status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,97 @@
+#include "stats/parameter_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "exact/exact_counter.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(ParameterPlannerTest, MatchesTheoremOneFormulas) {
+  // SJ = 828, f = 20, eps = 0.5, delta = 0.1:
+  // s1 = 8*828/(0.25*400) = 66.24 -> 67; s2 = 2*log2(10) = 6.64 -> 7.
+  Result<ParameterPlan> plan = PlanParameters(0.5, 0.1, 828.0, 20.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->s1, 67);
+  EXPECT_EQ(plan->s2, 7);
+  EXPECT_EQ(plan->bytes_per_stream, 67u * 7u * 16u);
+}
+
+TEST(ParameterPlannerTest, SmallStreamsNeedOneInstance) {
+  Result<ParameterPlan> plan = PlanParameters(1.0, 0.5, 1.0, 100.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->s1, 1);
+  EXPECT_EQ(plan->s2, 2);
+}
+
+TEST(ParameterPlannerTest, RejectsBadInputs) {
+  EXPECT_FALSE(PlanParameters(0.0, 0.1, 100, 10).ok());
+  EXPECT_FALSE(PlanParameters(0.5, 0.0, 100, 10).ok());
+  EXPECT_FALSE(PlanParameters(0.5, 1.0, 100, 10).ok());
+  EXPECT_FALSE(PlanParameters(0.5, 0.1, -1, 10).ok());
+  EXPECT_FALSE(PlanParameters(0.5, 0.1, 100, 0).ok());
+}
+
+TEST(ParameterPlannerTest, AchievableEpsilonInvertsThePlan) {
+  ParameterPlan plan = *PlanParameters(0.5, 0.1, 828.0, 20.0);
+  // Plugging the planned s1 back in should achieve (at most) the target.
+  EXPECT_LE(AchievableEpsilon(plan.s1, 828.0, 20.0), 0.5 + 1e-9);
+  EXPECT_EQ(AchievableEpsilon(0, 828.0, 20.0), HUGE_VAL);
+}
+
+TEST(ParameterPlannerTest, SelfJoinEstimateFeedsThePlanner) {
+  // End-to-end: estimate SJ online from the sketch, plan parameters from
+  // it, and check the estimate is in the ballpark of the exact SJ.
+  SketchTreeOptions options;
+  options.max_pattern_edges = 2;
+  options.s1 = 150;
+  options.s2 = 7;
+  options.num_virtual_streams = 13;
+  options.seed = 99;
+  SketchTree sketch = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+  TreebankGenerator gen;
+  for (int i = 0; i < 200; ++i) {
+    LabeledTree tree = gen.Next();
+    sketch.Update(tree);
+    exact.Update(tree, options.max_pattern_edges);
+  }
+  double exact_sj = exact.SelfJoinSize();
+  double estimated_sj = sketch.EstimateSelfJoinSize();
+  EXPECT_NEAR(estimated_sj, exact_sj, 0.2 * exact_sj);
+
+  Result<ParameterPlan> plan =
+      PlanParameters(0.2, 0.1, estimated_sj / options.num_virtual_streams,
+                     /*min_frequency=*/200.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(plan->s1, 1);
+}
+
+TEST(ParameterPlannerTest, TopKDeletionShrinksEstimatedSelfJoin) {
+  // Section 5.2's mechanism, observed through the F2 estimator: tracking
+  // heavy patterns removes most of the self-join mass.
+  auto build = [](size_t topk) {
+    SketchTreeOptions options;
+    options.max_pattern_edges = 2;
+    options.s1 = 100;
+    options.s2 = 7;
+    options.num_virtual_streams = 13;
+    options.topk_size = topk;
+    options.seed = 17;
+    SketchTree sketch = *SketchTree::Create(options);
+    TreebankGenerator gen;
+    for (int i = 0; i < 200; ++i) sketch.Update(gen.Next());
+    return sketch.EstimateSelfJoinSize();
+  };
+  double sj_plain = build(0);
+  double sj_tracked = build(10);
+  EXPECT_LT(sj_tracked, 0.5 * sj_plain);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,47 @@
+#include "query/pattern_query.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchtree {
+namespace {
+
+TEST(PatternQueryTest, ParsesValidPattern) {
+  Result<LabeledTree> q = ParsePatternQuery("A(B,C(D))");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->size(), 4);
+  EXPECT_EQ(PatternEdgeCount(*q), 3);
+  EXPECT_EQ(PatternToString(*q), "A(B,C(D))");
+}
+
+TEST(PatternQueryTest, SingleNodeQueryHasZeroEdges) {
+  Result<LabeledTree> q = ParsePatternQuery("title");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(PatternEdgeCount(*q), 0);
+}
+
+TEST(PatternQueryTest, EnforcesMaxEdges) {
+  EXPECT_TRUE(ParsePatternQuery("A(B,C(D))", 3).ok());
+  Result<LabeledTree> too_big = ParsePatternQuery("A(B,C(D))", 2);
+  EXPECT_FALSE(too_big.ok());
+  EXPECT_TRUE(too_big.status().IsInvalidArgument());
+}
+
+TEST(PatternQueryTest, NegativeMaxEdgesDisablesCheck) {
+  EXPECT_TRUE(ParsePatternQuery("A(B(C(D(E(F)))))", -1).ok());
+}
+
+TEST(PatternQueryTest, PropagatesSyntaxErrors) {
+  EXPECT_FALSE(ParsePatternQuery("A(B", 5).ok());
+  EXPECT_FALSE(ParsePatternQuery("", 5).ok());
+}
+
+TEST(PatternQueryTest, ValuePredicatesAreNodeLabels) {
+  // Section 2.1: "a value in a predicate is treated as a node label" —
+  // e.g. author with value 'author7'.
+  Result<LabeledTree> q = ParsePatternQuery("author(author7)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->label(q->children(q->root())[0]), "author7");
+}
+
+}  // namespace
+}  // namespace sketchtree

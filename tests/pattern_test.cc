@@ -1,0 +1,160 @@
+#include "enumtree/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "enumtree/enum_tree.h"
+#include "prufer/prufer.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+using NodeId = LabeledTree::NodeId;
+
+class PatternTest : public ::testing::Test {
+ protected:
+  PatternTest()
+      : fp_(*RabinFingerprinter::FromSeed(61, 7)),
+        hasher_(&fp_),
+        canon_(&fp_, &hasher_) {}
+
+  RabinFingerprinter fp_;
+  LabelHasher hasher_;
+  PatternCanonicalizer canon_;
+};
+
+TEST_F(PatternTest, ExtractPatternPreservesLabelsAndOrder) {
+  LabeledTree t = *ParseSExpr("A(B(D,E),C)");
+  NodeId a = t.root();
+  NodeId b = t.children(a)[0];
+  NodeId c = t.children(a)[1];
+  NodeId e = t.children(b)[1];
+  // Pattern {(A,B),(A,C),(B,E)} given in shuffled edge order.
+  std::vector<PatternEdge> edges = {{b, e}, {a, c}, {a, b}};
+  LabeledTree pattern = ExtractPattern(t, a, edges);
+  EXPECT_EQ(TreeToSExpr(pattern), "A(B(E),C)");
+}
+
+TEST_F(PatternTest, ExtractSingleNodePattern) {
+  LabeledTree t = *ParseSExpr("A(B)");
+  LabeledTree pattern = ExtractPattern(t, t.children(t.root())[0], {});
+  EXPECT_EQ(TreeToSExpr(pattern), "B");
+}
+
+TEST_F(PatternTest, EdgeAndTreePathsAgree) {
+  // MapPatternEdges on an occurrence must equal MapPatternTree on the
+  // extracted standalone pattern — the property that lets queries match
+  // data.
+  LabeledTree t = *ParseSExpr("S(NP(DT,NN),VP(VBD,NP(DT,NN)))");
+  EnumerateTreePatterns(t, 4, [&](NodeId root,
+                                  const std::vector<PatternEdge>& edges) {
+    uint64_t via_edges = canon_.MapPatternEdges(t, root, edges);
+    LabeledTree extracted = ExtractPattern(t, root, edges);
+    uint64_t via_tree = canon_.MapPatternTree(extracted);
+    EXPECT_EQ(via_edges, via_tree) << TreeToSExpr(extracted);
+  });
+}
+
+TEST_F(PatternTest, IdenticalShapesAtDifferentPositionsMapEqual) {
+  // NP(DT,NN) occurs twice at different depths; both occurrences must
+  // canonicalize to the same value.
+  LabeledTree t = *ParseSExpr("S(NP(DT,NN),VP(VBD,NP(DT,NN)))");
+  std::map<std::string, std::set<uint64_t>> values_by_shape;
+  EnumerateTreePatterns(t, 4, [&](NodeId root,
+                                  const std::vector<PatternEdge>& edges) {
+    uint64_t value = canon_.MapPatternEdges(t, root, edges);
+    values_by_shape[TreeToSExpr(ExtractPattern(t, root, edges))]
+        .insert(value);
+  });
+  for (const auto& [shape, values] : values_by_shape) {
+    EXPECT_EQ(values.size(), 1u) << "shape " << shape
+                                 << " mapped to multiple values";
+  }
+  // And NP(DT,NN) really did occur (twice) in the enumeration.
+  EXPECT_TRUE(values_by_shape.count("NP(DT,NN)"));
+}
+
+TEST_F(PatternTest, DistinctShapesMapDistinct) {
+  // With a degree-61 polynomial, collisions among a handful of patterns
+  // would indicate a structural bug.
+  const char* shapes[] = {
+      "A",          "B",        "A(B)",      "B(A)",      "A(B,C)",
+      "A(C,B)",     "A(B(C))",  "A(A)",      "A(A,A)",    "A(A(A))",
+      "A(B,C(D))",  "A(B(D),C)", "A(B,C,D)", "A(B(C,D))",
+  };
+  std::map<uint64_t, std::string> seen;
+  for (const char* shape : shapes) {
+    uint64_t value = canon_.MapPatternTree(*ParseSExpr(shape));
+    auto [it, inserted] = seen.emplace(value, shape);
+    EXPECT_TRUE(inserted) << shape << " collides with " << it->second;
+  }
+}
+
+TEST_F(PatternTest, OrderedSiblingsDistinguished) {
+  EXPECT_NE(canon_.MapPatternTree(*ParseSExpr("A(B,C)")),
+            canon_.MapPatternTree(*ParseSExpr("A(C,B)")));
+}
+
+TEST_F(PatternTest, MatchesExplicitPruferFingerprint) {
+  // The canonicalizer must produce exactly the fingerprint of the
+  // extended Prüfer sequences with hashed labels.
+  LabeledTree pattern = *ParseSExpr("A(B(D),C)");
+  PruferSequences seqs = ExtendedPrufer(pattern);
+  std::vector<uint64_t> lps_tokens;
+  for (const std::string& label : seqs.lps) {
+    lps_tokens.push_back(hasher_.Hash(label));
+  }
+  uint64_t expected = fp_.Fingerprint(lps_tokens);
+  for (int32_t n : seqs.nps) {
+    expected = fp_.Extend(expected, static_cast<uint64_t>(n));
+  }
+  EXPECT_EQ(canon_.MapPatternTree(pattern), expected);
+}
+
+TEST_F(PatternTest, ScratchReuseDoesNotLeakState) {
+  // Interleave patterns of different sizes; results must be independent
+  // of call history.
+  LabeledTree small = *ParseSExpr("A(B)");
+  LabeledTree big = *ParseSExpr("A(B(C,D),E(F))");
+  uint64_t small_first = canon_.MapPatternTree(small);
+  uint64_t big_first = canon_.MapPatternTree(big);
+  EXPECT_EQ(canon_.MapPatternTree(small), small_first);
+  EXPECT_EQ(canon_.MapPatternTree(big), big_first);
+  EXPECT_EQ(canon_.MapPatternTree(small), small_first);
+}
+
+class PatternPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PatternPropertyTest, EdgeAndTreePathsAgreeOnRandomTrees) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(61, 99);
+  LabelHasher hasher(&fp);
+  PatternCanonicalizer canon(&fp, &hasher);
+  Pcg64 rng(GetParam());
+  const char* labels[] = {"A", "B", "C", "D"};
+  for (int iter = 0; iter < 10; ++iter) {
+    LabeledTree t;
+    int n = 2 + static_cast<int>(rng.NextBounded(14));
+    t.AddNode(labels[rng.NextBounded(4)], LabeledTree::kInvalidNode);
+    for (int i = 1; i < n; ++i) {
+      t.AddNode(labels[rng.NextBounded(4)],
+                static_cast<NodeId>(rng.NextBounded(i)));
+    }
+    EnumerateTreePatterns(t, 4, [&](NodeId root,
+                                    const std::vector<PatternEdge>& edges) {
+      LabeledTree extracted = ExtractPattern(t, root, edges);
+      EXPECT_EQ(canon.MapPatternEdges(t, root, edges),
+                canon.MapPatternTree(extracted))
+          << TreeToSExpr(extracted);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternPropertyTest,
+                         ::testing::Values(7, 8, 9, 10));
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,132 @@
+#include "prufer/prufer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+// Example 1 of the paper, T1: the path X -> Y -> Z (X is the root).
+// Extended with a dummy under Z: LPS = Z Y X, NPS = 2 3 4.
+TEST(PruferTest, PaperExampleOnePath) {
+  LabeledTree t1 = *ParseSExpr("X(Y(Z))");
+  PruferSequences seqs = ExtendedPrufer(t1);
+  EXPECT_EQ(seqs.lps, (std::vector<std::string>{"Z", "Y", "X"}));
+  EXPECT_EQ(seqs.nps, (std::vector<int32_t>{2, 3, 4}));
+}
+
+// Example 1 of the paper, T2: X with ordered children Y, Z.
+// Extended with dummies under Y and Z: LPS = Y X Z X, NPS = 2 5 4 5.
+TEST(PruferTest, PaperExampleTwoBranch) {
+  LabeledTree t2 = *ParseSExpr("X(Y,Z)");
+  PruferSequences seqs = ExtendedPrufer(t2);
+  EXPECT_EQ(seqs.lps, (std::vector<std::string>{"Y", "X", "Z", "X"}));
+  EXPECT_EQ(seqs.nps, (std::vector<int32_t>{2, 5, 4, 5}));
+}
+
+TEST(PruferTest, SingleNodeTree) {
+  LabeledTree t = *ParseSExpr("A");
+  PruferSequences seqs = ExtendedPrufer(t);
+  // Extended tree: A + dummy; one deletion records A's (label, number).
+  EXPECT_EQ(seqs.lps, (std::vector<std::string>{"A"}));
+  EXPECT_EQ(seqs.nps, (std::vector<int32_t>{2}));
+}
+
+TEST(PruferTest, SequenceLengthIsExtendedSizeMinusOne) {
+  LabeledTree t = *ParseSExpr("A(B(E,F),C,D(G))");  // 7 nodes, 4 leaves.
+  PruferSequences seqs = ExtendedPrufer(t);
+  EXPECT_EQ(seqs.size(), 7u + 4u - 1u);
+}
+
+TEST(PruferTest, ParentNumbersExceedChildPositions) {
+  // NPS[i] is the parent of the node deleted at step i+1, and postorder
+  // parents always carry larger numbers.
+  LabeledTree t = *ParseSExpr("A(B(C(D)),E)");
+  PruferSequences seqs = ExtendedPrufer(t);
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_GT(seqs.nps[i], static_cast<int32_t>(i) + 1);
+  }
+}
+
+TEST(PruferTest, InverseRecoversPaperExamples) {
+  for (const char* text : {"X(Y(Z))", "X(Y,Z)", "A"}) {
+    LabeledTree original = *ParseSExpr(text);
+    Result<LabeledTree> rebuilt = TreeFromPrufer(ExtendedPrufer(original));
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_TRUE(original == *rebuilt) << text;
+  }
+}
+
+TEST(PruferTest, DistinguishesOrderedSiblings) {
+  // The LPS/NPS pair encodes sibling order: A(B,C) != A(C,B).
+  PruferSequences bc = ExtendedPrufer(*ParseSExpr("A(B,C)"));
+  PruferSequences cb = ExtendedPrufer(*ParseSExpr("A(C,B)"));
+  EXPECT_FALSE(bc == cb);
+}
+
+TEST(PruferTest, DistinguishesShapeWithEqualLabelMultiset) {
+  // A(B(C)) vs A(B,C): same labels, different structure.
+  PruferSequences chain = ExtendedPrufer(*ParseSExpr("A(B(C))"));
+  PruferSequences fork = ExtendedPrufer(*ParseSExpr("A(B,C)"));
+  EXPECT_FALSE(chain == fork);
+}
+
+TEST(PruferInverseTest, RejectsMalformedSequences) {
+  // Length mismatch.
+  PruferSequences bad;
+  bad.lps = {"A", "B"};
+  bad.nps = {2};
+  EXPECT_FALSE(TreeFromPrufer(bad).ok());
+
+  // Empty.
+  EXPECT_FALSE(TreeFromPrufer(PruferSequences{}).ok());
+
+  // Parent number not exceeding the deleted node's number.
+  bad.lps = {"A", "A"};
+  bad.nps = {1, 3};  // Node 1's parent must be > 1; 1 is invalid.
+  EXPECT_FALSE(TreeFromPrufer(bad).ok());
+
+  // Parent number out of range.
+  bad.lps = {"A", "A"};
+  bad.nps = {5, 3};
+  EXPECT_FALSE(TreeFromPrufer(bad).ok());
+
+  // Conflicting labels for the same node.
+  bad.lps = {"A", "B", "B"};
+  bad.nps = {4, 4, 4};
+  EXPECT_FALSE(TreeFromPrufer(bad).ok());
+}
+
+LabeledTree RandomOrderedTree(Pcg64& rng, int max_nodes) {
+  LabeledTree tree;
+  int n = 1 + static_cast<int>(rng.NextBounded(max_nodes));
+  const char* labels[] = {"A", "B", "C", "D", "E"};
+  tree.AddNode(labels[rng.NextBounded(5)], LabeledTree::kInvalidNode);
+  for (int i = 1; i < n; ++i) {
+    auto parent = static_cast<LabeledTree::NodeId>(rng.NextBounded(i));
+    tree.AddNode(labels[rng.NextBounded(5)], parent);
+  }
+  return tree;
+}
+
+class PruferRoundTripTest : public ::testing::TestWithParam<int> {};
+
+// The PRIX property the whole system rests on: LPS + NPS of the extended
+// tree contain complete information to reconstruct the original tree.
+TEST_P(PruferRoundTripTest, RandomTreesRoundTrip) {
+  Pcg64 rng(GetParam());
+  for (int iter = 0; iter < 100; ++iter) {
+    LabeledTree tree = RandomOrderedTree(rng, 40);
+    Result<LabeledTree> rebuilt = TreeFromPrufer(ExtendedPrufer(tree));
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_TRUE(tree == *rebuilt) << TreeToSExpr(tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruferRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,114 @@
+#include "hashing/rabin.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hashing/gf2.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(RabinTest, CreateValidatesPolynomial) {
+  // x^3 + x + 1 is irreducible but degree 3 < 8.
+  EXPECT_FALSE(RabinFingerprinter::Create(0b1011).ok());
+  // x^8 + x^4 + x^3 + x + 1 (AES polynomial) is irreducible, degree 8.
+  EXPECT_TRUE(RabinFingerprinter::Create(0b100011011).ok());
+  // x^8 + 1 = (x + 1)^8 is reducible.
+  EXPECT_FALSE(RabinFingerprinter::Create(0b100000001).ok());
+  EXPECT_FALSE(RabinFingerprinter::Create(0).ok());
+}
+
+TEST(RabinTest, FromSeedIsDeterministic) {
+  Result<RabinFingerprinter> a = RabinFingerprinter::FromSeed(31, 42);
+  Result<RabinFingerprinter> b = RabinFingerprinter::FromSeed(31, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->irreducible(), b->irreducible());
+  EXPECT_EQ(a->degree(), 31);
+  EXPECT_TRUE(gf2::IsIrreducible(a->irreducible()));
+}
+
+TEST(RabinTest, DifferentSeedsUsuallyDifferentPolynomials) {
+  Result<RabinFingerprinter> a = RabinFingerprinter::FromSeed(31, 1);
+  Result<RabinFingerprinter> b = RabinFingerprinter::FromSeed(31, 2);
+  EXPECT_NE(a->irreducible(), b->irreducible());
+}
+
+TEST(RabinTest, ResidueFitsInDegreeBits) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 7);
+  for (uint64_t i = 0; i < 200; ++i) {
+    uint64_t r = fp.Fingerprint({i, i * i, ~i});
+    EXPECT_LT(r, uint64_t{1} << 31);
+  }
+}
+
+TEST(RabinTest, ExtendMatchesFingerprint) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 7);
+  std::vector<uint64_t> tokens = {5, 0, 123456789, ~uint64_t{0}, 42};
+  uint64_t streaming = gf2::Reduce64(tokens.size() + 1, fp.irreducible());
+  for (uint64_t t : tokens) streaming = fp.Extend(streaming, t);
+  EXPECT_EQ(streaming, fp.Fingerprint(tokens));
+}
+
+TEST(RabinTest, DistinctShortSequencesDistinctFingerprints) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 9);
+  std::set<uint64_t> seen;
+  // All 3-token sequences over a small alphabet: collisions at degree 31
+  // over a few thousand values would indicate a structural bug, not bad
+  // luck (expected collisions ~ n^2 / 2^32 < 0.01).
+  for (uint64_t a = 0; a < 12; ++a) {
+    for (uint64_t b = 0; b < 12; ++b) {
+      for (uint64_t c = 0; c < 12; ++c) {
+        EXPECT_TRUE(seen.insert(fp.Fingerprint({a, b, c})).second)
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(RabinTest, LengthIsFoldedIn) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 11);
+  EXPECT_NE(fp.Fingerprint({7}), fp.Fingerprint({0, 7}));
+  EXPECT_NE(fp.Fingerprint({}), fp.Fingerprint({0}));
+}
+
+TEST(RabinTest, TokensWiderThanDegreeAreReduced) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 13);
+  // Tokens above 2^31 must still hash deterministically and within range.
+  uint64_t r1 = fp.Fingerprint({~uint64_t{0}});
+  uint64_t r2 = fp.Fingerprint({~uint64_t{0}});
+  EXPECT_EQ(r1, r2);
+  EXPECT_LT(r1, uint64_t{1} << 31);
+}
+
+TEST(RabinTest, ByteFingerprinting) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 17);
+  EXPECT_EQ(fp.FingerprintBytes("NP"), fp.FingerprintBytes("NP"));
+  EXPECT_NE(fp.FingerprintBytes("NP"), fp.FingerprintBytes("NN"));
+  EXPECT_NE(fp.FingerprintBytes("NP"), fp.FingerprintBytes("NPX"));
+  EXPECT_NE(fp.FingerprintBytes(""),
+            fp.FingerprintBytes(std::string_view("\0", 1)));
+  EXPECT_LT(fp.FingerprintBytes("some very long label with lots of text"),
+            uint64_t{1} << 31);
+}
+
+TEST(RabinTest, DistinctLabelsDistinctHashes) {
+  RabinFingerprinter fp = *RabinFingerprinter::FromSeed(31, 19);
+  std::set<uint64_t> seen;
+  const char* labels[] = {"S",  "NP", "VP",  "PP",   "DT",     "NN",
+                          "IN", "JJ", "VBD", "SBAR", "article"};
+  for (const char* label : labels) {
+    EXPECT_TRUE(seen.insert(fp.FingerprintBytes(label)).second) << label;
+  }
+}
+
+TEST(RabinTest, HighDegreeSupported) {
+  Result<RabinFingerprinter> fp = RabinFingerprinter::FromSeed(61, 23);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp->degree(), 61);
+  EXPECT_LT(fp->Fingerprint({1, 2, 3}), uint64_t{1} << 61);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,93 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sketchtree {
+namespace {
+
+TEST(Pcg64Test, DeterministicForSameSeed) {
+  Pcg64 a(123, 7);
+  Pcg64 b(123, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg64Test, DifferentSeedsDiverge) {
+  Pcg64 a(123, 7);
+  Pcg64 b(124, 7);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Pcg64Test, DifferentStreamsDiverge) {
+  Pcg64 a(123, 1);
+  Pcg64 b(123, 2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Pcg64Test, NextBoundedStaysInRange) {
+  Pcg64 rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 229ULL, 1000003ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg64Test, NextBoundedRoughlyUniform) {
+  Pcg64 rng(7);
+  constexpr uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++histogram[rng.NextBounded(kBound)];
+  for (uint64_t b = 0; b < kBound; ++b) {
+    // Expected 10000 per bucket; 4-sigma is about +-400.
+    EXPECT_NEAR(histogram[b], kSamples / kBound, 500) << "bucket " << b;
+  }
+}
+
+TEST(Pcg64Test, NextDoubleInUnitInterval) {
+  Pcg64 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg64Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Pcg64::min() == 0);
+  static_assert(Pcg64::max() == ~uint64_t{0});
+  Pcg64 rng(1);
+  (void)rng();  // operator() compiles and runs.
+}
+
+TEST(DeriveSeedTest, DistinctAcrossIndices) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 10000; ++i) seeds.insert(DeriveSeed(42, i));
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(DeriveSeedTest, DistinctAcrossBases) {
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+  EXPECT_NE(DeriveSeed(1, 1), DeriveSeed(2, 1));
+}
+
+TEST(DeriveSeedTest, Deterministic) {
+  EXPECT_EQ(DeriveSeed(42, 17), DeriveSeed(42, 17));
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,171 @@
+#include "xml/sax_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sketchtree {
+namespace {
+
+/// Records events as strings for easy comparison.
+class RecordingHandler : public SaxHandler {
+ public:
+  Status StartElement(
+      std::string_view name,
+      const std::vector<std::pair<std::string_view, std::string>>& attributes)
+      override {
+    std::string event = "<" + std::string(name);
+    for (const auto& [attr, value] : attributes) {
+      event += " " + std::string(attr) + "=" + value;
+    }
+    event += ">";
+    events.push_back(event);
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name) override {
+    events.push_back("</" + std::string(name) + ">");
+    return Status::OK();
+  }
+  Status Characters(std::string_view text) override {
+    events.push_back("T:" + std::string(text));
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+};
+
+std::vector<std::string> Parse(std::string_view xml) {
+  RecordingHandler handler;
+  Status st = ParseXml(xml, &handler);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return handler.events;
+}
+
+Status ParseError(std::string_view xml) {
+  RecordingHandler handler;
+  return ParseXml(xml, &handler);
+}
+
+TEST(SaxParserTest, SimpleNesting) {
+  EXPECT_EQ(Parse("<a><b/><c>x</c></a>"),
+            (std::vector<std::string>{"<a>", "<b>", "</b>", "<c>", "T:x",
+                                      "</c>", "</a>"}));
+}
+
+TEST(SaxParserTest, Attributes) {
+  EXPECT_EQ(Parse("<a id=\"1\" lang='en'/>"),
+            (std::vector<std::string>{"<a id=1 lang=en>", "</a>"}));
+}
+
+TEST(SaxParserTest, AttributeEntitiesDecoded) {
+  EXPECT_EQ(Parse("<a t=\"x &amp; y &lt;z&gt;\"/>"),
+            (std::vector<std::string>{"<a t=x & y <z>>", "</a>"}));
+}
+
+TEST(SaxParserTest, TextEntities) {
+  EXPECT_EQ(Parse("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos;</a>"),
+            (std::vector<std::string>{"<a>", "T:<tag> & \"q\" 's'",
+                                      "</a>"}));
+}
+
+TEST(SaxParserTest, NumericCharacterReferences) {
+  EXPECT_EQ(Parse("<a>&#65;&#x42;</a>"),
+            (std::vector<std::string>{"<a>", "T:AB", "</a>"}));
+  // Multi-byte UTF-8 (é = U+00E9).
+  EXPECT_EQ(Parse("<a>&#233;</a>"),
+            (std::vector<std::string>{"<a>", "T:\xC3\xA9", "</a>"}));
+}
+
+TEST(SaxParserTest, CdataPassedVerbatim) {
+  EXPECT_EQ(Parse("<a><![CDATA[<not><parsed> &amp;]]></a>"),
+            (std::vector<std::string>{"<a>", "T:<not><parsed> &amp;",
+                                      "</a>"}));
+}
+
+TEST(SaxParserTest, CommentsAndProcessingInstructionsSkipped) {
+  EXPECT_EQ(Parse("<?xml version=\"1.0\"?><!-- note --><a><!-- x --></a>"),
+            (std::vector<std::string>{"<a>", "</a>"}));
+}
+
+TEST(SaxParserTest, DoctypeSkippedIncludingInternalSubset) {
+  EXPECT_EQ(Parse("<!DOCTYPE dblp [ <!ELEMENT dblp (a)*> ]><dblp/>"),
+            (std::vector<std::string>{"<dblp>", "</dblp>"}));
+}
+
+TEST(SaxParserTest, BomSkipped) {
+  EXPECT_EQ(Parse("\xEF\xBB\xBF<a/>"),
+            (std::vector<std::string>{"<a>", "</a>"}));
+}
+
+TEST(SaxParserTest, NamespacePrefixesKeptInNames) {
+  EXPECT_EQ(Parse("<ns:a xmlns:ns='u'><ns:b/></ns:a>"),
+            (std::vector<std::string>{"<ns:a xmlns:ns=u>", "<ns:b>",
+                                      "</ns:b>", "</ns:a>"}));
+}
+
+TEST(SaxParserTest, WhitespaceTextIsReported) {
+  // Suppression is the tree reader's job, not the parser's.
+  EXPECT_EQ(Parse("<a> </a>"),
+            (std::vector<std::string>{"<a>", "T: ", "</a>"}));
+}
+
+TEST(SaxParserTest, MismatchedTagsRejected) {
+  EXPECT_TRUE(ParseError("<a></b>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a><b></a></b>").IsInvalidArgument());
+}
+
+TEST(SaxParserTest, UnterminatedConstructsRejected) {
+  EXPECT_TRUE(ParseError("<a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a attr='x>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<!-- never closed").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<![CDATA[ open").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<?pi never closed").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<!DOCTYPE d [").IsInvalidArgument());
+}
+
+TEST(SaxParserTest, BadEntitiesRejected) {
+  EXPECT_TRUE(ParseError("<a>&unknown;</a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a>&amp</a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a>&#xZZ;</a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a>&#;</a>").IsInvalidArgument());
+}
+
+TEST(SaxParserTest, MalformedTagsRejected) {
+  EXPECT_TRUE(ParseError("<1a/>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a b=c/>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a b/>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("</a>").IsInvalidArgument());
+}
+
+TEST(SaxParserTest, HandlerErrorsPropagate) {
+  class FailingHandler : public RecordingHandler {
+    Status StartElement(
+        std::string_view name,
+        const std::vector<std::pair<std::string_view, std::string>>& attrs)
+        override {
+      if (name == "bad") return Status::Internal("handler refused");
+      return RecordingHandler::StartElement(name, attrs);
+    }
+  };
+  FailingHandler handler;
+  Status st = ParseXml("<a><bad/></a>", &handler);
+  EXPECT_TRUE(st.IsInternal());
+}
+
+TEST(SaxParserTest, DblpLikeDocument) {
+  const char* xml =
+      "<article key=\"journals/x/Y99\">"
+      "<author>Jane Doe</author>"
+      "<title>On Streams &amp; Trees</title>"
+      "<year>1999</year>"
+      "</article>";
+  std::vector<std::string> events = Parse(xml);
+  EXPECT_EQ(events.front(), "<article key=journals/x/Y99>");
+  EXPECT_EQ(events[2], "T:Jane Doe");
+  EXPECT_EQ(events[5], "T:On Streams & Trees");
+}
+
+}  // namespace
+}  // namespace sketchtree

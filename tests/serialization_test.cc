@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/binary_io.h"
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "query/pattern_query.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(BinaryIoTest, RoundTripsAllTypes) {
+  BinaryWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(~uint64_t{0});
+  writer.WriteDouble(-3.25);
+  writer.WriteString("hello\0world");
+  writer.WriteString("");
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(*reader.ReadU8(), 0xAB);
+  EXPECT_EQ(*reader.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*reader.ReadU64(), ~uint64_t{0});
+  EXPECT_DOUBLE_EQ(*reader.ReadDouble(), -3.25);
+  EXPECT_EQ(*reader.ReadString(), "hello");  // C-string literal stops at \0.
+  EXPECT_EQ(*reader.ReadString(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BinaryIoTest, TruncationDetected) {
+  BinaryWriter writer;
+  writer.WriteU64(42);
+  std::string data = writer.buffer().substr(0, 5);
+  BinaryReader reader(data);
+  Result<uint64_t> r = reader.ReadU64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(BinaryIoTest, StringLengthLiesDetected) {
+  BinaryWriter writer;
+  writer.WriteU64(1000);  // Claims 1000 bytes; none follow.
+  BinaryReader reader(writer.buffer());
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+SketchTreeOptions RoundTripOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 30;
+  options.s2 = 5;
+  options.num_virtual_streams = 13;
+  options.topk_size = 6;
+  options.seed = 77;
+  options.build_structural_summary = true;
+  return options;
+}
+
+SketchTree BuildPopulatedSketch() {
+  SketchTree sketch = *SketchTree::Create(RoundTripOptions());
+  TreebankGenerator gen;
+  for (int i = 0; i < 120; ++i) sketch.Update(gen.Next());
+  return sketch;
+}
+
+TEST(SerializationTest, RoundTripPreservesEstimatesExactly) {
+  SketchTree original = BuildPopulatedSketch();
+  std::string bytes = original.SerializeToString();
+  Result<SketchTree> restored = SketchTree::DeserializeFromString(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->Stats().trees_processed,
+            original.Stats().trees_processed);
+  EXPECT_EQ(restored->Stats().patterns_processed,
+            original.Stats().patterns_processed);
+  EXPECT_EQ(restored->Stats().tracked_patterns,
+            original.Stats().tracked_patterns);
+
+  for (const char* text : {"NP(DT,NN)", "VP(VBD)", "S(NP,VP)", "PP(IN)"}) {
+    LabeledTree query = *ParseSExpr(text);
+    EXPECT_DOUBLE_EQ(*restored->EstimateCountOrdered(query),
+                     *original.EstimateCountOrdered(query))
+        << text;
+  }
+  // Extended queries via the restored summary.
+  EXPECT_DOUBLE_EQ(*restored->EstimateExtended("NP(*)"),
+                   *original.EstimateExtended("NP(*)"));
+}
+
+TEST(SerializationTest, RestoredSketchKeepsLearning) {
+  SketchTree original = BuildPopulatedSketch();
+  SketchTree restored =
+      *SketchTree::DeserializeFromString(original.SerializeToString());
+  // Continue the stream on both; they must stay in lockstep.
+  TreebankGenerator more(TreebankGenOptions{.seed = 99, .max_depth = 10});
+  for (int i = 0; i < 50; ++i) {
+    LabeledTree tree = more.Next();
+    original.Update(tree);
+    restored.Update(tree);
+  }
+  LabeledTree query = *ParseSExpr("NP(DT,NN)");
+  EXPECT_DOUBLE_EQ(*restored.EstimateCountOrdered(query),
+                   *original.EstimateCountOrdered(query));
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(SketchTree::DeserializeFromString("").ok());
+  EXPECT_FALSE(SketchTree::DeserializeFromString("not a synopsis").ok());
+  std::string bytes = BuildPopulatedSketch().SerializeToString();
+  // Bad magic.
+  std::string corrupted = bytes;
+  corrupted[0] = 'X';
+  EXPECT_FALSE(SketchTree::DeserializeFromString(corrupted).ok());
+  // Truncation at every eighth byte must fail cleanly, never crash.
+  for (size_t cut = 0; cut < bytes.size(); cut += 8) {
+    Result<SketchTree> r =
+        SketchTree::DeserializeFromString(bytes.substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(SketchTree::DeserializeFromString(bytes + "x").ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  SketchTree original = BuildPopulatedSketch();
+  std::string path = ::testing::TempDir() + "/sketchtree_synopsis_test.bin";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  Result<SketchTree> restored = SketchTree::LoadFromFile(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  LabeledTree query = *ParseSExpr("S(NP,VP)");
+  EXPECT_DOUBLE_EQ(*restored->EstimateCountOrdered(query),
+                   *original.EstimateCountOrdered(query));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIOError) {
+  Result<SketchTree> r = SketchTree::LoadFromFile("/no/such/synopsis.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace sketchtree

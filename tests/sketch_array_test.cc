@@ -1,0 +1,97 @@
+#include "sketch/sketch_array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sketchtree {
+namespace {
+
+TEST(SketchArrayTest, DimensionsAndMemory) {
+  SketchArray array(25, 7, 4, 42);
+  EXPECT_EQ(array.s1(), 25);
+  EXPECT_EQ(array.s2(), 7);
+  // 25 * 7 instances, each one counter + one seed.
+  EXPECT_EQ(array.MemoryBytes(), 25u * 7u * 16u);
+}
+
+TEST(SketchArrayTest, InstancesHaveIndependentSeeds) {
+  SketchArray array(4, 3, 4, 42);
+  // Two distinct instances should disagree on xi for at least one of a
+  // few values (identical xi families would mean seed duplication).
+  int disagreements = 0;
+  for (uint64_t v = 0; v < 32; ++v) {
+    if (array.instance(0, 0).Xi(v) != array.instance(1, 2).Xi(v)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 4);
+}
+
+TEST(SketchArrayTest, SameBaseSeedSameXiFamilies) {
+  // Virtual streams rely on this (Section 5.3): arrays built with the
+  // same base seed have identical xi variables instance-by-instance.
+  SketchArray a(5, 3, 4, 42);
+  SketchArray b(5, 3, 4, 42);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      for (uint64_t v = 0; v < 20; ++v) {
+        EXPECT_EQ(a.instance(i, j).Xi(v), b.instance(i, j).Xi(v));
+      }
+    }
+  }
+}
+
+TEST(SketchArrayTest, PointEstimateRecoverySmallStream) {
+  SketchArray array(200, 7, 4, 1);
+  array.Update(10, 50);
+  array.Update(11, 3);
+  array.Update(12, 7);
+  // With s1=200 and SJ ~ 2558, stderr of each average ~ sqrt(2558/200) ~
+  // 3.6; the median of 7 averages is comfortably within +-12.
+  EXPECT_NEAR(array.EstimatePoint(10), 50.0, 12.0);
+  EXPECT_NEAR(array.EstimatePoint(11), 3.0, 12.0);
+  EXPECT_NEAR(array.EstimatePoint(99), 0.0, 12.0);
+}
+
+TEST(SketchArrayTest, DeletionRestoresEstimates) {
+  SketchArray array(100, 7, 4, 3);
+  array.Update(5, 100);
+  array.Update(6, 40);
+  array.Update(5, -100);
+  // Value 5 fully deleted: its estimate collapses to ~0, value 6 intact.
+  EXPECT_NEAR(array.EstimatePoint(5), 0.0, 12.0);
+  EXPECT_NEAR(array.EstimatePoint(6), 40.0, 12.0);
+}
+
+TEST(BoostedEstimateTest, MedianOfAveragesOddS2) {
+  // s1=2, s2=3: averages are (1+3)/2=2, (10+10)/2=10, (4+6)/2=5;
+  // median = 5.
+  double grid[3][2] = {{1, 3}, {10, 10}, {4, 6}};
+  double est = BoostedEstimate(2, 3, [&](int i, int j) {
+    return grid[i][j];
+  });
+  EXPECT_DOUBLE_EQ(est, 5.0);
+}
+
+TEST(BoostedEstimateTest, MedianOfAveragesEvenS2) {
+  // Averages: 1, 7, 3, 5 -> median = (3+5)/2 = 4.
+  double rows[4] = {1, 7, 3, 5};
+  double est = BoostedEstimate(1, 4, [&](int i, int) { return rows[i]; });
+  EXPECT_DOUBLE_EQ(est, 4.0);
+}
+
+TEST(BoostedEstimateTest, SingleInstance) {
+  double est = BoostedEstimate(1, 1, [&](int, int) { return 13.5; });
+  EXPECT_DOUBLE_EQ(est, 13.5);
+}
+
+TEST(BoostedEstimateTest, MedianIsRobustToOutlierRows) {
+  // One wild row out of 5 must not move the median.
+  double rows[5] = {10, 11, 1e9, 9, 10};
+  double est = BoostedEstimate(1, 5, [&](int i, int) { return rows[i]; });
+  EXPECT_DOUBLE_EQ(est, 10.0);
+}
+
+}  // namespace
+}  // namespace sketchtree

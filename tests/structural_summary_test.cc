@@ -1,0 +1,91 @@
+#include "summary/structural_summary.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dblp_gen.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(StructuralSummaryTest, EmptySummary) {
+  StructuralSummary summary;
+  EXPECT_EQ(summary.num_nodes(), 0u);
+  EXPECT_TRUE(summary.roots().empty());
+  EXPECT_FALSE(summary.saturated());
+}
+
+TEST(StructuralSummaryTest, SingleTreePaths) {
+  StructuralSummary summary;
+  summary.Update(*ParseSExpr("A(B(D),C)"));
+  // Paths: A, A/B, A/B/D, A/C -> 4 nodes.
+  EXPECT_EQ(summary.num_nodes(), 4u);
+  ASSERT_EQ(summary.roots().size(), 1u);
+  auto a = summary.roots().begin()->second;
+  EXPECT_EQ(summary.label(a), "A");
+  ASSERT_EQ(summary.children(a).size(), 2u);
+  auto b = summary.children(a).at("B");
+  EXPECT_EQ(summary.children(b).count("D"), 1u);
+}
+
+TEST(StructuralSummaryTest, MergesSharedPaths) {
+  StructuralSummary summary;
+  summary.Update(*ParseSExpr("A(B,C)"));
+  summary.Update(*ParseSExpr("A(B(D))"));
+  summary.Update(*ParseSExpr("A(B,B,B)"));  // Repeated siblings merge.
+  // Paths: A, A/B, A/C, A/B/D.
+  EXPECT_EQ(summary.num_nodes(), 4u);
+  EXPECT_EQ(summary.trees_processed(), 3u);
+}
+
+TEST(StructuralSummaryTest, DistinctRootsCoexist) {
+  StructuralSummary summary;
+  summary.Update(*ParseSExpr("article(author)"));
+  summary.Update(*ParseSExpr("book(author)"));
+  EXPECT_EQ(summary.roots().size(), 2u);
+  EXPECT_EQ(summary.num_nodes(), 4u);  // Two roots, two author children.
+}
+
+TEST(StructuralSummaryTest, NodeCapSaturates) {
+  StructuralSummary::Options options;
+  options.max_nodes = 3;
+  StructuralSummary summary(options);
+  summary.Update(*ParseSExpr("A(B(C(D(E))))"));
+  EXPECT_TRUE(summary.saturated());
+  EXPECT_EQ(summary.num_nodes(), 3u);
+}
+
+TEST(StructuralSummaryTest, DepthCapStopsRecording) {
+  StructuralSummary::Options options;
+  options.max_depth = 2;
+  StructuralSummary summary(options);
+  summary.Update(*ParseSExpr("A(B(C(D)))"));
+  // Only A and A/B recorded.
+  EXPECT_EQ(summary.num_nodes(), 2u);
+  EXPECT_FALSE(summary.saturated());
+}
+
+TEST(StructuralSummaryTest, SummaryStaysSmallOnSchematicData) {
+  // DBLP-like data: thousands of records but a few hundred distinct
+  // label paths (the "limited space" premise of Section 6.2).
+  StructuralSummary summary;
+  DblpGenerator gen;
+  for (int i = 0; i < 2000; ++i) summary.Update(gen.Next());
+  EXPECT_FALSE(summary.saturated());
+  EXPECT_LT(summary.num_nodes(), 5000u);
+  EXPECT_GT(summary.MemoryBytes(), 0u);
+}
+
+TEST(StructuralSummaryTest, DeterministicChildOrder) {
+  StructuralSummary summary;
+  summary.Update(*ParseSExpr("A(C,B)"));
+  auto a = summary.roots().begin()->second;
+  // Children are keyed by label (sorted), independent of insert order.
+  auto it = summary.children(a).begin();
+  EXPECT_EQ(it->first, "B");
+  ++it;
+  EXPECT_EQ(it->first, "C");
+}
+
+}  // namespace
+}  // namespace sketchtree

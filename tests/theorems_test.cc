@@ -1,0 +1,171 @@
+// Empirical verification of the paper's analysis: unbiasedness and the
+// variance bounds of Equations 2 and 7 and Appendix B, the (epsilon,
+// delta) guarantee of Theorem 1, and the Markov-inequality basis of the
+// top-k strategy (Equation 10). Each test measures over thousands of
+// independently seeded sketches on a fixed small stream where SJ(S) and
+// every frequency are known exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sketch/ams_sketch.h"
+#include "sketch/estimators.h"
+#include "sketch/sketch_array.h"
+
+namespace sketchtree {
+namespace {
+
+// Fixed stream: value v (1-based) has frequency kFreq[v-1].
+const double kFreq[] = {20, 15, 10, 8, 5, 3, 2, 1};
+constexpr int kNumValues = 8;
+constexpr double kSelfJoin =
+    400 + 225 + 100 + 64 + 25 + 9 + 4 + 1;  // Sum of squares = 828.
+
+AmsSketch LoadedSketch(uint64_t seed, int independence = 8) {
+  AmsSketch sketch(seed, independence);
+  for (int v = 1; v <= kNumValues; ++v) sketch.Add(v, kFreq[v - 1]);
+  return sketch;
+}
+
+struct Moments {
+  double mean;
+  double variance;
+};
+
+template <typename F>
+Moments MeasureOverSeeds(int trials, F&& estimator) {
+  double sum = 0;
+  double sum_sq = 0;
+  for (int seed = 0; seed < trials; ++seed) {
+    double value = estimator(seed);
+    sum += value;
+    sum_sq += value * value;
+  }
+  double mean = sum / trials;
+  return {mean, sum_sq / trials - mean * mean};
+}
+
+TEST(TheoremsTest, PointEstimatorVarianceMatchesEquationTwo) {
+  // Var[xi_q X] = (sum_i f_i^2) - f_q^2 <= SJ(S)   (Equation 2).
+  constexpr int kTrials = 40000;
+  const double f_q = kFreq[0];
+  Moments m = MeasureOverSeeds(kTrials, [&](int seed) {
+    AmsSketch sketch = LoadedSketch(seed);
+    return sketch.Xi(1) * sketch.value();
+  });
+  double exact_variance = kSelfJoin - f_q * f_q;  // 428.
+  EXPECT_NEAR(m.mean, f_q, 0.7);  // Unbiased (Equation 1).
+  EXPECT_NEAR(m.variance, exact_variance, 0.15 * exact_variance);
+  EXPECT_LE(m.variance, 1.1 * kSelfJoin);
+}
+
+TEST(TheoremsTest, SumEstimatorVarianceWithinEquationSevenBound) {
+  // Var[X * sum_j xi_{q_j}] <= 2 (t-1) SJ(S)   (Equation 7), t = 3.
+  constexpr int kTrials = 40000;
+  const std::vector<uint64_t> queries = {1, 2, 3};
+  Moments m = MeasureOverSeeds(kTrials, [&](int seed) {
+    AmsSketch sketch = LoadedSketch(seed);
+    double xi_sum = 0;
+    for (uint64_t q : queries) xi_sum += sketch.Xi(q);
+    return sketch.value() * xi_sum;
+  });
+  double truth = kFreq[0] + kFreq[1] + kFreq[2];
+  EXPECT_NEAR(m.mean, truth, 1.5);  // Unbiased (Equation 6).
+  EXPECT_LE(m.variance, 2 * (3 - 1) * kSelfJoin * 1.1);
+}
+
+TEST(TheoremsTest, ProductEstimatorVarianceWithinAppendixBBound) {
+  // Var[X^2/2! xi_q1 xi_q2] <= (1 + 2n)/4 * SJ(S)^2   (Equation 17).
+  constexpr int kTrials = 40000;
+  Moments m = MeasureOverSeeds(kTrials, [&](int seed) {
+    AmsSketch sketch = LoadedSketch(seed);
+    return sketch.value() * sketch.value() / 2.0 * sketch.Xi(1) *
+           sketch.Xi(2);
+  });
+  double truth = kFreq[0] * kFreq[1];  // 300.
+  EXPECT_NEAR(m.mean, truth, 0.05 * truth);  // Unbiased (Example 3).
+  double bound = (1 + 2.0 * kNumValues) / 4.0 * kSelfJoin * kSelfJoin;
+  EXPECT_LE(m.variance, bound);
+}
+
+TEST(TheoremsTest, MixedExpressionIsUnbiased) {
+  // Appendix C: E'' for C(q1)C(q2) + C(q3) - C(q4) is unbiased.
+  constexpr int kTrials = 60000;
+  Moments m = MeasureOverSeeds(kTrials, [&](int seed) {
+    AmsSketch sketch = LoadedSketch(seed);
+    double x = sketch.value();
+    return x * x / 2.0 * sketch.Xi(1) * sketch.Xi(2) +
+           x * sketch.Xi(3) - x * sketch.Xi(4);
+  });
+  double truth = kFreq[0] * kFreq[1] + kFreq[2] - kFreq[3];
+  EXPECT_NEAR(m.mean, truth, 0.05 * (kFreq[0] * kFreq[1]));
+}
+
+TEST(TheoremsTest, TheoremOneEpsilonDeltaGuarantee) {
+  // Theorem 1: with s1 = 8 SJ / (eps^2 f_q^2) and s2 = 2 lg(1/delta),
+  // the median of averages errs by more than eps * f_q with probability
+  // at most delta.
+  const double f_q = kFreq[0];
+  const double epsilon = 0.7;
+  const double delta = 0.1;
+  const int s1 = static_cast<int>(
+      std::ceil(8 * kSelfJoin / (epsilon * epsilon * f_q * f_q)));
+  const int s2 =
+      static_cast<int>(std::ceil(2 * std::log2(1.0 / delta)));
+  ASSERT_GE(s1, 1);
+  ASSERT_GE(s2, 1);
+
+  constexpr int kTrials = 300;
+  int failures = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SketchArray array(s1, s2, 8,
+                      /*base_seed=*/0x9e3779b9u + trial);
+    for (int v = 1; v <= kNumValues; ++v) array.Update(v, kFreq[v - 1]);
+    double estimate = array.EstimatePoint(1);
+    if (std::fabs(estimate - f_q) > epsilon * f_q) ++failures;
+  }
+  // Chebyshev + Chernoff are loose; the observed failure rate should be
+  // comfortably below delta (allow 1.5x for sampling noise).
+  EXPECT_LE(static_cast<double>(failures) / kTrials, 1.5 * delta)
+      << failures << " failures over " << kTrials;
+}
+
+TEST(TheoremsTest, AccuracyScalesAsOneOverSqrtS1) {
+  // Theorem 1's structural claim: averaging s1 instances divides the
+  // variance by s1, so RMS error ~ 1/sqrt(s1).
+  auto rms_error = [&](int s1) {
+    constexpr int kTrials = 400;
+    double sum_sq = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      SketchArray array(s1, 1, 8, 7777u + trial);
+      for (int v = 1; v <= kNumValues; ++v) array.Update(v, kFreq[v - 1]);
+      double err = array.EstimatePoint(1) - kFreq[0];
+      sum_sq += err * err;
+    }
+    return std::sqrt(sum_sq / kTrials);
+  };
+  double rms_4 = rms_error(4);
+  double rms_64 = rms_error(64);
+  // Expected ratio 1/sqrt(16) = 0.25; allow generous noise.
+  EXPECT_LT(rms_64, 0.5 * rms_4);
+  EXPECT_GT(rms_64, 0.1 * rms_4);
+}
+
+TEST(TheoremsTest, LowFrequencyValuesRarelyEstimatedFrequent) {
+  // Equation 10 (Markov): the probability that a low-frequency value's
+  // estimate exceeds a large threshold r is at most E[xi_t X]/r — the
+  // basis of the top-k strategy's robustness.
+  constexpr int kTrials = 20000;
+  const double r = 50.0;  // f_t = 1 (value 8).
+  int exceeded = 0;
+  for (int seed = 0; seed < kTrials; ++seed) {
+    AmsSketch sketch = LoadedSketch(seed);
+    if (sketch.Xi(8) * sketch.value() >= r) ++exceeded;
+  }
+  // E[xi_t X] = 1, so the bound is 1/50 = 2%; measure well below 5%.
+  EXPECT_LE(static_cast<double>(exceeded) / kTrials, 0.05);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,120 @@
+#include "topk/topk_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+namespace {
+
+/// Feeds a value and runs top-k processing, the way Algorithm 1 invokes
+/// Algorithm 4 after each enumerated pattern.
+void Feed(SketchArray* array, TopKTracker* tracker, uint64_t v) {
+  array->Update(v);
+  tracker->Process(v);
+}
+
+TEST(TopKTrackerTest, CapacityZeroIsNoOp) {
+  SketchArray array(10, 3, 4, 1);
+  TopKTracker tracker(0, &array);
+  Feed(&array, &tracker, 7);
+  EXPECT_EQ(tracker.size(), 0u);
+  EXPECT_FALSE(tracker.TrackedFrequency(7).has_value());
+}
+
+TEST(TopKTrackerTest, TracksHeavyValues) {
+  SketchArray array(150, 7, 4, 2);
+  TopKTracker tracker(2, &array);
+  Pcg64 rng(3);
+  // Heavy values 100 and 101; light values scattered.
+  for (int i = 0; i < 600; ++i) {
+    double roll = rng.NextDouble();
+    uint64_t v;
+    if (roll < 0.4) {
+      v = 100;
+    } else if (roll < 0.8) {
+      v = 101;
+    } else {
+      v = 200 + rng.NextBounded(50);
+    }
+    Feed(&array, &tracker, v);
+  }
+  EXPECT_TRUE(tracker.TrackedFrequency(100).has_value());
+  EXPECT_TRUE(tracker.TrackedFrequency(101).has_value());
+  EXPECT_EQ(tracker.size(), 2u);
+}
+
+TEST(TopKTrackerTest, DeleteConditionHolds) {
+  // The paper's invariant: if v is tracked with frequency f_v, exactly
+  // f_v instances of v were deleted from the sketches. Adding them back
+  // must therefore restore the no-top-k sketch state exactly.
+  SketchArray with_topk(40, 5, 4, 7);
+  SketchArray without_topk(40, 5, 4, 7);  // Same seeds.
+  TopKTracker tracker(3, &with_topk);
+  Pcg64 rng(5);
+  for (int i = 0; i < 400; ++i) {
+    uint64_t v = rng.NextDouble() < 0.6 ? 50 + rng.NextBounded(2)
+                                        : 500 + rng.NextBounded(80);
+    Feed(&with_topk, &tracker, v);
+    without_topk.Update(v);
+  }
+  // Restore every tracked value.
+  for (const auto& [value, freq] : tracker.tracked()) {
+    with_topk.Update(value, +freq);
+  }
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 40; ++j) {
+      EXPECT_NEAR(with_topk.instance(i, j).value(),
+                  without_topk.instance(i, j).value(), 1e-6);
+    }
+  }
+}
+
+TEST(TopKTrackerTest, CompensatedEstimateMatchesTrueFrequency) {
+  SketchArray array(150, 7, 4, 11);
+  TopKTracker tracker(2, &array);
+  for (int i = 0; i < 300; ++i) Feed(&array, &tracker, 9);
+  for (int i = 0; i < 40; ++i) Feed(&array, &tracker, 10);
+  ASSERT_TRUE(tracker.TrackedFrequency(9).has_value());
+  // Tracked frequency + current sketch estimate ~ true frequency.
+  double residual = array.EstimatePoint(9);
+  EXPECT_NEAR(*tracker.TrackedFrequency(9) + residual, 300.0, 15.0);
+}
+
+TEST(TopKTrackerTest, EvictionKeepsTheHeavierValue) {
+  SketchArray array(200, 7, 4, 13);
+  TopKTracker tracker(1, &array);
+  for (int i = 0; i < 50; ++i) Feed(&array, &tracker, 1);
+  ASSERT_TRUE(tracker.TrackedFrequency(1).has_value());
+  // A heavier value arrives; it must displace value 1.
+  for (int i = 0; i < 400; ++i) Feed(&array, &tracker, 2);
+  EXPECT_TRUE(tracker.TrackedFrequency(2).has_value());
+  EXPECT_FALSE(tracker.TrackedFrequency(1).has_value());
+  EXPECT_EQ(tracker.size(), 1u);
+  // Value 1's instances were added back: its plain estimate recovers.
+  EXPECT_NEAR(array.EstimatePoint(1), 50.0, 25.0);
+}
+
+TEST(TopKTrackerTest, MinFrequencyTracksHeapRoot) {
+  SketchArray array(200, 7, 4, 17);
+  TopKTracker tracker(2, &array);
+  EXPECT_FALSE(tracker.MinFrequency().has_value());
+  for (int i = 0; i < 100; ++i) Feed(&array, &tracker, 5);
+  for (int i = 0; i < 200; ++i) Feed(&array, &tracker, 6);
+  ASSERT_TRUE(tracker.MinFrequency().has_value());
+  // Root is the smaller of the two tracked frequencies.
+  EXPECT_LT(*tracker.MinFrequency(), 180.0);
+}
+
+TEST(TopKTrackerTest, MemoryBytesScalesWithSize) {
+  SketchArray array(50, 5, 4, 19);
+  TopKTracker tracker(5, &array);
+  EXPECT_EQ(tracker.MemoryBytes(), 0u);
+  for (int i = 0; i < 100; ++i) Feed(&array, &tracker, 1);
+  EXPECT_EQ(tracker.MemoryBytes(), 1u * 2u * 16u);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,87 @@
+#include "tree/tree_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(TreeBuilderTest, BuildsNestedTree) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.Open("A").ok());
+  ASSERT_TRUE(builder.Leaf("B").ok());
+  ASSERT_TRUE(builder.Open("C").ok());
+  ASSERT_TRUE(builder.Leaf("D").ok());
+  ASSERT_TRUE(builder.Close().ok());
+  ASSERT_TRUE(builder.Close().ok());
+  Result<LabeledTree> tree = builder.Finish();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(TreeToSExpr(*tree), "A(B,C(D))");
+}
+
+TEST(TreeBuilderTest, DepthTracksOpenNodes) {
+  TreeBuilder builder;
+  EXPECT_EQ(builder.depth(), 0);
+  ASSERT_TRUE(builder.Open("A").ok());
+  EXPECT_EQ(builder.depth(), 1);
+  ASSERT_TRUE(builder.Open("B").ok());
+  EXPECT_EQ(builder.depth(), 2);
+  ASSERT_TRUE(builder.Close().ok());
+  EXPECT_EQ(builder.depth(), 1);
+}
+
+TEST(TreeBuilderTest, CloseWithoutOpenFails) {
+  TreeBuilder builder;
+  EXPECT_TRUE(builder.Close().IsInvalidArgument());
+}
+
+TEST(TreeBuilderTest, SecondRootFails) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.Open("A").ok());
+  ASSERT_TRUE(builder.Close().ok());
+  EXPECT_TRUE(builder.Open("B").IsInvalidArgument());
+}
+
+TEST(TreeBuilderTest, FinishWithOpenNodesFails) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.Open("A").ok());
+  Result<LabeledTree> tree = builder.Finish();
+  EXPECT_FALSE(tree.ok());
+  EXPECT_TRUE(tree.status().IsInvalidArgument());
+}
+
+TEST(TreeBuilderTest, FinishOnEmptyBuilderFails) {
+  TreeBuilder builder;
+  EXPECT_FALSE(builder.Finish().ok());
+}
+
+TEST(TreeBuilderTest, FinishResetsForReuse) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.Open("A").ok());
+  ASSERT_TRUE(builder.Close().ok());
+  ASSERT_TRUE(builder.Finish().ok());
+
+  // The builder accepts a fresh root after Finish.
+  ASSERT_TRUE(builder.Open("X").ok());
+  ASSERT_TRUE(builder.Leaf("Y").ok());
+  ASSERT_TRUE(builder.Close().ok());
+  Result<LabeledTree> second = builder.Finish();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(TreeToSExpr(*second), "X(Y)");
+}
+
+TEST(TreeBuilderTest, ResetDiscardsState) {
+  TreeBuilder builder;
+  ASSERT_TRUE(builder.Open("A").ok());
+  builder.Reset();
+  EXPECT_EQ(builder.depth(), 0);
+  ASSERT_TRUE(builder.Open("B").ok());
+  ASSERT_TRUE(builder.Close().ok());
+  Result<LabeledTree> tree = builder.Finish();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->label(tree->root()), "B");
+}
+
+}  // namespace
+}  // namespace sketchtree

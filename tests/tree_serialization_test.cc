@@ -1,0 +1,91 @@
+#include "tree/tree_serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(TreeSerializationTest, SingleNode) {
+  Result<LabeledTree> tree = ParseSExpr("A");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 1);
+  EXPECT_EQ(TreeToSExpr(*tree), "A");
+}
+
+TEST(TreeSerializationTest, NestedTreeRoundTrips) {
+  const std::string text = "A(B(E,F),C,D(G))";
+  Result<LabeledTree> tree = ParseSExpr(text);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 7);
+  EXPECT_EQ(TreeToSExpr(*tree), text);
+}
+
+TEST(TreeSerializationTest, WhitespaceIgnored) {
+  Result<LabeledTree> a = ParseSExpr(" A ( B , C ( D ) ) ");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(TreeToSExpr(*a), "A(B,C(D))");
+}
+
+TEST(TreeSerializationTest, QuotedLabels) {
+  LabeledTree tree;
+  auto root = tree.AddNode("has space", LabeledTree::kInvalidNode);
+  tree.AddNode("quote'and\\slash", root);
+  tree.AddNode("", root);  // Empty labels must be quoted too.
+  std::string text = TreeToSExpr(tree);
+  Result<LabeledTree> parsed = ParseSExpr(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << " text=" << text;
+  EXPECT_TRUE(tree == *parsed);
+}
+
+TEST(TreeSerializationTest, BareLabelCharacterSet) {
+  Result<LabeledTree> tree = ParseSExpr("ns.tag-1(@attr,value_2,#x)");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->label(tree->root()), "ns.tag-1");
+}
+
+TEST(TreeSerializationTest, ParseErrors) {
+  EXPECT_FALSE(ParseSExpr("").ok());
+  EXPECT_FALSE(ParseSExpr("A(B").ok());          // Missing ')'.
+  EXPECT_FALSE(ParseSExpr("A(B))").ok());        // Trailing ')'.
+  EXPECT_FALSE(ParseSExpr("A()").ok());          // Empty child list.
+  EXPECT_FALSE(ParseSExpr("A(B,)").ok());        // Trailing comma.
+  EXPECT_FALSE(ParseSExpr("A B").ok());          // Two roots.
+  EXPECT_FALSE(ParseSExpr("(B)").ok());          // Missing root label.
+  EXPECT_FALSE(ParseSExpr("'unterminated").ok());
+  EXPECT_FALSE(ParseSExpr("'dangling\\").ok());
+}
+
+LabeledTree RandomTree(Pcg64& rng, int max_nodes) {
+  LabeledTree tree;
+  int n = 1 + static_cast<int>(rng.NextBounded(max_nodes));
+  const char* labels[] = {"A", "B", "C", "weird label", "x'y"};
+  tree.AddNode(labels[rng.NextBounded(5)], LabeledTree::kInvalidNode);
+  for (int i = 1; i < n; ++i) {
+    auto parent = static_cast<LabeledTree::NodeId>(rng.NextBounded(i));
+    tree.AddNode(labels[rng.NextBounded(5)], parent);
+  }
+  return tree;
+}
+
+class SerializationRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationRoundTripTest, RandomTreesRoundTrip) {
+  Pcg64 rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    LabeledTree tree = RandomTree(rng, 30);
+    std::string text = TreeToSExpr(tree);
+    Result<LabeledTree> parsed = ParseSExpr(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(tree == *parsed) << text;
+    // Serialization is canonical: a second round trip is a fixed point.
+    EXPECT_EQ(TreeToSExpr(*parsed), text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializationRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,111 @@
+// Tests for the turnstile (insert + delete) model: Section 3's "a value
+// can be deleted from the stream by subtracting xi_i from X" lifted to
+// whole trees via SketchTree::Remove.
+#include <gtest/gtest.h>
+
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "exact/exact_counter.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+SketchTreeOptions TurnstileOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 100;
+  options.s2 = 7;
+  options.num_virtual_streams = 31;
+  options.topk_size = 0;  // Top-k and heavy deletion mix is tested below.
+  options.seed = 61;
+  return options;
+}
+
+TEST(TurnstileTest, RemoveUndoesUpdateExactly) {
+  SketchTree with_removal = *SketchTree::Create(TurnstileOptions());
+  SketchTree reference = *SketchTree::Create(TurnstileOptions());
+
+  LabeledTree kept = *ParseSExpr("A(B,C(D))");
+  LabeledTree transient = *ParseSExpr("X(Y,Z)");
+  with_removal.Update(kept);
+  with_removal.Update(transient);
+  with_removal.Update(transient);
+  with_removal.Remove(transient);
+  with_removal.Remove(transient);
+  reference.Update(kept);
+
+  // After removing both transient copies, every estimate matches a
+  // sketch that never saw them — bit-exact, since the sketches share
+  // seeds and the updates cancel.
+  for (const char* text : {"A(B)", "A(B,C)", "X(Y)", "C(D)", "X(Y,Z)"}) {
+    LabeledTree query = *ParseSExpr(text);
+    EXPECT_DOUBLE_EQ(*with_removal.EstimateCountOrdered(query),
+                     *reference.EstimateCountOrdered(query))
+        << text;
+  }
+  EXPECT_EQ(with_removal.Stats().patterns_processed,
+            reference.Stats().patterns_processed);
+  EXPECT_EQ(with_removal.Stats().trees_processed, 1u);
+}
+
+TEST(TurnstileTest, RemoveReturnsPatternCount) {
+  SketchTree sketch = *SketchTree::Create(TurnstileOptions());
+  LabeledTree tree = *ParseSExpr("A(B,C)");
+  uint64_t added = sketch.Update(tree);
+  EXPECT_EQ(sketch.Remove(tree), added);
+}
+
+TEST(TurnstileTest, SlidingWindowOverGeneratedStream) {
+  // Keep a window of the last 100 trees; estimates must track the exact
+  // counts of the window contents only.
+  SketchTreeOptions options = TurnstileOptions();
+  SketchTree sketch = *SketchTree::Create(options);
+  ExactCounter exact =
+      *ExactCounter::Create(options.fingerprint_degree, options.seed);
+
+  TreebankGenerator gen;
+  std::vector<LabeledTree> window;
+  constexpr int kTotal = 300;
+  constexpr size_t kWindow = 100;
+  for (int i = 0; i < kTotal; ++i) {
+    LabeledTree tree = gen.Next();
+    sketch.Update(tree);
+    window.push_back(std::move(tree));
+    if (window.size() > kWindow) {
+      sketch.Remove(window.front());
+      window.erase(window.begin());
+    }
+  }
+  for (const LabeledTree& tree : window) {
+    exact.Update(tree, options.max_pattern_edges);
+  }
+  for (const char* text : {"NP(DT,NN)", "S(NP,VP)", "VP(VBD)"}) {
+    LabeledTree query = *ParseSExpr(text);
+    double actual = static_cast<double>(exact.CountOrdered(query));
+    EXPECT_NEAR(*sketch.EstimateCountOrdered(query), actual,
+                0.3 * actual + 8.0)
+        << text;
+  }
+}
+
+TEST(TurnstileTest, RemoveWithTopKStaysConsistent) {
+  // With top-k enabled, deletions interact with tracked values through
+  // the same compensated estimates; point queries remain accurate.
+  SketchTreeOptions options = TurnstileOptions();
+  options.topk_size = 20;
+  SketchTree sketch = *SketchTree::Create(options);
+  LabeledTree heavy = *ParseSExpr("H(H,H)");
+  LabeledTree light = *ParseSExpr("L(M,N)");
+  for (int i = 0; i < 300; ++i) sketch.Update(heavy);
+  for (int i = 0; i < 40; ++i) sketch.Update(light);
+  for (int i = 0; i < 100; ++i) sketch.Remove(heavy);
+
+  EXPECT_NEAR(*sketch.EstimateCountOrdered(*ParseSExpr("H(H,H)")), 200.0,
+              30.0);
+  EXPECT_NEAR(*sketch.EstimateCountOrdered(*ParseSExpr("L(M,N)")), 40.0,
+              15.0);
+}
+
+}  // namespace
+}  // namespace sketchtree

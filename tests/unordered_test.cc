@@ -1,0 +1,100 @@
+#include "query/unordered.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+std::set<std::string> ArrangementStrings(const char* pattern_text,
+                                         size_t budget = 10000) {
+  Result<std::vector<LabeledTree>> arrangements =
+      OrderedArrangements(*ParseSExpr(pattern_text), budget);
+  EXPECT_TRUE(arrangements.ok()) << arrangements.status().ToString();
+  std::set<std::string> out;
+  for (const LabeledTree& tree : *arrangements) {
+    EXPECT_TRUE(out.insert(TreeToSExpr(tree)).second) << "duplicate";
+  }
+  return out;
+}
+
+TEST(UnorderedTest, SingleNodeHasOneArrangement) {
+  EXPECT_EQ(ArrangementStrings("A"),
+            (std::set<std::string>{"A"}));
+}
+
+TEST(UnorderedTest, TwoDistinctChildrenSwap) {
+  EXPECT_EQ(ArrangementStrings("A(B,C)"),
+            (std::set<std::string>{"A(B,C)", "A(C,B)"}));
+}
+
+TEST(UnorderedTest, FigureFourShapeHasFourArrangements) {
+  // Section 3.3 / Figure 4: an unordered pattern with two independent
+  // binary choices yields 4 ordered arrangements.
+  std::set<std::string> arrangements = ArrangementStrings("A(B,C(D,E))");
+  EXPECT_EQ(arrangements.size(), 4u);
+  EXPECT_TRUE(arrangements.count("A(B,C(D,E))"));
+  EXPECT_TRUE(arrangements.count("A(B,C(E,D))"));
+  EXPECT_TRUE(arrangements.count("A(C(D,E),B)"));
+  EXPECT_TRUE(arrangements.count("A(C(E,D),B)"));
+}
+
+TEST(UnorderedTest, EqualSiblingsDeduplicate) {
+  EXPECT_EQ(ArrangementStrings("A(B,B)").size(), 1u);
+  EXPECT_EQ(ArrangementStrings("A(B(C),B(C))").size(), 1u);
+  // Equal labels, different subtrees: 2 distinct orders.
+  EXPECT_EQ(ArrangementStrings("A(B(C),B(D))").size(), 2u);
+}
+
+TEST(UnorderedTest, ThreeDistinctChildren) {
+  EXPECT_EQ(ArrangementStrings("A(B,C,D)").size(), 6u);
+}
+
+TEST(UnorderedTest, MixedDuplicates) {
+  // Children {B, B, C}: 3!/2! = 3 distinct orders.
+  EXPECT_EQ(ArrangementStrings("A(B,B,C)").size(), 3u);
+}
+
+TEST(UnorderedTest, NestedPermutationsMultiply) {
+  // Root children {B(X,Y), C}: 2 top-level orders x 2 inner orders = 4.
+  EXPECT_EQ(ArrangementStrings("A(B(X,Y),C)").size(), 4u);
+}
+
+TEST(UnorderedTest, BudgetEnforced) {
+  // 5 distinct children => 120 arrangements > budget 50.
+  Result<std::vector<LabeledTree>> r =
+      OrderedArrangements(*ParseSExpr("A(B,C,D,E,F)"), 50);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(UnorderedTest, EmptyPatternRejected) {
+  LabeledTree empty;
+  EXPECT_FALSE(OrderedArrangements(empty).ok());
+}
+
+TEST(UnorderedTest, OriginalOrderingIsAlwaysIncluded) {
+  std::set<std::string> arrangements = ArrangementStrings("S(NP,VP(V,NP))");
+  EXPECT_TRUE(arrangements.count("S(NP,VP(V,NP))"));
+}
+
+TEST(CopySubtreeTest, CopiesDeepStructure) {
+  LabeledTree src = *ParseSExpr("A(B(C,D),E)");
+  LabeledTree dst;
+  auto root = dst.AddNode("ROOT", LabeledTree::kInvalidNode);
+  CopySubtree(&dst, root, src, src.children(src.root())[0]);
+  EXPECT_EQ(TreeToSExpr(dst), "ROOT(B(C,D))");
+}
+
+TEST(CopySubtreeTest, CopyAsRoot) {
+  LabeledTree src = *ParseSExpr("A(B)");
+  LabeledTree dst;
+  CopySubtree(&dst, LabeledTree::kInvalidNode, src, src.root());
+  EXPECT_TRUE(dst == src);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,158 @@
+#include "stream/virtual_streams.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sketchtree {
+namespace {
+
+VirtualStreamsOptions SmallOptions() {
+  VirtualStreamsOptions options;
+  options.num_streams = 7;
+  options.s1 = 200;
+  options.s2 = 7;
+  options.independence = 8;
+  options.seed = 42;
+  return options;
+}
+
+TEST(IsPrimeTest, KnownValues) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(229));  // The paper's virtual stream count.
+  EXPECT_FALSE(IsPrime(230));
+  EXPECT_TRUE(IsPrime(1000003));
+}
+
+TEST(VirtualStreamsTest, CreateValidatesOptions) {
+  VirtualStreamsOptions options = SmallOptions();
+  options.num_streams = 6;  // Not prime.
+  EXPECT_FALSE(VirtualStreams::Create(options).ok());
+
+  options = SmallOptions();
+  options.num_streams = 0;
+  EXPECT_FALSE(VirtualStreams::Create(options).ok());
+
+  options = SmallOptions();
+  options.s1 = 0;
+  EXPECT_FALSE(VirtualStreams::Create(options).ok());
+
+  options = SmallOptions();
+  options.independence = 2;
+  EXPECT_FALSE(VirtualStreams::Create(options).ok());
+
+  options = SmallOptions();
+  options.topk_probability = 1.5;
+  EXPECT_FALSE(VirtualStreams::Create(options).ok());
+
+  EXPECT_TRUE(VirtualStreams::Create(SmallOptions()).ok());
+}
+
+TEST(VirtualStreamsTest, SingleStreamAllowed) {
+  VirtualStreamsOptions options = SmallOptions();
+  options.num_streams = 1;
+  Result<VirtualStreams> streams = VirtualStreams::Create(options);
+  ASSERT_TRUE(streams.ok());
+  streams->Insert(12345);
+  EXPECT_EQ(streams->ResidueOf(12345), 0u);
+}
+
+TEST(VirtualStreamsTest, RoutingByResidue) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  EXPECT_EQ(streams.ResidueOf(0), 0u);
+  EXPECT_EQ(streams.ResidueOf(8), 1u);
+  EXPECT_EQ(streams.ResidueOf(13), 6u);
+}
+
+TEST(VirtualStreamsTest, PointEstimatesAcrossStreams) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  // Values in different residue classes.
+  for (int i = 0; i < 60; ++i) streams.Insert(14);  // Residue 0.
+  for (int i = 0; i < 25; ++i) streams.Insert(15);  // Residue 1.
+  for (int i = 0; i < 9; ++i) streams.Insert(16);   // Residue 2.
+  EXPECT_EQ(streams.values_inserted(), 94u);
+  EXPECT_NEAR(streams.EstimatePoint(14), 60.0, 10.0);
+  EXPECT_NEAR(streams.EstimatePoint(15), 25.0, 10.0);
+  EXPECT_NEAR(streams.EstimatePoint(16), 9.0, 10.0);
+  EXPECT_NEAR(streams.EstimatePoint(999999), 0.0, 10.0);
+}
+
+TEST(VirtualStreamsTest, PartitioningIsolatesHeavyValues) {
+  // A very heavy value in stream 0 must not disturb the estimate of a
+  // light value in stream 1 at all (disjoint sketches) — the Section 5.3
+  // self-join-size reduction in its purest form.
+  VirtualStreamsOptions options = SmallOptions();
+  options.s1 = 30;  // Deliberately small so noise would show.
+  VirtualStreams streams = *VirtualStreams::Create(options);
+  for (int i = 0; i < 100000; ++i) streams.Insert(7);  // Residue 0.
+  for (int i = 0; i < 10; ++i) streams.Insert(8);      // Residue 1.
+  EXPECT_DOUBLE_EQ(streams.EstimatePoint(8), 10.0);
+}
+
+TEST(VirtualStreamsTest, SumEstimateSpansStreams) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  for (int i = 0; i < 40; ++i) streams.Insert(14);
+  for (int i = 0; i < 22; ++i) streams.Insert(15);
+  EXPECT_NEAR(streams.EstimateSum({14, 15}), 62.0, 12.0);
+}
+
+TEST(VirtualStreamsTest, SumWithinOneStreamDoesNotDoubleCount) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  // 14 and 21 share residue 0: the combined X must count stream 0 once.
+  for (int i = 0; i < 40; ++i) streams.Insert(14);
+  for (int i = 0; i < 20; ++i) streams.Insert(21);
+  EXPECT_NEAR(streams.EstimateSum({14, 21}), 60.0, 12.0);
+}
+
+TEST(VirtualStreamsTest, ProductEstimateAcrossStreams) {
+  VirtualStreamsOptions options = SmallOptions();
+  options.s1 = 1500;
+  VirtualStreams streams = *VirtualStreams::Create(options);
+  for (int i = 0; i < 30; ++i) streams.Insert(14);
+  for (int i = 0; i < 11; ++i) streams.Insert(15);
+  EXPECT_NEAR(streams.EstimateProduct({14, 15}), 330.0, 180.0);
+}
+
+TEST(VirtualStreamsTest, TopKCompensationKeepsPointEstimatesExactish) {
+  VirtualStreamsOptions options = SmallOptions();
+  options.topk_capacity = 4;
+  VirtualStreams streams = *VirtualStreams::Create(options);
+  for (int i = 0; i < 500; ++i) streams.Insert(14);
+  for (int i = 0; i < 30; ++i) streams.Insert(15);
+  // 14 is tracked (deleted from sketches); estimation must compensate.
+  const TopKTracker* tracker = streams.topk(streams.ResidueOf(14));
+  ASSERT_NE(tracker, nullptr);
+  EXPECT_TRUE(tracker->TrackedFrequency(14).has_value());
+  EXPECT_NEAR(streams.EstimatePoint(14), 500.0, 25.0);
+  EXPECT_NEAR(streams.EstimatePoint(15), 30.0, 25.0);
+}
+
+TEST(VirtualStreamsTest, TopKDisabledByDefault) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  EXPECT_EQ(streams.topk(0), nullptr);
+}
+
+TEST(VirtualStreamsTest, MemoryAccounting) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  // 7 streams x 200 x 7 instances x 16 bytes.
+  EXPECT_EQ(streams.MemoryBytes(), 7u * 200u * 7u * 16u);
+}
+
+TEST(VirtualStreamsTest, DeterministicAcrossInstances) {
+  VirtualStreams a = *VirtualStreams::Create(SmallOptions());
+  VirtualStreams b = *VirtualStreams::Create(SmallOptions());
+  for (uint64_t v = 0; v < 200; ++v) {
+    a.Insert(v % 13);
+    b.Insert(v % 13);
+  }
+  for (uint64_t v = 0; v < 13; ++v) {
+    EXPECT_DOUBLE_EQ(a.EstimatePoint(v), b.EstimatePoint(v));
+  }
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,146 @@
+#include "datagen/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/treebank_gen.h"
+#include "query/pattern_query.h"
+
+namespace sketchtree {
+namespace {
+
+constexpr int kMaxEdges = 3;
+
+/// Builds a small TREEBANK-like workload via the two-pass protocol.
+struct Fixture {
+  Fixture() : exact(*ExactCounter::Create(31, 42)) {
+    TreebankGenerator pass1;
+    for (int i = 0; i < 300; ++i) exact.Update(pass1.Next(), kMaxEdges);
+  }
+
+  Workload BuildWorkload(std::vector<SelectivityRange> ranges,
+                         size_t max_per_range) {
+    WorkloadBuilder builder(&exact, std::move(ranges), max_per_range,
+                            /*seed=*/7, /*acceptance_probability=*/0.5);
+    TreebankGenerator pass2;  // Same seed: replays the same stream.
+    for (int i = 0; i < 300 && !builder.Full(); ++i) {
+      builder.Collect(pass2.Next(), kMaxEdges);
+    }
+    return builder.Build();
+  }
+
+  ExactCounter exact;
+};
+
+TEST(WorkloadTest, QueriesLandInRequestedRanges) {
+  Fixture fixture;
+  std::vector<SelectivityRange> ranges = {{0.0005, 0.002}, {0.002, 0.01}};
+  Workload workload = fixture.BuildWorkload(ranges, 10);
+  ASSERT_FALSE(workload.queries.empty());
+  for (const WorkloadQuery& query : workload.queries) {
+    bool in_some_range = false;
+    for (const SelectivityRange& range : ranges) {
+      if (range.Contains(query.selectivity)) in_some_range = true;
+    }
+    EXPECT_TRUE(in_some_range) << query.selectivity;
+  }
+}
+
+TEST(WorkloadTest, GroundTruthIsConsistent) {
+  Fixture fixture;
+  Workload workload = fixture.BuildWorkload({{0.0005, 0.01}}, 15);
+  ASSERT_FALSE(workload.queries.empty());
+  double total = static_cast<double>(fixture.exact.total_patterns());
+  for (WorkloadQuery& query : workload.queries) {
+    // The stored count matches re-querying the exact counter, and the
+    // selectivity is count / total.
+    EXPECT_EQ(fixture.exact.CountOrdered(query.pattern),
+              query.actual_count);
+    EXPECT_DOUBLE_EQ(query.selectivity, query.actual_count / total);
+    // Workload patterns respect the enumeration size limit.
+    EXPECT_LE(PatternEdgeCount(query.pattern), kMaxEdges);
+    EXPECT_GT(query.actual_count, 0u);
+  }
+}
+
+TEST(WorkloadTest, QueriesAreDistinct) {
+  Fixture fixture;
+  Workload workload = fixture.BuildWorkload({{0.0005, 0.01}}, 25);
+  std::set<uint64_t> values;
+  for (WorkloadQuery& query : workload.queries) {
+    EXPECT_TRUE(
+        values.insert(fixture.exact.MapPattern(query.pattern)).second);
+  }
+}
+
+TEST(WorkloadTest, RespectsPerRangeCap) {
+  Fixture fixture;
+  std::vector<SelectivityRange> ranges = {{0.0, 0.5}};
+  Workload workload = fixture.BuildWorkload(ranges, 5);
+  EXPECT_LE(workload.queries.size(), 5u);
+}
+
+TEST(WorkloadTest, QueriesInRangeIndexesCorrectly) {
+  Fixture fixture;
+  std::vector<SelectivityRange> ranges = {{0.0005, 0.002}, {0.002, 0.01}};
+  Workload workload = fixture.BuildWorkload(ranges, 10);
+  size_t indexed = 0;
+  for (size_t r = 0; r < ranges.size(); ++r) {
+    for (size_t q : workload.QueriesInRange(r)) {
+      EXPECT_TRUE(ranges[r].Contains(workload.queries[q].selectivity));
+      ++indexed;
+    }
+  }
+  EXPECT_EQ(indexed, workload.queries.size());
+}
+
+TEST(WorkloadTest, SumWorkloadActualsAndDistinctness) {
+  Fixture fixture;
+  Workload base = fixture.BuildWorkload({{0.0005, 0.01}}, 20);
+  ASSERT_GE(base.queries.size(), 3u);
+  uint64_t total = fixture.exact.total_patterns();
+  std::vector<CompositeQuery> sums =
+      MakeSumWorkload(base, /*arity=*/3, /*count=*/50, total, /*seed=*/5);
+  ASSERT_EQ(sums.size(), 50u);
+  for (const CompositeQuery& composite : sums) {
+    ASSERT_EQ(composite.components.size(), 3u);
+    std::set<size_t> unique(composite.components.begin(),
+                            composite.components.end());
+    EXPECT_EQ(unique.size(), 3u);
+    uint64_t expected = 0;
+    for (size_t q : composite.components) {
+      expected += base.queries[q].actual_count;
+    }
+    EXPECT_EQ(composite.actual, expected);
+    EXPECT_DOUBLE_EQ(composite.selectivity,
+                     static_cast<double>(expected) / total);
+  }
+}
+
+TEST(WorkloadTest, ProductWorkloadActuals) {
+  Fixture fixture;
+  Workload base = fixture.BuildWorkload({{0.0005, 0.01}}, 20);
+  ASSERT_GE(base.queries.size(), 2u);
+  uint64_t total = fixture.exact.total_patterns();
+  std::vector<CompositeQuery> products =
+      MakeProductWorkload(base, /*count=*/30, total, /*seed=*/6);
+  ASSERT_EQ(products.size(), 30u);
+  for (const CompositeQuery& composite : products) {
+    ASSERT_EQ(composite.components.size(), 2u);
+    EXPECT_NE(composite.components[0], composite.components[1]);
+    uint64_t expected = base.queries[composite.components[0]].actual_count *
+                        base.queries[composite.components[1]].actual_count;
+    EXPECT_EQ(composite.actual, expected);
+  }
+}
+
+TEST(WorkloadTest, CompositeWorkloadNeedsEnoughBaseQueries) {
+  Workload tiny;
+  tiny.ranges = {{0.0, 1.0}};
+  EXPECT_TRUE(MakeSumWorkload(tiny, 3, 10, 100, 1).empty());
+  EXPECT_TRUE(MakeProductWorkload(tiny, 10, 100, 1).empty());
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,61 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sketchtree {
+namespace {
+
+TEST(ZipfTest, SamplesWithinDomain) {
+  ZipfSampler zipf(17, 1.0);
+  Pcg64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 17u);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  constexpr size_t kN = 8;
+  constexpr int kSamples = 80000;
+  ZipfSampler zipf(kN, 0.0);
+  Pcg64 rng(11);
+  std::vector<int> histogram(kN, 0);
+  for (int i = 0; i < kSamples; ++i) ++histogram[zipf.Sample(rng)];
+  for (size_t r = 0; r < kN; ++r) {
+    EXPECT_NEAR(histogram[r], kSamples / kN, 600) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, HighThetaIsSkewed) {
+  ZipfSampler zipf(100, 1.2);
+  Pcg64 rng(13);
+  std::vector<int> histogram(100, 0);
+  for (int i = 0; i < 50000; ++i) ++histogram[zipf.Sample(rng)];
+  // Rank 0 should dominate every other rank and hold a large share.
+  for (size_t r = 1; r < 100; ++r) {
+    EXPECT_GE(histogram[0], histogram[r]);
+  }
+  EXPECT_GT(histogram[0], 50000 / 10);  // > 10% of all mass on rank 0.
+}
+
+TEST(ZipfTest, ExpectedHeadProbabilityMatchesTheory) {
+  // For n=2, theta=1: P(0) = (1/1) / (1/1 + 1/2) = 2/3.
+  ZipfSampler zipf(2, 1.0);
+  Pcg64 rng(17);
+  int zeros = 0;
+  constexpr int kSamples = 90000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Sample(rng) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / kSamples, 2.0 / 3.0, 0.01);
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  ZipfSampler zipf(1, 2.0);
+  Pcg64 rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,267 @@
+// sketchtree_cli — command-line front end for building, persisting, and
+// querying SketchTree synopses over XML forests.
+//
+//   sketchtree_cli build --input forest.xml --output synopsis.bin
+//                        [--k 4] [--s1 50] [--s2 7] [--streams 229]
+//                        [--topk 100] [--summary] [--seed 42]
+//   sketchtree_cli query    --synopsis synopsis.bin --pattern "A(B,C)"
+//                           [--unordered]
+//   sketchtree_cli extended --synopsis synopsis.bin --query "A(//B,*)"
+//   sketchtree_cli expr     --synopsis synopsis.bin
+//                           --expression "COUNT_ORD(A(B)) * COUNT_ORD(C)"
+//   sketchtree_cli stats    --synopsis synopsis.bin
+//
+// The input forest is one XML document whose root's children are the
+// stream trees (the paper's Section 7.2 construction). The synopsis file
+// is the self-contained binary produced by SketchTree::SaveToFile; a
+// build can be resumed by loading it and streaming more documents.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sketch_tree.h"
+#include "query/pattern_query.h"
+#include "xml/xml_tree_reader.h"
+
+namespace {
+
+using namespace sketchtree;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  bool HasFlag(const std::string& name) const {
+    for (const std::string& flag : flags) {
+      if (flag == name) return true;
+    }
+    return false;
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+
+  long GetLong(const std::string& name, long fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : std::atol(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sketchtree_cli build --input FOREST.xml --output SYNOPSIS.bin\n"
+      "        [--k N] [--s1 N] [--s2 N] [--streams PRIME] [--topk N]\n"
+      "        [--summary] [--seed N] [--append SYNOPSIS.bin]\n"
+      "  sketchtree_cli query --synopsis SYNOPSIS.bin --pattern PAT\n"
+      "        [--unordered]\n"
+      "  sketchtree_cli extended --synopsis SYNOPSIS.bin --query EXTPAT\n"
+      "  sketchtree_cli expr --synopsis SYNOPSIS.bin --expression EXPR\n"
+      "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
+      "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n");
+  return EXIT_FAILURE;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return EXIT_FAILURE;
+}
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" +
+                                     std::string(arg) + "'");
+    }
+    std::string name(arg.substr(2));
+    // Boolean flags take no value; everything else consumes the next arg.
+    if (name == "summary" || name == "unordered") {
+      args.flags.push_back(name);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("--" + name + " needs a value");
+    }
+    args.options[name] = argv[++i];
+  }
+  return args;
+}
+
+int RunBuild(const Args& args) {
+  std::string input = args.Get("input");
+  std::string output = args.Get("output");
+  if (input.empty() || output.empty()) return Usage();
+
+  Result<SketchTree> sketch_result = [&]() -> Result<SketchTree> {
+    std::string append = args.Get("append");
+    if (!append.empty()) return SketchTree::LoadFromFile(append);
+    SketchTreeOptions options;
+    options.max_pattern_edges = static_cast<int>(args.GetLong("k", 4));
+    options.s1 = static_cast<int>(args.GetLong("s1", 50));
+    options.s2 = static_cast<int>(args.GetLong("s2", 7));
+    options.num_virtual_streams =
+        static_cast<uint32_t>(args.GetLong("streams", 229));
+    options.topk_size = static_cast<size_t>(args.GetLong("topk", 100));
+    options.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+    options.build_structural_summary = args.HasFlag("summary");
+    return SketchTree::Create(options);
+  }();
+  if (!sketch_result.ok()) return Fail(sketch_result.status());
+  SketchTree sketch = std::move(sketch_result).value();
+
+  // Stream tree-at-a-time: only the current document is materialized.
+  uint64_t trees = 0;
+  uint64_t patterns = 0;
+  Status stream_status =
+      StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
+        patterns += sketch.Update(tree);
+        ++trees;
+        return Status::OK();
+      });
+  if (!stream_status.ok()) return Fail(stream_status);
+  std::printf("streamed %llu trees (%llu patterns) from %s\n",
+              static_cast<unsigned long long>(trees),
+              static_cast<unsigned long long>(patterns), input.c_str());
+
+  Status save = sketch.SaveToFile(output);
+  if (!save.ok()) return Fail(save);
+  SketchTreeStats stats = sketch.Stats();
+  std::printf("synopsis written to %s (%zu bytes in memory, %llu trees "
+              "total)\n",
+              output.c_str(), stats.memory_bytes,
+              static_cast<unsigned long long>(stats.trees_processed));
+  return EXIT_SUCCESS;
+}
+
+int RunQuery(const Args& args) {
+  std::string synopsis = args.Get("synopsis");
+  std::string pattern_text = args.Get("pattern");
+  if (synopsis.empty() || pattern_text.empty()) return Usage();
+  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
+  if (!sketch.ok()) return Fail(sketch.status());
+  Result<LabeledTree> pattern = ParsePatternQuery(
+      pattern_text, sketch->options().max_pattern_edges);
+  if (!pattern.ok()) return Fail(pattern.status());
+  Result<double> estimate = args.HasFlag("unordered")
+                                ? sketch->EstimateCount(*pattern)
+                                : sketch->EstimateCountOrdered(*pattern);
+  if (!estimate.ok()) return Fail(estimate.status());
+  std::printf("%s(%s) ~= %.1f\n",
+              args.HasFlag("unordered") ? "COUNT" : "COUNT_ord",
+              pattern_text.c_str(), *estimate);
+  return EXIT_SUCCESS;
+}
+
+int RunExtended(const Args& args) {
+  std::string synopsis = args.Get("synopsis");
+  std::string query_text = args.Get("query");
+  if (synopsis.empty() || query_text.empty()) return Usage();
+  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
+  if (!sketch.ok()) return Fail(sketch.status());
+  Result<double> estimate = sketch->EstimateExtended(query_text);
+  if (!estimate.ok()) return Fail(estimate.status());
+  std::printf("COUNT_ord(%s) ~= %.1f\n", query_text.c_str(), *estimate);
+  return EXIT_SUCCESS;
+}
+
+int RunExpr(const Args& args) {
+  std::string synopsis = args.Get("synopsis");
+  std::string expression = args.Get("expression");
+  if (synopsis.empty() || expression.empty()) return Usage();
+  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
+  if (!sketch.ok()) return Fail(sketch.status());
+  Result<double> estimate = sketch->EstimateExpression(expression);
+  if (!estimate.ok()) return Fail(estimate.status());
+  std::printf("%s ~= %.1f\n", expression.c_str(), *estimate);
+  return EXIT_SUCCESS;
+}
+
+int RunMerge(const Args& args) {
+  std::string output = args.Get("output");
+  std::string inputs = args.Get("inputs");
+  if (output.empty() || inputs.empty()) return Usage();
+  // --inputs is a comma-separated list of synopsis files.
+  std::vector<std::string> paths;
+  size_t start = 0;
+  while (start <= inputs.size()) {
+    size_t comma = inputs.find(',', start);
+    if (comma == std::string::npos) comma = inputs.size();
+    if (comma > start) paths.push_back(inputs.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (paths.size() < 2) {
+    std::fprintf(stderr, "error: merge needs at least two inputs\n");
+    return EXIT_FAILURE;
+  }
+  Result<SketchTree> merged = SketchTree::LoadFromFile(paths[0]);
+  if (!merged.ok()) return Fail(merged.status());
+  for (size_t p = 1; p < paths.size(); ++p) {
+    Result<SketchTree> shard = SketchTree::LoadFromFile(paths[p]);
+    if (!shard.ok()) return Fail(shard.status());
+    Status st = merged->Merge(*shard);
+    if (!st.ok()) return Fail(st);
+  }
+  Status save = merged->SaveToFile(output);
+  if (!save.ok()) return Fail(save);
+  std::printf("merged %zu synopses into %s (%llu trees total)\n",
+              paths.size(), output.c_str(),
+              static_cast<unsigned long long>(
+                  merged->Stats().trees_processed));
+  return EXIT_SUCCESS;
+}
+
+int RunStats(const Args& args) {
+  std::string synopsis = args.Get("synopsis");
+  if (synopsis.empty()) return Usage();
+  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
+  if (!sketch.ok()) return Fail(sketch.status());
+  const SketchTreeOptions& options = sketch->options();
+  SketchTreeStats stats = sketch->Stats();
+  std::printf("synopsis: %s\n", synopsis.c_str());
+  std::printf("  k=%d s1=%d s2=%d streams=%u topk=%zu degree=%d seed=%llu\n",
+              options.max_pattern_edges, options.s1, options.s2,
+              options.num_virtual_streams, options.topk_size,
+              options.fingerprint_degree,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("  trees processed:    %llu\n",
+              static_cast<unsigned long long>(stats.trees_processed));
+  std::printf("  patterns processed: %llu\n",
+              static_cast<unsigned long long>(stats.patterns_processed));
+  std::printf("  tracked patterns:   %zu\n", stats.tracked_patterns);
+  std::printf("  memory:             %zu bytes\n", stats.memory_bytes);
+  if (sketch->summary() != nullptr) {
+    std::printf("  structural summary: %zu nodes%s\n",
+                sketch->summary()->num_nodes(),
+                sketch->summary()->saturated() ? " (saturated)" : "");
+  }
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<Args> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    return Usage();
+  }
+  if (args->command == "build") return RunBuild(*args);
+  if (args->command == "query") return RunQuery(*args);
+  if (args->command == "extended") return RunExtended(*args);
+  if (args->command == "expr") return RunExpr(*args);
+  if (args->command == "merge") return RunMerge(*args);
+  if (args->command == "stats") return RunStats(*args);
+  return Usage();
+}
