@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_countsketch.dir/bench_baseline_countsketch.cc.o"
+  "CMakeFiles/bench_baseline_countsketch.dir/bench_baseline_countsketch.cc.o.d"
+  "bench_baseline_countsketch"
+  "bench_baseline_countsketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_countsketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_expressions.dir/bench_fig12_expressions.cc.o"
+  "CMakeFiles/bench_fig12_expressions.dir/bench_fig12_expressions.cc.o.d"
+  "bench_fig12_expressions"
+  "bench_fig12_expressions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_expressions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

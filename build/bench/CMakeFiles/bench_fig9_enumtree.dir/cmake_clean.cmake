@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_enumtree.dir/bench_fig9_enumtree.cc.o"
+  "CMakeFiles/bench_fig9_enumtree.dir/bench_fig9_enumtree.cc.o.d"
+  "bench_fig9_enumtree"
+  "bench_fig9_enumtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_enumtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

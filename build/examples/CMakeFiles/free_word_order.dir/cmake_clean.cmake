@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/free_word_order.dir/free_word_order.cc.o"
+  "CMakeFiles/free_word_order.dir/free_word_order.cc.o.d"
+  "free_word_order"
+  "free_word_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/free_word_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

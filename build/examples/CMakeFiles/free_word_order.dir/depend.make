@@ -1,0 +1,2 @@
+# Empty dependencies file for free_word_order.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcfg_probability.dir/pcfg_probability.cc.o"
+  "CMakeFiles/pcfg_probability.dir/pcfg_probability.cc.o.d"
+  "pcfg_probability"
+  "pcfg_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcfg_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

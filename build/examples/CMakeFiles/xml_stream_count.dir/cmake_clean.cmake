@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_stream_count.dir/xml_stream_count.cc.o"
+  "CMakeFiles/xml_stream_count.dir/xml_stream_count.cc.o.d"
+  "xml_stream_count"
+  "xml_stream_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_stream_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

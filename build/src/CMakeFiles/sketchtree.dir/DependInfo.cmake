@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/sketchtree.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sketchtree.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/common/status.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/sketchtree.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/common/zipf.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/CMakeFiles/sketchtree.dir/core/serialization.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/core/serialization.cc.o.d"
+  "/root/repo/src/core/sketch_tree.cc" "src/CMakeFiles/sketchtree.dir/core/sketch_tree.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/core/sketch_tree.cc.o.d"
+  "/root/repo/src/datagen/dblp_gen.cc" "src/CMakeFiles/sketchtree.dir/datagen/dblp_gen.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/datagen/dblp_gen.cc.o.d"
+  "/root/repo/src/datagen/treebank_gen.cc" "src/CMakeFiles/sketchtree.dir/datagen/treebank_gen.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/datagen/treebank_gen.cc.o.d"
+  "/root/repo/src/datagen/workload.cc" "src/CMakeFiles/sketchtree.dir/datagen/workload.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/datagen/workload.cc.o.d"
+  "/root/repo/src/enumtree/compositions.cc" "src/CMakeFiles/sketchtree.dir/enumtree/compositions.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/enumtree/compositions.cc.o.d"
+  "/root/repo/src/enumtree/enum_tree.cc" "src/CMakeFiles/sketchtree.dir/enumtree/enum_tree.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/enumtree/enum_tree.cc.o.d"
+  "/root/repo/src/enumtree/pattern.cc" "src/CMakeFiles/sketchtree.dir/enumtree/pattern.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/enumtree/pattern.cc.o.d"
+  "/root/repo/src/exact/exact_counter.cc" "src/CMakeFiles/sketchtree.dir/exact/exact_counter.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/exact/exact_counter.cc.o.d"
+  "/root/repo/src/hashing/bch.cc" "src/CMakeFiles/sketchtree.dir/hashing/bch.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/hashing/bch.cc.o.d"
+  "/root/repo/src/hashing/gf2.cc" "src/CMakeFiles/sketchtree.dir/hashing/gf2.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/hashing/gf2.cc.o.d"
+  "/root/repo/src/hashing/kwise.cc" "src/CMakeFiles/sketchtree.dir/hashing/kwise.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/hashing/kwise.cc.o.d"
+  "/root/repo/src/hashing/label_hasher.cc" "src/CMakeFiles/sketchtree.dir/hashing/label_hasher.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/hashing/label_hasher.cc.o.d"
+  "/root/repo/src/hashing/pairing.cc" "src/CMakeFiles/sketchtree.dir/hashing/pairing.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/hashing/pairing.cc.o.d"
+  "/root/repo/src/hashing/rabin.cc" "src/CMakeFiles/sketchtree.dir/hashing/rabin.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/hashing/rabin.cc.o.d"
+  "/root/repo/src/pairs/pair_counter.cc" "src/CMakeFiles/sketchtree.dir/pairs/pair_counter.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/pairs/pair_counter.cc.o.d"
+  "/root/repo/src/prufer/prufer.cc" "src/CMakeFiles/sketchtree.dir/prufer/prufer.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/prufer/prufer.cc.o.d"
+  "/root/repo/src/query/expression.cc" "src/CMakeFiles/sketchtree.dir/query/expression.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/query/expression.cc.o.d"
+  "/root/repo/src/query/extended_query.cc" "src/CMakeFiles/sketchtree.dir/query/extended_query.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/query/extended_query.cc.o.d"
+  "/root/repo/src/query/pattern_query.cc" "src/CMakeFiles/sketchtree.dir/query/pattern_query.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/query/pattern_query.cc.o.d"
+  "/root/repo/src/query/unordered.cc" "src/CMakeFiles/sketchtree.dir/query/unordered.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/query/unordered.cc.o.d"
+  "/root/repo/src/sketch/ams_sketch.cc" "src/CMakeFiles/sketchtree.dir/sketch/ams_sketch.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/sketch/ams_sketch.cc.o.d"
+  "/root/repo/src/sketch/count_sketch.cc" "src/CMakeFiles/sketchtree.dir/sketch/count_sketch.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/sketch/count_sketch.cc.o.d"
+  "/root/repo/src/sketch/estimators.cc" "src/CMakeFiles/sketchtree.dir/sketch/estimators.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/sketch/estimators.cc.o.d"
+  "/root/repo/src/sketch/sketch_array.cc" "src/CMakeFiles/sketchtree.dir/sketch/sketch_array.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/sketch/sketch_array.cc.o.d"
+  "/root/repo/src/stats/error_stats.cc" "src/CMakeFiles/sketchtree.dir/stats/error_stats.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/stats/error_stats.cc.o.d"
+  "/root/repo/src/stats/parameter_planner.cc" "src/CMakeFiles/sketchtree.dir/stats/parameter_planner.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/stats/parameter_planner.cc.o.d"
+  "/root/repo/src/stream/virtual_streams.cc" "src/CMakeFiles/sketchtree.dir/stream/virtual_streams.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/stream/virtual_streams.cc.o.d"
+  "/root/repo/src/summary/structural_summary.cc" "src/CMakeFiles/sketchtree.dir/summary/structural_summary.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/summary/structural_summary.cc.o.d"
+  "/root/repo/src/topk/topk_tracker.cc" "src/CMakeFiles/sketchtree.dir/topk/topk_tracker.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/topk/topk_tracker.cc.o.d"
+  "/root/repo/src/tree/labeled_tree.cc" "src/CMakeFiles/sketchtree.dir/tree/labeled_tree.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/tree/labeled_tree.cc.o.d"
+  "/root/repo/src/tree/tree_builder.cc" "src/CMakeFiles/sketchtree.dir/tree/tree_builder.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/tree/tree_builder.cc.o.d"
+  "/root/repo/src/tree/tree_serialization.cc" "src/CMakeFiles/sketchtree.dir/tree/tree_serialization.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/tree/tree_serialization.cc.o.d"
+  "/root/repo/src/xml/sax_parser.cc" "src/CMakeFiles/sketchtree.dir/xml/sax_parser.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/xml/sax_parser.cc.o.d"
+  "/root/repo/src/xml/xml_tree_reader.cc" "src/CMakeFiles/sketchtree.dir/xml/xml_tree_reader.cc.o" "gcc" "src/CMakeFiles/sketchtree.dir/xml/xml_tree_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

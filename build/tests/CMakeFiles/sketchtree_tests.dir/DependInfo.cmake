@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ams_sketch_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/ams_sketch_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/ams_sketch_test.cc.o.d"
+  "/root/repo/tests/bch_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/bch_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/bch_test.cc.o.d"
+  "/root/repo/tests/compositions_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/compositions_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/compositions_test.cc.o.d"
+  "/root/repo/tests/count_sketch_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/count_sketch_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/count_sketch_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/enum_tree_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/enum_tree_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/enum_tree_test.cc.o.d"
+  "/root/repo/tests/error_stats_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/error_stats_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/error_stats_test.cc.o.d"
+  "/root/repo/tests/estimator_invariants_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/estimator_invariants_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/estimator_invariants_test.cc.o.d"
+  "/root/repo/tests/estimators_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/estimators_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/estimators_test.cc.o.d"
+  "/root/repo/tests/exact_counter_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/exact_counter_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/exact_counter_test.cc.o.d"
+  "/root/repo/tests/expression_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/expression_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/expression_test.cc.o.d"
+  "/root/repo/tests/extended_query_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/extended_query_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/extended_query_test.cc.o.d"
+  "/root/repo/tests/gf2_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/gf2_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/gf2_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/kwise_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/kwise_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/kwise_test.cc.o.d"
+  "/root/repo/tests/labeled_tree_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/labeled_tree_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/labeled_tree_test.cc.o.d"
+  "/root/repo/tests/merge_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/merge_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/merge_test.cc.o.d"
+  "/root/repo/tests/pair_counter_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/pair_counter_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/pair_counter_test.cc.o.d"
+  "/root/repo/tests/pairing_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/pairing_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/pairing_test.cc.o.d"
+  "/root/repo/tests/parameter_planner_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/parameter_planner_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/parameter_planner_test.cc.o.d"
+  "/root/repo/tests/pattern_query_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/pattern_query_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/pattern_query_test.cc.o.d"
+  "/root/repo/tests/pattern_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/pattern_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/pattern_test.cc.o.d"
+  "/root/repo/tests/prufer_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/prufer_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/prufer_test.cc.o.d"
+  "/root/repo/tests/rabin_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/rabin_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/rabin_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/robustness_test.cc.o.d"
+  "/root/repo/tests/sax_parser_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/sax_parser_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/sax_parser_test.cc.o.d"
+  "/root/repo/tests/serialization_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/serialization_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/serialization_test.cc.o.d"
+  "/root/repo/tests/sketch_array_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/sketch_array_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/sketch_array_test.cc.o.d"
+  "/root/repo/tests/sketch_tree_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/sketch_tree_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/sketch_tree_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/structural_summary_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/structural_summary_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/structural_summary_test.cc.o.d"
+  "/root/repo/tests/theorems_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/theorems_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/theorems_test.cc.o.d"
+  "/root/repo/tests/topk_tracker_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/topk_tracker_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/topk_tracker_test.cc.o.d"
+  "/root/repo/tests/tree_builder_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/tree_builder_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/tree_builder_test.cc.o.d"
+  "/root/repo/tests/tree_serialization_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/tree_serialization_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/tree_serialization_test.cc.o.d"
+  "/root/repo/tests/turnstile_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/turnstile_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/turnstile_test.cc.o.d"
+  "/root/repo/tests/unordered_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/unordered_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/unordered_test.cc.o.d"
+  "/root/repo/tests/virtual_streams_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/virtual_streams_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/virtual_streams_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/xml_tree_reader_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/xml_tree_reader_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/xml_tree_reader_test.cc.o.d"
+  "/root/repo/tests/zipf_test.cc" "tests/CMakeFiles/sketchtree_tests.dir/zipf_test.cc.o" "gcc" "tests/CMakeFiles/sketchtree_tests.dir/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sketchtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

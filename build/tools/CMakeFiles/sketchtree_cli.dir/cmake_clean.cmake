@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketchtree_cli.dir/sketchtree_cli.cc.o"
+  "CMakeFiles/sketchtree_cli.dir/sketchtree_cli.cc.o.d"
+  "sketchtree_cli"
+  "sketchtree_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketchtree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
