@@ -1,0 +1,271 @@
+// EXP-INGEST — ingestion throughput of the three pipeline layers added
+// by the batched-SoA / sharded-ingestion work:
+//
+//   1. kernel:   patterns/sec of the sketch-update path alone, on the
+//                same pattern-value stream —
+//                  aos-single : the pre-SoA layout (one heap-allocated
+//                               xi family per AMS instance, value-at-a-
+//                               time updates), rebuilt here as baseline;
+//                  soa-single : VirtualStreams::Insert per value over
+//                               the SoA counter/coefficient planes;
+//                  soa-batch  : VirtualStreams::InsertBatch per tree
+//                               (bucket by residue, batched Horner);
+//   2. end-to-end: trees/sec and patterns/sec of SketchTree::Update
+//                (EnumTree + canonical mapping + sketch update);
+//   3. sharded:  the same stream through ParallelIngester with 1, 2,
+//                and 4 worker replicas merged at the end.
+//
+// Settings follow bench_fig10_accuracy (TREEBANK, k=3, s1=50, s2=7,
+// p=23, top-k off so all three kernel variants do identical arithmetic).
+// Results are printed and written to BENCH_ingest.json in the working
+// directory to seed the repo's performance trajectory.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "hashing/label_hasher.h"
+#include "hashing/rabin.h"
+#include "ingest/parallel_ingester.h"
+#include "sketch/ams_sketch.h"
+#include "enumtree/enum_tree.h"
+#include "enumtree/pattern.h"
+#include "stream/virtual_streams.h"
+
+#include <thread>
+
+using namespace sketchtree;
+using namespace sketchtree::bench;
+
+namespace {
+
+constexpr int kTrees = 400;
+constexpr int kMaxEdges = 3;
+constexpr int kS1 = 50;
+constexpr int kS2 = 7;
+constexpr uint32_t kNumStreams = 23;  // bench_fig10_accuracy's p.
+constexpr uint64_t kSketchSeed = 42;
+constexpr int kKernelReps = 3;  // Repeat kernel passes; report the best.
+
+struct KernelResult {
+  double patterns_per_sec = 0.0;
+};
+
+/// Pre-SoA baseline: per virtual stream, a flat vector of AmsSketch
+/// instances (each owning its heap-allocated xi family), updated one
+/// value at a time — the exact shape of the old SketchArray::Update path.
+KernelResult RunAosSingle(const std::vector<std::vector<uint64_t>>& trees,
+                          uint64_t total_values) {
+  std::vector<std::vector<AmsSketch>> streams(kNumStreams);
+  for (auto& instances : streams) {
+    instances.reserve(static_cast<size_t>(kS1) * kS2);
+    for (int i = 0; i < kS2; ++i) {
+      for (int j = 0; j < kS1; ++j) {
+        instances.emplace_back(
+            DeriveSeed(kSketchSeed, static_cast<uint64_t>(i) * kS1 + j), 8);
+      }
+    }
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    WallTimer timer;
+    for (const std::vector<uint64_t>& values : trees) {
+      for (uint64_t v : values) {
+        for (AmsSketch& sketch : streams[v % kNumStreams]) sketch.Add(v);
+      }
+    }
+    double rate = total_values / timer.ElapsedSeconds();
+    if (rate > best) best = rate;
+  }
+  return {best};
+}
+
+VirtualStreams MakeStreams() {
+  VirtualStreamsOptions options;
+  options.num_streams = kNumStreams;
+  options.s1 = kS1;
+  options.s2 = kS2;
+  options.seed = kSketchSeed;
+  return *VirtualStreams::Create(options);
+}
+
+KernelResult RunSoaSingle(const std::vector<std::vector<uint64_t>>& trees,
+                          uint64_t total_values) {
+  VirtualStreams streams = MakeStreams();
+  double best = 0.0;
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    WallTimer timer;
+    for (const std::vector<uint64_t>& values : trees) {
+      for (uint64_t v : values) streams.Insert(v);
+    }
+    double rate = total_values / timer.ElapsedSeconds();
+    if (rate > best) best = rate;
+  }
+  return {best};
+}
+
+KernelResult RunSoaBatch(const std::vector<std::vector<uint64_t>>& trees,
+                         uint64_t total_values) {
+  VirtualStreams streams = MakeStreams();
+  double best = 0.0;
+  for (int rep = 0; rep < kKernelReps; ++rep) {
+    WallTimer timer;
+    for (const std::vector<uint64_t>& values : trees) {
+      streams.InsertBatch(values);
+    }
+    double rate = total_values / timer.ElapsedSeconds();
+    if (rate > best) best = rate;
+  }
+  return {best};
+}
+
+SketchTreeOptions EndToEndOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = kMaxEdges;
+  options.s1 = kS1;
+  options.s2 = kS2;
+  options.num_virtual_streams = kNumStreams;
+  options.fingerprint_degree = kDegree;
+  options.seed = kMappingSeed;
+  return options;
+}
+
+struct EndToEndResult {
+  double trees_per_sec = 0.0;
+  double patterns_per_sec = 0.0;
+};
+
+EndToEndResult RunSerial(const std::vector<LabeledTree>& trees) {
+  SketchTree sketch = *SketchTree::Create(EndToEndOptions());
+  WallTimer timer;
+  uint64_t patterns = 0;
+  for (const LabeledTree& tree : trees) patterns += sketch.Update(tree);
+  double seconds = timer.ElapsedSeconds();
+  return {trees.size() / seconds, patterns / seconds};
+}
+
+EndToEndResult RunParallel(const std::vector<LabeledTree>& trees,
+                           int num_threads) {
+  ParallelIngestOptions ingest_options;
+  ingest_options.num_threads = num_threads;
+  ParallelIngester ingester =
+      *ParallelIngester::Create(EndToEndOptions(), ingest_options);
+  WallTimer timer;
+  for (const LabeledTree& tree : trees) {
+    Status status = ingester.Add(tree);
+    if (!status.ok()) {
+      std::fprintf(stderr, "enqueue failed: %s\n",
+                   status.ToString().c_str());
+      return {};
+    }
+  }
+  Result<SketchTree> combined = ingester.Finish();
+  double seconds = timer.ElapsedSeconds();
+  if (!combined.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n",
+                 combined.status().ToString().c_str());
+    return {};
+  }
+  uint64_t patterns = combined->Stats().patterns_processed;
+  return {trees.size() / seconds, patterns / seconds};
+}
+
+}  // namespace
+
+int main() {
+  // Materialize the stream once, then extract each tree's pattern values
+  // so the kernel comparison excludes enumeration and mapping cost.
+  std::vector<LabeledTree> trees;
+  trees.reserve(kTrees);
+  ForEachTree(Dataset::kTreebank, kTrees,
+              [&](const LabeledTree& tree) { trees.push_back(tree); });
+
+  RabinFingerprinter fp =
+      *RabinFingerprinter::FromSeed(kDegree, kMappingSeed);
+  LabelHasher hasher(&fp);
+  PatternCanonicalizer canon(&fp, &hasher);
+  std::vector<std::vector<uint64_t>> tree_values;
+  tree_values.reserve(trees.size());
+  uint64_t total_values = 0;
+  for (const LabeledTree& tree : trees) {
+    std::vector<uint64_t> values;
+    EnumerateTreePatterns(
+        tree, kMaxEdges,
+        [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
+          values.push_back(canon.MapPatternEdges(tree, root, edges));
+        });
+    total_values += values.size();
+    tree_values.push_back(std::move(values));
+  }
+
+  std::printf("EXP-INGEST — TREEBANK, %d trees, k=%d, s1=%d, s2=%d, p=%u "
+              "(%llu pattern values; hardware threads: %u)\n",
+              kTrees, kMaxEdges, kS1, kS2, kNumStreams,
+              static_cast<unsigned long long>(total_values),
+              std::thread::hardware_concurrency());
+  PrintRule();
+
+  KernelResult aos = RunAosSingle(tree_values, total_values);
+  KernelResult soa_single = RunSoaSingle(tree_values, total_values);
+  KernelResult soa_batch = RunSoaBatch(tree_values, total_values);
+  double kernel_speedup = soa_batch.patterns_per_sec / aos.patterns_per_sec;
+  std::printf("kernel    aos-single   %12.0f patterns/s   (pre-SoA baseline)\n",
+              aos.patterns_per_sec);
+  std::printf("kernel    soa-single   %12.0f patterns/s   (%.2fx)\n",
+              soa_single.patterns_per_sec,
+              soa_single.patterns_per_sec / aos.patterns_per_sec);
+  std::printf("kernel    soa-batch    %12.0f patterns/s   (%.2fx)\n",
+              soa_batch.patterns_per_sec, kernel_speedup);
+  PrintRule();
+
+  EndToEndResult serial = RunSerial(trees);
+  std::printf("end2end   serial       %8.1f trees/s   %12.0f patterns/s\n",
+              serial.trees_per_sec, serial.patterns_per_sec);
+  const int thread_counts[] = {1, 2, 4};
+  EndToEndResult parallel[3];
+  for (int t = 0; t < 3; ++t) {
+    parallel[t] = RunParallel(trees, thread_counts[t]);
+    std::printf("end2end   %d-thread     %8.1f trees/s   %12.0f patterns/s"
+                "   (%.2fx vs serial)\n",
+                thread_counts[t], parallel[t].trees_per_sec,
+                parallel[t].patterns_per_sec,
+                parallel[t].trees_per_sec / serial.trees_per_sec);
+  }
+  PrintRule();
+
+  FILE* json = std::fopen("BENCH_ingest.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json,
+                 "  \"settings\": {\"dataset\": \"treebank\", \"trees\": %d, "
+                 "\"k\": %d, \"s1\": %d, \"s2\": %d, \"streams\": %u, "
+                 "\"pattern_values\": %llu, \"hardware_threads\": %u},\n",
+                 kTrees, kMaxEdges, kS1, kS2, kNumStreams,
+                 static_cast<unsigned long long>(total_values),
+                 std::thread::hardware_concurrency());
+    std::fprintf(json,
+                 "  \"kernel_patterns_per_sec\": {\"aos_single\": %.0f, "
+                 "\"soa_single\": %.0f, \"soa_batch\": %.0f},\n",
+                 aos.patterns_per_sec, soa_single.patterns_per_sec,
+                 soa_batch.patterns_per_sec);
+    std::fprintf(json, "  \"kernel_speedup_batch_vs_aos\": %.3f,\n",
+                 kernel_speedup);
+    std::fprintf(json,
+                 "  \"end_to_end_trees_per_sec\": {\"serial\": %.1f, "
+                 "\"threads_1\": %.1f, \"threads_2\": %.1f, "
+                 "\"threads_4\": %.1f},\n",
+                 serial.trees_per_sec, parallel[0].trees_per_sec,
+                 parallel[1].trees_per_sec, parallel[2].trees_per_sec);
+    std::fprintf(json,
+                 "  \"end_to_end_patterns_per_sec\": {\"serial\": %.0f, "
+                 "\"threads_1\": %.0f, \"threads_2\": %.0f, "
+                 "\"threads_4\": %.0f}\n",
+                 serial.patterns_per_sec, parallel[0].patterns_per_sec,
+                 parallel[1].patterns_per_sec, parallel[2].patterns_per_sec);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_ingest.json\n");
+  }
+  return 0;
+}

@@ -4,12 +4,14 @@
 // paper exhibit; supports the cost analysis of EXP-F9 and EXP-COST.
 #include <benchmark/benchmark.h>
 
+#include "common/rng.h"
 #include "core/sketch_tree.h"
 #include "datagen/dblp_gen.h"
 #include "datagen/treebank_gen.h"
 #include "enumtree/enum_tree.h"
 #include "enumtree/pattern.h"
 #include "hashing/pairing.h"
+#include "sketch/ams_sketch.h"
 #include "sketch/sketch_array.h"
 #include "stream/virtual_streams.h"
 
@@ -46,6 +48,47 @@ void BM_SketchArrayUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_SketchArrayUpdate)->Arg(25)->Arg(50)->Arg(75);
 
+// The pre-SoA layout — one heap-allocated xi family per AMS instance,
+// updated value-at-a-time — kept as the before/after baseline for the
+// structure-of-arrays kernel. Seeds match SketchArray's derivation, so
+// the work per update is identical; only the layout differs.
+void BM_AosSketchUpdate(benchmark::State& state) {
+  const int s1 = static_cast<int>(state.range(0));
+  const int s2 = 7;
+  std::vector<AmsSketch> instances;
+  instances.reserve(static_cast<size_t>(s1) * s2);
+  for (int i = 0; i < s2; ++i) {
+    for (int j = 0; j < s1; ++j) {
+      instances.emplace_back(
+          DeriveSeed(42, static_cast<uint64_t>(i) * s1 + j), 8);
+    }
+  }
+  uint64_t v = 0;
+  for (auto _ : state) {
+    ++v;
+    for (AmsSketch& sketch : instances) sketch.Add(v & 0x7FFFFFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AosSketchUpdate)->Arg(25)->Arg(50)->Arg(75);
+
+void BM_SketchArrayUpdateBatch(benchmark::State& state) {
+  SketchArray array(static_cast<int>(state.range(0)), 7, 8, 42);
+  std::vector<uint64_t> batch(static_cast<size_t>(state.range(1)));
+  uint64_t v = 0;
+  for (uint64_t& value : batch) value = (++v * 2654435761u) & 0x7FFFFFFF;
+  for (auto _ : state) {
+    array.UpdateBatch(batch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_SketchArrayUpdateBatch)
+    ->Args({25, 64})
+    ->Args({50, 64})
+    ->Args({75, 64})
+    ->Args({50, 512});
+
 void BM_SketchPointEstimate(benchmark::State& state) {
   SketchArray array(50, 7, 8, 42);
   for (uint64_t v = 0; v < 1000; ++v) array.Update(v * 2654435761u);
@@ -70,6 +113,23 @@ void BM_VirtualStreamInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VirtualStreamInsert)->Arg(0)->Arg(100);
+
+void BM_VirtualStreamInsertBatch(benchmark::State& state) {
+  VirtualStreamsOptions options;
+  options.num_streams = 229;
+  options.s1 = 50;
+  options.s2 = 7;
+  VirtualStreams streams = *VirtualStreams::Create(options);
+  std::vector<uint64_t> batch(static_cast<size_t>(state.range(0)));
+  uint64_t v = 0;
+  for (uint64_t& value : batch) value = (++v * 2654435761u) & 0x7FFFFFFF;
+  for (auto _ : state) {
+    streams.InsertBatch(batch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_VirtualStreamInsertBatch)->Arg(64)->Arg(512);
 
 void BM_EnumTreeTreebank(benchmark::State& state) {
   TreebankGenerator gen;

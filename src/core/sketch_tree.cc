@@ -72,25 +72,38 @@ Result<SketchTree> SketchTree::Create(const SketchTreeOptions& options) {
   return sketch;
 }
 
-uint64_t SketchTree::Update(const LabeledTree& tree) {
+uint64_t SketchTree::IngestTree(const LabeledTree& tree, double weight) {
+  // Collect the enumerated pattern values into the reusable per-tree
+  // buffer, then flush batches through the bucketed SoA kernel. Flushing
+  // in bounded chunks caps the buffer for enormous trees; order within
+  // each virtual stream is preserved, so the result is bit-identical to
+  // per-value insertion.
+  constexpr size_t kFlushValues = size_t{1} << 20;
+  pattern_values_.clear();
   uint64_t emitted = EnumerateTreePatterns(
       tree, options_.max_pattern_edges,
       [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
-        uint64_t value = canonicalizer_->MapPatternEdges(tree, root, edges);
-        streams_->Insert(value);
+        pattern_values_.push_back(
+            canonicalizer_->MapPatternEdges(tree, root, edges));
+        if (pattern_values_.size() >= kFlushValues) {
+          streams_->InsertBatch(pattern_values_, weight);
+          pattern_values_.clear();
+        }
       });
+  streams_->InsertBatch(pattern_values_, weight);
+  pattern_values_.clear();
+  return emitted;
+}
+
+uint64_t SketchTree::Update(const LabeledTree& tree) {
+  uint64_t emitted = IngestTree(tree, +1.0);
   if (summary_ != nullptr) summary_->Update(tree);
   ++trees_processed_;
   return emitted;
 }
 
 uint64_t SketchTree::Remove(const LabeledTree& tree) {
-  uint64_t removed = EnumerateTreePatterns(
-      tree, options_.max_pattern_edges,
-      [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
-        uint64_t value = canonicalizer_->MapPatternEdges(tree, root, edges);
-        streams_->Insert(value, -1.0);
-      });
+  uint64_t removed = IngestTree(tree, -1.0);
   if (trees_processed_ > 0) --trees_processed_;
   return removed;
 }
@@ -252,6 +265,7 @@ SketchTreeStats SketchTree::Stats() const {
   stats.trees_processed = trees_processed_;
   stats.patterns_processed = streams_->values_inserted();
   stats.memory_bytes = streams_->MemoryBytes();
+  stats.paper_memory_bytes = streams_->PaperMemoryBytes();
   for (uint32_t r = 0; r < options_.num_virtual_streams; ++r) {
     const TopKTracker* tracker = streams_->topk(r);
     if (tracker != nullptr) stats.tracked_patterns += tracker->size();

@@ -65,7 +65,8 @@ struct SketchTreeOptions {
 struct SketchTreeStats {
   uint64_t trees_processed = 0;
   uint64_t patterns_processed = 0;  ///< Values inserted into the stream.
-  size_t memory_bytes = 0;          ///< Sketches + seeds + top-k.
+  size_t memory_bytes = 0;          ///< Actual bytes: counters + xi coefficients + top-k.
+  size_t paper_memory_bytes = 0;    ///< Section 7.5 accounting: counters + seeds + top-k.
   size_t tracked_patterns = 0;      ///< Currently in top-k lists.
 };
 
@@ -199,6 +200,11 @@ class SketchTree {
   /// Validates a query pattern against k and returns its canonical value.
   Result<uint64_t> MapQuery(const LabeledTree& query);
 
+  /// Shared body of Update/Remove: enumerates the tree's patterns into
+  /// the reusable per-tree buffer and flushes it through the batched
+  /// sketch path with the given weight (+1 insert, -1 delete).
+  uint64_t IngestTree(const LabeledTree& tree, double weight);
+
   SketchTreeOptions options_;
   std::unique_ptr<RabinFingerprinter> fingerprinter_;
   std::unique_ptr<LabelHasher> hasher_;
@@ -206,6 +212,9 @@ class SketchTree {
   std::unique_ptr<VirtualStreams> streams_;
   std::unique_ptr<StructuralSummary> summary_;  // Null unless enabled.
   uint64_t trees_processed_ = 0;
+  /// Reusable per-tree buffer of enumerated pattern values; filled by
+  /// EnumTree and flushed through VirtualStreams::InsertBatch.
+  std::vector<uint64_t> pattern_values_;
 };
 
 }  // namespace sketchtree

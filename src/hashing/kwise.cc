@@ -6,21 +6,6 @@
 
 namespace sketchtree {
 
-namespace kwise_internal {
-
-uint64_t MulMod(uint64_t a, uint64_t b) {
-  // 2^61 = 1 (mod p) for p = 2^61 - 1, so a 122-bit product reduces by
-  // adding its high and low 61-bit halves.
-  unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
-  uint64_t low = static_cast<uint64_t>(prod) & KWiseHash::kPrime;
-  uint64_t high = static_cast<uint64_t>(prod >> 61);
-  uint64_t sum = low + high;
-  if (sum >= KWiseHash::kPrime) sum -= KWiseHash::kPrime;
-  return sum;
-}
-
-}  // namespace kwise_internal
-
 KWiseHash::KWiseHash(int independence, uint64_t seed) {
   assert(independence >= 2);
   Pcg64 rng(seed, /*stream=*/0xC0FFEE);

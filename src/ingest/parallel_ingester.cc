@@ -1,0 +1,99 @@
+#include "ingest/parallel_ingester.h"
+
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sketchtree {
+
+struct ParallelIngester::Shard {
+  explicit Shard(SketchTree sketch_in) : sketch(std::move(sketch_in)) {}
+  SketchTree sketch;
+  std::thread worker;
+};
+
+struct ParallelIngester::State {
+  explicit State(size_t queue_capacity) : queue(queue_capacity) {}
+  BoundedTreeQueue queue;
+  std::vector<std::unique_ptr<Shard>> shards;
+  uint64_t trees_enqueued = 0;
+  bool finished = false;
+};
+
+Result<ParallelIngester> ParallelIngester::Create(
+    const SketchTreeOptions& sketch_options,
+    const ParallelIngestOptions& ingest_options) {
+  if (ingest_options.num_threads < 1 || ingest_options.num_threads > 256) {
+    return Status::InvalidArgument("num_threads must be in [1, 256]");
+  }
+  auto state = std::make_unique<State>(ingest_options.queue_capacity);
+  state->shards.reserve(ingest_options.num_threads);
+  for (int t = 0; t < ingest_options.num_threads; ++t) {
+    // Every replica is built from the same options, so seeds — and with
+    // them the pattern mapping and all xi families — are shared across
+    // shards, which is what makes the final Merge exact.
+    SKETCHTREE_ASSIGN_OR_RETURN(SketchTree replica,
+                                SketchTree::Create(sketch_options));
+    state->shards.push_back(std::make_unique<Shard>(std::move(replica)));
+  }
+  for (auto& shard : state->shards) {
+    Shard* raw = shard.get();
+    BoundedTreeQueue* queue = &state->queue;
+    raw->worker = std::thread([raw, queue] {
+      while (std::optional<LabeledTree> tree = queue->Pop()) {
+        raw->sketch.Update(*tree);
+      }
+    });
+  }
+  return ParallelIngester(std::move(state));
+}
+
+ParallelIngester::ParallelIngester(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+ParallelIngester::ParallelIngester(ParallelIngester&&) noexcept = default;
+ParallelIngester& ParallelIngester::operator=(ParallelIngester&&) noexcept =
+    default;
+
+ParallelIngester::~ParallelIngester() {
+  if (state_ == nullptr || state_->finished) return;
+  state_->queue.Close();
+  for (auto& shard : state_->shards) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+Status ParallelIngester::Add(LabeledTree tree) {
+  if (state_->finished) {
+    return Status::InvalidArgument("Add after Finish");
+  }
+  if (!state_->queue.Push(std::move(tree))) {
+    return Status::Internal("ingest queue closed while adding");
+  }
+  ++state_->trees_enqueued;
+  return Status::OK();
+}
+
+Result<SketchTree> ParallelIngester::Finish() {
+  if (state_->finished) {
+    return Status::InvalidArgument("Finish already called");
+  }
+  state_->finished = true;
+  state_->queue.Close();
+  for (auto& shard : state_->shards) shard->worker.join();
+  SketchTree combined = std::move(state_->shards[0]->sketch);
+  for (size_t t = 1; t < state_->shards.size(); ++t) {
+    SKETCHTREE_RETURN_NOT_OK(combined.Merge(state_->shards[t]->sketch));
+  }
+  return combined;
+}
+
+int ParallelIngester::num_threads() const {
+  return static_cast<int>(state_->shards.size());
+}
+
+uint64_t ParallelIngester::trees_enqueued() const {
+  return state_->trees_enqueued;
+}
+
+}  // namespace sketchtree

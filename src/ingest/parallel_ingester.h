@@ -1,0 +1,80 @@
+#ifndef SKETCHTREE_INGEST_PARALLEL_INGESTER_H_
+#define SKETCHTREE_INGEST_PARALLEL_INGESTER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "core/sketch_tree.h"
+#include "ingest/tree_queue.h"
+
+namespace sketchtree {
+
+/// Configuration of the sharded ingestion pipeline.
+struct ParallelIngestOptions {
+  /// Worker threads, each owning one SketchTree replica. 1 still runs
+  /// the queue + worker machinery (useful for pipelining parse and
+  /// sketch work onto two cores).
+  int num_threads = 4;
+  /// Bound of the tree hand-off queue; back-pressure for the producer.
+  size_t queue_capacity = 256;
+};
+
+/// Parallel sharded ingestion of a tree stream (the scaling path the
+/// paper's Section 5.3 seed sharing enables): N workers each own a
+/// SketchTree replica built from identical options — hence identical
+/// Rabin polynomial and xi families — consume trees from a bounded MPMC
+/// queue, and the replicas are folded with SketchTree::Merge when the
+/// stream ends. By sketch linearity the merged counters equal the sums
+/// a single synopsis would hold; and because ±1 updates keep every
+/// counter an exactly-representable integer, the combined synopsis is
+/// bit-identical to serial ingestion whatever the shard assignment
+/// (without top-k tracking; with top-k, equivalence is up to the
+/// per-shard tracking documented at SketchTree::Merge).
+///
+/// Usage:
+///
+///   auto ingester = ParallelIngester::Create(options, {.num_threads = 4});
+///   for (LabeledTree& tree : stream) ingester->Add(std::move(tree));
+///   SketchTree combined = ingester->Finish().value();
+class ParallelIngester {
+ public:
+  static Result<ParallelIngester> Create(
+      const SketchTreeOptions& sketch_options,
+      const ParallelIngestOptions& ingest_options);
+
+  /// Joins any still-running workers (discarding their output) if
+  /// Finish was never called.
+  ~ParallelIngester();
+
+  // Movable (workers reference heap-allocated shared state, not `this`).
+  // Defined out of line where State is complete.
+  ParallelIngester(ParallelIngester&&) noexcept;
+  ParallelIngester& operator=(ParallelIngester&&) noexcept;
+  ParallelIngester(const ParallelIngester&) = delete;
+  ParallelIngester& operator=(const ParallelIngester&) = delete;
+
+  /// Enqueues one stream tree; blocks while the queue is full. Fails
+  /// once Finish has been called.
+  Status Add(LabeledTree tree);
+
+  /// Closes the stream, joins the workers, merges the shard replicas,
+  /// and returns the combined synopsis. One-shot: further Add/Finish
+  /// calls fail.
+  Result<SketchTree> Finish();
+
+  int num_threads() const;
+  /// Trees handed to workers so far (== successful Add calls).
+  uint64_t trees_enqueued() const;
+
+ private:
+  struct Shard;
+  struct State;
+
+  explicit ParallelIngester(std::unique_ptr<State> state);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_INGEST_PARALLEL_INGESTER_H_

@@ -1,0 +1,46 @@
+#include "ingest/tree_queue.h"
+
+namespace sketchtree {
+
+bool BoundedTreeQueue::Push(LabeledTree tree) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) return false;
+  items_.push_back(std::move(tree));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<LabeledTree> BoundedTreeQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return std::nullopt;  // Closed and drained.
+  LabeledTree tree = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return tree;
+}
+
+void BoundedTreeQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t BoundedTreeQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+bool BoundedTreeQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,53 @@
+#ifndef SKETCHTREE_INGEST_TREE_QUEUE_H_
+#define SKETCHTREE_INGEST_TREE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// Bounded multi-producer / multi-consumer queue of stream trees — the
+/// hand-off between the ingestion front end (XML reader, generator,
+/// network receiver) and the sharded sketch workers. Push blocks while
+/// the queue is full, so a fast producer cannot buffer an unbounded
+/// prefix of the stream; Pop blocks while it is empty, so workers idle
+/// without spinning.
+class BoundedTreeQueue {
+ public:
+  explicit BoundedTreeQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Enqueues one tree, blocking while the queue is full. Returns false
+  /// (dropping the tree) if the queue was closed.
+  bool Push(LabeledTree tree);
+
+  /// Dequeues one tree, blocking while the queue is empty. Returns
+  /// nullopt once the queue is closed *and* drained — the consumer's
+  /// end-of-stream signal.
+  std::optional<LabeledTree> Pop();
+
+  /// Marks the end of the stream and wakes every blocked producer and
+  /// consumer. Trees already queued are still delivered.
+  void Close();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<LabeledTree> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_INGEST_TREE_QUEUE_H_

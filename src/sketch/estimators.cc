@@ -29,16 +29,16 @@ double EstimateSum(const SketchArray& array,
                    const std::vector<uint64_t>& values) {
   return EstimateSumGeneric(
       array.s1(), array.s2(), values,
-      [&](int i, int j, uint64_t v) { return array.instance(i, j).Xi(v); },
-      [&](int i, int j) { return array.instance(i, j).value(); });
+      [&](int i, int j, uint64_t v) { return array.Xi(i, j, v); },
+      [&](int i, int j) { return array.value(i, j); });
 }
 
 double EstimateProduct(const SketchArray& array,
                        const std::vector<uint64_t>& values) {
   return EstimateProductGeneric(
       array.s1(), array.s2(), values,
-      [&](int i, int j, uint64_t v) { return array.instance(i, j).Xi(v); },
-      [&](int i, int j) { return array.instance(i, j).value(); });
+      [&](int i, int j, uint64_t v) { return array.Xi(i, j, v); },
+      [&](int i, int j) { return array.value(i, j); });
 }
 
 double Factorial(int m) {

@@ -1,6 +1,5 @@
 #include "sketch/sketch_array.h"
 
-#include <algorithm>
 #include <cassert>
 
 #include "common/rng.h"
@@ -8,52 +7,88 @@
 namespace sketchtree {
 
 SketchArray::SketchArray(int s1, int s2, int independence, uint64_t base_seed)
-    : s1_(s1), s2_(s2) {
-  assert(s1 >= 1 && s2 >= 1);
-  sketches_.reserve(static_cast<size_t>(s1) * s2);
-  for (int i = 0; i < s2; ++i) {
-    for (int j = 0; j < s1; ++j) {
-      uint64_t seed =
-          DeriveSeed(base_seed, static_cast<uint64_t>(i) * s1 + j);
-      sketches_.emplace_back(seed, independence);
+    : s1_(s1), s2_(s2), independence_(independence) {
+  assert(s1 >= 1 && s2 >= 1 && independence >= 2);
+  const size_t n = static_cast<size_t>(s1) * s2;
+  counters_.assign(n, 0.0);
+  coeffs_.resize(static_cast<size_t>(independence) * n);
+  scratch_.resize(n);
+  // Instance inst = i * s1 + j draws its coefficients from the same PRNG
+  // stream, in the same order, as a standalone KWiseHash seeded with
+  // DeriveSeed(base_seed, inst) — so the xi families (and therefore every
+  // estimate) are independent of the storage layout, and arrays sharing a
+  // base seed keep identical xi variables instance-by-instance.
+  for (size_t inst = 0; inst < n; ++inst) {
+    Pcg64 rng(DeriveSeed(base_seed, inst), /*stream=*/0xC0FFEE);
+    for (int c = 0; c < independence; ++c) {
+      coeffs_[static_cast<size_t>(c) * n + inst] =
+          rng.NextBounded(KWiseHash::kPrime);
     }
   }
 }
 
-void SketchArray::Update(uint64_t v, double weight) {
-  for (AmsSketch& sketch : sketches_) sketch.Add(v, weight);
+void SketchArray::UpdateBatch(std::span<const uint64_t> values,
+                              double weight) {
+  constexpr uint64_t kPrime = KWiseHash::kPrime;
+  const size_t n = num_instances();
+  uint64_t* acc = scratch_.data();
+  double* counters = counters_.data();
+  for (uint64_t v : values) {
+    // Fold into the field once per value (injective on [0, kPrime), which
+    // covers all degree-<=61 Rabin residues).
+    const uint64_t x = v % kPrime;
+    // Horner from the highest coefficient down, all instances in
+    // lockstep: acc starts at c_{k-1} (the first recurrence step from 0
+    // lands there), then k-1 rounds of acc = acc * x + c over contiguous
+    // coefficient rows.
+    const uint64_t* top =
+        coeffs_.data() + static_cast<size_t>(independence_ - 1) * n;
+    std::copy(top, top + n, acc);
+    for (int c = independence_ - 2; c >= 0; --c) {
+      const uint64_t* row = coeffs_.data() + static_cast<size_t>(c) * n;
+      for (size_t t = 0; t < n; ++t) {
+        uint64_t a = kwise_internal::MulMod(acc[t], x);
+        a += row[t];
+        if (a >= kPrime) a -= kPrime;
+        acc[t] = a;
+      }
+    }
+    // xi = ±1 from the low bit of h(v); counters move by weight * xi.
+    for (size_t t = 0; t < n; ++t) {
+      counters[t] += (acc[t] & 1) ? weight : -weight;
+    }
+  }
+}
+
+int SketchArray::Xi(int i, int j, uint64_t v) const {
+  constexpr uint64_t kPrime = KWiseHash::kPrime;
+  const size_t n = num_instances();
+  const size_t inst = Index(i, j);
+  const uint64_t x = v % kPrime;
+  uint64_t acc = 0;
+  for (int c = independence_ - 1; c >= 0; --c) {
+    acc = kwise_internal::MulMod(acc, x);
+    acc += coeffs_[static_cast<size_t>(c) * n + inst];
+    if (acc >= kPrime) acc -= kPrime;
+  }
+  return (acc & 1) ? +1 : -1;
 }
 
 double SketchArray::EstimatePoint(uint64_t v) const {
   return BoostedEstimate(s1_, s2_, [&](int i, int j) {
-    const AmsSketch& s = instance(i, j);
-    return s.Xi(v) * s.value();
+    return Xi(i, j, v) * value(i, j);
   });
 }
 
 size_t SketchArray::MemoryBytes() const {
-  // One double counter plus one 64-bit seed per instance (the xi variables
-  // themselves are recomputed from the seed, not stored — Section 3.1).
-  return sketches_.size() * (sizeof(double) + sizeof(uint64_t));
+  return counters_.size() * sizeof(double) +
+         coeffs_.size() * sizeof(uint64_t);
 }
 
-double BoostedEstimate(
-    int s1, int s2,
-    const std::function<double(int i, int j)>& per_instance) {
-  std::vector<double> medians;
-  medians.reserve(s2);
-  for (int i = 0; i < s2; ++i) {
-    double sum = 0.0;
-    for (int j = 0; j < s1; ++j) sum += per_instance(i, j);
-    medians.push_back(sum / s1);
-  }
-  size_t mid = medians.size() / 2;
-  std::nth_element(medians.begin(), medians.begin() + mid, medians.end());
-  if (medians.size() % 2 == 1) return medians[mid];
-  // Even s2: average the two middle values for a symmetric median.
-  double upper = medians[mid];
-  double lower = *std::max_element(medians.begin(), medians.begin() + mid);
-  return 0.5 * (lower + upper);
+size_t SketchArray::PaperMemoryBytes() const {
+  // One double counter plus one 64-bit seed per instance (the xi
+  // variables counted as recomputed from the seed — Section 3.1).
+  return counters_.size() * (sizeof(double) + sizeof(uint64_t));
 }
 
 }  // namespace sketchtree

@@ -1,11 +1,12 @@
 #ifndef SKETCHTREE_SKETCH_SKETCH_ARRAY_H_
 #define SKETCHTREE_SKETCH_SKETCH_ARRAY_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <span>
 #include <vector>
 
-#include "sketch/ams_sketch.h"
+#include "hashing/kwise.h"
 
 namespace sketchtree {
 
@@ -15,45 +16,99 @@ namespace sketchtree {
 /// j in [0, s1) — has its own seed derived from `base_seed`, so two
 /// SketchArrays built with the same base seed have identical xi families
 /// (the virtual-stream sharing of Section 5.3).
+///
+/// Storage is structure-of-arrays: one contiguous counter plane holding
+/// every instance's projection X, and one contiguous coefficient matrix
+/// holding every instance's xi-polynomial coefficients, laid out
+/// coefficient-major so the batched update kernel's inner loop walks a
+/// contiguous run of coefficients across all instances. This replaces the
+/// earlier one-heap-allocation-per-instance layout, whose pointer chase
+/// per instance dominated the per-pattern update cost.
 class SketchArray {
  public:
   SketchArray(int s1, int s2, int independence, uint64_t base_seed);
 
   int s1() const { return s1_; }
   int s2() const { return s2_; }
+  int independence() const { return independence_; }
 
   /// Adds `weight` occurrences of `v` to every instance (Algorithm 1's
-  /// inner double loop).
-  void Update(uint64_t v, double weight = 1.0);
+  /// inner double loop). Negative weight deletes (turnstile, Section 3).
+  void Update(uint64_t v, double weight = 1.0) { UpdateBatch({&v, 1}, weight); }
 
-  const AmsSketch& instance(int i, int j) const {
-    return sketches_[static_cast<size_t>(i) * s1_ + j];
-  }
-  AmsSketch& instance(int i, int j) {
-    return sketches_[static_cast<size_t>(i) * s1_ + j];
-  }
+  /// Adds `weight` occurrences of every value in `values` to every
+  /// instance. Bit-identical to calling Update(v, weight) for each value
+  /// in order — each counter receives exactly the same sequence of ±weight
+  /// additions — but evaluates the Horner recurrence across all instances
+  /// in a tight loop over the contiguous coefficient matrix.
+  void UpdateBatch(std::span<const uint64_t> values, double weight = 1.0);
+
+  /// Instance (i, j)'s projection value X.
+  double value(int i, int j) const { return counters_[Index(i, j)]; }
+
+  /// Overwrites instance (i, j)'s X directly — used by synopsis
+  /// deserialization and merging (the xi families are rebuilt from the
+  /// seed, so the counter plane is the whole mutable state).
+  void set_value(int i, int j, double x) { counters_[Index(i, j)] = x; }
+
+  /// The ±1 variable xi_v of instance (i, j). Not stored — recomputed
+  /// from the coefficient matrix during query processing, exactly as the
+  /// paper prescribes.
+  int Xi(int i, int j, uint64_t v) const;
 
   /// Point estimate of the frequency of `v` (the xi_v * X estimator with
   /// average/median boosting, Algorithm 2 with a single query value).
   double EstimatePoint(uint64_t v) const;
 
-  /// Memory footprint of the sketch counters + per-instance seeds, in
-  /// bytes, for the paper-style memory accounting of Section 7.5.
+  /// Actual memory footprint: counter plane plus the materialized
+  /// coefficient matrix (`independence` 64-bit coefficients per
+  /// instance), in bytes.
   size_t MemoryBytes() const;
 
+  /// The paper's Section 7.5 accounting — one counter plus one 64-bit
+  /// seed per instance, treating xi variables as recomputed-not-stored.
+  /// Benches reproducing the paper's KB figures report this one.
+  size_t PaperMemoryBytes() const;
+
  private:
+  size_t Index(int i, int j) const {
+    return static_cast<size_t>(i) * s1_ + j;
+  }
+  size_t num_instances() const { return counters_.size(); }
+
   int s1_;
   int s2_;
-  std::vector<AmsSketch> sketches_;  // Row-major: [i * s1 + j].
+  int independence_;
+  std::vector<double> counters_;  // Row-major counter plane: [i * s1 + j].
+  /// Coefficient-major xi coefficients: coeffs_[c * n + inst] is
+  /// instance inst's degree-c coefficient (n = s1 * s2 instances).
+  std::vector<uint64_t> coeffs_;
+  std::vector<uint64_t> scratch_;  // Horner accumulators, one per instance.
 };
 
 /// Average-of-s1 / median-of-s2 boosting over arbitrary per-instance
 /// estimates: `per_instance(i, j)` returns instance (i, j)'s estimate.
 /// This is the reusable core of Algorithm 2 — point, sum, product, and
-/// general expression estimators all differ only in the per-instance term.
-double BoostedEstimate(
-    int s1, int s2,
-    const std::function<double(int i, int j)>& per_instance);
+/// general expression estimators all differ only in the per-instance
+/// term. Templated on the callable so the estimate path pays no
+/// std::function indirection.
+template <typename PerInstance>
+double BoostedEstimate(int s1, int s2, PerInstance&& per_instance) {
+  std::vector<double> medians;
+  medians.reserve(s2);
+  for (int i = 0; i < s2; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < s1; ++j) sum += per_instance(i, j);
+    medians.push_back(sum / s1);
+  }
+  size_t mid = medians.size() / 2;
+  std::nth_element(medians.begin(), medians.begin() + mid, medians.end());
+  if (medians.size() % 2 == 1) return medians[mid];
+  // Even s2: average the two middle values for a symmetric median.
+  double upper = medians[mid];
+  double lower = *std::max_element(medians.begin(), medians.begin() + mid);
+  return 0.5 * (lower + upper);
+}
 
 }  // namespace sketchtree
 

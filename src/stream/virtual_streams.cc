@@ -73,6 +73,36 @@ void VirtualStreams::Insert(uint64_t v, double weight) {
   }
 }
 
+void VirtualStreams::InsertBatch(std::span<const uint64_t> values,
+                                 double weight) {
+  if (values.empty()) return;
+  // Top-k processing (Algorithm 4) runs against the sketch state after
+  // each individual update, so tracking keeps the exact per-value path.
+  if (!trackers_.empty()) {
+    for (uint64_t v : values) Insert(v, weight);
+    return;
+  }
+  if (batch_buckets_.empty()) batch_buckets_.resize(options_.num_streams);
+  for (uint64_t v : values) {
+    uint32_t r = ResidueOf(v);
+    std::vector<uint64_t>& bucket = batch_buckets_[r];
+    if (bucket.empty()) batch_touched_.push_back(r);
+    bucket.push_back(v);
+  }
+  for (uint32_t r : batch_touched_) {
+    arrays_[r].UpdateBatch(batch_buckets_[r], weight);
+    batch_buckets_[r].clear();
+  }
+  batch_touched_.clear();
+  if (weight >= 0) {
+    values_inserted_ += values.size() * static_cast<uint64_t>(weight);
+  } else {
+    uint64_t removed = values.size() * static_cast<uint64_t>(-weight);
+    values_inserted_ -= removed < values_inserted_ ? removed
+                                                   : values_inserted_;
+  }
+}
+
 double VirtualStreams::CombinedX(int i, int j,
                                  const std::vector<uint64_t>& values) const {
   // Sum the sketches of the distinct streams hit by the query values
@@ -86,7 +116,7 @@ double VirtualStreams::CombinedX(int i, int j,
     uint32_t r = ResidueOf(v);
     if (std::find(seen.begin(), seen.end(), r) != seen.end()) continue;
     seen.push_back(r);
-    x += arrays_[r].instance(i, j).value();
+    x += arrays_[r].value(i, j);
   }
   // ... then compensate for tracked query values whose instances were
   // deleted from the sketches: d = sum xi_v * f_v (Section 5.2).
@@ -127,7 +157,7 @@ double VirtualStreams::EstimateSelfJoinSize() const {
   double total = 0.0;
   for (const SketchArray& array : arrays_) {
     total += BoostedEstimate(options_.s1, options_.s2, [&](int i, int j) {
-      double x = array.instance(i, j).value();
+      double x = array.value(i, j);
       return x * x;
     });
   }
@@ -145,9 +175,8 @@ Status VirtualStreams::MergeFrom(const VirtualStreams& other) {
   for (uint32_t r = 0; r < options_.num_streams; ++r) {
     for (int i = 0; i < options_.s2; ++i) {
       for (int j = 0; j < options_.s1; ++j) {
-        AmsSketch& mine = arrays_[r].instance(i, j);
-        mine.set_value(mine.value() +
-                       other.arrays_[r].instance(i, j).value());
+        arrays_[r].set_value(i, j, arrays_[r].value(i, j) +
+                                       other.arrays_[r].value(i, j));
       }
     }
     // Re-add the other side's tracked (deleted) mass so the merged
@@ -171,7 +200,7 @@ void VirtualStreams::SaveState(BinaryWriter* writer) const {
   for (const SketchArray& array : arrays_) {
     for (int i = 0; i < options_.s2; ++i) {
       for (int j = 0; j < options_.s1; ++j) {
-        writer->WriteDouble(array.instance(i, j).value());
+        writer->WriteDouble(array.value(i, j));
       }
     }
   }
@@ -200,7 +229,7 @@ Status VirtualStreams::LoadState(BinaryReader* reader) {
     for (int i = 0; i < options_.s2; ++i) {
       for (int j = 0; j < options_.s1; ++j) {
         SKETCHTREE_ASSIGN_OR_RETURN(double x, reader->ReadDouble());
-        array.instance(i, j).set_value(x);
+        array.set_value(i, j, x);
       }
     }
   }
@@ -223,6 +252,13 @@ Status VirtualStreams::LoadState(BinaryReader* reader) {
 size_t VirtualStreams::MemoryBytes() const {
   size_t bytes = 0;
   for (const SketchArray& array : arrays_) bytes += array.MemoryBytes();
+  for (const TopKTracker& tracker : trackers_) bytes += tracker.MemoryBytes();
+  return bytes;
+}
+
+size_t VirtualStreams::PaperMemoryBytes() const {
+  size_t bytes = 0;
+  for (const SketchArray& array : arrays_) bytes += array.PaperMemoryBytes();
   for (const TopKTracker& tracker : trackers_) bytes += tracker.MemoryBytes();
   return bytes;
 }

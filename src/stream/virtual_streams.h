@@ -2,6 +2,7 @@
 #define SKETCHTREE_STREAM_VIRTUAL_STREAMS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
@@ -52,14 +53,23 @@ class VirtualStreams {
   /// probability) runs top-k processing.
   void Insert(uint64_t v, double weight = 1.0);
 
+  /// Inserts a batch of values with one weight — the per-tree fast path
+  /// of Algorithm 1. Values are bucketed by virtual-stream residue and
+  /// each bucket is flushed through the batched sketch kernel, turning
+  /// scattered single-value updates into cache-friendly runs. Produces
+  /// bit-identical counters to inserting the values one by one in order
+  /// (each stream sees its own values in the original order). When top-k
+  /// tracking is enabled this falls back to the per-value path, because
+  /// Algorithm 4 is defined against the sketch state after each
+  /// individual update.
+  void InsertBatch(std::span<const uint64_t> values, double weight = 1.0);
+
   uint32_t ResidueOf(uint64_t v) const {
     return static_cast<uint32_t>(v % options_.num_streams);
   }
 
   /// xi_v for instance (i, j) — identical in every stream by seed sharing.
-  int Xi(int i, int j, uint64_t v) const {
-    return arrays_[0].instance(i, j).Xi(v);
-  }
+  int Xi(int i, int j, uint64_t v) const { return arrays_[0].Xi(i, j, v); }
 
   /// Instance (i, j)'s combined projection for a query over `values`:
   /// the sum of X over the distinct virtual streams the values land in,
@@ -91,9 +101,13 @@ class VirtualStreams {
   /// Total values inserted so far (stream length).
   uint64_t values_inserted() const { return values_inserted_; }
 
-  /// Sketch counters + seeds + top-k structures, in bytes (Section 7.5's
-  /// "total memory allocated for the synopses").
+  /// Actual bytes held by the synopsis: counter planes, coefficient
+  /// matrices, and top-k structures.
   size_t MemoryBytes() const;
+
+  /// Section 7.5's accounting — counters + per-instance seeds + top-k —
+  /// for benches that reproduce the paper's KB figures.
+  size_t PaperMemoryBytes() const;
 
   /// Folds another synopsis built with the *same options* (hence the
   /// same xi families) into this one, exploiting the linearity of AMS
@@ -121,6 +135,10 @@ class VirtualStreams {
   std::vector<TopKTracker> trackers_;  // Empty when top-k disabled.
   Pcg64 sampling_rng_;
   uint64_t values_inserted_ = 0;
+  // Reusable InsertBatch scratch: per-stream value buckets (allocated on
+  // first batched insert) and the residues touched by the current batch.
+  std::vector<std::vector<uint64_t>> batch_buckets_;
+  std::vector<uint32_t> batch_touched_;
 };
 
 /// Deterministic primality check for 32-bit values (validates p).

@@ -4,6 +4,9 @@
 
 #include <cmath>
 
+#include "common/rng.h"
+#include "sketch/ams_sketch.h"
+
 namespace sketchtree {
 namespace {
 
@@ -11,8 +14,11 @@ TEST(SketchArrayTest, DimensionsAndMemory) {
   SketchArray array(25, 7, 4, 42);
   EXPECT_EQ(array.s1(), 25);
   EXPECT_EQ(array.s2(), 7);
-  // 25 * 7 instances, each one counter + one seed.
-  EXPECT_EQ(array.MemoryBytes(), 25u * 7u * 16u);
+  // Honest footprint: 25 * 7 instances, each one counter plus 4 stored
+  // 64-bit xi coefficients.
+  EXPECT_EQ(array.MemoryBytes(), 25u * 7u * (8u + 4u * 8u));
+  // Paper accounting (Section 7.5): one counter + one seed per instance.
+  EXPECT_EQ(array.PaperMemoryBytes(), 25u * 7u * 16u);
 }
 
 TEST(SketchArrayTest, InstancesHaveIndependentSeeds) {
@@ -21,7 +27,7 @@ TEST(SketchArrayTest, InstancesHaveIndependentSeeds) {
   // few values (identical xi families would mean seed duplication).
   int disagreements = 0;
   for (uint64_t v = 0; v < 32; ++v) {
-    if (array.instance(0, 0).Xi(v) != array.instance(1, 2).Xi(v)) {
+    if (array.Xi(0, 0, v) != array.Xi(1, 2, v)) {
       ++disagreements;
     }
   }
@@ -36,7 +42,24 @@ TEST(SketchArrayTest, SameBaseSeedSameXiFamilies) {
   for (int i = 0; i < 3; ++i) {
     for (int j = 0; j < 5; ++j) {
       for (uint64_t v = 0; v < 20; ++v) {
-        EXPECT_EQ(a.instance(i, j).Xi(v), b.instance(i, j).Xi(v));
+        EXPECT_EQ(a.Xi(i, j, v), b.Xi(i, j, v));
+      }
+    }
+  }
+}
+
+TEST(SketchArrayTest, XiMatchesStandaloneAmsSketch) {
+  // The SoA coefficient matrix must reproduce, instance by instance, the
+  // xi family a standalone AmsSketch derives from the same per-instance
+  // seed — the layout refactor must not change any estimate.
+  SketchArray array(5, 3, 8, 42);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      AmsSketch reference(DeriveSeed(42, static_cast<uint64_t>(i) * 5 + j),
+                          8);
+      for (uint64_t v = 0; v < 50; ++v) {
+        EXPECT_EQ(array.Xi(i, j, v * 0x9E3779B97F4A7C15ULL),
+                  reference.Xi(v * 0x9E3779B97F4A7C15ULL));
       }
     }
   }

@@ -66,8 +66,7 @@ TEST(TopKTrackerTest, DeleteConditionHolds) {
   }
   for (int i = 0; i < 5; ++i) {
     for (int j = 0; j < 40; ++j) {
-      EXPECT_NEAR(with_topk.instance(i, j).value(),
-                  without_topk.instance(i, j).value(), 1e-6);
+      EXPECT_NEAR(with_topk.value(i, j), without_topk.value(i, j), 1e-6);
     }
   }
 }

@@ -138,8 +138,11 @@ TEST(VirtualStreamsTest, TopKDisabledByDefault) {
 
 TEST(VirtualStreamsTest, MemoryAccounting) {
   VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
-  // 7 streams x 200 x 7 instances x 16 bytes.
-  EXPECT_EQ(streams.MemoryBytes(), 7u * 200u * 7u * 16u);
+  // Honest accounting: per instance one 8-byte counter plus the stored
+  // degree-(independence-1) coefficient vector (8 x 8 bytes here).
+  EXPECT_EQ(streams.MemoryBytes(), 7u * 200u * 7u * (8u + 8u * 8u));
+  // Section 7.5's accounting: counters + one 8-byte seed per instance.
+  EXPECT_EQ(streams.PaperMemoryBytes(), 7u * 200u * 7u * 16u);
 }
 
 TEST(VirtualStreamsTest, DeterministicAcrossInstances) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/sketch_tree.h"
+#include "ingest/parallel_ingester.h"
 #include "query/pattern_query.h"
 #include "xml/xml_tree_reader.h"
 
@@ -60,7 +61,7 @@ int Usage() {
       "usage:\n"
       "  sketchtree_cli build --input FOREST.xml --output SYNOPSIS.bin\n"
       "        [--k N] [--s1 N] [--s2 N] [--streams PRIME] [--topk N]\n"
-      "        [--summary] [--seed N] [--append SYNOPSIS.bin]\n"
+      "        [--summary] [--seed N] [--append SYNOPSIS.bin] [--threads N]\n"
       "  sketchtree_cli query --synopsis SYNOPSIS.bin --pattern PAT\n"
       "        [--unordered]\n"
       "  sketchtree_cli extended --synopsis SYNOPSIS.bin --query EXTPAT\n"
@@ -121,16 +122,54 @@ int RunBuild(const Args& args) {
   if (!sketch_result.ok()) return Fail(sketch_result.status());
   SketchTree sketch = std::move(sketch_result).value();
 
-  // Stream tree-at-a-time: only the current document is materialized.
+  // Stream tree-at-a-time: only the current document (plus, with
+  // --threads, the bounded hand-off queue) is materialized.
+  long threads = args.GetLong("threads", 1);
+  if (threads < 1) {
+    // Catches both explicit nonsense and atol() failing to parse.
+    std::fprintf(stderr, "error: --threads must be a positive integer\n");
+    return EXIT_FAILURE;
+  }
   uint64_t trees = 0;
   uint64_t patterns = 0;
-  Status stream_status =
-      StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
-        patterns += sketch.Update(tree);
-        ++trees;
-        return Status::OK();
-      });
-  if (!stream_status.ok()) return Fail(stream_status);
+  if (threads > 1) {
+    // Sharded ingestion: N worker replicas built from the synopsis's own
+    // options consume the stream and are merged into `sketch` at the end
+    // (exact by sketch linearity — works for fresh builds and --append).
+    ParallelIngestOptions ingest_options;
+    ingest_options.num_threads = static_cast<int>(threads);
+    if (sketch.options().topk_size > 0) {
+      std::fprintf(stderr,
+                   "note: --threads %ld with top-k tracking: merging "
+                   "re-adds each shard's tracked mass, so estimates stay "
+                   "unbiased but the combined synopsis keeps no tracked "
+                   "patterns (use --topk 0 for a bit-identical parallel "
+                   "build)\n",
+                   threads);
+    }
+    Result<ParallelIngester> ingester =
+        ParallelIngester::Create(sketch.options(), ingest_options);
+    if (!ingester.ok()) return Fail(ingester.status());
+    Status stream_status =
+        StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
+          ++trees;
+          return ingester->Add(std::move(tree));
+        });
+    if (!stream_status.ok()) return Fail(stream_status);
+    Result<SketchTree> delta = ingester->Finish();
+    if (!delta.ok()) return Fail(delta.status());
+    patterns = delta->Stats().patterns_processed;
+    Status merge_status = sketch.Merge(*delta);
+    if (!merge_status.ok()) return Fail(merge_status);
+  } else {
+    Status stream_status =
+        StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
+          patterns += sketch.Update(tree);
+          ++trees;
+          return Status::OK();
+        });
+    if (!stream_status.ok()) return Fail(stream_status);
+  }
   std::printf("streamed %llu trees (%llu patterns) from %s\n",
               static_cast<unsigned long long>(trees),
               static_cast<unsigned long long>(patterns), input.c_str());
@@ -240,7 +279,8 @@ int RunStats(const Args& args) {
   std::printf("  patterns processed: %llu\n",
               static_cast<unsigned long long>(stats.patterns_processed));
   std::printf("  tracked patterns:   %zu\n", stats.tracked_patterns);
-  std::printf("  memory:             %zu bytes\n", stats.memory_bytes);
+  std::printf("  memory:             %zu bytes (%zu paper-accounted)\n",
+              stats.memory_bytes, stats.paper_memory_bytes);
   if (sketch->summary() != nullptr) {
     std::printf("  structural summary: %zu nodes%s\n",
                 sketch->summary()->num_nodes(),
