@@ -28,6 +28,7 @@
 #include "hashing/label_hasher.h"
 #include "hashing/rabin.h"
 #include "ingest/parallel_ingester.h"
+#include "metrics/metrics.h"
 #include "sketch/ams_sketch.h"
 #include "enumtree/enum_tree.h"
 #include "enumtree/pattern.h"
@@ -260,9 +261,15 @@ int main() {
     std::fprintf(json,
                  "  \"end_to_end_patterns_per_sec\": {\"serial\": %.0f, "
                  "\"threads_1\": %.0f, \"threads_2\": %.0f, "
-                 "\"threads_4\": %.0f}\n",
+                 "\"threads_4\": %.0f},\n",
                  serial.patterns_per_sec, parallel[0].patterns_per_sec,
                  parallel[1].patterns_per_sec, parallel[2].patterns_per_sec);
+    // Snapshot of the process metrics registry accumulated over every
+    // run above — records what the instrumentation itself observed
+    // (latency histograms, queue depth, shard counts) alongside the
+    // wall-clock numbers.
+    std::fprintf(json, "  \"metrics\": %s\n",
+                 GlobalMetrics().ToJson().c_str());
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("wrote BENCH_ingest.json\n");

@@ -2,12 +2,48 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "enumtree/enum_tree.h"
+#include "metrics/metrics.h"
 #include "query/pattern_query.h"
 #include "query/unordered.h"
 #include "sketch/estimators.h"
 
 namespace sketchtree {
+
+namespace {
+
+/// Per-process instrumentation of the synopsis ingest path (Algorithm 1).
+/// Shared by every SketchTree in the process — shard replicas of a
+/// parallel ingest all feed the same counters, which is exactly the
+/// pipeline-wide view the progress reporting wants.
+struct IngestMetrics {
+  Counter* trees_ingested;
+  Counter* trees_removed;
+  Counter* patterns_ingested;
+  Counter* patterns_removed;
+  Histogram* patterns_per_tree;
+  Histogram* update_latency_us;
+  Histogram* remove_latency_us;
+};
+
+IngestMetrics& Metrics() {
+  static IngestMetrics metrics{
+      GlobalMetrics().GetCounter("sketch.trees_ingested"),
+      GlobalMetrics().GetCounter("sketch.trees_removed"),
+      GlobalMetrics().GetCounter("sketch.patterns_ingested"),
+      GlobalMetrics().GetCounter("sketch.patterns_removed"),
+      GlobalMetrics().GetHistogram("sketch.patterns_per_tree",
+                                   Histogram::ExponentialBounds(1, 2.0, 21)),
+      GlobalMetrics().GetHistogram("sketch.update_latency_us",
+                                   Histogram::ExponentialBounds(1, 2.0, 21)),
+      GlobalMetrics().GetHistogram("sketch.remove_latency_us",
+                                   Histogram::ExponentialBounds(1, 2.0, 21)),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 SketchTree::SketchTree(const SketchTreeOptions& options,
                        std::unique_ptr<RabinFingerprinter> fingerprinter,
@@ -96,15 +132,30 @@ uint64_t SketchTree::IngestTree(const LabeledTree& tree, double weight) {
 }
 
 uint64_t SketchTree::Update(const LabeledTree& tree) {
+  WallTimer timer;
   uint64_t emitted = IngestTree(tree, +1.0);
   if (summary_ != nullptr) summary_->Update(tree);
   ++trees_processed_;
+  IngestMetrics& metrics = Metrics();
+  metrics.trees_ingested->Increment();
+  metrics.patterns_ingested->Increment(emitted);
+  metrics.patterns_per_tree->Observe(emitted);
+  metrics.update_latency_us->Observe(
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
   return emitted;
 }
 
 uint64_t SketchTree::Remove(const LabeledTree& tree) {
+  WallTimer timer;
   uint64_t removed = IngestTree(tree, -1.0);
   if (trees_processed_ > 0) --trees_processed_;
+  ++trees_removed_;
+  patterns_removed_ += removed;
+  IngestMetrics& metrics = Metrics();
+  metrics.trees_removed->Increment();
+  metrics.patterns_removed->Increment(removed);
+  metrics.remove_latency_us->Observe(
+      static_cast<uint64_t>(timer.ElapsedSeconds() * 1e6));
   return removed;
 }
 
@@ -252,11 +303,26 @@ Status SketchTree::Merge(const SketchTree& other) {
     return Status::InvalidArgument(
         "Merge requires synopses built with identical options");
   }
+  // Top-k and summary options are part of the contract too: merging a
+  // summary-bearing synopsis into a summary-less one would drop the
+  // other side's label paths, making EstimateExtended wrongly return 0
+  // for patterns only the other side streamed; mismatched top-k
+  // capacities break the tracked-mass re-add in
+  // VirtualStreams::MergeFrom (the Section 5.2 delete condition).
+  if (a.topk_size != b.topk_size ||
+      a.topk_probability != b.topk_probability ||
+      a.build_structural_summary != b.build_structural_summary ||
+      a.summary_max_nodes != b.summary_max_nodes) {
+    return Status::InvalidArgument(
+        "Merge requires identical top-k and structural-summary options");
+  }
   SKETCHTREE_RETURN_NOT_OK(streams_->MergeFrom(*other.streams_));
   if (summary_ != nullptr && other.summary_ != nullptr) {
     summary_->MergeFrom(*other.summary_);
   }
   trees_processed_ += other.trees_processed_;
+  trees_removed_ += other.trees_removed_;
+  patterns_removed_ += other.patterns_removed_;
   return Status::OK();
 }
 
@@ -264,6 +330,9 @@ SketchTreeStats SketchTree::Stats() const {
   SketchTreeStats stats;
   stats.trees_processed = trees_processed_;
   stats.patterns_processed = streams_->values_inserted();
+  stats.trees_removed = trees_removed_;
+  stats.patterns_removed = patterns_removed_;
+  stats.over_deletions = streams_->over_deletions();
   stats.memory_bytes = streams_->MemoryBytes();
   stats.paper_memory_bytes = streams_->PaperMemoryBytes();
   for (uint32_t r = 0; r < options_.num_virtual_streams; ++r) {

@@ -65,6 +65,12 @@ struct SketchTreeOptions {
 struct SketchTreeStats {
   uint64_t trees_processed = 0;
   uint64_t patterns_processed = 0;  ///< Values inserted into the stream.
+  uint64_t trees_removed = 0;       ///< Turnstile deletions via Remove.
+  uint64_t patterns_removed = 0;    ///< Pattern values those removals emitted.
+  /// Deleted pattern mass exceeding the recorded stream length — nonzero
+  /// means more was removed than inserted (see
+  /// VirtualStreams::over_deletions).
+  uint64_t over_deletions = 0;
   size_t memory_bytes = 0;          ///< Actual bytes: counters + xi coefficients + top-k.
   size_t paper_memory_bytes = 0;    ///< Section 7.5 accounting: counters + seeds + top-k.
   size_t tracked_patterns = 0;      ///< Currently in top-k lists.
@@ -212,6 +218,8 @@ class SketchTree {
   std::unique_ptr<VirtualStreams> streams_;
   std::unique_ptr<StructuralSummary> summary_;  // Null unless enabled.
   uint64_t trees_processed_ = 0;
+  uint64_t trees_removed_ = 0;
+  uint64_t patterns_removed_ = 0;
   /// Reusable per-tree buffer of enumerated pattern values; filled by
   /// EnumTree and flushed through VirtualStreams::InsertBatch.
   std::vector<uint64_t> pattern_values_;

@@ -1,15 +1,25 @@
 #include "ingest/parallel_ingester.h"
 
+#include <atomic>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "metrics/metrics.h"
+
 namespace sketchtree {
 
 struct ParallelIngester::Shard {
-  explicit Shard(SketchTree sketch_in) : sketch(std::move(sketch_in)) {}
+  Shard(SketchTree sketch_in, Counter* trees_metric_in)
+      : sketch(std::move(sketch_in)), trees_metric(trees_metric_in) {}
   SketchTree sketch;
   std::thread worker;
+  // Written by the worker thread, read by reconciliation/ShardStats;
+  // relaxed atomics make mid-stream reads well-defined.
+  std::atomic<uint64_t> trees{0};
+  std::atomic<uint64_t> patterns{0};
+  Counter* trees_metric;  // "ingest.shard_trees.<id>".
 };
 
 struct ParallelIngester::State {
@@ -17,6 +27,7 @@ struct ParallelIngester::State {
   BoundedTreeQueue queue;
   std::vector<std::unique_ptr<Shard>> shards;
   uint64_t trees_enqueued = 0;
+  uint64_t rejected_adds = 0;  // Pushes dropped by a closed queue.
   bool finished = false;
 };
 
@@ -34,14 +45,20 @@ Result<ParallelIngester> ParallelIngester::Create(
     // shards, which is what makes the final Merge exact.
     SKETCHTREE_ASSIGN_OR_RETURN(SketchTree replica,
                                 SketchTree::Create(sketch_options));
-    state->shards.push_back(std::make_unique<Shard>(std::move(replica)));
+    state->shards.push_back(std::make_unique<Shard>(
+        std::move(replica),
+        GlobalMetrics().GetCounter("ingest.shard_trees." +
+                                   std::to_string(t))));
   }
   for (auto& shard : state->shards) {
     Shard* raw = shard.get();
     BoundedTreeQueue* queue = &state->queue;
     raw->worker = std::thread([raw, queue] {
       while (std::optional<LabeledTree> tree = queue->Pop()) {
-        raw->sketch.Update(*tree);
+        uint64_t patterns = raw->sketch.Update(*tree);
+        raw->trees.fetch_add(1, std::memory_order_relaxed);
+        raw->patterns.fetch_add(patterns, std::memory_order_relaxed);
+        raw->trees_metric->Increment();
       }
     });
   }
@@ -68,9 +85,11 @@ Status ParallelIngester::Add(LabeledTree tree) {
     return Status::InvalidArgument("Add after Finish");
   }
   if (!state_->queue.Push(std::move(tree))) {
+    ++state_->rejected_adds;
     return Status::Internal("ingest queue closed while adding");
   }
   ++state_->trees_enqueued;
+  GlobalMetrics().GetCounter("ingest.trees_enqueued")->Increment();
   return Status::OK();
 }
 
@@ -81,6 +100,23 @@ Result<SketchTree> ParallelIngester::Finish() {
   state_->finished = true;
   state_->queue.Close();
   for (auto& shard : state_->shards) shard->worker.join();
+  // Reconcile before merging: every enqueued tree must have reached
+  // exactly one shard's SketchTree::Update. A mismatch (or an Add the
+  // queue rejected) means part of the stream was dropped and the
+  // combined synopsis would silently under-count.
+  if (state_->rejected_adds > 0) {
+    return Status::Internal(
+        std::to_string(state_->rejected_adds) +
+        " Add call(s) were rejected by a closed queue; the stream is "
+        "incomplete");
+  }
+  uint64_t ingested = trees_ingested();
+  if (ingested != state_->trees_enqueued) {
+    return Status::Internal(
+        "ingest reconciliation failed: enqueued " +
+        std::to_string(state_->trees_enqueued) + " trees but workers "
+        "ingested " + std::to_string(ingested));
+  }
   SketchTree combined = std::move(state_->shards[0]->sketch);
   for (size_t t = 1; t < state_->shards.size(); ++t) {
     SKETCHTREE_RETURN_NOT_OK(combined.Merge(state_->shards[t]->sketch));
@@ -94,6 +130,24 @@ int ParallelIngester::num_threads() const {
 
 uint64_t ParallelIngester::trees_enqueued() const {
   return state_->trees_enqueued;
+}
+
+uint64_t ParallelIngester::trees_ingested() const {
+  uint64_t total = 0;
+  for (const auto& shard : state_->shards) {
+    total += shard->trees.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<ShardIngestStats> ParallelIngester::ShardStats() const {
+  std::vector<ShardIngestStats> stats;
+  stats.reserve(state_->shards.size());
+  for (const auto& shard : state_->shards) {
+    stats.push_back({shard->trees.load(std::memory_order_relaxed),
+                     shard->patterns.load(std::memory_order_relaxed)});
+  }
+  return stats;
 }
 
 }  // namespace sketchtree

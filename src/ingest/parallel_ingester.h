@@ -2,12 +2,20 @@
 #define SKETCHTREE_INGEST_PARALLEL_INGESTER_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/status.h"
 #include "core/sketch_tree.h"
 #include "ingest/tree_queue.h"
 
 namespace sketchtree {
+
+/// Per-shard ingest accounting. Counts are maintained by the worker
+/// thread while the pipeline runs and are final once Finish returned.
+struct ShardIngestStats {
+  uint64_t trees_ingested = 0;
+  uint64_t patterns_ingested = 0;
+};
 
 /// Configuration of the sharded ingestion pipeline.
 struct ParallelIngestOptions {
@@ -59,12 +67,21 @@ class ParallelIngester {
 
   /// Closes the stream, joins the workers, merges the shard replicas,
   /// and returns the combined synopsis. One-shot: further Add/Finish
-  /// calls fail.
+  /// calls fail. Fails with Internal if any Add was rejected by a closed
+  /// queue or if the trees the workers ingested do not reconcile exactly
+  /// with trees_enqueued() — the producer count is verified, not
+  /// trusted.
   Result<SketchTree> Finish();
 
   int num_threads() const;
   /// Trees handed to workers so far (== successful Add calls).
   uint64_t trees_enqueued() const;
+  /// Trees the workers have actually pulled through SketchTree::Update.
+  /// Catches up with trees_enqueued() once Finish has joined the
+  /// workers; mid-stream it may trail the producer.
+  uint64_t trees_ingested() const;
+  /// Per-shard tree/pattern counts (index == shard/worker id).
+  std::vector<ShardIngestStats> ShardStats() const;
 
  private:
   struct Shard;

@@ -1,13 +1,50 @@
 #include "ingest/tree_queue.h"
 
+#include "common/timer.h"
+#include "metrics/metrics.h"
+
 namespace sketchtree {
+
+namespace {
+
+/// Queue instrumentation, shared by every BoundedTreeQueue in the
+/// process (one ingest pipeline runs at a time; the depth gauge then
+/// reads as *the* pipeline's hand-off backlog).
+struct QueueMetrics {
+  Gauge* depth;
+  Histogram* push_block_us;
+  Counter* rejected_pushes;
+};
+
+QueueMetrics& Metrics() {
+  static QueueMetrics metrics{
+      GlobalMetrics().GetGauge("ingest.queue_depth"),
+      GlobalMetrics().GetHistogram("ingest.push_block_us",
+                                   Histogram::ExponentialBounds(1, 2.0, 21)),
+      GlobalMetrics().GetCounter("ingest.rejected_pushes"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 bool BoundedTreeQueue::Push(LabeledTree tree) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || items_.size() < capacity_; });
-  if (closed_) return false;
+  if (!closed_ && items_.size() >= capacity_) {
+    // Producer back-pressure: record how long the stream front end
+    // stalls waiting for sketch workers to drain the queue.
+    WallTimer blocked;
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    Metrics().push_block_us->Observe(
+        static_cast<uint64_t>(blocked.ElapsedSeconds() * 1e6));
+  }
+  if (closed_) {
+    Metrics().rejected_pushes->Increment();
+    return false;
+  }
   items_.push_back(std::move(tree));
+  Metrics().depth->Set(static_cast<int64_t>(items_.size()));
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -19,6 +56,7 @@ std::optional<LabeledTree> BoundedTreeQueue::Pop() {
   if (items_.empty()) return std::nullopt;  // Closed and drained.
   LabeledTree tree = std::move(items_.front());
   items_.pop_front();
+  Metrics().depth->Set(static_cast<int64_t>(items_.size()));
   lock.unlock();
   not_full_.notify_one();
   return tree;

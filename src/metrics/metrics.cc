@@ -1,0 +1,253 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace sketchtree {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end() &&
+         "histogram bounds must be strictly increasing");
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+std::vector<uint64_t> Histogram::ExponentialBounds(uint64_t first,
+                                                   double factor,
+                                                   size_t count) {
+  std::vector<uint64_t> bounds;
+  bounds.reserve(count);
+  double bound = static_cast<double>(first);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t rounded = static_cast<uint64_t>(bound);
+    if (!bounds.empty() && rounded <= bounds.back()) rounded = bounds.back() + 1;
+    bounds.push_back(rounded);
+    bound = std::max(bound * factor, bound + 1.0);
+  }
+  return bounds;
+}
+
+void Histogram::Observe(uint64_t value) {
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  uint64_t total = TotalCount();
+  return total == 0 ? 0.0 : static_cast<double>(Sum()) / total;
+}
+
+double Histogram::Percentile(double q) const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  uint64_t total = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 targets the first sample.
+  double rank = std::max(1.0, std::ceil(q * static_cast<double>(total)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    uint64_t below = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    double lower = i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+    // The overflow bucket has no finite upper edge; clamp to the last
+    // bound so percentiles never exceed the configured range.
+    double upper = i < bounds_.size() ? static_cast<double>(bounds_[i])
+                                      : static_cast<double>(bounds_.back());
+    double fraction = (rank - static_cast<double>(below)) / counts[i];
+    return lower + (upper - lower) * fraction;
+  }
+  return bounds_.empty() ? 0.0 : static_cast<double>(bounds_.back());
+}
+
+uint64_t Histogram::BucketCount(size_t index) const {
+  assert(index <= bounds_.size());
+  return counts_[index].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace {
+
+void AppendJsonNumber(double value, std::string* out) {
+  char buffer[64];
+  // %g keeps integers integral and avoids trailing-zero noise.
+  std::snprintf(buffer, sizeof buffer, "%.6g", value);
+  out->append(buffer);
+}
+
+void AppendQuoted(const std::string& name, std::string* out) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string json = "{\n  \"counters\": {";
+  bool first = true;
+  char buffer[64];
+  for (const auto& [name, counter] : counters_) {
+    json += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendQuoted(name, &json);
+    std::snprintf(buffer, sizeof buffer, ": %" PRIu64, counter->value());
+    json += buffer;
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    json += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendQuoted(name, &json);
+    std::snprintf(buffer, sizeof buffer, ": %" PRId64, gauge->value());
+    json += buffer;
+  }
+  json += first ? "},\n" : "\n  },\n";
+  json += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    json += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendQuoted(name, &json);
+    std::snprintf(buffer, sizeof buffer, ": {\"count\": %" PRIu64
+                  ", \"sum\": %" PRIu64,
+                  histogram->TotalCount(), histogram->Sum());
+    json += buffer;
+    json += ", \"mean\": ";
+    AppendJsonNumber(histogram->Mean(), &json);
+    json += ", \"p50\": ";
+    AppendJsonNumber(histogram->Percentile(0.5), &json);
+    json += ", \"p90\": ";
+    AppendJsonNumber(histogram->Percentile(0.9), &json);
+    json += ", \"p99\": ";
+    AppendJsonNumber(histogram->Percentile(0.99), &json);
+    json += ", \"buckets\": [";
+    bool first_bucket = true;
+    const std::vector<uint64_t>& bounds = histogram->bounds();
+    for (size_t b = 0; b <= bounds.size(); ++b) {
+      uint64_t count = histogram->BucketCount(b);
+      if (count == 0) continue;  // Sparse: only occupied buckets.
+      if (!first_bucket) json += ", ";
+      first_bucket = false;
+      if (b < bounds.size()) {
+        std::snprintf(buffer, sizeof buffer, "{\"le\": %" PRIu64
+                      ", \"count\": %" PRIu64 "}", bounds[b], count);
+        json += buffer;
+      } else {
+        std::snprintf(buffer, sizeof buffer,
+                      "{\"le\": \"inf\", \"count\": %" PRIu64 "}", count);
+        json += buffer;
+      }
+    }
+    json += "]}";
+  }
+  json += first ? "}\n" : "\n  }\n";
+  json += "}\n";
+  return json;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string table;
+  char line[256];
+  for (const auto& [name, counter] : counters_) {
+    std::snprintf(line, sizeof line, "%-40s %20" PRIu64 "\n", name.c_str(),
+                  counter->value());
+    table += line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(line, sizeof line, "%-40s %20" PRId64 "\n", name.c_str(),
+                  gauge->value());
+    table += line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::snprintf(line, sizeof line,
+                  "%-40s count=%" PRIu64 " mean=%.1f p50=%.1f p90=%.1f "
+                  "p99=%.1f\n",
+                  name.c_str(), histogram->TotalCount(), histogram->Mean(),
+                  histogram->Percentile(0.5), histogram->Percentile(0.9),
+                  histogram->Percentile(0.99));
+    table += line;
+  }
+  return table;
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace sketchtree

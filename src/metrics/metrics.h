@@ -1,0 +1,126 @@
+#ifndef SKETCHTREE_METRICS_METRICS_H_
+#define SKETCHTREE_METRICS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sketchtree {
+
+/// Monotonic event counter. Increment is one relaxed atomic add, safe
+/// from any thread; a concurrent read may trail in-flight writers but
+/// never observes a torn value.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, rate snapshot). Set/Add are
+/// relaxed atomics; last writer wins on Set.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram of non-negative integer samples (latencies in
+/// microseconds, batch sizes, per-tree pattern counts). `bounds` are
+/// strictly increasing inclusive upper bounds; one implicit overflow
+/// bucket catches everything above the last bound. Observe is a short
+/// bound scan plus two relaxed atomic adds — no locks, so concurrent
+/// observers never serialize.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  /// `count` bounds starting at `first`, each subsequent bound the
+  /// previous times `factor` (at least +1). The usual latency scale:
+  /// ExponentialBounds(1, 2.0, 20) covers 1us .. ~0.5s.
+  static std::vector<uint64_t> ExponentialBounds(uint64_t first, double factor,
+                                                 size_t count);
+
+  void Observe(uint64_t value);
+
+  uint64_t TotalCount() const;
+  uint64_t Sum() const;
+  double Mean() const;
+
+  /// Linear-interpolated percentile from the bucket counts, q in [0, 1].
+  /// q=0 resolves to the lower edge of the first occupied bucket, q=1 to
+  /// the upper bound of the last occupied one. Samples in the overflow
+  /// bucket clamp to the largest finite bound. Empty histogram: 0.
+  double Percentile(double q) const;
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  /// Count of bucket `index`; index == bounds().size() is the overflow
+  /// bucket.
+  uint64_t BucketCount(size_t index) const;
+
+  void Reset();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1.
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Name-keyed registry of metrics. Registration (Get*) takes a mutex but
+/// returns a stable pointer, so hot paths register once and then update
+/// lock-free. Names are dotted lowercase paths ("ingest.queue_depth");
+/// the full inventory is documented in DESIGN.md section 7.
+class MetricsRegistry {
+ public:
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. Pointers stay valid for the registry's lifetime. A histogram's
+  /// bounds are fixed by the first caller; later callers get the
+  /// existing instance regardless of the bounds they pass.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<uint64_t> bounds);
+
+  /// Zeroes every registered metric (bench/test isolation). Metrics stay
+  /// registered; cached pointers remain valid.
+  void Reset();
+
+  /// JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, p50, p90, p99, buckets}}}.
+  /// Keys are emitted in sorted order, so output is deterministic for a
+  /// given state.
+  std::string ToJson() const;
+
+  /// Human-readable table of the same snapshot, one metric per line.
+  std::string ToTable() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry every built-in instrumentation point
+/// records into. Separate registries can still be constructed for
+/// isolated measurements (tests do).
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_METRICS_METRICS_H_

@@ -1,10 +1,34 @@
 #include "stream/virtual_streams.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "metrics/metrics.h"
 #include "sketch/estimators.h"
 
 namespace sketchtree {
+
+namespace {
+
+/// Global instrumentation of the sketch-update layer. Pointers are
+/// resolved once; every update afterwards is lock-free. Only batch-level
+/// and rare events are recorded — the per-value Insert path stays
+/// untouched.
+struct StreamMetrics {
+  Histogram* batch_bucket_size;
+  Counter* over_deletions;
+};
+
+StreamMetrics& Metrics() {
+  static StreamMetrics metrics{
+      GlobalMetrics().GetHistogram("stream.batch_bucket_size",
+                                   Histogram::ExponentialBounds(1, 2.0, 16)),
+      GlobalMetrics().GetCounter("stream.over_deletions"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 bool IsPrime(uint32_t n) {
   if (n < 2) return false;
@@ -55,16 +79,30 @@ VirtualStreams::VirtualStreams(const VirtualStreamsOptions& options)
   }
 }
 
+void VirtualStreams::AccountStreamLength(size_t count, double weight) {
+  // llround of the magnitude is symmetric for +w and -w (the old code
+  // truncated deletions, so Insert(v, -0.75) after Insert(v, +0.75) left
+  // the stream length inconsistent) and exact for the ±1 turnstile case.
+  uint64_t delta =
+      static_cast<uint64_t>(std::llround(std::fabs(weight))) * count;
+  if (weight >= 0) {
+    values_inserted_ += delta;
+    return;
+  }
+  if (delta > values_inserted_) {
+    uint64_t excess = delta - values_inserted_;
+    over_deletions_ += excess;
+    Metrics().over_deletions->Increment(excess);
+    values_inserted_ = 0;
+  } else {
+    values_inserted_ -= delta;
+  }
+}
+
 void VirtualStreams::Insert(uint64_t v, double weight) {
   uint32_t r = ResidueOf(v);
   arrays_[r].Update(v, weight);
-  if (weight >= 0) {
-    values_inserted_ += static_cast<uint64_t>(weight);
-  } else {
-    uint64_t removed = static_cast<uint64_t>(-weight);
-    values_inserted_ -= removed < values_inserted_ ? removed
-                                                   : values_inserted_;
-  }
+  AccountStreamLength(1, weight);
   if (!trackers_.empty()) {
     if (options_.topk_probability >= 1.0 ||
         sampling_rng_.NextDouble() < options_.topk_probability) {
@@ -89,18 +127,14 @@ void VirtualStreams::InsertBatch(std::span<const uint64_t> values,
     if (bucket.empty()) batch_touched_.push_back(r);
     bucket.push_back(v);
   }
+  Histogram* bucket_size = Metrics().batch_bucket_size;
   for (uint32_t r : batch_touched_) {
+    bucket_size->Observe(batch_buckets_[r].size());
     arrays_[r].UpdateBatch(batch_buckets_[r], weight);
     batch_buckets_[r].clear();
   }
   batch_touched_.clear();
-  if (weight >= 0) {
-    values_inserted_ += values.size() * static_cast<uint64_t>(weight);
-  } else {
-    uint64_t removed = values.size() * static_cast<uint64_t>(-weight);
-    values_inserted_ -= removed < values_inserted_ ? removed
-                                                   : values_inserted_;
-  }
+  AccountStreamLength(values.size(), weight);
 }
 
 double VirtualStreams::CombinedX(int i, int j,
@@ -172,6 +206,15 @@ Status VirtualStreams::MergeFrom(const VirtualStreams& other) {
     return Status::InvalidArgument(
         "MergeFrom requires identical sketch dimensions and seed");
   }
+  // Top-k capacities must match too: re-adding the other side's tracked
+  // mass below assumes both sides ran the same Section 5.2 tracking, and
+  // a capacity mismatch would leave this tracker's delete condition
+  // violated for values only the other side tracked.
+  if (other.options_.topk_capacity != options_.topk_capacity ||
+      other.options_.topk_probability != options_.topk_probability) {
+    return Status::InvalidArgument(
+        "MergeFrom requires identical top-k capacity and probability");
+  }
   for (uint32_t r = 0; r < options_.num_streams; ++r) {
     for (int i = 0; i < options_.s2; ++i) {
       for (int j = 0; j < options_.s1; ++j) {
@@ -189,6 +232,7 @@ Status VirtualStreams::MergeFrom(const VirtualStreams& other) {
     }
   }
   values_inserted_ += other.values_inserted_;
+  over_deletions_ += other.over_deletions_;
   return Status::OK();
 }
 

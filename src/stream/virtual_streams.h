@@ -101,6 +101,13 @@ class VirtualStreams {
   /// Total values inserted so far (stream length).
   uint64_t values_inserted() const { return values_inserted_; }
 
+  /// Values whose deletion exceeded the recorded stream length — a
+  /// turnstile stream that removed more than it inserted. The sketches
+  /// absorb such deletions correctly (counters go negative); this count
+  /// makes the anomaly observable instead of silently clamping the
+  /// stream length at zero.
+  uint64_t over_deletions() const { return over_deletions_; }
+
   /// Actual bytes held by the synopsis: counter planes, coefficient
   /// matrices, and top-k structures.
   size_t MemoryBytes() const;
@@ -130,11 +137,17 @@ class VirtualStreams {
  private:
   VirtualStreams(const VirtualStreamsOptions& options);
 
+  /// Applies `count` values of the given weight to the stream-length
+  /// accounting. Exact for the ±1 turnstile weights; fractional weights
+  /// round half away from zero symmetrically for inserts and deletes.
+  void AccountStreamLength(size_t count, double weight);
+
   VirtualStreamsOptions options_;
   std::vector<SketchArray> arrays_;    // One per virtual stream.
   std::vector<TopKTracker> trackers_;  // Empty when top-k disabled.
   Pcg64 sampling_rng_;
   uint64_t values_inserted_ = 0;
+  uint64_t over_deletions_ = 0;
   // Reusable InsertBatch scratch: per-stream value buckets (allocated on
   // first batched insert) and the residues touched by the current batch.
   std::vector<std::vector<uint64_t>> batch_buckets_;

@@ -1,6 +1,25 @@
 #include "topk/topk_tracker.h"
 
+#include "metrics/metrics.h"
+
 namespace sketchtree {
+
+namespace {
+
+struct TopKMetrics {
+  Counter* evictions;  // Minimum evicted to admit a more frequent value.
+  Counter* untracks;   // Every removal from H/L (evictions included).
+};
+
+TopKMetrics& Metrics() {
+  static TopKMetrics metrics{
+      GlobalMetrics().GetCounter("topk.evictions"),
+      GlobalMetrics().GetCounter("topk.untracks"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 void TopKTracker::Process(uint64_t v) {
   if (capacity_ == 0) return;
@@ -26,6 +45,7 @@ void TopKTracker::Process(uint64_t v) {
     uint64_t evicted = root->second;
     double evicted_freq = root->first;
     Untrack(evicted, evicted_freq);
+    Metrics().evictions->Increment();
   }
 
   // Lines 14–18: insert v and delete est instances of it from the stream.
@@ -38,6 +58,7 @@ void TopKTracker::Untrack(uint64_t v, double freq) {
   array_->Update(v, +freq);
   heap_.erase({freq, v});
   frequencies_.erase(v);
+  Metrics().untracks->Increment();
 }
 
 Status TopKTracker::RestoreTracked(uint64_t v, double freq) {

@@ -39,9 +39,13 @@ class Parser {
   }
 
  private:
-  Status Error(const std::string& message) const {
+  Status ErrorAt(size_t offset, const std::string& message) const {
     return Status::InvalidArgument("XML: " + message + " (offset " +
-                                   std::to_string(pos_) + ")");
+                                   std::to_string(offset) + ")");
+  }
+
+  Status Error(const std::string& message) const {
+    return ErrorAt(pos_, message);
   }
 
   bool StartsWith(std::string_view prefix) const {
@@ -77,6 +81,10 @@ class Parser {
     return in_.substr(start, pos_ - start);
   }
 
+  /// Decodes the predefined and numeric entities of `raw`, which must be
+  /// a view into in_ — decode errors are reported through ErrorAt with
+  /// the byte offset of the offending '&' in the whole input, like every
+  /// other parse error.
   Status DecodeEntities(std::string_view raw, std::string* out) const {
     out->clear();
     out->reserve(raw.size());
@@ -87,9 +95,10 @@ class Parser {
         ++i;
         continue;
       }
+      size_t offset = static_cast<size_t>(raw.data() - in_.data()) + i;
       size_t semi = raw.find(';', i + 1);
       if (semi == std::string_view::npos) {
-        return Status::InvalidArgument("XML: unterminated entity reference");
+        return ErrorAt(offset, "unterminated entity reference");
       }
       std::string_view entity = raw.substr(i + 1, semi - i - 1);
       if (entity == "amp") {
@@ -113,7 +122,7 @@ class Parser {
         }
         uint32_t code = 0;
         if (digits.empty()) {
-          return Status::InvalidArgument("XML: empty character reference");
+          return ErrorAt(offset, "empty character reference");
         }
         for (char d : digits) {
           int v;
@@ -124,20 +133,30 @@ class Parser {
           } else if (base == 16 && d >= 'A' && d <= 'F') {
             v = d - 'A' + 10;
           } else {
-            return Status::InvalidArgument(
-                "XML: bad character reference '&" + std::string(entity) +
-                ";'");
+            return ErrorAt(offset, "bad character reference '&" +
+                                       std::string(entity) + ";'");
           }
           code = code * base + v;
           if (code > 0x10FFFF) {
-            return Status::InvalidArgument("XML: character reference out of "
-                                           "range");
+            return ErrorAt(offset, "character reference out of range");
           }
+        }
+        // The surrogate range is not XML Char data: encoding it with
+        // AppendUtf8 would emit CESU-8-style bytes no UTF-8 consumer
+        // accepts. U+0000 is likewise excluded by the XML Char
+        // production.
+        if (code >= 0xD800 && code <= 0xDFFF) {
+          return ErrorAt(offset, "character reference to surrogate code "
+                                 "point '&" + std::string(entity) + ";'");
+        }
+        if (code == 0) {
+          return ErrorAt(offset, "character reference to U+0000 is not a "
+                                 "valid XML character");
         }
         AppendUtf8(code, out);
       } else {
-        return Status::InvalidArgument("XML: unknown entity '&" +
-                                       std::string(entity) + ";'");
+        return ErrorAt(offset,
+                       "unknown entity '&" + std::string(entity) + ";'");
       }
       i = semi + 1;
     }

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "metrics/metrics.h"
 #include "query/unordered.h"
 #include "tree/tree_builder.h"
 #include "xml/sax_parser.h"
@@ -11,6 +12,26 @@
 namespace sketchtree {
 
 namespace {
+
+/// Front-end instrumentation: how much XML the readers consumed, how
+/// many elements/stream trees it contained, and how many documents were
+/// rejected by the parser.
+struct XmlMetrics {
+  Counter* bytes;
+  Counter* elements;
+  Counter* trees;
+  Counter* parse_errors;
+};
+
+XmlMetrics& Metrics() {
+  static XmlMetrics metrics{
+      GlobalMetrics().GetCounter("xml.bytes"),
+      GlobalMetrics().GetCounter("xml.elements"),
+      GlobalMetrics().GetCounter("xml.trees"),
+      GlobalMetrics().GetCounter("xml.parse_errors"),
+  };
+  return metrics;
+}
 
 std::string TrimAndClip(std::string_view text, size_t max_length) {
   size_t begin = 0;
@@ -43,6 +64,7 @@ class TreeBuildingHandler : public SaxHandler {
           "XML: multiple root elements in document");
     }
     seen_root_ = true;
+    ++elements_seen_;
     SKETCHTREE_RETURN_NOT_OK(builder_.Open(std::string(name)));
     if (options_.include_attributes) {
       for (const auto& [attr_name, attr_value] : attributes) {
@@ -67,10 +89,13 @@ class TreeBuildingHandler : public SaxHandler {
 
   Result<LabeledTree> Finish() { return builder_.Finish(); }
 
+  uint64_t elements_seen() const { return elements_seen_; }
+
  private:
   XmlTreeOptions options_;
   TreeBuilder builder_;
   bool seen_root_ = false;
+  uint64_t elements_seen_ = 0;
 };
 
 /// Builds one tree per depth-1 subtree of the forest document and hands
@@ -87,6 +112,7 @@ class ForestStreamingHandler : public SaxHandler {
       const std::vector<std::pair<std::string_view, std::string>>& attributes)
       override {
     ++depth_;
+    ++elements_seen_;
     if (depth_ == 1) {
       if (seen_root_) {
         return Status::InvalidArgument(
@@ -114,6 +140,7 @@ class ForestStreamingHandler : public SaxHandler {
     if (depth_ == 1) {
       // A complete stream tree: hand it off and reset for the next one.
       SKETCHTREE_ASSIGN_OR_RETURN(LabeledTree tree, builder_.Finish());
+      ++trees_emitted_;
       return callback_(std::move(tree));
     }
     return Status::OK();
@@ -126,12 +153,17 @@ class ForestStreamingHandler : public SaxHandler {
     return builder_.Leaf(value);
   }
 
+  uint64_t elements_seen() const { return elements_seen_; }
+  uint64_t trees_emitted() const { return trees_emitted_; }
+
  private:
   XmlTreeOptions options_;
   const std::function<Status(LabeledTree)>& callback_;
   TreeBuilder builder_;
   int depth_ = 0;
   bool seen_root_ = false;
+  uint64_t elements_seen_ = 0;
+  uint64_t trees_emitted_ = 0;
 };
 
 }  // namespace
@@ -140,8 +172,14 @@ Status StreamXmlForest(
     std::string_view xml,
     const std::function<Status(LabeledTree tree)>& callback,
     const XmlTreeOptions& options) {
+  XmlMetrics& metrics = Metrics();
+  metrics.bytes->Increment(xml.size());
   ForestStreamingHandler handler(options, callback);
-  return ParseXml(xml, &handler);
+  Status status = ParseXml(xml, &handler);
+  metrics.elements->Increment(handler.elements_seen());
+  metrics.trees->Increment(handler.trees_emitted());
+  if (!status.ok()) metrics.parse_errors->Increment();
+  return status;
 }
 
 Status StreamXmlForestFile(
@@ -163,8 +201,15 @@ Status StreamXmlForestFile(
 
 Result<LabeledTree> XmlToTree(std::string_view xml,
                               const XmlTreeOptions& options) {
+  XmlMetrics& metrics = Metrics();
+  metrics.bytes->Increment(xml.size());
   TreeBuildingHandler handler(options);
-  SKETCHTREE_RETURN_NOT_OK(ParseXml(xml, &handler));
+  Status status = ParseXml(xml, &handler);
+  metrics.elements->Increment(handler.elements_seen());
+  if (!status.ok()) {
+    metrics.parse_errors->Increment();
+    return status;
+  }
   return handler.Finish();
 }
 
@@ -177,6 +222,7 @@ Result<std::vector<LabeledTree>> XmlForestToTrees(
     CopySubtree(&tree, LabeledTree::kInvalidNode, document, child);
     forest.push_back(std::move(tree));
   }
+  Metrics().trees->Increment(forest.size());
   return forest;
 }
 

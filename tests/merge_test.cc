@@ -87,6 +87,52 @@ TEST(MergeTest, MismatchedOptionsRejected) {
   EXPECT_TRUE(a.Merge(c).IsInvalidArgument());
 }
 
+TEST(MergeTest, MismatchRejectionMatrix) {
+  // Every option that changes merge semantics must be pinned: a
+  // summary-less shard merged into a summary-bearing one would silently
+  // break extended queries, and mismatched top-k settings break the
+  // tracked-mass re-add. Each mutation below must be rejected with
+  // InvalidArgument in both merge directions.
+  SketchTreeOptions base = MergeOptions(/*topk=*/8);
+  std::vector<SketchTreeOptions> mutations;
+  {
+    SketchTreeOptions m = base;
+    m.topk_size = 16;
+    mutations.push_back(m);
+  }
+  {
+    SketchTreeOptions m = base;
+    m.topk_size = 0;
+    mutations.push_back(m);
+  }
+  {
+    SketchTreeOptions m = base;
+    m.topk_probability = 0.5;
+    mutations.push_back(m);
+  }
+  {
+    SketchTreeOptions m = base;
+    m.build_structural_summary = false;
+    mutations.push_back(m);
+  }
+  {
+    SketchTreeOptions m = base;
+    m.summary_max_nodes = 50;
+    mutations.push_back(m);
+  }
+  SketchTree reference = *SketchTree::Create(base);
+  for (size_t i = 0; i < mutations.size(); ++i) {
+    SketchTree mutated = *SketchTree::Create(mutations[i]);
+    EXPECT_TRUE(reference.Merge(mutated).IsInvalidArgument())
+        << "mutation " << i << " accepted forward";
+    EXPECT_TRUE(mutated.Merge(reference).IsInvalidArgument())
+        << "mutation " << i << " accepted backward";
+  }
+  // Control: an exact copy of the options still merges fine.
+  SketchTree same = *SketchTree::Create(base);
+  EXPECT_TRUE(reference.Merge(same).ok());
+}
+
 TEST(MergeTest, MergeOfSerializedShards) {
   // The distributed workflow: shards serialize, a combiner deserializes
   // and merges.
@@ -103,6 +149,48 @@ TEST(MergeTest, MergeOfSerializedShards) {
   ASSERT_TRUE(restored_a.Merge(restored_b).ok());
   EXPECT_NEAR(*restored_a.EstimateCountOrdered(*ParseSExpr("A(B)")), 3.0,
               2.0);
+}
+
+TEST(MergeTest, SerializedRoundTripWithTopKAndSummaryThenMerge) {
+  // Full-feature round trip: top-k tracking AND structural summary on,
+  // shards serialized and restored, then merged. The restored shards
+  // must carry their options (so the merge compatibility check sees
+  // them), the summaries must union, and estimates stay accurate.
+  SketchTreeOptions options = MergeOptions(/*topk=*/6);
+  options.s1 = 120;
+  SketchTree shard_a = *SketchTree::Create(options);
+  SketchTree shard_b = *SketchTree::Create(options);
+
+  LabeledTree heavy = *ParseSExpr("H(X,Y)");
+  for (int i = 0; i < 100; ++i) shard_a.Update(heavy);
+  for (int i = 0; i < 50; ++i) shard_b.Update(heavy);
+  shard_b.Update(*ParseSExpr("Q(R)"));
+
+  SketchTree restored_a =
+      *SketchTree::DeserializeFromString(shard_a.SerializeToString());
+  SketchTree restored_b =
+      *SketchTree::DeserializeFromString(shard_b.SerializeToString());
+  // Options survive the round trip, including the merge-pinned ones.
+  EXPECT_EQ(restored_a.options().topk_size, options.topk_size);
+  EXPECT_EQ(restored_a.options().build_structural_summary, true);
+  EXPECT_EQ(restored_a.options().summary_max_nodes,
+            options.summary_max_nodes);
+
+  ASSERT_TRUE(restored_a.Merge(restored_b).ok());
+  EXPECT_EQ(restored_a.Stats().trees_processed, 151u);
+  EXPECT_NEAR(*restored_a.EstimateCountOrdered(*ParseSExpr("H(X,Y)")),
+              150.0, 40.0);
+  // The merged summary covers labels only shard_b saw.
+  EXPECT_NEAR(*restored_a.EstimateExtended("Q(*)"), 1.0, 20.0);
+
+  // A restored shard with different summary options still refuses to
+  // merge — the check must work on deserialized state too.
+  SketchTreeOptions no_summary = options;
+  no_summary.build_structural_summary = false;
+  SketchTree plain = *SketchTree::Create(no_summary);
+  SketchTree restored_plain =
+      *SketchTree::DeserializeFromString(plain.SerializeToString());
+  EXPECT_TRUE(restored_a.Merge(restored_plain).IsInvalidArgument());
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+// Tests for the lock-cheap metrics layer: counter/gauge semantics under
+// concurrency, histogram bucket and percentile arithmetic at its edge
+// cases, and the registry contract (stable pointers, first-caller bounds,
+// deterministic JSON/table snapshots).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.h"
+
+namespace sketchtree {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  // The TSan preset runs this test; a non-atomic counter would both race
+  // and drop increments.
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddAndNegativeValues) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(-10);
+  EXPECT_EQ(gauge.value(), -3);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(HistogramTest, ExponentialBoundsGrowStrictly) {
+  std::vector<uint64_t> bounds = Histogram::ExponentialBounds(1, 2.0, 8);
+  ASSERT_EQ(bounds.size(), 8u);
+  EXPECT_EQ(bounds.front(), 1u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]) << "bound " << i;
+  }
+  // Factor close to 1 must still advance (the +1 floor).
+  std::vector<uint64_t> slow = Histogram::ExponentialBounds(1, 1.01, 5);
+  for (size_t i = 1; i < slow.size(); ++i) EXPECT_GT(slow[i], slow[i - 1]);
+}
+
+TEST(HistogramTest, ObserveRoutesToBuckets) {
+  Histogram histogram({10, 100, 1000});
+  histogram.Observe(5);     // <= 10
+  histogram.Observe(10);    // <= 10 (inclusive upper bound)
+  histogram.Observe(11);    // <= 100
+  histogram.Observe(1000);  // <= 1000
+  histogram.Observe(5000);  // overflow
+  EXPECT_EQ(histogram.BucketCount(0), 2u);
+  EXPECT_EQ(histogram.BucketCount(1), 1u);
+  EXPECT_EQ(histogram.BucketCount(2), 1u);
+  EXPECT_EQ(histogram.BucketCount(3), 1u);  // Overflow bucket.
+  EXPECT_EQ(histogram.TotalCount(), 5u);
+  EXPECT_EQ(histogram.Sum(), 5u + 10 + 11 + 1000 + 5000);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), (5.0 + 10 + 11 + 1000 + 5000) / 5);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram empty({10, 100});
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+
+  Histogram histogram({10, 100, 1000});
+  for (int i = 0; i < 90; ++i) histogram.Observe(10);
+  for (int i = 0; i < 10; ++i) histogram.Observe(1000);
+  // p50 falls in the first bucket, p99 in the third.
+  EXPECT_LE(histogram.Percentile(0.5), 10.0);
+  EXPECT_GT(histogram.Percentile(0.99), 100.0);
+  EXPECT_LE(histogram.Percentile(0.99), 1000.0);
+  // q=1 resolves to the upper bound of the last occupied bucket; q=0 to
+  // the lower edge of the first occupied one.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 1000.0);
+  EXPECT_LE(histogram.Percentile(0.0), 10.0);
+  // Percentiles are monotone in q.
+  double previous = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double value = histogram.Percentile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, OverflowSamplesClampToLastFiniteBound) {
+  Histogram histogram({10, 100});
+  for (int i = 0; i < 4; ++i) histogram.Observe(100000);
+  // All mass in the overflow bucket: every percentile clamps to the
+  // largest finite bound rather than inventing an upper edge.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramTest, ConcurrentObservesAreLossless) {
+  Histogram histogram(Histogram::ExponentialBounds(1, 2.0, 16));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe(static_cast<uint64_t>(t * 1000 + (i % 97)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsStablePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("test.other"), a);
+  Gauge* g = registry.GetGauge("test.gauge");
+  EXPECT_EQ(registry.GetGauge("test.gauge"), g);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedByFirstCaller) {
+  MetricsRegistry registry;
+  Histogram* first = registry.GetHistogram("test.hist", {10, 100});
+  Histogram* second = registry.GetHistogram("test.hist", {1, 2, 3, 4});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  Histogram* histogram = registry.GetHistogram("test.hist", {10});
+  counter->Increment(5);
+  gauge->Set(-2);
+  histogram->Observe(3);
+  registry.Reset();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0);
+  EXPECT_EQ(histogram->TotalCount(), 0u);
+  // The same pointers keep working after Reset.
+  counter->Increment();
+  EXPECT_EQ(registry.GetCounter("test.counter")->value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  // Hammer Get* from several threads: registration must be mutually
+  // exclusive and all threads must agree on the resulting pointer.
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* counter = registry.GetCounter("test.shared");
+      counter->Increment();
+      seen[static_cast<size_t>(t)] = counter;
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(MetricsRegistryTest, JsonSnapshotIsDeterministicAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Increment(2);
+  registry.GetCounter("a.counter")->Increment(1);
+  registry.GetGauge("a.gauge")->Set(-7);
+  registry.GetHistogram("a.hist", {10, 100})->Observe(50);
+  std::string json = registry.ToJson();
+  // Sorted keys: "a.counter" precedes "b.counter".
+  EXPECT_LT(json.find("\"a.counter\": 1"), json.find("\"b.counter\": 2"));
+  EXPECT_NE(json.find("\"a.gauge\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"a.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"le\": 100"), std::string::npos);
+  // Two snapshots of the same state are identical.
+  EXPECT_EQ(json, registry.ToJson());
+}
+
+TEST(MetricsRegistryTest, TableSnapshotMentionsEveryMetric) {
+  MetricsRegistry registry;
+  registry.GetCounter("t.counter")->Increment(3);
+  registry.GetGauge("t.gauge")->Set(9);
+  registry.GetHistogram("t.hist", {10})->Observe(4);
+  std::string table = registry.ToTable();
+  EXPECT_NE(table.find("t.counter"), std::string::npos);
+  EXPECT_NE(table.find("t.gauge"), std::string::npos);
+  EXPECT_NE(table.find("t.hist"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, GlobalRegistryIsProcessWide) {
+  Counter* counter = GlobalMetrics().GetCounter("test.global_counter");
+  uint64_t before = counter->value();
+  GlobalMetrics().GetCounter("test.global_counter")->Increment();
+  EXPECT_EQ(counter->value(), before + 1);
+}
+
+}  // namespace
+}  // namespace sketchtree

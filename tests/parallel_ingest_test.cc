@@ -261,6 +261,52 @@ TEST(ParallelIngesterTest, SingleThreadMatchesSerialBitExact) {
   }
 }
 
+TEST(ParallelIngesterTest, ReconcilesEnqueuedAgainstIngested) {
+  SketchTreeOptions options = IngestTestOptions();
+  constexpr int kTrees = 60;
+  ParallelIngestOptions ingest_options;
+  ingest_options.num_threads = 3;
+  ingest_options.queue_capacity = 4;
+  ParallelIngester ingester =
+      *ParallelIngester::Create(options, ingest_options);
+
+  TreebankGenerator gen;
+  uint64_t patterns_expected = 0;
+  {
+    SketchTree reference = *SketchTree::Create(options);
+    TreebankGenerator reference_gen;
+    for (int i = 0; i < kTrees; ++i) {
+      patterns_expected += reference.Update(reference_gen.Next());
+    }
+  }
+  for (int i = 0; i < kTrees; ++i) {
+    ASSERT_TRUE(ingester.Add(gen.Next()).ok());
+    // Mid-stream, the worker-side count may trail the producer but can
+    // never exceed it.
+    EXPECT_LE(ingester.trees_ingested(), ingester.trees_enqueued());
+  }
+  SketchTree combined = *ingester.Finish();
+
+  // After Finish the books must balance exactly: every enqueued tree was
+  // ingested by exactly one shard, and the shard counts sum to the
+  // totals (trees and patterns alike).
+  EXPECT_EQ(ingester.trees_enqueued(), static_cast<uint64_t>(kTrees));
+  EXPECT_EQ(ingester.trees_ingested(), ingester.trees_enqueued());
+  std::vector<ShardIngestStats> shards = ingester.ShardStats();
+  ASSERT_EQ(shards.size(), 3u);
+  uint64_t shard_trees = 0;
+  uint64_t shard_patterns = 0;
+  for (const ShardIngestStats& shard : shards) {
+    shard_trees += shard.trees_ingested;
+    shard_patterns += shard.patterns_ingested;
+  }
+  EXPECT_EQ(shard_trees, static_cast<uint64_t>(kTrees));
+  EXPECT_EQ(shard_patterns, patterns_expected);
+  EXPECT_EQ(combined.Stats().trees_processed,
+            static_cast<uint64_t>(kTrees));
+  EXPECT_EQ(combined.Stats().patterns_processed, patterns_expected);
+}
+
 TEST(ParallelIngesterTest, AddAfterFinishFails) {
   ParallelIngestOptions ingest_options;
   ingest_options.num_threads = 2;

@@ -132,6 +132,53 @@ TEST(SaxParserTest, BadEntitiesRejected) {
   EXPECT_TRUE(ParseError("<a>&#;</a>").IsInvalidArgument());
 }
 
+TEST(SaxParserTest, SurrogateCharacterReferencesRejected) {
+  // U+D800..U+DFFF are not XML characters; UTF-8-encoding them would
+  // produce byte sequences no conformant consumer accepts. Both edges of
+  // the range, decimal spellings, and attribute values must all reject.
+  EXPECT_TRUE(ParseError("<a>&#xD800;</a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a>&#xDFFF;</a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a>&#xDB7F;</a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a>&#55296;</a>").IsInvalidArgument());   // D800
+  EXPECT_TRUE(ParseError("<a>&#57343;</a>").IsInvalidArgument());   // DFFF
+  EXPECT_TRUE(ParseError("<a t='&#xD800;'/>").IsInvalidArgument());
+  // Immediate neighbours of the range stay valid.
+  EXPECT_EQ(Parse("<a>&#xD7FF;</a>"),
+            (std::vector<std::string>{"<a>", "T:\xED\x9F\xBF", "</a>"}));
+  EXPECT_EQ(Parse("<a>&#xE000;</a>"),
+            (std::vector<std::string>{"<a>", "T:\xEE\x80\x80", "</a>"}));
+  // U+0000 is likewise excluded by the XML Char production.
+  EXPECT_TRUE(ParseError("<a>&#0;</a>").IsInvalidArgument());
+  EXPECT_TRUE(ParseError("<a>&#x0;</a>").IsInvalidArgument());
+  // Beyond-Unicode references stay rejected.
+  EXPECT_TRUE(ParseError("<a>&#x110000;</a>").IsInvalidArgument());
+}
+
+TEST(SaxParserTest, EntityErrorsCarryByteOffsetOfAmpersand) {
+  // Entity failures must report the byte offset of the offending '&' in
+  // the whole document, like every other parse error — not a position
+  // relative to the text run or attribute value they occur in.
+  //                     0123456789
+  Status text = ParseError("<ab>xy&#xD800;</ab>");
+  EXPECT_TRUE(text.IsInvalidArgument());
+  EXPECT_NE(text.ToString().find("(offset 6)"), std::string::npos)
+      << text.ToString();
+
+  Status unknown = ParseError("<a>&nope;</a>");
+  EXPECT_NE(unknown.ToString().find("(offset 3)"), std::string::npos)
+      << unknown.ToString();
+
+  //                      0123456789
+  Status attr = ParseError("<a t='zz&bad;'/>");
+  EXPECT_TRUE(attr.IsInvalidArgument());
+  EXPECT_NE(attr.ToString().find("(offset 8)"), std::string::npos)
+      << attr.ToString();
+
+  Status unterminated = ParseError("<a>12&amp</a>");
+  EXPECT_NE(unterminated.ToString().find("(offset 5)"), std::string::npos)
+      << unterminated.ToString();
+}
+
 TEST(SaxParserTest, MalformedTagsRejected) {
   EXPECT_TRUE(ParseError("<1a/>").IsInvalidArgument());
   EXPECT_TRUE(ParseError("<a b=c/>").IsInvalidArgument());

@@ -145,6 +145,64 @@ TEST(VirtualStreamsTest, MemoryAccounting) {
   EXPECT_EQ(streams.PaperMemoryBytes(), 7u * 200u * 7u * 16u);
 }
 
+TEST(VirtualStreamsTest, TurnstileAccountingIsExactForUnitWeights) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  for (int i = 0; i < 5; ++i) streams.Insert(11);
+  EXPECT_EQ(streams.values_inserted(), 5u);
+  EXPECT_EQ(streams.over_deletions(), 0u);
+  for (int i = 0; i < 3; ++i) streams.Insert(11, -1.0);
+  EXPECT_EQ(streams.values_inserted(), 2u);
+  EXPECT_EQ(streams.over_deletions(), 0u);
+  // Batched deletes account identically.
+  std::vector<uint64_t> batch = {11, 11};
+  streams.InsertBatch(batch, -1.0);
+  EXPECT_EQ(streams.values_inserted(), 0u);
+  EXPECT_EQ(streams.over_deletions(), 0u);
+}
+
+TEST(VirtualStreamsTest, OverDeletionIsObservableNotClamped) {
+  VirtualStreams streams = *VirtualStreams::Create(SmallOptions());
+  streams.Insert(7);
+  // Delete three values when only one was inserted: the surplus two must
+  // land in over_deletions() instead of vanishing into a clamp.
+  std::vector<uint64_t> batch = {7, 7, 7};
+  streams.InsertBatch(batch, -1.0);
+  EXPECT_EQ(streams.values_inserted(), 0u);
+  EXPECT_EQ(streams.over_deletions(), 2u);
+  // Further single over-deletes keep accumulating.
+  streams.Insert(7, -1.0);
+  EXPECT_EQ(streams.over_deletions(), 3u);
+  // The sketches themselves absorbed the deletions (net -3 for value 7),
+  // so point estimates go negative rather than corrupting.
+  EXPECT_LT(streams.EstimatePoint(7), 0.0);
+
+  // Over-deletion counts fold across MergeFrom.
+  VirtualStreams other = *VirtualStreams::Create(SmallOptions());
+  other.Insert(9, -1.0);
+  EXPECT_EQ(other.over_deletions(), 1u);
+  ASSERT_TRUE(streams.MergeFrom(other).ok());
+  EXPECT_EQ(streams.over_deletions(), 4u);
+}
+
+TEST(VirtualStreamsTest, MergeFromRejectsMismatchedTopKOptions) {
+  VirtualStreamsOptions with_topk = SmallOptions();
+  with_topk.topk_capacity = 8;
+  VirtualStreams a = *VirtualStreams::Create(with_topk);
+
+  VirtualStreamsOptions other = with_topk;
+  other.topk_capacity = 16;
+  VirtualStreams b = *VirtualStreams::Create(other);
+  EXPECT_TRUE(a.MergeFrom(b).IsInvalidArgument());
+
+  other = with_topk;
+  other.topk_probability = 0.25;
+  VirtualStreams c = *VirtualStreams::Create(other);
+  EXPECT_TRUE(a.MergeFrom(c).IsInvalidArgument());
+
+  VirtualStreams same = *VirtualStreams::Create(with_topk);
+  EXPECT_TRUE(a.MergeFrom(same).ok());
+}
+
 TEST(VirtualStreamsTest, DeterministicAcrossInstances) {
   VirtualStreams a = *VirtualStreams::Create(SmallOptions());
   VirtualStreams b = *VirtualStreams::Create(SmallOptions());

@@ -18,12 +18,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/timer.h"
 #include "core/sketch_tree.h"
 #include "ingest/parallel_ingester.h"
+#include "metrics/metrics.h"
 #include "query/pattern_query.h"
 #include "xml/xml_tree_reader.h"
 
@@ -67,7 +70,12 @@ int Usage() {
       "  sketchtree_cli extended --synopsis SYNOPSIS.bin --query EXTPAT\n"
       "  sketchtree_cli expr --synopsis SYNOPSIS.bin --expression EXPR\n"
       "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
-      "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n");
+      "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n"
+      "\n"
+      "  any command also accepts --metrics-json PATH to dump the\n"
+      "  process metrics registry (ingest throughput, queue depth,\n"
+      "  per-shard counts, latency histograms) as JSON on exit; build\n"
+      "  emits a progress line to stderr about once per second.\n");
   return EXIT_FAILURE;
 }
 
@@ -99,6 +107,48 @@ Result<Args> ParseArgs(int argc, char** argv) {
   }
   return args;
 }
+
+/// Rate-limited build progress on stderr. Reads the process metrics
+/// registry rather than threading counters through the callbacks —
+/// which also guarantees the ingest gauges exist in a --metrics-json
+/// dump even for a single-threaded build.
+class ProgressReporter {
+ public:
+  ProgressReporter()
+      : patterns_(GlobalMetrics().GetCounter("sketch.patterns_ingested")),
+        queue_depth_(GlobalMetrics().GetGauge("ingest.queue_depth")) {}
+
+  void MaybeReport(uint64_t trees) {
+    double elapsed = timer_.ElapsedSeconds();
+    if (elapsed - last_report_ < 1.0) return;
+    last_report_ = elapsed;
+    std::fprintf(stderr,
+                 "progress: %llu trees, %llu patterns, %.0f trees/s, "
+                 "queue depth %lld\n",
+                 static_cast<unsigned long long>(trees),
+                 static_cast<unsigned long long>(patterns_->value()),
+                 elapsed > 0 ? static_cast<double>(trees) / elapsed : 0.0,
+                 static_cast<long long>(queue_depth_->value()));
+  }
+
+  /// Publishes end-of-build throughput into the registry.
+  void Finish(uint64_t trees, uint64_t patterns) const {
+    double elapsed = timer_.ElapsedSeconds();
+    if (elapsed <= 0) return;
+    GlobalMetrics()
+        .GetGauge("ingest.trees_per_sec")
+        ->Set(static_cast<int64_t>(static_cast<double>(trees) / elapsed));
+    GlobalMetrics()
+        .GetGauge("ingest.patterns_per_sec")
+        ->Set(static_cast<int64_t>(static_cast<double>(patterns) / elapsed));
+  }
+
+ private:
+  WallTimer timer_;
+  double last_report_ = 0.0;
+  Counter* patterns_;
+  Gauge* queue_depth_;
+};
 
 int RunBuild(const Args& args) {
   std::string input = args.Get("input");
@@ -132,6 +182,7 @@ int RunBuild(const Args& args) {
   }
   uint64_t trees = 0;
   uint64_t patterns = 0;
+  ProgressReporter progress;
   if (threads > 1) {
     // Sharded ingestion: N worker replicas built from the synopsis's own
     // options consume the stream and are merged into `sketch` at the end
@@ -153,11 +204,21 @@ int RunBuild(const Args& args) {
     Status stream_status =
         StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
           ++trees;
-          return ingester->Add(std::move(tree));
+          SKETCHTREE_RETURN_NOT_OK(ingester->Add(std::move(tree)));
+          progress.MaybeReport(trees);
+          return Status::OK();
         });
     if (!stream_status.ok()) return Fail(stream_status);
     Result<SketchTree> delta = ingester->Finish();
     if (!delta.ok()) return Fail(delta.status());
+    std::vector<ShardIngestStats> shard_stats = ingester->ShardStats();
+    for (size_t t = 0; t < shard_stats.size(); ++t) {
+      std::fprintf(stderr, "shard %zu: %llu trees, %llu patterns\n", t,
+                   static_cast<unsigned long long>(
+                       shard_stats[t].trees_ingested),
+                   static_cast<unsigned long long>(
+                       shard_stats[t].patterns_ingested));
+    }
     patterns = delta->Stats().patterns_processed;
     Status merge_status = sketch.Merge(*delta);
     if (!merge_status.ok()) return Fail(merge_status);
@@ -166,10 +227,12 @@ int RunBuild(const Args& args) {
         StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
           patterns += sketch.Update(tree);
           ++trees;
+          progress.MaybeReport(trees);
           return Status::OK();
         });
     if (!stream_status.ok()) return Fail(stream_status);
   }
+  progress.Finish(trees, patterns);
   std::printf("streamed %llu trees (%llu patterns) from %s\n",
               static_cast<unsigned long long>(trees),
               static_cast<unsigned long long>(patterns), input.c_str());
@@ -289,6 +352,30 @@ int RunStats(const Args& args) {
   return EXIT_SUCCESS;
 }
 
+/// Writes the process metrics registry to `path` as JSON. Runs even
+/// when the command failed — a dump of a partial run is exactly what a
+/// post-mortem wants.
+int DumpMetrics(const std::string& path, int exit_code) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << GlobalMetrics().ToJson() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                 path.c_str());
+    return EXIT_FAILURE;
+  }
+  return exit_code;
+}
+
+int RunCommand(const Args& args) {
+  if (args.command == "build") return RunBuild(args);
+  if (args.command == "query") return RunQuery(args);
+  if (args.command == "extended") return RunExtended(args);
+  if (args.command == "expr") return RunExpr(args);
+  if (args.command == "merge") return RunMerge(args);
+  if (args.command == "stats") return RunStats(args);
+  return Usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -297,11 +384,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
     return Usage();
   }
-  if (args->command == "build") return RunBuild(*args);
-  if (args->command == "query") return RunQuery(*args);
-  if (args->command == "extended") return RunExtended(*args);
-  if (args->command == "expr") return RunExpr(*args);
-  if (args->command == "merge") return RunMerge(*args);
-  if (args->command == "stats") return RunStats(*args);
-  return Usage();
+  int exit_code = RunCommand(*args);
+  std::string metrics_path = args->Get("metrics-json");
+  if (!metrics_path.empty()) {
+    exit_code = DumpMetrics(metrics_path, exit_code);
+  }
+  return exit_code;
 }
