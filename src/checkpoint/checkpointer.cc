@@ -1,0 +1,296 @@
+#include "checkpoint/checkpointer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/binary_io.h"
+#include "common/crc32.h"
+#include "metrics/metrics.h"
+
+namespace sketchtree {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53'4B'43'50;  // "SKCP".
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kCursorSection = 1;
+constexpr uint32_t kShardSectionBase = 0x100;
+constexpr char kFilePrefix[] = "checkpoint-";
+constexpr char kFileSuffix[] = ".ckpt";
+
+/// Durability-layer instrumentation; checkpoint.loads_rejected is the
+/// one to alert on — it means on-disk state failed validation.
+struct CheckpointMetrics {
+  Counter* writes;
+  Counter* write_errors;
+  Counter* bytes_written;
+  Counter* loads_rejected;
+  Counter* pruned;
+  Counter* tmp_swept;
+};
+
+CheckpointMetrics& Metrics() {
+  static CheckpointMetrics metrics{
+      GlobalMetrics().GetCounter("checkpoint.writes"),
+      GlobalMetrics().GetCounter("checkpoint.write_errors"),
+      GlobalMetrics().GetCounter("checkpoint.bytes_written"),
+      GlobalMetrics().GetCounter("checkpoint.loads_rejected"),
+      GlobalMetrics().GetCounter("checkpoint.pruned"),
+      GlobalMetrics().GetCounter("checkpoint.tmp_swept"),
+  };
+  return metrics;
+}
+
+void AppendSection(uint32_t id, std::string_view payload,
+                   BinaryWriter* writer) {
+  writer->WriteU32(id);
+  writer->WriteU64(payload.size());
+  writer->WriteU32(Crc32(payload));
+  writer->WriteBytes(payload);
+}
+
+/// Parses "checkpoint-<seq>.ckpt"; nullopt for anything else (including
+/// the ".tmp" debris of interrupted writes).
+std::optional<uint64_t> SequenceOfFile(const std::string& filename) {
+  std::string_view name = filename;
+  if (name.substr(0, sizeof(kFilePrefix) - 1) != kFilePrefix) {
+    return std::nullopt;
+  }
+  name.remove_prefix(sizeof(kFilePrefix) - 1);
+  if (name.size() <= sizeof(kFileSuffix) - 1 ||
+      name.substr(name.size() - (sizeof(kFileSuffix) - 1)) != kFileSuffix) {
+    return std::nullopt;
+  }
+  name.remove_suffix(sizeof(kFileSuffix) - 1);
+  if (name.empty()) return std::nullopt;
+  uint64_t seq = 0;
+  for (char c : name) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::string Checkpointer::Encode(const StreamCheckpoint& checkpoint) {
+  BinaryWriter cursor;
+  cursor.WriteU64(checkpoint.sequence);
+  cursor.WriteString(checkpoint.source);
+  cursor.WriteU64(checkpoint.trees_streamed);
+  cursor.WriteU64(checkpoint.byte_offset);
+  cursor.WriteU64(checkpoint.quarantined_trees);
+  cursor.WriteU32(static_cast<uint32_t>(checkpoint.shard_sketches.size()));
+
+  BinaryWriter file;
+  file.WriteU32(kMagic);
+  file.WriteU32(kVersion);
+  file.WriteU32(static_cast<uint32_t>(1 + checkpoint.shard_sketches.size()));
+  AppendSection(kCursorSection, cursor.buffer(), &file);
+  for (size_t i = 0; i < checkpoint.shard_sketches.size(); ++i) {
+    AppendSection(kShardSectionBase + static_cast<uint32_t>(i),
+                  checkpoint.shard_sketches[i], &file);
+  }
+  return file.Release();
+}
+
+Result<StreamCheckpoint> Checkpointer::ReadCheckpointFile(
+    const std::string& path) {
+  SKETCHTREE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  BinaryReader reader(bytes);
+
+  Result<uint32_t> magic = reader.ReadU32();
+  if (!magic.ok() || *magic != kMagic) {
+    return Status::Corruption("'" + path + "' is not a checkpoint file");
+  }
+  Result<uint32_t> version_read = reader.ReadU32();
+  if (!version_read.ok()) {
+    return Status::Corruption("'" + path + "' truncated in header");
+  }
+  uint32_t version = *version_read;
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version) + " in '" + path +
+                                   "'");
+  }
+  Result<uint32_t> section_count = reader.ReadU32();
+  if (!section_count.ok()) {
+    return Status::Corruption("'" + path + "' truncated in header");
+  }
+
+  StreamCheckpoint checkpoint;
+  uint32_t declared_shards = 0;
+  bool saw_cursor = false;
+  for (uint32_t s = 0; s < *section_count; ++s) {
+    if (reader.remaining() < 16) {
+      return Status::Corruption("'" + path + "' truncated in section " +
+                                std::to_string(s) + " header");
+    }
+    Result<uint32_t> id = reader.ReadU32();
+    Result<uint64_t> length = reader.ReadU64();
+    Result<uint32_t> stored_crc = reader.ReadU32();
+    if (*length > reader.remaining()) {
+      return Status::Corruption(
+          "'" + path + "' section " + std::to_string(s) + " claims " +
+          std::to_string(*length) + " bytes but only " +
+          std::to_string(reader.remaining()) + " remain (torn write)");
+    }
+    std::string_view payload =
+        *reader.ReadBytes(static_cast<size_t>(*length));
+    uint32_t computed = Crc32(payload);
+    if (computed != *stored_crc) {
+      return Status::Corruption(
+          "'" + path + "' section " + std::to_string(s) +
+          " checksum mismatch (stored " + std::to_string(*stored_crc) +
+          ", computed " + std::to_string(computed) + ")");
+    }
+    BinaryReader section(payload);
+    if (*id == kCursorSection) {
+      SKETCHTREE_ASSIGN_OR_RETURN(checkpoint.sequence, section.ReadU64());
+      SKETCHTREE_ASSIGN_OR_RETURN(checkpoint.source, section.ReadString());
+      SKETCHTREE_ASSIGN_OR_RETURN(checkpoint.trees_streamed,
+                                  section.ReadU64());
+      SKETCHTREE_ASSIGN_OR_RETURN(checkpoint.byte_offset, section.ReadU64());
+      SKETCHTREE_ASSIGN_OR_RETURN(checkpoint.quarantined_trees,
+                                  section.ReadU64());
+      SKETCHTREE_ASSIGN_OR_RETURN(declared_shards, section.ReadU32());
+      saw_cursor = true;
+    } else if (*id >= kShardSectionBase) {
+      uint32_t shard = *id - kShardSectionBase;
+      if (shard != checkpoint.shard_sketches.size()) {
+        return Status::Corruption("'" + path +
+                                  "' shard sections out of order");
+      }
+      checkpoint.shard_sketches.emplace_back(payload);
+    } else {
+      return Status::Corruption("'" + path + "' unknown section id " +
+                                std::to_string(*id));
+    }
+  }
+  if (!saw_cursor) {
+    return Status::Corruption("'" + path + "' has no cursor section");
+  }
+  if (declared_shards != checkpoint.shard_sketches.size()) {
+    return Status::Corruption(
+        "'" + path + "' cursor declares " + std::to_string(declared_shards) +
+        " shard(s) but " + std::to_string(checkpoint.shard_sketches.size()) +
+        " section(s) are present");
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("'" + path + "' has trailing bytes");
+  }
+  return checkpoint;
+}
+
+Result<Checkpointer> Checkpointer::Create(const std::string& directory,
+                                          const CheckpointerOptions& options) {
+  if (options.retain < 1) {
+    return Status::InvalidArgument("checkpoint retention must be >= 1");
+  }
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint directory '" +
+                           directory + "': " + ec.message());
+  }
+  uint64_t last_sequence = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory, ec)) {
+    std::string filename = entry.path().filename().string();
+    if (std::optional<uint64_t> seq = SequenceOfFile(filename)) {
+      last_sequence = std::max(last_sequence, *seq);
+    } else if (filename.size() > 4 &&
+               filename.substr(filename.size() - 4) == ".tmp") {
+      // Debris of a write interrupted before its rename; the data never
+      // became a checkpoint, so sweep it.
+      fs::remove(entry.path(), ec);
+      Metrics().tmp_swept->Increment();
+    }
+  }
+  return Checkpointer(directory, options, last_sequence);
+}
+
+std::string Checkpointer::FilePath(uint64_t sequence) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%08llu%s", kFilePrefix,
+                static_cast<unsigned long long>(sequence), kFileSuffix);
+  return directory_ + "/" + name;
+}
+
+Status Checkpointer::Write(StreamCheckpoint* checkpoint) {
+  checkpoint->sequence = last_sequence_ + 1;
+  std::string bytes = Encode(*checkpoint);
+  Status status = WriteFileAtomic(FilePath(checkpoint->sequence), bytes);
+  if (!status.ok()) {
+    Metrics().write_errors->Increment();
+    return status;
+  }
+  last_sequence_ = checkpoint->sequence;
+  Metrics().writes->Increment();
+  Metrics().bytes_written->Increment(bytes.size());
+  Prune();
+  return Status::OK();
+}
+
+void Checkpointer::Prune() const {
+  std::vector<std::pair<uint64_t, fs::path>> files;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (std::optional<uint64_t> seq =
+            SequenceOfFile(entry.path().filename().string())) {
+      files.emplace_back(*seq, entry.path());
+    }
+  }
+  if (files.size() <= options_.retain) return;
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t i = options_.retain; i < files.size(); ++i) {
+    fs::remove(files[i].second, ec);
+    Metrics().pruned->Increment();
+  }
+}
+
+std::vector<std::string> Checkpointer::ListCheckpointFiles() const {
+  std::vector<std::pair<uint64_t, std::string>> files;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(directory_, ec)) {
+    if (std::optional<uint64_t> seq =
+            SequenceOfFile(entry.path().filename().string())) {
+      files.emplace_back(*seq, entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> paths;
+  paths.reserve(files.size());
+  for (auto& [seq, path] : files) paths.push_back(std::move(path));
+  return paths;
+}
+
+Result<StreamCheckpoint> Checkpointer::LoadNewestValid() const {
+  std::vector<std::string> candidates = ListCheckpointFiles();
+  if (candidates.empty()) {
+    return Status::NotFound("no checkpoints in '" + directory_ + "'");
+  }
+  Status last_error;
+  for (const std::string& path : candidates) {
+    Result<StreamCheckpoint> checkpoint = ReadCheckpointFile(path);
+    if (checkpoint.ok()) return checkpoint;
+    Metrics().loads_rejected->Increment();
+    last_error = checkpoint.status();
+  }
+  return Status::Corruption(
+      "all " + std::to_string(candidates.size()) + " checkpoint(s) in '" +
+      directory_ + "' failed validation; newest rejection: " +
+      last_error.ToString());
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,110 @@
+#ifndef SKETCHTREE_CHECKPOINT_CHECKPOINTER_H_
+#define SKETCHTREE_CHECKPOINT_CHECKPOINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// One durable snapshot of a streaming build: the stream cursor (how far
+/// into the source the committed prefix reaches) plus every shard's
+/// serialized SketchTree. Replaying the source from `trees_streamed`
+/// reproduces the uninterrupted run bit-exactly (turnstile deletions
+/// included — the sketches are linear, so the committed prefix plus the
+/// replayed suffix is the whole stream, in expectation and in the
+/// counters).
+struct StreamCheckpoint {
+  /// Monotonic checkpoint number, assigned by Checkpointer::Write.
+  uint64_t sequence = 0;
+  /// Identifier of the input the cursor refers to (the CLI stores the
+  /// forest path); resume refuses a checkpoint for a different source.
+  std::string source;
+  /// Stream trees fully ingested at the consistent cut — the replay
+  /// cursor: resume skips exactly this many trees.
+  uint64_t trees_streamed = 0;
+  /// Byte offset just past the last committed tree in the source
+  /// document (diagnostic; the tree index is authoritative).
+  uint64_t byte_offset = 0;
+  /// Malformed trees quarantined before the cut, restored on resume so
+  /// end-of-build accounting spans the whole logical run.
+  uint64_t quarantined_trees = 0;
+  /// SketchTree::SerializeToString bytes, one entry per ingest shard
+  /// (a single-threaded build writes one).
+  std::vector<std::string> shard_sketches;
+};
+
+struct CheckpointerOptions {
+  /// Checkpoints kept on disk; older ones are pruned after each
+  /// successful write. At least 1.
+  size_t retain = 3;
+};
+
+/// Directory of atomically written, individually checksummed
+/// checkpoints. Every file is written temp → fsync → rename (see
+/// WriteFileAtomic) and carries a versioned header plus a CRC-32 per
+/// section, so a torn or bit-flipped checkpoint is *detected* and the
+/// loader falls back to the newest one that still validates — the
+/// invariant that makes kill -9 at any instant recoverable.
+///
+/// File layout (little-endian):
+///
+///   magic "SKCP" | version u32 | section_count u32
+///   per section: id u32 | length u64 | crc32 u32 | payload
+///
+/// Section ids: 1 = cursor metadata, 0x100 + i = shard i's synopsis.
+class Checkpointer {
+ public:
+  /// Opens (creating if needed) the checkpoint directory, sweeps stale
+  /// ".tmp" debris from interrupted writes, and positions the sequence
+  /// counter after the newest existing checkpoint.
+  static Result<Checkpointer> Create(const std::string& directory,
+                                     const CheckpointerOptions& options = {});
+
+  /// Assigns the next sequence number, writes the checkpoint
+  /// atomically, then prunes beyond the retention window. On success
+  /// `checkpoint->sequence` holds the assigned number. A failed write
+  /// (injected EIO, torn rename) leaves prior checkpoints untouched.
+  Status Write(StreamCheckpoint* checkpoint);
+
+  /// Newest checkpoint that passes full validation. Corrupt candidates
+  /// are skipped (counted in metrics, reported via stderr-free Status
+  /// detail) in favor of older valid ones; NotFound when the directory
+  /// holds no checkpoint at all, Corruption when candidates exist but
+  /// none validates.
+  Result<StreamCheckpoint> LoadNewestValid() const;
+
+  /// Decodes one checkpoint file with typed failures: NotFound,
+  /// IOError, Corruption (bad magic / CRC / truncation), InvalidArgument
+  /// (unsupported version).
+  static Result<StreamCheckpoint> ReadCheckpointFile(const std::string& path);
+
+  /// Serialized form of `checkpoint` (exposed for corruption tests).
+  static std::string Encode(const StreamCheckpoint& checkpoint);
+
+  /// Checkpoint files currently on disk, newest sequence first.
+  std::vector<std::string> ListCheckpointFiles() const;
+
+  const std::string& directory() const { return directory_; }
+  uint64_t last_sequence() const { return last_sequence_; }
+
+ private:
+  Checkpointer(std::string directory, CheckpointerOptions options,
+               uint64_t last_sequence)
+      : directory_(std::move(directory)),
+        options_(options),
+        last_sequence_(last_sequence) {}
+
+  std::string FilePath(uint64_t sequence) const;
+  void Prune() const;
+
+  std::string directory_;
+  CheckpointerOptions options_;
+  uint64_t last_sequence_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_CHECKPOINT_CHECKPOINTER_H_

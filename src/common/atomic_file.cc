@@ -1,0 +1,134 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "faultinject/fault_injector.h"
+
+namespace sketchtree {
+
+namespace {
+
+std::string ErrnoText(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+/// Directory component of `path` ("." when none) for the post-rename
+/// directory fsync.
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoText("write", path));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  FaultInjector& faults = FaultInjector::Global();
+  const std::string tmp_path = path + ".tmp";
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoText("open", tmp_path));
+
+  std::string_view payload = bytes;
+  uint64_t short_bytes = 0;
+  bool injected_short =
+      faults.ShouldFire(FaultSite::kFileShortWrite, &short_bytes);
+  if (injected_short && short_bytes < payload.size()) {
+    payload = payload.substr(0, short_bytes);
+  }
+  if (faults.ShouldFire(FaultSite::kFileWriteError)) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::IOError("injected EIO writing '" + tmp_path + "'");
+  }
+  Status write_status = WriteAll(fd, payload.data(), payload.size(), tmp_path);
+  if (!write_status.ok()) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return write_status;
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::IOError(ErrnoText("fsync", tmp_path));
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::IOError(ErrnoText("close", tmp_path));
+  }
+
+  if (faults.ShouldFire(FaultSite::kFileTornRename)) {
+    // Simulated crash after the temp write, before the rename: the temp
+    // file stays on disk (exactly the debris a real crash leaves) and
+    // the destination is untouched.
+    return Status::IOError("injected crash before renaming '" + tmp_path +
+                           "' over '" + path + "'");
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    Status st = Status::IOError(ErrnoText("rename", tmp_path));
+    ::unlink(tmp_path.c_str());
+    return st;
+  }
+
+  // Persist the rename itself: fsync the containing directory. Failure
+  // here is reported — the data is safe but the directory entry may not
+  // survive a crash, which a checkpointing caller needs to know.
+  std::string dir = DirName(path);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return Status::IOError(ErrnoText("open dir", dir));
+  int sync_rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (sync_rc != 0) return Status::IOError(ErrnoText("fsync dir", dir));
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  if (FaultInjector::Global().ShouldFire(FaultSite::kFileReadError)) {
+    return Status::IOError("injected EIO reading '" + path + "'");
+  }
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("'" + path + "' does not exist");
+    }
+    return Status::IOError(ErrnoText("open", path));
+  }
+  std::string content;
+  char buffer[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::IOError(ErrnoText("read", path));
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    content.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return content;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,33 @@
+#ifndef SKETCHTREE_COMMON_ATOMIC_FILE_H_
+#define SKETCHTREE_COMMON_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Durably replaces `path` with `bytes`: writes `path` + ".tmp" in the
+/// same directory, fsyncs the file, renames it over `path`, and fsyncs
+/// the directory so the rename itself survives a crash. Readers
+/// therefore only ever observe the old complete file or the new
+/// complete file — never a prefix.
+///
+/// A crash (or injected fault) mid-sequence leaves at worst a stale
+/// ".tmp" sibling, which the checkpoint loader ignores and sweeps.
+///
+/// Fault-injection seams: kFileShortWrite truncates the payload,
+/// kFileWriteError fails the write with EIO, kFileTornRename crashes
+/// between the temp write and the rename.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes);
+
+/// Reads the whole file. ENOENT maps to NotFound, every other failure
+/// (including the kFileReadError injected transient) to IOError, so
+/// callers can distinguish "nothing there" from "there but unreadable"
+/// — the difference between a fresh start and a retry.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_ATOMIC_FILE_H_

@@ -39,6 +39,10 @@ class BinaryWriter {
     buffer_.append(s.data(), s.size());
   }
 
+  /// Raw bytes with no length prefix (sectioned formats frame payloads
+  /// themselves).
+  void WriteBytes(std::string_view s) { buffer_.append(s.data(), s.size()); }
+
   const std::string& buffer() const { return buffer_; }
   std::string Release() { return std::move(buffer_); }
 
@@ -92,6 +96,15 @@ class BinaryReader {
     std::string s(data_.substr(pos_, length));
     pos_ += length;
     return s;
+  }
+
+  /// The next `length` raw bytes as a view into the input (for sectioned
+  /// formats that frame payloads with an external length + checksum).
+  Result<std::string_view> ReadBytes(size_t length) {
+    SKETCHTREE_RETURN_NOT_OK(Need(length));
+    std::string_view bytes = data_.substr(pos_, length);
+    pos_ += length;
+    return bytes;
   }
 
   bool AtEnd() const { return pos_ == data_.size(); }

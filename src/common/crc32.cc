@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace sketchtree {
+
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = BuildTable();
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (char byte : data) {
+    c = kTable[(c ^ static_cast<unsigned char>(byte)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,20 @@
+#ifndef SKETCHTREE_COMMON_CRC32_H_
+#define SKETCHTREE_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sketchtree {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`, continuing from
+/// `crc` — pass the return value of a previous call to checksum a byte
+/// sequence in pieces. The default 0 starts a fresh checksum.
+///
+/// Guards every persisted artifact (synopsis files, checkpoint sections)
+/// against torn writes and bit rot: a mismatch is reported as
+/// Status::Corruption instead of being parsed into silently wrong counts.
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_CRC32_H_

@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "Unimplemented";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -22,6 +22,11 @@ class Status {
     kIOError,
     kUnimplemented,
     kInternal,
+    /// Persisted bytes exist but fail validation (CRC mismatch, torn
+    /// write, truncated section) — distinct from kIOError (the read
+    /// itself failed) and kNotFound (nothing there at all), so recovery
+    /// code can fall back to an older replica instead of aborting.
+    kCorruption,
   };
 
   Status() : code_(Code::kOk) {}
@@ -45,6 +50,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -56,6 +64,7 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
 
   /// Human-readable "<CODE>: <message>" string for logs and test output.
   std::string ToString() const;

@@ -1,15 +1,18 @@
-// Synopsis (de)serialization for SketchTree. Format (little-endian):
+// Synopsis (de)serialization for SketchTree. Format v2 (little-endian):
 //
 //   magic "SKTR" | version u32 | options | trees_processed u64 |
-//   virtual-streams state | has_summary u8 [ | summary state ]
+//   trees_removed u64 | patterns_removed u64 | virtual-streams state |
+//   has_summary u8 [ | summary state ] | crc32 u32
 //
 // Only mutable state is stored; all randomness is re-derived from the
 // options' seeds on load, making the format compact and the round trip
-// bit-exact.
-#include <fstream>
-#include <sstream>
-
+// bit-exact. The trailing CRC-32 covers every preceding byte, so a
+// truncated, torn, or bit-flipped synopsis is rejected as Corruption
+// instead of being parsed into silently wrong counts (v1 had no
+// checksum and did not persist the turnstile removal counters).
+#include "common/atomic_file.h"
 #include "common/binary_io.h"
+#include "common/crc32.h"
 #include "core/sketch_tree.h"
 
 namespace sketchtree {
@@ -17,7 +20,8 @@ namespace sketchtree {
 namespace {
 
 constexpr uint32_t kMagic = 0x53'4B'54'52;  // "SKTR".
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr size_t kCrcTrailerBytes = 4;
 
 void WriteOptions(const SketchTreeOptions& options, BinaryWriter* writer) {
   writer->WriteU32(static_cast<uint32_t>(options.max_pattern_edges));
@@ -67,28 +71,57 @@ std::string SketchTree::SerializeToString() const {
   writer.WriteU32(kVersion);
   WriteOptions(options_, &writer);
   writer.WriteU64(trees_processed_);
+  writer.WriteU64(trees_removed_);
+  writer.WriteU64(patterns_removed_);
   streams_->SaveState(&writer);
   writer.WriteU8(summary_ != nullptr ? 1 : 0);
   if (summary_ != nullptr) summary_->SaveState(&writer);
+  uint32_t crc = Crc32(writer.buffer());
+  writer.WriteU32(crc);
   return writer.Release();
 }
 
 Result<SketchTree> SketchTree::DeserializeFromString(
     std::string_view bytes) {
-  BinaryReader reader(bytes);
-  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
-  if (magic != kMagic) {
-    return Status::InvalidArgument("not a SketchTree synopsis (bad magic)");
+  // Validate the envelope before interpreting any field: magic first
+  // (is this a synopsis at all?), then the whole-payload CRC (is it the
+  // synopsis that was written?).
+  if (bytes.size() < 8 + kCrcTrailerBytes) {
+    return Status::OutOfRange("synopsis too short (" +
+                              std::to_string(bytes.size()) + " bytes)");
   }
-  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != kVersion) {
-    return Status::InvalidArgument("unsupported synopsis version " +
-                                   std::to_string(version));
+  {
+    BinaryReader header(bytes);
+    SKETCHTREE_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
+    if (magic != kMagic) {
+      return Status::InvalidArgument("not a SketchTree synopsis (bad magic)");
+    }
+    SKETCHTREE_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+    if (version != kVersion) {
+      return Status::InvalidArgument("unsupported synopsis version " +
+                                     std::to_string(version));
+    }
   }
+  std::string_view payload = bytes.substr(0, bytes.size() - kCrcTrailerBytes);
+  BinaryReader trailer(bytes.substr(bytes.size() - kCrcTrailerBytes));
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t stored_crc, trailer.ReadU32());
+  uint32_t computed_crc = Crc32(payload);
+  if (stored_crc != computed_crc) {
+    return Status::Corruption(
+        "synopsis checksum mismatch (stored " + std::to_string(stored_crc) +
+        ", computed " + std::to_string(computed_crc) +
+        "): torn write or bit rot");
+  }
+
+  BinaryReader reader(payload);
+  SKETCHTREE_RETURN_NOT_OK(reader.ReadU32().status());  // Magic, checked.
+  SKETCHTREE_RETURN_NOT_OK(reader.ReadU32().status());  // Version, checked.
   SKETCHTREE_ASSIGN_OR_RETURN(SketchTreeOptions options,
                               ReadOptions(&reader));
   SKETCHTREE_ASSIGN_OR_RETURN(SketchTree sketch, Create(options));
   SKETCHTREE_ASSIGN_OR_RETURN(sketch.trees_processed_, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(sketch.trees_removed_, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(sketch.patterns_removed_, reader.ReadU64());
   SKETCHTREE_RETURN_NOT_OK(sketch.streams_->LoadState(&reader));
   SKETCHTREE_ASSIGN_OR_RETURN(uint8_t has_summary, reader.ReadU8());
   if ((has_summary != 0) != (sketch.summary_ != nullptr)) {
@@ -105,22 +138,25 @@ Result<SketchTree> SketchTree::DeserializeFromString(
 }
 
 Status SketchTree::SaveToFile(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return Status::IOError("cannot open '" + path + "' for write");
-  std::string bytes = SerializeToString();
-  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!file) return Status::IOError("error writing '" + path + "'");
-  return Status::OK();
+  return WriteFileAtomic(path, SerializeToString());
 }
 
 Result<SketchTree> SketchTree::LoadFromFile(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream content;
-  content << file.rdbuf();
-  if (file.bad()) return Status::IOError("error reading '" + path + "'");
-  std::string bytes = content.str();
-  return DeserializeFromString(bytes);
+  // ReadFileToString already distinguishes NotFound (ENOENT) from
+  // IOError; DeserializeFromString layers Corruption (CRC mismatch),
+  // OutOfRange (truncation), and InvalidArgument (wrong format) on top.
+  SKETCHTREE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  Result<SketchTree> sketch = DeserializeFromString(bytes);
+  if (!sketch.ok()) {
+    Status st = sketch.status();
+    if (st.IsOutOfRange()) {
+      // A short file on disk is a torn/partial write, not a caller bug.
+      return Status::Corruption("'" + path + "' is truncated: " +
+                                st.message());
+    }
+    return st;
+  }
+  return sketch;
 }
 
 }  // namespace sketchtree

@@ -165,12 +165,19 @@ class SketchTree {
   std::string SerializeToString() const;
 
   /// Restores a synopsis written by SerializeToString. Validates magic,
-  /// version, and structural consistency; fails with
-  /// InvalidArgument/OutOfRange on corrupt or truncated input.
+  /// version, the whole-payload CRC-32, and structural consistency;
+  /// fails with InvalidArgument (wrong format), OutOfRange (truncated),
+  /// or Corruption (checksum mismatch) — never crashes or silently
+  /// accepts damaged bytes.
   static Result<SketchTree> DeserializeFromString(std::string_view bytes);
 
-  /// File convenience wrappers.
+  /// Atomically persists the synopsis: write to `path`.tmp, fsync,
+  /// rename over `path`, fsync the directory. A crash mid-save leaves
+  /// the previous file intact.
   Status SaveToFile(const std::string& path) const;
+  /// Loads a SaveToFile synopsis with typed failures: NotFound (no such
+  /// file), IOError (unreadable), Corruption (truncated or checksum
+  /// mismatch), InvalidArgument (not a synopsis / wrong version).
   static Result<SketchTree> LoadFromFile(const std::string& path);
 
   /// Folds `other` — a synopsis built with identical options — into this

@@ -1,11 +1,14 @@
 #include "ingest/parallel_ingester.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "faultinject/fault_injector.h"
 #include "metrics/metrics.h"
 
 namespace sketchtree {
@@ -29,6 +32,7 @@ struct ParallelIngester::State {
   uint64_t trees_enqueued = 0;
   uint64_t rejected_adds = 0;  // Pushes dropped by a closed queue.
   bool finished = false;
+  bool resumed = false;
 };
 
 Result<ParallelIngester> ParallelIngester::Create(
@@ -56,7 +60,10 @@ Result<ParallelIngester> ParallelIngester::Create(
     raw->worker = std::thread([raw, queue] {
       while (std::optional<LabeledTree> tree = queue->Pop()) {
         uint64_t patterns = raw->sketch.Update(*tree);
-        raw->trees.fetch_add(1, std::memory_order_relaxed);
+        // Release pairs with the acquire in SnapshotShards' drain loop:
+        // once the snapshotting thread observes this increment, the
+        // Update above is visible too.
+        raw->trees.fetch_add(1, std::memory_order_release);
         raw->patterns.fetch_add(patterns, std::memory_order_relaxed);
         raw->trees_metric->Increment();
       }
@@ -91,6 +98,96 @@ Status ParallelIngester::Add(LabeledTree tree) {
   ++state_->trees_enqueued;
   GlobalMetrics().GetCounter("ingest.trees_enqueued")->Increment();
   return Status::OK();
+}
+
+Status ParallelIngester::IngestAll(const TreeSource& source,
+                                   const ReaderRetryPolicy& retry) {
+  Counter* retries_metric = GlobalMetrics().GetCounter("ingest.reader_retries");
+  Counter* gave_up_metric = GlobalMetrics().GetCounter("ingest.reader_gave_up");
+  int attempt = 1;
+  std::chrono::milliseconds backoff = retry.initial_backoff;
+  while (true) {
+    Result<std::optional<LabeledTree>> next =
+        FaultInjector::Global().ShouldFire(FaultSite::kReaderError)
+            ? Result<std::optional<LabeledTree>>(
+                  Status::IOError("injected transient reader error"))
+            : source();
+    if (!next.ok()) {
+      if (!next.status().IsIOError()) return next.status();
+      if (attempt >= retry.max_attempts) {
+        gave_up_metric->Increment();
+        return next.status();
+      }
+      ++attempt;
+      retries_metric->Increment();
+      std::this_thread::sleep_for(backoff);
+      backoff = std::chrono::milliseconds(std::max<int64_t>(
+          1, static_cast<int64_t>(static_cast<double>(backoff.count()) *
+                                  retry.backoff_multiplier)));
+      continue;
+    }
+    attempt = 1;
+    backoff = retry.initial_backoff;
+    if (!next.value().has_value()) return Status::OK();
+    SKETCHTREE_RETURN_NOT_OK(Add(std::move(*next.value())));
+  }
+}
+
+Status ParallelIngester::ResumeFrom(
+    const std::vector<std::string>& shard_sketches) {
+  if (state_->finished) {
+    return Status::InvalidArgument("ResumeFrom after Finish");
+  }
+  if (state_->resumed) {
+    return Status::InvalidArgument("ResumeFrom called twice");
+  }
+  if (state_->trees_enqueued != 0) {
+    return Status::InvalidArgument(
+        "ResumeFrom must precede the first Add");
+  }
+  state_->resumed = true;
+  // The workers exist but are blocked in Pop (nothing has been
+  // enqueued), so mutating the shard replicas here is race-free; the
+  // queue's mutex orders these writes before any tree they later
+  // ingest. Merging into the fresh empty replica (rather than replacing
+  // it) routes through Merge's option-compatibility validation and is
+  // exact: the empty replica contributes zero to every counter.
+  const bool aligned = shard_sketches.size() == state_->shards.size();
+  for (size_t i = 0; i < shard_sketches.size(); ++i) {
+    SKETCHTREE_ASSIGN_OR_RETURN(
+        SketchTree restored,
+        SketchTree::DeserializeFromString(shard_sketches[i]));
+    Shard& target = aligned ? *state_->shards[i] : *state_->shards[0];
+    SKETCHTREE_RETURN_NOT_OK(target.sketch.Merge(restored));
+  }
+  GlobalMetrics().GetCounter("ingest.shards_resumed")
+      ->Increment(shard_sketches.size());
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ParallelIngester::SnapshotShards() {
+  if (state_->finished) {
+    return Status::InvalidArgument("SnapshotShards after Finish");
+  }
+  // Consistent cut: with the producer paused (our caller), wait until
+  // the workers have applied every enqueued tree. The acquire loads
+  // pair with the workers' release increments, making each shard's last
+  // Update visible before we serialize it; afterwards the workers sit
+  // blocked in Pop and do not touch their sketches.
+  uint64_t applied = 0;
+  do {
+    applied = 0;
+    for (const auto& shard : state_->shards) {
+      applied += shard->trees.load(std::memory_order_acquire);
+    }
+    if (applied < state_->trees_enqueued) std::this_thread::yield();
+  } while (applied < state_->trees_enqueued);
+  std::vector<std::string> snapshots;
+  snapshots.reserve(state_->shards.size());
+  for (const auto& shard : state_->shards) {
+    snapshots.push_back(shard->sketch.SerializeToString());
+  }
+  return snapshots;
 }
 
 Result<SketchTree> ParallelIngester::Finish() {

@@ -1,7 +1,11 @@
 #ifndef SKETCHTREE_INGEST_PARALLEL_INGESTER_H_
 #define SKETCHTREE_INGEST_PARALLEL_INGESTER_H_
 
+#include <chrono>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -26,6 +30,21 @@ struct ParallelIngestOptions {
   /// Bound of the tree hand-off queue; back-pressure for the producer.
   size_t queue_capacity = 256;
 };
+
+/// Retry discipline for transient tree-source failures in IngestAll.
+/// A pull that fails with IOError is retried up to `max_attempts` total
+/// tries with exponential backoff; any other error class is treated as
+/// permanent and returned immediately.
+struct ReaderRetryPolicy {
+  int max_attempts = 4;
+  std::chrono::milliseconds initial_backoff{1};
+  double backoff_multiplier = 2.0;
+};
+
+/// Pull-based tree producer for IngestAll: returns the next stream tree,
+/// nullopt at end of stream, or an error Status (IOError = transient,
+/// retried per ReaderRetryPolicy).
+using TreeSource = std::function<Result<std::optional<LabeledTree>>()>;
 
 /// Parallel sharded ingestion of a tree stream (the scaling path the
 /// paper's Section 5.3 seed sharing enables): N workers each own a
@@ -64,6 +83,31 @@ class ParallelIngester {
   /// Enqueues one stream tree; blocks while the queue is full. Fails
   /// once Finish has been called.
   Status Add(LabeledTree tree);
+
+  /// Pulls trees from `source` until it signals end of stream, Adding
+  /// each. Transient (IOError) pulls are retried with exponential
+  /// backoff per `retry`; exhausting the budget returns the last error
+  /// (counted in `ingest.reader_gave_up`), successful retries in
+  /// `ingest.reader_retries`. Non-IOError statuses and Add failures
+  /// abort immediately.
+  Status IngestAll(const TreeSource& source,
+                   const ReaderRetryPolicy& retry = {});
+
+  /// Restores the shard replicas from the serialized sketches of a
+  /// checkpoint. Must be called before any tree is Added. When the
+  /// checkpoint's shard count matches num_threads() each replica is
+  /// restored in place; otherwise every checkpointed shard is folded
+  /// into shard 0 — exact either way by sketch linearity. Option
+  /// compatibility between the checkpoint and this ingester is
+  /// validated (via SketchTree::Merge) per shard.
+  Status ResumeFrom(const std::vector<std::string>& shard_sketches);
+
+  /// Drains the pipeline to a consistent cut — blocks until the workers
+  /// have applied every tree Added so far — and returns each shard
+  /// replica serialized, in shard order. The caller (producer thread)
+  /// must not Add concurrently; that is the cut's consistency
+  /// guarantee. The pipeline keeps running afterwards.
+  Result<std::vector<std::string>> SnapshotShards();
 
   /// Closes the stream, joins the workers, merges the shard replicas,
   /// and returns the combined synopsis. One-shot: further Add/Finish

@@ -1,0 +1,52 @@
+#include "ingest/quarantine.h"
+
+#include <fstream>
+#include <utility>
+
+#include "metrics/metrics.h"
+
+namespace sketchtree {
+
+QuarantineSink::QuarantineSink(QuarantineOptions options)
+    : options_(std::move(options)) {}
+
+void QuarantineSink::Record(uint64_t tree_index, uint64_t byte_offset,
+                            const Status& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  GlobalMetrics().GetCounter("ingest.quarantined_trees")->Increment();
+  if (options_.sidecar_path.empty() || sampled_ >= options_.max_samples) {
+    return;
+  }
+  ++sampled_;
+  GlobalMetrics().GetCounter("ingest.quarantine_sampled")->Increment();
+  pending_ += "tree " + std::to_string(tree_index) + " @ byte " +
+              std::to_string(byte_offset) + ": " + reason.ToString() + "\n";
+}
+
+uint64_t QuarantineSink::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void QuarantineSink::set_base_count(uint64_t base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = base;
+}
+
+Status QuarantineSink::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_.empty() && sidecar_error_.ok()) {
+    std::ofstream out(options_.sidecar_path,
+                      std::ios::binary | std::ios::app);
+    out << pending_;
+    if (!out) {
+      sidecar_error_ = Status::IOError("cannot write quarantine sidecar '" +
+                                       options_.sidecar_path + "'");
+    }
+    pending_.clear();
+  }
+  return sidecar_error_;
+}
+
+}  // namespace sketchtree

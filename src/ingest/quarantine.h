@@ -1,0 +1,61 @@
+#ifndef SKETCHTREE_INGEST_QUARANTINE_H_
+#define SKETCHTREE_INGEST_QUARANTINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+struct QuarantineOptions {
+  /// Sidecar file the first `max_samples` offenders are appended to,
+  /// one line each ("tree <index> @ byte <offset>: <reason>"); empty
+  /// disables sampling and only the counters are kept.
+  std::string sidecar_path;
+  size_t max_samples = 100;
+};
+
+/// Collector for stream trees rejected during ingestion. A build that
+/// hits a malformed tree should not forfeit the synopsis of the other
+/// 99.99% of the stream: offenders are counted, a bounded sample is
+/// written to a sidecar for post-mortems, and the build carries on
+/// (unless --fail-fast). Surfaced via the `ingest.quarantined_trees`
+/// and `ingest.quarantine_sampled` counters.
+///
+/// Thread-safe; the XML front end records from the producer thread
+/// while tests inspect counts.
+class QuarantineSink {
+ public:
+  explicit QuarantineSink(QuarantineOptions options = {});
+
+  /// Records one rejected stream element. `tree_index` is its ordinal
+  /// in the stream, `byte_offset` its position in the source document.
+  void Record(uint64_t tree_index, uint64_t byte_offset,
+              const Status& reason);
+
+  /// Trees quarantined so far (including any base carried over from a
+  /// resumed checkpoint).
+  uint64_t count() const;
+
+  /// Pre-loads the counter from a checkpoint so post-resume accounting
+  /// covers the whole logical run.
+  void set_base_count(uint64_t base);
+
+  /// Flushes and closes the sidecar; reports the first write error that
+  /// occurred while sampling (sampling failures never abort ingestion).
+  Status Close();
+
+ private:
+  QuarantineOptions options_;
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  uint64_t sampled_ = 0;
+  std::string pending_;  // Buffered sample lines not yet on disk.
+  Status sidecar_error_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_INGEST_QUARANTINE_H_

@@ -1,6 +1,10 @@
 #include "ingest/tree_queue.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/timer.h"
+#include "faultinject/fault_injector.h"
 #include "metrics/metrics.h"
 
 namespace sketchtree {
@@ -29,6 +33,14 @@ QueueMetrics& Metrics() {
 }  // namespace
 
 bool BoundedTreeQueue::Push(LabeledTree tree) {
+  // Injected producer stall: sleep `param` milliseconds before taking
+  // the lock, exercising the consumers' idle path and any drain logic
+  // that waits on the producer.
+  uint64_t stall_ms = 0;
+  if (FaultInjector::Global().ShouldFire(FaultSite::kQueueStall,
+                                         &stall_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   if (!closed_ && items_.size() >= capacity_) {
     // Producer back-pressure: record how long the stream front end

@@ -250,8 +250,16 @@ void VirtualStreams::SaveState(BinaryWriter* writer) const {
   }
   writer->WriteU32(static_cast<uint32_t>(trackers_.size()));
   for (const TopKTracker& tracker : trackers_) {
-    writer->WriteU64(tracker.tracked().size());
-    for (const auto& [value, freq] : tracker.tracked()) {
+    // Canonical order: the tracker's hash-map iteration order depends
+    // on its insertion history, which differs between an uninterrupted
+    // run and a checkpoint round trip. Sorting by fingerprint makes the
+    // serialized bytes a pure function of the tracked *contents*, so
+    // resumed builds stay bit-identical.
+    std::vector<std::pair<uint64_t, double>> entries(
+        tracker.tracked().begin(), tracker.tracked().end());
+    std::sort(entries.begin(), entries.end());
+    writer->WriteU64(entries.size());
+    for (const auto& [value, freq] : entries) {
       writer->WriteU64(value);
       writer->WriteDouble(freq);
     }

@@ -187,6 +187,7 @@ class Parser {
     std::string_view raw = in_.substr(start, pos_ - start);
     SKETCHTREE_RETURN_NOT_OK(DecodeEntities(raw, &decode_buffer_));
     if (!decode_buffer_.empty()) {
+      handler_->set_byte_offset(pos_);
       return handler_->Characters(decode_buffer_);
     }
     return Status::OK();
@@ -200,7 +201,10 @@ class Parser {
     if (StartsWith("<![CDATA[")) {
       pos_ += 9;
       SKETCHTREE_ASSIGN_OR_RETURN(std::string_view cdata, Until("]]>"));
-      if (!cdata.empty()) return handler_->Characters(cdata);
+      if (!cdata.empty()) {
+        handler_->set_byte_offset(pos_);
+        return handler_->Characters(cdata);
+      }
       return Status::OK();
     }
     if (StartsWith("<?")) {
@@ -235,6 +239,7 @@ class Parser {
         return Error("mismatched end tag '</" + std::string(name) + ">'");
       }
       open_tags_.pop_back();
+      handler_->set_byte_offset(pos_);
       return handler_->EndElement(name);
     }
     return StartTag();
@@ -251,6 +256,7 @@ class Parser {
       if (c == '>') {
         ++pos_;
         open_tags_.push_back(name);
+        handler_->set_byte_offset(pos_);
         return handler_->StartElement(name, attributes_);
       }
       if (c == '/') {
@@ -259,6 +265,7 @@ class Parser {
           return Error("expected '>' after '/'");
         }
         ++pos_;
+        handler_->set_byte_offset(pos_);
         SKETCHTREE_RETURN_NOT_OK(handler_->StartElement(name, attributes_));
         return handler_->EndElement(name);
       }

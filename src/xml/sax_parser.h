@@ -29,6 +29,16 @@ class SaxHandler {
   /// Text content with entities decoded; CDATA sections arrive verbatim.
   /// Whitespace-only runs are NOT suppressed — the handler decides.
   virtual Status Characters(std::string_view text) = 0;
+
+  /// Byte offset just past the construct that produced the current
+  /// event, updated by the parser before each callback. Handlers that
+  /// maintain stream cursors (checkpoint/resume) read it inside their
+  /// callbacks; after EndElement it points past the closing tag.
+  size_t byte_offset() const { return byte_offset_; }
+  void set_byte_offset(size_t offset) { byte_offset_ = offset; }
+
+ private:
+  size_t byte_offset_ = 0;
 };
 
 /// A small, self-contained, non-validating streaming XML parser — the

@@ -3,7 +3,10 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "common/atomic_file.h"
+#include "faultinject/fault_injector.h"
 #include "metrics/metrics.h"
 #include "query/unordered.h"
 #include "tree/tree_builder.h"
@@ -100,12 +103,17 @@ class TreeBuildingHandler : public SaxHandler {
 
 /// Builds one tree per depth-1 subtree of the forest document and hands
 /// it to the callback; the enclosing root element is only a wrapper.
+/// Supports a resume cursor (skip the first N subtrees without building
+/// them) and quarantine of individually malformed trees: a tree whose
+/// *content* is rejected (builder failure, injected fault) is recorded
+/// and the remainder of its subtree discarded, while document-level XML
+/// errors still abort the whole parse.
 class ForestStreamingHandler : public SaxHandler {
  public:
-  ForestStreamingHandler(
-      const XmlTreeOptions& options,
-      const std::function<Status(LabeledTree)>& callback)
-      : options_(options), callback_(callback) {}
+  ForestStreamingHandler(const ForestStreamOptions& options,
+                         const ForestTreeCallback& callback,
+                         ForestStreamStats* stats)
+      : options_(options), callback_(callback), stats_(stats) {}
 
   Status StartElement(
       std::string_view name,
@@ -121,65 +129,162 @@ class ForestStreamingHandler : public SaxHandler {
       seen_root_ = true;
       return Status::OK();  // The wrapper element is not part of any tree.
     }
-    SKETCHTREE_RETURN_NOT_OK(builder_.Open(std::string(name)));
-    if (options_.include_attributes) {
-      for (const auto& [attr_name, attr_value] : attributes) {
-        SKETCHTREE_RETURN_NOT_OK(builder_.Open("@" + std::string(attr_name)));
-        SKETCHTREE_RETURN_NOT_OK(builder_.Leaf(
-            TrimAndClip(attr_value, options_.max_text_length)));
-        SKETCHTREE_RETURN_NOT_OK(builder_.Close());
-      }
+    if (depth_ == 2 && mode_ == Mode::kBuild &&
+        next_tree_index_ < options_.skip_trees) {
+      mode_ = Mode::kSkip;  // Resume cursor: parse but do not build.
     }
+    if (mode_ != Mode::kBuild) return Status::OK();
+    Status built = BuildElement(name, attributes);
+    if (!built.ok()) return TreeRejected(built);
     return Status::OK();
   }
 
   Status EndElement(std::string_view) override {
     --depth_;
     if (depth_ == 0) return Status::OK();  // Wrapper closed.
-    SKETCHTREE_RETURN_NOT_OK(builder_.Close());
+    if (mode_ != Mode::kBuild) {
+      if (depth_ == 1) FinishNonBuiltTree();
+      return Status::OK();
+    }
+    Status closed = builder_.Close();
+    if (!closed.ok()) return TreeRejected(closed);
     if (depth_ == 1) {
-      // A complete stream tree: hand it off and reset for the next one.
-      SKETCHTREE_ASSIGN_OR_RETURN(LabeledTree tree, builder_.Finish());
+      // A complete stream tree. The injected-malformed fault fires here,
+      // at the hand-off point, standing in for content validation that
+      // rejects a fully parsed tree.
+      if (FaultInjector::Global().ShouldFire(FaultSite::kMalformedTree)) {
+        return TreeRejected(
+            Status::InvalidArgument("injected malformed stream tree"));
+      }
+      Result<LabeledTree> tree = builder_.Finish();
+      if (!tree.ok()) return TreeRejected(tree.status());
+      uint64_t index = next_tree_index_++;
       ++trees_emitted_;
-      return callback_(std::move(tree));
+      if (stats_ != nullptr) {
+        ++stats_->trees_emitted;
+        stats_->last_tree_end_offset = byte_offset();
+      }
+      return callback_(std::move(tree).value(), index, byte_offset());
     }
     return Status::OK();
   }
 
   Status Characters(std::string_view text) override {
-    if (!options_.include_text || depth_ <= 1) return Status::OK();
-    std::string value = TrimAndClip(text, options_.max_text_length);
+    if (mode_ != Mode::kBuild) return Status::OK();
+    if (!options_.tree_options.include_text || depth_ <= 1) {
+      return Status::OK();
+    }
+    std::string value =
+        TrimAndClip(text, options_.tree_options.max_text_length);
     if (value.empty()) return Status::OK();
-    return builder_.Leaf(value);
+    Status leaf = builder_.Leaf(value);
+    if (!leaf.ok()) return TreeRejected(leaf);
+    return Status::OK();
   }
 
   uint64_t elements_seen() const { return elements_seen_; }
   uint64_t trees_emitted() const { return trees_emitted_; }
 
  private:
-  XmlTreeOptions options_;
-  const std::function<Status(LabeledTree)>& callback_;
+  enum class Mode {
+    kBuild,    // Normal: building the current subtree.
+    kSkip,     // Resume cursor: consuming a committed-prefix subtree.
+    kDiscard,  // Quarantined: draining the rest of a malformed subtree.
+  };
+
+  Status BuildElement(
+      std::string_view name,
+      const std::vector<std::pair<std::string_view, std::string>>&
+          attributes) {
+    SKETCHTREE_RETURN_NOT_OK(builder_.Open(std::string(name)));
+    if (options_.tree_options.include_attributes) {
+      for (const auto& [attr_name, attr_value] : attributes) {
+        SKETCHTREE_RETURN_NOT_OK(builder_.Open("@" + std::string(attr_name)));
+        SKETCHTREE_RETURN_NOT_OK(builder_.Leaf(TrimAndClip(
+            attr_value, options_.tree_options.max_text_length)));
+        SKETCHTREE_RETURN_NOT_OK(builder_.Close());
+      }
+    }
+    return Status::OK();
+  }
+
+  /// The current tree's content was rejected: abort (fail_fast) or
+  /// quarantine it and discard the rest of its subtree.
+  Status TreeRejected(const Status& reason) {
+    if (options_.fail_fast) return reason;
+    if (options_.quarantine != nullptr) {
+      options_.quarantine->Record(next_tree_index_, byte_offset(), reason);
+    } else {
+      GlobalMetrics().GetCounter("ingest.quarantined_trees")->Increment();
+    }
+    if (stats_ != nullptr) ++stats_->trees_quarantined;
+    builder_.Reset();
+    if (depth_ == 1) {
+      // Rejected at its own closing tag — the subtree is already fully
+      // consumed; account for it now.
+      ++next_tree_index_;
+      mode_ = Mode::kBuild;
+    } else {
+      mode_ = Mode::kDiscard;
+    }
+    return Status::OK();
+  }
+
+  /// A skipped or discarded subtree just closed.
+  void FinishNonBuiltTree() {
+    if (mode_ == Mode::kSkip && stats_ != nullptr) ++stats_->trees_skipped;
+    ++next_tree_index_;
+    mode_ = Mode::kBuild;
+  }
+
+  ForestStreamOptions options_;
+  const ForestTreeCallback& callback_;
+  ForestStreamStats* stats_;
   TreeBuilder builder_;
+  Mode mode_ = Mode::kBuild;
   int depth_ = 0;
   bool seen_root_ = false;
+  uint64_t next_tree_index_ = 0;
   uint64_t elements_seen_ = 0;
   uint64_t trees_emitted_ = 0;
 };
 
 }  // namespace
 
-Status StreamXmlForest(
-    std::string_view xml,
-    const std::function<Status(LabeledTree tree)>& callback,
-    const XmlTreeOptions& options) {
+Status StreamXmlForestEx(std::string_view xml,
+                         const ForestTreeCallback& callback,
+                         const ForestStreamOptions& options,
+                         ForestStreamStats* stats) {
   XmlMetrics& metrics = Metrics();
   metrics.bytes->Increment(xml.size());
-  ForestStreamingHandler handler(options, callback);
+  ForestStreamingHandler handler(options, callback, stats);
   Status status = ParseXml(xml, &handler);
   metrics.elements->Increment(handler.elements_seen());
   metrics.trees->Increment(handler.trees_emitted());
   if (!status.ok()) metrics.parse_errors->Increment();
   return status;
+}
+
+Status StreamXmlForestFileEx(const std::string& path,
+                             const ForestTreeCallback& callback,
+                             const ForestStreamOptions& options,
+                             ForestStreamStats* stats) {
+  SKETCHTREE_ASSIGN_OR_RETURN(std::string xml, ReadFileToString(path));
+  return StreamXmlForestEx(xml, callback, options, stats);
+}
+
+Status StreamXmlForest(
+    std::string_view xml,
+    const std::function<Status(LabeledTree tree)>& callback,
+    const XmlTreeOptions& options) {
+  ForestStreamOptions stream_options;
+  stream_options.tree_options = options;
+  return StreamXmlForestEx(
+      xml,
+      [&callback](LabeledTree tree, uint64_t, uint64_t) {
+        return callback(std::move(tree));
+      },
+      stream_options);
 }
 
 Status StreamXmlForestFile(

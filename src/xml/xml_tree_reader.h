@@ -1,12 +1,14 @@
 #ifndef SKETCHTREE_XML_XML_TREE_READER_H_
 #define SKETCHTREE_XML_XML_TREE_READER_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "ingest/quarantine.h"
 #include "tree/labeled_tree.h"
 
 namespace sketchtree {
@@ -56,6 +58,60 @@ Status StreamXmlForestFile(
     const std::string& path,
     const std::function<Status(LabeledTree tree)>& callback,
     const XmlTreeOptions& options = {});
+
+/// Configuration of the resumable, fault-tolerant forest streamer.
+struct ForestStreamOptions {
+  XmlTreeOptions tree_options;
+  /// Stream trees to skip before the first emission — the resume
+  /// cursor. Skipped subtrees are parsed (XML well-formedness is still
+  /// enforced) but no LabeledTree is built, so replaying a long prefix
+  /// costs parse time only.
+  uint64_t skip_trees = 0;
+  /// true: the first malformed stream tree aborts the parse (the
+  /// pre-existing behavior). false: malformed trees are quarantined —
+  /// counted, optionally sampled into `quarantine`'s sidecar — and the
+  /// stream continues with the next tree. Document-level XML errors
+  /// (mismatched wrapper tags, truncated input) always abort: after
+  /// those the parser has no resynchronization point.
+  bool fail_fast = true;
+  /// Receives quarantined trees when fail_fast is false; may be null
+  /// (offenders are then only counted in stats and metrics).
+  QuarantineSink* quarantine = nullptr;
+};
+
+/// Cursor/accounting output of StreamXmlForestEx.
+struct ForestStreamStats {
+  uint64_t trees_emitted = 0;      ///< Delivered to the callback.
+  uint64_t trees_skipped = 0;      ///< Consumed by the resume cursor.
+  uint64_t trees_quarantined = 0;  ///< Malformed, stream continued.
+  /// Byte offset just past the last emitted tree's closing tag — the
+  /// byte-level cursor a checkpoint records alongside the tree index.
+  uint64_t last_tree_end_offset = 0;
+};
+
+/// Per-tree callback of the extended streamer: the tree, its ordinal in
+/// the *whole* stream (skipped prefix included, so it is a stable
+/// cursor), and the byte offset just past its closing tag.
+using ForestTreeCallback =
+    std::function<Status(LabeledTree tree, uint64_t tree_index,
+                         uint64_t end_byte_offset)>;
+
+/// StreamXmlForest extended with the capabilities checkpoint/resume
+/// needs: a skip cursor, per-tree byte offsets, and (with
+/// fail_fast=false) quarantine of malformed trees instead of aborting
+/// the build. A non-OK status from the callback always aborts — caller
+/// failures are ingestion failures, not data errors.
+Status StreamXmlForestEx(std::string_view xml,
+                         const ForestTreeCallback& callback,
+                         const ForestStreamOptions& options = {},
+                         ForestStreamStats* stats = nullptr);
+
+/// StreamXmlForestEx over the contents of `path` (read with typed
+/// NotFound/IOError failures).
+Status StreamXmlForestFileEx(const std::string& path,
+                             const ForestTreeCallback& callback,
+                             const ForestStreamOptions& options = {},
+                             ForestStreamStats* stats = nullptr);
 
 }  // namespace sketchtree
 

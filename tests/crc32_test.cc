@@ -1,0 +1,50 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sketchtree {
+namespace {
+
+// Known-answer vectors for CRC-32/IEEE (the zlib/PNG polynomial).
+TEST(Crc32Test, KnownAnswerVectors) {
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "stream of labeled trees, checksummed in pieces";
+  uint32_t one_shot = Crc32(data);
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t crc = Crc32(data.substr(0, cut));
+    crc = Crc32(data.substr(cut), crc);
+    EXPECT_EQ(crc, one_shot) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32Test, DetectsEverySingleBitFlip) {
+  std::string data = "payload under test";
+  const uint32_t clean = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = data;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(corrupt), clean)
+          << "flip of bit " << bit << " in byte " << byte << " undetected";
+    }
+  }
+}
+
+TEST(Crc32Test, EmbeddedNulBytesAreChecksummed) {
+  std::string with_nul("ab\0cd", 5);
+  std::string without_nul("abcd", 4);
+  EXPECT_NE(Crc32(with_nul), Crc32(without_nul));
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
+#include "common/atomic_file.h"
 #include "common/binary_io.h"
 #include "core/sketch_tree.h"
 #include "datagen/treebank_gen.h"
+#include "faultinject/fault_injector.h"
 #include "query/pattern_query.h"
 #include "tree/tree_serialization.h"
 
@@ -136,10 +139,120 @@ TEST(SerializationTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
-TEST(SerializationTest, MissingFileIsIOError) {
+// Small synopsis so exhaustive corruption sweeps stay fast (Create
+// rebuilds every xi family per attempt).
+SketchTreeOptions TinyOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 2;
+  options.s1 = 4;
+  options.s2 = 3;
+  options.num_virtual_streams = 5;
+  options.topk_size = 2;
+  options.seed = 7;
+  options.build_structural_summary = true;
+  return options;
+}
+
+std::string TinySerializedSketch() {
+  SketchTree sketch = *SketchTree::Create(TinyOptions());
+  TreebankGenerator gen;
+  for (int i = 0; i < 25; ++i) sketch.Update(gen.Next());
+  return sketch.SerializeToString();
+}
+
+// The v2 layout's section boundaries: header, options, stream counters,
+// virtual-streams state, summary, CRC trailer. Truncating at (and one
+// byte past) each, plus a sweep of interior cuts, must yield a typed
+// error — never a crash, never success.
+TEST(SerializationTest, TruncationAtEverySectionBoundaryIsRejected) {
+  std::string bytes = TinySerializedSketch();
+  std::vector<size_t> cuts = {0, 1, 4, 7, 8, 9};
+  // Options section spans [8, 73); cover its field edges and then every
+  // eighth byte through the streams/summary payload.
+  for (size_t cut = 12; cut < 73; cut += 4) cuts.push_back(cut);
+  for (size_t cut = 73; cut < bytes.size(); cut += 8) cuts.push_back(cut);
+  cuts.push_back(bytes.size() - 5);  // Into the CRC trailer.
+  cuts.push_back(bytes.size() - 1);
+  for (size_t cut : cuts) {
+    Result<SketchTree> r =
+        SketchTree::DeserializeFromString(bytes.substr(0, cut));
+    ASSERT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_TRUE(r.status().IsOutOfRange() || r.status().IsCorruption() ||
+                r.status().IsInvalidArgument())
+        << "cut=" << cut << ": " << r.status().ToString();
+  }
+}
+
+// A single flipped bit anywhere in the synopsis must be caught — the
+// trailing CRC covers the payload, and a flip inside the trailer breaks
+// the stored checksum itself. Without this, a bit flip in a counter
+// plane would silently skew every estimate.
+TEST(SerializationTest, BitFlipAtEveryByteIsRejected) {
+  std::string bytes = TinySerializedSketch();
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x10);
+    Result<SketchTree> r = SketchTree::DeserializeFromString(corrupted);
+    ASSERT_FALSE(r.ok()) << "flip at byte " << pos << " silently accepted";
+  }
+}
+
+TEST(SerializationTest, TruncatedFileOnDiskIsCorruption) {
+  std::string path = ::testing::TempDir() + "/sketchtree_truncated_test.bin";
+  SketchTree sketch = *SketchTree::Create(TinyOptions());
+  ASSERT_TRUE(sketch.SaveToFile(path).ok());
+  Result<std::string> full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  {
+    std::ofstream torn(path, std::ios::binary | std::ios::trunc);
+    torn.write(full->data(), static_cast<std::streamsize>(full->size() / 2));
+  }
+  Result<SketchTree> r = SketchTree::LoadFromFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SaveToFileIsAtomicUnderTornRename) {
+  std::string path = ::testing::TempDir() + "/sketchtree_atomic_test.bin";
+  SketchTree original = BuildPopulatedSketch();
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+
+  // A save that "crashes" before the rename must leave the previous
+  // synopsis untouched and loadable.
+  SketchTree updated = BuildPopulatedSketch();
+  TreebankGenerator gen(TreebankGenOptions{.seed = 5});
+  updated.Update(gen.Next());
+  FaultInjector::Global().Arm(FaultSite::kFileTornRename, FaultPlan{});
+  Status save = updated.SaveToFile(path);
+  FaultInjector::Global().DisarmAll();
+  EXPECT_FALSE(save.ok());
+  Result<SketchTree> survivor = SketchTree::LoadFromFile(path);
+  ASSERT_TRUE(survivor.ok()) << survivor.status().ToString();
+  EXPECT_EQ(survivor->Stats().trees_processed,
+            original.Stats().trees_processed);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(SerializationTest, RoundTripPreservesRemovalCounters) {
+  SketchTree sketch = *SketchTree::Create(RoundTripOptions());
+  TreebankGenerator gen;
+  LabeledTree first = gen.Next();
+  sketch.Update(first);
+  for (int i = 0; i < 10; ++i) sketch.Update(gen.Next());
+  sketch.Remove(first);
+  SketchTree restored =
+      *SketchTree::DeserializeFromString(sketch.SerializeToString());
+  EXPECT_EQ(restored.Stats().trees_removed, sketch.Stats().trees_removed);
+  EXPECT_EQ(restored.Stats().patterns_removed,
+            sketch.Stats().patterns_removed);
+}
+
+TEST(SerializationTest, MissingFileIsNotFound) {
   Result<SketchTree> r = SketchTree::LoadFromFile("/no/such/synopsis.bin");
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_TRUE(r.status().IsNotFound());
 }
 
 }  // namespace

@@ -20,12 +20,16 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpointer.h"
 #include "common/timer.h"
 #include "core/sketch_tree.h"
+#include "faultinject/fault_injector.h"
 #include "ingest/parallel_ingester.h"
+#include "ingest/quarantine.h"
 #include "metrics/metrics.h"
 #include "query/pattern_query.h"
 #include "xml/xml_tree_reader.h"
@@ -33,6 +37,14 @@
 namespace {
 
 using namespace sketchtree;
+
+// Exit codes. Distinguishing "the synopsis was written but some stream
+// trees were quarantined" from hard failure lets a driving script decide
+// whether an imperfect build is usable.
+constexpr int kExitOk = EXIT_SUCCESS;      // 0
+constexpr int kExitFailure = EXIT_FAILURE; // 1: hard failure, no output.
+constexpr int kExitUsage = 2;              // bad command line.
+constexpr int kExitQuarantined = 3;        // completed, trees quarantined.
 
 struct Args {
   std::string command;
@@ -65,6 +77,8 @@ int Usage() {
       "  sketchtree_cli build --input FOREST.xml --output SYNOPSIS.bin\n"
       "        [--k N] [--s1 N] [--s2 N] [--streams PRIME] [--topk N]\n"
       "        [--summary] [--seed N] [--append SYNOPSIS.bin] [--threads N]\n"
+      "        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
+      "        [--fail-fast] [--quarantine PATH]\n"
       "  sketchtree_cli query --synopsis SYNOPSIS.bin --pattern PAT\n"
       "        [--unordered]\n"
       "  sketchtree_cli extended --synopsis SYNOPSIS.bin --query EXTPAT\n"
@@ -72,16 +86,27 @@ int Usage() {
       "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
       "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n"
       "\n"
+      "  build checkpointing: with --checkpoint-dir, a durable snapshot\n"
+      "  of the synopsis and stream cursor is written every\n"
+      "  --checkpoint-every trees (default 5000); --resume restarts from\n"
+      "  the newest valid checkpoint after a crash. Malformed stream\n"
+      "  trees are quarantined (counted, sampled into --quarantine PATH,\n"
+      "  default OUTPUT.quarantine) unless --fail-fast.\n"
+      "\n"
       "  any command also accepts --metrics-json PATH to dump the\n"
-      "  process metrics registry (ingest throughput, queue depth,\n"
-      "  per-shard counts, latency histograms) as JSON on exit; build\n"
-      "  emits a progress line to stderr about once per second.\n");
-  return EXIT_FAILURE;
+      "  process metrics registry as JSON on exit, and --faults SPEC (or\n"
+      "  env SKETCHTREE_FAULTS) to arm fault injection,\n"
+      "  SPEC = site@skip[xcount][:param],...\n"
+      "\n"
+      "  exit codes: 0 success; 1 hard failure (no usable output);\n"
+      "  2 usage error; 3 build completed and synopsis written, but\n"
+      "  some stream trees were quarantined.\n");
+  return kExitUsage;
 }
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return EXIT_FAILURE;
+  return kExitFailure;
 }
 
 Result<Args> ParseArgs(int argc, char** argv) {
@@ -96,7 +121,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
     }
     std::string name(arg.substr(2));
     // Boolean flags take no value; everything else consumes the next arg.
-    if (name == "summary" || name == "unordered") {
+    if (name == "summary" || name == "unordered" || name == "resume" ||
+        name == "fail-fast") {
       args.flags.push_back(name);
       continue;
     }
@@ -155,6 +181,67 @@ int RunBuild(const Args& args) {
   std::string output = args.Get("output");
   if (input.empty() || output.empty()) return Usage();
 
+  // Stream tree-at-a-time: only the current document (plus, with
+  // --threads, the bounded hand-off queue) is materialized.
+  long threads = args.GetLong("threads", 1);
+  if (threads < 1) {
+    // Catches both explicit nonsense and atol() failing to parse.
+    std::fprintf(stderr, "error: --threads must be a positive integer\n");
+    return kExitUsage;
+  }
+  std::string checkpoint_dir = args.Get("checkpoint-dir");
+  long checkpoint_every = args.GetLong("checkpoint-every", 5000);
+  if (checkpoint_every < 1) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every must be a positive integer\n");
+    return kExitUsage;
+  }
+  if (args.HasFlag("resume") && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
+    return kExitUsage;
+  }
+
+  std::optional<Checkpointer> checkpointer;
+  if (!checkpoint_dir.empty()) {
+    Result<Checkpointer> created = Checkpointer::Create(checkpoint_dir);
+    if (!created.ok()) return Fail(created.status());
+    checkpointer.emplace(std::move(created).value());
+  }
+
+  // The resume cursor. A missing checkpoint directory entry is not an
+  // error — first run of a crash-restart loop starts from scratch —
+  // but a checkpoint for a different source is: silently mixing
+  // streams would corrupt the synopsis's meaning.
+  std::optional<StreamCheckpoint> restored;
+  if (args.HasFlag("resume")) {
+    Result<StreamCheckpoint> loaded = checkpointer->LoadNewestValid();
+    if (loaded.ok()) {
+      restored = std::move(loaded).value();
+      if (restored->source != input) {
+        std::fprintf(stderr,
+                     "error: checkpoint %llu was written for '%s', not "
+                     "'%s'\n",
+                     static_cast<unsigned long long>(restored->sequence),
+                     restored->source.c_str(), input.c_str());
+        return kExitFailure;
+      }
+      std::fprintf(stderr,
+                   "resuming from checkpoint %llu: %llu trees committed, "
+                   "%llu quarantined\n",
+                   static_cast<unsigned long long>(restored->sequence),
+                   static_cast<unsigned long long>(restored->trees_streamed),
+                   static_cast<unsigned long long>(
+                       restored->quarantined_trees));
+    } else if (loaded.status().IsNotFound()) {
+      std::fprintf(stderr,
+                   "note: no checkpoint in %s, starting from the "
+                   "beginning\n",
+                   checkpoint_dir.c_str());
+    } else {
+      return Fail(loaded.status());
+    }
+  }
+
   Result<SketchTree> sketch_result = [&]() -> Result<SketchTree> {
     std::string append = args.Get("append");
     if (!append.empty()) return SketchTree::LoadFromFile(append);
@@ -172,21 +259,53 @@ int RunBuild(const Args& args) {
   if (!sketch_result.ok()) return Fail(sketch_result.status());
   SketchTree sketch = std::move(sketch_result).value();
 
-  // Stream tree-at-a-time: only the current document (plus, with
-  // --threads, the bounded hand-off queue) is materialized.
-  long threads = args.GetLong("threads", 1);
-  if (threads < 1) {
-    // Catches both explicit nonsense and atol() failing to parse.
-    std::fprintf(stderr, "error: --threads must be a positive integer\n");
-    return EXIT_FAILURE;
+  // Quarantine sink for malformed stream trees (default). --fail-fast
+  // restores abort-on-first-error.
+  QuarantineOptions quarantine_options;
+  quarantine_options.sidecar_path =
+      args.Get("quarantine", output + ".quarantine");
+  QuarantineSink quarantine(quarantine_options);
+  ForestStreamOptions stream_options;
+  stream_options.fail_fast = args.HasFlag("fail-fast");
+  stream_options.quarantine = &quarantine;
+  if (restored.has_value()) {
+    stream_options.skip_trees = restored->trees_streamed;
+    quarantine.set_base_count(restored->quarantined_trees);
   }
+
   uint64_t trees = 0;
   uint64_t patterns = 0;
+  ForestStreamStats stream_stats;
   ProgressReporter progress;
+  // Consumed-tree ordinal (skipped prefix included) at which the next
+  // checkpoint is due; MaybeCheckpoint is called from the stream
+  // callback with the per-path shard snapshotter.
+  uint64_t next_checkpoint = stream_options.skip_trees + checkpoint_every;
+  auto maybe_checkpoint =
+      [&](uint64_t tree_index, uint64_t end_byte_offset,
+          auto&& snapshot_shards) -> Status {
+    if (!checkpointer.has_value() || tree_index + 1 < next_checkpoint) {
+      return Status::OK();
+    }
+    SKETCHTREE_ASSIGN_OR_RETURN(std::vector<std::string> shards,
+                                snapshot_shards());
+    StreamCheckpoint checkpoint;
+    checkpoint.source = input;
+    checkpoint.trees_streamed = tree_index + 1;
+    checkpoint.byte_offset = end_byte_offset;
+    checkpoint.quarantined_trees = quarantine.count();
+    checkpoint.shard_sketches = std::move(shards);
+    SKETCHTREE_RETURN_NOT_OK(checkpointer->Write(&checkpoint));
+    next_checkpoint = tree_index + 1 + checkpoint_every;
+    return Status::OK();
+  };
+
   if (threads > 1) {
     // Sharded ingestion: N worker replicas built from the synopsis's own
     // options consume the stream and are merged into `sketch` at the end
     // (exact by sketch linearity — works for fresh builds and --append).
+    // Checkpoints hold the shard *deltas*; the base synopsis is
+    // reconstructed from --append / the options on every run.
     ParallelIngestOptions ingest_options;
     ingest_options.num_threads = static_cast<int>(threads);
     if (sketch.options().topk_size > 0) {
@@ -201,13 +320,23 @@ int RunBuild(const Args& args) {
     Result<ParallelIngester> ingester =
         ParallelIngester::Create(sketch.options(), ingest_options);
     if (!ingester.ok()) return Fail(ingester.status());
-    Status stream_status =
-        StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
+    if (restored.has_value()) {
+      Status resumed = ingester->ResumeFrom(restored->shard_sketches);
+      if (!resumed.ok()) return Fail(resumed);
+    }
+    Status stream_status = StreamXmlForestFileEx(
+        input,
+        [&](LabeledTree tree, uint64_t tree_index,
+            uint64_t end_byte_offset) -> Status {
           ++trees;
           SKETCHTREE_RETURN_NOT_OK(ingester->Add(std::move(tree)));
+          SKETCHTREE_RETURN_NOT_OK(maybe_checkpoint(
+              tree_index, end_byte_offset,
+              [&] { return ingester->SnapshotShards(); }));
           progress.MaybeReport(trees);
           return Status::OK();
-        });
+        },
+        stream_options, &stream_stats);
     if (!stream_status.ok()) return Fail(stream_status);
     Result<SketchTree> delta = ingester->Finish();
     if (!delta.ok()) return Fail(delta.status());
@@ -223,16 +352,49 @@ int RunBuild(const Args& args) {
     Status merge_status = sketch.Merge(*delta);
     if (!merge_status.ok()) return Fail(merge_status);
   } else {
-    Status stream_status =
-        StreamXmlForestFile(input, [&](LabeledTree tree) -> Status {
+    // Single-threaded checkpoints snapshot the whole synopsis (base
+    // included) as one shard; resume therefore *replaces* the freshly
+    // built base with the snapshot rather than merging into it.
+    if (restored.has_value()) {
+      if (restored->shard_sketches.empty()) {
+        return Fail(Status::Corruption("checkpoint holds no shard sketch"));
+      }
+      Result<SketchTree> snapshot = SketchTree::DeserializeFromString(
+          restored->shard_sketches[0]);
+      if (!snapshot.ok()) return Fail(snapshot.status());
+      sketch = std::move(snapshot).value();
+      // A parallel run's checkpoint carries one delta per shard; fold
+      // the rest in so a --threads change across restarts stays exact.
+      for (size_t s = 1; s < restored->shard_sketches.size(); ++s) {
+        Result<SketchTree> shard = SketchTree::DeserializeFromString(
+            restored->shard_sketches[s]);
+        if (!shard.ok()) return Fail(shard.status());
+        Status merged = sketch.Merge(*shard);
+        if (!merged.ok()) return Fail(merged);
+      }
+    }
+    Status stream_status = StreamXmlForestFileEx(
+        input,
+        [&](LabeledTree tree, uint64_t tree_index,
+            uint64_t end_byte_offset) -> Status {
           patterns += sketch.Update(tree);
           ++trees;
+          SKETCHTREE_RETURN_NOT_OK(maybe_checkpoint(
+              tree_index, end_byte_offset,
+              [&]() -> Result<std::vector<std::string>> {
+                return std::vector<std::string>{sketch.SerializeToString()};
+              }));
           progress.MaybeReport(trees);
           return Status::OK();
-        });
+        },
+        stream_options, &stream_stats);
     if (!stream_status.ok()) return Fail(stream_status);
   }
   progress.Finish(trees, patterns);
+  if (stream_stats.trees_skipped > 0) {
+    std::fprintf(stderr, "replayed past %llu committed trees\n",
+                 static_cast<unsigned long long>(stream_stats.trees_skipped));
+  }
   std::printf("streamed %llu trees (%llu patterns) from %s\n",
               static_cast<unsigned long long>(trees),
               static_cast<unsigned long long>(patterns), input.c_str());
@@ -244,7 +406,19 @@ int RunBuild(const Args& args) {
               "total)\n",
               output.c_str(), stats.memory_bytes,
               static_cast<unsigned long long>(stats.trees_processed));
-  return EXIT_SUCCESS;
+  Status sidecar = quarantine.Close();
+  if (!sidecar.ok()) {
+    std::fprintf(stderr, "warning: %s\n", sidecar.ToString().c_str());
+  }
+  if (quarantine.count() > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu malformed tree(s) quarantined (samples in "
+                 "%s)\n",
+                 static_cast<unsigned long long>(quarantine.count()),
+                 quarantine_options.sidecar_path.c_str());
+    return kExitQuarantined;
+  }
+  return kExitOk;
 }
 
 int RunQuery(const Args& args) {
@@ -383,6 +557,18 @@ int main(int argc, char** argv) {
   if (!args.ok()) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
     return Usage();
+  }
+  // Fault injection (for the recovery harness): --faults wins over the
+  // SKETCHTREE_FAULTS environment variable.
+  const char* fault_env = std::getenv("SKETCHTREE_FAULTS");
+  std::string fault_spec =
+      args->Get("faults", fault_env != nullptr ? fault_env : "");
+  if (!fault_spec.empty()) {
+    Status armed = FaultInjector::Global().ArmFromSpec(fault_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: %s\n", armed.ToString().c_str());
+      return kExitUsage;
+    }
   }
   int exit_code = RunCommand(*args);
   std::string metrics_path = args->Get("metrics-json");
