@@ -33,6 +33,7 @@
 #include "enumtree/enum_tree.h"
 #include "enumtree/pattern.h"
 #include "stream/virtual_streams.h"
+#include "trace/trace.h"
 
 #include <thread>
 
@@ -172,6 +173,56 @@ EndToEndResult RunParallel(const std::vector<LabeledTree>& trees,
   return {trees.size() / seconds, patterns / seconds};
 }
 
+/// Overhead guard for the always-compiled-in tracer (DESIGN.md
+/// section 9): the disabled fast path must cost < 5% of serial ingest
+/// throughput. Measured two ways — end-to-end with tracing on vs off
+/// (recorded, informational), and a micro-benchmark of the disabled
+/// span check projected onto the number of checks a serial run executes
+/// (asserted, since it isolates the compiled-in-but-disabled cost from
+/// run-to-run noise).
+struct TracingOverhead {
+  double on_trees_per_sec = 0.0;
+  double enabled_overhead_pct = 0.0;
+  uint64_t events_recorded = 0;
+  double ns_per_disabled_span = 0.0;
+  double projected_disabled_overhead_pct = 0.0;
+  bool guard_ok = false;
+};
+
+TracingOverhead MeasureTracingOverhead(const std::vector<LabeledTree>& trees,
+                                       uint64_t total_values,
+                                       const EndToEndResult& serial_off) {
+  TracingOverhead result;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.set_max_events_per_thread(size_t{8} << 20);
+  recorder.Start();
+  EndToEndResult traced = RunSerial(trees);
+  recorder.Stop();
+  result.on_trees_per_sec = traced.trees_per_sec;
+  result.events_recorded = recorder.event_count();
+  recorder.Reset();
+  result.enabled_overhead_pct =
+      (serial_off.trees_per_sec / traced.trees_per_sec - 1.0) * 100.0;
+
+  constexpr uint64_t kSpanReps = 20000000;
+  WallTimer span_timer;
+  for (uint64_t i = 0; i < kSpanReps; ++i) {
+    TRACE_SPAN("bench.disabled");
+  }
+  result.ns_per_disabled_span =
+      span_timer.ElapsedSeconds() * 1e9 / kSpanReps;
+  // Disabled checks a serial ingest executes: one sketch.update_tree
+  // span per tree, one sketch.update_batch span per tree, and the two
+  // sampled sites (Prüfer, fingerprint) once per enumerated pattern.
+  double checks =
+      2.0 * static_cast<double>(total_values) + 2.0 * trees.size();
+  double serial_seconds = trees.size() / serial_off.trees_per_sec;
+  result.projected_disabled_overhead_pct =
+      checks * result.ns_per_disabled_span / 1e9 / serial_seconds * 100.0;
+  result.guard_ok = result.projected_disabled_overhead_pct < 5.0;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -235,6 +286,18 @@ int main() {
   }
   PrintRule();
 
+  TracingOverhead tracing =
+      MeasureTracingOverhead(trees, total_values, serial);
+  std::printf("tracing   enabled      %8.1f trees/s   (%+.1f%% vs off, "
+              "%llu events)\n",
+              tracing.on_trees_per_sec, tracing.enabled_overhead_pct,
+              static_cast<unsigned long long>(tracing.events_recorded));
+  std::printf("tracing   disabled     %.2f ns/span-check, projected "
+              "%.3f%% of serial ingest (guard: < 5%%)\n",
+              tracing.ns_per_disabled_span,
+              tracing.projected_disabled_overhead_pct);
+  PrintRule();
+
   FILE* json = std::fopen("BENCH_ingest.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n");
@@ -264,6 +327,20 @@ int main() {
                  "\"threads_4\": %.0f},\n",
                  serial.patterns_per_sec, parallel[0].patterns_per_sec,
                  parallel[1].patterns_per_sec, parallel[2].patterns_per_sec);
+    std::fprintf(json,
+                 "  \"tracing\": {\"serial_off_trees_per_sec\": %.1f, "
+                 "\"serial_on_trees_per_sec\": %.1f, "
+                 "\"enabled_overhead_pct\": %.2f, "
+                 "\"events_recorded\": %llu, "
+                 "\"ns_per_disabled_span\": %.3f, "
+                 "\"projected_disabled_overhead_pct\": %.4f, "
+                 "\"guard_max_pct\": 5.0, \"guard_ok\": %s},\n",
+                 serial.trees_per_sec, tracing.on_trees_per_sec,
+                 tracing.enabled_overhead_pct,
+                 static_cast<unsigned long long>(tracing.events_recorded),
+                 tracing.ns_per_disabled_span,
+                 tracing.projected_disabled_overhead_pct,
+                 tracing.guard_ok ? "true" : "false");
     // Snapshot of the process metrics registry accumulated over every
     // run above — records what the instrumentation itself observed
     // (latency histograms, queue depth, shard counts) alongside the
@@ -273,6 +350,13 @@ int main() {
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("wrote BENCH_ingest.json\n");
+  }
+  if (!tracing.guard_ok) {
+    std::fprintf(stderr,
+                 "tracing overhead guard FAILED: projected disabled-path "
+                 "cost %.3f%% >= 5%% of serial ingest\n",
+                 tracing.projected_disabled_overhead_pct);
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""CI validator for sketchtree --trace-out output.
+
+Checks that the file is valid JSON in Chrome trace_event format, that
+every event is well-formed (name/ph/pid/tid present, ts on all
+non-metadata events), that begin/end pairs balance per thread in LIFO
+order, and optionally that an expected set of span names and a minimum
+number of distinct threads appear.
+
+Usage:
+  check_trace.py TRACE.json [--expect-stages a,b,c] [--expect-threads N]
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "i", "C", "M"}
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace")
+    parser.add_argument("--expect-stages", default="",
+                        help="comma-separated span names that must appear")
+    parser.add_argument("--expect-threads", type=int, default=0,
+                        help="minimum number of distinct event tids")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            root = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot parse {args.trace}: {error}")
+
+    events = root.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("no traceEvents array (or empty)")
+
+    open_stacks = {}  # tid -> stack of open span names
+    span_names = set()
+    tids = set()
+    last_ts = {}
+    for index, event in enumerate(events):
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                fail(f"event #{index} missing '{field}': {event}")
+        phase = event["ph"]
+        if phase not in VALID_PHASES:
+            fail(f"event #{index} has unknown ph '{phase}'")
+        if phase == "M":
+            continue  # Metadata (thread names) carries no timestamp.
+        if not isinstance(event.get("ts"), (int, float)):
+            fail(f"event #{index} missing numeric ts: {event}")
+        tid = event["tid"]
+        tids.add(tid)
+        # Per-thread timestamps are monotone (steady_clock source, one
+        # buffer per thread).
+        if tid in last_ts and event["ts"] < last_ts[tid]:
+            fail(f"event #{index} ts went backwards on tid {tid}")
+        last_ts[tid] = event["ts"]
+        name = event["name"]
+        if phase == "B":
+            open_stacks.setdefault(tid, []).append(name)
+            span_names.add(name)
+        elif phase == "E":
+            stack = open_stacks.get(tid, [])
+            if not stack:
+                fail(f"event #{index}: unmatched E '{name}' on tid {tid}")
+            if stack[-1] != name:
+                fail(f"event #{index}: E '{name}' closes '{stack[-1]}' "
+                     f"on tid {tid} (not LIFO)")
+            stack.pop()
+
+    for tid, stack in open_stacks.items():
+        if stack:
+            fail(f"unclosed spans on tid {tid}: {stack}")
+
+    if args.expect_threads and len(tids) < args.expect_threads:
+        fail(f"expected >= {args.expect_threads} threads with events, "
+             f"saw {len(tids)}: {sorted(tids)}")
+
+    expected = [s for s in args.expect_stages.split(",") if s]
+    missing = [s for s in expected if s not in span_names]
+    if missing:
+        fail(f"expected stages missing from trace: {missing}; "
+             f"present: {sorted(span_names)}")
+
+    print(f"check_trace: OK: {len(events)} events, {len(tids)} threads, "
+          f"{len(span_names)} distinct spans, "
+          f"dropped={root.get('droppedEvents', 0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@
 #include "common/binary_io.h"
 #include "common/crc32.h"
 #include "metrics/metrics.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -224,6 +225,7 @@ std::string Checkpointer::FilePath(uint64_t sequence) const {
 }
 
 Status Checkpointer::Write(StreamCheckpoint* checkpoint) {
+  TRACE_SPAN("checkpoint.write");
   checkpoint->sequence = last_sequence_ + 1;
   std::string bytes = Encode(*checkpoint);
   Status status = WriteFileAtomic(FilePath(checkpoint->sequence), bytes);

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "faultinject/fault_injector.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -43,6 +44,7 @@ Status WriteAll(int fd, const char* data, size_t size,
 }  // namespace
 
 Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
+  TRACE_SPAN("file.write_atomic");
   FaultInjector& faults = FaultInjector::Global();
   const std::string tmp_path = path + ".tmp";
 
@@ -67,11 +69,14 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
     ::unlink(tmp_path.c_str());
     return write_status;
   }
-  if (::fsync(fd) != 0) {
-    Status st = Status::IOError(ErrnoText("fsync", tmp_path));
-    ::close(fd);
-    ::unlink(tmp_path.c_str());
-    return st;
+  {
+    TRACE_SPAN("file.fsync");
+    if (::fsync(fd) != 0) {
+      Status st = Status::IOError(ErrnoText("fsync", tmp_path));
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return st;
+    }
   }
   if (::close(fd) != 0) {
     ::unlink(tmp_path.c_str());
@@ -97,6 +102,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view bytes) {
   std::string dir = DirName(path);
   int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dir_fd < 0) return Status::IOError(ErrnoText("open dir", dir));
+  TRACE_SPAN("file.fsync");
   int sync_rc = ::fsync(dir_fd);
   ::close(dir_fd);
   if (sync_rc != 0) return Status::IOError(ErrnoText("fsync dir", dir));

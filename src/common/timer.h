@@ -2,10 +2,24 @@
 #define SKETCHTREE_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace sketchtree {
 
-/// Simple wall-clock stopwatch for the benchmark harness.
+/// Nanoseconds on the process-wide monotonic clock
+/// (std::chrono::steady_clock — never steps backwards under NTP).
+/// This is the single time source shared by the trace recorder, the
+/// metrics timers, and the bench stopwatch, so timestamps from the
+/// three layers are directly comparable.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Simple stopwatch for the benchmark harness. Monotonic: built on the
+/// same steady_clock as NowNanos(), deliberately not wall time.
 class WallTimer {
  public:
   WallTimer() { Restart(); }

@@ -5,6 +5,8 @@
 #include "common/timer.h"
 #include "enumtree/enum_tree.h"
 #include "metrics/metrics.h"
+#include "stats/sentinel.h"
+#include "trace/trace.h"
 #include "query/pattern_query.h"
 #include "query/unordered.h"
 #include "sketch/estimators.h"
@@ -119,8 +121,9 @@ uint64_t SketchTree::IngestTree(const LabeledTree& tree, double weight) {
   uint64_t emitted = EnumerateTreePatterns(
       tree, options_.max_pattern_edges,
       [&](LabeledTree::NodeId root, const std::vector<PatternEdge>& edges) {
-        pattern_values_.push_back(
-            canonicalizer_->MapPatternEdges(tree, root, edges));
+        uint64_t value = canonicalizer_->MapPatternEdges(tree, root, edges);
+        pattern_values_.push_back(value);
+        if (sentinel_ != nullptr) sentinel_->Observe(value, weight);
         if (pattern_values_.size() >= kFlushValues) {
           streams_->InsertBatch(pattern_values_, weight);
           pattern_values_.clear();
@@ -132,6 +135,7 @@ uint64_t SketchTree::IngestTree(const LabeledTree& tree, double weight) {
 }
 
 uint64_t SketchTree::Update(const LabeledTree& tree) {
+  TRACE_SPAN("sketch.update_tree");
   WallTimer timer;
   uint64_t emitted = IngestTree(tree, +1.0);
   if (summary_ != nullptr) summary_->Update(tree);
@@ -293,6 +297,7 @@ Result<double> SketchTree::EstimateExtended(std::string_view text) {
 }
 
 Status SketchTree::Merge(const SketchTree& other) {
+  TRACE_SPAN("sketch.merge");
   const SketchTreeOptions& a = options_;
   const SketchTreeOptions& b = other.options_;
   if (a.max_pattern_edges != b.max_pattern_edges || a.s1 != b.s1 ||

@@ -18,6 +18,8 @@
 
 namespace sketchtree {
 
+class AccuracySentinel;
+
 /// Full configuration of a SketchTree synopsis. Defaults follow the
 /// paper's experimental setup (Section 7.5).
 struct SketchTreeOptions {
@@ -205,6 +207,14 @@ class SketchTree {
   const RabinFingerprinter& fingerprinter() const { return *fingerprinter_; }
   const VirtualStreams& streams() const { return *streams_; }
 
+  /// Attaches an accuracy sentinel (stats/sentinel.h): every enumerated
+  /// pattern value is mirrored to `sentinel` during Update/Remove, where
+  /// a sampled subset is counted exactly for live error measurement.
+  /// Not owned; pass nullptr to detach. The caller keeps the sentinel
+  /// alive for as long as it stays attached.
+  void AttachSentinel(AccuracySentinel* sentinel) { sentinel_ = sentinel; }
+  AccuracySentinel* sentinel() const { return sentinel_; }
+
  private:
   SketchTree(const SketchTreeOptions& options,
              std::unique_ptr<RabinFingerprinter> fingerprinter,
@@ -224,6 +234,7 @@ class SketchTree {
   std::unique_ptr<PatternCanonicalizer> canonicalizer_;
   std::unique_ptr<VirtualStreams> streams_;
   std::unique_ptr<StructuralSummary> summary_;  // Null unless enabled.
+  AccuracySentinel* sentinel_ = nullptr;        // Not owned; may be null.
   uint64_t trees_processed_ = 0;
   uint64_t trees_removed_ = 0;
   uint64_t patterns_removed_ = 0;

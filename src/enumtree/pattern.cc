@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace sketchtree {
 
 namespace {
@@ -107,50 +109,58 @@ uint64_t PatternCanonicalizer::MapPatternTree(const LabeledTree& pattern) {
 uint64_t PatternCanonicalizer::FingerprintLocalTree(int32_t n) {
   // Mirrors ExtendedPrufer() in prufer/prufer.cc, but on the scratch local
   // tree with hashed labels and with the LPS emitted as hash tokens.
-  number_.assign(n, 0);
-  dummy_number_.assign(n, 0);
+  int32_t extended_size;
+  {
+    // This and the fingerprint stage below run once per enumerated
+    // pattern — millions of times a second — so the spans are sampled:
+    // each thread traces every 1024th call (and always its first).
+    TRACE_SPAN_SAMPLED("prufer.transform", 1024);
+    number_.assign(n, 0);
+    dummy_number_.assign(n, 0);
 
-  // Iterative postorder over local indices; root is 0.
-  stack_.clear();
-  stack_.emplace_back(0, 0);
-  int32_t counter = 0;
-  // Record postorder visit order to drive pass 2 without re-traversal.
-  std::vector<int32_t> postorder;
-  postorder.reserve(n);
-  while (!stack_.empty()) {
-    auto& [v, next_child] = stack_.back();
-    if (next_child < kids_[v].size()) {
-      int32_t c = kids_[v][next_child];
-      ++next_child;
-      stack_.emplace_back(c, 0);
-    } else {
-      if (kids_[v].empty()) dummy_number_[v] = ++counter;
-      number_[v] = ++counter;
-      postorder.push_back(v);
-      stack_.pop_back();
+    // Iterative postorder over local indices; root is 0.
+    stack_.clear();
+    stack_.emplace_back(0, 0);
+    int32_t counter = 0;
+    // Record postorder visit order to drive pass 2 without re-traversal.
+    std::vector<int32_t> postorder;
+    postorder.reserve(n);
+    while (!stack_.empty()) {
+      auto& [v, next_child] = stack_.back();
+      if (next_child < kids_[v].size()) {
+        int32_t c = kids_[v][next_child];
+        ++next_child;
+        stack_.emplace_back(c, 0);
+      } else {
+        if (kids_[v].empty()) dummy_number_[v] = ++counter;
+        number_[v] = ++counter;
+        postorder.push_back(v);
+        stack_.pop_back();
+      }
     }
-  }
-  const int32_t extended_size = counter;
+    extended_size = counter;
 
-  // Sequence entries in number order 1..extended_size-1.
-  lps_tokens_.assign(extended_size - 1, 0);
-  nps_tokens_.assign(extended_size - 1, 0);
-  // Parent of each local node: derive from kids_ during emission.
-  for (int32_t v : postorder) {
-    if (kids_[v].empty()) {
-      int32_t slot = dummy_number_[v] - 1;
-      lps_tokens_[slot] = labels_[v];
-      nps_tokens_[slot] = number_[v];
-    }
-    for (int32_t c : kids_[v]) {
-      int32_t slot = number_[c] - 1;
-      lps_tokens_[slot] = labels_[v];
-      nps_tokens_[slot] = number_[v];
+    // Sequence entries in number order 1..extended_size-1.
+    lps_tokens_.assign(extended_size - 1, 0);
+    nps_tokens_.assign(extended_size - 1, 0);
+    // Parent of each local node: derive from kids_ during emission.
+    for (int32_t v : postorder) {
+      if (kids_[v].empty()) {
+        int32_t slot = dummy_number_[v] - 1;
+        lps_tokens_[slot] = labels_[v];
+        nps_tokens_[slot] = number_[v];
+      }
+      for (int32_t c : kids_[v]) {
+        int32_t slot = number_[c] - 1;
+        lps_tokens_[slot] = labels_[v];
+        nps_tokens_[slot] = number_[v];
+      }
     }
   }
 
   // Fingerprint LPS . NPS with the length folded in (Fingerprint does the
   // folding; we emulate it over the two buffers to avoid concatenating).
+  TRACE_SPAN_SAMPLED("hash.fingerprint", 1024);
   uint64_t fp = fingerprinter_->Fingerprint(lps_tokens_);
   for (uint64_t token : nps_tokens_) {
     fp = fingerprinter_->Extend(fp, static_cast<uint64_t>(token));

@@ -10,6 +10,7 @@
 
 #include "faultinject/fault_injector.h"
 #include "metrics/metrics.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -54,10 +55,14 @@ Result<ParallelIngester> ParallelIngester::Create(
         GlobalMetrics().GetCounter("ingest.shard_trees." +
                                    std::to_string(t))));
   }
+  int shard_id = -1;
   for (auto& shard : state->shards) {
+    ++shard_id;
     Shard* raw = shard.get();
     BoundedTreeQueue* queue = &state->queue;
-    raw->worker = std::thread([raw, queue] {
+    raw->worker = std::thread([raw, queue, shard_id] {
+      TraceRecorder::Global().SetThreadName("shard-" +
+                                            std::to_string(shard_id));
       while (std::optional<LabeledTree> tree = queue->Pop()) {
         uint64_t patterns = raw->sketch.Update(*tree);
         // Release pairs with the acquire in SnapshotShards' drain loop:

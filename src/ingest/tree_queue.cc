@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "faultinject/fault_injector.h"
 #include "metrics/metrics.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -45,6 +46,7 @@ bool BoundedTreeQueue::Push(LabeledTree tree) {
   if (!closed_ && items_.size() >= capacity_) {
     // Producer back-pressure: record how long the stream front end
     // stalls waiting for sketch workers to drain the queue.
+    TRACE_SPAN("queue.push_wait");
     WallTimer blocked;
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
@@ -57,6 +59,7 @@ bool BoundedTreeQueue::Push(LabeledTree tree) {
   }
   items_.push_back(std::move(tree));
   Metrics().depth->Set(static_cast<int64_t>(items_.size()));
+  TRACE_COUNTER("queue.depth", static_cast<int64_t>(items_.size()));
   lock.unlock();
   not_empty_.notify_one();
   return true;
@@ -64,7 +67,12 @@ bool BoundedTreeQueue::Push(LabeledTree tree) {
 
 std::optional<LabeledTree> BoundedTreeQueue::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (!closed_ && items_.empty()) {
+    // Consumer idle: span only the waits that actually block, so the
+    // trace shows worker starvation without a span per drained tree.
+    TRACE_SPAN("queue.pop_wait");
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  }
   if (items_.empty()) return std::nullopt;  // Closed and drained.
   LabeledTree tree = std::move(items_.front());
   items_.pop_front();

@@ -192,6 +192,8 @@ std::string MetricsRegistry::ToJson() const {
     AppendJsonNumber(histogram->Percentile(0.5), &json);
     json += ", \"p90\": ";
     AppendJsonNumber(histogram->Percentile(0.9), &json);
+    json += ", \"p95\": ";
+    AppendJsonNumber(histogram->Percentile(0.95), &json);
     json += ", \"p99\": ";
     AppendJsonNumber(histogram->Percentile(0.99), &json);
     json += ", \"buckets\": [";

@@ -62,10 +62,22 @@ class Histogram {
   uint64_t Sum() const;
   double Mean() const;
 
-  /// Linear-interpolated percentile from the bucket counts, q in [0, 1].
-  /// q=0 resolves to the lower edge of the first occupied bucket, q=1 to
-  /// the upper bound of the last occupied one. Samples in the overflow
-  /// bucket clamp to the largest finite bound. Empty histogram: 0.
+  /// Deterministic linear-interpolated percentile from the bucket
+  /// counts, q in [0, 1]. The exact rule (known-answer tested in
+  /// metrics_test.cc, documented in DESIGN.md section 9):
+  ///
+  ///   1. The target rank is max(1, ceil(q * count)), 1-based — q=0
+  ///      resolves to the first sample, q=1 to the last.
+  ///   2. The bucket holding that rank is found by cumulative count;
+  ///      within it the result interpolates linearly between the
+  ///      bucket's lower edge (the previous bound, or 0 for the first
+  ///      bucket) and its inclusive upper bound, at fraction
+  ///      (rank - count_below) / bucket_count.
+  ///   3. Samples in the overflow bucket clamp to the largest finite
+  ///      bound — percentiles never exceed the configured range.
+  ///
+  /// Empty histogram: 0. The result depends only on the bucket counts,
+  /// never on sample order, so exports are reproducible.
   double Percentile(double q) const;
 
   const std::vector<uint64_t>& bounds() const { return bounds_; }
@@ -101,8 +113,9 @@ class MetricsRegistry {
   void Reset();
 
   /// JSON snapshot: {"counters": {...}, "gauges": {...},
-  /// "histograms": {name: {count, sum, mean, p50, p90, p99, buckets}}}.
-  /// Keys are emitted in sorted order, so output is deterministic for a
+  /// "histograms": {name: {count, sum, mean, p50, p90, p95, p99,
+  /// buckets}}}. Keys are emitted in sorted order and percentiles follow
+  /// the documented Percentile rule, so output is deterministic for a
   /// given state.
   std::string ToJson() const;
 

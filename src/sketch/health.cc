@@ -1,0 +1,284 @@
+#include "sketch/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "metrics/metrics.h"
+
+namespace sketchtree {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.6g", v);
+  return buffer;
+}
+
+double MedianInPlace(std::vector<double>* values) {
+  if (values->empty()) return 0.0;
+  size_t mid = values->size() / 2;
+  std::nth_element(values->begin(), values->begin() + mid, values->end());
+  double upper = (*values)[mid];
+  if (values->size() % 2 == 1) return upper;
+  double lower =
+      *std::max_element(values->begin(), values->begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace
+
+SketchHealthReport ComputeSketchHealth(const SketchTree& sketch) {
+  const VirtualStreams& streams = sketch.streams();
+  const int s1 = streams.s1();
+  const int s2 = streams.s2();
+  const uint32_t p = streams.options().num_streams;
+
+  SketchHealthReport report;
+  report.s1 = s1;
+  report.s2 = s2;
+  report.num_streams = p;
+  report.values_inserted = streams.values_inserted();
+  report.over_deletions = streams.over_deletions();
+  report.memory_bytes = streams.MemoryBytes();
+  SketchTreeStats stats = sketch.Stats();
+  report.tracked_patterns = stats.tracked_patterns;
+
+  report.rows.resize(s2);
+  uint64_t populated_streams = 0;
+  uint64_t nonzero_total = 0;
+  for (int i = 0; i < s2; ++i) {
+    RowHealth& row = report.rows[i];
+    row.row = i;
+    row.counters = static_cast<uint64_t>(s1) * p;
+    row.min_value = std::numeric_limits<double>::infinity();
+    row.max_value = -std::numeric_limits<double>::infinity();
+  }
+  for (uint32_t r = 0; r < p; ++r) {
+    const SketchArray& array = streams.array(r);
+    bool stream_populated = false;
+    for (int i = 0; i < s2; ++i) {
+      RowHealth& row = report.rows[i];
+      double sum = 0.0;
+      double sum_sq = 0.0;
+      for (int j = 0; j < s1; ++j) {
+        double x = array.value(i, j);
+        if (x != 0.0) {
+          ++row.nonzero;
+          stream_populated = true;
+        }
+        sum += x;
+        sum_sq += x * x;
+        row.min_value = std::min(row.min_value, x);
+        row.max_value = std::max(row.max_value, x);
+      }
+      // Accumulate moments across streams; normalized after the loop.
+      row.mean += sum;
+      row.rms += sum_sq;
+      // Per-stream F2 estimate for this row is the s1-average of X^2;
+      // streams are disjoint so the row's estimate is the sum.
+      row.f2_estimate += sum_sq / s1;
+    }
+    if (stream_populated) ++populated_streams;
+  }
+
+  std::vector<double> row_f2;
+  row_f2.reserve(s2);
+  for (int i = 0; i < s2; ++i) {
+    RowHealth& row = report.rows[i];
+    double n = static_cast<double>(row.counters);
+    row.mean /= n;
+    row.rms = std::sqrt(row.rms / n);
+    row.occupancy = static_cast<double>(row.nonzero) / n;
+    if (row.min_value > row.max_value) row.min_value = row.max_value = 0.0;
+    nonzero_total += row.nonzero;
+    row_f2.push_back(row.f2_estimate);
+  }
+
+  uint64_t total_counters = static_cast<uint64_t>(s1) * s2 * p;
+  report.counter_occupancy =
+      static_cast<double>(nonzero_total) / total_counters;
+  report.stream_occupancy = static_cast<double>(populated_streams) / p;
+
+  double f2_min = *std::min_element(row_f2.begin(), row_f2.end());
+  double f2_max = *std::max_element(row_f2.begin(), row_f2.end());
+  double f2_median = MedianInPlace(&row_f2);
+  report.self_join_size = f2_median;
+  report.row_spread =
+      f2_median > 0.0 ? (f2_max - f2_min) / f2_median : 0.0;
+  report.abs_error_scale =
+      s1 > 0 ? std::sqrt(8.0 * std::max(0.0, f2_median) / s1) : 0.0;
+  report.min_reliable_frequency = report.abs_error_scale / 0.1;
+
+  // ---- Findings -------------------------------------------------------
+  if (report.values_inserted == 0) {
+    report.warnings.push_back(
+        "empty synopsis: no values have been inserted");
+  }
+  if (report.over_deletions > 0) {
+    report.warnings.push_back(
+        "over-deleted stream: " + std::to_string(report.over_deletions) +
+        " more pattern instances were removed than inserted");
+  }
+  if (report.values_inserted > 0 && p > 1) {
+    // With L values thrown into p uniform residue classes, the expected
+    // unpopulated fraction is (1 - 1/p)^L; flag occupancy far below it.
+    double expected =
+        1.0 - std::pow(1.0 - 1.0 / p,
+                       static_cast<double>(report.values_inserted));
+    if (report.stream_occupancy < 0.5 * expected) {
+      report.warnings.push_back(
+          "skewed virtual-stream fill: " + FormatDouble(
+              report.stream_occupancy * 100.0) +
+          "% of streams populated vs ~" + FormatDouble(expected * 100.0) +
+          "% expected for a uniform residue partition");
+    }
+  }
+  if (report.values_inserted > 0 && report.row_spread > 4.0) {
+    report.warnings.push_back(
+        "unstable rows: per-row F2 estimates spread " +
+        FormatDouble(report.row_spread) +
+        "x around the median; the s2 median step is working hard — "
+        "consider a different sketch seed");
+  }
+  if (report.values_inserted > 0 &&
+      report.min_reliable_frequency >
+          static_cast<double>(report.values_inserted)) {
+    report.warnings.push_back(
+        "undersized sketch: no frequency up to the stream length (" +
+        std::to_string(report.values_inserted) +
+        ") is estimable within 10% relative error (needs f >= " +
+        FormatDouble(report.min_reliable_frequency) +
+        "); raise s1 or enable top-k deletion");
+  }
+  return report;
+}
+
+std::string SketchHealthReport::ToText() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "SketchTree health report\n"
+                "  dimensions        s1=%d s2=%d streams=%u (%llu counters, "
+                "%.1f KB)\n",
+                s1, s2, num_streams,
+                static_cast<unsigned long long>(
+                    static_cast<uint64_t>(s1) * s2 * num_streams),
+                memory_bytes / 1024.0);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  stream            %llu values inserted, %llu "
+                "over-deletions, %llu tracked top-k patterns\n",
+                static_cast<unsigned long long>(values_inserted),
+                static_cast<unsigned long long>(over_deletions),
+                static_cast<unsigned long long>(tracked_patterns));
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  occupancy         counters %.2f%%, virtual streams "
+                "%.2f%%\n",
+                counter_occupancy * 100.0, stream_occupancy * 100.0);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  self-join size    %.6g (median of per-row F2; row "
+                "spread %.3gx)\n",
+                self_join_size, row_spread);
+  out += line;
+  std::snprintf(line, sizeof line,
+                "  accuracy          abs error scale %.6g; f >= %.6g "
+                "estimable within 10%%\n",
+                abs_error_scale, min_reliable_frequency);
+  out += line;
+  out += "  rows (i: occupancy mean rms min max F2)\n";
+  for (const RowHealth& row : rows) {
+    std::snprintf(line, sizeof line,
+                  "    %2d: %6.2f%% %+.4g %.4g %+.4g %+.4g %.6g\n",
+                  row.row, row.occupancy * 100.0, row.mean, row.rms,
+                  row.min_value, row.max_value, row.f2_estimate);
+    out += line;
+  }
+  if (warnings.empty()) {
+    out += "  warnings          none\n";
+  } else {
+    out += "  warnings\n";
+    for (const std::string& warning : warnings) {
+      out += "    ! " + warning + "\n";
+    }
+  }
+  return out;
+}
+
+std::string SketchHealthReport::ToJson() const {
+  std::string out = "{\n";
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "  \"abs_error_scale\": %.17g,\n"
+                "  \"counter_occupancy\": %.17g,\n"
+                "  \"memory_bytes\": %llu,\n"
+                "  \"min_reliable_frequency\": %.17g,\n"
+                "  \"num_streams\": %u,\n"
+                "  \"over_deletions\": %llu,\n",
+                abs_error_scale, counter_occupancy,
+                static_cast<unsigned long long>(memory_bytes),
+                min_reliable_frequency, num_streams,
+                static_cast<unsigned long long>(over_deletions));
+  out += line;
+  out += "  \"rows\": [";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowHealth& row = rows[i];
+    std::snprintf(line, sizeof line,
+                  "%s\n    {\"row\": %d, \"occupancy\": %.17g, "
+                  "\"mean\": %.17g, \"rms\": %.17g, \"min\": %.17g, "
+                  "\"max\": %.17g, \"f2\": %.17g}",
+                  i == 0 ? "" : ",", row.row, row.occupancy, row.mean,
+                  row.rms, row.min_value, row.max_value, row.f2_estimate);
+    out += line;
+  }
+  out += rows.empty() ? "],\n" : "\n  ],\n";
+  std::snprintf(line, sizeof line,
+                "  \"row_spread\": %.17g,\n"
+                "  \"s1\": %d,\n"
+                "  \"s2\": %d,\n"
+                "  \"self_join_size\": %.17g,\n"
+                "  \"stream_occupancy\": %.17g,\n"
+                "  \"tracked_patterns\": %llu,\n"
+                "  \"values_inserted\": %llu,\n",
+                row_spread, s1, s2, self_join_size, stream_occupancy,
+                static_cast<unsigned long long>(tracked_patterns),
+                static_cast<unsigned long long>(values_inserted));
+  out += line;
+  out += "  \"warnings\": [";
+  for (size_t i = 0; i < warnings.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"';
+    for (char c : warnings[i]) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+void PublishHealthMetrics(const SketchHealthReport& report,
+                          MetricsRegistry* registry) {
+  auto ppm = [](double fraction) {
+    return static_cast<int64_t>(fraction * 1e6);
+  };
+  registry->GetGauge("sketch.health.counter_occupancy_ppm")
+      ->Set(ppm(report.counter_occupancy));
+  registry->GetGauge("sketch.health.stream_occupancy_ppm")
+      ->Set(ppm(report.stream_occupancy));
+  registry->GetGauge("sketch.health.row_spread_ppm")
+      ->Set(ppm(report.row_spread));
+  registry->GetGauge("sketch.health.self_join_size")
+      ->Set(static_cast<int64_t>(report.self_join_size));
+  registry->GetGauge("sketch.health.min_reliable_frequency")
+      ->Set(static_cast<int64_t>(report.min_reliable_frequency));
+  registry->GetGauge("sketch.health.warnings")
+      ->Set(static_cast<int64_t>(report.warnings.size()));
+}
+
+}  // namespace sketchtree

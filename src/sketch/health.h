@@ -1,0 +1,97 @@
+#ifndef SKETCHTREE_SKETCH_HEALTH_H_
+#define SKETCHTREE_SKETCH_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sketch_tree.h"
+
+namespace sketchtree {
+
+class MetricsRegistry;
+
+/// Introspection of one sketch row (a fixed i across every virtual
+/// stream: the s1 * p counters whose per-stream averages feed the i-th
+/// median candidate). AMS theory predicts, for an unbiased xi family,
+/// per-row statistics that are close to identical across rows; a row
+/// that deviates sharply is the observable symptom of seed or
+/// stream-partitioning pathologies.
+struct RowHealth {
+  int row = 0;                 ///< i in [0, s2).
+  uint64_t counters = 0;       ///< s1 * num_streams counters inspected.
+  uint64_t nonzero = 0;        ///< Counters with a nonzero projection.
+  double occupancy = 0.0;      ///< nonzero / counters.
+  double mean = 0.0;           ///< Signed mean of X — sign-sum first moment.
+  double rms = 0.0;            ///< sqrt(mean of X^2) — second moment.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// Row-local F2 estimate: per stream, the s1-average of X^2, summed
+  /// over streams. The median of these across rows is the boosted
+  /// self-join estimate; their spread is the report's row_spread.
+  double f2_estimate = 0.0;
+};
+
+/// Health snapshot of a whole synopsis: dimensions, per-row statistics,
+/// aggregate occupancy and spread, and derived accuracy context
+/// (Theorem 1: relative error for frequency f is ~ sqrt(8 * SJ / s1) / f).
+/// Produced by ComputeSketchHealth, rendered by ToText (CLI `inspect`)
+/// or ToJson, and exportable as gauges via PublishHealthMetrics.
+struct SketchHealthReport {
+  // Dimensions and stream accounting.
+  int s1 = 0;
+  int s2 = 0;
+  uint32_t num_streams = 0;
+  uint64_t values_inserted = 0;
+  uint64_t over_deletions = 0;
+  uint64_t tracked_patterns = 0;  ///< Top-k entries across streams.
+  uint64_t memory_bytes = 0;
+
+  std::vector<RowHealth> rows;  ///< One entry per row i, in order.
+
+  /// Fraction of all counters with a nonzero projection. Every inserted
+  /// value touches all s1 * s2 counters of its stream, so zeros in a
+  /// populated stream mean xi cancellation — occupancy well below the
+  /// populated-stream fraction signals a degenerate turnstile history.
+  double counter_occupancy = 0.0;
+  /// Fraction of virtual streams holding any mass. Low occupancy at a
+  /// large stream length means the residue partition is skewed — the
+  /// fill-factor the Section 5.3 uniformity argument relies on.
+  double stream_occupancy = 0.0;
+  /// Relative spread of the per-row F2 estimates:
+  /// (max - min) / median. Theory puts rows within a small constant
+  /// factor of each other; a large spread undermines the median step.
+  double row_spread = 0.0;
+  /// Boosted estimate of the residual self-join size SJ(S).
+  double self_join_size = 0.0;
+  /// Theorem 1's absolute error scale sqrt(8 * SJ / s1): the standard
+  /// error of any point estimate. Relative error at frequency f is this
+  /// divided by f.
+  double abs_error_scale = 0.0;
+  /// Smallest frequency estimable within 10% relative error, i.e.
+  /// abs_error_scale / 0.1 — a direct "how small can you trust" figure.
+  double min_reliable_frequency = 0.0;
+
+  /// Human-readable findings; empty means no anomaly detected.
+  std::vector<std::string> warnings;
+
+  /// Multi-line report for terminals (CLI `inspect`).
+  std::string ToText() const;
+  /// Deterministic JSON object (sorted keys, fixed field set).
+  std::string ToJson() const;
+};
+
+/// Scans every counter of `sketch`'s synopsis and derives the report.
+/// Read-only; cost is one pass over the s1 * s2 * p counter planes.
+SketchHealthReport ComputeSketchHealth(const SketchTree& sketch);
+
+/// Exports the report's aggregate figures as gauges under
+/// "sketch.health.*" (fractions scaled to parts-per-million, see
+/// DESIGN.md section 9) so the ordinary metrics JSON carries sketch
+/// health alongside throughput.
+void PublishHealthMetrics(const SketchHealthReport& report,
+                          MetricsRegistry* registry);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SKETCH_HEALTH_H_

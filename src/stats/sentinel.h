@@ -1,0 +1,128 @@
+#ifndef SKETCHTREE_STATS_SENTINEL_H_
+#define SKETCHTREE_STATS_SENTINEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sketch_tree.h"
+
+namespace sketchtree {
+
+class MetricsRegistry;
+
+/// Configuration of the accuracy sentinel.
+struct SentinelOptions {
+  /// K: number of pattern values tracked with exact counters. Memory is
+  /// O(K); the error sample is a K-point view of the pattern universe.
+  size_t capacity = 64;
+  /// The (epsilon, delta) contract to check estimates against: at least
+  /// a (1 - delta) fraction of tracked patterns should estimate within
+  /// relative error epsilon. Defaults mirror the paper's setup
+  /// (s2 = 7 targets delta ~ 0.1).
+  double epsilon = 0.1;
+  double delta = 0.1;
+  /// Seed of the sampling hash. Deliberately decoupled from the sketch
+  /// seeds: the sentinel must sample patterns independently of how the
+  /// sketch hashes them, or the sample would be correlated with exactly
+  /// the xi structure it is meant to audit.
+  uint64_t seed = 0x5eed5eed5eed5eedULL;
+};
+
+/// Per-pattern outcome in a sentinel report.
+struct SentinelSample {
+  uint64_t value = 0;       ///< Canonical pattern value.
+  double exact = 0.0;       ///< Exact signed count over the stream.
+  double estimate = 0.0;    ///< Sketch estimate at report time.
+  double relative_error = 0.0;  ///< Sanity-bounded |est - exact| / exact.
+};
+
+/// Aggregate verdict of one Report() call.
+struct SentinelReport {
+  uint64_t observations = 0;   ///< Pattern instances fed to Observe.
+  uint64_t distinct_seen = 0;  ///< Distinct values that entered the sample.
+  size_t tracked = 0;          ///< Patterns with exact counters right now.
+  size_t measured = 0;         ///< Tracked patterns with nonzero exact count.
+  double epsilon = 0.0;        ///< Configured contract, echoed.
+  double delta = 0.0;
+  double mean_relative_error = 0.0;
+  double median_relative_error = 0.0;
+  double max_relative_error = 0.0;
+  /// Fraction of measured patterns within epsilon relative error.
+  double within_epsilon = 0.0;
+  /// The live verdict: within_epsilon >= 1 - delta. False flags a sketch
+  /// whose observed error exceeds the configured contract — an
+  /// undersized s1, a pathological stream, or a bad seed.
+  bool bound_satisfied = true;
+  std::vector<SentinelSample> samples;  ///< Sorted by value (determinism).
+
+  std::string ToText() const;
+  std::string ToJson() const;
+};
+
+/// Live accuracy monitor: tracks exact counts for a bottom-K sample of
+/// the pattern stream and measures the sketch's estimates against them,
+/// turning Theorem 1 from an offline guarantee into an online gauge.
+///
+/// Sampling is bottom-K min-hash over *distinct values*: the sentinel
+/// keeps the K values with the smallest sampling hash h(v). The
+/// admission threshold (the K-th smallest hash seen) only ever
+/// decreases, which yields the property the exact counters depend on:
+/// a value currently in the sample was necessarily admitted at its
+/// first occurrence (its hash cleared a threshold that was no smaller
+/// then), so its counter saw every occurrence and is exact — not an
+/// approximation of an approximation. Evicted values can never re-enter
+/// (their hash already failed the tighter threshold), so partial counts
+/// are discarded, never resurrected. The hash depends only on the
+/// value, making the sample a uniform draw from the distinct-value
+/// universe, independent of frequency and of arrival order.
+///
+/// Attach to a SketchTree (AttachSentinel) to mirror every enumerated
+/// pattern during Update/Remove, or call Observe directly. Not
+/// thread-safe — one sentinel audits one serially-updated synopsis
+/// (shard replicas of a parallel ingest each see only their slice, so
+/// per-shard exact counts would not match the merged sketch).
+class AccuracySentinel {
+ public:
+  explicit AccuracySentinel(const SentinelOptions& options);
+
+  const SentinelOptions& options() const { return options_; }
+
+  /// Feeds one pattern occurrence with the given turnstile weight
+  /// (+1 insert, -1 delete). O(1) amortized: a hash, a map lookup, and
+  /// on admission a possible eviction.
+  void Observe(uint64_t value, double weight);
+
+  /// Measures every tracked pattern against `sketch`'s estimate and
+  /// aggregates the verdict. Read-only on both sides; callable at any
+  /// stream position. `sketch` must be the synopsis this sentinel
+  /// observed (same mapping seed), or the comparison is meaningless.
+  SentinelReport Report(const SketchTree& sketch) const;
+
+  uint64_t observations() const { return observations_; }
+  size_t tracked() const { return tracked_.size(); }
+
+ private:
+  /// Sampling hash: splitmix64 of value ^ seed — well-mixed, cheap, and
+  /// unrelated to the Rabin fingerprint structure of the values.
+  uint64_t SampleHash(uint64_t value) const;
+
+  SentinelOptions options_;
+  uint64_t observations_ = 0;
+  uint64_t distinct_admitted_ = 0;
+  /// Tracked sample keyed by sampling hash (ordered: the map's last key
+  /// is the current admission threshold). Values carry (value, exact
+  /// signed count). Keyed by hash so eviction of the largest hash is
+  /// O(log K).
+  std::map<uint64_t, std::pair<uint64_t, double>> tracked_;
+};
+
+/// Exports a report's aggregates as gauges under "sentinel.*"
+/// (fractions in parts-per-million) for the metrics JSON.
+void PublishSentinelMetrics(const SentinelReport& report,
+                            MetricsRegistry* registry);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_STATS_SENTINEL_H_

@@ -5,6 +5,7 @@
 
 #include "metrics/metrics.h"
 #include "sketch/estimators.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -114,6 +115,7 @@ void VirtualStreams::Insert(uint64_t v, double weight) {
 void VirtualStreams::InsertBatch(std::span<const uint64_t> values,
                                  double weight) {
   if (values.empty()) return;
+  TRACE_SPAN("sketch.update_batch");
   // Top-k processing (Algorithm 4) runs against the sketch state after
   // each individual update, so tracking keeps the exact per-value path.
   if (!trackers_.empty()) {

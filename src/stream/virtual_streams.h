@@ -93,6 +93,10 @@ class VirtualStreams {
   /// to, so it feeds the parameter planner directly.
   double EstimateSelfJoinSize() const;
 
+  /// Sketch array of virtual stream `r` — read-only introspection for
+  /// the health report (sketch/health.h).
+  const SketchArray& array(uint32_t r) const { return arrays_[r]; }
+
   /// Top-k tracker of stream `r`, or nullptr if tracking is disabled.
   const TopKTracker* topk(uint32_t r) const {
     return trackers_.empty() ? nullptr : &trackers_[r];

@@ -1,0 +1,232 @@
+#include "trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "common/timer.h"
+
+namespace sketchtree {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  // One buffer per thread for the process lifetime; the registry keeps
+  // ownership so buffers of exited threads still serialize.
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->max_events = max_events_per_thread_;
+    std::lock_guard<std::mutex> lock(mu_);
+    owned->tid = buffers_.size() + 1;
+    buffer = owned.get();
+    buffers_.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+void TraceRecorder::Append(const char* name, TracePhase phase,
+                           int64_t value) {
+  ThreadBuffer* buffer = LocalBuffer();
+  Chunk* chunk =
+      buffer->chunks.empty() ? nullptr : buffer->chunks.back().get();
+  size_t index = chunk == nullptr
+                     ? Chunk::kEvents
+                     : chunk->count.load(std::memory_order_relaxed);
+  // Only the owner thread rolls chunks, so every chunk but the last is
+  // exactly full — the buffered total needs no scan. The cap turns a
+  // runaway trace into counted drops instead of unbounded memory.
+  size_t buffered = buffer->chunks.empty()
+                        ? 0
+                        : (buffer->chunks.size() - 1) * Chunk::kEvents + index;
+  if (buffered >= buffer->max_events) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (index == Chunk::kEvents) {
+    // Roll to a fresh chunk. Growth takes the chunk-list lock (readers
+    // snapshot the list under it).
+    auto fresh = std::make_unique<Chunk>();
+    chunk = fresh.get();
+    std::lock_guard<std::mutex> lock(buffer->chunks_mu);
+    buffer->chunks.push_back(std::move(fresh));
+    index = 0;
+  }
+  chunk->events[index] =
+      TraceEvent{name, phase, NowNanos(), value};
+  // Release pairs with the acquire in ToJson/event_count: once a reader
+  // observes count > index, the event write above is visible.
+  chunk->count.store(index + 1, std::memory_order_release);
+}
+
+void TraceRecorder::RecordBegin(const char* name) {
+  if (!enabled()) return;
+  Append(name, TracePhase::kBegin, 0);
+}
+
+// Deliberately not gated on enabled(): a span whose scope opened while
+// tracing was on must close even if Stop() raced its destructor, or the
+// per-thread begin/end pairing the trace format relies on would break.
+// Spans opened while disabled never call this (TraceSpan holds no name).
+void TraceRecorder::RecordEnd(const char* name) {
+  Append(name, TracePhase::kEnd, 0);
+}
+
+void TraceRecorder::RecordInstant(const char* name) {
+  if (!enabled()) return;
+  Append(name, TracePhase::kInstant, 0);
+}
+
+void TraceRecorder::RecordCounter(const char* name, int64_t value) {
+  if (!enabled()) return;
+  Append(name, TracePhase::kCounter, value);
+}
+
+void TraceRecorder::SetThreadName(const std::string& name) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->chunks_mu);
+  buffer->thread_name = name;
+}
+
+namespace {
+
+void AppendEscaped(const char* text, std::string* out) {
+  out->push_back('"');
+  for (const char* p = text; *p != '\0'; ++p) {
+    char c = *p;
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // Control chars.
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToJson() const {
+  // Snapshot the buffer list, then each buffer's chunk list, then each
+  // chunk's published event count — every step either under the
+  // guarding lock or through the release/acquire count, so a trace
+  // written concurrently with recording is a consistent prefix.
+  std::vector<const ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers.reserve(buffers_.size());
+    for (const auto& buffer : buffers_) buffers.push_back(buffer.get());
+  }
+  std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char line[160];
+  bool first = true;
+  auto append_comma = [&] {
+    json += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const ThreadBuffer* buffer : buffers) {
+    std::vector<const Chunk*> chunks;
+    std::string thread_name;
+    {
+      std::lock_guard<std::mutex> lock(buffer->chunks_mu);
+      chunks.reserve(buffer->chunks.size());
+      for (const auto& chunk : buffer->chunks) chunks.push_back(chunk.get());
+      thread_name = buffer->thread_name;
+    }
+    if (!thread_name.empty()) {
+      append_comma();
+      std::snprintf(line, sizeof line,
+                    "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                    "\"tid\": %" PRIu64 ", \"args\": {\"name\": ",
+                    buffer->tid);
+      json += line;
+      AppendEscaped(thread_name.c_str(), &json);
+      json += "}}";
+    }
+    for (const Chunk* chunk : chunks) {
+      size_t count = chunk->count.load(std::memory_order_acquire);
+      for (size_t e = 0; e < count; ++e) {
+        const TraceEvent& event = chunk->events[e];
+        append_comma();
+        json += "{\"name\": ";
+        AppendEscaped(event.name, &json);
+        const char* ph = "B";
+        switch (event.phase) {
+          case TracePhase::kBegin: ph = "B"; break;
+          case TracePhase::kEnd: ph = "E"; break;
+          case TracePhase::kInstant: ph = "i"; break;
+          case TracePhase::kCounter: ph = "C"; break;
+        }
+        // Microsecond timestamps with nanosecond decimals — the unit
+        // chrome://tracing expects.
+        std::snprintf(line, sizeof line,
+                      ", \"cat\": \"sketchtree\", \"ph\": \"%s\", "
+                      "\"ts\": %" PRIu64 ".%03u, \"pid\": 1, "
+                      "\"tid\": %" PRIu64,
+                      ph, event.ts_ns / 1000,
+                      static_cast<unsigned>(event.ts_ns % 1000),
+                      buffer->tid);
+        json += line;
+        if (event.phase == TracePhase::kInstant) {
+          json += ", \"s\": \"t\"";
+        } else if (event.phase == TracePhase::kCounter) {
+          std::snprintf(line, sizeof line, ", \"args\": {\"value\": %" PRId64
+                        "}", event.value);
+          json += line;
+        }
+        json += "}";
+      }
+    }
+  }
+  json += first ? "]" : "\n]";
+  uint64_t dropped = dropped_events();
+  std::snprintf(line, sizeof line, ", \"droppedEvents\": %" PRIu64 "}\n",
+                dropped);
+  json += line;
+  return json;
+}
+
+Status TraceRecorder::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  out << ToJson();
+  out.flush();
+  if (!out) {
+    return Status::IOError("error writing trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+void TraceRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunk_lock(buffer->chunks_mu);
+    buffer->chunks.clear();
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> chunk_lock(buffer->chunks_mu);
+    for (const auto& chunk : buffer->chunks) {
+      total += chunk->count.load(std::memory_order_acquire);
+    }
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace sketchtree

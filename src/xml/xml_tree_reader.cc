@@ -9,6 +9,7 @@
 #include "faultinject/fault_injector.h"
 #include "metrics/metrics.h"
 #include "query/unordered.h"
+#include "trace/trace.h"
 #include "tree/tree_builder.h"
 #include "xml/sax_parser.h"
 
@@ -115,6 +116,10 @@ class ForestStreamingHandler : public SaxHandler {
                          ForestStreamStats* stats)
       : options_(options), callback_(callback), stats_(stats) {}
 
+  // A document-level XML error can abort the parse mid-tree; close the
+  // span here so traces stay balanced even on that path.
+  ~ForestStreamingHandler() override { EndTreeSpan(); }
+
   Status StartElement(
       std::string_view name,
       const std::vector<std::pair<std::string_view, std::string>>& attributes)
@@ -134,6 +139,7 @@ class ForestStreamingHandler : public SaxHandler {
       mode_ = Mode::kSkip;  // Resume cursor: parse but do not build.
     }
     if (mode_ != Mode::kBuild) return Status::OK();
+    if (depth_ == 2) BeginTreeSpan();
     Status built = BuildElement(name, attributes);
     if (!built.ok()) return TreeRejected(built);
     return Status::OK();
@@ -158,6 +164,7 @@ class ForestStreamingHandler : public SaxHandler {
       }
       Result<LabeledTree> tree = builder_.Finish();
       if (!tree.ok()) return TreeRejected(tree.status());
+      EndTreeSpan();
       uint64_t index = next_tree_index_++;
       ++trees_emitted_;
       if (stats_ != nullptr) {
@@ -208,9 +215,28 @@ class ForestStreamingHandler : public SaxHandler {
     return Status::OK();
   }
 
+  /// The "tree.build" span covers one depth-1 subtree from its opening
+  /// tag to hand-off (or rejection). The handler tracks openness itself
+  /// — a tree can end via emission, quarantine, or fail_fast abort, on
+  /// different callbacks — so begin/end always balance per thread.
+  void BeginTreeSpan() {
+    if (TraceRecorder::Global().enabled()) {
+      TraceRecorder::Global().RecordBegin("tree.build");
+      tree_span_open_ = true;
+    }
+  }
+
+  void EndTreeSpan() {
+    if (tree_span_open_) {
+      TraceRecorder::Global().RecordEnd("tree.build");
+      tree_span_open_ = false;
+    }
+  }
+
   /// The current tree's content was rejected: abort (fail_fast) or
   /// quarantine it and discard the rest of its subtree.
   Status TreeRejected(const Status& reason) {
+    EndTreeSpan();
     if (options_.fail_fast) return reason;
     if (options_.quarantine != nullptr) {
       options_.quarantine->Record(next_tree_index_, byte_offset(), reason);
@@ -244,6 +270,7 @@ class ForestStreamingHandler : public SaxHandler {
   Mode mode_ = Mode::kBuild;
   int depth_ = 0;
   bool seen_root_ = false;
+  bool tree_span_open_ = false;
   uint64_t next_tree_index_ = 0;
   uint64_t elements_seen_ = 0;
   uint64_t trees_emitted_ = 0;
@@ -258,6 +285,7 @@ Status StreamXmlForestEx(std::string_view xml,
   XmlMetrics& metrics = Metrics();
   metrics.bytes->Increment(xml.size());
   ForestStreamingHandler handler(options, callback, stats);
+  TRACE_SPAN("xml.sax_parse");
   Status status = ParseXml(xml, &handler);
   metrics.elements->Increment(handler.elements_seen());
   metrics.trees->Increment(handler.trees_emitted());
@@ -309,6 +337,7 @@ Result<LabeledTree> XmlToTree(std::string_view xml,
   XmlMetrics& metrics = Metrics();
   metrics.bytes->Increment(xml.size());
   TreeBuildingHandler handler(options);
+  TRACE_SPAN("xml.sax_parse");
   Status status = ParseXml(xml, &handler);
   metrics.elements->Increment(handler.elements_seen());
   if (!status.ok()) {

@@ -104,6 +104,31 @@ TEST(HistogramTest, PercentileEdgeCases) {
   }
 }
 
+TEST(HistogramTest, PercentileKnownAnswers) {
+  // Known-answer check of the documented quantile rule (metrics.h):
+  // rank = max(1, ceil(q * count)), then linear interpolation between
+  // the target bucket's edges. Values 1..100 into bounds {10, 20, 40,
+  // 80, 160} give bucket counts {10, 10, 20, 40, 20, 0}.
+  Histogram histogram({10, 20, 40, 80, 160});
+  for (uint64_t v = 1; v <= 100; ++v) histogram.Observe(v);
+  ASSERT_EQ(histogram.TotalCount(), 100u);
+  // p50: rank 50 lands in (40, 80] with 40 below; 40 + 40 * 10/40 = 50.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.50), 50.0);
+  // p95: rank 95 lands in (80, 160] with 80 below; 80 + 80 * 15/20 = 140.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.95), 140.0);
+  // p99: rank 99, same bucket; 80 + 80 * 19/20 = 156.
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.99), 156.0);
+  // The JSON export carries exactly these values (p95 included).
+  MetricsRegistry registry;
+  Histogram* exported =
+      registry.GetHistogram("ka.hist", {10, 20, 40, 80, 160});
+  for (uint64_t v = 1; v <= 100; ++v) exported->Observe(v);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"p50\": 50"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\": 140"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 156"), std::string::npos) << json;
+}
+
 TEST(HistogramTest, OverflowSamplesClampToLastFiniteBound) {
   Histogram histogram({10, 100});
   for (int i = 0; i < 4; ++i) histogram.Observe(100000);

@@ -1,0 +1,155 @@
+// Tests for the sketch health report: per-row statistics and aggregate
+// occupancy on empty vs populated synopses, the self-join/error-scale
+// derivation, the warning heuristics (including the undersized-sketch
+// flag), and the rendered/exported forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "metrics/metrics.h"
+#include "sketch/health.h"
+
+namespace sketchtree {
+namespace {
+
+SketchTreeOptions HealthTestOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 10;
+  options.s2 = 5;
+  options.num_virtual_streams = 23;
+  options.seed = 42;
+  return options;
+}
+
+TEST(SketchHealthTest, EmptySynopsisReportsZeroOccupancyAndWarns) {
+  SketchTree sketch = *SketchTree::Create(HealthTestOptions());
+  SketchHealthReport report = ComputeSketchHealth(sketch);
+  EXPECT_EQ(report.s1, 10);
+  EXPECT_EQ(report.s2, 5);
+  EXPECT_EQ(report.num_streams, 23u);
+  EXPECT_EQ(report.values_inserted, 0u);
+  EXPECT_DOUBLE_EQ(report.counter_occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(report.stream_occupancy, 0.0);
+  EXPECT_DOUBLE_EQ(report.self_join_size, 0.0);
+  ASSERT_EQ(report.rows.size(), 5u);
+  for (const RowHealth& row : report.rows) {
+    EXPECT_EQ(row.nonzero, 0u);
+    EXPECT_DOUBLE_EQ(row.mean, 0.0);
+    EXPECT_DOUBLE_EQ(row.rms, 0.0);
+  }
+  ASSERT_EQ(report.warnings.size(), 1u);
+  EXPECT_NE(report.warnings[0].find("empty synopsis"), std::string::npos);
+  EXPECT_NE(report.ToText().find("empty synopsis"), std::string::npos);
+}
+
+TEST(SketchHealthTest, PopulatedSynopsisHasConsistentStatistics) {
+  SketchTree sketch = *SketchTree::Create(HealthTestOptions());
+  TreebankGenerator gen;
+  for (int i = 0; i < 50; ++i) sketch.Update(gen.Next());
+
+  SketchHealthReport report = ComputeSketchHealth(sketch);
+  EXPECT_GT(report.values_inserted, 0u);
+  EXPECT_GT(report.counter_occupancy, 0.0);
+  EXPECT_LE(report.counter_occupancy, 1.0);
+  EXPECT_GT(report.stream_occupancy, 0.0);
+  EXPECT_LE(report.stream_occupancy, 1.0);
+  for (const RowHealth& row : report.rows) {
+    EXPECT_EQ(row.counters, 10u * 23u);
+    EXPECT_GT(row.nonzero, 0u);
+    EXPECT_DOUBLE_EQ(
+        row.occupancy,
+        static_cast<double>(row.nonzero) / static_cast<double>(row.counters));
+    EXPECT_GE(row.rms, std::fabs(row.mean));  // RMS dominates the mean.
+    EXPECT_LE(row.min_value, row.max_value);
+    EXPECT_GT(row.f2_estimate, 0.0);
+  }
+  // The report's median-of-row-F2 and the synopsis's sum-of-per-stream
+  // medians are different boostings of the same moment; they agree to
+  // within a few percent on a healthy sketch. Theorem 1's error scale
+  // is derived exactly from the report's own figure.
+  EXPECT_NEAR(report.self_join_size, sketch.EstimateSelfJoinSize(),
+              0.1 * sketch.EstimateSelfJoinSize());
+  EXPECT_DOUBLE_EQ(report.abs_error_scale,
+                   std::sqrt(8.0 * report.self_join_size / 10.0));
+  EXPECT_DOUBLE_EQ(report.min_reliable_frequency,
+                   report.abs_error_scale / 0.1);
+  // A healthy, well-seeded sketch on this stream raises no anomaly
+  // other than possibly the undersized flag (s1 = 10 is tiny).
+  for (const std::string& warning : report.warnings) {
+    EXPECT_EQ(warning.find("empty synopsis"), std::string::npos);
+    EXPECT_EQ(warning.find("over-deleted"), std::string::npos);
+    EXPECT_EQ(warning.find("skewed"), std::string::npos);
+  }
+}
+
+TEST(SketchHealthTest, UndersizedSketchIsFlagged) {
+  // s1 = 1 on a long stream: the Theorem-1 error scale exceeds any
+  // frequency the stream can contain, which is exactly the condition
+  // the undersized warning encodes.
+  SketchTreeOptions options = HealthTestOptions();
+  options.s1 = 1;
+  options.s2 = 2;
+  SketchTree sketch = *SketchTree::Create(options);
+  TreebankGenerator gen;
+  for (int i = 0; i < 50; ++i) sketch.Update(gen.Next());
+
+  SketchHealthReport report = ComputeSketchHealth(sketch);
+  EXPECT_GT(report.min_reliable_frequency,
+            static_cast<double>(report.values_inserted));
+  bool flagged = false;
+  for (const std::string& warning : report.warnings) {
+    if (warning.find("undersized sketch") != std::string::npos) {
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged) << report.ToText();
+}
+
+TEST(SketchHealthTest, OverDeletionIsFlagged) {
+  SketchTree sketch = *SketchTree::Create(HealthTestOptions());
+  TreebankGenerator gen;
+  LabeledTree tree = gen.Next();
+  sketch.Update(tree);
+  sketch.Remove(tree);
+  sketch.Remove(tree);  // One removal too many: turnstile went negative.
+  SketchHealthReport report = ComputeSketchHealth(sketch);
+  EXPECT_GT(report.over_deletions, 0u);
+  bool flagged = false;
+  for (const std::string& warning : report.warnings) {
+    if (warning.find("over-deleted") != std::string::npos) flagged = true;
+  }
+  EXPECT_TRUE(flagged) << report.ToText();
+}
+
+TEST(SketchHealthTest, RenderingsAndMetricsExportCarryTheReport) {
+  SketchTree sketch = *SketchTree::Create(HealthTestOptions());
+  TreebankGenerator gen;
+  for (int i = 0; i < 20; ++i) sketch.Update(gen.Next());
+  SketchHealthReport report = ComputeSketchHealth(sketch);
+
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("s1=10 s2=5 streams=23"), std::string::npos);
+  EXPECT_NE(text.find("self-join size"), std::string::npos);
+
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"s1\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"self_join_size\""), std::string::npos);
+  EXPECT_EQ(json, report.ToJson());  // Deterministic.
+
+  MetricsRegistry registry;
+  PublishHealthMetrics(report, &registry);
+  EXPECT_EQ(registry.GetGauge("sketch.health.self_join_size")->value(),
+            static_cast<int64_t>(report.self_join_size));
+  EXPECT_EQ(registry.GetGauge("sketch.health.warnings")->value(),
+            static_cast<int64_t>(report.warnings.size()));
+  EXPECT_GT(
+      registry.GetGauge("sketch.health.counter_occupancy_ppm")->value(), 0);
+}
+
+}  // namespace
+}  // namespace sketchtree

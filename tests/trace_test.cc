@@ -1,0 +1,425 @@
+// Tests for the pipeline tracer: recorder semantics (enable/disable
+// gating, span balance across Stop(), sampling, bounded buffers) and a
+// golden end-to-end check that a multi-threaded ingest produces valid
+// Chrome trace-event JSON with balanced begin/end pairs on every thread.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sketch_tree.h"
+#include "datagen/treebank_gen.h"
+#include "ingest/parallel_ingester.h"
+#include "trace/trace.h"
+
+namespace sketchtree {
+namespace {
+
+// The recorder is process-wide; every test starts and ends quiescent so
+// leftover buffers never leak across tests in this binary.
+class TraceTestEnvironment {
+ public:
+  TraceTestEnvironment() {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Reset();
+  }
+  ~TraceTestEnvironment() {
+    TraceRecorder::Global().Stop();
+    TraceRecorder::Global().Reset();
+    TraceRecorder::Global().set_max_events_per_thread(size_t{1} << 20);
+  }
+};
+
+// --- Minimal JSON reader -------------------------------------------------
+//
+// Just enough of RFC 8259 to round-trip the tracer's output: objects,
+// arrays, strings with escapes, numbers, true/false/null. Parse failures
+// surface as ok=false so the golden test fails loudly instead of
+// crashing.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseLiteral(out);
+    if (c == 'n') return ParseLiteral(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char escape = text_[pos_++];
+        switch (escape) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // Tracer output never escapes beyond ASCII.
+            out->push_back('?');
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    auto matches = [&](const char* literal) {
+      size_t length = std::string(literal).size();
+      if (text_.compare(pos_, length, literal) != 0) return false;
+      pos_ += length;
+      return true;
+    };
+    if (matches("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (matches("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (matches("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// -------------------------------------------------------------------------
+
+TEST(TraceRecorderTest, DisabledRecorderBuffersNothing) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  ASSERT_FALSE(recorder.enabled());
+  {
+    TRACE_SPAN("test.disabled");
+    TRACE_INSTANT("test.instant");
+    TRACE_COUNTER("test.counter", 7);
+  }
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, SpanRecordsBalancedBeginEnd) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TRACE_SPAN("test.outer");
+    { TRACE_SPAN("test.inner"); }
+  }
+  TRACE_INSTANT("test.instant");
+  TRACE_COUNTER("test.depth", 3);
+  recorder.Stop();
+  // 2 spans x (B + E) + instant + counter.
+  EXPECT_EQ(recorder.event_count(), 6u);
+}
+
+TEST(TraceRecorderTest, SpanOpenAcrossStopStaysBalanced) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+
+  // Opened before Start: both ends suppressed.
+  {
+    TraceSpan span("test.preopen");
+    recorder.Start();
+  }
+  EXPECT_EQ(recorder.event_count(), 0u);
+
+  // Opened before Stop: the end is still recorded so the "B" it wrote
+  // is never left dangling.
+  {
+    TraceSpan span("test.straddle");
+    recorder.Stop();
+  }
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  std::string json = recorder.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(json).Parse(&root)) << json;
+  int begins = 0;
+  int ends = 0;
+  for (const JsonValue& event : root.Find("traceEvents")->array) {
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "B") ++begins;
+    if (ph->string == "E") ++ends;
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST(TraceRecorderTest, SampledSpanTracesFirstAndEveryPeriodth) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  for (int i = 0; i < 10; ++i) {
+    TRACE_SPAN_SAMPLED("test.sampled", 4);
+  }
+  recorder.Stop();
+  // Iterations 0, 4, 8 traced: 3 spans x (B + E).
+  EXPECT_EQ(recorder.event_count(), 6u);
+}
+
+TEST(TraceRecorderTest, PerThreadCapDropsAndCounts) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.set_max_events_per_thread(10);
+  recorder.Start();
+  std::thread worker([] {
+    for (int i = 0; i < 50; ++i) TRACE_INSTANT("test.flood");
+  });
+  worker.join();
+  recorder.Stop();
+  EXPECT_EQ(recorder.event_count(), 10u);
+  EXPECT_EQ(recorder.dropped_events(), 40u);
+  // The drop total is reported in the serialized trace.
+  EXPECT_NE(recorder.ToJson().find("\"droppedEvents\": 40"),
+            std::string::npos);
+}
+
+TEST(TraceRecorderTest, ResetClearsEventsButKeepsRecording) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  TRACE_INSTANT("test.before");
+  recorder.Stop();
+  ASSERT_GT(recorder.event_count(), 0u);
+  recorder.Reset();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  recorder.Start();
+  TRACE_INSTANT("test.after");
+  recorder.Stop();
+  EXPECT_EQ(recorder.event_count(), 1u);
+}
+
+TEST(TraceRecorderTest, JsonEscapesThreadNames) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetThreadName("quote\"back\\slash");
+  recorder.Start();
+  TRACE_INSTANT("test.named");
+  recorder.Stop();
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(recorder.ToJson()).Parse(&root));
+  bool found = false;
+  for (const JsonValue& event : root.Find("traceEvents")->array) {
+    const JsonValue* name = event.Find("name");
+    if (name != nullptr && name->string == "thread_name") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      if (args->Find("name")->string == "quote\"back\\slash") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Golden test: a real multi-threaded ingest, traced end to end, must
+// serialize as parseable Chrome trace JSON whose events are well-formed
+// and whose begin/end pairs balance on every thread.
+TEST(TraceGoldenTest, MultiThreadedIngestTraceIsWellFormed) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.SetThreadName("main");
+  recorder.Start();
+
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 10;
+  options.s2 = 5;
+  options.num_virtual_streams = 23;
+  options.seed = 42;
+  ParallelIngestOptions ingest_options;
+  ingest_options.num_threads = 3;
+  ingest_options.queue_capacity = 4;  // Small: force queue-wait spans.
+  ParallelIngester ingester =
+      *ParallelIngester::Create(options, ingest_options);
+  TreebankGenerator gen;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(ingester.Add(gen.Next()).ok());
+  }
+  SketchTree combined = *ingester.Finish();
+  recorder.Stop();
+
+  std::string json = recorder.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonReader(json).Parse(&root)) << "unparseable trace";
+  ASSERT_NE(root.Find("traceEvents"), nullptr);
+  const std::vector<JsonValue>& events = root.Find("traceEvents")->array;
+  ASSERT_FALSE(events.empty());
+
+  std::set<double> tids;
+  std::set<std::string> span_names;
+  std::map<double, std::vector<std::string>> open_stacks;  // tid -> names.
+  std::map<double, double> last_ts;  // tid -> previous timestamp.
+  for (const JsonValue& event : events) {
+    // Every event carries the required trace_event fields.
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("pid"), nullptr);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    EXPECT_EQ(event.Find("pid")->number, 1.0);
+    double tid = event.Find("tid")->number;
+    const std::string& name = event.Find("name")->string;
+    if (ph->string == "M") continue;  // Metadata carries no timestamp.
+    tids.insert(tid);
+    const JsonValue* ts = event.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    // Timestamps are monotone per thread (steady_clock source).
+    auto [it, inserted] = last_ts.emplace(tid, ts->number);
+    if (!inserted) {
+      EXPECT_GE(ts->number, it->second) << name;
+      it->second = ts->number;
+    }
+    if (ph->string == "B") {
+      open_stacks[tid].push_back(name);
+      span_names.insert(name);
+    } else if (ph->string == "E") {
+      // E must close the innermost open B on its own thread.
+      ASSERT_FALSE(open_stacks[tid].empty()) << "unmatched E: " << name;
+      EXPECT_EQ(open_stacks[tid].back(), name);
+      open_stacks[tid].pop_back();
+    } else {
+      EXPECT_TRUE(ph->string == "i" || ph->string == "C") << ph->string;
+    }
+  }
+  for (const auto& [tid, stack] : open_stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  // Producer + 3 shard workers each produced events.
+  EXPECT_GE(tids.size(), 4u);
+  // The sketch stages the ingest pipeline exercises all show up.
+  EXPECT_EQ(span_names.count("sketch.update_tree"), 1u);
+  EXPECT_EQ(span_names.count("sketch.update_batch"), 1u);
+  EXPECT_EQ(span_names.count("sketch.merge"), 1u);
+  EXPECT_EQ(span_names.count("prufer.transform"), 1u);
+  EXPECT_EQ(span_names.count("hash.fingerprint"), 1u);
+  // Worker threads are named by shard in the metadata events.
+  EXPECT_NE(json.find("\"shard-0\""), std::string::npos);
+  EXPECT_NE(json.find("\"shard-2\""), std::string::npos);
+  (void)combined;
+}
+
+}  // namespace
+}  // namespace sketchtree

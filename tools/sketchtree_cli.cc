@@ -32,6 +32,9 @@
 #include "ingest/quarantine.h"
 #include "metrics/metrics.h"
 #include "query/pattern_query.h"
+#include "sketch/health.h"
+#include "stats/sentinel.h"
+#include "trace/trace.h"
 #include "xml/xml_tree_reader.h"
 
 namespace {
@@ -68,6 +71,11 @@ struct Args {
     auto it = options.find(name);
     return it == options.end() ? fallback : std::atol(it->second.c_str());
   }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
 };
 
 int Usage() {
@@ -79,12 +87,27 @@ int Usage() {
       "        [--summary] [--seed N] [--append SYNOPSIS.bin] [--threads N]\n"
       "        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
       "        [--fail-fast] [--quarantine PATH]\n"
+      "        [--sentinel K] [--epsilon E] [--delta D]\n"
       "  sketchtree_cli query --synopsis SYNOPSIS.bin --pattern PAT\n"
       "        [--unordered]\n"
       "  sketchtree_cli extended --synopsis SYNOPSIS.bin --query EXTPAT\n"
       "  sketchtree_cli expr --synopsis SYNOPSIS.bin --expression EXPR\n"
       "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
       "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n"
+      "  sketchtree_cli inspect --synopsis SYNOPSIS.bin [--json]\n"
+      "\n"
+      "  inspect prints a sketch health report (per-row occupancy and\n"
+      "  moments, self-join size, Theorem-1 error scale, warnings);\n"
+      "  --json emits it as a JSON object instead.\n"
+      "\n"
+      "  build --sentinel K tracks exact counts for a K-pattern bottom-K\n"
+      "  sample during a single-threaded build and reports the observed\n"
+      "  relative error against the (epsilon, delta) contract\n"
+      "  (defaults 0.1/0.1) after the stream ends.\n"
+      "\n"
+      "  any command also accepts --trace-out PATH to record a Chrome\n"
+      "  trace (chrome://tracing / ui.perfetto.dev) of the run's pipeline\n"
+      "  stages across all threads.\n"
       "\n"
       "  build checkpointing: with --checkpoint-dir, a durable snapshot\n"
       "  of the synopsis and stream cursor is written every\n"
@@ -122,7 +145,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
     std::string name(arg.substr(2));
     // Boolean flags take no value; everything else consumes the next arg.
     if (name == "summary" || name == "unordered" || name == "resume" ||
-        name == "fail-fast") {
+        name == "fail-fast" || name == "json") {
       args.flags.push_back(name);
       continue;
     }
@@ -259,6 +282,26 @@ int RunBuild(const Args& args) {
   if (!sketch_result.ok()) return Fail(sketch_result.status());
   SketchTree sketch = std::move(sketch_result).value();
 
+  // Accuracy sentinel: exact counters for a sampled pattern subset,
+  // measured against the sketch after the stream ends. Single-threaded
+  // only — shard replicas each see a slice of the stream, so per-shard
+  // exact counts would not correspond to the merged synopsis.
+  std::optional<AccuracySentinel> sentinel;
+  long sentinel_k = args.GetLong("sentinel", 0);
+  if (sentinel_k > 0) {
+    if (threads > 1) {
+      std::fprintf(stderr,
+                   "error: --sentinel requires a single-threaded build "
+                   "(drop --threads)\n");
+      return kExitUsage;
+    }
+    SentinelOptions sentinel_options;
+    sentinel_options.capacity = static_cast<size_t>(sentinel_k);
+    sentinel_options.epsilon = args.GetDouble("epsilon", 0.1);
+    sentinel_options.delta = args.GetDouble("delta", 0.1);
+    sentinel.emplace(sentinel_options);
+  }
+
   // Quarantine sink for malformed stream trees (default). --fail-fast
   // restores abort-on-first-error.
   QuarantineOptions quarantine_options;
@@ -373,6 +416,9 @@ int RunBuild(const Args& args) {
         if (!merged.ok()) return Fail(merged);
       }
     }
+    // Attach after any resume replacement of `sketch` so the sentinel
+    // rides the synopsis that actually ingests the stream.
+    if (sentinel.has_value()) sketch.AttachSentinel(&*sentinel);
     Status stream_status = StreamXmlForestFileEx(
         input,
         [&](LabeledTree tree, uint64_t tree_index,
@@ -391,6 +437,15 @@ int RunBuild(const Args& args) {
     if (!stream_status.ok()) return Fail(stream_status);
   }
   progress.Finish(trees, patterns);
+  // Sketch health rides along in the metrics dump of every build; the
+  // sentinel verdict (when armed) prints with the build summary.
+  PublishHealthMetrics(ComputeSketchHealth(sketch), &GlobalMetrics());
+  if (sentinel.has_value()) {
+    sketch.AttachSentinel(nullptr);
+    SentinelReport report = sentinel->Report(sketch);
+    PublishSentinelMetrics(report, &GlobalMetrics());
+    std::fputs(report.ToText().c_str(), stdout);
+  }
   if (stream_stats.trees_skipped > 0) {
     std::fprintf(stderr, "replayed past %llu committed trees\n",
                  static_cast<unsigned long long>(stream_stats.trees_skipped));
@@ -526,6 +581,22 @@ int RunStats(const Args& args) {
   return EXIT_SUCCESS;
 }
 
+int RunInspect(const Args& args) {
+  std::string synopsis = args.Get("synopsis");
+  if (synopsis.empty()) return Usage();
+  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
+  if (!sketch.ok()) return Fail(sketch.status());
+  SketchHealthReport report = ComputeSketchHealth(*sketch);
+  PublishHealthMetrics(report, &GlobalMetrics());
+  if (args.HasFlag("json")) {
+    std::fputs(report.ToJson().c_str(), stdout);
+  } else {
+    std::printf("synopsis: %s\n", synopsis.c_str());
+    std::fputs(report.ToText().c_str(), stdout);
+  }
+  return EXIT_SUCCESS;
+}
+
 /// Writes the process metrics registry to `path` as JSON. Runs even
 /// when the command failed — a dump of a partial run is exactly what a
 /// post-mortem wants.
@@ -547,6 +618,7 @@ int RunCommand(const Args& args) {
   if (args.command == "expr") return RunExpr(args);
   if (args.command == "merge") return RunMerge(args);
   if (args.command == "stats") return RunStats(args);
+  if (args.command == "inspect") return RunInspect(args);
   return Usage();
 }
 
@@ -570,7 +642,27 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
   }
+  // Pipeline tracing: enabled for the whole command, serialized on exit
+  // (also after a failed command — a truncated run's timeline is prime
+  // post-mortem material).
+  std::string trace_path = args->Get("trace-out");
+  if (!trace_path.empty()) {
+    TraceRecorder::Global().SetThreadName("main");
+    TraceRecorder::Global().Start();
+  }
   int exit_code = RunCommand(*args);
+  if (!trace_path.empty()) {
+    TraceRecorder::Global().Stop();
+    Status written = TraceRecorder::Global().WriteJson(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      if (exit_code == kExitOk) exit_code = kExitFailure;
+    } else {
+      std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                   trace_path.c_str(),
+                   TraceRecorder::Global().event_count());
+    }
+  }
   std::string metrics_path = args->Get("metrics-json");
   if (!metrics_path.empty()) {
     exit_code = DumpMetrics(metrics_path, exit_code);
