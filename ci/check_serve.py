@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""CI validator for the `sketchtree_cli serve` subsystem.
+
+Builds a synopsis from a small forest, starts the server on an
+ephemeral port, and exercises the line-delimited-JSON wire protocol
+end to end over a real TCP socket: ping, ordered and unordered counts,
+the plan-cache hit on an unordered child-order variant (with the
+bit-identical-estimate guarantee), extended and expression queries,
+stats, malformed input, an oversized pattern, an unknown op, and
+finally the shutdown op — after which the process must exit 0.
+
+Usage:
+  check_serve.py [--cli build/tools/sketchtree_cli]
+                 [--input examples/smoke_forest.xml]
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+
+server = None
+
+
+def fail(message):
+    print(f"check_serve: FAIL: {message}", file=sys.stderr)
+    if server is not None and server.poll() is None:
+        server.kill()
+    sys.exit(1)
+
+
+class Client:
+    """One request in flight at a time, so replies arrive in order."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.buffer = b""
+        self.next_id = 0
+
+    def roundtrip(self, request):
+        """Sends one request line (dict or raw string), returns the reply."""
+        if isinstance(request, dict):
+            self.next_id += 1
+            request = dict(request, id=self.next_id)
+            line = json.dumps(request)
+        else:
+            line = request
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail(f"connection closed awaiting reply to: {line}")
+            self.buffer += chunk
+        raw, self.buffer = self.buffer.split(b"\n", 1)
+        try:
+            reply = json.loads(raw)
+        except json.JSONDecodeError as error:
+            fail(f"reply is not valid JSON ({error}): {raw!r}")
+        return reply
+
+
+def expect(reply, what, **fields):
+    for key, value in fields.items():
+        if reply.get(key) != value:
+            fail(f"{what}: expected {key}={value!r}, got {reply}")
+    return reply
+
+
+def main():
+    global server
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", default="build/tools/sketchtree_cli")
+    parser.add_argument("--input", default="examples/smoke_forest.xml")
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="check_serve_")
+    synopsis = os.path.join(tmp, "synopsis.bin")
+    built = subprocess.run(
+        [args.cli, "build", "--input", args.input, "--output", synopsis,
+         "--summary"],
+        capture_output=True, text=True)
+    if built.returncode != 0:
+        fail(f"build failed: {built.stderr}")
+
+    # Port 0: the kernel picks; the server prints the resolved port.
+    server = subprocess.Popen(
+        [args.cli, "serve", "--synopsis", synopsis, "--port", "0",
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    banner = server.stdout.readline()
+    match = re.match(r"serving on 127\.0\.0\.1:(\d+)", banner)
+    if not match:
+        fail(f"unexpected serve banner: {banner!r}")
+    client = Client(int(match.group(1)))
+
+    expect(client.roundtrip({"op": "ping"}), "ping", ok=True)
+
+    ordered = expect(
+        client.roundtrip({"op": "count_ord", "q": "author(name,affil)"}),
+        "count_ord", ok=True, cache="miss")
+    if not isinstance(ordered.get("estimate"), (int, float)):
+        fail(f"count_ord reply has no numeric estimate: {ordered}")
+    if ordered.get("epoch", 0) < 1 or ordered.get("trees", 0) < 1:
+        fail(f"count_ord reply lacks snapshot provenance: {ordered}")
+
+    # Unordered child-order variants canonicalize to one plan: the
+    # second order is a cache hit with a bit-identical estimate.
+    miss = expect(
+        client.roundtrip({"op": "count", "q": "author(name,affil)"}),
+        "count (first order)", ok=True, cache="miss")
+    hit = expect(
+        client.roundtrip({"op": "count", "q": "author(affil,name)"}),
+        "count (swapped order)", ok=True, cache="hit")
+    if miss["estimate"] != hit["estimate"]:
+        fail(f"cache hit changed the estimate: {miss} vs {hit}")
+
+    expect(client.roundtrip({"op": "extended", "q": "article(//name)"}),
+           "extended", ok=True)
+    expect(client.roundtrip(
+        {"op": "expr", "q": "COUNT_ORD(author(name,affil)) - COUNT_ORD(book)"}),
+        "expr", ok=True)
+
+    stats = expect(client.roundtrip({"op": "stats"}), "stats", ok=True)
+    if stats.get("cache_hits", 0) < 1:
+        fail(f"stats shows no cache hit after the swapped-order count: {stats}")
+
+    expect(client.roundtrip("this is not json"), "malformed line",
+           ok=False, code="MALFORMED_REQUEST")
+    expect(client.roundtrip({"op": "launch_missiles"}), "unknown op",
+           ok=False, code="MALFORMED_REQUEST")
+    oversized = client.roundtrip(
+        {"op": "count_ord", "q": "a(b,c,d,e,f,g,h,i,j)"})
+    expect(oversized, "oversized pattern", ok=False, code="INVALID_ARGUMENT")
+    if "exceeding" not in oversized.get("error", ""):
+        fail(f"oversized-pattern error lacks the k-limit text: {oversized}")
+
+    expect(client.roundtrip({"op": "shutdown"}), "shutdown", ok=True)
+    try:
+        code = server.wait(timeout=20)
+    except subprocess.TimeoutExpired:
+        fail("server did not exit within 20s of the shutdown op")
+    if code != 0:
+        fail(f"server exited with status {code}")
+
+    print("check_serve: OK: ping, ordered/unordered counts, cache hit on "
+          "swapped child order (bit-identical), extended, expr, stats, "
+          "3 error paths, clean shutdown")
+
+
+if __name__ == "__main__":
+    main()

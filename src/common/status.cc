@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kCorruption:
       return "Corruption";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

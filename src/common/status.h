@@ -27,6 +27,11 @@ class Status {
     /// itself failed) and kNotFound (nothing there at all), so recovery
     /// code can fall back to an older replica instead of aborting.
     kCorruption,
+    /// The caller-supplied deadline elapsed before the operation
+    /// completed. Used by the query-serving path so clients can tell a
+    /// slow query (retryable, possibly against a warmer cache) from a
+    /// malformed one.
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -53,6 +58,9 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(Code::kCorruption, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -65,6 +73,9 @@ class Status {
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
 
   /// Human-readable "<CODE>: <message>" string for logs and test output.
   std::string ToString() const;

@@ -1,10 +1,13 @@
 #include "query/unordered.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <map>
 #include <numeric>
 #include <string>
 
+#include "metrics/metrics.h"
 #include "tree/tree_serialization.h"
 
 namespace sketchtree {
@@ -12,6 +15,68 @@ namespace sketchtree {
 namespace {
 
 using NodeId = LabeledTree::NodeId;
+
+/// Unordered canonical form and distinct-arrangement count of the
+/// subtree rooted at `node`, in one bottom-up pass. The canonical form
+/// sorts each child list, so it groups children into the unordered
+/// classes the counting formula needs.
+struct UnorderedShape {
+  std::string canon;
+  double arrangements = 1.0;
+};
+
+UnorderedShape ShapeOf(const LabeledTree& pattern, NodeId node) {
+  std::vector<UnorderedShape> children;
+  children.reserve(pattern.children(node).size());
+  for (NodeId child : pattern.children(node)) {
+    children.push_back(ShapeOf(pattern, child));
+  }
+  std::sort(children.begin(), children.end(),
+            [](const UnorderedShape& a, const UnorderedShape& b) {
+              return a.canon < b.canon;
+            });
+
+  UnorderedShape shape;
+  shape.canon = pattern.label(node);
+  if (!children.empty()) {
+    shape.canon += '(';
+    for (size_t c = 0; c < children.size(); ++c) {
+      if (c > 0) shape.canon += ',';
+      shape.canon += children[c].canon;
+    }
+    shape.canon += ')';
+  }
+
+  // Distinct child sequences: multinomial over the class multiplicities
+  // times each class's per-occurrence arrangement choices. Sorted order
+  // makes equal-canon children adjacent, so classes are runs.
+  const size_t m = children.size();
+  double count = 1.0;
+  for (size_t f = 2; f <= m; ++f) count *= static_cast<double>(f);  // m!
+  size_t run_start = 0;
+  for (size_t c = 0; c <= m; ++c) {
+    if (c == m || children[c].canon != children[run_start].canon) {
+      size_t g = c - run_start;
+      for (size_t f = 2; f <= g; ++f) count /= static_cast<double>(f);
+      for (size_t k = 0; k < g; ++k) count *= children[run_start].arrangements;
+      run_start = c;
+    }
+  }
+  shape.arrangements = count;
+  return shape;
+}
+
+/// Renders an arrangement count for diagnostics: exact integer form
+/// while it fits, scientific notation (or "inf") once it does not.
+std::string FormatArrangementCount(double count) {
+  char buf[64];
+  if (std::isfinite(count) && count < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", count);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", count);
+  }
+  return buf;
+}
 
 /// Recursively computes the distinct arrangements of the subtree rooted at
 /// `node`, keyed by canonical s-expression (for deduplication). Budget is
@@ -89,6 +154,16 @@ LabeledTree::NodeId CopySubtree(LabeledTree* dst, NodeId dst_parent,
   return copied;
 }
 
+double CountOrderedArrangements(const LabeledTree& pattern) {
+  if (pattern.empty()) return 0.0;
+  return ShapeOf(pattern, pattern.root()).arrangements;
+}
+
+std::string UnorderedCanonicalKey(const LabeledTree& pattern) {
+  if (pattern.empty()) return std::string();
+  return ShapeOf(pattern, pattern.root()).canon;
+}
+
 Result<std::vector<LabeledTree>> OrderedArrangements(
     const LabeledTree& pattern, size_t max_arrangements) {
   if (pattern.empty()) {
@@ -99,9 +174,18 @@ Result<std::vector<LabeledTree>> OrderedArrangements(
   Status st = ArrangementsOf(pattern, pattern.root(), &budget, &out);
   if (!st.ok()) {
     if (st.IsOutOfRange()) {
+      // Tell the caller how big the expansion actually is and which
+      // knob admits it, instead of a bare refusal; count the rejection
+      // so overload from factorial queries is observable.
+      GlobalMetrics()
+          .GetCounter("query.unordered_rejected")
+          ->Increment();
       return Status::OutOfRange(
-          "pattern has more than " + std::to_string(max_arrangements) +
-          " ordered arrangements");
+          "pattern has " +
+          FormatArrangementCount(CountOrderedArrangements(pattern)) +
+          " distinct ordered arrangements, more than the limit of " +
+          std::to_string(max_arrangements) +
+          "; raise --max-arrangements to expand it anyway");
     }
     return st;
   }

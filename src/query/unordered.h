@@ -23,6 +23,23 @@ namespace sketchtree {
 Result<std::vector<LabeledTree>> OrderedArrangements(
     const LabeledTree& pattern, size_t max_arrangements = 10000);
 
+/// Exact number of distinct ordered arrangements of `pattern` without
+/// materializing them, computed bottom-up: a node whose children fall
+/// into r distinct unordered classes with multiplicities g_1..g_r and
+/// per-class arrangement counts a_1..a_r contributes
+/// multinomial(m; g_1..g_r) * prod a_i^{g_i}. Saturates to +infinity
+/// on overflow (the count grows factorially with fanout); 0 for the
+/// empty pattern. Lets an OrderedArrangements rejection report the real
+/// size of the expansion it refused.
+double CountOrderedArrangements(const LabeledTree& pattern);
+
+/// Canonical textual form of `pattern` as an *unordered* tree: the
+/// s-expression with every node's child list sorted recursively, so all
+/// child orderings of the same unordered pattern produce one key.
+/// `A(C,B)` and `A(B,C)` both yield "A(B,C)". Used as the plan-cache
+/// key for unordered COUNT(Q) queries.
+std::string UnorderedCanonicalKey(const LabeledTree& pattern);
+
 /// Copies the subtree of `src` rooted at `src_node` into `dst` under
 /// `dst_parent` (kInvalidNode makes it the root). Returns the id of the
 /// copied root. Exposed for reuse by the expression builder and tests.

@@ -1,0 +1,164 @@
+#ifndef SKETCHTREE_SERVER_COMPILED_QUERY_H_
+#define SKETCHTREE_SERVER_COMPILED_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "enumtree/pattern.h"
+#include "query/expression.h"
+#include "query/extended_query.h"
+#include "server/snapshot.h"
+#include "tree/labeled_tree.h"
+
+namespace sketchtree {
+
+/// The four query shapes the service answers.
+enum class QueryKind {
+  kOrdered,     // COUNT_ord(Q): point estimate of one pattern.
+  kUnordered,   // COUNT(Q): sum over Q's ordered arrangements.
+  kExtended,    // COUNT_ord with '//' and '*', via the summary.
+  kExpression,  // General count expression (Section 4).
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// Precomputed single-sum estimator plan over a fixed set of distinct
+/// pattern values (Theorem 2's estimator). Everything that depends only
+/// on the query and the synopsis *options* — not on the counters — is
+/// hoisted out of the per-request path:
+///
+///  * `residues`: the distinct virtual streams the values hit, in first-
+///    appearance order (the order CombinedX sums them in);
+///  * `xi_sums[i*s1+j]`: instance (i,j)'s sum of xi over the values.
+///    xi is ±1, so the sums are exact integers — reusing them is
+///    bit-identical to re-evaluating the xi family per request.
+///
+/// A warm estimate then only reads s2*s1*|residues| counters plus the
+/// top-k compensation, skipping the |values| xi evaluations per instance
+/// that dominate a cold estimate of a wide arrangement sum.
+struct SumPlan {
+  std::vector<uint64_t> values;
+  std::vector<uint32_t> residues;
+  std::vector<double> xi_sums;  // s2 * s1, indexed [i * s1 + j].
+};
+
+/// Builds the plan for `values` against the xi families / stream count
+/// of `streams`. The values must be distinct (estimator precondition —
+/// callers validate first, matching SketchTree::EstimateCountOrderedSum).
+SumPlan BuildSumPlan(const VirtualStreams& streams,
+                     std::vector<uint64_t> values);
+
+/// Evaluates the plan against a snapshot's counters. Bit-identical to
+/// VirtualStreams::EstimateSum(plan.values) on the same state: the
+/// per-instance arithmetic performs the same additions in the same
+/// order, with the xi sums replayed from the plan.
+double EstimateSumPlan(const SumPlan& plan, const VirtualStreams& streams);
+
+/// A fully compiled query: parsed once, arrangements expanded once,
+/// every pattern fingerprinted once. Immutable after compilation (the
+/// mapping from pattern to value is fixed by the synopsis options, so a
+/// plan never expires), hence freely shared between the plan cache and
+/// any number of concurrent executions.
+///
+/// Extended queries are the exception: their resolution depends on the
+/// structural summary, which grows with the stream, so the compiled
+/// form caches the parse and memoizes the per-epoch resolution behind
+/// an internal mutex.
+struct CompiledQuery {
+  QueryKind kind = QueryKind::kOrdered;
+  /// Canonical cache key, including the kind prefix (see
+  /// CanonicalQueryKey).
+  std::string key;
+
+  // kOrdered / kUnordered: the sum plan over the pattern's value
+  // (ordered) or its deduplicated arrangement values (unordered).
+  // kExpression reuses `plan.values`/`plan.residues` for the combined
+  // projection set of Section 5.3 — every term's values concatenated in
+  // term order, duplicates across terms preserved, exactly as
+  // SketchTree::EstimateExpression builds it (`plan.xi_sums` is unused
+  // there; the per-term xi products below replace it).
+  SumPlan plan;
+  /// Number of ordered arrangements an unordered query expanded into
+  /// (1 for ordered queries), for introspection and replies.
+  size_t num_arrangements = 1;
+
+  // kExpression: per expanded term, the coefficient, its mapped values,
+  // m!, and the precomputed per-instance xi product (±1, exact).
+  struct ExprTermPlan {
+    double coeff = 1.0;
+    std::vector<uint64_t> values;
+    double m_factorial = 1.0;
+    std::vector<double> xi_prods;  // s2 * s1, indexed [i * s1 + j].
+  };
+  std::vector<ExprTermPlan> terms;
+
+  // kExtended: the parsed query plus a memo of the most recent epoch's
+  // resolution, so repeated queries against an unchanged snapshot skip
+  // summary resolution and fingerprinting too.
+  std::optional<ExtendedQuery> extended;
+  mutable std::mutex extended_mu;
+  mutable uint64_t extended_epoch = 0;  // 0 = nothing memoized.
+  mutable std::shared_ptr<const SumPlan> extended_plan;  // Null => count 0.
+};
+
+/// Thread-compatible pattern-to-value mapper built from synopsis
+/// options: the same Rabin polynomial and label hashing every snapshot
+/// of the stream uses. Mapping maintains scratch buffers and a label
+/// memo, so concurrent compilations serialize on `mu`.
+class QueryMapper {
+ public:
+  static Result<QueryMapper> Create(const SketchTreeOptions& options);
+
+  QueryMapper(QueryMapper&&) = default;
+  QueryMapper& operator=(QueryMapper&&) = default;
+
+  const SketchTreeOptions& options() const { return options_; }
+
+  /// Canonical value of `pattern`; validates the k-edge limit with the
+  /// same error SketchTree::MapQuery produces.
+  Result<uint64_t> MapQuery(const LabeledTree& pattern);
+
+  std::mutex& mu() { return *mu_; }
+
+ private:
+  QueryMapper(const SketchTreeOptions& options,
+              std::unique_ptr<RabinFingerprinter> fingerprinter);
+
+  SketchTreeOptions options_;
+  std::unique_ptr<RabinFingerprinter> fingerprinter_;
+  std::unique_ptr<LabelHasher> hasher_;
+  std::unique_ptr<PatternCanonicalizer> canonicalizer_;
+  std::unique_ptr<std::mutex> mu_;  // Heap-held so the mapper stays movable.
+};
+
+/// Canonical cache key of a query: a kind prefix plus the normalized
+/// text form. Unordered queries key on the *unordered* canonical form,
+/// so `A(B,C)` and `A(C,B)` compile to one shared plan; ordered queries
+/// key on the ordered form and stay distinct.
+Result<std::string> CanonicalQueryKey(QueryKind kind, std::string_view text,
+                                      int max_pattern_edges);
+
+/// Compiles `text` into an immutable plan against `mapper` and the xi
+/// families of `streams` (any snapshot of the stream — the families are
+/// identical across snapshots by option equality). `max_arrangements`
+/// bounds the unordered expansion.
+Result<std::shared_ptr<CompiledQuery>> CompileQuery(
+    QueryKind kind, std::string_view text, QueryMapper* mapper,
+    const VirtualStreams& streams, size_t max_arrangements);
+
+/// Executes a compiled query against one snapshot. Extended queries may
+/// resolve against the snapshot's summary (memoized per epoch) and so
+/// need the mapper; the other kinds never touch it. Bit-identical to
+/// the corresponding SketchTree::Estimate* call on the same snapshot.
+Result<double> ExecuteCompiled(const CompiledQuery& query,
+                               const SketchSnapshot& snapshot,
+                               QueryMapper* mapper);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_COMPILED_QUERY_H_

@@ -1,0 +1,92 @@
+#include "server/plan_cache.h"
+
+#include <functional>
+
+namespace sketchtree {
+
+PlanCache::PlanCache(size_t capacity, size_t num_shards)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      global_hits_(GlobalMetrics().GetCounter("server.plan_cache.hits")),
+      global_misses_(GlobalMetrics().GetCounter("server.plan_cache.misses")),
+      global_evictions_(
+          GlobalMetrics().GetCounter("server.plan_cache.evictions")) {
+  if (num_shards == 0) num_shards = 1;
+  if (num_shards > capacity_) num_shards = capacity_;
+  per_shard_capacity_ = (capacity_ + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+const PlanCache::Shard& PlanCache::ShardFor(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const CompiledQuery> PlanCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    global_misses_->Increment();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  global_hits_->Increment();
+  return it->second->second;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const CompiledQuery> plan) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    global_evictions_->Increment();
+  }
+  shard.lru.emplace_front(key, std::move(plan));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+bool PlanCache::Contains(const std::string& key) const {
+  const Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.find(key) != shard.index.end();
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+    stats.evictions += shard->evictions;
+  }
+  return stats;
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,89 @@
+#ifndef SKETCHTREE_SERVER_PLAN_CACHE_H_
+#define SKETCHTREE_SERVER_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "server/compiled_query.h"
+
+namespace sketchtree {
+
+/// Sharded LRU cache of compiled query plans, keyed by canonical query
+/// form (CanonicalQueryKey). Entries are shared_ptr<const CompiledQuery>
+/// so a plan being evicted mid-execution stays alive for the executions
+/// holding it — eviction only drops the cache's reference.
+///
+/// Sharding splits both the lock and the LRU state by key hash, so
+/// concurrent readers on different shards never serialize; each shard
+/// runs an exact LRU over its slice of the capacity. Hit / miss /
+/// eviction totals feed the `server.plan_cache.*` counters in the
+/// global metrics registry.
+class PlanCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  /// `capacity` is the total entry budget, divided evenly across
+  /// `num_shards` (each shard holds at least one entry). A single shard
+  /// gives one global exact-LRU — what the eviction-order tests use.
+  explicit PlanCache(size_t capacity, size_t num_shards = 8);
+
+  /// Returns the cached plan for `key`, promoting it to most recently
+  /// used, or nullptr on miss.
+  std::shared_ptr<const CompiledQuery> Get(const std::string& key);
+
+  /// Inserts `plan` under `key`, evicting the shard's least recently
+  /// used entry if full. An existing entry for `key` is replaced (two
+  /// racing compilers both produce equivalent immutable plans, so last
+  /// writer wins harmlessly).
+  void Put(const std::string& key, std::shared_ptr<const CompiledQuery> plan);
+
+  /// Whether `key` is currently cached, without promoting it — test
+  /// introspection for eviction-order checks.
+  bool Contains(const std::string& key) const;
+
+  Stats GetStats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// Most recently used at the front.
+    std::list<std::pair<std::string, std::shared_ptr<const CompiledQuery>>>
+        lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  const Shard& ShardFor(const std::string& key) const;
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-cache totals (GetStats isolation when several caches coexist,
+  /// e.g. in tests); the server.plan_cache.* registry counters are
+  /// incremented alongside as the process-wide view.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  Counter* global_hits_;
+  Counter* global_misses_;
+  Counter* global_evictions_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_PLAN_CACHE_H_

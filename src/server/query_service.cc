@@ -1,0 +1,128 @@
+#include "server/query_service.h"
+
+#include "common/timer.h"
+#include "trace/trace.h"
+
+namespace sketchtree {
+
+namespace {
+
+bool DeadlinePassed(const QueryRequest& request) {
+  return request.deadline.has_value() &&
+         std::chrono::steady_clock::now() > *request.deadline;
+}
+
+}  // namespace
+
+QueryService::QueryService(const QueryServiceOptions& service_options,
+                           QueryMapper mapper, SnapshotPublisher* snapshots,
+                           std::unique_ptr<SnapshotPublisher> owned_snapshots)
+    : options_(service_options),
+      mapper_(std::make_unique<QueryMapper>(std::move(mapper))),
+      cache_(std::make_unique<PlanCache>(service_options.plan_cache_capacity,
+                                         service_options.plan_cache_shards)),
+      snapshots_(snapshots),
+      owned_snapshots_(std::move(owned_snapshots)),
+      compile_us_(GlobalMetrics().GetHistogram(
+          "server.compile_us", Histogram::ExponentialBounds(1, 2.0, 21))),
+      estimate_us_(GlobalMetrics().GetHistogram(
+          "server.estimate_us", Histogram::ExponentialBounds(1, 2.0, 21))),
+      query_us_(GlobalMetrics().GetHistogram(
+          "server.query_us", Histogram::ExponentialBounds(1, 2.0, 21))),
+      deadline_exceeded_(
+          GlobalMetrics().GetCounter("server.deadline_exceeded")) {}
+
+Result<QueryService> QueryService::Create(
+    const SketchTreeOptions& options,
+    const QueryServiceOptions& service_options,
+    SnapshotPublisher* snapshots) {
+  if (snapshots == nullptr) {
+    return Status::InvalidArgument("QueryService needs a snapshot publisher");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(QueryMapper mapper,
+                              QueryMapper::Create(options));
+  return QueryService(service_options, std::move(mapper), snapshots, nullptr);
+}
+
+Result<QueryService> QueryService::CreateStatic(
+    SketchTree sketch, const QueryServiceOptions& service_options) {
+  SketchTreeOptions options = sketch.options();
+  auto publisher = std::make_unique<SnapshotPublisher>();
+  publisher->Publish(std::move(sketch));
+  SKETCHTREE_ASSIGN_OR_RETURN(QueryMapper mapper,
+                              QueryMapper::Create(options));
+  SnapshotPublisher* raw = publisher.get();
+  return QueryService(service_options, std::move(mapper), raw,
+                      std::move(publisher));
+}
+
+Result<QueryAnswer> QueryService::Execute(const QueryRequest& request) {
+  TRACE_SPAN("server.query");
+  WallTimer total_timer;
+  QueryAnswer answer;
+
+  if (DeadlinePassed(request)) {
+    deadline_exceeded_->Increment();
+    return Status::DeadlineExceeded("deadline expired before compilation");
+  }
+
+  // Compile — or skip straight to the cached plan. The canonical key is
+  // computed from the parsed form, so textual variants of one unordered
+  // pattern (any child order) share a single compiled entry.
+  WallTimer compile_timer;
+  std::shared_ptr<const CompiledQuery> plan;
+  {
+    TRACE_SPAN("server.cache_lookup");
+    SKETCHTREE_ASSIGN_OR_RETURN(
+        std::string key,
+        CanonicalQueryKey(request.kind, request.text,
+                          mapper_->options().max_pattern_edges));
+    plan = cache_->Get(key);
+    if (plan == nullptr) {
+      std::shared_ptr<const SketchSnapshot> snapshot = snapshots_->Current();
+      if (snapshot == nullptr) {
+        return Status::Internal("no snapshot published yet");
+      }
+      SKETCHTREE_ASSIGN_OR_RETURN(
+          std::shared_ptr<CompiledQuery> compiled,
+          CompileQuery(request.kind, request.text, mapper_.get(),
+                       snapshot->sketch.streams(),
+                       options_.max_arrangements));
+      compiled->key = key;
+      plan = std::move(compiled);
+      cache_->Put(key, plan);
+    } else {
+      TRACE_INSTANT("server.cache_hit");
+      answer.cache_hit = true;
+    }
+  }
+  answer.compile_micros = compile_timer.ElapsedSeconds() * 1e6;
+  compile_us_->Observe(static_cast<uint64_t>(answer.compile_micros));
+  answer.num_arrangements = plan->num_arrangements;
+
+  if (DeadlinePassed(request)) {
+    deadline_exceeded_->Increment();
+    return Status::DeadlineExceeded("deadline expired after compilation");
+  }
+
+  // Estimate against the *current* snapshot — possibly newer than the
+  // one the plan compiled under; plans are valid across epochs because
+  // the pattern-to-value mapping is fixed by the options.
+  std::shared_ptr<const SketchSnapshot> snapshot = snapshots_->Current();
+  if (snapshot == nullptr) {
+    return Status::Internal("no snapshot published yet");
+  }
+  WallTimer estimate_timer;
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      answer.estimate, ExecuteCompiled(*plan, *snapshot, mapper_.get()));
+  answer.estimate_micros = estimate_timer.ElapsedSeconds() * 1e6;
+  estimate_us_->Observe(static_cast<uint64_t>(answer.estimate_micros));
+
+  answer.epoch = snapshot->epoch;
+  answer.trees_processed = snapshot->trees_processed;
+  query_us_->Observe(
+      static_cast<uint64_t>(total_timer.ElapsedSeconds() * 1e6));
+  return answer;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,100 @@
+#ifndef SKETCHTREE_SERVER_QUERY_SERVICE_H_
+#define SKETCHTREE_SERVER_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "metrics/metrics.h"
+#include "server/compiled_query.h"
+#include "server/plan_cache.h"
+#include "server/snapshot.h"
+
+namespace sketchtree {
+
+struct QueryServiceOptions {
+  /// Compiled plans cached (total, across shards).
+  size_t plan_cache_capacity = 1024;
+  size_t plan_cache_shards = 8;
+  /// Unordered-expansion budget passed to OrderedArrangements.
+  size_t max_arrangements = 10000;
+};
+
+/// One COUNT request against the service.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kOrdered;
+  std::string text;
+  /// Absolute deadline; unset = no deadline. Checked between stages
+  /// (admission, compile, estimate) — a request never runs past it by
+  /// more than one stage.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
+/// A successful estimate plus its provenance: which snapshot answered
+/// (epoch + stream position — the staleness the client observed) and
+/// what the plan cache did.
+struct QueryAnswer {
+  double estimate = 0.0;
+  uint64_t epoch = 0;
+  uint64_t trees_processed = 0;
+  bool cache_hit = false;
+  size_t num_arrangements = 1;
+  double compile_micros = 0.0;
+  double estimate_micros = 0.0;
+};
+
+/// The online query engine: compile (or fetch the cached plan), pick
+/// the current snapshot, estimate. Thread-safe — any number of threads
+/// may Execute concurrently while the ingest side keeps publishing new
+/// snapshots through the shared SnapshotPublisher.
+///
+/// The CLI's one-shot query commands and the TCP server both route
+/// through this class, so there is exactly one implementation of
+/// parse/validate/estimate behavior.
+class QueryService {
+ public:
+  /// `snapshots` must outlive the service and publish snapshots of a
+  /// stream sketched with `options` (same seed / degree / dimensions —
+  /// the compiled plans are only valid under that mapping).
+  static Result<QueryService> Create(const SketchTreeOptions& options,
+                                     const QueryServiceOptions& service_options,
+                                     SnapshotPublisher* snapshots);
+
+  /// Convenience for the one-shot CLI path: wraps `sketch` in an
+  /// internally-owned publisher with a single epoch-1 snapshot.
+  static Result<QueryService> CreateStatic(
+      SketchTree sketch, const QueryServiceOptions& service_options = {});
+
+  QueryService(QueryService&&) = default;
+  QueryService& operator=(QueryService&&) = default;
+
+  Result<QueryAnswer> Execute(const QueryRequest& request);
+
+  const SketchTreeOptions& sketch_options() const {
+    return mapper_->options();
+  }
+  const QueryServiceOptions& options() const { return options_; }
+  PlanCache& plan_cache() { return *cache_; }
+  SnapshotPublisher& snapshots() { return *snapshots_; }
+
+ private:
+  QueryService(const QueryServiceOptions& service_options,
+               QueryMapper mapper, SnapshotPublisher* snapshots,
+               std::unique_ptr<SnapshotPublisher> owned_snapshots);
+
+  QueryServiceOptions options_;
+  std::unique_ptr<QueryMapper> mapper_;
+  std::unique_ptr<PlanCache> cache_;
+  SnapshotPublisher* snapshots_;  // Not owned unless owned_snapshots_.
+  std::unique_ptr<SnapshotPublisher> owned_snapshots_;
+  Histogram* compile_us_;
+  Histogram* estimate_us_;
+  Histogram* query_us_;
+  Counter* deadline_exceeded_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_QUERY_SERVICE_H_

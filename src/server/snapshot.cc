@@ -1,0 +1,44 @@
+#include "server/snapshot.h"
+
+#include "metrics/metrics.h"
+#include "trace/trace.h"
+
+namespace sketchtree {
+
+uint64_t SnapshotPublisher::Publish(SketchTree sketch) {
+  TRACE_SPAN("server.snapshot_publish");
+  std::shared_ptr<const SketchSnapshot> snapshot;
+  uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = next_epoch_++;
+    snapshot = std::make_shared<const SketchSnapshot>(epoch,
+                                                      std::move(sketch));
+    current_ = std::move(snapshot);
+  }
+  GlobalMetrics().GetCounter("server.snapshots_published")->Increment();
+  GlobalMetrics()
+      .GetGauge("server.snapshot_epoch")
+      ->Set(static_cast<int64_t>(epoch));
+  return epoch;
+}
+
+Result<uint64_t> SnapshotPublisher::PublishCopyOf(const SketchTree& live) {
+  TRACE_SPAN("server.snapshot_serialize");
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      SketchTree copy,
+      SketchTree::DeserializeFromString(live.SerializeToString()));
+  return Publish(std::move(copy));
+}
+
+std::shared_ptr<const SketchSnapshot> SnapshotPublisher::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotPublisher::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->epoch;
+}
+
+}  // namespace sketchtree

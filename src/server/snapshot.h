@@ -1,0 +1,66 @@
+#ifndef SKETCHTREE_SERVER_SNAPSHOT_H_
+#define SKETCHTREE_SERVER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/status.h"
+#include "core/sketch_tree.h"
+
+namespace sketchtree {
+
+/// One immutable, epoch-stamped copy of the synopsis. Published once and
+/// never written again, so any number of reader threads may estimate
+/// against it concurrently without synchronization: every estimation
+/// entry point on VirtualStreams is const and touches no scratch state.
+struct SketchSnapshot {
+  uint64_t epoch = 0;
+  /// Stream position the snapshot corresponds to, for staleness
+  /// reporting (`trees` in every wire reply).
+  uint64_t trees_processed = 0;
+  SketchTree sketch;
+
+  SketchSnapshot(uint64_t epoch_in, SketchTree sketch_in)
+      : epoch(epoch_in),
+        trees_processed(sketch_in.Stats().trees_processed),
+        sketch(std::move(sketch_in)) {}
+};
+
+/// Epoch-published snapshot exchange between one ingest thread and many
+/// query threads. The writer periodically produces an isolated copy of
+/// the live synopsis (via the serialization round trip — the same
+/// consistent-cut the checkpointer uses) and swaps it in; readers grab
+/// the current shared_ptr under a briefly-held mutex and then estimate
+/// lock-free. Staleness is bounded by how often the writer publishes
+/// (the serve command's --publish-every knob).
+class SnapshotPublisher {
+ public:
+  /// Swaps in `sketch` as the new current snapshot and returns its
+  /// epoch (monotonically increasing from 1).
+  uint64_t Publish(SketchTree sketch);
+
+  /// Serializes `live` and publishes an independent copy, leaving
+  /// `live` untouched — the writer-side helper for a single-threaded
+  /// ingest loop. The round trip is bit-exact (serialization invariant),
+  /// so estimates against the snapshot equal estimates against the live
+  /// synopsis frozen at this instant.
+  Result<uint64_t> PublishCopyOf(const SketchTree& live);
+
+  /// The most recently published snapshot, or nullptr before the first
+  /// Publish. The returned snapshot stays valid (shared ownership) even
+  /// after newer epochs are published.
+  std::shared_ptr<const SketchSnapshot> Current() const;
+
+  /// Epoch of the current snapshot (0 before the first Publish).
+  uint64_t current_epoch() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const SketchSnapshot> current_;
+  uint64_t next_epoch_ = 1;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_SNAPSHOT_H_

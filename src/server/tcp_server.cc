@@ -1,0 +1,389 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "trace/trace.h"
+
+namespace sketchtree {
+
+namespace {
+
+/// Maps the wire op names of the four query kinds; nullopt for control
+/// ops and unknown strings.
+std::optional<QueryKind> KindForOp(const std::string& op) {
+  if (op == "count") return QueryKind::kUnordered;
+  if (op == "count_ord") return QueryKind::kOrdered;
+  if (op == "extended") return QueryKind::kExtended;
+  if (op == "expr") return QueryKind::kExpression;
+  return std::nullopt;
+}
+
+std::string SimpleOkReply(const std::string& id_json,
+                          const std::string& fields) {
+  std::string out = "{";
+  if (!id_json.empty()) out += "\"id\":" + id_json + ",";
+  out += "\"ok\":true";
+  if (!fields.empty()) out += "," + fields;
+  out += "}";
+  return out;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(QueryService* service,
+                         const QueryServerOptions& options)
+    : service_(service),
+      options_(options),
+      queue_depth_(GlobalMetrics().GetGauge("server.queue_depth")),
+      queue_wait_us_(GlobalMetrics().GetHistogram(
+          "server.queue_wait_us", Histogram::ExponentialBounds(1, 2.0, 21))),
+      replies_ok_(GlobalMetrics().GetCounter("server.replies_ok")),
+      replies_error_(GlobalMetrics().GetCounter("server.replies_error")),
+      overloaded_(GlobalMetrics().GetCounter("server.overloaded")),
+      connections_(GlobalMetrics().GetCounter("server.connections")) {}
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Start(
+    QueryService* service, const QueryServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("QueryServer needs a QueryService");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("QueryServer needs at least one worker");
+  }
+  auto server =
+      std::unique_ptr<QueryServer>(new QueryServer(service, options));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status status = Status::IOError(std::string("bind 127.0.0.1:") +
+                                    std::to_string(options.port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  for (int i = 0; i < options.num_workers; ++i) {
+    server->workers_.emplace_back([s = server.get()] { s->WorkerLoop(); });
+  }
+  return server;
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::WaitForShutdown() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stop_cv_.wait(lock, [this] { return stopping_.load(); });
+}
+
+void QueryServer::Shutdown() {
+  stopping_.store(true);
+  stop_cv_.notify_all();
+  // Serialize concurrent Shutdown calls (owner + destructor).
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+
+  // Unblock accept() and join the acceptor; only then is it safe to
+  // close the listener (nobody else reads listen_fd_ afterwards).
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Unblock every connection reader mid-recv, then join them; each
+  // reader closes its own fd on exit (under the connection's write
+  // mutex, so an in-flight worker Reply never writes a stale fd).
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [conn, thread] : conns_) {
+      std::lock_guard<std::mutex> write_lock(conn->write_mu);
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [conn, thread] : conns) {
+    if (thread.joinable()) thread.join();
+  }
+
+  // Drain workers: they finish queued items (replying into closed
+  // connections is a silent no-op) and exit once the queue is empty.
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // Listener shut down (or unrecoverable error).
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_->Increment();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    ReapFinishedConnections();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.emplace_back(conn,
+                        std::thread([this, conn] { ConnectionLoop(conn); }));
+  }
+}
+
+void QueryServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    bool finished;
+    {
+      std::lock_guard<std::mutex> write_lock(it->first->write_mu);
+      finished = it->first->fd < 0;
+    }
+    if (finished) {
+      if (it->second.joinable()) it->second.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  const int fd = conn->fd;  // Stable: only this thread retires it below.
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load()) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // Peer closed, or Shutdown() unblocked us.
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      start = nl + 1;
+      if (line.empty()) continue;
+      Result<WireRequest> parsed = ParseWireRequest(line);
+      if (!parsed.ok()) {
+        replies_error_->Increment();
+        Reply(conn, FormatCodedErrorReply("", "MALFORMED_REQUEST",
+                                          parsed.status().message()));
+        continue;
+      }
+      HandleRequest(conn, std::move(parsed).value());
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > (1u << 20)) {
+      replies_error_->Increment();
+      Reply(conn, FormatCodedErrorReply("", "MALFORMED_REQUEST",
+                                        "request line exceeds 1 MiB"));
+      break;
+    }
+  }
+  // Retire the fd under the write mutex so no worker replies into a
+  // closed (possibly reused) descriptor.
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  conn->fd = -1;
+  ::close(fd);
+}
+
+void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
+                                WireRequest request) {
+  std::optional<QueryKind> kind = KindForOp(request.op);
+  if (kind.has_value()) {
+    WorkItem item;
+    item.conn = conn;
+    item.kind = *kind;
+    item.request = std::move(request);
+    item.enqueued = std::chrono::steady_clock::now();
+    bool admitted = false;
+    std::string overloaded_reply;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() >= options_.queue_capacity) {
+        overloaded_reply = FormatCodedErrorReply(
+            item.request.id_json, "OVERLOADED",
+            "admission queue full (" +
+                std::to_string(options_.queue_capacity) +
+                " queries pending); retry with backoff");
+      } else {
+        queue_.push_back(std::move(item));
+        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      overloaded_->Increment();
+      replies_error_->Increment();
+      Reply(conn, overloaded_reply);
+    }
+    return;
+  }
+
+  if (request.op == "ping") {
+    replies_ok_->Increment();
+    Reply(conn, SimpleOkReply(request.id_json, "\"pong\":true"));
+    return;
+  }
+  if (request.op == "stats") {
+    PlanCache::Stats cache = service_->plan_cache().GetStats();
+    std::shared_ptr<const SketchSnapshot> snapshot =
+        service_->snapshots().Current();
+    char fields[256];
+    std::snprintf(
+        fields, sizeof(fields),
+        "\"epoch\":%llu,\"trees\":%llu,\"cache_hits\":%llu,"
+        "\"cache_misses\":%llu,\"cache_evictions\":%llu,"
+        "\"cache_entries\":%zu,\"queue_depth\":%lld",
+        static_cast<unsigned long long>(snapshot ? snapshot->epoch : 0),
+        static_cast<unsigned long long>(snapshot ? snapshot->trees_processed
+                                                 : 0),
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.evictions), cache.entries,
+        static_cast<long long>(queue_depth_->value()));
+    replies_ok_->Increment();
+    Reply(conn, SimpleOkReply(request.id_json, fields));
+    return;
+  }
+  if (request.op == "shutdown") {
+    replies_ok_->Increment();
+    Reply(conn, SimpleOkReply(request.id_json, "\"shutting_down\":true"));
+    // Flip the flag and wake WaitForShutdown; the owner thread performs
+    // the actual teardown via Shutdown() (it must — joins can't happen
+    // on this connection thread).
+    stopping_.store(true);
+    stop_cv_.notify_all();
+    queue_cv_.notify_all();
+    return;
+  }
+  replies_error_->Increment();
+  Reply(conn, FormatCodedErrorReply(
+                  request.id_json, "MALFORMED_REQUEST",
+                  "unknown op \"" + request.op +
+                      "\" (want count, count_ord, extended, expr, stats, "
+                      "ping, or shutdown)"));
+}
+
+void QueryServer::WorkerLoop() {
+  while (true) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    }
+    auto dequeued = std::chrono::steady_clock::now();
+    queue_wait_us_->Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(dequeued -
+                                                              item.enqueued)
+            .count()));
+
+    QueryRequest query;
+    query.kind = item.kind;
+    query.text = item.request.query;
+    if (item.request.timeout_ms > 0) {
+      query.deadline =
+          item.enqueued + std::chrono::milliseconds(item.request.timeout_ms);
+    }
+    Result<QueryAnswer> answer = service_->Execute(query);
+    std::string reply;
+    {
+      TRACE_SPAN("server.serialize");
+      if (answer.ok()) {
+        replies_ok_->Increment();
+        reply = FormatAnswerReply(item.request, answer.value());
+      } else {
+        replies_error_->Increment();
+        reply = FormatErrorReply(item.request, answer.status());
+      }
+    }
+    Reply(item.conn, reply);
+  }
+}
+
+void QueryServer::Reply(const std::shared_ptr<Connection>& conn,
+                        const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->fd < 0) return;
+  SendAll(conn->fd, line + "\n");
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,117 @@
+#ifndef SKETCHTREE_SERVER_TCP_SERVER_H_
+#define SKETCHTREE_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/query_service.h"
+#include "server/wire.h"
+
+namespace sketchtree {
+
+struct QueryServerOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (read it back
+  /// from QueryServer::port()). Listens on 127.0.0.1 only.
+  int port = 0;
+  /// Worker threads executing admitted queries.
+  int num_workers = 4;
+  /// Admission queue bound. A query arriving while the queue is full is
+  /// rejected immediately with an OVERLOADED reply — backpressure is
+  /// explicit, never a silent stall.
+  size_t queue_capacity = 64;
+};
+
+/// Line-delimited JSON over TCP in front of a QueryService (wire.h has
+/// the grammar). One reader thread per connection parses requests and
+/// answers cheap ops (ping, stats, shutdown) inline; query ops are
+/// admitted to a bounded queue served by a worker pool, so one slow
+/// query cannot wedge the accept loop or other connections.
+class QueryServer {
+ public:
+  /// Binds, listens, and starts the acceptor and worker threads. The
+  /// service must outlive the server.
+  static Result<std::unique_ptr<QueryServer>> Start(
+      QueryService* service, const QueryServerOptions& options);
+
+  ~QueryServer();
+
+  /// Port actually bound (resolves port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// Blocks until a client sends the "shutdown" op or Shutdown() is
+  /// called from another thread.
+  void WaitForShutdown();
+
+  /// True once shutdown has been requested (serve-mode ingest polls
+  /// this to stop publishing snapshots).
+  bool stopping() const { return stopping_.load(); }
+
+  /// Stops accepting, unblocks all connection readers, drains workers,
+  /// and joins every thread. Idempotent.
+  void Shutdown();
+
+ private:
+  /// Per-connection state shared between the reader thread and workers;
+  /// the write mutex serializes interleaved replies onto the socket.
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+
+  struct WorkItem {
+    std::shared_ptr<Connection> conn;
+    WireRequest request;
+    QueryKind kind = QueryKind::kOrdered;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  QueryServer(QueryService* service, const QueryServerOptions& options);
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  /// Handles one parsed request on the reader thread: dispatches query
+  /// ops to the queue (or replies OVERLOADED) and answers control ops
+  /// inline.
+  void HandleRequest(const std::shared_ptr<Connection>& conn,
+                     WireRequest request);
+  void Reply(const std::shared_ptr<Connection>& conn, const std::string& line);
+  void ReapFinishedConnections();
+
+  QueryService* service_;
+  QueryServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  std::mutex shutdown_mu_;  // Serializes Shutdown() callers.
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::thread>> conns_;
+
+  Gauge* queue_depth_;
+  Histogram* queue_wait_us_;
+  Counter* replies_ok_;
+  Counter* replies_error_;
+  Counter* overloaded_;
+  Counter* connections_;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_TCP_SERVER_H_

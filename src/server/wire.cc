@@ -1,0 +1,248 @@
+#include "server/wire.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sketchtree {
+
+namespace {
+
+/// Minimal recursive-descent reader for the flat request objects the
+/// protocol allows. Kept deliberately small: the grammar is one object
+/// of scalar fields, so a full JSON library would be dead weight.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  Result<WireRequest> Parse() {
+    WireRequest request;
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return Finish(std::move(request));
+    while (true) {
+      SkipSpace();
+      std::string key;
+      SKETCHTREE_RETURN_NOT_OK(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after key");
+      SkipSpace();
+      SKETCHTREE_RETURN_NOT_OK(ParseValue(key, &request));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Finish(std::move(request));
+      return Error("expected ',' or '}'");
+    }
+  }
+
+ private:
+  Result<WireRequest> Finish(WireRequest request) {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing bytes after JSON object");
+    }
+    return request;
+  }
+
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument(what + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // \uXXXX: decode to UTF-8 (no surrogate-pair support —
+            // query texts are ASCII s-expressions in practice).
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            uint32_t code = 0;
+            for (int h = 0; h < 4; ++h) {
+              char hc = text_[pos_++];
+              code <<= 4;
+              if (hc >= '0' && hc <= '9') code |= hc - '0';
+              else if (hc >= 'a' && hc <= 'f') code |= hc - 'a' + 10;
+              else if (hc >= 'A' && hc <= 'F') code |= hc - 'A' + 10;
+              else return Error("bad \\u escape digit");
+            }
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("unsupported escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+    }
+    return Error("unterminated string");
+  }
+
+  /// Scans one scalar value and records it into `request` when the key
+  /// is meaningful. The raw text span is kept for "id" echoing.
+  Status ParseValue(const std::string& key, WireRequest* request) {
+    size_t start = pos_;
+    if (pos_ >= text_.size()) return Error("missing value");
+    char c = text_[pos_];
+    std::string string_value;
+    bool is_string = false;
+    if (c == '"') {
+      is_string = true;
+      SKETCHTREE_RETURN_NOT_OK(ParseString(&string_value));
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+    } else if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+    } else if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+    } else {
+      return Error("only string/number/bool/null values are allowed");
+    }
+    std::string_view raw = text_.substr(start, pos_ - start);
+
+    if (key == "op" && is_string) {
+      request->op = std::move(string_value);
+    } else if (key == "q" && is_string) {
+      request->query = std::move(string_value);
+    } else if (key == "id") {
+      request->id_json = std::string(raw);
+    } else if (key == "timeout_ms" && !is_string) {
+      request->timeout_ms =
+          static_cast<int64_t>(std::atof(std::string(raw).c_str()));
+    }
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<WireRequest> ParseWireRequest(std::string_view line) {
+  return FlatJsonParser(line).Parse();
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const char* WireCodeFor(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::Code::kOutOfRange: return "OUT_OF_RANGE";
+    case Status::Code::kNotFound: return "NOT_FOUND";
+    case Status::Code::kIOError: return "IO_ERROR";
+    case Status::Code::kUnimplemented: return "UNIMPLEMENTED";
+    case Status::Code::kInternal: return "INTERNAL";
+    case Status::Code::kCorruption: return "CORRUPTION";
+    case Status::Code::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+  }
+  return "INTERNAL";
+}
+
+namespace {
+
+std::string IdPrefix(std::string_view id_json) {
+  if (id_json.empty()) return "{";
+  return "{\"id\":" + std::string(id_json) + ",";
+}
+
+}  // namespace
+
+std::string FormatAnswerReply(const WireRequest& request,
+                              const QueryAnswer& answer) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"ok\":true,\"estimate\":%.17g,\"epoch\":%llu,"
+                "\"trees\":%llu,\"cache\":\"%s\",\"arrangements\":%zu,"
+                "\"micros\":%.1f}",
+                answer.estimate,
+                static_cast<unsigned long long>(answer.epoch),
+                static_cast<unsigned long long>(answer.trees_processed),
+                answer.cache_hit ? "hit" : "miss", answer.num_arrangements,
+                answer.compile_micros + answer.estimate_micros);
+  return IdPrefix(request.id_json) + buf;
+}
+
+std::string FormatErrorReply(const WireRequest& request,
+                             const Status& status) {
+  return FormatCodedErrorReply(request.id_json, WireCodeFor(status),
+                               status.message());
+}
+
+std::string FormatCodedErrorReply(std::string_view id_json,
+                                  std::string_view code,
+                                  std::string_view message) {
+  return IdPrefix(id_json) + "\"ok\":false,\"code\":\"" +
+         std::string(code) + "\",\"error\":\"" + JsonEscape(message) + "\"}";
+}
+
+}  // namespace sketchtree

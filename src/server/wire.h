@@ -1,0 +1,73 @@
+#ifndef SKETCHTREE_SERVER_WIRE_H_
+#define SKETCHTREE_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/query_service.h"
+
+namespace sketchtree {
+
+/// The line protocol (DESIGN.md section 10): one JSON object per line in
+/// each direction over a plain TCP connection.
+///
+/// Request grammar (flat object; unknown fields are ignored):
+///
+///   {"op": "count" | "count_ord" | "extended" | "expr"
+///          | "stats" | "ping" | "shutdown",
+///    "q": "<query text>",          // required for the four query ops
+///    "id": <string or number>,     // optional, echoed verbatim
+///    "timeout_ms": <number>}       // optional per-query deadline
+///
+/// Success reply:
+///   {"id": ..., "ok": true, "estimate": <num>, "epoch": <num>,
+///    "trees": <num>, "cache": "hit"|"miss", "arrangements": <num>,
+///    "micros": <num>}
+/// Error reply:
+///   {"id": ..., "ok": false, "code": "<CODE>", "error": "<message>"}
+/// with code one of INVALID_ARGUMENT, OUT_OF_RANGE, DEADLINE_EXCEEDED,
+/// OVERLOADED, MALFORMED_REQUEST, UNAVAILABLE, INTERNAL.
+struct WireRequest {
+  std::string op;
+  std::string query;
+  /// The raw JSON value of "id" (already valid JSON), echoed back; empty
+  /// means the field was absent.
+  std::string id_json;
+  /// Per-query deadline in milliseconds; <= 0 means none.
+  int64_t timeout_ms = 0;
+};
+
+/// Parses one request line. Accepts exactly a flat JSON object with
+/// string / number / boolean / null values; anything else (arrays,
+/// nesting, trailing garbage) is rejected with InvalidArgument — the
+/// server maps that to a MALFORMED_REQUEST reply rather than closing
+/// the connection.
+Result<WireRequest> ParseWireRequest(std::string_view line);
+
+/// JSON string escaping for message text (quotes, backslashes, control
+/// characters; non-ASCII bytes pass through untouched).
+std::string JsonEscape(std::string_view text);
+
+/// Renders a success reply line (no trailing newline).
+std::string FormatAnswerReply(const WireRequest& request,
+                              const QueryAnswer& answer);
+
+/// Renders an error reply line from a Status (no trailing newline).
+std::string FormatErrorReply(const WireRequest& request,
+                             const Status& status);
+
+/// Renders an error reply with an explicit code — used for conditions
+/// that have no Status representation (OVERLOADED, MALFORMED_REQUEST).
+std::string FormatCodedErrorReply(std::string_view id_json,
+                                  std::string_view code,
+                                  std::string_view message);
+
+/// Wire code for a Status (INVALID_ARGUMENT, OUT_OF_RANGE, ...).
+const char* WireCodeFor(const Status& status);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_WIRE_H_

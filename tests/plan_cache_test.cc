@@ -1,0 +1,218 @@
+#include "server/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/sketch_tree.h"
+#include "server/query_service.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+SketchTreeOptions SmallOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 20;
+  options.s2 = 5;
+  options.num_virtual_streams = 31;
+  options.topk_size = 8;
+  options.seed = 42;
+  return options;
+}
+
+std::shared_ptr<const CompiledQuery> DummyPlan(const std::string& key) {
+  auto plan = std::make_shared<CompiledQuery>();
+  plan->key = key;
+  return plan;
+}
+
+TEST(PlanCacheTest, HitMissAndPromotion) {
+  PlanCache cache(4, /*num_shards=*/1);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", DummyPlan("a"));
+  std::shared_ptr<const CompiledQuery> got = cache.Get("a");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->key, "a");
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  // One shard = one exact global LRU.
+  PlanCache cache(3, /*num_shards=*/1);
+  cache.Put("a", DummyPlan("a"));
+  cache.Put("b", DummyPlan("b"));
+  cache.Put("c", DummyPlan("c"));
+  // Touch "a" so the LRU order (oldest first) becomes b, c, a.
+  ASSERT_NE(cache.Get("a"), nullptr);
+
+  cache.Put("d", DummyPlan("d"));  // Evicts b.
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+
+  cache.Put("e", DummyPlan("e"));  // Evicts c.
+  EXPECT_FALSE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("a"));
+
+  cache.Put("f", DummyPlan("f"));  // Evicts a (d and e are newer).
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("d"));
+  EXPECT_TRUE(cache.Contains("e"));
+  EXPECT_TRUE(cache.Contains("f"));
+
+  PlanCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(PlanCacheTest, ReplacingExistingKeyDoesNotEvict) {
+  PlanCache cache(2, /*num_shards=*/1);
+  cache.Put("a", DummyPlan("a"));
+  cache.Put("b", DummyPlan("b"));
+  cache.Put("a", DummyPlan("a2"));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  EXPECT_EQ(cache.GetStats().evictions, 0u);
+  EXPECT_EQ(cache.Get("a")->key, "a2");
+}
+
+TEST(PlanCacheTest, ContainsDoesNotPromote) {
+  PlanCache cache(2, /*num_shards=*/1);
+  cache.Put("a", DummyPlan("a"));
+  cache.Put("b", DummyPlan("b"));
+  // Contains must not refresh "a": inserting "c" still evicts it.
+  EXPECT_TRUE(cache.Contains("a"));
+  cache.Put("c", DummyPlan("c"));
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+}
+
+TEST(PlanCacheTest, EvictedPlanStaysAliveForHolders) {
+  PlanCache cache(1, /*num_shards=*/1);
+  cache.Put("a", DummyPlan("a"));
+  std::shared_ptr<const CompiledQuery> held = cache.Get("a");
+  cache.Put("b", DummyPlan("b"));  // Evicts "a".
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_EQ(held->key, "a");  // Still valid through our reference.
+}
+
+TEST(PlanCacheTest, ShardingPreservesCapacityBound) {
+  PlanCache cache(8, /*num_shards=*/4);
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("key" + std::to_string(i), DummyPlan("p"));
+  }
+  // Each shard caps at ceil(8/4) = 2 entries.
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.GetStats().evictions, 0u);
+}
+
+/// Builds a small loaded service for the canonicalization and
+/// bit-exactness checks below.
+Result<QueryService> LoadedService(size_t cache_capacity = 64) {
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTree sketch,
+                              SketchTree::Create(SmallOptions()));
+  for (int i = 0; i < 12; ++i) sketch.Update(*ParseSExpr("A(B,C)"));
+  for (int i = 0; i < 5; ++i) sketch.Update(*ParseSExpr("A(C,B)"));
+  for (int i = 0; i < 3; ++i) sketch.Update(*ParseSExpr("X(Y(Z))"));
+  QueryServiceOptions service_options;
+  service_options.plan_cache_capacity = cache_capacity;
+  return QueryService::CreateStatic(std::move(sketch), service_options);
+}
+
+Result<QueryAnswer> Ask(QueryService& service, QueryKind kind,
+                        const std::string& text) {
+  QueryRequest request;
+  request.kind = kind;
+  request.text = text;
+  return service.Execute(request);
+}
+
+TEST(PlanCacheTest, UnorderedVariantsShareOneEntry) {
+  Result<QueryService> service = LoadedService();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  Result<QueryAnswer> first = Ask(*service, QueryKind::kUnordered, "A(B,C)");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+
+  // The other child order canonicalizes to the same key: a hit, same
+  // plan, and bit-identical estimate.
+  Result<QueryAnswer> second = Ask(*service, QueryKind::kUnordered, "A(C,B)");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(first->estimate, second->estimate);  // Bit-exact.
+  EXPECT_EQ(service->plan_cache().size(), 1u);
+}
+
+TEST(PlanCacheTest, OrderedVariantsStayDistinct) {
+  Result<QueryService> service = LoadedService();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  Result<QueryAnswer> ab = Ask(*service, QueryKind::kOrdered, "A(B,C)");
+  ASSERT_TRUE(ab.ok()) << ab.status().ToString();
+  EXPECT_FALSE(ab->cache_hit);
+  Result<QueryAnswer> ba = Ask(*service, QueryKind::kOrdered, "A(C,B)");
+  ASSERT_TRUE(ba.ok()) << ba.status().ToString();
+  // A different ordered pattern: must NOT reuse the A(B,C) plan.
+  EXPECT_FALSE(ba->cache_hit);
+  EXPECT_EQ(service->plan_cache().size(), 2u);
+  // The stream saw A(B,C) 12 times and A(C,B) 5 times, so on this
+  // generous sketch the two ordered counts must differ.
+  EXPECT_NE(ab->estimate, ba->estimate);
+}
+
+TEST(PlanCacheTest, OrderedAndUnorderedKeysNeverCollide) {
+  Result<QueryService> service = LoadedService();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  ASSERT_TRUE(Ask(*service, QueryKind::kOrdered, "A(B,C)").ok());
+  Result<QueryAnswer> unordered =
+      Ask(*service, QueryKind::kUnordered, "A(B,C)");
+  ASSERT_TRUE(unordered.ok());
+  EXPECT_FALSE(unordered->cache_hit);
+  EXPECT_EQ(service->plan_cache().size(), 2u);
+}
+
+TEST(PlanCacheTest, CachedEstimateBitExactAgainstFreshCompile) {
+  for (QueryKind kind : {QueryKind::kOrdered, QueryKind::kUnordered,
+                         QueryKind::kExpression}) {
+    Result<QueryService> cached = LoadedService();
+    ASSERT_TRUE(cached.ok());
+    // A service whose cache holds a single entry recompiles every
+    // time this alternating workload runs (two keys, capacity one).
+    Result<QueryService> thrashing = LoadedService(/*cache_capacity=*/1);
+    ASSERT_TRUE(thrashing.ok());
+
+    std::string text = kind == QueryKind::kExpression
+                           ? "COUNT_ORD(A(B,C)) + COUNT_ORD(X(Y(Z)))"
+                           : "A(B,C)";
+    std::string other = kind == QueryKind::kExpression
+                            ? "COUNT_ORD(X) * COUNT_ORD(A(B))"
+                            : "X(Y(Z))";
+    Result<QueryAnswer> baseline = Ask(*cached, kind, text);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    for (int round = 0; round < 3; ++round) {
+      Result<QueryAnswer> warm = Ask(*cached, kind, text);
+      ASSERT_TRUE(warm.ok());
+      EXPECT_TRUE(warm->cache_hit);
+      EXPECT_EQ(warm->estimate, baseline->estimate)
+          << QueryKindName(kind) << " warm round " << round;
+
+      ASSERT_TRUE(Ask(*thrashing, kind, other).ok());  // Evicts `text`.
+      Result<QueryAnswer> cold = Ask(*thrashing, kind, text);
+      ASSERT_TRUE(cold.ok());
+      EXPECT_FALSE(cold->cache_hit);
+      EXPECT_EQ(cold->estimate, baseline->estimate)
+          << QueryKindName(kind) << " cold round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketchtree

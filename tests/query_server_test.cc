@@ -1,0 +1,360 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sketch_tree.h"
+#include "server/query_service.h"
+#include "server/snapshot.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+SketchTreeOptions SmallOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 20;
+  options.s2 = 5;
+  options.num_virtual_streams = 31;
+  options.topk_size = 8;
+  options.seed = 11;
+  return options;
+}
+
+SketchTree BuildSketch() {
+  SketchTree sketch = *SketchTree::Create(SmallOptions());
+  for (int i = 0; i < 9; ++i) sketch.Update(*ParseSExpr("A(B,C)"));
+  for (int i = 0; i < 6; ++i) sketch.Update(*ParseSExpr("R(S(T),U)"));
+  return sketch;
+}
+
+/// Minimal blocking line-protocol client for the tests.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& lines) {
+    ASSERT_EQ(::send(fd_, lines.data(), lines.size(), 0),
+              static_cast<ssize_t>(lines.size()));
+  }
+
+  /// Reads one newline-terminated reply (empty string on EOF).
+  std::string ReadLine() {
+    for (;;) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[1024];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST(QueryServerTest, AnswersQueriesOverTcp) {
+  Result<QueryService> service = QueryService::CreateStatic(BuildSketch());
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_GT((*server)->port(), 0);
+
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("{\"op\":\"ping\",\"id\":1}\n");
+  EXPECT_EQ(client.ReadLine(), "{\"id\":1,\"ok\":true,\"pong\":true}");
+
+  client.Send("{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":2}\n");
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"id\":2,\"ok\":true,\"estimate\":"),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("\"epoch\":1,\"trees\":15"), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("\"cache\":\"miss\""), std::string::npos) << reply;
+
+  // Same unordered pattern in both child orders: second is a cache hit.
+  client.Send("{\"op\":\"count\",\"q\":\"A(B,C)\",\"id\":3}\n");
+  EXPECT_NE(client.ReadLine().find("\"cache\":\"miss\""),
+            std::string::npos);
+  client.Send("{\"op\":\"count\",\"q\":\"A(C,B)\",\"id\":4}\n");
+  EXPECT_NE(client.ReadLine().find("\"cache\":\"hit\""), std::string::npos);
+
+  client.Send("{\"op\":\"stats\",\"id\":5}\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"cache_hits\":1"), std::string::npos) << reply;
+
+  // Error paths stay on the connection.
+  client.Send("garbage\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"MALFORMED_REQUEST\""),
+            std::string::npos)
+      << reply;
+  client.Send("{\"op\":\"count_ord\",\"q\":\"A((\",\"id\":6}\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"INVALID_ARGUMENT\""), std::string::npos)
+      << reply;
+
+  (*server)->Shutdown();
+}
+
+TEST(QueryServerTest, ShutdownOpStopsTheServer) {
+  Result<QueryService> service = QueryService::CreateStatic(BuildSketch());
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("{\"op\":\"shutdown\",\"id\":1}\n");
+  EXPECT_EQ(client.ReadLine(),
+            "{\"id\":1,\"ok\":true,\"shutting_down\":true}");
+  (*server)->WaitForShutdown();  // Returns because of the op.
+  (*server)->Shutdown();
+  EXPECT_TRUE((*server)->stopping());
+}
+
+TEST(QueryServerTest, OverloadRepliesWhenQueueIsFull) {
+  SketchTreeOptions sketch_options = SmallOptions();
+  sketch_options.max_pattern_edges = 8;
+  SketchTree sketch = *SketchTree::Create(sketch_options);
+  sketch.Update(*ParseSExpr("A(B,C)"));
+  QueryServiceOptions service_options;
+  service_options.max_arrangements = 50000;
+  Result<QueryService> service =
+      QueryService::CreateStatic(std::move(sketch), service_options);
+  ASSERT_TRUE(service.ok());
+
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  // One expensive cold compile (8 distinct children: 8! = 40320
+  // arrangements) pins the only worker; the pipelined follow-ups hit a
+  // 1-slot queue, so most must be rejected with OVERLOADED.
+  std::string burst;
+  burst += "{\"op\":\"count\",\"q\":\"A(B,C,D,E,F,G,H,I)\",\"id\":0}\n";
+  constexpr int kFollowUps = 24;
+  for (int i = 1; i <= kFollowUps; ++i) {
+    burst += "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":" +
+             std::to_string(i) + "}\n";
+  }
+  client.Send(burst);
+  int ok = 0, overloaded = 0;
+  for (int i = 0; i <= kFollowUps; ++i) {
+    std::string reply = client.ReadLine();
+    ASSERT_FALSE(reply.empty());
+    if (reply.find("\"ok\":true") != std::string::npos) {
+      ++ok;
+    } else {
+      EXPECT_NE(reply.find("\"code\":\"OVERLOADED\""), std::string::npos)
+          << reply;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kFollowUps + 1);
+  EXPECT_GE(overloaded, 1) << "queue never overflowed";
+  (*server)->Shutdown();
+}
+
+TEST(QueryServerTest, DeadlineExceededOverTheWire) {
+  Result<QueryService> service = QueryService::CreateStatic(BuildSketch());
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  // timeout_ms so small the deadline passes before the worker runs; the
+  // deadline is taken at admission, so this is deterministic enough to
+  // at least produce a well-formed reply of one of the two kinds.
+  client.Send(
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":1,\"timeout_ms\":0}"
+      "\n");
+  std::string reply = client.ReadLine();
+  // timeout_ms 0 means "no deadline": must succeed.
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+  (*server)->Shutdown();
+}
+
+/// The torture test the issue calls for: one ingest thread keeps
+/// updating a live sketch and publishing snapshots while query threads
+/// hammer the service. Every answer must be bit-identical to a direct
+/// estimate against the retained snapshot of the epoch it reports —
+/// i.e. served from a consistent snapshot, never a torn sketch.
+TEST(QueryServerTortureTest, ConcurrentIngestQueriesAndPublishes) {
+  SnapshotPublisher publisher;
+  SketchTree live = *SketchTree::Create(SmallOptions());
+  live.Update(*ParseSExpr("A(B,C)"));
+  ASSERT_TRUE(publisher.PublishCopyOf(live).ok());
+
+  // Every published epoch, retained for post-hoc verification.
+  std::mutex retained_mu;
+  std::map<uint64_t, std::shared_ptr<const SketchSnapshot>> retained;
+  retained[1] = publisher.Current();
+
+  Result<QueryService> service =
+      QueryService::Create(live.options(), {}, &publisher);
+  ASSERT_TRUE(service.ok());
+
+  struct Sample {
+    QueryKind kind;
+    std::string text;
+    uint64_t epoch;
+    double estimate;
+  };
+  std::mutex samples_mu;
+  std::vector<Sample> samples;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::thread ingester([&] {
+    const char* docs[] = {"A(B,C)", "A(C,B)", "R(S(T),U)", "X(Y)"};
+    for (int round = 0; round < 40; ++round) {
+      for (int i = 0; i < 25; ++i) {
+        live.Update(*ParseSExpr(docs[(round + i) % 4]));
+      }
+      Result<uint64_t> epoch = publisher.PublishCopyOf(live);
+      if (!epoch.ok()) {
+        ++failures;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(retained_mu);
+      retained[*epoch] = publisher.Current();
+    }
+    done.store(true);
+  });
+
+  const struct {
+    QueryKind kind;
+    const char* text;
+  } kWorkload[] = {
+      {QueryKind::kOrdered, "A(B,C)"},
+      {QueryKind::kUnordered, "A(C,B)"},
+      {QueryKind::kUnordered, "R(U,S(T))"},
+      {QueryKind::kExpression, "COUNT_ORD(A(B,C)) + COUNT_ORD(X(Y))"},
+  };
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t asked = 0;
+      while (!done.load() || asked < 50) {
+        const auto& work = kWorkload[(t + asked) % 4];
+        QueryRequest request;
+        request.kind = work.kind;
+        request.text = work.text;
+        Result<QueryAnswer> answer = service->Execute(request);
+        if (!answer.ok()) {
+          ++failures;
+          break;
+        }
+        if (++asked % 8 == 0) {
+          std::lock_guard<std::mutex> lock(samples_mu);
+          samples.push_back({work.kind, work.text, answer->epoch,
+                             answer->estimate});
+        }
+      }
+    });
+  }
+  ingester.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_FALSE(samples.empty());
+
+  // Post-hoc: replay every sampled answer against a private mutable
+  // copy of the snapshot it claims to have used. Any divergence means
+  // a query observed a torn or misattributed snapshot.
+  std::map<uint64_t, SketchTree> copies;
+  for (const Sample& sample : samples) {
+    auto it = copies.find(sample.epoch);
+    if (it == copies.end()) {
+      auto snap = retained.find(sample.epoch);
+      ASSERT_NE(snap, retained.end()) << "unknown epoch " << sample.epoch;
+      Result<SketchTree> copy = SketchTree::DeserializeFromString(
+          snap->second->sketch.SerializeToString());
+      ASSERT_TRUE(copy.ok());
+      it = copies.emplace(sample.epoch, std::move(copy).value()).first;
+    }
+    SketchTree& sketch = it->second;
+    Result<double> expected = [&]() -> Result<double> {
+      switch (sample.kind) {
+        case QueryKind::kOrdered:
+          return sketch.EstimateCountOrdered(*ParseSExpr(sample.text));
+        case QueryKind::kUnordered:
+          return sketch.EstimateCount(*ParseSExpr(sample.text));
+        case QueryKind::kExpression:
+          return sketch.EstimateExpression(sample.text);
+        case QueryKind::kExtended:
+          return sketch.EstimateExtended(sample.text);
+      }
+      return Status::Internal("unreachable");
+    }();
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    EXPECT_EQ(sample.estimate, *expected)
+        << QueryKindName(sample.kind) << " " << sample.text << " @ epoch "
+        << sample.epoch;
+  }
+
+  // And the server still works end to end after the torture.
+  QueryServerOptions options;
+  options.port = 0;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":1}\n");
+  EXPECT_NE(client.ReadLine().find("\"ok\":true"), std::string::npos);
+  (*server)->Shutdown();
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,110 @@
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace sketchtree {
+namespace {
+
+TEST(WireTest, ParsesFullRequest) {
+  Result<WireRequest> parsed = ParseWireRequest(
+      R"json({"op":"count","q":"A(B,C)","id":7,"timeout_ms":250})json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->op, "count");
+  EXPECT_EQ(parsed->query, "A(B,C)");
+  EXPECT_EQ(parsed->id_json, "7");
+  EXPECT_EQ(parsed->timeout_ms, 250);
+}
+
+TEST(WireTest, StringIdIsEchoedAsRawJson) {
+  Result<WireRequest> parsed =
+      ParseWireRequest(R"({"op":"ping","id":"req-\"9\""})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->id_json, R"("req-\"9\"")");
+}
+
+TEST(WireTest, ToleratesWhitespaceAndUnknownFields) {
+  Result<WireRequest> parsed = ParseWireRequest(
+      "  { \"op\" : \"stats\" , \"verbose\" : true , \"pri\" : null }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->op, "stats");
+  EXPECT_EQ(parsed->timeout_ms, 0);
+}
+
+TEST(WireTest, DecodesEscapes) {
+  Result<WireRequest> parsed =
+      ParseWireRequest(R"({"op":"count","q":"A\t\"B\"A"})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->query, "A\t\"B\"A");
+}
+
+TEST(WireTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",
+      "not json",
+      "{\"op\":\"count\"",               // Unterminated object.
+      "{\"op\":\"count\"} trailing",     // Trailing garbage.
+      "{\"op\":[\"count\"]}",            // Array value.
+      "{\"op\":{\"nested\":true}}",      // Nested object.
+      "{\"op\" \"count\"}",              // Missing colon.
+      "{op:\"count\"}",                  // Unquoted key.
+      "{\"q\":\"unterminated}",          // Unterminated string.
+  };
+  for (const char* line : bad) {
+    Result<WireRequest> parsed = ParseWireRequest(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+    if (!parsed.ok()) {
+      EXPECT_TRUE(parsed.status().IsInvalidArgument()) << line;
+    }
+  }
+}
+
+TEST(WireTest, JsonEscapeCoversControlCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(WireTest, FormatsAnswerAndErrorReplies) {
+  WireRequest request;
+  request.id_json = "42";
+  QueryAnswer answer;
+  answer.estimate = 6.0;
+  answer.epoch = 3;
+  answer.trees_processed = 1000;
+  answer.cache_hit = true;
+  answer.num_arrangements = 2;
+  answer.compile_micros = 1.5;
+  answer.estimate_micros = 2.0;
+  std::string reply = FormatAnswerReply(request, answer);
+  EXPECT_EQ(reply,
+            "{\"id\":42,\"ok\":true,\"estimate\":6,\"epoch\":3,"
+            "\"trees\":1000,\"cache\":\"hit\",\"arrangements\":2,"
+            "\"micros\":3.5}");
+
+  std::string error = FormatErrorReply(
+      request, Status::InvalidArgument("bad \"pattern\""));
+  EXPECT_EQ(error,
+            "{\"id\":42,\"ok\":false,\"code\":\"INVALID_ARGUMENT\","
+            "\"error\":\"bad \\\"pattern\\\"\"}");
+
+  // No id: the field is omitted entirely.
+  std::string anonymous =
+      FormatCodedErrorReply("", "OVERLOADED", "queue full");
+  EXPECT_EQ(anonymous,
+            "{\"ok\":false,\"code\":\"OVERLOADED\","
+            "\"error\":\"queue full\"}");
+}
+
+TEST(WireTest, WireCodesCoverStatusCodes) {
+  EXPECT_STREQ(WireCodeFor(Status::InvalidArgument("x")),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(WireCodeFor(Status::OutOfRange("x")), "OUT_OF_RANGE");
+  EXPECT_STREQ(WireCodeFor(Status::DeadlineExceeded("x")),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(WireCodeFor(Status::NotFound("x")), "NOT_FOUND");
+  EXPECT_STREQ(WireCodeFor(Status::Internal("x")), "INTERNAL");
+}
+
+}  // namespace
+}  // namespace sketchtree

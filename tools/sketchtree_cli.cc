@@ -9,6 +9,7 @@
 //   sketchtree_cli extended --synopsis synopsis.bin --query "A(//B,*)"
 //   sketchtree_cli expr     --synopsis synopsis.bin
 //                           --expression "COUNT_ORD(A(B)) * COUNT_ORD(C)"
+//   sketchtree_cli serve    --synopsis synopsis.bin [--port 7227]
 //   sketchtree_cli stats    --synopsis synopsis.bin
 //
 // The input forest is one XML document whose root's children are the
@@ -32,6 +33,9 @@
 #include "ingest/quarantine.h"
 #include "metrics/metrics.h"
 #include "query/pattern_query.h"
+#include "server/query_service.h"
+#include "server/snapshot.h"
+#include "server/tcp_server.h"
 #include "sketch/health.h"
 #include "stats/sentinel.h"
 #include "trace/trace.h"
@@ -89,12 +93,25 @@ int Usage() {
       "        [--fail-fast] [--quarantine PATH]\n"
       "        [--sentinel K] [--epsilon E] [--delta D]\n"
       "  sketchtree_cli query --synopsis SYNOPSIS.bin --pattern PAT\n"
-      "        [--unordered]\n"
+      "        [--unordered] [--max-arrangements N]\n"
       "  sketchtree_cli extended --synopsis SYNOPSIS.bin --query EXTPAT\n"
       "  sketchtree_cli expr --synopsis SYNOPSIS.bin --expression EXPR\n"
+      "  sketchtree_cli serve (--synopsis SYNOPSIS.bin | --input FOREST.xml)\n"
+      "        [--port 7227] [--workers N] [--queue N] [--cache N]\n"
+      "        [--max-arrangements N] [--publish-every N]\n"
+      "        [build options when --input: --k --s1 --s2 --streams\n"
+      "         --topk --summary --seed]\n"
       "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
       "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n"
       "  sketchtree_cli inspect --synopsis SYNOPSIS.bin [--json]\n"
+      "\n"
+      "  serve answers line-delimited JSON queries over TCP (loopback\n"
+      "  only) against epoch-published snapshots of the synopsis: with\n"
+      "  --synopsis a frozen one, with --input a live single-threaded\n"
+      "  ingest republishing every --publish-every trees. Request:\n"
+      "  {\"op\":\"count|count_ord|extended|expr|stats|ping|shutdown\",\n"
+      "   \"q\":\"...\", \"id\":..., \"timeout_ms\":N}; --port 0 picks a\n"
+      "  free port (printed on stdout). See DESIGN.md section 10.\n"
       "\n"
       "  inspect prints a sketch health report (per-row occupancy and\n"
       "  moments, self-join size, Theorem-1 error scale, warnings);\n"
@@ -476,46 +493,169 @@ int RunBuild(const Args& args) {
   return kExitOk;
 }
 
-int RunQuery(const Args& args) {
-  std::string synopsis = args.Get("synopsis");
-  std::string pattern_text = args.Get("pattern");
-  if (synopsis.empty() || pattern_text.empty()) return Usage();
-  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
-  if (!sketch.ok()) return Fail(sketch.status());
-  Result<LabeledTree> pattern = ParsePatternQuery(
-      pattern_text, sketch->options().max_pattern_edges);
-  if (!pattern.ok()) return Fail(pattern.status());
-  Result<double> estimate = args.HasFlag("unordered")
-                                ? sketch->EstimateCount(*pattern)
-                                : sketch->EstimateCountOrdered(*pattern);
-  if (!estimate.ok()) return Fail(estimate.status());
-  std::printf("%s(%s) ~= %.1f\n",
-              args.HasFlag("unordered") ? "COUNT" : "COUNT_ord",
-              pattern_text.c_str(), *estimate);
+/// Loads the synopsis named by --synopsis and stands up a one-snapshot
+/// QueryService around it. All three one-shot query commands (and
+/// nothing else) share this path, so the CLI and the TCP server answer
+/// through the same compile/estimate implementation.
+Result<QueryService> LoadQueryService(const Args& args) {
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTree sketch,
+                              SketchTree::LoadFromFile(args.Get("synopsis")));
+  QueryServiceOptions service_options;
+  long max_arrangements = args.GetLong("max-arrangements", 0);
+  if (max_arrangements > 0) {
+    service_options.max_arrangements =
+        static_cast<size_t>(max_arrangements);
+  }
+  return QueryService::CreateStatic(std::move(sketch), service_options);
+}
+
+/// One-shot query execution: compile + estimate via QueryService, print
+/// in the command's historical format.
+int RunOneShot(const Args& args, QueryKind kind, const std::string& text) {
+  Result<QueryService> service = LoadQueryService(args);
+  if (!service.ok()) return Fail(service.status());
+  QueryRequest request;
+  request.kind = kind;
+  request.text = text;
+  Result<QueryAnswer> answer = service->Execute(request);
+  if (!answer.ok()) return Fail(answer.status());
+  switch (kind) {
+    case QueryKind::kOrdered:
+    case QueryKind::kUnordered:
+      std::printf("%s(%s) ~= %.1f\n",
+                  kind == QueryKind::kUnordered ? "COUNT" : "COUNT_ord",
+                  text.c_str(), answer->estimate);
+      break;
+    case QueryKind::kExtended:
+      std::printf("COUNT_ord(%s) ~= %.1f\n", text.c_str(),
+                  answer->estimate);
+      break;
+    case QueryKind::kExpression:
+      std::printf("%s ~= %.1f\n", text.c_str(), answer->estimate);
+      break;
+  }
   return EXIT_SUCCESS;
+}
+
+int RunQuery(const Args& args) {
+  std::string pattern_text = args.Get("pattern");
+  if (args.Get("synopsis").empty() || pattern_text.empty()) return Usage();
+  return RunOneShot(args,
+                    args.HasFlag("unordered") ? QueryKind::kUnordered
+                                              : QueryKind::kOrdered,
+                    pattern_text);
 }
 
 int RunExtended(const Args& args) {
-  std::string synopsis = args.Get("synopsis");
   std::string query_text = args.Get("query");
-  if (synopsis.empty() || query_text.empty()) return Usage();
-  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
-  if (!sketch.ok()) return Fail(sketch.status());
-  Result<double> estimate = sketch->EstimateExtended(query_text);
-  if (!estimate.ok()) return Fail(estimate.status());
-  std::printf("COUNT_ord(%s) ~= %.1f\n", query_text.c_str(), *estimate);
-  return EXIT_SUCCESS;
+  if (args.Get("synopsis").empty() || query_text.empty()) return Usage();
+  return RunOneShot(args, QueryKind::kExtended, query_text);
 }
 
 int RunExpr(const Args& args) {
-  std::string synopsis = args.Get("synopsis");
   std::string expression = args.Get("expression");
-  if (synopsis.empty() || expression.empty()) return Usage();
-  Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
-  if (!sketch.ok()) return Fail(sketch.status());
-  Result<double> estimate = sketch->EstimateExpression(expression);
-  if (!estimate.ok()) return Fail(estimate.status());
-  std::printf("%s ~= %.1f\n", expression.c_str(), *estimate);
+  if (args.Get("synopsis").empty() || expression.empty()) return Usage();
+  return RunOneShot(args, QueryKind::kExpression, expression);
+}
+
+int RunServe(const Args& args) {
+  std::string synopsis = args.Get("synopsis");
+  std::string input = args.Get("input");
+  if (synopsis.empty() == input.empty()) {
+    std::fprintf(stderr,
+                 "error: serve needs exactly one of --synopsis (frozen "
+                 "synopsis) or --input (live ingest)\n");
+    return kExitUsage;
+  }
+
+  QueryServiceOptions service_options;
+  long cache = args.GetLong("cache", 0);
+  if (cache > 0) service_options.plan_cache_capacity =
+      static_cast<size_t>(cache);
+  long max_arrangements = args.GetLong("max-arrangements", 0);
+  if (max_arrangements > 0) {
+    service_options.max_arrangements =
+        static_cast<size_t>(max_arrangements);
+  }
+  QueryServerOptions server_options;
+  server_options.port = static_cast<int>(args.GetLong("port", 7227));
+  server_options.num_workers = static_cast<int>(args.GetLong("workers", 4));
+  long queue = args.GetLong("queue", 0);
+  if (queue > 0) server_options.queue_capacity = static_cast<size_t>(queue);
+  long publish_every = args.GetLong("publish-every", 1000);
+  if (publish_every < 1) {
+    std::fprintf(stderr,
+                 "error: --publish-every must be a positive integer\n");
+    return kExitUsage;
+  }
+
+  // The live synopsis (ingest mode) or the frozen one (synopsis mode);
+  // snapshots of it flow to readers through the publisher.
+  SnapshotPublisher publisher;
+  std::optional<SketchTree> live;
+  if (!synopsis.empty()) {
+    Result<SketchTree> loaded = SketchTree::LoadFromFile(synopsis);
+    if (!loaded.ok()) return Fail(loaded.status());
+    live.emplace(std::move(loaded).value());
+  } else {
+    SketchTreeOptions options;
+    options.max_pattern_edges = static_cast<int>(args.GetLong("k", 4));
+    options.s1 = static_cast<int>(args.GetLong("s1", 50));
+    options.s2 = static_cast<int>(args.GetLong("s2", 7));
+    options.num_virtual_streams =
+        static_cast<uint32_t>(args.GetLong("streams", 229));
+    options.topk_size = static_cast<size_t>(args.GetLong("topk", 100));
+    options.seed = static_cast<uint64_t>(args.GetLong("seed", 42));
+    options.build_structural_summary = args.HasFlag("summary");
+    Result<SketchTree> created = SketchTree::Create(options);
+    if (!created.ok()) return Fail(created.status());
+    live.emplace(std::move(created).value());
+  }
+  // Epoch 1: the loaded synopsis, or the empty sketch (live mode serves
+  // zeros until the first publish).
+  Result<uint64_t> first = publisher.PublishCopyOf(*live);
+  if (!first.ok()) return Fail(first.status());
+
+  Result<QueryService> service =
+      QueryService::Create(live->options(), service_options, &publisher);
+  if (!service.ok()) return Fail(service.status());
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), server_options);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("serving on 127.0.0.1:%d\n", (*server)->port());
+  std::fflush(stdout);
+
+  if (!input.empty()) {
+    // Live ingest on this thread while the server answers from the
+    // published snapshots; a new epoch every --publish-every trees.
+    uint64_t trees = 0;
+    Status streamed = StreamXmlForestFile(
+        input,
+        [&](LabeledTree tree) -> Status {
+          live->Update(tree);
+          if (++trees % static_cast<uint64_t>(publish_every) == 0 &&
+              !(*server)->stopping()) {
+            SKETCHTREE_ASSIGN_OR_RETURN(uint64_t epoch,
+                                        publisher.PublishCopyOf(*live));
+            std::fprintf(stderr, "published epoch %llu at %llu trees\n",
+                         static_cast<unsigned long long>(epoch),
+                         static_cast<unsigned long long>(trees));
+          }
+          return Status::OK();
+        });
+    if (!streamed.ok() && !(*server)->stopping()) return Fail(streamed);
+    Result<uint64_t> final_epoch = publisher.PublishCopyOf(*live);
+    if (!final_epoch.ok()) return Fail(final_epoch.status());
+    std::fprintf(stderr,
+                 "ingest finished: %llu trees, final epoch %llu; still "
+                 "serving\n",
+                 static_cast<unsigned long long>(trees),
+                 static_cast<unsigned long long>(*final_epoch));
+  }
+
+  (*server)->WaitForShutdown();
+  (*server)->Shutdown();
+  std::printf("server stopped\n");
   return EXIT_SUCCESS;
 }
 
@@ -616,6 +756,7 @@ int RunCommand(const Args& args) {
   if (args.command == "query") return RunQuery(args);
   if (args.command == "extended") return RunExtended(args);
   if (args.command == "expr") return RunExpr(args);
+  if (args.command == "serve") return RunServe(args);
   if (args.command == "merge") return RunMerge(args);
   if (args.command == "stats") return RunStats(args);
   if (args.command == "inspect") return RunInspect(args);
