@@ -1,5 +1,5 @@
-// EXP-INGEST — ingestion throughput of the three pipeline layers added
-// by the batched-SoA / sharded-ingestion work:
+// EXP-INGEST — ingestion throughput of the pipeline layers added by the
+// batched-SoA / sharded-ingestion / SIMD-kernel work:
 //
 //   1. kernel:   patterns/sec of the sketch-update path alone, on the
 //                same pattern-value stream —
@@ -9,17 +9,34 @@
 //                  soa-single : VirtualStreams::Insert per value over
 //                               the SoA counter/coefficient planes;
 //                  soa-batch  : VirtualStreams::InsertBatch per tree
-//                               (bucket by residue, batched Horner);
+//                               (bucket by residue, batched Horner),
+//                               pinned to the scalar kernel;
+//                  soa-simd   : the same batch path pinned to the AVX2
+//                               kernel (skipped on non-AVX2 hosts).
 //   2. end-to-end: trees/sec and patterns/sec of SketchTree::Update
-//                (EnumTree + canonical mapping + sketch update);
-//   3. sharded:  the same stream through ParallelIngester with 1, 2,
-//                and 4 worker replicas merged at the end.
+//                (EnumTree + canonical mapping + sketch update), plus a
+//                threads → trees/s scaling curve through
+//                ParallelIngester with 1, 2, and 4 worker replicas.
+//   3. front end: trees/sec of XML parse + ingest — the serial SAX
+//                streamer vs the parallel parse pool (split + N SAX
+//                readers) on the same generated forest document.
+//   4. stages:   wall-time attribution per pipeline stage from the
+//                tracer's span rollup (TraceRecorder::AggregateSpans),
+//                for a traced serial pass and a traced parse-pool pass.
 //
 // Settings follow bench_fig10_accuracy (TREEBANK, k=3, s1=50, s2=7,
-// p=23, top-k off so all three kernel variants do identical arithmetic).
+// p=23, top-k off so all kernel variants do identical arithmetic).
 // Results are printed and written to BENCH_ingest.json in the working
 // directory to seed the repo's performance trajectory.
+//
+// Exit code enforces three floors:
+//   * tracing: disabled-path overhead projected < 5% of serial ingest;
+//   * SIMD:    soa-simd >= 2x soa-batch on AVX2 hosts (skipped with a
+//              logged reason when the host or build lacks AVX2);
+//   * threads: 1-thread sharded ingest >= 0.95x serial (the inline
+//              single-thread path must not regress to queue overhead).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -28,12 +45,15 @@
 #include "hashing/label_hasher.h"
 #include "hashing/rabin.h"
 #include "ingest/parallel_ingester.h"
+#include "ingest/parse_pool.h"
 #include "metrics/metrics.h"
 #include "sketch/ams_sketch.h"
+#include "sketch/kernel_dispatch.h"
 #include "enumtree/enum_tree.h"
 #include "enumtree/pattern.h"
 #include "stream/virtual_streams.h"
 #include "trace/trace.h"
+#include "xml/xml_tree_reader.h"
 
 #include <thread>
 
@@ -48,7 +68,12 @@ constexpr int kS1 = 50;
 constexpr int kS2 = 7;
 constexpr uint32_t kNumStreams = 23;  // bench_fig10_accuracy's p.
 constexpr uint64_t kSketchSeed = 42;
-constexpr int kKernelReps = 3;  // Repeat kernel passes; report the best.
+constexpr int kKernelReps = 3;   // Repeat kernel passes; report the best.
+constexpr int kEndToEndReps = 3; // Same for end-to-end passes (the
+                                 // threads_1 floor must not trip on a
+                                 // single noisy run).
+constexpr double kSimdFloor = 2.0;     // soa-simd vs soa-batch.
+constexpr double kThreads1Floor = 0.95;  // threads_1 vs serial.
 
 struct KernelResult {
   double patterns_per_sec = 0.0;
@@ -107,6 +132,9 @@ KernelResult RunSoaSingle(const std::vector<std::vector<uint64_t>>& trees,
   return {best};
 }
 
+/// Batch kernel pass under whatever kernel the dispatcher currently
+/// resolves to — the caller pins scalar or AVX2 via
+/// SetSketchKernelOverride before calling.
 KernelResult RunSoaBatch(const std::vector<std::vector<uint64_t>>& trees,
                          uint64_t total_values) {
   VirtualStreams streams = MakeStreams();
@@ -138,7 +166,7 @@ struct EndToEndResult {
   double patterns_per_sec = 0.0;
 };
 
-EndToEndResult RunSerial(const std::vector<LabeledTree>& trees) {
+EndToEndResult RunSerialOnce(const std::vector<LabeledTree>& trees) {
   SketchTree sketch = *SketchTree::Create(EndToEndOptions());
   WallTimer timer;
   uint64_t patterns = 0;
@@ -147,8 +175,8 @@ EndToEndResult RunSerial(const std::vector<LabeledTree>& trees) {
   return {trees.size() / seconds, patterns / seconds};
 }
 
-EndToEndResult RunParallel(const std::vector<LabeledTree>& trees,
-                           int num_threads) {
+EndToEndResult RunParallelOnce(const std::vector<LabeledTree>& trees,
+                               int num_threads) {
   ParallelIngestOptions ingest_options;
   ingest_options.num_threads = num_threads;
   ParallelIngester ingester =
@@ -173,13 +201,124 @@ EndToEndResult RunParallel(const std::vector<LabeledTree>& trees,
   return {trees.size() / seconds, patterns / seconds};
 }
 
+EndToEndResult RunSerial(const std::vector<LabeledTree>& trees) {
+  EndToEndResult best;
+  for (int rep = 0; rep < kEndToEndReps; ++rep) {
+    EndToEndResult r = RunSerialOnce(trees);
+    if (r.trees_per_sec > best.trees_per_sec) best = r;
+  }
+  return best;
+}
+
+EndToEndResult RunParallel(const std::vector<LabeledTree>& trees,
+                           int num_threads) {
+  EndToEndResult best;
+  for (int rep = 0; rep < kEndToEndReps; ++rep) {
+    EndToEndResult r = RunParallelOnce(trees, num_threads);
+    if (r.trees_per_sec > best.trees_per_sec) best = r;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------
+// Parse front end: the same tree stream round-tripped through XML, so
+// the serial SAX streamer and the parallel parse pool ingest identical
+// bytes.
+
+void AppendTreeXml(const LabeledTree& tree, LabeledTree::NodeId node,
+                   std::string* out) {
+  const std::string& label = tree.label(node);
+  if (tree.is_leaf(node)) {
+    *out += '<';
+    *out += label;
+    *out += "/>";
+    return;
+  }
+  *out += '<';
+  *out += label;
+  *out += '>';
+  for (LabeledTree::NodeId child : tree.children(node)) {
+    AppendTreeXml(tree, child, out);
+  }
+  *out += "</";
+  *out += label;
+  *out += '>';
+}
+
+std::string BuildForestXml(const std::vector<LabeledTree>& trees) {
+  std::string xml = "<forest>";
+  for (const LabeledTree& tree : trees) {
+    AppendTreeXml(tree, tree.root(), &xml);
+    xml += '\n';
+  }
+  xml += "</forest>\n";
+  return xml;
+}
+
+/// Serial front end: one SAX pass over the forest feeding
+/// SketchTree::Update — the CLI's default build path.
+double RunFrontEndSerial(const std::string& xml) {
+  SketchTree sketch = *SketchTree::Create(EndToEndOptions());
+  uint64_t trees = 0;
+  WallTimer timer;
+  Status status = StreamXmlForest(xml, [&](LabeledTree tree) {
+    ++trees;
+    sketch.Update(tree);
+    return Status::OK();
+  });
+  double seconds = timer.ElapsedSeconds();
+  if (!status.ok()) {
+    std::fprintf(stderr, "serial front end failed: %s\n",
+                 status.ToString().c_str());
+    return 0.0;
+  }
+  return trees / seconds;
+}
+
+/// Parallel front end: split + `parse_threads` SAX readers batching into
+/// a single-shard ingester (the CLI's --parse-threads path).
+double RunFrontEndPool(const std::vector<std::string>& paths,
+                       int parse_threads) {
+  ParallelIngestOptions ingest_options;
+  ingest_options.num_threads = 1;
+  ingest_options.inline_single_thread = parse_threads == 1;
+  ParallelIngester ingester =
+      *ParallelIngester::Create(EndToEndOptions(), ingest_options);
+  ParsePoolOptions pool_options;
+  pool_options.num_threads = parse_threads;
+  ParsePoolStats stats;
+  WallTimer timer;
+  Status status =
+      ParseForestFilesParallel(paths, pool_options, &ingester, &stats);
+  Result<SketchTree> combined = ingester.Finish();
+  double seconds = timer.ElapsedSeconds();
+  if (!status.ok() || !combined.ok()) {
+    std::fprintf(stderr, "parse pool front end failed: %s\n",
+                 (!status.ok() ? status : combined.status())
+                     .ToString().c_str());
+    return 0.0;
+  }
+  return stats.trees_parsed / seconds;
+}
+
+double BestOf(int reps, double (*run)(const std::vector<std::string>&, int),
+              const std::vector<std::string>& paths, int threads) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    double r = run(paths, threads);
+    if (r > best) best = r;
+  }
+  return best;
+}
+
 /// Overhead guard for the always-compiled-in tracer (DESIGN.md
 /// section 9): the disabled fast path must cost < 5% of serial ingest
 /// throughput. Measured two ways — end-to-end with tracing on vs off
 /// (recorded, informational), and a micro-benchmark of the disabled
 /// span check projected onto the number of checks a serial run executes
 /// (asserted, since it isolates the compiled-in-but-disabled cost from
-/// run-to-run noise).
+/// run-to-run noise). The traced pass doubles as the source of the
+/// serial stage attribution (AggregateSpans before Reset).
 struct TracingOverhead {
   double on_trees_per_sec = 0.0;
   double enabled_overhead_pct = 0.0;
@@ -187,6 +326,7 @@ struct TracingOverhead {
   double ns_per_disabled_span = 0.0;
   double projected_disabled_overhead_pct = 0.0;
   bool guard_ok = false;
+  std::vector<SpanAggregate> stages;  // Serial ingest, traced.
 };
 
 TracingOverhead MeasureTracingOverhead(const std::vector<LabeledTree>& trees,
@@ -196,10 +336,11 @@ TracingOverhead MeasureTracingOverhead(const std::vector<LabeledTree>& trees,
   TraceRecorder& recorder = TraceRecorder::Global();
   recorder.set_max_events_per_thread(size_t{8} << 20);
   recorder.Start();
-  EndToEndResult traced = RunSerial(trees);
+  EndToEndResult traced = RunSerialOnce(trees);
   recorder.Stop();
   result.on_trees_per_sec = traced.trees_per_sec;
   result.events_recorded = recorder.event_count();
+  result.stages = recorder.AggregateSpans();
   recorder.Reset();
   result.enabled_overhead_pct =
       (serial_off.trees_per_sec / traced.trees_per_sec - 1.0) * 100.0;
@@ -221,6 +362,40 @@ TracingOverhead MeasureTracingOverhead(const std::vector<LabeledTree>& trees,
       checks * result.ns_per_disabled_span / 1e9 / serial_seconds * 100.0;
   result.guard_ok = result.projected_disabled_overhead_pct < 5.0;
   return result;
+}
+
+/// One traced parse-pool pass: attributes front-end time across
+/// parse.pool / xml.sax_parse / queue waits / sketch update spans.
+std::vector<SpanAggregate> TraceFrontEndStages(
+    const std::vector<std::string>& paths) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  RunFrontEndPool(paths, 2);
+  recorder.Stop();
+  std::vector<SpanAggregate> stages = recorder.AggregateSpans();
+  recorder.Reset();
+  return stages;
+}
+
+void PrintStages(const char* heading,
+                 const std::vector<SpanAggregate>& stages) {
+  std::printf("%s\n", heading);
+  for (const SpanAggregate& stage : stages) {
+    std::printf("  %-24s %10.3f ms  x%llu\n", stage.name.c_str(),
+                stage.total_ns / 1e6,
+                static_cast<unsigned long long>(stage.count));
+  }
+}
+
+void PrintStagesJson(FILE* json, const std::vector<SpanAggregate>& stages) {
+  std::fprintf(json, "{");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    std::fprintf(json, "%s\"%s\": {\"count\": %llu, \"total_ms\": %.3f}",
+                 i == 0 ? "" : ", ", stages[i].name.c_str(),
+                 static_cast<unsigned long long>(stages[i].count),
+                 stages[i].total_ns / 1e6);
+  }
+  std::fprintf(json, "}");
 }
 
 }  // namespace
@@ -251,17 +426,31 @@ int main() {
     tree_values.push_back(std::move(values));
   }
 
+  const bool avx2 = Avx2KernelAvailable();
   std::printf("EXP-INGEST — TREEBANK, %d trees, k=%d, s1=%d, s2=%d, p=%u "
-              "(%llu pattern values; hardware threads: %u)\n",
+              "(%llu pattern values; hardware threads: %u; avx2: %s)\n",
               kTrees, kMaxEdges, kS1, kS2, kNumStreams,
               static_cast<unsigned long long>(total_values),
-              std::thread::hardware_concurrency());
+              std::thread::hardware_concurrency(),
+              avx2 ? "yes" : "no");
   PrintRule();
 
+  // Kernel passes run under a pinned dispatch target: scalar for the
+  // three historical variants (so soa_batch stays comparable across
+  // hosts and against past BENCH files), AVX2 for soa_simd.
+  (void)SetSketchKernelOverride(SketchKernel::kScalar);
   KernelResult aos = RunAosSingle(tree_values, total_values);
   KernelResult soa_single = RunSoaSingle(tree_values, total_values);
   KernelResult soa_batch = RunSoaBatch(tree_values, total_values);
+  KernelResult soa_simd;
+  if (avx2) {
+    (void)SetSketchKernelOverride(SketchKernel::kAvx2);
+    soa_simd = RunSoaBatch(tree_values, total_values);
+  }
+  (void)SetSketchKernelOverride(std::nullopt);  // End-to-end: auto dispatch.
   double kernel_speedup = soa_batch.patterns_per_sec / aos.patterns_per_sec;
+  double simd_speedup =
+      avx2 ? soa_simd.patterns_per_sec / soa_batch.patterns_per_sec : 0.0;
   std::printf("kernel    aos-single   %12.0f patterns/s   (pre-SoA baseline)\n",
               aos.patterns_per_sec);
   std::printf("kernel    soa-single   %12.0f patterns/s   (%.2fx)\n",
@@ -269,11 +458,24 @@ int main() {
               soa_single.patterns_per_sec / aos.patterns_per_sec);
   std::printf("kernel    soa-batch    %12.0f patterns/s   (%.2fx)\n",
               soa_batch.patterns_per_sec, kernel_speedup);
+  if (avx2) {
+    std::printf("kernel    soa-simd     %12.0f patterns/s   (%.2fx, "
+                "%.2fx vs soa-batch)\n",
+                soa_simd.patterns_per_sec,
+                soa_simd.patterns_per_sec / aos.patterns_per_sec,
+                simd_speedup);
+  } else {
+    std::printf("kernel    soa-simd     skipped (host or build lacks AVX2; "
+                "dispatch: %s)\n",
+                SketchKernelName(ActiveSketchKernel()));
+  }
   PrintRule();
 
   EndToEndResult serial = RunSerial(trees);
-  std::printf("end2end   serial       %8.1f trees/s   %12.0f patterns/s\n",
-              serial.trees_per_sec, serial.patterns_per_sec);
+  std::printf("end2end   serial       %8.1f trees/s   %12.0f patterns/s   "
+              "(kernel: %s)\n",
+              serial.trees_per_sec, serial.patterns_per_sec,
+              SketchKernelName(ActiveSketchKernel()));
   const int thread_counts[] = {1, 2, 4};
   EndToEndResult parallel[3];
   for (int t = 0; t < 3; ++t) {
@@ -283,6 +485,37 @@ int main() {
                 thread_counts[t], parallel[t].trees_per_sec,
                 parallel[t].patterns_per_sec,
                 parallel[t].trees_per_sec / serial.trees_per_sec);
+  }
+  double threads1_ratio = parallel[0].trees_per_sec / serial.trees_per_sec;
+  PrintRule();
+
+  // Parse front end on the XML round trip of the same stream.
+  const std::string forest_xml = BuildForestXml(trees);
+  const char* kForestPath = "bench_ingest_forest.tmp.xml";
+  double fe_serial = 0.0, fe_pool_1 = 0.0, fe_pool_2 = 0.0;
+  std::vector<SpanAggregate> pool_stages;
+  FILE* forest_file = std::fopen(kForestPath, "w");
+  if (forest_file != nullptr) {
+    std::fwrite(forest_xml.data(), 1, forest_xml.size(), forest_file);
+    std::fclose(forest_file);
+    const std::vector<std::string> paths = {kForestPath};
+    for (int rep = 0; rep < 2; ++rep) {
+      double r = RunFrontEndSerial(forest_xml);
+      if (r > fe_serial) fe_serial = r;
+    }
+    fe_pool_1 = BestOf(2, RunFrontEndPool, paths, 1);
+    fe_pool_2 = BestOf(2, RunFrontEndPool, paths, 2);
+    std::printf("frontend  serial-sax   %8.1f trees/s   (%zu XML bytes)\n",
+                fe_serial, forest_xml.size());
+    std::printf("frontend  pool-1       %8.1f trees/s   (%.2fx vs serial)\n",
+                fe_pool_1, fe_pool_1 / fe_serial);
+    std::printf("frontend  pool-2       %8.1f trees/s   (%.2fx vs serial)\n",
+                fe_pool_2, fe_pool_2 / fe_serial);
+    pool_stages = TraceFrontEndStages(paths);
+    std::remove(kForestPath);
+  } else {
+    std::fprintf(stderr, "cannot write %s; front-end passes skipped\n",
+                 kForestPath);
   }
   PrintRule();
 
@@ -297,6 +530,11 @@ int main() {
               tracing.ns_per_disabled_span,
               tracing.projected_disabled_overhead_pct);
   PrintRule();
+  PrintStages("stages    serial ingest (traced):", tracing.stages);
+  if (!pool_stages.empty()) {
+    PrintStages("stages    parse pool, 2 readers (traced):", pool_stages);
+  }
+  PrintRule();
 
   FILE* json = std::fopen("BENCH_ingest.json", "w");
   if (json != nullptr) {
@@ -309,12 +547,20 @@ int main() {
                  static_cast<unsigned long long>(total_values),
                  std::thread::hardware_concurrency());
     std::fprintf(json,
+                 "  \"kernel_dispatch\": {\"avx2_available\": %s, "
+                 "\"end_to_end_kernel\": \"%s\"},\n",
+                 avx2 ? "true" : "false",
+                 SketchKernelName(ActiveSketchKernel()));
+    std::fprintf(json,
                  "  \"kernel_patterns_per_sec\": {\"aos_single\": %.0f, "
-                 "\"soa_single\": %.0f, \"soa_batch\": %.0f},\n",
+                 "\"soa_single\": %.0f, \"soa_batch\": %.0f, "
+                 "\"soa_simd\": %.0f},\n",
                  aos.patterns_per_sec, soa_single.patterns_per_sec,
-                 soa_batch.patterns_per_sec);
+                 soa_batch.patterns_per_sec, soa_simd.patterns_per_sec);
     std::fprintf(json, "  \"kernel_speedup_batch_vs_aos\": %.3f,\n",
                  kernel_speedup);
+    std::fprintf(json, "  \"kernel_speedup_simd_vs_batch\": %.3f,\n",
+                 simd_speedup);
     std::fprintf(json,
                  "  \"end_to_end_trees_per_sec\": {\"serial\": %.1f, "
                  "\"threads_1\": %.1f, \"threads_2\": %.1f, "
@@ -327,6 +573,27 @@ int main() {
                  "\"threads_4\": %.0f},\n",
                  serial.patterns_per_sec, parallel[0].patterns_per_sec,
                  parallel[1].patterns_per_sec, parallel[2].patterns_per_sec);
+    std::fprintf(json,
+                 "  \"scaling_curve\": [[0, %.1f], [1, %.1f], [2, %.1f], "
+                 "[4, %.1f]],\n",
+                 serial.trees_per_sec, parallel[0].trees_per_sec,
+                 parallel[1].trees_per_sec, parallel[2].trees_per_sec);
+    std::fprintf(json,
+                 "  \"front_end_trees_per_sec\": {\"serial_sax\": %.1f, "
+                 "\"parse_threads_1\": %.1f, \"parse_threads_2\": %.1f},\n",
+                 fe_serial, fe_pool_1, fe_pool_2);
+    std::fprintf(json, "  \"stage_attribution\": {\"serial_traced\": ");
+    PrintStagesJson(json, tracing.stages);
+    std::fprintf(json, ", \"parse_pool_traced\": ");
+    PrintStagesJson(json, pool_stages);
+    std::fprintf(json, "},\n");
+    std::fprintf(json,
+                 "  \"floors\": {\"simd_vs_batch_min\": %.1f, "
+                 "\"simd_vs_batch\": %.3f, \"simd_checked\": %s, "
+                 "\"threads1_vs_serial_min\": %.2f, "
+                 "\"threads1_vs_serial\": %.3f},\n",
+                 kSimdFloor, simd_speedup, avx2 ? "true" : "false",
+                 kThreads1Floor, threads1_ratio);
     std::fprintf(json,
                  "  \"tracing\": {\"serial_off_trees_per_sec\": %.1f, "
                  "\"serial_on_trees_per_sec\": %.1f, "
@@ -351,12 +618,34 @@ int main() {
     std::fclose(json);
     std::printf("wrote BENCH_ingest.json\n");
   }
+
+  int failures = 0;
   if (!tracing.guard_ok) {
     std::fprintf(stderr,
                  "tracing overhead guard FAILED: projected disabled-path "
                  "cost %.3f%% >= 5%% of serial ingest\n",
                  tracing.projected_disabled_overhead_pct);
-    return 1;
+    ++failures;
   }
-  return 0;
+  if (avx2) {
+    if (simd_speedup < kSimdFloor) {
+      std::fprintf(stderr,
+                   "SIMD kernel floor FAILED: soa-simd is %.2fx soa-batch, "
+                   "floor is %.1fx\n",
+                   simd_speedup, kSimdFloor);
+      ++failures;
+    }
+  } else {
+    std::printf("SIMD kernel floor skipped: host or build lacks AVX2 "
+                "(dispatch would run the scalar kernel)\n");
+  }
+  if (threads1_ratio < kThreads1Floor) {
+    std::fprintf(stderr,
+                 "threads_1 floor FAILED: 1-thread sharded ingest is %.3fx "
+                 "serial, floor is %.2fx (inline single-thread path "
+                 "regressed to queue overhead?)\n",
+                 threads1_ratio, kThreads1Floor);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
 }

@@ -30,8 +30,13 @@ struct ParallelIngester::State {
   explicit State(size_t queue_capacity) : queue(queue_capacity) {}
   BoundedTreeQueue queue;
   std::vector<std::unique_ptr<Shard>> shards;
-  uint64_t trees_enqueued = 0;
-  uint64_t rejected_adds = 0;  // Pushes dropped by a closed queue.
+  // Atomics: the parse pool Adds from several producer threads at once.
+  std::atomic<uint64_t> trees_enqueued{0};
+  std::atomic<uint64_t> rejected_adds{0};  // Dropped by a closed queue.
+  // num_threads == 1 with inline_single_thread: no queue, no worker —
+  // Add applies the tree synchronously on the (single) producer thread.
+  bool inline_mode = false;
+  size_t worker_batch = 32;
   bool finished = false;
   bool resumed = false;
 };
@@ -55,22 +60,39 @@ Result<ParallelIngester> ParallelIngester::Create(
         GlobalMetrics().GetCounter("ingest.shard_trees." +
                                    std::to_string(t))));
   }
+  state->worker_batch =
+      ingest_options.worker_batch == 0 ? 1 : ingest_options.worker_batch;
+  if (ingest_options.num_threads == 1 &&
+      ingest_options.inline_single_thread) {
+    // The degenerate pipeline is just serial ingestion; spawning a
+    // worker would only add a queue hand-off per tree between two
+    // threads doing strictly sequential work.
+    state->inline_mode = true;
+    return ParallelIngester(std::move(state));
+  }
   int shard_id = -1;
   for (auto& shard : state->shards) {
     ++shard_id;
     Shard* raw = shard.get();
     BoundedTreeQueue* queue = &state->queue;
-    raw->worker = std::thread([raw, queue, shard_id] {
+    const size_t batch_size = state->worker_batch;
+    raw->worker = std::thread([raw, queue, shard_id, batch_size] {
       TraceRecorder::Global().SetThreadName("shard-" +
                                             std::to_string(shard_id));
-      while (std::optional<LabeledTree> tree = queue->Pop()) {
-        uint64_t patterns = raw->sketch.Update(*tree);
-        // Release pairs with the acquire in SnapshotShards' drain loop:
-        // once the snapshotting thread observes this increment, the
-        // Update above is visible too.
-        raw->trees.fetch_add(1, std::memory_order_release);
-        raw->patterns.fetch_add(patterns, std::memory_order_relaxed);
-        raw->trees_metric->Increment();
+      std::vector<LabeledTree> batch;
+      batch.reserve(batch_size);
+      while (queue->PopBatch(&batch, batch_size)) {
+        for (LabeledTree& tree : batch) {
+          uint64_t patterns = raw->sketch.Update(tree);
+          // Release pairs with the acquire in SnapshotShards' drain
+          // loop: once the snapshotting thread observes this increment,
+          // the Update above is visible too. Per-tree (not per-batch) so
+          // a snapshot never waits on a half-applied batch's worth of
+          // slack.
+          raw->trees.fetch_add(1, std::memory_order_release);
+          raw->patterns.fetch_add(patterns, std::memory_order_relaxed);
+          raw->trees_metric->Increment();
+        }
       }
     });
   }
@@ -96,13 +118,51 @@ Status ParallelIngester::Add(LabeledTree tree) {
   if (state_->finished) {
     return Status::InvalidArgument("Add after Finish");
   }
+  if (state_->inline_mode) {
+    ApplyInline(tree);
+    state_->trees_enqueued.fetch_add(1, std::memory_order_relaxed);
+    GlobalMetrics().GetCounter("ingest.trees_enqueued")->Increment();
+    return Status::OK();
+  }
   if (!state_->queue.Push(std::move(tree))) {
-    ++state_->rejected_adds;
+    state_->rejected_adds.fetch_add(1, std::memory_order_relaxed);
     return Status::Internal("ingest queue closed while adding");
   }
-  ++state_->trees_enqueued;
+  state_->trees_enqueued.fetch_add(1, std::memory_order_relaxed);
   GlobalMetrics().GetCounter("ingest.trees_enqueued")->Increment();
   return Status::OK();
+}
+
+Status ParallelIngester::AddBatch(std::vector<LabeledTree>* trees) {
+  if (state_->finished) {
+    return Status::InvalidArgument("AddBatch after Finish");
+  }
+  const size_t total = trees->size();
+  if (total == 0) return Status::OK();
+  if (state_->inline_mode) {
+    for (LabeledTree& tree : *trees) ApplyInline(tree);
+    trees->clear();
+    state_->trees_enqueued.fetch_add(total, std::memory_order_relaxed);
+    GlobalMetrics().GetCounter("ingest.trees_enqueued")->Increment(total);
+    return Status::OK();
+  }
+  const size_t pushed = state_->queue.PushBatch(trees);
+  state_->trees_enqueued.fetch_add(pushed, std::memory_order_relaxed);
+  GlobalMetrics().GetCounter("ingest.trees_enqueued")->Increment(pushed);
+  if (pushed < total) {
+    state_->rejected_adds.fetch_add(total - pushed,
+                                    std::memory_order_relaxed);
+    return Status::Internal("ingest queue closed while adding batch");
+  }
+  return Status::OK();
+}
+
+void ParallelIngester::ApplyInline(const LabeledTree& tree) {
+  Shard& shard = *state_->shards[0];
+  uint64_t patterns = shard.sketch.Update(tree);
+  shard.trees.fetch_add(1, std::memory_order_release);
+  shard.patterns.fetch_add(patterns, std::memory_order_relaxed);
+  shard.trees_metric->Increment();
 }
 
 Status ParallelIngester::IngestAll(const TreeSource& source,
@@ -146,7 +206,7 @@ Status ParallelIngester::ResumeFrom(
   if (state_->resumed) {
     return Status::InvalidArgument("ResumeFrom called twice");
   }
-  if (state_->trees_enqueued != 0) {
+  if (state_->trees_enqueued.load(std::memory_order_relaxed) != 0) {
     return Status::InvalidArgument(
         "ResumeFrom must precede the first Add");
   }
@@ -179,14 +239,16 @@ Result<std::vector<std::string>> ParallelIngester::SnapshotShards() {
   // pair with the workers' release increments, making each shard's last
   // Update visible before we serialize it; afterwards the workers sit
   // blocked in Pop and do not touch their sketches.
+  const uint64_t enqueued =
+      state_->trees_enqueued.load(std::memory_order_relaxed);
   uint64_t applied = 0;
   do {
     applied = 0;
     for (const auto& shard : state_->shards) {
       applied += shard->trees.load(std::memory_order_acquire);
     }
-    if (applied < state_->trees_enqueued) std::this_thread::yield();
-  } while (applied < state_->trees_enqueued);
+    if (applied < enqueued) std::this_thread::yield();
+  } while (applied < enqueued);
   std::vector<std::string> snapshots;
   snapshots.reserve(state_->shards.size());
   for (const auto& shard : state_->shards) {
@@ -201,22 +263,28 @@ Result<SketchTree> ParallelIngester::Finish() {
   }
   state_->finished = true;
   state_->queue.Close();
-  for (auto& shard : state_->shards) shard->worker.join();
+  for (auto& shard : state_->shards) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
   // Reconcile before merging: every enqueued tree must have reached
   // exactly one shard's SketchTree::Update. A mismatch (or an Add the
   // queue rejected) means part of the stream was dropped and the
   // combined synopsis would silently under-count.
-  if (state_->rejected_adds > 0) {
+  const uint64_t rejected =
+      state_->rejected_adds.load(std::memory_order_relaxed);
+  if (rejected > 0) {
     return Status::Internal(
-        std::to_string(state_->rejected_adds) +
+        std::to_string(rejected) +
         " Add call(s) were rejected by a closed queue; the stream is "
         "incomplete");
   }
+  const uint64_t enqueued =
+      state_->trees_enqueued.load(std::memory_order_relaxed);
   uint64_t ingested = trees_ingested();
-  if (ingested != state_->trees_enqueued) {
+  if (ingested != enqueued) {
     return Status::Internal(
         "ingest reconciliation failed: enqueued " +
-        std::to_string(state_->trees_enqueued) + " trees but workers "
+        std::to_string(enqueued) + " trees but workers "
         "ingested " + std::to_string(ingested));
   }
   SketchTree combined = std::move(state_->shards[0]->sketch);
@@ -231,7 +299,7 @@ int ParallelIngester::num_threads() const {
 }
 
 uint64_t ParallelIngester::trees_enqueued() const {
-  return state_->trees_enqueued;
+  return state_->trees_enqueued.load(std::memory_order_relaxed);
 }
 
 uint64_t ParallelIngester::trees_ingested() const {

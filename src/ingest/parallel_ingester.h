@@ -24,11 +24,23 @@ struct ShardIngestStats {
 /// Configuration of the sharded ingestion pipeline.
 struct ParallelIngestOptions {
   /// Worker threads, each owning one SketchTree replica. 1 still runs
-  /// the queue + worker machinery (useful for pipelining parse and
-  /// sketch work onto two cores).
+  /// the queue + worker machinery when `inline_single_thread` is off
+  /// (useful for pipelining parse and sketch work onto two cores).
   int num_threads = 4;
   /// Bound of the tree hand-off queue; back-pressure for the producer.
   size_t queue_capacity = 256;
+  /// With num_threads == 1, skip the queue and worker thread entirely:
+  /// Add/AddBatch apply each tree synchronously on the calling thread,
+  /// eliminating the hand-off overhead that made a 1-thread pipeline
+  /// slower than plain serial ingestion. Only valid with a single
+  /// producer thread (there is no queue to serialize concurrent Adds);
+  /// a multi-producer front end such as the parse pool must turn this
+  /// off. Ignored when num_threads > 1.
+  bool inline_single_thread = true;
+  /// Trees a worker pulls per queue lock acquisition. Larger batches cut
+  /// hand-off contention; the snapshot drain still waits on per-tree
+  /// counters, so consistency cuts are unaffected.
+  size_t worker_batch = 32;
 };
 
 /// Retry discipline for transient tree-source failures in IngestAll.
@@ -81,8 +93,16 @@ class ParallelIngester {
   ParallelIngester& operator=(const ParallelIngester&) = delete;
 
   /// Enqueues one stream tree; blocks while the queue is full. Fails
-  /// once Finish has been called.
+  /// once Finish has been called. Safe to call from multiple producer
+  /// threads concurrently (except in the inline single-thread mode, see
+  /// ParallelIngestOptions::inline_single_thread).
   Status Add(LabeledTree tree);
+
+  /// Enqueues a whole batch under one queue lock acquisition — the
+  /// producer-side counterpart of `worker_batch`, used by the parallel
+  /// parse front end to amortize hand-off costs. Consumes `*trees`
+  /// (left empty). Same concurrency contract as Add.
+  Status AddBatch(std::vector<LabeledTree>* trees);
 
   /// Pulls trees from `source` until it signals end of stream, Adding
   /// each. Transient (IOError) pulls are retried with exponential
@@ -132,6 +152,10 @@ class ParallelIngester {
   struct State;
 
   explicit ParallelIngester(std::unique_ptr<State> state);
+
+  /// Inline single-thread mode: apply one tree to shard 0 on the calling
+  /// thread, with the same accounting the worker loop performs.
+  void ApplyInline(const LabeledTree& tree);
 
   std::unique_ptr<State> state_;
 };

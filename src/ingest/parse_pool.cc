@@ -1,0 +1,164 @@
+#include "ingest/parse_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "metrics/metrics.h"
+#include "trace/trace.h"
+#include "xml/forest_splitter.h"
+
+namespace sketchtree {
+
+namespace {
+
+/// One stream tree awaiting parse: which document it lives in, its byte
+/// range there, and its ordinal in the combined stream (document order,
+/// documents in `paths` order) — the ordinal quarantine records report.
+struct WorkItem {
+  size_t document = 0;
+  ForestSlice slice;
+  uint64_t tree_index = 0;
+};
+
+/// Trees a thread claims per fetch of the shared cursor: large enough
+/// that the atomic is off the hot path, small enough that the tail of
+/// the work list still balances across threads.
+constexpr size_t kClaimChunk = 16;
+
+}  // namespace
+
+Status ParseForestFilesParallel(const std::vector<std::string>& paths,
+                                const ParsePoolOptions& options,
+                                ParallelIngester* ingester,
+                                ParsePoolStats* stats) {
+  if (options.num_threads < 1 || options.num_threads > 256) {
+    return Status::InvalidArgument("parse threads must be in [1, 256]");
+  }
+  if (paths.empty()) {
+    return Status::InvalidArgument("no input documents");
+  }
+
+  // Phase 1 (serial): load each document and scan it into per-tree byte
+  // ranges. The scan is a single cheap pass; all parse work fans out.
+  std::vector<std::string> documents;
+  documents.reserve(paths.size());
+  std::vector<WorkItem> work;
+  uint64_t next_tree_index = 0;
+  for (size_t d = 0; d < paths.size(); ++d) {
+    SKETCHTREE_ASSIGN_OR_RETURN(std::string xml,
+                                ReadFileToString(paths[d]));
+    // xml.bytes is counted by XmlToTree per slice (the wrapper element's
+    // own bytes are the only ones not attributed); stats->bytes reports
+    // whole documents.
+    if (stats != nullptr) stats->bytes += xml.size();
+    Result<std::vector<ForestSlice>> slices = SplitXmlForest(xml);
+    if (!slices.ok()) {
+      GlobalMetrics().GetCounter("xml.parse_errors")->Increment();
+      return Status::InvalidArgument(paths[d] + ": " +
+                                     slices.status().message());
+    }
+    documents.push_back(std::move(xml));
+    for (const ForestSlice& slice : *slices) {
+      work.push_back({d, slice, next_tree_index++});
+    }
+  }
+  if (stats != nullptr) stats->documents += documents.size();
+  GlobalMetrics().GetGauge("ingest.parse_threads")
+      ->Set(options.num_threads);
+
+  // Phase 2 (parallel): threads claim chunks of the work list, parse
+  // each slice as a standalone document, and batch trees into the
+  // ingester. Claiming by atomic cursor keeps assignment dynamic — a
+  // thread stuck on a pathological tree does not strand its neighbors'
+  // work the way static striping would.
+  std::atomic<size_t> cursor{0};
+  std::atomic<bool> abort{false};
+  std::atomic<uint64_t> parsed{0};
+  std::atomic<uint64_t> quarantined{0};
+  std::mutex error_mu;
+  Status first_error;  // Guarded by error_mu.
+
+  auto record_error = [&](Status status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = std::move(status);
+    abort.store(true, std::memory_order_relaxed);
+  };
+
+  auto worker = [&](int thread_id) {
+    TraceRecorder::Global().SetThreadName("parse-" +
+                                          std::to_string(thread_id));
+    std::vector<LabeledTree> batch;
+    batch.reserve(options.batch_size);
+    auto flush = [&]() -> bool {
+      if (batch.empty()) return true;
+      parsed.fetch_add(batch.size(), std::memory_order_relaxed);
+      Status added = ingester->AddBatch(&batch);
+      if (!added.ok()) {
+        record_error(std::move(added));
+        return false;
+      }
+      return true;
+    };
+    while (!abort.load(std::memory_order_relaxed)) {
+      const size_t begin = cursor.fetch_add(kClaimChunk);
+      if (begin >= work.size()) break;
+      const size_t end = std::min(begin + kClaimChunk, work.size());
+      for (size_t i = begin; i < end; ++i) {
+        if (abort.load(std::memory_order_relaxed)) break;
+        const WorkItem& item = work[i];
+        std::string_view slice =
+            std::string_view(documents[item.document])
+                .substr(item.slice.begin,
+                        item.slice.end - item.slice.begin);
+        Result<LabeledTree> tree =
+            XmlToTree(slice, options.tree_options);
+        if (!tree.ok()) {
+          if (options.fail_fast) {
+            record_error(Status::InvalidArgument(
+                paths[item.document] + ": tree " +
+                std::to_string(item.tree_index) + ": " +
+                tree.status().message()));
+            break;
+          }
+          quarantined.fetch_add(1, std::memory_order_relaxed);
+          if (options.quarantine != nullptr) {
+            options.quarantine->Record(item.tree_index, item.slice.begin,
+                                       tree.status());
+          } else {
+            GlobalMetrics().GetCounter("ingest.quarantined_trees")
+                ->Increment();
+          }
+          continue;
+        }
+        GlobalMetrics().GetCounter("xml.trees")->Increment();
+        batch.push_back(std::move(tree).value());
+        if (batch.size() >= options.batch_size && !flush()) break;
+      }
+    }
+    flush();
+  };
+
+  {
+    TRACE_SPAN("parse.pool");
+    std::vector<std::thread> threads;
+    threads.reserve(options.num_threads);
+    for (int t = 0; t < options.num_threads; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  if (stats != nullptr) {
+    stats->trees_parsed += parsed.load(std::memory_order_relaxed);
+    stats->trees_quarantined +=
+        quarantined.load(std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(error_mu);
+  return first_error;
+}
+
+}  // namespace sketchtree

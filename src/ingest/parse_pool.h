@@ -1,0 +1,70 @@
+#ifndef SKETCHTREE_INGEST_PARSE_POOL_H_
+#define SKETCHTREE_INGEST_PARSE_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ingest/parallel_ingester.h"
+#include "ingest/quarantine.h"
+#include "xml/xml_tree_reader.h"
+
+namespace sketchtree {
+
+/// Configuration of the parallel parse front end.
+struct ParsePoolOptions {
+  /// Parser threads. Each claims stream trees from the shared work list
+  /// and runs a full SAX parse per tree.
+  int num_threads = 2;
+  XmlTreeOptions tree_options;
+  /// true: the first malformed stream tree aborts the whole ingest.
+  /// false: malformed trees are quarantined and parsing continues.
+  bool fail_fast = true;
+  /// Receives quarantined trees when fail_fast is false; may be null
+  /// (offenders are then only counted in metrics). QuarantineSink is
+  /// internally locked, so one sink serves all parser threads.
+  QuarantineSink* quarantine = nullptr;
+  /// Parsed trees a thread accumulates before one AddBatch hand-off.
+  size_t batch_size = 64;
+};
+
+/// Accounting output of ParseForestFilesParallel.
+struct ParsePoolStats {
+  uint64_t trees_parsed = 0;       ///< Handed to the ingester.
+  uint64_t trees_quarantined = 0;  ///< Malformed, stream continued.
+  uint64_t documents = 0;          ///< Forest files consumed.
+  uint64_t bytes = 0;              ///< XML bytes consumed.
+};
+
+/// Parallel parse front end: ingests one or more forest documents
+/// through `num_threads` concurrent SAX parsers. Each document is first
+/// split into per-tree byte ranges (SplitXmlForest — one cheap
+/// structural scan), then parser threads claim trees from the combined
+/// work list, parse each slice with XmlToTree, and hand finished trees
+/// to the ingester in batches.
+///
+/// Trees reach the ingester in a nondeterministic order, but the
+/// combined synopsis is bit-identical to a serial build of the same
+/// documents: ±1 updates keep every counter an exactly-representable
+/// integer, so counter sums are associative exactly — the same argument
+/// that makes shard merging exact (see ParallelIngester). Top-k
+/// tracking is order-sensitive; callers that enable it get the same
+/// caveat as sharded ingestion.
+///
+/// The ingester must accept concurrent producers: with
+/// --parse-threads > 1 it must NOT be in inline single-thread mode
+/// (ParallelIngestOptions::inline_single_thread = false).
+///
+/// Incompatible with the resume cursor and byte-offset checkpointing of
+/// StreamXmlForestEx — quarantine records carry each tree's stream
+/// ordinal and document byte offset, but there is no monotone commit
+/// prefix to checkpoint. The CLI enforces that separation.
+Status ParseForestFilesParallel(const std::vector<std::string>& paths,
+                                const ParsePoolOptions& options,
+                                ParallelIngester* ingester,
+                                ParsePoolStats* stats = nullptr);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_INGEST_PARSE_POOL_H_

@@ -1,5 +1,6 @@
 #include "ingest/tree_queue.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -65,6 +66,45 @@ bool BoundedTreeQueue::Push(LabeledTree tree) {
   return true;
 }
 
+size_t BoundedTreeQueue::PushBatch(std::vector<LabeledTree>* trees) {
+  uint64_t stall_ms = 0;
+  if (FaultInjector::Global().ShouldFire(FaultSite::kQueueStall,
+                                         &stall_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+  size_t pushed = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (pushed < trees->size()) {
+    if (!closed_ && items_.size() >= capacity_) {
+      TRACE_SPAN("queue.push_wait");
+      WallTimer blocked;
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      Metrics().push_block_us->Observe(
+          static_cast<uint64_t>(blocked.ElapsedSeconds() * 1e6));
+    }
+    if (closed_) break;
+    // One capacity-sized gulp per wakeup. Consumers must learn about
+    // the gulp *before* this producer blocks for room again — with a
+    // batch larger than the queue, deferring the notify past the loop
+    // would leave producer and consumers asleep waiting on each other.
+    const size_t before = items_.size();
+    while (pushed < trees->size() && items_.size() < capacity_) {
+      items_.push_back(std::move((*trees)[pushed]));
+      ++pushed;
+    }
+    if (items_.size() > before) not_empty_.notify_all();
+  }
+  if (pushed < trees->size()) {
+    Metrics().rejected_pushes->Increment(trees->size() - pushed);
+  }
+  Metrics().depth->Set(static_cast<int64_t>(items_.size()));
+  TRACE_COUNTER("queue.depth", static_cast<int64_t>(items_.size()));
+  lock.unlock();
+  trees->clear();
+  return pushed;
+}
+
 std::optional<LabeledTree> BoundedTreeQueue::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
   if (!closed_ && items_.empty()) {
@@ -80,6 +120,28 @@ std::optional<LabeledTree> BoundedTreeQueue::Pop() {
   lock.unlock();
   not_full_.notify_one();
   return tree;
+}
+
+bool BoundedTreeQueue::PopBatch(std::vector<LabeledTree>* out,
+                                size_t max_trees) {
+  out->clear();
+  if (max_trees == 0) max_trees = 1;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!closed_ && items_.empty()) {
+    TRACE_SPAN("queue.pop_wait");
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  }
+  if (items_.empty()) return false;  // Closed and drained.
+  const size_t take = std::min(max_trees, items_.size());
+  for (size_t i = 0; i < take; ++i) {
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+  }
+  Metrics().depth->Set(static_cast<int64_t>(items_.size()));
+  lock.unlock();
+  // A batch removal may free room for several blocked producers.
+  not_full_.notify_all();
+  return true;
 }
 
 void BoundedTreeQueue::Close() {

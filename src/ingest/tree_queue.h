@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "tree/labeled_tree.h"
 
@@ -26,10 +27,26 @@ class BoundedTreeQueue {
   /// (dropping the tree) if the queue was closed.
   bool Push(LabeledTree tree);
 
+  /// Enqueues a whole batch, amortizing the lock/condvar hand-off that
+  /// dominates per-tree Push under contention (the `ingest.push_block_us`
+  /// p90 this exists to cut). Blocks whenever the queue is full and
+  /// drains the batch in capacity-sized gulps, so a batch larger than
+  /// the queue still respects the bound. Returns the number of trees
+  /// actually enqueued — short only if the queue was closed mid-batch,
+  /// in which case the remainder is dropped (and counted rejected).
+  size_t PushBatch(std::vector<LabeledTree>* trees);
+
   /// Dequeues one tree, blocking while the queue is empty. Returns
   /// nullopt once the queue is closed *and* drained — the consumer's
   /// end-of-stream signal.
   std::optional<LabeledTree> Pop();
+
+  /// Dequeues up to `max_trees` in one lock acquisition, blocking while
+  /// the queue is empty. Appends to `*out` (which is cleared first) and
+  /// returns true; returns false — with `*out` empty — once the queue is
+  /// closed and drained. Takes whatever is available without waiting for
+  /// a full batch, so consumers never add latency to a trickling stream.
+  bool PopBatch(std::vector<LabeledTree>* out, size_t max_trees);
 
   /// Marks the end of the stream and wakes every blocked producer and
   /// consumer. Trees already queued are still delivered.

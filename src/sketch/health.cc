@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "metrics/metrics.h"
+#include "sketch/kernel_dispatch.h"
 
 namespace sketchtree {
 
@@ -43,6 +44,9 @@ SketchHealthReport ComputeSketchHealth(const SketchTree& sketch) {
   report.values_inserted = streams.values_inserted();
   report.over_deletions = streams.over_deletions();
   report.memory_bytes = streams.MemoryBytes();
+  // Also refreshes the "sketch.kernel_dispatch" gauge as a side effect
+  // of resolving the kernel.
+  report.kernel_dispatch = SketchKernelName(ActiveSketchKernel());
   SketchTreeStats stats = sketch.Stats();
   report.tracked_patterns = stats.tracked_patterns;
 
@@ -176,6 +180,9 @@ std::string SketchHealthReport::ToText() const {
                 static_cast<unsigned long long>(tracked_patterns));
   out += line;
   std::snprintf(line, sizeof line,
+                "  kernel dispatch   %s\n", kernel_dispatch.c_str());
+  out += line;
+  std::snprintf(line, sizeof line,
                 "  occupancy         counters %.2f%%, virtual streams "
                 "%.2f%%\n",
                 counter_occupancy * 100.0, stream_occupancy * 100.0);
@@ -215,11 +222,13 @@ std::string SketchHealthReport::ToJson() const {
   std::snprintf(line, sizeof line,
                 "  \"abs_error_scale\": %.17g,\n"
                 "  \"counter_occupancy\": %.17g,\n"
+                "  \"kernel_dispatch\": \"%s\",\n"
                 "  \"memory_bytes\": %llu,\n"
                 "  \"min_reliable_frequency\": %.17g,\n"
                 "  \"num_streams\": %u,\n"
                 "  \"over_deletions\": %llu,\n",
                 abs_error_scale, counter_occupancy,
+                kernel_dispatch.c_str(),
                 static_cast<unsigned long long>(memory_bytes),
                 min_reliable_frequency, num_streams,
                 static_cast<unsigned long long>(over_deletions));

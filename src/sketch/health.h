@@ -46,6 +46,11 @@ struct SketchHealthReport {
   uint64_t over_deletions = 0;
   uint64_t tracked_patterns = 0;  ///< Top-k entries across streams.
   uint64_t memory_bytes = 0;
+  /// Sketch-update kernel the dispatcher resolves on this host
+  /// ("scalar" or "avx2") — which code path builds and serves this
+  /// synopsis. Counters are bit-identical either way (differential-
+  /// tested); the field names the path for performance triage.
+  std::string kernel_dispatch;
 
   std::vector<RowHealth> rows;  ///< One entry per row i, in order.
 

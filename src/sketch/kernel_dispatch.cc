@@ -1,0 +1,103 @@
+#include "sketch/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "metrics/metrics.h"
+
+namespace sketchtree {
+namespace {
+
+// Three-state cache for the override: kUnset means "no override, use the
+// env/CPU default". Values >= 0 are the pinned SketchKernel.
+constexpr int kUnset = -1;
+std::atomic<int> g_override{kUnset};
+
+void PublishDispatchGauge(SketchKernel kernel) {
+  GlobalMetrics().GetGauge("sketch.kernel_dispatch")
+      ->Set(static_cast<int64_t>(kernel));
+}
+
+bool EnvFlagSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] == '1' && value[1] == '\0';
+}
+
+// Env + CPU resolution, run once per process (the environment cannot
+// change under us, and probing cpuid per UpdateBatch call would cost more
+// than the kernel itself on small batches).
+SketchKernel ResolveDefaultKernel() {
+  if (EnvFlagSet("SKETCHTREE_FORCE_SCALAR")) return SketchKernel::kScalar;
+  if (const char* requested = std::getenv("SKETCHTREE_KERNEL")) {
+    if (std::strcmp(requested, "scalar") == 0) return SketchKernel::kScalar;
+    if (std::strcmp(requested, "avx2") == 0) {
+      if (Avx2KernelAvailable()) return SketchKernel::kAvx2;
+      std::fprintf(stderr,
+                   "sketchtree: SKETCHTREE_KERNEL=avx2 but the AVX2 kernel "
+                   "is unavailable on this host; using scalar\n");
+      return SketchKernel::kScalar;
+    }
+    std::fprintf(stderr,
+                 "sketchtree: unknown SKETCHTREE_KERNEL value \"%s\" "
+                 "(expected scalar|avx2); using auto-detection\n",
+                 requested);
+  }
+  return Avx2KernelAvailable() ? SketchKernel::kAvx2 : SketchKernel::kScalar;
+}
+
+}  // namespace
+
+const char* SketchKernelName(SketchKernel kernel) {
+  switch (kernel) {
+    case SketchKernel::kScalar:
+      return "scalar";
+    case SketchKernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool Avx2KernelAvailable() {
+#if defined(SKETCHTREE_HAVE_AVX2_KERNEL) && defined(__GNUC__) && \
+    defined(__x86_64__)
+  static const bool available = __builtin_cpu_supports("avx2");
+  return available;
+#else
+  return false;
+#endif
+}
+
+SketchKernel ActiveSketchKernel() {
+  const int pinned = g_override.load(std::memory_order_relaxed);
+  if (pinned != kUnset) return static_cast<SketchKernel>(pinned);
+  static const SketchKernel resolved = [] {
+    SketchKernel kernel = ResolveDefaultKernel();
+    PublishDispatchGauge(kernel);
+    return kernel;
+  }();
+  // Re-publish on every resolution after an override is cleared, so the
+  // gauge always names the kernel currently in effect (a cleared override
+  // would otherwise leave the pinned kernel's value behind).
+  PublishDispatchGauge(resolved);
+  return resolved;
+}
+
+Status SetSketchKernelOverride(std::optional<SketchKernel> kernel) {
+  if (!kernel.has_value()) {
+    g_override.store(kUnset, std::memory_order_relaxed);
+    PublishDispatchGauge(ActiveSketchKernel());
+    return Status::OK();
+  }
+  if (*kernel == SketchKernel::kAvx2 && !Avx2KernelAvailable()) {
+    return Status::InvalidArgument(
+        "AVX2 sketch kernel unavailable on this host (not compiled in or "
+        "CPU lacks AVX2)");
+  }
+  g_override.store(static_cast<int>(*kernel), std::memory_order_relaxed);
+  PublishDispatchGauge(*kernel);
+  return Status::OK();
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,70 @@
+#ifndef SKETCHTREE_SKETCH_KERNEL_DISPATCH_H_
+#define SKETCHTREE_SKETCH_KERNEL_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Which implementation of the batched ±1 sketch-update kernel
+/// (SketchArray::UpdateBatch) the process uses. The kernels are
+/// bit-identical — counters receive exactly the same sequence of
+/// ±weight additions per instance — so dispatch is purely a
+/// performance decision, never a correctness one (asserted by the
+/// scalar-vs-SIMD differential tests).
+enum class SketchKernel : int {
+  kScalar = 0,  ///< Portable C++ (the PR-1 SoA batch loop).
+  kAvx2 = 1,    ///< 4-lane AVX2: vectorized Horner + MulMod(2^61-1).
+};
+
+/// Stable lowercase name ("scalar", "avx2") for logs, metrics labels,
+/// and the `inspect` report.
+const char* SketchKernelName(SketchKernel kernel);
+
+/// True iff this binary was built with the AVX2 kernel *and* the CPU
+/// executing right now supports AVX2. When false, dispatch always
+/// resolves to the scalar kernel.
+bool Avx2KernelAvailable();
+
+/// The kernel UpdateBatch dispatches to. Resolution order:
+///   1. a programmatic override (SetSketchKernelOverride);
+///   2. env SKETCHTREE_FORCE_SCALAR=1 — the operational kill switch;
+///   3. env SKETCHTREE_KERNEL=scalar|avx2 (avx2 falls back to scalar
+///      with a warning when unavailable);
+///   4. auto-detection: AVX2 when available, scalar otherwise.
+/// The environment is consulted once and cached; every resolution
+/// publishes the `sketch.kernel_dispatch` gauge (0 = scalar,
+/// 1 = avx2) so operators can see which kernel a running server
+/// selected.
+SketchKernel ActiveSketchKernel();
+
+/// Pins dispatch for tests and benches (pass nullopt to restore the
+/// env/CPU-derived default). Requesting kAvx2 on a host without the
+/// AVX2 kernel fails with InvalidArgument rather than silently running
+/// scalar — differential tests must know which kernel they measured.
+/// Not thread-safe against concurrent UpdateBatch calls; flip it only
+/// around quiescent sections.
+Status SetSketchKernelOverride(std::optional<SketchKernel> kernel);
+
+#ifdef SKETCHTREE_HAVE_AVX2_KERNEL
+namespace sketch_internal {
+
+/// The AVX2 kernel body (sketch_kernel_avx2.cc, compiled with -mavx2).
+/// Layout contract matches SketchArray: `coeffs` is coefficient-major
+/// (`coeffs[c * n + t]` = instance t's degree-c coefficient),
+/// `counters` is the n-instance counter plane. Applies every value in
+/// order, so per-counter addition order — and therefore every double —
+/// is identical to the scalar kernel.
+void UpdateBatchAvx2(const uint64_t* coeffs, size_t n, int independence,
+                     const uint64_t* values, size_t num_values,
+                     double weight, double* counters);
+
+}  // namespace sketch_internal
+#endif  // SKETCHTREE_HAVE_AVX2_KERNEL
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SKETCH_KERNEL_DISPATCH_H_

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/rng.h"
+#include "sketch/kernel_dispatch.h"
 
 namespace sketchtree {
 
@@ -31,6 +32,17 @@ void SketchArray::UpdateBatch(std::span<const uint64_t> values,
                               double weight) {
   constexpr uint64_t kPrime = KWiseHash::kPrime;
   const size_t n = num_instances();
+#ifdef SKETCHTREE_HAVE_AVX2_KERNEL
+  // The AVX2 kernel applies exactly the same per-counter add sequence as
+  // the scalar loop below (differential-tested), so dispatch never
+  // changes a counter bit.
+  if (ActiveSketchKernel() == SketchKernel::kAvx2) {
+    sketch_internal::UpdateBatchAvx2(coeffs_.data(), n, independence_,
+                                     values.data(), values.size(), weight,
+                                     counters_.data());
+    return;
+  }
+#endif
   uint64_t* acc = scratch_.data();
   double* counters = counters_.data();
   for (uint64_t v : values) {

@@ -1,0 +1,179 @@
+// AVX2 implementation of the batched ±1 sketch update (the UpdateBatch
+// hot loop): 4-lane Horner evaluation of the degree-(k-1) k-wise
+// polynomial over GF(2^61-1), branchless lane-wise MulMod, vectorized
+// sign extraction and counter accumulation.
+//
+// Bit-identity contract with the scalar kernel (sketch_array.cc): for
+// every counter, the same sequence of ±weight additions in the same
+// order. Both kernels walk values outermost and touch each counter
+// exactly once per value, and the final reduction below produces the
+// *canonical* residue in [0, p) — the same uint64_t the scalar Horner
+// loop ends on — so the xi signs agree bit for bit. (Intermediate
+// accumulators here are deliberately non-canonical; see the lazy
+// reduction note on HornerStepLazy4.)
+//
+// This file is the only translation unit compiled with -mavx2; nothing
+// here runs unless kernel_dispatch resolved to kAvx2 on a CPU that
+// reports AVX2 support.
+
+#include "sketch/kernel_dispatch.h"
+
+#ifdef SKETCHTREE_HAVE_AVX2_KERNEL
+
+#include <immintrin.h>
+
+#include "hashing/kwise.h"
+
+namespace sketchtree {
+namespace sketch_internal {
+namespace {
+
+constexpr uint64_t kPrime = KWiseHash::kPrime;  // 2^61 - 1.
+
+// One lazy Horner step acc' = acc * x + c (mod p, up to one multiple of
+// p) for four lanes. AVX2 has no 64x64 multiply, so the product is
+// assembled from 32x32->64 partials (_mm256_mul_epu32) and folded with
+// 2^61 ≡ 1 (mod p):
+//
+//   a*x = hh*2^64 + mid*2^32 + ll,   hh = aH*xH, mid = aH*xL + aL*xH,
+//                                    ll = aL*xL
+//   2^64 ≡ 2^3      → hh*2^64 ≡ hh << 3
+//   mid*2^32 ≡ (mid >> 29) + ((mid & (2^29-1)) << 32)
+//   ll ≡ (ll & p) + (ll >> 61)
+//
+// Lazy reduction: the result is NOT canonicalized per step — the
+// conditional-subtract pair that would pin each step into [0, p) sits on
+// the loop-carried dependency chain, and dropping it keeps the chain to
+// multiply + fold. Correctness only needs a bound, and the invariant
+// acc < 2^62 is self-sustaining:
+//
+//   acc < 2^62 → aH < 2^30, and x < 2^61 → xH < 2^29, so
+//   hh < 2^59          → hh << 3 < 2^62
+//   mid < 2^62 + 2^61  → no overflow in the partial add; mid >> 29 < 2^34
+//   five-term sum < 2^62 + 2^34 + 2^61 + 2^61 + 2^3 < 2^64   (no wrap)
+//   r = (sum & p) + (sum >> 61) < p + 5
+//   r + coeff < 2p + 5 < 2^62                                 (invariant)
+//
+// FinalReduce4 restores the canonical residue once, after the last row.
+inline __m256i HornerStepLazy4(__m256i acc, __m256i coeff, __m256i xl,
+                               __m256i xh, __m256i prime, __m256i mask29) {
+  const __m256i ah = _mm256_srli_epi64(acc, 32);
+  const __m256i ll = _mm256_mul_epu32(acc, xl);
+  const __m256i hl = _mm256_mul_epu32(ah, xl);
+  const __m256i lh = _mm256_mul_epu32(acc, xh);
+  const __m256i hh = _mm256_mul_epu32(ah, xh);
+  const __m256i mid = _mm256_add_epi64(hl, lh);
+  __m256i sum = _mm256_add_epi64(_mm256_slli_epi64(hh, 3),
+                                 _mm256_srli_epi64(mid, 29));
+  sum = _mm256_add_epi64(
+      sum, _mm256_slli_epi64(_mm256_and_si256(mid, mask29), 32));
+  sum = _mm256_add_epi64(sum, _mm256_and_si256(ll, prime));
+  sum = _mm256_add_epi64(sum, _mm256_srli_epi64(ll, 61));
+  const __m256i r = _mm256_add_epi64(_mm256_and_si256(sum, prime),
+                                     _mm256_srli_epi64(sum, 61));
+  return _mm256_add_epi64(r, coeff);
+}
+
+// Collapse a lazy accumulator (< 2^62) to the canonical residue in
+// [0, p): one fold lands in [0, p + 2), and values ≡ 0 (mod p) — 0, p,
+// and 2p — all fold to 0 or p, so a single masked subtract finishes.
+// Operands stay < 2^63, making the signed 64-bit compare exact.
+inline __m256i FinalReduce4(__m256i acc, __m256i prime,
+                            __m256i prime_minus_1) {
+  const __m256i r = _mm256_add_epi64(_mm256_and_si256(acc, prime),
+                                     _mm256_srli_epi64(acc, 61));
+  const __m256i over = _mm256_cmpgt_epi64(r, prime_minus_1);
+  return _mm256_sub_epi64(r, _mm256_and_si256(over, prime));
+}
+
+// ±weight from the low bit of four canonical hash values, added to four
+// counters: xi = +1 where (h & 1) == 1. The cmpeq mask is all-ones
+// (sign bit set) exactly on odd lanes, and _mm256_blendv_pd selects its
+// second operand where the mask's sign bit is set.
+inline void Accumulate4(__m256i h, __m256d wpos, __m256d wneg,
+                        double* counters) {
+  const __m256i odd = _mm256_cmpeq_epi64(
+      _mm256_and_si256(h, _mm256_set1_epi64x(1)), _mm256_set1_epi64x(1));
+  const __m256d delta =
+      _mm256_blendv_pd(wneg, wpos, _mm256_castsi256_pd(odd));
+  _mm256_storeu_pd(counters, _mm256_add_pd(_mm256_loadu_pd(counters), delta));
+}
+
+inline __m256i Load4(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+}  // namespace
+
+void UpdateBatchAvx2(const uint64_t* coeffs, size_t n, int independence,
+                     const uint64_t* values, size_t num_values,
+                     double weight, double* counters) {
+  const __m256i prime = _mm256_set1_epi64x(static_cast<int64_t>(kPrime));
+  const __m256i prime_minus_1 =
+      _mm256_set1_epi64x(static_cast<int64_t>(kPrime - 1));
+  const __m256i mask29 = _mm256_set1_epi64x((1LL << 29) - 1);
+  const __m256d wpos = _mm256_set1_pd(weight);
+  const __m256d wneg = _mm256_set1_pd(-weight);
+  const uint64_t* top =
+      coeffs + static_cast<size_t>(independence - 1) * n;
+
+  for (size_t vi = 0; vi < num_values; ++vi) {
+    const uint64_t x = values[vi] % kPrime;
+    const __m256i xl =
+        _mm256_set1_epi64x(static_cast<int64_t>(x & 0xFFFFFFFFu));
+    const __m256i xh = _mm256_set1_epi64x(static_cast<int64_t>(x >> 32));
+
+    size_t t = 0;
+    // Four independent 4-lane Horner chains per iteration: each chain is
+    // latency-bound across coefficient rows (the next step's multiply
+    // needs the previous step's fold), so interleaving keeps the
+    // multiply ports busy while the other chains' folds retire.
+    for (; t + 16 <= n; t += 16) {
+      __m256i a0 = Load4(top + t);
+      __m256i a1 = Load4(top + t + 4);
+      __m256i a2 = Load4(top + t + 8);
+      __m256i a3 = Load4(top + t + 12);
+      for (int c = independence - 2; c >= 0; --c) {
+        const uint64_t* row = coeffs + static_cast<size_t>(c) * n;
+        a0 = HornerStepLazy4(a0, Load4(row + t), xl, xh, prime, mask29);
+        a1 = HornerStepLazy4(a1, Load4(row + t + 4), xl, xh, prime, mask29);
+        a2 = HornerStepLazy4(a2, Load4(row + t + 8), xl, xh, prime, mask29);
+        a3 = HornerStepLazy4(a3, Load4(row + t + 12), xl, xh, prime, mask29);
+      }
+      Accumulate4(FinalReduce4(a0, prime, prime_minus_1), wpos, wneg,
+                  counters + t);
+      Accumulate4(FinalReduce4(a1, prime, prime_minus_1), wpos, wneg,
+                  counters + t + 4);
+      Accumulate4(FinalReduce4(a2, prime, prime_minus_1), wpos, wneg,
+                  counters + t + 8);
+      Accumulate4(FinalReduce4(a3, prime, prime_minus_1), wpos, wneg,
+                  counters + t + 12);
+    }
+    for (; t + 4 <= n; t += 4) {
+      __m256i acc = Load4(top + t);
+      for (int c = independence - 2; c >= 0; --c) {
+        const uint64_t* row = coeffs + static_cast<size_t>(c) * n;
+        acc = HornerStepLazy4(acc, Load4(row + t), xl, xh, prime, mask29);
+      }
+      Accumulate4(FinalReduce4(acc, prime, prime_minus_1), wpos, wneg,
+                  counters + t);
+    }
+    // Scalar tail for the last n % 4 instances, identical to the scalar
+    // kernel's arithmetic.
+    for (; t < n; ++t) {
+      uint64_t acc = top[t];
+      for (int c = independence - 2; c >= 0; --c) {
+        uint64_t a = kwise_internal::MulMod(acc, x);
+        a += coeffs[static_cast<size_t>(c) * n + t];
+        if (a >= kPrime) a -= kPrime;
+        acc = a;
+      }
+      counters[t] += (acc & 1) ? weight : -weight;
+    }
+  }
+}
+
+}  // namespace sketch_internal
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_HAVE_AVX2_KERNEL

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <utility>
 
 #include "common/timer.h"
 
@@ -184,6 +186,56 @@ std::string TraceRecorder::ToJson() const {
                 dropped);
   json += line;
   return json;
+}
+
+std::vector<SpanAggregate> TraceRecorder::AggregateSpans() const {
+  std::vector<const ThreadBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers.reserve(buffers_.size());
+    for (const auto& buffer : buffers_) buffers.push_back(buffer.get());
+  }
+  std::map<std::string, SpanAggregate> totals;
+  for (const ThreadBuffer* buffer : buffers) {
+    std::vector<const Chunk*> chunks;
+    {
+      std::lock_guard<std::mutex> lock(buffer->chunks_mu);
+      chunks.reserve(buffer->chunks.size());
+      for (const auto& chunk : buffer->chunks) chunks.push_back(chunk.get());
+    }
+    // Begin events of this thread's currently-open spans, innermost on
+    // top — the order TraceSpan destructors close them in.
+    std::vector<std::pair<const char*, uint64_t>> open;
+    for (const Chunk* chunk : chunks) {
+      size_t count = chunk->count.load(std::memory_order_acquire);
+      for (size_t e = 0; e < count; ++e) {
+        const TraceEvent& event = chunk->events[e];
+        if (event.phase == TracePhase::kBegin) {
+          open.emplace_back(event.name, event.ts_ns);
+          continue;
+        }
+        if (event.phase != TracePhase::kEnd) continue;
+        // An end without a matching open begin means the begin was
+        // dropped (buffer cap) or predates a Reset(); skip it rather
+        // than corrupting the pairing of outer spans. Matching by name
+        // tolerates those holes at the cost of attributing a recursive
+        // span's time to its innermost frame — fine for a rollup.
+        for (size_t s = open.size(); s-- > 0;) {
+          if (open[s].first != event.name) continue;
+          SpanAggregate& agg = totals[event.name];
+          if (agg.name.empty()) agg.name = event.name;
+          agg.count += 1;
+          agg.total_ns += event.ts_ns - open[s].second;
+          open.erase(open.begin() + static_cast<ptrdiff_t>(s));
+          break;
+        }
+      }
+    }
+  }
+  std::vector<SpanAggregate> result;
+  result.reserve(totals.size());
+  for (auto& entry : totals) result.push_back(std::move(entry.second));
+  return result;
 }
 
 Status TraceRecorder::WriteJson(const std::string& path) const {

@@ -52,6 +52,15 @@ struct TraceEvent {
   int64_t value;   // Counter sample; unused otherwise.
 };
 
+/// Wall-time rollup of one span name across every thread's buffer —
+/// the per-stage attribution `bench_ingest_throughput` reports without
+/// anyone loading a trace viewer.
+struct SpanAggregate {
+  std::string name;
+  uint64_t count = 0;     ///< Completed begin/end pairs.
+  uint64_t total_ns = 0;  ///< Summed inclusive wall time of those pairs.
+};
+
 /// Process-wide trace collector. All recording goes through Global();
 /// the per-thread buffers register themselves on a thread's first event
 /// and live until Reset() (they survive thread exit so a finished
@@ -89,6 +98,15 @@ class TraceRecorder {
   /// ToJson() written to `path` (plain write; the trace is a diagnostic
   /// artifact, not durable state).
   Status WriteJson(const std::string& path) const;
+
+  /// Pairs each thread's begin/end events (innermost-first, the span
+  /// nesting discipline TRACE_SPAN guarantees) and sums inclusive wall
+  /// time per span name across all threads. Spans still open — or cut
+  /// short because Stop() raced their end — are skipped, as are end
+  /// events whose begin fell to the buffer cap. Sorted by name. Same
+  /// consistent-prefix guarantee as ToJson(), though the usual sequence
+  /// is Stop() then aggregate.
+  std::vector<SpanAggregate> AggregateSpans() const;
 
   /// Drops every buffered event (test/bench isolation). Requires
   /// quiescence: no thread may be recording concurrently — call after

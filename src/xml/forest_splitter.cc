@@ -1,0 +1,140 @@
+#include "xml/forest_splitter.h"
+
+#include <string>
+
+namespace sketchtree {
+
+namespace {
+
+Status ErrorAt(size_t offset, const std::string& message) {
+  return Status::InvalidArgument("XML split: " + message + " at byte " +
+                                 std::to_string(offset));
+}
+
+}  // namespace
+
+Result<std::vector<ForestSlice>> SplitXmlForest(std::string_view xml) {
+  std::vector<ForestSlice> slices;
+  size_t pos = 0;
+  int depth = 0;          // 0 = prolog/epilog, 1 = inside the wrapper root.
+  bool seen_root = false;
+  size_t tree_begin = 0;  // '<' of the current depth-1 subtree.
+
+  auto skip_until = [&](std::string_view terminator,
+                        const char* what) -> Status {
+    size_t found = xml.find(terminator, pos);
+    if (found == std::string_view::npos) {
+      return ErrorAt(pos, std::string("unterminated ") + what);
+    }
+    pos = found + terminator.size();
+    return Status::OK();
+  };
+
+  while (pos < xml.size()) {
+    if (xml[pos] != '<') {
+      ++pos;  // Text content; entity validity is the per-tree parse's job.
+      continue;
+    }
+    const size_t lt = pos;
+    if (xml.compare(pos, 4, "<!--") == 0) {
+      pos += 4;
+      SKETCHTREE_RETURN_NOT_OK(skip_until("-->", "comment"));
+      continue;
+    }
+    if (xml.compare(pos, 9, "<![CDATA[") == 0) {
+      pos += 9;
+      SKETCHTREE_RETURN_NOT_OK(skip_until("]]>", "CDATA section"));
+      continue;
+    }
+    if (xml.compare(pos, 2, "<?") == 0) {
+      pos += 2;
+      SKETCHTREE_RETURN_NOT_OK(
+          skip_until("?>", "processing instruction"));
+      continue;
+    }
+    if (xml.compare(pos, 2, "<!") == 0) {
+      // DOCTYPE, possibly with an internal subset in brackets — the same
+      // skip rule the SAX parser applies.
+      pos += 2;
+      int bracket_depth = 0;
+      bool closed = false;
+      while (pos < xml.size()) {
+        char c = xml[pos++];
+        if (c == '[') {
+          ++bracket_depth;
+        } else if (c == ']') {
+          --bracket_depth;
+        } else if (c == '>' && bracket_depth == 0) {
+          closed = true;
+          break;
+        }
+      }
+      if (!closed) return ErrorAt(lt, "unterminated '<!' declaration");
+      continue;
+    }
+    if (xml.compare(pos, 2, "</") == 0) {
+      pos += 2;
+      size_t gt = xml.find('>', pos);
+      if (gt == std::string_view::npos) {
+        return ErrorAt(lt, "unterminated end tag");
+      }
+      pos = gt + 1;
+      if (depth == 0) return ErrorAt(lt, "end tag outside the root");
+      --depth;
+      if (depth == 1) slices.push_back({tree_begin, pos});
+      continue;
+    }
+    // Start tag. Scan to its '>' skipping quoted attribute values, and
+    // note whether it is self-closing.
+    ++pos;
+    bool self_closing = false;
+    bool closed = false;
+    while (pos < xml.size()) {
+      char c = xml[pos];
+      if (c == '"' || c == '\'') {
+        size_t close_quote = xml.find(c, pos + 1);
+        if (close_quote == std::string_view::npos) {
+          return ErrorAt(pos, "unterminated attribute value");
+        }
+        pos = close_quote + 1;
+        continue;
+      }
+      if (c == '>') {
+        self_closing = pos > lt + 1 && xml[pos - 1] == '/';
+        ++pos;
+        closed = true;
+        break;
+      }
+      ++pos;
+    }
+    if (!closed) return ErrorAt(lt, "unterminated start tag");
+    if (depth == 0) {
+      if (seen_root) {
+        return ErrorAt(lt, "multiple root elements in forest document");
+      }
+      seen_root = true;
+      if (self_closing) continue;  // Empty forest: <root/>.
+      depth = 1;
+      continue;
+    }
+    if (depth == 1) {
+      tree_begin = lt;
+      if (self_closing) {
+        slices.push_back({lt, pos});
+        continue;
+      }
+    }
+    if (!self_closing) ++depth;
+  }
+  if (!seen_root) {
+    return Status::InvalidArgument("XML split: no root element");
+  }
+  if (depth != 0) {
+    return Status::InvalidArgument(
+        "XML split: truncated document (" + std::to_string(depth) +
+        " unclosed element(s))");
+  }
+  return slices;
+}
+
+}  // namespace sketchtree

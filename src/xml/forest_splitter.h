@@ -1,0 +1,44 @@
+#ifndef SKETCHTREE_XML_FOREST_SPLITTER_H_
+#define SKETCHTREE_XML_FOREST_SPLITTER_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Byte range [begin, end) of one stream tree — a direct child element
+/// of the forest document's wrapper root, from its '<' through the '>'
+/// of its closing (or self-closing) tag. The slice is a complete
+/// standalone XML document, parseable by XmlToTree in isolation.
+struct ForestSlice {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits a forest document into per-tree byte ranges without building
+/// any tree — the work-list producer for the parallel parse front end.
+/// One lightweight structural scan (tags, quoted attribute values,
+/// comments, CDATA, processing instructions, DOCTYPE with an internal
+/// subset) finds where each depth-1 subtree begins and ends; the
+/// expensive per-tree parsing then fans out across threads, each
+/// handing its slice to XmlToTree.
+///
+/// The scan checks only what it needs to delimit slices: tag nesting
+/// balance and document-level structure (exactly one root, input not
+/// truncated mid-tree). Malformed content *inside* a slice — mismatched
+/// tag names, bad entities — is deliberately left for the per-tree
+/// parse, where it can be quarantined per tree instead of failing the
+/// whole document. Errors returned here are document-level and
+/// correspond to the cases StreamXmlForest would also abort on.
+///
+/// Slices are returned in document order, so a slice's index in the
+/// vector is the tree's ordinal in the stream — the same ordinal the
+/// serial streamer reports to checkpoints and quarantine records.
+Result<std::vector<ForestSlice>> SplitXmlForest(std::string_view xml);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_XML_FOREST_SPLITTER_H_

@@ -1,0 +1,162 @@
+// SplitXmlForest — the structural scan the parallel parse front end
+// uses to carve a forest document into independently parseable per-tree
+// byte ranges. The invariants under test:
+//
+//  * slices exactly cover each root-child subtree, in document order
+//    (slice index == stream ordinal);
+//  * every slice, parsed standalone, yields the tree the serial
+//    XmlForestToTrees path yields at the same ordinal;
+//  * markup the SAX layer skips (comments, CDATA, PIs, DOCTYPE with an
+//    internal subset, quoted attribute values containing '>') never
+//    confuses the nesting scan;
+//  * document-level malformations are rejected with positioned errors,
+//    while *intra-tree* malformations (mismatched tag names) are left
+//    for the per-tree parse, so they stay quarantinable.
+#include "xml/forest_splitter.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tree/labeled_tree.h"
+#include "xml/xml_tree_reader.h"
+
+namespace sketchtree {
+namespace {
+
+std::vector<std::string> SliceStrings(std::string_view xml) {
+  Result<std::vector<ForestSlice>> slices = SplitXmlForest(xml);
+  EXPECT_TRUE(slices.ok()) << slices.status().ToString();
+  std::vector<std::string> out;
+  if (!slices.ok()) return out;
+  for (const ForestSlice& slice : *slices) {
+    out.emplace_back(xml.substr(slice.begin, slice.end - slice.begin));
+  }
+  return out;
+}
+
+TEST(ForestSplitterTest, SplitsForestIntoPerTreeRanges) {
+  std::vector<std::string> slices = SliceStrings(
+      "<forest><a><b/></a><c/><d>text</d></forest>");
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0], "<a><b/></a>");
+  EXPECT_EQ(slices[1], "<c/>");
+  EXPECT_EQ(slices[2], "<d>text</d>");
+}
+
+TEST(ForestSplitterTest, SlicesMatchSerialForestParse) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<forest>\n"
+      "  <S><NP><DT/><NN/></NP><VP><VBD/></VP></S>\n"
+      "  <S><NP attr=\"v\">word</NP></S>\n"
+      "  <SBARQ><WP/><SQ><VBZ/><NP><PRP/></NP></SQ></SBARQ>\n"
+      "</forest>\n";
+  Result<std::vector<LabeledTree>> serial = XmlForestToTrees(xml);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  std::vector<std::string> slices = SliceStrings(xml);
+  ASSERT_EQ(slices.size(), serial->size());
+  for (size_t i = 0; i < slices.size(); ++i) {
+    Result<LabeledTree> tree = XmlToTree(slices[i]);
+    ASSERT_TRUE(tree.ok()) << "slice " << i << ": "
+                           << tree.status().ToString();
+    EXPECT_TRUE(*tree == (*serial)[i]) << "slice " << i;
+  }
+}
+
+TEST(ForestSplitterTest, SkipsCommentsCdataPiAndDoctype) {
+  std::vector<std::string> slices = SliceStrings(
+      "<?xml version=\"1.0\"?>"
+      "<!DOCTYPE forest [<!ENTITY e \"<fake><tags>\">]>"
+      "<!-- <not><a><tree> -->"
+      "<forest>"
+      "<!-- comment between trees with <angle> brackets -->"
+      "<a><![CDATA[</a><b>]]></a>"
+      "<?pi with <brackets> ?>"
+      "<b/>"
+      "</forest>");
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0], "<a><![CDATA[</a><b>]]></a>");
+  EXPECT_EQ(slices[1], "<b/>");
+}
+
+TEST(ForestSplitterTest, SkipsAngleBracketsInsideAttributeValues) {
+  std::vector<std::string> slices = SliceStrings(
+      "<f><a x=\"1>2\" y='</a>'><b/></a><c/></f>");
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0], "<a x=\"1>2\" y='</a>'><b/></a>");
+  EXPECT_EQ(slices[1], "<c/>");
+}
+
+TEST(ForestSplitterTest, SelfClosingRootIsEmptyForest) {
+  Result<std::vector<ForestSlice>> slices = SplitXmlForest("<forest/>");
+  ASSERT_TRUE(slices.ok()) << slices.status().ToString();
+  EXPECT_TRUE(slices->empty());
+}
+
+TEST(ForestSplitterTest, EmptyWrapperIsEmptyForest) {
+  Result<std::vector<ForestSlice>> slices =
+      SplitXmlForest("<forest></forest>");
+  ASSERT_TRUE(slices.ok()) << slices.status().ToString();
+  EXPECT_TRUE(slices->empty());
+}
+
+TEST(ForestSplitterTest, LeavesIntraTreeMismatchesToPerTreeParse) {
+  // <a></b> is balanced by depth but not by name: the splitter must
+  // yield it as a slice (so it can be quarantined per tree), and the
+  // per-tree SAX parse must be the layer that rejects it.
+  std::vector<std::string> slices =
+      SliceStrings("<f><a></b><ok/></f>");
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0], "<a></b>");
+  EXPECT_FALSE(XmlToTree(slices[0]).ok());
+  EXPECT_TRUE(XmlToTree(slices[1]).ok());
+}
+
+TEST(ForestSplitterTest, RejectsMultipleRoots) {
+  Result<std::vector<ForestSlice>> slices =
+      SplitXmlForest("<a/><b/>");
+  ASSERT_FALSE(slices.ok());
+  EXPECT_TRUE(slices.status().IsInvalidArgument());
+  EXPECT_NE(slices.status().message().find("multiple root"),
+            std::string::npos)
+      << slices.status().ToString();
+}
+
+TEST(ForestSplitterTest, RejectsTruncatedDocument) {
+  Result<std::vector<ForestSlice>> slices =
+      SplitXmlForest("<f><a><b/></a>");
+  ASSERT_FALSE(slices.ok());
+  EXPECT_NE(slices.status().message().find("truncated"),
+            std::string::npos)
+      << slices.status().ToString();
+}
+
+TEST(ForestSplitterTest, RejectsEndTagOutsideRoot) {
+  Result<std::vector<ForestSlice>> slices = SplitXmlForest("</f>");
+  ASSERT_FALSE(slices.ok());
+  EXPECT_NE(slices.status().message().find("end tag outside"),
+            std::string::npos)
+      << slices.status().ToString();
+}
+
+TEST(ForestSplitterTest, RejectsDocumentWithNoRoot) {
+  EXPECT_FALSE(SplitXmlForest("").ok());
+  EXPECT_FALSE(SplitXmlForest("  <!-- only a comment --> ").ok());
+}
+
+TEST(ForestSplitterTest, RejectsUnterminatedConstructsWithOffsets) {
+  Result<std::vector<ForestSlice>> comment =
+      SplitXmlForest("<f><!-- never closed");
+  ASSERT_FALSE(comment.ok());
+  EXPECT_NE(comment.status().message().find("at byte"),
+            std::string::npos)
+      << comment.status().ToString();
+  EXPECT_FALSE(SplitXmlForest("<f><a b=\"unterminated></a></f>").ok());
+  EXPECT_FALSE(SplitXmlForest("<f><![CDATA[open forever</f>").ok());
+  EXPECT_FALSE(SplitXmlForest("<f><!DOCTYPE broken [</f>").ok());
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -1,0 +1,227 @@
+// Kernel dispatch and SIMD/scalar equivalence:
+//
+//  * known-answer tests pinning kwise_internal::MulMod and the Horner
+//    recurrence UpdateBatch evaluates against KWiseHash::Eval, at the
+//    field's edge values (0, 1, kPrime-1, and inputs >= kPrime that the
+//    pre-Horner fold must handle);
+//  * the dispatch override / resolution API and its metrics gauge;
+//  * a randomized differential test over (s1, s2, independence, weight)
+//    grids asserting the scalar and AVX2 kernels leave bit-identical
+//    counters and identical point estimates — the property that makes
+//    runtime dispatch invisible to every serialized synopsis.
+#include "sketch/kernel_dispatch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "hashing/kwise.h"
+#include "metrics/metrics.h"
+#include "sketch/sketch_array.h"
+
+namespace sketchtree {
+namespace {
+
+constexpr uint64_t kPrime = KWiseHash::kPrime;
+
+/// Restores auto dispatch when a test that pins a kernel exits, pass or
+/// fail — the override is process-global.
+class KernelOverrideGuard {
+ public:
+  KernelOverrideGuard() = default;
+  ~KernelOverrideGuard() { (void)SetSketchKernelOverride(std::nullopt); }
+};
+
+/// Edge inputs every MulMod/Horner test exercises: field boundaries and
+/// values at or above the modulus (the fold x = v % p must absorb them).
+std::vector<uint64_t> EdgeValues() {
+  return {0,          1,          2,          kPrime - 1, kPrime,
+          kPrime + 1, kPrime + 2, uint64_t{1} << 61,      ~uint64_t{0}};
+}
+
+TEST(MulModTest, KnownAnswers) {
+  using kwise_internal::MulMod;
+  // Absorbing and neutral elements. Note MulMod's arguments may be any
+  // canonical residues in [0, p); p itself is congruent to 0.
+  for (uint64_t x : EdgeValues()) {
+    if (x >= kPrime) continue;  // MulMod contract: inputs < 2^61.
+    EXPECT_EQ(MulMod(0, x), 0u) << x;
+    EXPECT_EQ(MulMod(x, 0), 0u) << x;
+    EXPECT_EQ(MulMod(1, x), x % kPrime) << x;
+    EXPECT_EQ(MulMod(x, 1), x % kPrime) << x;
+  }
+  // (p-1)^2 = (-1)(-1) = 1 (mod p).
+  EXPECT_EQ(MulMod(kPrime - 1, kPrime - 1), 1u);
+  // 2 * 2^60 = 2^61 = 1 (mod p) — the reduction identity itself.
+  EXPECT_EQ(MulMod(2, uint64_t{1} << 60), 1u);
+  // (p-1) * 2 = 2p - 2 = p - 2 (mod p).
+  EXPECT_EQ(MulMod(kPrime - 1, 2), kPrime - 2);
+}
+
+TEST(MulModTest, MatchesWideReferenceOnRandomPairs) {
+  Pcg64 rng(0xBADC0DE, 7);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t a = rng.NextBounded(kPrime);
+    uint64_t b = rng.NextBounded(kPrime);
+    uint64_t expected = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) % kPrime);
+    ASSERT_EQ(kwise_internal::MulMod(a, b), expected)
+        << a << " * " << b;
+  }
+}
+
+/// The Horner recurrence inside UpdateBatch must agree with the
+/// reference KWiseHash::Eval of the identically-seeded standalone hash,
+/// for every instance and for edge inputs — under whichever kernel the
+/// dispatcher resolves. A fresh one-value batch per input exposes the
+/// final residue through the counter's sign.
+void CheckHornerAgainstEval(int s1, int s2, int independence,
+                            uint64_t seed) {
+  const size_t n = static_cast<size_t>(s1) * s2;
+  std::vector<KWiseHash> reference;
+  reference.reserve(n);
+  for (size_t inst = 0; inst < n; ++inst) {
+    reference.emplace_back(independence, DeriveSeed(seed, inst));
+  }
+  for (uint64_t v : EdgeValues()) {
+    SketchArray array(s1, s2, independence, seed);
+    array.UpdateBatch(std::vector<uint64_t>{v}, 1.0);
+    for (int i = 0; i < s2; ++i) {
+      for (int j = 0; j < s1; ++j) {
+        const KWiseHash& hash = reference[static_cast<size_t>(i) * s1 + j];
+        // Same PRNG discipline -> same polynomial -> same xi.
+        EXPECT_EQ(array.Xi(i, j, v), hash.Xi(v)) << v;
+        EXPECT_EQ(array.value(i, j), static_cast<double>(hash.Xi(v)))
+            << "instance (" << i << "," << j << "), value " << v;
+      }
+    }
+  }
+}
+
+TEST(UpdateBatchKnownAnswerTest, ScalarHornerMatchesKWiseEval) {
+  KernelOverrideGuard guard;
+  ASSERT_TRUE(SetSketchKernelOverride(SketchKernel::kScalar).ok());
+  CheckHornerAgainstEval(3, 2, 4, 99);
+  CheckHornerAgainstEval(5, 1, 8, 12345);
+}
+
+TEST(UpdateBatchKnownAnswerTest, Avx2HornerMatchesKWiseEval) {
+  if (!Avx2KernelAvailable()) {
+    GTEST_SKIP() << "AVX2 kernel not compiled in or CPU lacks AVX2";
+  }
+  KernelOverrideGuard guard;
+  ASSERT_TRUE(SetSketchKernelOverride(SketchKernel::kAvx2).ok());
+  // 17 and 21 instances cover the 16-wide main loop, the 4-wide loop,
+  // and the scalar tail of the AVX2 kernel.
+  CheckHornerAgainstEval(17, 1, 4, 99);
+  CheckHornerAgainstEval(7, 3, 8, 12345);
+}
+
+TEST(KernelDispatchTest, OverrideWinsAndRestores) {
+  KernelOverrideGuard guard;
+  ASSERT_TRUE(SetSketchKernelOverride(SketchKernel::kScalar).ok());
+  EXPECT_EQ(ActiveSketchKernel(), SketchKernel::kScalar);
+  EXPECT_EQ(GlobalMetrics().GetGauge("sketch.kernel_dispatch")->value(), 0);
+  if (Avx2KernelAvailable()) {
+    ASSERT_TRUE(SetSketchKernelOverride(SketchKernel::kAvx2).ok());
+    EXPECT_EQ(ActiveSketchKernel(), SketchKernel::kAvx2);
+    EXPECT_EQ(GlobalMetrics().GetGauge("sketch.kernel_dispatch")->value(),
+              1);
+  }
+  ASSERT_TRUE(SetSketchKernelOverride(std::nullopt).ok());
+  // Back to the environment-resolved default; without AVX2 (or with
+  // SKETCHTREE_FORCE_SCALAR=1, the CI scalar leg) that must be scalar.
+  const char* force = std::getenv("SKETCHTREE_FORCE_SCALAR");
+  if (!Avx2KernelAvailable() ||
+      (force != nullptr && std::string_view(force) == "1")) {
+    EXPECT_EQ(ActiveSketchKernel(), SketchKernel::kScalar);
+  }
+}
+
+TEST(KernelDispatchTest, Avx2OverrideRejectedWhenUnavailable) {
+  if (Avx2KernelAvailable()) {
+    GTEST_SKIP() << "host has the AVX2 kernel";
+  }
+  Status status = SetSketchKernelOverride(SketchKernel::kAvx2);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(ActiveSketchKernel(), SketchKernel::kScalar);
+}
+
+TEST(KernelDispatchTest, KernelNames) {
+  EXPECT_STREQ(SketchKernelName(SketchKernel::kScalar), "scalar");
+  EXPECT_STREQ(SketchKernelName(SketchKernel::kAvx2), "avx2");
+}
+
+/// Bit-level counter comparison: two counters that merely compare equal
+/// as doubles are not enough — a serialized synopsis must not change one
+/// byte under dispatch.
+void ExpectBitIdentical(const SketchArray& a, const SketchArray& b) {
+  for (int i = 0; i < a.s2(); ++i) {
+    for (int j = 0; j < a.s1(); ++j) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(a.value(i, j)),
+                std::bit_cast<uint64_t>(b.value(i, j)))
+          << "instance (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(KernelDifferentialTest, ScalarAndAvx2CountersBitIdentical) {
+  if (!Avx2KernelAvailable()) {
+    GTEST_SKIP() << "AVX2 kernel not compiled in or CPU lacks AVX2";
+  }
+  KernelOverrideGuard guard;
+  Pcg64 rng(0xD1FF, 3);
+  const int s1_grid[] = {1, 3, 17, 50};
+  const int s2_grid[] = {1, 7};
+  const int independence_grid[] = {2, 4, 8};
+  const double weight_grid[] = {1.0, -0.25, 3.5};
+  for (int s1 : s1_grid) {
+    for (int s2 : s2_grid) {
+      for (int independence : independence_grid) {
+        const uint64_t seed = rng.Next();
+        SketchArray scalar(s1, s2, independence, seed);
+        SketchArray simd(s1, s2, independence, seed);
+        for (double weight : weight_grid) {
+          // Random batch with the edge values spliced in, split into
+          // uneven sub-batches so batching boundaries are exercised too.
+          std::vector<uint64_t> values = EdgeValues();
+          for (int i = 0; i < 200; ++i) values.push_back(rng.Next());
+          const size_t batch_sizes[] = {1, 3, 17, values.size()};
+          size_t pos = 0;
+          size_t which = 0;
+          while (pos < values.size()) {
+            size_t len = std::min(batch_sizes[which % 4],
+                                  values.size() - pos);
+            std::span<const uint64_t> batch(values.data() + pos, len);
+            ASSERT_TRUE(
+                SetSketchKernelOverride(SketchKernel::kScalar).ok());
+            scalar.UpdateBatch(batch, weight);
+            ASSERT_TRUE(
+                SetSketchKernelOverride(SketchKernel::kAvx2).ok());
+            simd.UpdateBatch(batch, weight);
+            pos += len;
+            ++which;
+          }
+          ExpectBitIdentical(scalar, simd);
+          for (size_t q = 0; q < 8; ++q) {
+            uint64_t v = values[q * values.size() / 8];
+            ASSERT_EQ(std::bit_cast<uint64_t>(scalar.EstimatePoint(v)),
+                      std::bit_cast<uint64_t>(simd.EstimatePoint(v)))
+                << "estimate for " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sketchtree

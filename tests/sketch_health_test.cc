@@ -131,14 +131,24 @@ TEST(SketchHealthTest, RenderingsAndMetricsExportCarryTheReport) {
   for (int i = 0; i < 20; ++i) sketch.Update(gen.Next());
   SketchHealthReport report = ComputeSketchHealth(sketch);
 
+  // The dispatcher resolves to a known kernel and the report names it.
+  EXPECT_TRUE(report.kernel_dispatch == "scalar" ||
+              report.kernel_dispatch == "avx2")
+      << report.kernel_dispatch;
+
   std::string text = report.ToText();
   EXPECT_NE(text.find("s1=10 s2=5 streams=23"), std::string::npos);
   EXPECT_NE(text.find("self-join size"), std::string::npos);
+  EXPECT_NE(text.find("kernel dispatch   " + report.kernel_dispatch),
+            std::string::npos);
 
   std::string json = report.ToJson();
   EXPECT_NE(json.find("\"s1\": 10"), std::string::npos);
   EXPECT_NE(json.find("\"rows\": ["), std::string::npos);
   EXPECT_NE(json.find("\"self_join_size\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel_dispatch\": \"" + report.kernel_dispatch +
+                      "\""),
+            std::string::npos);
   EXPECT_EQ(json, report.ToJson());  // Deterministic.
 
   MetricsRegistry registry;

@@ -313,6 +313,51 @@ TEST(TraceRecorderTest, ResetClearsEventsButKeepsRecording) {
   EXPECT_EQ(recorder.event_count(), 1u);
 }
 
+TEST(TraceRecorderTest, AggregateSpansRollsUpNestedAndCrossThread) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  {
+    TRACE_SPAN("agg.outer");
+    { TRACE_SPAN("agg.inner"); }
+    { TRACE_SPAN("agg.inner"); }
+  }
+  std::thread other([] {
+    TRACE_SPAN("agg.inner");
+    TRACE_SPAN("agg.worker_only");
+  });
+  other.join();
+  TRACE_INSTANT("agg.instant");  // Non-span phases are ignored.
+  recorder.Stop();
+  std::vector<SpanAggregate> stages = recorder.AggregateSpans();
+  ASSERT_EQ(stages.size(), 3u);  // Sorted by name; no "agg.instant".
+  EXPECT_EQ(stages[0].name, "agg.inner");
+  EXPECT_EQ(stages[0].count, 3u);
+  EXPECT_EQ(stages[1].name, "agg.outer");
+  EXPECT_EQ(stages[1].count, 1u);
+  EXPECT_EQ(stages[2].name, "agg.worker_only");
+  EXPECT_EQ(stages[2].count, 1u);
+  // The outer span's inclusive time covers both inner spans on its own
+  // thread (the third inner ran on the worker).
+  EXPECT_GT(stages[1].total_ns, 0u);
+}
+
+TEST(TraceRecorderTest, AggregateSpansSkipsUnmatchedEnds) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  // A span whose begin predates Start() never records one, but its end
+  // does record if the scope closes after Start — RecordEnd is not gated
+  // (see trace.cc). Simulate with a raw unmatched end.
+  recorder.RecordEnd("agg.orphan");
+  { TRACE_SPAN("agg.ok"); }
+  recorder.Stop();
+  std::vector<SpanAggregate> stages = recorder.AggregateSpans();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].name, "agg.ok");
+  EXPECT_EQ(stages[0].count, 1u);
+}
+
 TEST(TraceRecorderTest, JsonEscapesThreadNames) {
   TraceTestEnvironment env;
   TraceRecorder& recorder = TraceRecorder::Global();

@@ -30,6 +30,7 @@
 #include "core/sketch_tree.h"
 #include "faultinject/fault_injector.h"
 #include "ingest/parallel_ingester.h"
+#include "ingest/parse_pool.h"
 #include "ingest/quarantine.h"
 #include "metrics/metrics.h"
 #include "query/pattern_query.h"
@@ -86,9 +87,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  sketchtree_cli build --input FOREST.xml --output SYNOPSIS.bin\n"
+      "  sketchtree_cli build --input FOREST.xml[,MORE.xml...]\n"
+      "        --output SYNOPSIS.bin\n"
       "        [--k N] [--s1 N] [--s2 N] [--streams PRIME] [--topk N]\n"
       "        [--summary] [--seed N] [--append SYNOPSIS.bin] [--threads N]\n"
+      "        [--parse-threads N]\n"
       "        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]\n"
       "        [--fail-fast] [--quarantine PATH]\n"
       "        [--sentinel K] [--epsilon E] [--delta D]\n"
@@ -125,6 +128,13 @@ int Usage() {
       "  any command also accepts --trace-out PATH to record a Chrome\n"
       "  trace (chrome://tracing / ui.perfetto.dev) of the run's pipeline\n"
       "  stages across all threads.\n"
+      "\n"
+      "  --parse-threads N (or a comma-separated --input list) runs the\n"
+      "  parse front end in parallel: each document is split into\n"
+      "  per-tree byte ranges and N threads SAX-parse trees\n"
+      "  concurrently, feeding the --threads sketch shards. The combined\n"
+      "  synopsis is bit-identical to a serial build (with --topk 0).\n"
+      "  Incompatible with --checkpoint-dir/--resume/--sentinel.\n"
       "\n"
       "  build checkpointing: with --checkpoint-dir, a durable snapshot\n"
       "  of the synopsis and stream cursor is written every\n"
@@ -216,10 +226,25 @@ class ProgressReporter {
   Gauge* queue_depth_;
 };
 
+/// Splits a comma-separated option value into its non-empty components.
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    if (comma > start) parts.push_back(value.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
 int RunBuild(const Args& args) {
   std::string input = args.Get("input");
   std::string output = args.Get("output");
   if (input.empty() || output.empty()) return Usage();
+  std::vector<std::string> inputs = SplitCommaList(input);
+  if (inputs.empty()) return Usage();
 
   // Stream tree-at-a-time: only the current document (plus, with
   // --threads, the bounded hand-off queue) is materialized.
@@ -229,6 +254,16 @@ int RunBuild(const Args& args) {
     std::fprintf(stderr, "error: --threads must be a positive integer\n");
     return kExitUsage;
   }
+  long parse_threads = args.GetLong("parse-threads", 1);
+  if (parse_threads < 1) {
+    std::fprintf(stderr,
+                 "error: --parse-threads must be a positive integer\n");
+    return kExitUsage;
+  }
+  // The parse pool materializes every input document and hands trees
+  // over in nondeterministic order; multi-document builds always route
+  // through it (the serial streamer reads exactly one document).
+  const bool use_parse_pool = parse_threads > 1 || inputs.size() > 1;
   std::string checkpoint_dir = args.Get("checkpoint-dir");
   long checkpoint_every = args.GetLong("checkpoint-every", 5000);
   if (checkpoint_every < 1) {
@@ -238,6 +273,15 @@ int RunBuild(const Args& args) {
   }
   if (args.HasFlag("resume") && checkpoint_dir.empty()) {
     std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
+    return kExitUsage;
+  }
+  if (use_parse_pool && !checkpoint_dir.empty()) {
+    // Checkpoints record a committed stream prefix (tree ordinal + byte
+    // cursor); out-of-order parallel parsing has no such prefix.
+    std::fprintf(stderr,
+                 "error: --checkpoint-dir/--resume require the serial "
+                 "parse path (drop --parse-threads and use a single "
+                 "--input document)\n");
     return kExitUsage;
   }
 
@@ -306,10 +350,10 @@ int RunBuild(const Args& args) {
   std::optional<AccuracySentinel> sentinel;
   long sentinel_k = args.GetLong("sentinel", 0);
   if (sentinel_k > 0) {
-    if (threads > 1) {
+    if (threads > 1 || use_parse_pool) {
       std::fprintf(stderr,
                    "error: --sentinel requires a single-threaded build "
-                   "(drop --threads)\n");
+                   "(drop --threads/--parse-threads, single --input)\n");
       return kExitUsage;
     }
     SentinelOptions sentinel_options;
@@ -360,7 +404,43 @@ int RunBuild(const Args& args) {
     return Status::OK();
   };
 
-  if (threads > 1) {
+  if (use_parse_pool) {
+    // Parallel parse front end: documents are split into per-tree byte
+    // ranges, --parse-threads SAX parsers consume the combined work
+    // list, and parsed trees feed the --threads sketch shards. Trees
+    // arrive unordered, but ±1 integer counters make the result
+    // bit-identical to a serial build (see parse_pool.h).
+    if (sketch.options().topk_size > 0) {
+      std::fprintf(stderr,
+                   "note: parallel parse with top-k tracking: tracked "
+                   "patterns depend on arrival order, so the tracked set "
+                   "(not the counters) may differ from a serial build "
+                   "(use --topk 0 for a bit-identical one)\n");
+    }
+    ParallelIngestOptions ingest_options;
+    ingest_options.num_threads = static_cast<int>(threads);
+    // Several parser threads produce concurrently; the inline
+    // single-thread shortcut is only safe with one producer.
+    ingest_options.inline_single_thread = parse_threads == 1;
+    Result<ParallelIngester> ingester =
+        ParallelIngester::Create(sketch.options(), ingest_options);
+    if (!ingester.ok()) return Fail(ingester.status());
+    ParsePoolOptions pool_options;
+    pool_options.num_threads = static_cast<int>(parse_threads);
+    pool_options.fail_fast = stream_options.fail_fast;
+    pool_options.quarantine = &quarantine;
+    ParsePoolStats pool_stats;
+    Status parsed = ParseForestFilesParallel(inputs, pool_options,
+                                             &ingester.value(), &pool_stats);
+    if (!parsed.ok()) return Fail(parsed);
+    Result<SketchTree> delta = ingester->Finish();
+    if (!delta.ok()) return Fail(delta.status());
+    trees = pool_stats.trees_parsed;
+    stream_stats.trees_quarantined = pool_stats.trees_quarantined;
+    patterns = delta->Stats().patterns_processed;
+    Status merge_status = sketch.Merge(*delta);
+    if (!merge_status.ok()) return Fail(merge_status);
+  } else if (threads > 1) {
     // Sharded ingestion: N worker replicas built from the synopsis's own
     // options consume the stream and are merged into `sketch` at the end
     // (exact by sketch linearity — works for fresh builds and --append).
@@ -664,14 +744,7 @@ int RunMerge(const Args& args) {
   std::string inputs = args.Get("inputs");
   if (output.empty() || inputs.empty()) return Usage();
   // --inputs is a comma-separated list of synopsis files.
-  std::vector<std::string> paths;
-  size_t start = 0;
-  while (start <= inputs.size()) {
-    size_t comma = inputs.find(',', start);
-    if (comma == std::string::npos) comma = inputs.size();
-    if (comma > start) paths.push_back(inputs.substr(start, comma - start));
-    start = comma + 1;
-  }
+  std::vector<std::string> paths = SplitCommaList(inputs);
   if (paths.size() < 2) {
     std::fprintf(stderr, "error: merge needs at least two inputs\n");
     return EXIT_FAILURE;
