@@ -19,8 +19,22 @@
 // QPS, 4-thread QPS against one shared service, and the plan-cache hit
 // rate. Estimates are asserted bit-identical between the two paths —
 // the cache trades no accuracy. Results go to BENCH_query.json.
+//
+// On top of that, an OPEN-LOOP load generator (fixed arrival schedule,
+// so a stalled server cannot slow the arrival rate — no coordinated
+// omission) drives a 95% warm / 5% cold mix through the same
+// TwoLaneQueue scheduling policy the TCP server uses, at a sweep of
+// offered loads, once as the legacy single FIFO and once with two-lane
+// scheduling. Latency is measured from the *scheduled* arrival to
+// completion. The resulting latency-vs-offered-load curve, plus a
+// head-of-line guard (warm p95 while a >= 10k-arrangement cold compile
+// is continuously in flight must stay within 3x of the uncontended warm
+// p95 — second acceptance floor), also land in BENCH_query.json.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +42,7 @@
 #include "common/timer.h"
 #include "core/sketch_tree.h"
 #include "server/query_service.h"
+#include "server/scheduler.h"
 #include "tree/tree_serialization.h"
 
 using namespace sketchtree;
@@ -135,6 +150,163 @@ LatencyStats RunPasses(QueryService& service,
   return Summarize(std::move(micros));
 }
 
+// ---------------------------------------------------------------------
+// Open-loop load generation over the server's scheduling policy.
+
+/// One scheduled request. `done` (optional) lets the blocker thread of
+/// the HOL guard chain cold compiles back to back.
+struct OpenLoopItem {
+  std::string text;
+  bool cold = false;
+  std::chrono::steady_clock::time_point scheduled;
+  std::atomic<bool>* done = nullptr;
+};
+
+struct OpenLoopResult {
+  double offered_qps = 0.0;
+  LatencyStats warm;
+  LatencyStats cold;
+  size_t warm_completed = 0;
+  size_t cold_completed = 0;
+  size_t shed = 0;
+};
+
+/// Globally unique cold-pattern counter: every cold arrival across all
+/// runs compiles a never-seen-before pattern, so it can never sneak a
+/// cache hit.
+std::atomic<size_t> g_cold_serial{0};
+
+std::string FreshColdPattern() {
+  return "cold" + std::to_string(g_cold_serial.fetch_add(1)) +
+         "(g0,g1,g2,g3,g4,g5)";  // 6 distinct children: 720 arrangements.
+}
+
+/// Fires `duration_s * offered_qps` requests on a fixed schedule into a
+/// TwoLaneQueue drained by `workers` threads executing against
+/// `service`. Every 20th request is a cold compile when `cold_mix` is
+/// set (exactly 5%); the rest cycle through the pre-warmed `hot`
+/// patterns. `sustained_blocker` additionally keeps exactly one
+/// 8-child (40320-arrangement) cold compile in flight for the whole
+/// run — the head-of-line antagonist. Latency is completion minus
+/// *scheduled* arrival, so queue stalls are charged in full.
+OpenLoopResult RunOpenLoop(QueryService& service,
+                           const std::vector<std::string>& hot,
+                           bool two_lanes, double offered_qps,
+                           double duration_s, int workers, bool cold_mix,
+                           bool sustained_blocker) {
+  SchedulerOptions sched;
+  sched.two_lanes = two_lanes;
+  sched.fast_capacity = 4096;
+  sched.slow_capacity = 64;
+  TwoLaneQueue<OpenLoopItem> queue(sched);
+  const int max_edges = service.sketch_options().max_pattern_edges;
+
+  std::mutex record_mu;
+  std::vector<double> warm_us, cold_us;
+  std::atomic<bool> discard{false};
+
+  auto worker_fn = [&] {
+    OpenLoopItem item;
+    Lane lane = Lane::kFast;
+    while (queue.Pop(&item, &lane)) {
+      if (discard.load()) {
+        if (item.done != nullptr) item.done->store(true);
+        continue;
+      }
+      QueryRequest request;
+      request.kind = QueryKind::kUnordered;
+      request.text = item.text;
+      Result<QueryAnswer> answer = service.Execute(request);
+      const auto now = std::chrono::steady_clock::now();
+      if (item.done != nullptr) item.done->store(true);
+      if (!answer.ok()) {
+        std::fprintf(stderr, "open-loop query failed: %s\n",
+                     answer.status().ToString().c_str());
+        std::exit(1);
+      }
+      const double us =
+          std::chrono::duration<double, std::micro>(now - item.scheduled)
+              .count();
+      std::lock_guard<std::mutex> lock(record_mu);
+      (item.cold ? cold_us : warm_us).push_back(us);
+    }
+  };
+  std::vector<std::thread> pool;
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker_fn);
+
+  std::atomic<bool> generating{true};
+  std::thread blocker;
+  if (sustained_blocker) {
+    blocker = std::thread([&] {
+      size_t serial = 0;
+      while (generating.load()) {
+        std::atomic<bool> done{false};
+        OpenLoopItem item;
+        // 8 distinct children: 8! = 40320 ordered arrangements, well
+        // past the 10k mark the guard calls for.
+        item.text = "blk" + std::to_string(serial++) +
+                    "(h0,h1,h2,h3,h4,h5,h6,h7)";
+        item.cold = true;
+        item.scheduled = std::chrono::steady_clock::now();
+        item.done = &done;
+        AdmissionDecision decision = ClassifyForAdmission(
+            QueryKind::kUnordered, item.text, service.plan_cache(),
+            max_edges, sched);
+        if (queue.Push(decision.lane, std::move(item)) !=
+            AdmitResult::kAdmitted) {
+          break;  // Queue stopped under us; the run is over anyway.
+        }
+        while (!done.load() && generating.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+
+  size_t shed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const size_t total = static_cast<size_t>(duration_s * offered_qps);
+  for (size_t i = 0; i < total; ++i) {
+    const auto scheduled =
+        start + std::chrono::nanoseconds(
+                    static_cast<int64_t>(i * 1e9 / offered_qps));
+    std::this_thread::sleep_until(scheduled);
+    OpenLoopItem item;
+    item.scheduled = scheduled;
+    item.cold = cold_mix && (i % 20 == 19);
+    item.text =
+        item.cold ? FreshColdPattern() : hot[i % hot.size()];
+    AdmissionDecision decision =
+        ClassifyForAdmission(QueryKind::kUnordered, item.text,
+                             service.plan_cache(), max_edges, sched);
+    if (queue.Push(decision.lane, std::move(item)) !=
+        AdmitResult::kAdmitted) {
+      ++shed;  // Open loop: note the loss and keep the schedule.
+    }
+  }
+  generating.store(false);
+  if (blocker.joinable()) blocker.join();
+  // Let the queue drain (bounded), then discard any stragglers.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (queue.total_depth() > 0 &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  discard.store(true);
+  queue.Stop();
+  for (std::thread& worker : pool) worker.join();
+
+  OpenLoopResult result;
+  result.offered_qps = offered_qps;
+  result.warm_completed = warm_us.size();
+  result.cold_completed = cold_us.size();
+  result.shed = shed;
+  result.warm = Summarize(std::move(warm_us));
+  result.cold = Summarize(std::move(cold_us));
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -193,6 +365,79 @@ int main() {
   double speedup_p95 = cold.p95 / warm.p95;
   double speedup_p50 = cold.p50 / warm.p50;
 
+  // Open-loop latency-vs-offered-load sweep: 95% warm / 5% cold mix
+  // through the server's scheduling policy, single FIFO vs two lanes.
+  // The top rate stays below this machine's saturation point (the
+  // sweep is a scheduling-policy comparison, not a capacity probe —
+  // past saturation both policies just measure the arrival backlog).
+  constexpr double kSweepQps[] = {250.0, 500.0, 1000.0};
+  constexpr double kSweepSeconds = 1.5;
+  constexpr int kSweepWorkers = 2;
+  std::vector<OpenLoopResult> fifo_curve, lane_curve;
+  for (double qps : kSweepQps) {
+    fifo_curve.push_back(RunOpenLoop(warm_service, workload,
+                                     /*two_lanes=*/false, qps,
+                                     kSweepSeconds, kSweepWorkers,
+                                     /*cold_mix=*/true,
+                                     /*sustained_blocker=*/false));
+    lane_curve.push_back(RunOpenLoop(warm_service, workload,
+                                     /*two_lanes=*/true, qps,
+                                     kSweepSeconds, kSweepWorkers,
+                                     /*cold_mix=*/true,
+                                     /*sustained_blocker=*/false));
+  }
+
+  // Head-of-line guard: a wider sketch where one cold unordered compile
+  // costs 8! = 40320 arrangements (>= the 10k the acceptance bar names),
+  // kept continuously in flight while a pure warm stream runs. Two-lane
+  // scheduling must keep the warm p95 within 3x of the uncontended
+  // baseline measured through the identical pipeline. The guard sketch
+  // uses serving-scale dimensions (s1=32, s2=7 — near the CLI's 50/7
+  // defaults) rather than this bench's deliberately tiny ones: warm
+  // replay must cost more than the OS's wakeup-preemption granularity,
+  // or on a single-core host the guard measures the kernel scheduler,
+  // not ours.
+  SketchTreeOptions guard_sketch_options;
+  guard_sketch_options.max_pattern_edges = 8;
+  guard_sketch_options.s1 = 32;
+  guard_sketch_options.s2 = 7;
+  guard_sketch_options.num_virtual_streams = 229;
+  guard_sketch_options.topk_size = 32;
+  guard_sketch_options.seed = 42;
+  SketchTree guard_sketch = *SketchTree::Create(guard_sketch_options);
+  for (int i = 0; i < 200; ++i) {
+    guard_sketch.Update(*ParseSExpr("dept(f0,f1,f2)"));
+  }
+  QueryServiceOptions guard_options;
+  guard_options.max_arrangements = 50000;
+  QueryService guard_service =
+      *QueryService::CreateStatic(std::move(guard_sketch), guard_options);
+  const std::vector<std::string> guard_hot = {workload[0]};
+  {
+    QueryRequest warmup;
+    warmup.kind = QueryKind::kUnordered;
+    warmup.text = guard_hot[0];
+    if (!guard_service.Execute(warmup).ok()) {
+      std::fprintf(stderr, "guard warmup failed\n");
+      return 1;
+    }
+  }
+  // 200 qps keeps the warm stream well under this host's capacity even
+  // with the blocker soaking the leftover cycles.
+  constexpr double kGuardQps = 200.0;
+  OpenLoopResult uncontended = RunOpenLoop(
+      guard_service, guard_hot, /*two_lanes=*/true, kGuardQps,
+      kSweepSeconds, kSweepWorkers, /*cold_mix=*/false,
+      /*sustained_blocker=*/false);
+  OpenLoopResult contended = RunOpenLoop(
+      guard_service, guard_hot, /*two_lanes=*/true, kGuardQps,
+      kSweepSeconds, kSweepWorkers, /*cold_mix=*/false,
+      /*sustained_blocker=*/true);
+  const double hol_ratio = uncontended.warm.p95 > 0.0
+                               ? contended.warm.p95 / uncontended.warm.p95
+                               : 0.0;
+  const bool hol_ok = hol_ratio <= 3.0 && contended.cold_completed > 0;
+
   std::printf("EXP-SERVE: repeated unordered COUNT(Q), %zu patterns x %d "
               "rounds, 720 arrangements each (s1=%d s2=%d)\n",
               workload.size(), kRounds, kS1, kS2);
@@ -208,6 +453,26 @@ int main() {
   std::printf("  4-thread warm qps: %.0f, cache hit rate %.3f\n",
               concurrent_qps, hit_rate);
   std::printf("  estimates bit-identical between paths: yes\n");
+
+  std::printf("\nEXP-SERVE-LOAD: open-loop 95/5 warm/cold mix, %d workers, "
+              "%.1fs per point\n",
+              kSweepWorkers, kSweepSeconds);
+  std::printf("  %-10s %12s %14s %14s %12s %6s\n", "scheduler",
+              "offered_qps", "warm_p95_us", "warm_p99_us", "cold_p95_us",
+              "shed");
+  for (size_t i = 0; i < fifo_curve.size(); ++i) {
+    for (const OpenLoopResult* r : {&fifo_curve[i], &lane_curve[i]}) {
+      std::printf("  %-10s %12.0f %14.1f %14.1f %12.1f %6zu\n",
+                  r == &fifo_curve[i] ? "fifo" : "two-lane", r->offered_qps,
+                  r->warm.p95, r->warm.p99, r->cold.p95, r->shed);
+    }
+  }
+  std::printf("\nEXP-SERVE-HOL: warm stream vs a sustained 40320-"
+              "arrangement cold compile (two lanes)\n");
+  std::printf("  uncontended warm p95 %.1fus, contended warm p95 %.1fus, "
+              "ratio %.2fx (floor 3x), blockers completed %zu\n",
+              uncontended.warm.p95, contended.warm.p95, hol_ratio,
+              contended.cold_completed);
 
   FILE* json = std::fopen("BENCH_query.json", "w");
   if (json != nullptr) {
@@ -234,11 +499,44 @@ int main() {
                  concurrent_qps);
     std::fprintf(json, "  \"cache_hit_rate\": %.4f,\n", hit_rate);
     std::fprintf(json, "  \"estimates_bit_identical\": true,\n");
+    std::fprintf(json,
+                 "  \"latency_vs_offered_load\": {\n"
+                 "    \"mix\": \"95%% warm / 5%% cold "
+                 "(720-arrangement compiles)\",\n"
+                 "    \"duration_s\": %.1f, \"workers\": %d,\n",
+                 kSweepSeconds, kSweepWorkers);
+    for (int pass = 0; pass < 2; ++pass) {
+      const std::vector<OpenLoopResult>& curve =
+          pass == 0 ? fifo_curve : lane_curve;
+      std::fprintf(json, "    \"%s\": [\n",
+                   pass == 0 ? "fifo" : "two_lane");
+      for (size_t i = 0; i < curve.size(); ++i) {
+        const OpenLoopResult& r = curve[i];
+        std::fprintf(json,
+                     "      {\"offered_qps\": %.0f, \"warm_p50_us\": %.1f, "
+                     "\"warm_p95_us\": %.1f, \"warm_p99_us\": %.1f, "
+                     "\"cold_p95_us\": %.1f, \"warm_completed\": %zu, "
+                     "\"cold_completed\": %zu, \"shed\": %zu}%s\n",
+                     r.offered_qps, r.warm.p50, r.warm.p95, r.warm.p99,
+                     r.cold.p95, r.warm_completed, r.cold_completed,
+                     r.shed, i + 1 < curve.size() ? "," : "");
+      }
+      std::fprintf(json, "    ]%s\n", pass == 0 ? "," : "");
+    }
+    std::fprintf(json, "  },\n");
+    std::fprintf(json,
+                 "  \"hol_guard\": {\"blocker_arrangements\": 40320, "
+                 "\"uncontended_warm_p95_us\": %.1f, "
+                 "\"contended_warm_p95_us\": %.1f, \"ratio\": %.2f, "
+                 "\"floor\": 3.0, \"blockers_completed\": %zu, "
+                 "\"met\": %s},\n",
+                 uncontended.warm.p95, contended.warm.p95, hol_ratio,
+                 contended.cold_completed, hol_ok ? "true" : "false");
     std::fprintf(json, "  \"speedup_p95_meets_5x_floor\": %s\n",
                  speedup_p95 >= 5.0 ? "true" : "false");
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("wrote BENCH_query.json\n");
   }
-  return speedup_p95 >= 5.0 ? 0 : 1;
+  return (speedup_p95 >= 5.0 && hol_ok) ? 0 : 1;
 }

@@ -6,8 +6,15 @@ ephemeral port, and exercises the line-delimited-JSON wire protocol
 end to end over a real TCP socket: ping, ordered and unordered counts,
 the plan-cache hit on an unordered child-order variant (with the
 bit-identical-estimate guarantee), extended and expression queries,
-stats, malformed input, an oversized pattern, an unknown op, and
-finally the shutdown op — after which the process must exit 0.
+the batch op (bit-identical to the equivalent singles), stats,
+malformed input, an oversized pattern, an unknown op, and finally the
+shutdown op — after which the process must exit 0.
+
+A second server instance (one worker, slow-lane capacity 1) then runs
+the mixed-load smoke: with a 5040-arrangement cold compile in flight
+and another queued, a third expensive query is shed with RETRY_AFTER
+and a retry_after_ms hint, while a concurrent cached query on the fast
+lane still succeeds.
 
 Usage:
   check_serve.py [--cli build/tools/sketchtree_cli]
@@ -24,6 +31,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import time
 
 server = None
 
@@ -43,8 +51,8 @@ class Client:
         self.buffer = b""
         self.next_id = 0
 
-    def roundtrip(self, request):
-        """Sends one request line (dict or raw string), returns the reply."""
+    def send(self, request):
+        """Sends one request line (dict or raw string) without waiting."""
         if isinstance(request, dict):
             self.next_id += 1
             request = dict(request, id=self.next_id)
@@ -52,10 +60,14 @@ class Client:
         else:
             line = request
         self.sock.sendall(line.encode() + b"\n")
+        return line
+
+    def recv_reply(self, context="request"):
+        """Blocks until the next reply line arrives and decodes it."""
         while b"\n" not in self.buffer:
             chunk = self.sock.recv(65536)
             if not chunk:
-                fail(f"connection closed awaiting reply to: {line}")
+                fail(f"connection closed awaiting reply to: {context}")
             self.buffer += chunk
         raw, self.buffer = self.buffer.split(b"\n", 1)
         try:
@@ -63,6 +75,11 @@ class Client:
         except json.JSONDecodeError as error:
             fail(f"reply is not valid JSON ({error}): {raw!r}")
         return reply
+
+    def roundtrip(self, request):
+        """Sends one request line (dict or raw string), returns the reply."""
+        line = self.send(request)
+        return self.recv_reply(context=line)
 
 
 def expect(reply, what, **fields):
@@ -126,6 +143,32 @@ def main():
         {"op": "expr", "q": "COUNT_ORD(author(name,affil)) - COUNT_ORD(book)"}),
         "expr", ok=True)
 
+    # One batch line, one snapshot pin, one reply: each sub-result must
+    # be bit-identical to the equivalent single-query reply.
+    batch = expect(
+        client.roundtrip({"op": "batch", "queries": [
+            {"op": "count", "q": "author(affil,name)"},
+            {"op": "count_ord", "q": "author(name,affil)"},
+            {"op": "expr",
+             "q": "COUNT_ORD(author(name,affil)) - COUNT_ORD(book)"},
+        ]}),
+        "batch", ok=True)
+    results = batch.get("results")
+    if not isinstance(results, list) or len(results) != 3:
+        fail(f"batch reply lacks a 3-entry results array: {batch}")
+    for i, result in enumerate(results):
+        if not result.get("ok"):
+            fail(f"batch sub-result {i} failed: {batch}")
+    if results[0]["estimate"] != hit["estimate"]:
+        fail(f"batch estimate diverges from the single-query path: "
+             f"{results[0]} vs {hit}")
+    if results[0].get("cache") != "hit":
+        fail(f"batch sub-query missed a plan the singles cached: {batch}")
+    if batch.get("epoch", 0) < 1 or batch.get("trees", 0) < 1:
+        fail(f"batch reply lacks shared snapshot provenance: {batch}")
+    expect(client.roundtrip({"op": "batch", "queries": []}),
+           "empty batch", ok=False, code="MALFORMED_REQUEST")
+
     stats = expect(client.roundtrip({"op": "stats"}), "stats", ok=True)
     if stats.get("cache_hits", 0) < 1:
         fail(f"stats shows no cache hit after the swapped-order count: {stats}")
@@ -148,9 +191,89 @@ def main():
     if code != 0:
         fail(f"server exited with status {code}")
 
+    mixed_load_smoke(args.cli, args.input, tmp)
+
     print("check_serve: OK: ping, ordered/unordered counts, cache hit on "
-          "swapped child order (bit-identical), extended, expr, stats, "
-          "3 error paths, clean shutdown")
+          "swapped child order (bit-identical), extended, expr, batch "
+          "(bit-identical to singles), stats, 3 error paths, clean "
+          "shutdown, mixed-load shed with RETRY_AFTER while cached "
+          "queries kept flowing")
+
+
+def mixed_load_smoke(cli, forest, tmp):
+    """Overload the slow lane and verify shedding + fast-lane liveness.
+
+    A k=8 synopsis admits 8-child unordered patterns (8! = 40320
+    arrangements — a roughly half-second compile at the default sketch
+    dimensions), far above the default 64-arrangement fast-lane
+    threshold. With one worker and slow-lane capacity 1: the first
+    expensive query occupies the worker, the second occupies the only
+    slow slot, and a third must be shed at admission with RETRY_AFTER
+    while a cached query still completes.
+    """
+    global server
+    synopsis = os.path.join(tmp, "synopsis_k8.bin")
+    built = subprocess.run(
+        [cli, "build", "--input", forest, "--output", synopsis, "--k", "8"],
+        capture_output=True, text=True)
+    if built.returncode != 0:
+        fail(f"k=8 build failed: {built.stderr}")
+
+    server = subprocess.Popen(
+        [cli, "serve", "--synopsis", synopsis, "--port", "0",
+         "--workers", "1", "--slow-queue", "1",
+         "--max-arrangements", "50000"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    banner = server.stdout.readline()
+    match = re.match(r"serving on 127\.0\.0\.1:(\d+)", banner)
+    if not match:
+        fail(f"unexpected serve banner: {banner!r}")
+    port = int(match.group(1))
+
+    warm = Client(port)
+    blocker = Client(port)
+    queued = Client(port)
+    shed = Client(port)
+
+    # Pre-warm the plan cache so the liveness probe is a guaranteed
+    # fast-lane cache hit regardless of its arrangement count.
+    first = expect(
+        warm.roundtrip({"op": "count", "q": "author(name,affil)"}),
+        "mixed-load pre-warm", ok=True, cache="miss")
+
+    # Blocker: dispatched to the only worker once the queue drains.
+    blocker.send({"op": "count", "q": "r0(a,b,c,d,e,f,g,h)"})
+    time.sleep(0.2)  # Let the worker dequeue it before the next sends.
+    # Occupies the single slow-lane slot behind the in-flight blocker.
+    queued.send({"op": "count", "q": "r1(a,b,c,d,e,f,g,h)"})
+    time.sleep(0.05)
+    # Third expensive query: shed at admission, before any compile.
+    shed_reply = shed.roundtrip({"op": "count", "q": "r2(a,b,c,d,e,f,g,h)"})
+    expect(shed_reply, "slow-lane shed", ok=False, code="RETRY_AFTER")
+    if shed_reply.get("retry_after_ms", 0) < 1:
+        fail(f"shed reply lacks a retry_after_ms hint: {shed_reply}")
+
+    # Fast-lane liveness: the cached query completes even though the
+    # worker is saturated by cold compiles (it overtakes the queued
+    # slow item the moment the worker frees up).
+    probe = expect(
+        warm.roundtrip({"op": "count", "q": "author(affil,name)"}),
+        "fast-lane probe under overload", ok=True, cache="hit")
+    if probe["estimate"] != first["estimate"]:
+        fail(f"probe estimate diverged under load: {probe} vs {first}")
+
+    # Both admitted cold compiles must still complete and answer.
+    expect(blocker.recv_reply("blocker"), "blocker reply", ok=True)
+    expect(queued.recv_reply("queued"), "queued reply", ok=True)
+
+    expect(warm.roundtrip({"op": "shutdown"}), "mixed-load shutdown",
+           ok=True)
+    try:
+        code = server.wait(timeout=20)
+    except subprocess.TimeoutExpired:
+        fail("mixed-load server did not exit within 20s of shutdown")
+    if code != 0:
+        fail(f"mixed-load server exited with status {code}")
 
 
 if __name__ == "__main__":

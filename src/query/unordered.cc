@@ -164,6 +164,17 @@ std::string UnorderedCanonicalKey(const LabeledTree& pattern) {
   return ShapeOf(pattern, pattern.root()).canon;
 }
 
+std::string UnorderedKeyAndArrangements(const LabeledTree& pattern,
+                                        double* arrangements) {
+  if (pattern.empty()) {
+    if (arrangements != nullptr) *arrangements = 0.0;
+    return std::string();
+  }
+  UnorderedShape shape = ShapeOf(pattern, pattern.root());
+  if (arrangements != nullptr) *arrangements = shape.arrangements;
+  return std::move(shape.canon);
+}
+
 Result<std::vector<LabeledTree>> OrderedArrangements(
     const LabeledTree& pattern, size_t max_arrangements) {
   if (pattern.empty()) {

@@ -40,6 +40,14 @@ double CountOrderedArrangements(const LabeledTree& pattern);
 /// key for unordered COUNT(Q) queries.
 std::string UnorderedCanonicalKey(const LabeledTree& pattern);
 
+/// Canonical key and arrangement count from one bottom-up pass — both
+/// values fall out of the same shape computation, so admission-time
+/// query pricing (plan-cache key + closed-form compile cost) costs a
+/// single traversal. Equal to {UnorderedCanonicalKey(pattern),
+/// CountOrderedArrangements(pattern)}; `arrangements` may be null.
+std::string UnorderedKeyAndArrangements(const LabeledTree& pattern,
+                                        double* arrangements);
+
 /// Copies the subtree of `src` rooted at `src_node` into `dst` under
 /// `dst_parent` (kInvalidNode makes it the root). Returns the id of the
 /// copied root. Exposed for reuse by the expression builder and tests.

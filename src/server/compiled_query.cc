@@ -133,26 +133,42 @@ Result<uint64_t> QueryMapper::MapQuery(const LabeledTree& pattern) {
 
 Result<std::string> CanonicalQueryKey(QueryKind kind, std::string_view text,
                                       int max_pattern_edges) {
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      QueryCostProfile profile,
+      AnalyzeQueryCost(kind, text, max_pattern_edges));
+  return std::move(profile.key);
+}
+
+Result<QueryCostProfile> AnalyzeQueryCost(QueryKind kind,
+                                          std::string_view text,
+                                          int max_pattern_edges) {
+  QueryCostProfile profile;
   switch (kind) {
     case QueryKind::kOrdered: {
       SKETCHTREE_ASSIGN_OR_RETURN(
           LabeledTree pattern, ParsePatternQuery(text, max_pattern_edges));
-      return "ord:" + PatternToString(pattern);
+      profile.key = "ord:" + PatternToString(pattern);
+      return profile;
     }
     case QueryKind::kUnordered: {
       SKETCHTREE_ASSIGN_OR_RETURN(
           LabeledTree pattern, ParsePatternQuery(text, max_pattern_edges));
-      return "unord:" + UnorderedCanonicalKey(pattern);
+      profile.key =
+          "unord:" +
+          UnorderedKeyAndArrangements(pattern, &profile.arrangements);
+      return profile;
     }
     case QueryKind::kExtended: {
       SKETCHTREE_ASSIGN_OR_RETURN(ExtendedQuery query,
                                   ExtendedQuery::Parse(text));
-      return "ext:" + query.ToString();
+      profile.key = "ext:" + query.ToString();
+      return profile;
     }
     case QueryKind::kExpression:
       // Expressions key on the raw text: normalizing would require the
       // full sum-of-products expansion the cache exists to skip.
-      return "expr:" + std::string(text);
+      profile.key = "expr:" + std::string(text);
+      return profile;
   }
   return Status::InvalidArgument("unknown query kind");
 }

@@ -143,6 +143,22 @@ class QueryMapper {
 Result<std::string> CanonicalQueryKey(QueryKind kind, std::string_view text,
                                       int max_pattern_edges);
 
+/// Admission-time cost profile of a query: the canonical plan-cache key
+/// plus the closed-form compile cost — the number of ordered
+/// arrangements an unordered compile would expand into (1 for the other
+/// kinds), computed without materializing anything. One parse, no
+/// expansion: cheap enough for the server's reader thread to price
+/// every request at admission, which is what makes cost-aware lane
+/// scheduling free. CanonicalQueryKey is this function minus the count,
+/// so the two can never disagree on the key.
+struct QueryCostProfile {
+  std::string key;
+  double arrangements = 1.0;
+};
+Result<QueryCostProfile> AnalyzeQueryCost(QueryKind kind,
+                                          std::string_view text,
+                                          int max_pattern_edges);
+
 /// Compiles `text` into an immutable plan against `mapper` and the xi
 /// families of `streams` (any snapshot of the stream — the families are
 /// identical across snapshots by option equality). `max_arrangements`

@@ -57,10 +57,19 @@ Result<QueryService> QueryService::CreateStatic(
 }
 
 Result<QueryAnswer> QueryService::Execute(const QueryRequest& request) {
+  return ExecuteOn(request, snapshots_->Current());
+}
+
+Result<QueryAnswer> QueryService::ExecuteOn(
+    const QueryRequest& request,
+    const std::shared_ptr<const SketchSnapshot>& snapshot) {
   TRACE_SPAN("server.query");
   WallTimer total_timer;
   QueryAnswer answer;
 
+  if (snapshot == nullptr) {
+    return Status::Internal("no snapshot published yet");
+  }
   if (DeadlinePassed(request)) {
     deadline_exceeded_->Increment();
     return Status::DeadlineExceeded("deadline expired before compilation");
@@ -79,10 +88,6 @@ Result<QueryAnswer> QueryService::Execute(const QueryRequest& request) {
                           mapper_->options().max_pattern_edges));
     plan = cache_->Get(key);
     if (plan == nullptr) {
-      std::shared_ptr<const SketchSnapshot> snapshot = snapshots_->Current();
-      if (snapshot == nullptr) {
-        return Status::Internal("no snapshot published yet");
-      }
       SKETCHTREE_ASSIGN_OR_RETURN(
           std::shared_ptr<CompiledQuery> compiled,
           CompileQuery(request.kind, request.text, mapper_.get(),
@@ -105,13 +110,6 @@ Result<QueryAnswer> QueryService::Execute(const QueryRequest& request) {
     return Status::DeadlineExceeded("deadline expired after compilation");
   }
 
-  // Estimate against the *current* snapshot — possibly newer than the
-  // one the plan compiled under; plans are valid across epochs because
-  // the pattern-to-value mapping is fixed by the options.
-  std::shared_ptr<const SketchSnapshot> snapshot = snapshots_->Current();
-  if (snapshot == nullptr) {
-    return Status::Internal("no snapshot published yet");
-  }
   WallTimer estimate_timer;
   SKETCHTREE_ASSIGN_OR_RETURN(
       answer.estimate, ExecuteCompiled(*plan, *snapshot, mapper_.get()));

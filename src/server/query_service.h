@@ -70,7 +70,18 @@ class QueryService {
   QueryService(QueryService&&) = default;
   QueryService& operator=(QueryService&&) = default;
 
+  /// Executes against the currently published snapshot.
   Result<QueryAnswer> Execute(const QueryRequest& request);
+
+  /// Executes against an explicitly pinned snapshot — the batch path:
+  /// one snapshot pin serves many sub-queries, so every result in a
+  /// batch reports the same {epoch, trees} provenance. Compiled plans
+  /// are snapshot-independent (the pattern-to-value mapping is fixed by
+  /// the options), so pinning changes which counters are read, never
+  /// how a plan compiles.
+  Result<QueryAnswer> ExecuteOn(
+      const QueryRequest& request,
+      const std::shared_ptr<const SketchSnapshot>& snapshot);
 
   const SketchTreeOptions& sketch_options() const {
     return mapper_->options();

@@ -1,0 +1,87 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sketchtree {
+
+const char* LaneName(Lane lane) {
+  return lane == Lane::kFast ? "fast" : "slow";
+}
+
+AdmissionDecision ClassifyForAdmission(QueryKind kind,
+                                       const std::string& text,
+                                       const PlanCache& cache,
+                                       int max_pattern_edges,
+                                       const SchedulerOptions& options) {
+  AdmissionDecision decision;
+  if (!options.two_lanes) return decision;  // Everything fast (legacy FIFO).
+
+  Result<QueryCostProfile> profile =
+      AnalyzeQueryCost(kind, text, max_pattern_edges);
+  if (!profile.ok()) {
+    // Unparseable: execution fails it in microseconds, so it belongs in
+    // the fast lane — a malformed query must not consume a slow slot.
+    decision.arrangements = 0.0;
+    return decision;
+  }
+  decision.arrangements = profile->arrangements;
+  // Non-promoting probe: classification must not perturb LRU order, or
+  // pricing a flood of never-admitted requests would evict real plans.
+  if (cache.Contains(profile->key)) {
+    decision.cached = true;
+    return decision;  // Warm replay is always fast, whatever the width.
+  }
+  if (profile->arrangements > options.fast_lane_max_arrangements) {
+    decision.lane = Lane::kSlow;
+  }
+  return decision;
+}
+
+TokenBucketLimiter::TokenBucketLimiter(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec), burst_(std::max(0.0, burst)) {}
+
+bool TokenBucketLimiter::Admit(const std::string& client_id, double cost,
+                               std::chrono::steady_clock::time_point now,
+                               int64_t* retry_after_ms) {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = buckets_.try_emplace(client_id);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    // First sight of this client: a full bucket, so an initial burst up
+    // to `burst_` is always admitted.
+    bucket.tokens = burst_;
+    bucket.last = now;
+  } else {
+    double elapsed =
+        std::chrono::duration<double>(now - bucket.last).count();
+    if (elapsed > 0) {
+      bucket.tokens =
+          std::min(burst_, bucket.tokens + elapsed * rate_per_sec_);
+      bucket.last = now;
+    }
+  }
+  if (bucket.tokens >= cost) {
+    bucket.tokens -= cost;
+    return true;
+  }
+  if (retry_after_ms != nullptr) {
+    // Time until the deficit refills; a bucket that can never hold
+    // `cost` tokens (cost > burst) reports the 60s clamp.
+    double deficit = cost - bucket.tokens;
+    double ms = (cost > burst_ || rate_per_sec_ <= 0.0)
+                    ? 60000.0
+                    : std::ceil(deficit / rate_per_sec_ * 1000.0);
+    *retry_after_ms =
+        static_cast<int64_t>(std::clamp(ms, 1.0, 60000.0));
+  }
+  return false;
+}
+
+size_t TokenBucketLimiter::client_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace sketchtree

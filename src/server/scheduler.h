@@ -1,0 +1,217 @@
+#ifndef SKETCHTREE_SERVER_SCHEDULER_H_
+#define SKETCHTREE_SERVER_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "server/compiled_query.h"
+#include "server/plan_cache.h"
+
+namespace sketchtree {
+
+/// The serve path's two admission lanes. Fast holds work whose service
+/// time is bounded and small — plan-cache hits and cheap compiles — so
+/// a cached ~150us point query never waits behind a factorial unordered
+/// expansion. Slow holds cold expensive compiles; it is drained at a
+/// bounded fraction of dispatches and is the first thing shed under
+/// overload.
+enum class Lane { kFast = 0, kSlow = 1 };
+
+const char* LaneName(Lane lane);
+
+struct SchedulerOptions {
+  /// false collapses everything into the fast lane — the pre-PR-7
+  /// single-FIFO behavior, kept for comparison benches and rollback.
+  bool two_lanes = true;
+  /// Per-lane admission bounds. A full fast lane rejects with
+  /// OVERLOADED (the client is outrunning even cached service); a full
+  /// slow lane sheds with RETRY_AFTER (cold compiles are the load we
+  /// deliberately drop first).
+  size_t fast_capacity = 64;
+  size_t slow_capacity = 16;
+  /// A cache-missing query whose closed-form ordered-arrangement count
+  /// exceeds this goes to the slow lane. Cache hits are always fast —
+  /// a cached 10k-arrangement plan replays as cheaply as a point query.
+  double fast_lane_max_arrangements = 64.0;
+  /// Starvation bound: after this many consecutive fast-lane dispatches
+  /// while slow work waits, the next dispatch takes from the slow lane,
+  /// so cold compiles make progress under any sustained fast-lane load.
+  int starvation_bound = 8;
+};
+
+/// Where the admission classifier decided a request goes and why —
+/// echoed into metrics and (for the slow lane) into replies.
+struct AdmissionDecision {
+  Lane lane = Lane::kFast;
+  /// Closed-form compile cost (ordered arrangements; 1 for non-
+  /// unordered kinds). 0 when the text failed to parse.
+  double arrangements = 1.0;
+  /// True when the plan cache already holds the compiled plan.
+  bool cached = false;
+};
+
+/// Prices one query at admission: canonical key + closed-form
+/// arrangement count (one parse, no expansion), then a non-promoting
+/// plan-cache probe. Unparseable text classifies fast — the execution
+/// path will fail it quickly and cheaply, so it must not occupy the
+/// slow lane. Thread-safe (the cache probe is the only shared state).
+AdmissionDecision ClassifyForAdmission(QueryKind kind,
+                                       const std::string& text,
+                                       const PlanCache& cache,
+                                       int max_pattern_edges,
+                                       const SchedulerOptions& options);
+
+/// Per-client token buckets keyed by the wire request's client id.
+/// Each bucket holds up to `burst` tokens and refills at `rate_per_sec`;
+/// a request costs one token (a batch costs its size). An unknown
+/// client id lazily creates a bucket that starts full, so a client's
+/// first burst is always admitted. `rate_per_sec <= 0` disables
+/// admission control entirely (every Admit succeeds).
+///
+/// Time is passed in by the caller, so tests drive refill
+/// deterministically.
+class TokenBucketLimiter {
+ public:
+  TokenBucketLimiter(double rate_per_sec, double burst);
+
+  bool enabled() const { return rate_per_sec_ > 0.0; }
+
+  /// Consumes `cost` tokens from `client_id`'s bucket if available.
+  /// On refusal returns false and sets `*retry_after_ms` to when enough
+  /// tokens will have accrued (clamped to [1, 60000]; 60000 also stands
+  /// in for "never" when the bucket cannot refill to `cost`).
+  bool Admit(const std::string& client_id, double cost,
+             std::chrono::steady_clock::time_point now,
+             int64_t* retry_after_ms);
+
+  size_t client_count() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last;
+  };
+
+  double rate_per_sec_;
+  double burst_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+enum class AdmitResult { kAdmitted, kFastFull, kSlowFull, kStopped };
+
+/// Bounded two-lane work queue with fast-lane-priority dispatch under a
+/// slow-lane starvation bound. Generic over the work item so the TCP
+/// server queues socket-bound items while the load bench queues plain
+/// closures; the scheduling policy under test is this one class either
+/// way.
+///
+/// Dispatch rule (under one mutex, so it is deterministic given the
+/// queue states): take fast work first; but once `starvation_bound`
+/// consecutive fast items have dispatched while slow work waited, take
+/// one slow item. With `two_lanes == false` every push lands in the
+/// fast deque and this degenerates to the old single FIFO.
+template <typename T>
+class TwoLaneQueue {
+ public:
+  explicit TwoLaneQueue(const SchedulerOptions& options)
+      : options_(options) {}
+
+  /// Admits `item` to `lane` (forced to kFast when two_lanes is off,
+  /// with the fast bound being the sum of both capacities so total
+  /// admission capacity matches the two-lane configuration).
+  AdmitResult Push(Lane lane, T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return AdmitResult::kStopped;
+    if (!options_.two_lanes) {
+      if (fast_.size() >= options_.fast_capacity + options_.slow_capacity) {
+        return AdmitResult::kFastFull;
+      }
+      fast_.push_back(std::move(item));
+    } else if (lane == Lane::kFast) {
+      if (fast_.size() >= options_.fast_capacity) {
+        return AdmitResult::kFastFull;
+      }
+      fast_.push_back(std::move(item));
+    } else {
+      if (slow_.size() >= options_.slow_capacity) {
+        return AdmitResult::kSlowFull;
+      }
+      slow_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return AdmitResult::kAdmitted;
+  }
+
+  /// Blocks for the next item per the dispatch rule. Returns false only
+  /// when the queue is stopped *and* empty — after Stop(), remaining
+  /// items keep coming out so the owner can drain them (the server
+  /// answers each with SHUTTING_DOWN rather than running it).
+  bool Pop(T* out, Lane* lane) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return stopped_ || !fast_.empty() || !slow_.empty();
+    });
+    if (fast_.empty() && slow_.empty()) return false;  // Stopped + drained.
+    bool take_slow;
+    if (fast_.empty()) {
+      take_slow = true;
+    } else if (slow_.empty()) {
+      take_slow = false;
+    } else {
+      take_slow = consecutive_fast_ >= options_.starvation_bound;
+    }
+    if (take_slow) {
+      *out = std::move(slow_.front());
+      slow_.pop_front();
+      if (lane != nullptr) *lane = Lane::kSlow;
+      consecutive_fast_ = 0;
+    } else {
+      *out = std::move(fast_.front());
+      fast_.pop_front();
+      if (lane != nullptr) *lane = Lane::kFast;
+      // Only count a fast dispatch against the bound when slow work is
+      // actually waiting; an idle slow lane must not bank starvation
+      // credit.
+      consecutive_fast_ = slow_.empty() ? 0 : consecutive_fast_ + 1;
+    }
+    return true;
+  }
+
+  /// Wakes every blocked Pop; subsequent Pops drain remaining items and
+  /// then return false.
+  void Stop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+  }
+
+  size_t depth(Lane lane) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lane == Lane::kFast ? fast_.size() : slow_.size();
+  }
+
+  size_t total_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fast_.size() + slow_.size();
+  }
+
+ private:
+  SchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> fast_;
+  std::deque<T> slow_;
+  int consecutive_fast_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_SCHEDULER_H_

@@ -6,9 +6,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <optional>
+#include <string>
+#include <utility>
 
+#include "common/timer.h"
 #include "trace/trace.h"
 
 namespace sketchtree {
@@ -54,18 +60,49 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+SchedulerOptions SchedulerOptionsFor(const QueryServerOptions& options) {
+  SchedulerOptions scheduler;
+  scheduler.two_lanes = options.two_lanes;
+  scheduler.fast_capacity = options.queue_capacity;
+  scheduler.slow_capacity = options.slow_queue_capacity;
+  scheduler.fast_lane_max_arrangements = options.fast_lane_max_arrangements;
+  scheduler.starvation_bound = options.starvation_bound;
+  return scheduler;
+}
+
 }  // namespace
 
 QueryServer::QueryServer(QueryService* service,
                          const QueryServerOptions& options)
     : service_(service),
       options_(options),
+      queue_(SchedulerOptionsFor(options)),
+      limiter_(options.client_quota_qps,
+               options.client_quota_burst > 0.0
+                   ? options.client_quota_burst
+                   : 2.0 * options.client_quota_qps),
+      slow_service_ms_x1024_(50 * 1024),  // Seed the retry hint at 50ms.
       queue_depth_(GlobalMetrics().GetGauge("server.queue_depth")),
       queue_wait_us_(GlobalMetrics().GetHistogram(
           "server.queue_wait_us", Histogram::ExponentialBounds(1, 2.0, 21))),
+      fast_wait_us_(GlobalMetrics().GetHistogram(
+          "server.fast_wait_us", Histogram::ExponentialBounds(1, 2.0, 21))),
+      slow_wait_us_(GlobalMetrics().GetHistogram(
+          "server.slow_wait_us", Histogram::ExponentialBounds(1, 2.0, 21))),
       replies_ok_(GlobalMetrics().GetCounter("server.replies_ok")),
       replies_error_(GlobalMetrics().GetCounter("server.replies_error")),
+      replies_dropped_(GlobalMetrics().GetCounter("server.replies_dropped")),
       overloaded_(GlobalMetrics().GetCounter("server.overloaded")),
+      shed_retry_after_(
+          GlobalMetrics().GetCounter("server.shed_retry_after")),
+      quota_rejected_(GlobalMetrics().GetCounter("server.quota_rejected")),
+      expired_at_dequeue_(
+          GlobalMetrics().GetCounter("server.expired_at_dequeue")),
+      shed_on_shutdown_(
+          GlobalMetrics().GetCounter("server.shed_on_shutdown")),
+      fast_admitted_(GlobalMetrics().GetCounter("server.fast_admitted")),
+      slow_admitted_(GlobalMetrics().GetCounter("server.slow_admitted")),
+      batch_queries_(GlobalMetrics().GetCounter("server.batch_queries")),
       connections_(GlobalMetrics().GetCounter("server.connections")) {}
 
 Result<std::unique_ptr<QueryServer>> QueryServer::Start(
@@ -145,6 +182,17 @@ void QueryServer::Shutdown() {
     listen_fd_ = -1;
   }
 
+  // Drain workers while connections are still open: an in-flight query
+  // finishes and delivers its reply, but everything still *queued* is
+  // answered SHUTTING_DOWN instead of being executed at full cost —
+  // shutdown applies the shed policy, it does not burn a queue of cold
+  // compiles on the way out.
+  queue_.Stop();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
   // Unblock every connection reader mid-recv, then join them; each
   // reader closes its own fd on exit (under the connection's write
   // mutex, so an in-flight worker Reply never writes a stale fd).
@@ -163,14 +211,6 @@ void QueryServer::Shutdown() {
   for (auto& [conn, thread] : conns) {
     if (thread.joinable()) thread.join();
   }
-
-  // Drain workers: they finish queued items (replying into closed
-  // connections is a silent no-op) and exit once the queue is empty.
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
-  }
-  workers_.clear();
 }
 
 void QueryServer::AcceptLoop() {
@@ -233,18 +273,20 @@ void QueryServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
       if (line.empty()) continue;
       Result<WireRequest> parsed = ParseWireRequest(line);
       if (!parsed.ok()) {
-        replies_error_->Increment();
-        Reply(conn, FormatCodedErrorReply("", "MALFORMED_REQUEST",
-                                          parsed.status().message()));
+        SendCounted(conn,
+                    FormatCodedErrorReply("", "MALFORMED_REQUEST",
+                                          parsed.status().message()),
+                    /*ok=*/false);
         continue;
       }
       HandleRequest(conn, std::move(parsed).value());
     }
     buffer.erase(0, start);
     if (buffer.size() > (1u << 20)) {
-      replies_error_->Increment();
-      Reply(conn, FormatCodedErrorReply("", "MALFORMED_REQUEST",
-                                        "request line exceeds 1 MiB"));
+      SendCounted(conn,
+                  FormatCodedErrorReply("", "MALFORMED_REQUEST",
+                                        "request line exceeds 1 MiB"),
+                  /*ok=*/false);
       break;
     }
   }
@@ -255,135 +297,315 @@ void QueryServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
   ::close(fd);
 }
 
+int64_t QueryServer::SlowRetryHintMs() const {
+  int64_t service_ms =
+      slow_service_ms_x1024_.load(std::memory_order_relaxed) / 1024;
+  if (service_ms < 1) service_ms = 1;
+  int64_t waiting = static_cast<int64_t>(queue_.depth(Lane::kSlow)) + 1;
+  int64_t hint = waiting * service_ms / std::max(1, options_.num_workers);
+  return std::min<int64_t>(std::max<int64_t>(hint, 1), 60000);
+}
+
 void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                                 WireRequest request) {
   std::optional<QueryKind> kind = KindForOp(request.op);
-  if (kind.has_value()) {
-    WorkItem item;
-    item.conn = conn;
-    item.kind = *kind;
-    item.request = std::move(request);
-    item.enqueued = std::chrono::steady_clock::now();
-    bool admitted = false;
-    std::string overloaded_reply;
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (queue_.size() >= options_.queue_capacity) {
-        overloaded_reply = FormatCodedErrorReply(
-            item.request.id_json, "OVERLOADED",
-            "admission queue full (" +
-                std::to_string(options_.queue_capacity) +
-                " queries pending); retry with backoff");
-      } else {
-        queue_.push_back(std::move(item));
-        queue_depth_->Set(static_cast<int64_t>(queue_.size()));
-        admitted = true;
+  const bool is_batch = request.op == "batch";
+  if (kind.has_value() || is_batch) {
+    if (is_batch) {
+      if (request.batch.empty()) {
+        SendCounted(conn,
+                    FormatCodedErrorReply(
+                        request.id_json, "MALFORMED_REQUEST",
+                        "batch needs a non-empty \"queries\" array"),
+                    /*ok=*/false);
+        return;
+      }
+      for (const WireBatchItem& sub : request.batch) {
+        if (!KindForOp(sub.op).has_value()) {
+          SendCounted(conn,
+                      FormatCodedErrorReply(
+                          request.id_json, "MALFORMED_REQUEST",
+                          "unknown op \"" + sub.op +
+                              "\" in batch (want count, count_ord, "
+                              "extended, or expr)"),
+                      /*ok=*/false);
+          return;
+        }
       }
     }
-    if (admitted) {
-      queue_cv_.notify_one();
+
+    const auto now = std::chrono::steady_clock::now();
+
+    // Per-client admission control first: a rate-limited client is
+    // turned away before it can occupy either lane.
+    const double token_cost =
+        is_batch ? static_cast<double>(request.batch.size()) : 1.0;
+    int64_t quota_retry_ms = 0;
+    if (!limiter_.Admit(request.client, token_cost, now, &quota_retry_ms)) {
+      quota_rejected_->Increment();
+      std::string who =
+          request.client.empty() ? "(anonymous)" : request.client;
+      SendCounted(conn,
+                  FormatRetryAfterReply(
+                      request.id_json, "RETRY_AFTER",
+                      "client \"" + who + "\" exceeded its quota (" +
+                          std::to_string(options_.client_quota_qps) +
+                          " queries/s)",
+                      quota_retry_ms),
+                  /*ok=*/false);
+      return;
+    }
+
+    // Price the work: plan-cache probe + closed-form arrangement count.
+    // A batch takes the worst lane of its members — one expensive cold
+    // member makes the whole batch slow-lane work.
+    const int max_edges = service_->sketch_options().max_pattern_edges;
+    const SchedulerOptions scheduler = SchedulerOptionsFor(options_);
+    AdmissionDecision decision;
+    if (is_batch) {
+      for (const WireBatchItem& sub : request.batch) {
+        AdmissionDecision d =
+            ClassifyForAdmission(*KindForOp(sub.op), sub.query,
+                                 service_->plan_cache(), max_edges,
+                                 scheduler);
+        if (d.lane == Lane::kSlow) decision.lane = Lane::kSlow;
+        decision.arrangements += d.arrangements;
+      }
     } else {
-      overloaded_->Increment();
-      replies_error_->Increment();
-      Reply(conn, overloaded_reply);
+      decision = ClassifyForAdmission(*kind, request.query,
+                                      service_->plan_cache(), max_edges,
+                                      scheduler);
+    }
+
+    WorkItem item;
+    item.conn = conn;
+    item.is_batch = is_batch;
+    if (kind.has_value()) item.kind = *kind;
+    item.lane = decision.lane;
+    item.enqueued = now;
+    if (request.timeout_ms > 0) {
+      item.deadline = now + std::chrono::milliseconds(request.timeout_ms);
+    }
+    const Lane lane = decision.lane;
+    const std::string id_json = request.id_json;
+    item.request = std::move(request);
+    switch (queue_.Push(lane, std::move(item))) {
+      case AdmitResult::kAdmitted:
+        (lane == Lane::kFast ? fast_admitted_ : slow_admitted_)->Increment();
+        queue_depth_->Set(static_cast<int64_t>(queue_.total_depth()));
+        return;
+      case AdmitResult::kSlowFull:
+        // Shed order under overload: expensive cold compiles go first,
+        // with an explicit back-off hint, while the fast lane keeps
+        // serving cached estimates.
+        shed_retry_after_->Increment();
+        SendCounted(conn,
+                    FormatRetryAfterReply(
+                        id_json, "RETRY_AFTER",
+                        "slow lane full (" +
+                            std::to_string(options_.slow_queue_capacity) +
+                            " cold compiles pending); expensive queries "
+                            "are shed first under overload",
+                        SlowRetryHintMs()),
+                    /*ok=*/false);
+        return;
+      case AdmitResult::kFastFull:
+        overloaded_->Increment();
+        SendCounted(conn,
+                    FormatCodedErrorReply(
+                        id_json, "OVERLOADED",
+                        "admission queue full (" +
+                            std::to_string(options_.queue_capacity) +
+                            " queries pending); retry with backoff"),
+                    /*ok=*/false);
+        return;
+      case AdmitResult::kStopped:
+        SendCounted(conn,
+                    FormatCodedErrorReply(id_json, "SHUTTING_DOWN",
+                                          "server is shutting down"),
+                    /*ok=*/false);
+        return;
     }
     return;
   }
 
   if (request.op == "ping") {
-    replies_ok_->Increment();
-    Reply(conn, SimpleOkReply(request.id_json, "\"pong\":true"));
+    SendCounted(conn, SimpleOkReply(request.id_json, "\"pong\":true"),
+                /*ok=*/true);
     return;
   }
   if (request.op == "stats") {
     PlanCache::Stats cache = service_->plan_cache().GetStats();
     std::shared_ptr<const SketchSnapshot> snapshot =
         service_->snapshots().Current();
-    char fields[256];
+    char fields[512];
     std::snprintf(
         fields, sizeof(fields),
         "\"epoch\":%llu,\"trees\":%llu,\"cache_hits\":%llu,"
         "\"cache_misses\":%llu,\"cache_evictions\":%llu,"
-        "\"cache_entries\":%zu,\"queue_depth\":%lld",
+        "\"cache_entries\":%zu,\"queue_depth\":%lld,"
+        "\"fast_depth\":%zu,\"slow_depth\":%zu,"
+        "\"shed_retry_after\":%llu,\"quota_rejected\":%llu,"
+        "\"replies_dropped\":%llu",
         static_cast<unsigned long long>(snapshot ? snapshot->epoch : 0),
         static_cast<unsigned long long>(snapshot ? snapshot->trees_processed
                                                  : 0),
         static_cast<unsigned long long>(cache.hits),
         static_cast<unsigned long long>(cache.misses),
         static_cast<unsigned long long>(cache.evictions), cache.entries,
-        static_cast<long long>(queue_depth_->value()));
-    replies_ok_->Increment();
-    Reply(conn, SimpleOkReply(request.id_json, fields));
+        static_cast<long long>(queue_depth_->value()),
+        queue_.depth(Lane::kFast), queue_.depth(Lane::kSlow),
+        static_cast<unsigned long long>(shed_retry_after_->value()),
+        static_cast<unsigned long long>(quota_rejected_->value()),
+        static_cast<unsigned long long>(replies_dropped_->value()));
+    SendCounted(conn, SimpleOkReply(request.id_json, fields), /*ok=*/true);
     return;
   }
   if (request.op == "shutdown") {
-    replies_ok_->Increment();
-    Reply(conn, SimpleOkReply(request.id_json, "\"shutting_down\":true"));
+    SendCounted(conn,
+                SimpleOkReply(request.id_json, "\"shutting_down\":true"),
+                /*ok=*/true);
     // Flip the flag and wake WaitForShutdown; the owner thread performs
     // the actual teardown via Shutdown() (it must — joins can't happen
-    // on this connection thread).
+    // on this connection thread). Workers observe stopping_ and shed
+    // queued work with SHUTTING_DOWN from here on.
     stopping_.store(true);
     stop_cv_.notify_all();
-    queue_cv_.notify_all();
     return;
   }
-  replies_error_->Increment();
-  Reply(conn, FormatCodedErrorReply(
+  SendCounted(conn,
+              FormatCodedErrorReply(
                   request.id_json, "MALFORMED_REQUEST",
                   "unknown op \"" + request.op +
-                      "\" (want count, count_ord, extended, expr, stats, "
-                      "ping, or shutdown)"));
+                      "\" (want count, count_ord, extended, expr, batch, "
+                      "stats, ping, or shutdown)"),
+              /*ok=*/false);
+}
+
+void QueryServer::ExecuteSingle(const WorkItem& item) {
+  QueryRequest query;
+  query.kind = item.kind;
+  query.text = item.request.query;
+  query.deadline = item.deadline;
+  WallTimer timer;
+  Result<QueryAnswer> answer = service_->Execute(query);
+  if (item.lane == Lane::kSlow) {
+    // Fold the observed service time into the shed hint's EMA
+    // (weight 1/4 new): retry_after_ms tracks what a cold compile
+    // actually costs right now.
+    int64_t observed_x1024 =
+        static_cast<int64_t>(timer.ElapsedSeconds() * 1000.0 * 1024.0);
+    int64_t prev = slow_service_ms_x1024_.load(std::memory_order_relaxed);
+    slow_service_ms_x1024_.store((prev * 3 + observed_x1024) / 4,
+                                 std::memory_order_relaxed);
+  }
+  std::string reply;
+  {
+    TRACE_SPAN("server.serialize");
+    reply = answer.ok() ? FormatAnswerReply(item.request, answer.value())
+                        : FormatErrorReply(item.request, answer.status());
+  }
+  SendCounted(item.conn, reply, answer.ok());
+}
+
+void QueryServer::ExecuteBatch(const WorkItem& item) {
+  // One snapshot pin for the whole batch: every sub-query answers from
+  // the same epoch, and the results are bit-identical to issuing the
+  // singles against that epoch.
+  std::shared_ptr<const SketchSnapshot> snapshot =
+      service_->snapshots().Current();
+  WallTimer timer;
+  std::vector<Result<QueryAnswer>> results;
+  results.reserve(item.request.batch.size());
+  for (const WireBatchItem& sub : item.request.batch) {
+    QueryRequest query;
+    query.kind = *KindForOp(sub.op);  // Validated at admission.
+    query.text = sub.query;
+    query.deadline = item.deadline;
+    results.push_back(service_->ExecuteOn(query, snapshot));
+  }
+  batch_queries_->Increment(item.request.batch.size());
+  std::string reply;
+  {
+    TRACE_SPAN("server.serialize");
+    reply = FormatBatchReply(item.request, snapshot ? snapshot->epoch : 0,
+                             snapshot ? snapshot->trees_processed : 0,
+                             results, timer.ElapsedSeconds() * 1e6);
+  }
+  SendCounted(item.conn, reply, /*ok=*/true);
 }
 
 void QueryServer::WorkerLoop() {
   while (true) {
     WorkItem item;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return stopping_.load() || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stopping_.load()) return;
-        continue;
-      }
-      item = std::move(queue_.front());
-      queue_.pop_front();
-      queue_depth_->Set(static_cast<int64_t>(queue_.size()));
-    }
-    auto dequeued = std::chrono::steady_clock::now();
-    queue_wait_us_->Observe(static_cast<uint64_t>(
+    Lane lane = Lane::kFast;
+    if (!queue_.Pop(&item, &lane)) return;  // Stopped and fully drained.
+    queue_depth_->Set(static_cast<int64_t>(queue_.total_depth()));
+    const auto dequeued = std::chrono::steady_clock::now();
+    const uint64_t wait_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(dequeued -
                                                               item.enqueued)
-            .count()));
+            .count());
+    queue_wait_us_->Observe(wait_us);
+    (lane == Lane::kFast ? fast_wait_us_ : slow_wait_us_)->Observe(wait_us);
 
-    QueryRequest query;
-    query.kind = item.kind;
-    query.text = item.request.query;
-    if (item.request.timeout_ms > 0) {
-      query.deadline =
-          item.enqueued + std::chrono::milliseconds(item.request.timeout_ms);
+    // Shutdown drain: queued-but-unstarted work is shed, not executed —
+    // a queue full of cold compiles must not delay the exit.
+    if (stopping_.load()) {
+      shed_on_shutdown_->Increment();
+      SendCounted(item.conn,
+                  FormatCodedErrorReply(
+                      item.request.id_json, "SHUTTING_DOWN",
+                      "server is shutting down; request was queued but "
+                      "not executed"),
+                  /*ok=*/false);
+      continue;
     }
-    Result<QueryAnswer> answer = service_->Execute(query);
-    std::string reply;
-    {
-      TRACE_SPAN("server.serialize");
-      if (answer.ok()) {
-        replies_ok_->Increment();
-        reply = FormatAnswerReply(item.request, answer.value());
-      } else {
-        replies_error_->Increment();
-        reply = FormatErrorReply(item.request, answer.status());
-      }
+    // Deadline check at dequeue: an expired request is answered
+    // immediately — no snapshot pin, no compile, no estimate.
+    if (item.deadline.has_value() && dequeued > *item.deadline) {
+      expired_at_dequeue_->Increment();
+      SendCounted(item.conn,
+                  FormatCodedErrorReply(
+                      item.request.id_json, "DEADLINE_EXCEEDED",
+                      "deadline expired after " +
+                          std::to_string(wait_us / 1000) +
+                          "ms in the admission queue"),
+                  /*ok=*/false);
+      continue;
     }
-    Reply(item.conn, reply);
+
+    if (item.is_batch) {
+      ExecuteBatch(item);
+    } else {
+      ExecuteSingle(item);
+    }
   }
 }
 
-void QueryServer::Reply(const std::shared_ptr<Connection>& conn,
+bool QueryServer::Reply(const std::shared_ptr<Connection>& conn,
                         const std::string& line) {
   std::lock_guard<std::mutex> lock(conn->write_mu);
-  if (conn->fd < 0) return;
-  SendAll(conn->fd, line + "\n");
+  if (conn->fd < 0) {
+    replies_dropped_->Increment();
+    return false;
+  }
+  if (!SendAll(conn->fd, line + "\n")) {
+    // The peer is gone (reset / closed mid-reply). Count the loss and
+    // shut the socket down so the reader's recv unblocks and retires
+    // the connection instead of idling on a dead peer.
+    replies_dropped_->Increment();
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return false;
+  }
+  return true;
+}
+
+void QueryServer::SendCounted(const std::shared_ptr<Connection>& conn,
+                              const std::string& line, bool ok) {
+  if (Reply(conn, line)) {
+    (ok ? replies_ok_ : replies_error_)->Increment();
+  }
 }
 
 }  // namespace sketchtree

@@ -2,16 +2,18 @@
 #define SKETCHTREE_SERVER_TCP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
 #include "server/query_service.h"
+#include "server/scheduler.h"
 #include "server/wire.h"
 
 namespace sketchtree {
@@ -22,17 +24,41 @@ struct QueryServerOptions {
   int port = 0;
   /// Worker threads executing admitted queries.
   int num_workers = 4;
-  /// Admission queue bound. A query arriving while the queue is full is
-  /// rejected immediately with an OVERLOADED reply — backpressure is
-  /// explicit, never a silent stall.
+  /// Fast-lane admission bound (cache hits and cheap compiles). A query
+  /// arriving while this lane is full is rejected immediately with an
+  /// OVERLOADED reply — backpressure is explicit, never a silent stall.
+  /// With `two_lanes == false` this plus `slow_queue_capacity` bounds
+  /// the single legacy FIFO.
   size_t queue_capacity = 64;
+
+  // Cost-aware two-lane scheduling (DESIGN.md section 12). Queries are
+  // priced at admission from the plan-cache probe and the closed-form
+  // ordered-arrangement count; cold expensive compiles queue behind a
+  // separate bound and are the first work shed under overload
+  // (RETRY_AFTER), so cached point queries keep flowing.
+  bool two_lanes = true;
+  /// Slow-lane admission bound; a full slow lane sheds with RETRY_AFTER.
+  size_t slow_queue_capacity = 16;
+  /// Cache-missing queries above this arrangement count go slow.
+  double fast_lane_max_arrangements = 64.0;
+  /// One slow item dispatches after at most this many consecutive fast
+  /// dispatches while slow work waits (starvation bound).
+  int starvation_bound = 8;
+
+  /// Per-client token bucket keyed by the wire `client` field (absent =
+  /// one shared anonymous bucket): sustained tokens/sec and burst
+  /// capacity. A single query costs one token, a batch its size.
+  /// qps <= 0 disables quotas; burst <= 0 defaults to 2 * qps.
+  double client_quota_qps = 0.0;
+  double client_quota_burst = 0.0;
 };
 
 /// Line-delimited JSON over TCP in front of a QueryService (wire.h has
-/// the grammar). One reader thread per connection parses requests and
-/// answers cheap ops (ping, stats, shutdown) inline; query ops are
-/// admitted to a bounded queue served by a worker pool, so one slow
-/// query cannot wedge the accept loop or other connections.
+/// the grammar). One reader thread per connection parses requests,
+/// answers cheap ops (ping, stats, shutdown) inline, and prices query
+/// ops for two-lane admission; a worker pool drains the lanes
+/// fast-first under a slow-lane starvation bound, so one factorial cold
+/// compile cannot head-block hundreds of cached point queries.
 class QueryServer {
  public:
   /// Binds, listens, and starts the acceptor and worker threads. The
@@ -53,8 +79,11 @@ class QueryServer {
   /// this to stop publishing snapshots).
   bool stopping() const { return stopping_.load(); }
 
-  /// Stops accepting, unblocks all connection readers, drains workers,
-  /// and joins every thread. Idempotent.
+  /// Stops accepting and unblocks workers. Work already executing
+  /// finishes and its reply is delivered; work still queued is answered
+  /// with SHUTTING_DOWN instead of being executed at full cost (the
+  /// shed policy applies to the drain too). Then joins every thread.
+  /// Idempotent.
   void Shutdown();
 
  private:
@@ -69,7 +98,13 @@ class QueryServer {
     std::shared_ptr<Connection> conn;
     WireRequest request;
     QueryKind kind = QueryKind::kOrdered;
+    bool is_batch = false;
+    Lane lane = Lane::kFast;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute deadline from timeout_ms, fixed at admission; checked
+    /// at dequeue so an expired request is answered DEADLINE_EXCEEDED
+    /// without pinning a snapshot or burning a compile.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
   QueryServer(QueryService* service, const QueryServerOptions& options);
@@ -77,12 +112,25 @@ class QueryServer {
   void AcceptLoop();
   void ConnectionLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop();
-  /// Handles one parsed request on the reader thread: dispatches query
-  /// ops to the queue (or replies OVERLOADED) and answers control ops
+  /// Handles one parsed request on the reader thread: prices query ops
+  /// and admits them to a lane (or sheds), and answers control ops
   /// inline.
   void HandleRequest(const std::shared_ptr<Connection>& conn,
                      WireRequest request);
-  void Reply(const std::shared_ptr<Connection>& conn, const std::string& line);
+  void ExecuteSingle(const WorkItem& item);
+  void ExecuteBatch(const WorkItem& item);
+  /// Writes one reply line; returns true when fully delivered. A write
+  /// error counts server.replies_dropped and shuts the socket down so
+  /// the reader retires the connection instead of replies silently
+  /// vanishing.
+  bool Reply(const std::shared_ptr<Connection>& conn, const std::string& line);
+  /// Reply plus outcome accounting: replies_ok/replies_error count only
+  /// replies actually delivered.
+  void SendCounted(const std::shared_ptr<Connection>& conn,
+                   const std::string& line, bool ok);
+  /// Retry hint for slow-lane sheds: queued-slow-work times the EMA of
+  /// recent slow service time.
+  int64_t SlowRetryHintMs() const;
   void ReapFinishedConnections();
 
   QueryService* service_;
@@ -95,9 +143,11 @@ class QueryServer {
   std::condition_variable stop_cv_;
   std::mutex shutdown_mu_;  // Serializes Shutdown() callers.
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<WorkItem> queue_;
+  TwoLaneQueue<WorkItem> queue_;
+  TokenBucketLimiter limiter_;
+  /// EMA of slow-lane service time, milliseconds (scaled by 1024 so a
+  /// relaxed integer atomic carries it).
+  std::atomic<int64_t> slow_service_ms_x1024_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;
@@ -106,9 +156,19 @@ class QueryServer {
 
   Gauge* queue_depth_;
   Histogram* queue_wait_us_;
+  Histogram* fast_wait_us_;
+  Histogram* slow_wait_us_;
   Counter* replies_ok_;
   Counter* replies_error_;
+  Counter* replies_dropped_;
   Counter* overloaded_;
+  Counter* shed_retry_after_;
+  Counter* quota_rejected_;
+  Counter* expired_at_dequeue_;
+  Counter* shed_on_shutdown_;
+  Counter* fast_admitted_;
+  Counter* slow_admitted_;
+  Counter* batch_queries_;
   Counter* connections_;
 };
 

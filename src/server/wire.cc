@@ -116,12 +116,90 @@ class FlatJsonParser {
     return Error("unterminated string");
   }
 
+  /// The one sanctioned departure from flatness: `"queries": [...]`, an
+  /// array of flat objects each holding scalar fields. Everything else
+  /// about the grammar stays one level deep.
+  Status ParseBatchArray(WireRequest* request) {
+    if (!Consume('[')) return Error("expected '['");
+    SkipSpace();
+    if (Consume(']')) return Status::OK();  // Empty batch; server rejects.
+    while (true) {
+      SkipSpace();
+      if (!Consume('{')) return Error("expected '{' in queries array");
+      WireBatchItem item;
+      SkipSpace();
+      if (!Consume('}')) {
+        while (true) {
+          SkipSpace();
+          std::string key;
+          SKETCHTREE_RETURN_NOT_OK(ParseString(&key));
+          SkipSpace();
+          if (!Consume(':')) return Error("expected ':' after key");
+          SkipSpace();
+          std::string value;
+          bool is_string = false;
+          SKETCHTREE_RETURN_NOT_OK(ParseScalar(&value, &is_string));
+          if (key == "op" && is_string) {
+            item.op = std::move(value);
+          } else if (key == "q" && is_string) {
+            item.query = std::move(value);
+          }
+          SkipSpace();
+          if (Consume(',')) continue;
+          if (Consume('}')) break;
+          return Error("expected ',' or '}' in queries array");
+        }
+      }
+      request->batch.push_back(std::move(item));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']' in queries array");
+    }
+  }
+
+  /// Scans one scalar (string/number/bool/null). On return `*out` holds
+  /// the decoded string when `*is_string`, else the raw text span.
+  Status ParseScalar(std::string* out, bool* is_string) {
+    size_t start = pos_;
+    if (pos_ >= text_.size()) return Error("missing value");
+    char c = text_[pos_];
+    *is_string = false;
+    if (c == '"') {
+      *is_string = true;
+      return ParseString(out);
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+    } else if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+    } else if (text_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+    } else {
+      return Error("only string/number/bool/null values are allowed");
+    }
+    *out = std::string(text_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
   /// Scans one scalar value and records it into `request` when the key
   /// is meaningful. The raw text span is kept for "id" echoing.
   Status ParseValue(const std::string& key, WireRequest* request) {
     size_t start = pos_;
     if (pos_ >= text_.size()) return Error("missing value");
     char c = text_[pos_];
+    if (c == '[' && key == "queries") {
+      return ParseBatchArray(request);
+    }
     std::string string_value;
     bool is_string = false;
     if (c == '"') {
@@ -151,6 +229,8 @@ class FlatJsonParser {
       request->op = std::move(string_value);
     } else if (key == "q" && is_string) {
       request->query = std::move(string_value);
+    } else if (key == "client" && is_string) {
+      request->client = std::move(string_value);
     } else if (key == "id") {
       request->id_json = std::string(raw);
     } else if (key == "timeout_ms" && !is_string) {
@@ -243,6 +323,48 @@ std::string FormatCodedErrorReply(std::string_view id_json,
                                   std::string_view message) {
   return IdPrefix(id_json) + "\"ok\":false,\"code\":\"" +
          std::string(code) + "\",\"error\":\"" + JsonEscape(message) + "\"}";
+}
+
+std::string FormatRetryAfterReply(std::string_view id_json,
+                                  std::string_view code,
+                                  std::string_view message,
+                                  int64_t retry_after_ms) {
+  return IdPrefix(id_json) + "\"ok\":false,\"code\":\"" +
+         std::string(code) + "\",\"error\":\"" + JsonEscape(message) +
+         "\",\"retry_after_ms\":" + std::to_string(retry_after_ms) + "}";
+}
+
+std::string FormatBatchReply(const WireRequest& request, uint64_t epoch,
+                             uint64_t trees,
+                             const std::vector<Result<QueryAnswer>>& results,
+                             double total_micros) {
+  std::string out = IdPrefix(request.id_json);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "\"ok\":true,\"epoch\":%llu,\"trees\":%llu,",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(trees));
+  out += buf;
+  out += "\"results\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) out += ',';
+    if (results[i].ok()) {
+      const QueryAnswer& answer = results[i].value();
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ok\":true,\"estimate\":%.17g,\"cache\":\"%s\","
+                    "\"arrangements\":%zu}",
+                    answer.estimate, answer.cache_hit ? "hit" : "miss",
+                    answer.num_arrangements);
+      out += buf;
+    } else {
+      const Status& status = results[i].status();
+      out += "{\"ok\":false,\"code\":\"";
+      out += WireCodeFor(status);
+      out += "\",\"error\":\"" + JsonEscape(status.message()) + "\"}";
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "],\"micros\":%.1f}", total_micros);
+  out += buf;
+  return out;
 }
 
 }  // namespace sketchtree

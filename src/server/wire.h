@@ -5,39 +5,64 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "server/query_service.h"
 
 namespace sketchtree {
 
-/// The line protocol (DESIGN.md section 10): one JSON object per line in
-/// each direction over a plain TCP connection.
+/// The line protocol (DESIGN.md sections 10 and 12): one JSON object per
+/// line in each direction over a plain TCP connection.
 ///
 /// Request grammar (flat object; unknown fields are ignored):
 ///
-///   {"op": "count" | "count_ord" | "extended" | "expr"
+///   {"op": "count" | "count_ord" | "extended" | "expr" | "batch"
 ///          | "stats" | "ping" | "shutdown",
 ///    "q": "<query text>",          // required for the four query ops
+///    "queries": [{"op": ..., "q": ...}, ...],  // batch op only
 ///    "id": <string or number>,     // optional, echoed verbatim
+///    "client": "<client id>",      // optional, keys the token bucket
 ///    "timeout_ms": <number>}       // optional per-query deadline
+///
+/// `queries` is the one permitted departure from flatness: an array of
+/// flat objects, each naming one of the four query ops. A batch pins a
+/// single snapshot, so every result shares one {epoch, trees}.
 ///
 /// Success reply:
 ///   {"id": ..., "ok": true, "estimate": <num>, "epoch": <num>,
 ///    "trees": <num>, "cache": "hit"|"miss", "arrangements": <num>,
 ///    "micros": <num>}
+/// Batch reply:
+///   {"id": ..., "ok": true, "epoch": <num>, "trees": <num>,
+///    "results": [{"ok": true, "estimate": ..., "cache": ...,
+///                 "arrangements": ...} | {"ok": false, "code": ...,
+///                 "error": ...}, ...], "micros": <num>}
 /// Error reply:
-///   {"id": ..., "ok": false, "code": "<CODE>", "error": "<message>"}
+///   {"id": ..., "ok": false, "code": "<CODE>", "error": "<message>"
+///    [, "retry_after_ms": <num>]}
 /// with code one of INVALID_ARGUMENT, OUT_OF_RANGE, DEADLINE_EXCEEDED,
-/// OVERLOADED, MALFORMED_REQUEST, UNAVAILABLE, INTERNAL.
+/// OVERLOADED, RETRY_AFTER, SHUTTING_DOWN, MALFORMED_REQUEST,
+/// UNAVAILABLE, INTERNAL. RETRY_AFTER (slow-lane shed / client quota)
+/// carries the retry_after_ms hint.
+struct WireBatchItem {
+  std::string op;
+  std::string query;
+};
+
 struct WireRequest {
   std::string op;
   std::string query;
   /// The raw JSON value of "id" (already valid JSON), echoed back; empty
   /// means the field was absent.
   std::string id_json;
-  /// Per-query deadline in milliseconds; <= 0 means none.
+  /// Token-bucket key; empty (field absent) shares the anonymous bucket.
+  std::string client;
+  /// Per-query deadline in milliseconds; <= 0 means none. For a batch,
+  /// one deadline covers the whole batch.
   int64_t timeout_ms = 0;
+  /// Sub-queries of a "batch" op, in request order.
+  std::vector<WireBatchItem> batch;
 };
 
 /// Parses one request line. Accepts exactly a flat JSON object with
@@ -60,10 +85,27 @@ std::string FormatErrorReply(const WireRequest& request,
                              const Status& status);
 
 /// Renders an error reply with an explicit code — used for conditions
-/// that have no Status representation (OVERLOADED, MALFORMED_REQUEST).
+/// that have no Status representation (OVERLOADED, MALFORMED_REQUEST,
+/// RETRY_AFTER, SHUTTING_DOWN).
 std::string FormatCodedErrorReply(std::string_view id_json,
                                   std::string_view code,
                                   std::string_view message);
+
+/// Error reply carrying a retry hint: same shape as FormatCodedErrorReply
+/// plus `"retry_after_ms": <ms>` — the slow-lane shed and client-quota
+/// refusals, where the client should back off rather than hammer.
+std::string FormatRetryAfterReply(std::string_view id_json,
+                                  std::string_view code,
+                                  std::string_view message,
+                                  int64_t retry_after_ms);
+
+/// Renders a batch reply: one snapshot's {epoch, trees} at the top
+/// level, per-sub-query results in request order (success or error
+/// object apiece), and the total service micros.
+std::string FormatBatchReply(const WireRequest& request, uint64_t epoch,
+                             uint64_t trees,
+                             const std::vector<Result<QueryAnswer>>& results,
+                             double total_micros);
 
 /// Wire code for a Status (INVALID_ARGUMENT, OUT_OF_RANGE, ...).
 const char* WireCodeFor(const Status& status);

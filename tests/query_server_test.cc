@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "core/sketch_tree.h"
+#include "metrics/metrics.h"
 #include "server/query_service.h"
 #include "server/snapshot.h"
 #include "tree/tree_serialization.h"
@@ -55,6 +57,18 @@ class TestClient {
   }
   ~TestClient() {
     if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Aborts the connection with an RST (SO_LINGER zero) — simulates a
+  /// client dying mid-reply rather than closing gracefully.
+  void CloseHard() {
+    if (fd_ < 0) return;
+    linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd_);
+    fd_ = -1;
   }
 
   bool connected() const { return connected_; }
@@ -222,6 +236,357 @@ TEST(QueryServerTest, DeadlineExceededOverTheWire) {
   std::string reply = client.ReadLine();
   // timeout_ms 0 means "no deadline": must succeed.
   EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+  (*server)->Shutdown();
+}
+
+/// Extracts the raw JSON value of `"field":` occurrences, in order.
+std::vector<std::string> ExtractField(const std::string& json,
+                                      const std::string& field) {
+  std::vector<std::string> values;
+  const std::string needle = "\"" + field + "\":";
+  for (size_t pos = json.find(needle); pos != std::string::npos;
+       pos = json.find(needle, pos + 1)) {
+    size_t start = pos + needle.size();
+    size_t end = json.find_first_of(",}]", start);
+    values.push_back(json.substr(start, end - start));
+  }
+  return values;
+}
+
+/// A service over a wide sketch where an 8-distinct-child unordered
+/// pattern costs 8! = 40320 arrangements — tens of milliseconds of cold
+/// compile, the head-of-line blocker the lanes exist for.
+Result<QueryService> WideService() {
+  SketchTreeOptions sketch_options = SmallOptions();
+  sketch_options.max_pattern_edges = 8;
+  SketchTree sketch = *SketchTree::Create(sketch_options);
+  sketch.Update(*ParseSExpr("A(B,C)"));
+  QueryServiceOptions service_options;
+  service_options.max_arrangements = 50000;
+  return QueryService::CreateStatic(std::move(sketch), service_options);
+}
+
+TEST(QueryServerTest, WarmRepliesOvertakeQueuedColdCompiles) {
+  Result<QueryService> service = WideService();
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  // Two cold 40320-arrangement compiles pipelined ahead of one cheap
+  // point query. Under the old FIFO the cheap query waited behind both
+  // cold compiles; with lanes it overtakes whichever cold compile is
+  // still queued, so its reply must arrive before the second cold one.
+  client.Send(
+      "{\"op\":\"count\",\"q\":\"A(B,C,D,E,F,G,H,I)\",\"id\":1}\n"
+      "{\"op\":\"count\",\"q\":\"Z(Q,R,S,T,U,V,W,Y)\",\"id\":2}\n"
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":3}\n");
+  std::vector<std::string> reply_ids;
+  for (int i = 0; i < 3; ++i) {
+    std::string reply = client.ReadLine();
+    ASSERT_FALSE(reply.empty());
+    EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    std::vector<std::string> ids = ExtractField(reply, "id");
+    ASSERT_EQ(ids.size(), 1u) << reply;
+    reply_ids.push_back(ids[0]);
+  }
+  size_t warm_at = 0, second_cold_at = 0;
+  for (size_t i = 0; i < reply_ids.size(); ++i) {
+    if (reply_ids[i] == "3") warm_at = i;
+    if (reply_ids[i] == "2") second_cold_at = i;
+  }
+  EXPECT_LT(warm_at, second_cold_at)
+      << "warm reply queued behind a cold compile: " << reply_ids[0] << ","
+      << reply_ids[1] << "," << reply_ids[2];
+  (*server)->Shutdown();
+}
+
+TEST(QueryServerTest, ExpiredRequestsAreAnsweredAtDequeueWithoutCompiling) {
+  Result<QueryService> service = WideService();
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  Counter* expired = GlobalMetrics().GetCounter("server.expired_at_dequeue");
+  const uint64_t expired_before = expired->value();
+
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  // Pin the only worker on a tens-of-ms cold compile...
+  client.Send("{\"op\":\"count\",\"q\":\"A(B,C,D,E,F,G,H,I)\",\"id\":1}\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // ...then flood the queue with requests whose 5ms deadlines will all
+  // have expired by the time the worker frees up.
+  const char* dead_patterns[] = {"A(B,D)", "A(B,E)", "A(B,F)", "A(B,G)"};
+  std::string flood;
+  for (int i = 0; i < 4; ++i) {
+    flood += "{\"op\":\"count_ord\",\"q\":\"" +
+             std::string(dead_patterns[i]) + "\",\"id\":" +
+             std::to_string(i + 2) + ",\"timeout_ms\":5}\n";
+  }
+  client.Send(flood);
+
+  std::string blocker_reply = client.ReadLine();
+  EXPECT_NE(blocker_reply.find("\"id\":1,\"ok\":true"), std::string::npos)
+      << blocker_reply;
+  for (int i = 0; i < 4; ++i) {
+    std::string reply = client.ReadLine();
+    EXPECT_NE(reply.find("\"code\":\"DEADLINE_EXCEEDED\""),
+              std::string::npos)
+        << reply;
+    EXPECT_NE(reply.find("admission queue"), std::string::npos) << reply;
+  }
+  EXPECT_EQ(expired->value(), expired_before + 4);
+  // The regression being locked down: a dead request must cost zero
+  // compiles. If any had executed, its plan would now be cached.
+  for (const char* pattern : dead_patterns) {
+    Result<std::string> key =
+        CanonicalQueryKey(QueryKind::kOrdered, pattern, 8);
+    ASSERT_TRUE(key.ok());
+    EXPECT_FALSE(service->plan_cache().Contains(*key)) << pattern;
+  }
+  (*server)->Shutdown();
+}
+
+TEST(QueryServerTest, DroppedReplyIsCountedNotMiscountedAsDelivered) {
+  Result<QueryService> service = WideService();
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  Counter* dropped = GlobalMetrics().GetCounter("server.replies_dropped");
+  Counter* ok = GlobalMetrics().GetCounter("server.replies_ok");
+  const uint64_t dropped_before = dropped->value();
+  const uint64_t ok_before = ok->value();
+
+  {
+    TestClient client((*server)->port());
+    ASSERT_TRUE(client.connected());
+    // A slow cold compile guarantees the client is gone (RST) before
+    // the worker tries to deliver the reply.
+    client.Send(
+        "{\"op\":\"count\",\"q\":\"A(B,C,D,E,F,G,H,I)\",\"id\":1}\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    client.CloseHard();
+  }
+  // The send failure must surface as replies_dropped, not replies_ok.
+  for (int i = 0; i < 500 && dropped->value() == dropped_before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(dropped->value(), dropped_before + 1);
+  EXPECT_EQ(ok->value(), ok_before);
+  (*server)->Shutdown();
+}
+
+TEST(QueryServerTest, ShutdownShedsQueuedWorkWithExplicitError) {
+  Result<QueryService> service = WideService();
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  Counter* shed = GlobalMetrics().GetCounter("server.shed_on_shutdown");
+  const uint64_t shed_before = shed->value();
+
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+  // Worker pinned on a cold compile, three more requests queued behind
+  // it — then shutdown. The in-flight compile finishes and delivers;
+  // the queued requests must be shed with SHUTTING_DOWN, not executed
+  // at full cost on the way out.
+  client.Send("{\"op\":\"count\",\"q\":\"A(B,C,D,E,F,G,H,I)\",\"id\":1}\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  client.Send(
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":2}\n"
+      "{\"op\":\"count_ord\",\"q\":\"A(B,D)\",\"id\":3}\n"
+      "{\"op\":\"count\",\"q\":\"Z(Q,R,S,T,U,V,W,Y)\",\"id\":4}\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (*server)->Shutdown();
+
+  std::string blocker_reply = client.ReadLine();
+  EXPECT_NE(blocker_reply.find("\"id\":1,\"ok\":true"), std::string::npos)
+      << blocker_reply;
+  for (int i = 0; i < 3; ++i) {
+    std::string reply = client.ReadLine();
+    EXPECT_NE(reply.find("\"code\":\"SHUTTING_DOWN\""), std::string::npos)
+        << reply;
+  }
+  EXPECT_EQ(shed->value(), shed_before + 3);
+}
+
+TEST(QueryServerTest, BatchMatchesSinglesBitForBit) {
+  Result<QueryService> service = QueryService::CreateStatic(BuildSketch());
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  // Singles first (these also warm the cache — irrelevant for values,
+  // cached replay is bit-identical by construction).
+  const char* singles[] = {
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":1}",
+      "{\"op\":\"count\",\"q\":\"A(C,B)\",\"id\":2}",
+      "{\"op\":\"expr\",\"q\":\"COUNT_ORD(A(B,C)) + COUNT_ORD(R(S(T),U))\","
+      "\"id\":3}",
+  };
+  std::vector<std::string> expected;
+  for (const char* line : singles) {
+    client.Send(std::string(line) + "\n");
+    std::string reply = client.ReadLine();
+    ASSERT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+    std::vector<std::string> estimates = ExtractField(reply, "estimate");
+    ASSERT_EQ(estimates.size(), 1u) << reply;
+    expected.push_back(estimates[0]);
+  }
+
+  // One batch, same queries, one snapshot pin: values must be
+  // bit-identical (both sides print %.17g, so string equality is value
+  // equality), and the shared epoch is reported once at the top level.
+  client.Send(
+      "{\"op\":\"batch\",\"id\":9,\"queries\":["
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\"},"
+      "{\"op\":\"count\",\"q\":\"A(C,B)\"},"
+      "{\"op\":\"expr\",\"q\":\"COUNT_ORD(A(B,C)) + COUNT_ORD(R(S(T),U))\"}"
+      "]}\n");
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"id\":9,\"ok\":true,\"epoch\":1,\"trees\":15"),
+            std::string::npos)
+      << reply;
+  std::vector<std::string> estimates = ExtractField(reply, "estimate");
+  ASSERT_EQ(estimates.size(), 3u) << reply;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(estimates[i], expected[i]) << "sub-query " << i;
+  }
+
+  // A bad sub-query fails alone; its neighbors still answer.
+  client.Send(
+      "{\"op\":\"batch\",\"id\":10,\"queries\":["
+      "{\"op\":\"count_ord\",\"q\":\"A((\"},"
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\"}]}\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"ok\":false,\"code\":\"INVALID_ARGUMENT\""),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("\"ok\":true,\"estimate\":"), std::string::npos)
+      << reply;
+
+  // Batches of unknown ops and empty batches are rejected whole.
+  client.Send("{\"op\":\"batch\",\"id\":11,\"queries\":[]}\n");
+  EXPECT_NE(client.ReadLine().find("\"code\":\"MALFORMED_REQUEST\""),
+            std::string::npos);
+  client.Send(
+      "{\"op\":\"batch\",\"id\":12,\"queries\":[{\"op\":\"stats\"}]}\n");
+  EXPECT_NE(client.ReadLine().find("\"code\":\"MALFORMED_REQUEST\""),
+            std::string::npos);
+  (*server)->Shutdown();
+}
+
+TEST(QueryServerTest, ClientQuotaEnforcedOverTheWire) {
+  Result<QueryService> service = QueryService::CreateStatic(BuildSketch());
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  options.client_quota_qps = 5.0;
+  options.client_quota_burst = 2.0;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  // Burst of 2 admitted; the third back-to-back request from the same
+  // client is refused with a retry hint.
+  for (int i = 1; i <= 2; ++i) {
+    client.Send("{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"client\":\"c1\","
+                "\"id\":" + std::to_string(i) + "}\n");
+    EXPECT_NE(client.ReadLine().find("\"ok\":true"), std::string::npos);
+  }
+  client.Send(
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"client\":\"c1\",\"id\":3}"
+      "\n");
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"RETRY_AFTER\""), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("\"retry_after_ms\":"), std::string::npos) << reply;
+
+  // Another client's bucket is untouched, as is the anonymous bucket.
+  client.Send(
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"client\":\"c2\",\"id\":4}"
+      "\n");
+  EXPECT_NE(client.ReadLine().find("\"ok\":true"), std::string::npos);
+  client.Send("{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":5}\n");
+  EXPECT_NE(client.ReadLine().find("\"ok\":true"), std::string::npos);
+
+  // A batch costs its size: 3 sub-queries > burst 2 can never admit,
+  // which reports the 60s "never" clamp.
+  client.Send(
+      "{\"op\":\"batch\",\"client\":\"c3\",\"id\":6,\"queries\":["
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\"},"
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\"},"
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\"}]}\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"RETRY_AFTER\""), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("\"retry_after_ms\":60000"), std::string::npos)
+      << reply;
+  (*server)->Shutdown();
+}
+
+TEST(QueryServerTest, SlowLaneOverflowShedsWhileFastKeepsFlowing) {
+  Result<QueryService> service = WideService();
+  ASSERT_TRUE(service.ok());
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.slow_queue_capacity = 1;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(&service.value(), options);
+  ASSERT_TRUE(server.ok());
+  TestClient client((*server)->port());
+  ASSERT_TRUE(client.connected());
+
+  // Worker pinned on cold compile #1; cold #2 fills the 1-slot slow
+  // lane; cold #3 must shed with RETRY_AFTER; and the cheap point query
+  // still gets through on the fast lane — graceful degradation sheds
+  // the expensive work first.
+  client.Send("{\"op\":\"count\",\"q\":\"A(B,C,D,E,F,G,H,I)\",\"id\":1}\n");
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  client.Send(
+      "{\"op\":\"count\",\"q\":\"Z(Q,R,S,T,U,V,W,Y)\",\"id\":2}\n"
+      "{\"op\":\"count\",\"q\":\"M(B,C,D,E,F,G,H,I)\",\"id\":3}\n"
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":4}\n");
+  std::map<std::string, std::string> replies;
+  for (int i = 0; i < 4; ++i) {
+    std::string reply = client.ReadLine();
+    ASSERT_FALSE(reply.empty());
+    std::vector<std::string> ids = ExtractField(reply, "id");
+    ASSERT_EQ(ids.size(), 1u) << reply;
+    replies[ids[0]] = reply;
+  }
+  EXPECT_NE(replies["1"].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(replies["2"].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(replies["3"].find("\"code\":\"RETRY_AFTER\""),
+            std::string::npos)
+      << replies["3"];
+  EXPECT_NE(replies["3"].find("\"retry_after_ms\":"), std::string::npos);
+  EXPECT_NE(replies["4"].find("\"ok\":true"), std::string::npos);
   (*server)->Shutdown();
 }
 

@@ -1,0 +1,269 @@
+#include "server/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "server/compiled_query.h"
+#include "server/plan_cache.h"
+
+namespace sketchtree {
+namespace {
+
+SchedulerOptions SmallScheduler() {
+  SchedulerOptions options;
+  options.fast_capacity = 4;
+  options.slow_capacity = 2;
+  options.fast_lane_max_arrangements = 64.0;
+  options.starvation_bound = 2;
+  return options;
+}
+
+std::vector<int> Drain(TwoLaneQueue<int>* queue, size_t count) {
+  std::vector<int> order;
+  for (size_t i = 0; i < count; ++i) {
+    int item = 0;
+    Lane lane = Lane::kFast;
+    EXPECT_TRUE(queue->Pop(&item, &lane));
+    order.push_back(item);
+  }
+  return order;
+}
+
+TEST(TwoLaneQueueTest, FastDispatchesBeforeEarlierSlow) {
+  TwoLaneQueue<int> queue(SmallScheduler());
+  // Slow work arrives first, fast work second; dispatch still takes the
+  // fast item — that is the whole point of the two lanes.
+  ASSERT_EQ(queue.Push(Lane::kSlow, 100), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kFast, 1), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kFast, 2), AdmitResult::kAdmitted);
+  EXPECT_EQ(Drain(&queue, 3), (std::vector<int>{1, 2, 100}));
+}
+
+TEST(TwoLaneQueueTest, StarvationBoundForcesSlowProgress) {
+  TwoLaneQueue<int> queue(SmallScheduler());  // starvation_bound = 2.
+  ASSERT_EQ(queue.Push(Lane::kSlow, 100), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kSlow, 101), AdmitResult::kAdmitted);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_EQ(queue.Push(Lane::kFast, i), AdmitResult::kAdmitted);
+  }
+  // Two fast dispatches while slow waits, then one slow, and so on:
+  // slow work is bounded-starved, never unbounded-starved.
+  EXPECT_EQ(Drain(&queue, 6), (std::vector<int>{1, 2, 100, 3, 4, 101}));
+}
+
+TEST(TwoLaneQueueTest, IdleSlowLaneBanksNoStarvationCredit) {
+  TwoLaneQueue<int> queue(SmallScheduler());  // starvation_bound = 2.
+  // Fast dispatches with an empty slow lane must not count against the
+  // bound; otherwise the first slow arrival would preempt fast work it
+  // never actually waited behind.
+  ASSERT_EQ(queue.Push(Lane::kFast, 1), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kFast, 2), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kFast, 3), AdmitResult::kAdmitted);
+  EXPECT_EQ(Drain(&queue, 3), (std::vector<int>{1, 2, 3}));
+  ASSERT_EQ(queue.Push(Lane::kSlow, 100), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kFast, 4), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kFast, 5), AdmitResult::kAdmitted);
+  // The counter starts at zero here: two fresh fast dispatches, then
+  // the slow item.
+  EXPECT_EQ(Drain(&queue, 3), (std::vector<int>{4, 5, 100}));
+}
+
+TEST(TwoLaneQueueTest, PerLaneCapacitiesRejectIndependently) {
+  TwoLaneQueue<int> queue(SmallScheduler());  // fast 4, slow 2.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.Push(Lane::kFast, i), AdmitResult::kAdmitted);
+  }
+  EXPECT_EQ(queue.Push(Lane::kFast, 99), AdmitResult::kFastFull);
+  // A full fast lane does not block slow admission, and vice versa.
+  ASSERT_EQ(queue.Push(Lane::kSlow, 100), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kSlow, 101), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.Push(Lane::kSlow, 102), AdmitResult::kSlowFull);
+  EXPECT_EQ(queue.depth(Lane::kFast), 4u);
+  EXPECT_EQ(queue.depth(Lane::kSlow), 2u);
+  EXPECT_EQ(queue.total_depth(), 6u);
+}
+
+TEST(TwoLaneQueueTest, SingleLaneModeIsOneFifoWithCombinedCapacity) {
+  SchedulerOptions options = SmallScheduler();
+  options.two_lanes = false;
+  TwoLaneQueue<int> queue(options);
+  // All six admissions land in one FIFO regardless of requested lane
+  // (4 + 2 combined capacity), and come out in arrival order.
+  for (int i = 0; i < 6; ++i) {
+    Lane lane = (i % 2 == 0) ? Lane::kSlow : Lane::kFast;
+    ASSERT_EQ(queue.Push(lane, i), AdmitResult::kAdmitted) << i;
+  }
+  EXPECT_EQ(queue.Push(Lane::kFast, 99), AdmitResult::kFastFull);
+  EXPECT_EQ(Drain(&queue, 6), (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(TwoLaneQueueTest, StopDrainsRemainingItemsThenEnds) {
+  TwoLaneQueue<int> queue(SmallScheduler());
+  ASSERT_EQ(queue.Push(Lane::kFast, 1), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.Push(Lane::kSlow, 100), AdmitResult::kAdmitted);
+  queue.Stop();
+  // Admission after Stop reports kStopped (the server replies
+  // SHUTTING_DOWN), but queued items still drain for shedding.
+  EXPECT_EQ(queue.Push(Lane::kFast, 2), AdmitResult::kStopped);
+  EXPECT_EQ(Drain(&queue, 2), (std::vector<int>{1, 100}));
+  int item = 0;
+  EXPECT_FALSE(queue.Pop(&item, nullptr));
+}
+
+TEST(TokenBucketLimiterTest, DisabledLimiterAdmitsEverything) {
+  TokenBucketLimiter limiter(0.0, 0.0);
+  EXPECT_FALSE(limiter.enabled());
+  const auto now = std::chrono::steady_clock::time_point{};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(limiter.Admit("anyone", 1.0, now, nullptr));
+  }
+  EXPECT_EQ(limiter.client_count(), 0u);  // Disabled: no buckets at all.
+}
+
+TEST(TokenBucketLimiterTest, UnknownClientStartsWithFullBurst) {
+  TokenBucketLimiter limiter(/*rate_per_sec=*/5.0, /*burst=*/3.0);
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  // First sight of the client: the full burst is admitted back to back,
+  // then the bucket is empty.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(limiter.Admit("c1", 1.0, t0, nullptr)) << i;
+  }
+  int64_t retry_ms = 0;
+  EXPECT_FALSE(limiter.Admit("c1", 1.0, t0, &retry_ms));
+  // Deficit of one token at 5/s refills in 200ms.
+  EXPECT_EQ(retry_ms, 200);
+  EXPECT_EQ(limiter.client_count(), 1u);
+}
+
+TEST(TokenBucketLimiterTest, RefillRestoresAdmissionUpToBurst) {
+  TokenBucketLimiter limiter(/*rate_per_sec=*/10.0, /*burst=*/2.0);
+  const auto t0 = std::chrono::steady_clock::time_point{};
+  EXPECT_TRUE(limiter.Admit("c1", 2.0, t0, nullptr));  // Drain the burst.
+  EXPECT_FALSE(limiter.Admit("c1", 1.0, t0, nullptr));
+  // 100ms refills one token at 10/s.
+  const auto t1 = t0 + std::chrono::milliseconds(100);
+  EXPECT_TRUE(limiter.Admit("c1", 1.0, t1, nullptr));
+  EXPECT_FALSE(limiter.Admit("c1", 1.0, t1, nullptr));
+  // A long idle period refills to the burst cap, never beyond it.
+  const auto t2 = t1 + std::chrono::hours(1);
+  EXPECT_TRUE(limiter.Admit("c1", 2.0, t2, nullptr));
+  EXPECT_FALSE(limiter.Admit("c1", 1.0, t2, nullptr));
+}
+
+TEST(TokenBucketLimiterTest, ZeroBurstRefusesWithMaxHint) {
+  // rate > 0 but burst 0: the bucket can never hold a token, so every
+  // request is refused with the 60s "never" clamp.
+  TokenBucketLimiter limiter(/*rate_per_sec=*/5.0, /*burst=*/0.0);
+  ASSERT_TRUE(limiter.enabled());
+  int64_t retry_ms = 0;
+  const auto now = std::chrono::steady_clock::time_point{};
+  EXPECT_FALSE(limiter.Admit("c1", 1.0, now, &retry_ms));
+  EXPECT_EQ(retry_ms, 60000);
+  // A batch whose cost exceeds the burst also reports the clamp.
+  TokenBucketLimiter wide(/*rate_per_sec=*/5.0, /*burst=*/4.0);
+  EXPECT_FALSE(wide.Admit("c1", 8.0, now, &retry_ms));
+  EXPECT_EQ(retry_ms, 60000);
+}
+
+TEST(TokenBucketLimiterTest, ClientsHaveIndependentBuckets) {
+  TokenBucketLimiter limiter(/*rate_per_sec=*/5.0, /*burst=*/1.0);
+  const auto now = std::chrono::steady_clock::time_point{};
+  EXPECT_TRUE(limiter.Admit("c1", 1.0, now, nullptr));
+  EXPECT_FALSE(limiter.Admit("c1", 1.0, now, nullptr));
+  // c1 being drained leaves c2 (and the anonymous bucket) untouched.
+  EXPECT_TRUE(limiter.Admit("c2", 1.0, now, nullptr));
+  EXPECT_TRUE(limiter.Admit("", 1.0, now, nullptr));
+  EXPECT_EQ(limiter.client_count(), 3u);
+}
+
+TEST(ClassifyForAdmissionTest, CheapAndExpensiveQueriesSplitLanes) {
+  PlanCache cache(8, 1);
+  SchedulerOptions options;
+  options.fast_lane_max_arrangements = 64.0;
+  // Ordered point query: cost 1, fast.
+  AdmissionDecision ordered = ClassifyForAdmission(
+      QueryKind::kOrdered, "A(B,C,D,E,F)", cache, 8, options);
+  EXPECT_EQ(ordered.lane, Lane::kFast);
+  EXPECT_EQ(ordered.arrangements, 1.0);
+  EXPECT_FALSE(ordered.cached);
+  // Unordered with 5 distinct children: 5! = 120 > 64, slow.
+  AdmissionDecision wide = ClassifyForAdmission(
+      QueryKind::kUnordered, "A(B,C,D,E,F)", cache, 8, options);
+  EXPECT_EQ(wide.lane, Lane::kSlow);
+  EXPECT_EQ(wide.arrangements, 120.0);
+  // Repeated children divide out: A(B,B,C) has 3!/2! = 3 arrangements.
+  AdmissionDecision repeated = ClassifyForAdmission(
+      QueryKind::kUnordered, "A(B,B,C)", cache, 8, options);
+  EXPECT_EQ(repeated.lane, Lane::kFast);
+  EXPECT_EQ(repeated.arrangements, 3.0);
+}
+
+TEST(ClassifyForAdmissionTest, CacheHitIsAlwaysFast) {
+  PlanCache cache(8, 1);
+  SchedulerOptions options;
+  options.fast_lane_max_arrangements = 64.0;
+  const std::string text = "A(B,C,D,E,F)";
+  Result<QueryCostProfile> profile =
+      AnalyzeQueryCost(QueryKind::kUnordered, text, 8);
+  ASSERT_TRUE(profile.ok());
+  // The classifier and the execution path must agree on the key, or a
+  // cached plan would still be priced as a cold compile.
+  Result<std::string> key = CanonicalQueryKey(QueryKind::kUnordered, text, 8);
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(profile->key, *key);
+
+  cache.Put(profile->key, std::make_shared<CompiledQuery>());
+  // Any textual variant of the same unordered pattern hits the cached
+  // plan, so it classifies fast despite its 120 arrangements.
+  AdmissionDecision warm = ClassifyForAdmission(
+      QueryKind::kUnordered, "A(F,E,D,C,B)", cache, 8, options);
+  EXPECT_EQ(warm.lane, Lane::kFast);
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.arrangements, 120.0);
+}
+
+TEST(ClassifyForAdmissionTest, ClassificationProbeDoesNotPromote) {
+  // One-shard cache of capacity 2 with exact LRU: probing the LRU entry
+  // via classification must not rescue it from the next eviction.
+  PlanCache cache(2, 1);
+  Result<QueryCostProfile> a =
+      AnalyzeQueryCost(QueryKind::kOrdered, "A(B)", 3);
+  Result<QueryCostProfile> b =
+      AnalyzeQueryCost(QueryKind::kOrdered, "C(D)", 3);
+  Result<QueryCostProfile> c =
+      AnalyzeQueryCost(QueryKind::kOrdered, "E(F)", 3);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  cache.Put(a->key, std::make_shared<CompiledQuery>());
+  cache.Put(b->key, std::make_shared<CompiledQuery>());
+  SchedulerOptions options;
+  AdmissionDecision probe =
+      ClassifyForAdmission(QueryKind::kOrdered, "A(B)", cache, 3, options);
+  EXPECT_TRUE(probe.cached);
+  cache.Put(c->key, std::make_shared<CompiledQuery>());  // Evicts LRU.
+  // A(B) was the LRU despite the probe, so it is the one evicted.
+  EXPECT_FALSE(cache.Contains(a->key));
+  EXPECT_TRUE(cache.Contains(b->key));
+  EXPECT_TRUE(cache.Contains(c->key));
+}
+
+TEST(ClassifyForAdmissionTest, UnparseableAndLegacyModeClassifyFast) {
+  PlanCache cache(8, 1);
+  SchedulerOptions options;
+  // Unparseable text: execution rejects it in microseconds, so it must
+  // not occupy a slow-lane slot.
+  AdmissionDecision bad = ClassifyForAdmission(
+      QueryKind::kUnordered, "A((", cache, 8, options);
+  EXPECT_EQ(bad.lane, Lane::kFast);
+  EXPECT_EQ(bad.arrangements, 0.0);
+  // two_lanes off: everything is fast, no pricing at all.
+  options.two_lanes = false;
+  AdmissionDecision legacy = ClassifyForAdmission(
+      QueryKind::kUnordered, "A(B,C,D,E,F)", cache, 8, options);
+  EXPECT_EQ(legacy.lane, Lane::kFast);
+}
+
+}  // namespace
+}  // namespace sketchtree

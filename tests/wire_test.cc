@@ -96,6 +96,88 @@ TEST(WireTest, FormatsAnswerAndErrorReplies) {
             "\"error\":\"queue full\"}");
 }
 
+TEST(WireTest, ParsesClientField) {
+  Result<WireRequest> parsed = ParseWireRequest(
+      R"json({"op":"count","q":"A(B)","client":"tenant-7"})json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->client, "tenant-7");
+  // Absent client stays empty (the shared anonymous bucket).
+  Result<WireRequest> anonymous = ParseWireRequest(R"({"op":"ping"})");
+  ASSERT_TRUE(anonymous.ok());
+  EXPECT_TRUE(anonymous->client.empty());
+}
+
+TEST(WireTest, ParsesBatchQueriesArray) {
+  Result<WireRequest> parsed = ParseWireRequest(
+      R"json({"op":"batch","id":9,"client":"c1","queries":[)json"
+      R"json({"op":"count","q":"A(B,C)"},)json"
+      R"json({"op":"count_ord","q":"A(C,B)","note":7},)json"
+      R"json({"op":"expr","q":"COUNT_ORD(X(Y))"}]})json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->op, "batch");
+  EXPECT_EQ(parsed->id_json, "9");
+  ASSERT_EQ(parsed->batch.size(), 3u);
+  EXPECT_EQ(parsed->batch[0].op, "count");
+  EXPECT_EQ(parsed->batch[0].query, "A(B,C)");
+  EXPECT_EQ(parsed->batch[1].op, "count_ord");
+  EXPECT_EQ(parsed->batch[1].query, "A(C,B)");
+  EXPECT_EQ(parsed->batch[2].op, "expr");
+  EXPECT_EQ(parsed->batch[2].query, "COUNT_ORD(X(Y))");
+
+  // Empty array parses (the server rejects it at admission instead).
+  Result<WireRequest> empty =
+      ParseWireRequest(R"({"op":"batch","queries":[]})");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->batch.empty());
+}
+
+TEST(WireTest, QueriesIsTheOnlyPermittedArray) {
+  // The flat grammar still rejects arrays under any other key, nesting
+  // inside batch items, and malformed batch arrays.
+  const char* bad[] = {
+      "{\"op\":\"batch\",\"patterns\":[{\"op\":\"count\"}]}",
+      "{\"op\":\"batch\",\"queries\":[[]]}",
+      "{\"op\":\"batch\",\"queries\":[{\"op\":[\"count\"]}]}",
+      "{\"op\":\"batch\",\"queries\":[{\"op\":{\"x\":1}}]}",
+      "{\"op\":\"batch\",\"queries\":[{\"op\":\"count\"}",
+      "{\"op\":\"batch\",\"queries\":{\"op\":\"count\"}}",
+  };
+  for (const char* line : bad) {
+    Result<WireRequest> parsed = ParseWireRequest(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+  }
+}
+
+TEST(WireTest, FormatsRetryAfterReply) {
+  EXPECT_EQ(FormatRetryAfterReply("11", "RETRY_AFTER", "slow lane full", 250),
+            "{\"id\":11,\"ok\":false,\"code\":\"RETRY_AFTER\","
+            "\"error\":\"slow lane full\",\"retry_after_ms\":250}");
+  EXPECT_EQ(FormatRetryAfterReply("", "RETRY_AFTER", "quota", 60000),
+            "{\"ok\":false,\"code\":\"RETRY_AFTER\","
+            "\"error\":\"quota\",\"retry_after_ms\":60000}");
+}
+
+TEST(WireTest, FormatsBatchReply) {
+  WireRequest request;
+  request.id_json = "5";
+  std::vector<Result<QueryAnswer>> results;
+  QueryAnswer first;
+  first.estimate = 9.0;
+  first.cache_hit = true;
+  first.num_arrangements = 2;
+  results.emplace_back(first);
+  results.emplace_back(Status::InvalidArgument("bad pattern"));
+  std::string reply = FormatBatchReply(request, 3, 1500, results, 12.5);
+  EXPECT_EQ(reply,
+            "{\"id\":5,\"ok\":true,\"epoch\":3,\"trees\":1500,"
+            "\"results\":["
+            "{\"ok\":true,\"estimate\":9,\"cache\":\"hit\","
+            "\"arrangements\":2},"
+            "{\"ok\":false,\"code\":\"INVALID_ARGUMENT\","
+            "\"error\":\"bad pattern\"}"
+            "],\"micros\":12.5}");
+}
+
 TEST(WireTest, WireCodesCoverStatusCodes) {
   EXPECT_STREQ(WireCodeFor(Status::InvalidArgument("x")),
                "INVALID_ARGUMENT");

@@ -102,6 +102,9 @@ int Usage() {
       "  sketchtree_cli serve (--synopsis SYNOPSIS.bin | --input FOREST.xml)\n"
       "        [--port 7227] [--workers N] [--queue N] [--cache N]\n"
       "        [--max-arrangements N] [--publish-every N]\n"
+      "        [--lanes 1|2] [--slow-queue N] [--fast-threshold A]\n"
+      "        [--starvation-bound N] [--client-quota QPS]\n"
+      "        [--client-burst N]\n"
       "        [build options when --input: --k --s1 --s2 --streams\n"
       "         --topk --summary --seed]\n"
       "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
@@ -112,9 +115,14 @@ int Usage() {
       "  only) against epoch-published snapshots of the synopsis: with\n"
       "  --synopsis a frozen one, with --input a live single-threaded\n"
       "  ingest republishing every --publish-every trees. Request:\n"
-      "  {\"op\":\"count|count_ord|extended|expr|stats|ping|shutdown\",\n"
-      "   \"q\":\"...\", \"id\":..., \"timeout_ms\":N}; --port 0 picks a\n"
-      "  free port (printed on stdout). See DESIGN.md section 10.\n"
+      "  {\"op\":\"count|count_ord|extended|expr|batch|stats|ping|shutdown\",\n"
+      "   \"q\":\"...\", \"id\":..., \"client\":\"...\", \"timeout_ms\":N,\n"
+      "   \"queries\":[{\"op\":...,\"q\":...},...] for batch}; --port 0\n"
+      "  picks a free port (printed on stdout). Admission is two-lane:\n"
+      "  cache hits and queries at most --fast-threshold arrangements go\n"
+      "  fast, cold expensive compiles go slow and are shed first under\n"
+      "  overload (RETRY_AFTER); --client-quota rate-limits per \"client\"\n"
+      "  id. See DESIGN.md sections 10 and 12.\n"
       "\n"
       "  inspect prints a sketch health report (per-row occupancy and\n"
       "  moments, self-join size, Theorem-1 error scale, warnings);\n"
@@ -662,6 +670,23 @@ int RunServe(const Args& args) {
   server_options.num_workers = static_cast<int>(args.GetLong("workers", 4));
   long queue = args.GetLong("queue", 0);
   if (queue > 0) server_options.queue_capacity = static_cast<size_t>(queue);
+  // Two-lane scheduling (DESIGN.md section 12): on by default;
+  // --lanes 1 restores the single pre-lane FIFO for comparison.
+  server_options.two_lanes = args.GetLong("lanes", 2) >= 2;
+  long slow_queue = args.GetLong("slow-queue", 0);
+  if (slow_queue > 0) {
+    server_options.slow_queue_capacity = static_cast<size_t>(slow_queue);
+  }
+  double fast_threshold = args.GetDouble("fast-threshold", 0.0);
+  if (fast_threshold > 0.0) {
+    server_options.fast_lane_max_arrangements = fast_threshold;
+  }
+  long starvation = args.GetLong("starvation-bound", 0);
+  if (starvation > 0) {
+    server_options.starvation_bound = static_cast<int>(starvation);
+  }
+  server_options.client_quota_qps = args.GetDouble("client-quota", 0.0);
+  server_options.client_quota_burst = args.GetDouble("client-burst", 0.0);
   long publish_every = args.GetLong("publish-every", 1000);
   if (publish_every < 1) {
     std::fprintf(stderr,
