@@ -1,0 +1,216 @@
+// EXP-CLUSTER — distributed-serving latency: scatter-gather vs the
+// merged-synopsis path, healthy and degraded.
+//
+// Three in-process shard workers (real loopback TCP, the production
+// wire protocol) behind one coordinator. Measured per strategy:
+//
+//   merged  : answer from the coordinator's locally merged synopsis —
+//             no network on the query path at all;
+//   scatter : fan the query's mapped values to every shard, sum the
+//             returned projection matrices, finish locally. Pays one
+//             network round trip but sees each shard's current epoch.
+//
+// Then one worker is shut down and the scatter path is measured again
+// in degraded (partial) mode — the latency of answering from survivors
+// includes eating the dead shard's connect failure each round until
+// the circuit breaker opens, which is exactly the figure of interest.
+//
+// Also reported: the differential check (scatter == merged bit-exact
+// while healthy) and the degraded answers' widened error scale.
+// Results go to BENCH_cluster.json. Informational — no assertion
+// floors; network latency on a loaded CI box is not a stable pass/fail
+// signal.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "common/timer.h"
+#include "core/sketch_tree.h"
+#include "server/query_service.h"
+#include "server/tcp_server.h"
+#include "tree/tree_serialization.h"
+
+using namespace sketchtree;
+
+namespace {
+
+constexpr int kRounds = 400;
+
+SketchTreeOptions ShardOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 16;
+  options.s2 = 5;
+  options.num_virtual_streams = 31;
+  options.topk_size = 0;  // Required by the bit-exactness contract.
+  options.seed = 23;
+  options.build_structural_summary = true;
+  return options;
+}
+
+SketchTree BuildShardSketch(int shard) {
+  SketchTree sketch = *SketchTree::Create(ShardOptions());
+  const char* docs[] = {"A(B,C)", "A(B)", "R(S(T),U)", "D(E)", "A(C,B)"};
+  for (int i = 0; i < 300; ++i) {
+    sketch.Update(*ParseSExpr(docs[(i + shard) % 5]));
+  }
+  return sketch;
+}
+
+struct Worker {
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<QueryServer> server;
+};
+
+Worker StartWorker(int shard) {
+  Worker worker;
+  worker.service = std::make_unique<QueryService>(
+      *QueryService::CreateStatic(BuildShardSketch(shard)));
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  worker.server =
+      std::move(*QueryServer::Start(worker.service.get(), options));
+  return worker;
+}
+
+struct LatencyStats {
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0, mean = 0.0;
+};
+
+LatencyStats Summarize(std::vector<double> micros) {
+  LatencyStats stats;
+  if (micros.empty()) return stats;
+  std::sort(micros.begin(), micros.end());
+  auto at = [&](double q) {
+    return micros[static_cast<size_t>(q * (micros.size() - 1))];
+  };
+  stats.p50 = at(0.50);
+  stats.p95 = at(0.95);
+  stats.p99 = at(0.99);
+  double sum = 0.0;
+  for (double m : micros) sum += m;
+  stats.mean = sum / micros.size();
+  return stats;
+}
+
+/// kRounds queries through one strategy; returns latencies and the last
+/// answer (for the differential check and degradation provenance).
+LatencyStats RunRounds(Coordinator& cluster, const char* strategy,
+                       QueryAnswer* last) {
+  std::vector<double> micros;
+  micros.reserve(kRounds);
+  for (int i = 0; i < kRounds; ++i) {
+    WallTimer timer;
+    Result<QueryAnswer> answer = cluster.Execute(
+        QueryKind::kOrdered, "A(B,C)", std::nullopt, strategy);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "%s query failed: %s\n", strategy,
+                   answer.status().ToString().c_str());
+      std::exit(1);
+    }
+    micros.push_back(timer.ElapsedSeconds() * 1e6);
+    if (last != nullptr) *last = *answer;
+  }
+  return Summarize(std::move(micros));
+}
+
+void PrintRow(const char* name, const LatencyStats& stats) {
+  std::printf("  %-18s %10.1f %10.1f %10.1f %10.1f\n", name, stats.p50,
+              stats.p95, stats.p99, stats.mean);
+}
+
+void JsonRow(FILE* json, const char* name, const LatencyStats& stats,
+             bool last) {
+  std::fprintf(json,
+               "  \"%s_us\": {\"p50\": %.1f, \"p95\": %.1f, "
+               "\"p99\": %.1f, \"mean\": %.1f}%s\n",
+               name, stats.p50, stats.p95, stats.p99, stats.mean,
+               last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Worker> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(StartWorker(i));
+
+  CoordinatorOptions options;
+  for (const Worker& worker : workers) {
+    options.shards.push_back(
+        ShardAddress{"127.0.0.1", worker.server->port()});
+  }
+  options.refresh_every_ms = 0;
+  options.shard_deadline_ms = 1000;
+  options.hedge_min_ms = -1;  // Latency comparison wants single legs.
+  options.breaker_threshold = 3;
+  options.breaker_cooldown_ms = 200;
+  std::unique_ptr<Coordinator> cluster =
+      std::move(*Coordinator::Start(options));
+
+  QueryAnswer merged_answer, scatter_answer;
+  LatencyStats merged = RunRounds(*cluster, "merged", &merged_answer);
+  LatencyStats scatter = RunRounds(*cluster, "scatter", &scatter_answer);
+  const bool bit_exact = merged_answer.estimate == scatter_answer.estimate;
+
+  // Kill one worker; measure scatter in degraded mode. The first rounds
+  // pay the dead shard's connection failures, later rounds ride the
+  // open breaker — the aggregate is the honest degraded figure.
+  workers[2].server->Shutdown();
+  workers[2].server.reset();
+  QueryAnswer degraded_answer;
+  LatencyStats degraded = RunRounds(*cluster, "scatter", &degraded_answer);
+
+  std::printf("EXP-CLUSTER: 3 shards, COUNT_ord(A(B,C)) x %d rounds per "
+              "path (s1=%d s2=%d)\n",
+              kRounds, ShardOptions().s1, ShardOptions().s2);
+  std::printf("  %-18s %10s %10s %10s %10s\n", "path", "p50_us", "p95_us",
+              "p99_us", "mean_us");
+  PrintRow("merged", merged);
+  PrintRow("scatter", scatter);
+  PrintRow("scatter-degraded", degraded);
+  std::printf("  scatter == merged bit-exact while healthy: %s\n",
+              bit_exact ? "yes" : "NO");
+  std::printf("  degraded: partial=%s shards_ok=%d/%d error_scale "
+              "%.3f (healthy %.3f)\n",
+              degraded_answer.partial ? "true" : "false",
+              degraded_answer.shards_ok, degraded_answer.shards_total,
+              degraded_answer.error_scale, scatter_answer.error_scale);
+
+  FILE* json = std::fopen("BENCH_cluster.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n");
+    std::fprintf(json,
+                 "  \"settings\": {\"shards\": 3, \"rounds\": %d, "
+                 "\"s1\": %d, \"s2\": %d, \"hardware_threads\": %u},\n",
+                 kRounds, ShardOptions().s1, ShardOptions().s2,
+                 std::thread::hardware_concurrency());
+    JsonRow(json, "merged", merged, false);
+    JsonRow(json, "scatter", scatter, false);
+    JsonRow(json, "scatter_degraded", degraded, false);
+    std::fprintf(json, "  \"bit_exact_when_healthy\": %s,\n",
+                 bit_exact ? "true" : "false");
+    std::fprintf(json,
+                 "  \"degraded\": {\"partial\": %s, \"shards_ok\": %d, "
+                 "\"shards_total\": %d, \"error_scale\": %.4f, "
+                 "\"healthy_error_scale\": %.4f}\n",
+                 degraded_answer.partial ? "true" : "false",
+                 degraded_answer.shards_ok, degraded_answer.shards_total,
+                 degraded_answer.error_scale, scatter_answer.error_scale);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_cluster.json\n");
+  }
+
+  cluster->Stop();
+  for (Worker& worker : workers) {
+    if (worker.server != nullptr) worker.server->Shutdown();
+  }
+  return bit_exact ? 0 : 1;
+}

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""CI validator for distributed serving (`serve --shards`).
+
+Starts three shard workers over the same synopsis (top-k off, as the
+bit-exactness contract requires), a coordinator in front of them, and
+checks over a real TCP socket:
+
+  1. scatter and merged strategies answer bit-identically while every
+     shard is healthy (the Section-5.3 linearity argument, end to end
+     over the wire);
+  2. cluster provenance is reported (strategy, shards_ok/total,
+     covered/total trees, error scale);
+  3. with one worker SIGKILLed mid-load, scatter replies keep flowing
+     within the deadline as ok:true partial:true from the survivors,
+     with a widened error scale — and zero coordinator crashes;
+  4. after the worker restarts on the same port, replies return to
+     partial:false and the exact healthy estimate (shard re-join);
+  5. the coordinator's stats op carries the cluster counters, and the
+     shutdown op exits the coordinator with status 0.
+
+Usage:
+  check_cluster.py [--cli build/tools/sketchtree_cli]
+                   [--input examples/smoke_forest.xml]
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+procs = []
+
+
+def fail(message):
+    print(f"check_cluster: FAIL: {message}", file=sys.stderr)
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+class Client:
+    """One request in flight at a time, so replies arrive in order."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        self.buffer = b""
+        self.next_id = 0
+
+    def roundtrip(self, request):
+        self.next_id += 1
+        line = json.dumps(dict(request, id=self.next_id))
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail(f"connection closed awaiting reply to: {line}")
+            self.buffer += chunk
+        raw, self.buffer = self.buffer.split(b"\n", 1)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            fail(f"reply is not valid JSON ({error}): {raw!r}")
+
+
+def expect(reply, what, **fields):
+    for key, value in fields.items():
+        if reply.get(key) != value:
+            fail(f"{what}: expected {key}={value!r}, got {reply}")
+    return reply
+
+
+def start_worker(cli, synopsis, port=0):
+    """Starts one shard worker; returns (process, bound port)."""
+    proc = subprocess.Popen(
+        [cli, "serve", "--synopsis", synopsis, "--port", str(port),
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    procs.append(proc)
+    banner = proc.stdout.readline()
+    match = re.match(r"serving on 127\.0\.0\.1:(\d+)", banner)
+    if not match:
+        fail(f"unexpected worker banner: {banner!r}")
+    return proc, int(match.group(1))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", default="build/tools/sketchtree_cli")
+    parser.add_argument("--input", default="examples/smoke_forest.xml")
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="check_cluster_")
+    synopsis = os.path.join(tmp, "shard.bin")
+    # --topk 0: the scatter/merged bit-exactness contract requires it
+    # (top-k compensation is per-shard state, not linear in the merge).
+    built = subprocess.run(
+        [args.cli, "build", "--input", args.input, "--output", synopsis,
+         "--topk", "0", "--summary"],
+        capture_output=True, text=True)
+    if built.returncode != 0:
+        fail(f"synopsis build failed: {built.stderr}")
+
+    workers = []
+    for _ in range(3):
+        workers.append(start_worker(args.cli, synopsis))
+    shard_ports = [port for _, port in workers]
+
+    # Fast refresh so the post-restart re-join lands within seconds.
+    coordinator = subprocess.Popen(
+        [args.cli, "serve",
+         "--shards", ",".join(str(p) for p in shard_ports),
+         "--port", "0", "--workers", "2",
+         "--refresh-every-ms", "300", "--shard-deadline-ms", "1000",
+         "--breaker-cooldown-ms", "300"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+    procs.append(coordinator)
+    banner = coordinator.stdout.readline()
+    match = re.match(r"coordinating 3 shards on 127\.0\.0\.1:(\d+)", banner)
+    if not match:
+        fail(f"unexpected coordinator banner: {banner!r}")
+    client = Client(int(match.group(1)))
+
+    # --- 1+2: differential bit-exactness with full provenance. --------
+    queries = [
+        {"op": "count_ord", "q": "author(name,affil)"},
+        {"op": "count", "q": "author(affil,name)"},
+        {"op": "extended", "q": "article(//name)"},
+        {"op": "expr",
+         "q": "COUNT_ORD(author(name,affil)) - COUNT_ORD(book)"},
+    ]
+    healthy_estimate = None
+    for query in queries:
+        scatter = expect(
+            client.roundtrip(dict(query, strategy="scatter")),
+            f"scatter {query['q']}", ok=True, strategy="scatter",
+            partial=False, shards_ok=3, shards_total=3)
+        merged = expect(
+            client.roundtrip(dict(query, strategy="merged")),
+            f"merged {query['q']}", ok=True, strategy="merged",
+            partial=False)
+        if scatter["estimate"] != merged["estimate"]:
+            fail(f"scatter != merged on {query['q']}: "
+                 f"{scatter['estimate']!r} vs {merged['estimate']!r}")
+        if scatter.get("covered_trees") != scatter.get("total_trees"):
+            fail(f"healthy scatter reports partial coverage: {scatter}")
+        if query["op"] == "count_ord":
+            healthy_estimate = scatter["estimate"]
+            healthy_scale = scatter["error_scale"]
+
+    # --- 3: kill one worker mid-load; survivors keep answering. -------
+    victim_proc, victim_port = workers[2]
+    victim_proc.send_signal(signal.SIGKILL)
+    victim_proc.wait()
+
+    deadline = time.monotonic() + 15
+    partial = None
+    while time.monotonic() < deadline:
+        reply = client.roundtrip(
+            {"op": "count_ord", "q": "author(name,affil)",
+             "strategy": "scatter"})
+        if not reply.get("ok"):
+            fail(f"scatter failed after single-worker kill: {reply}")
+        if reply.get("partial"):
+            partial = reply
+            break
+    if partial is None:
+        fail("no partial:true reply within 15s of killing a worker")
+    expect(partial, "degraded scatter", shards_ok=2, shards_total=3)
+    if partial["covered_trees"] >= partial["total_trees"]:
+        fail(f"degraded reply does not report reduced coverage: {partial}")
+    if partial["error_scale"] <= healthy_scale:
+        fail(f"degraded error scale not widened: {partial['error_scale']} "
+             f"vs healthy {healthy_scale}")
+    if coordinator.poll() is not None:
+        fail("coordinator crashed after a worker kill")
+
+    # The merged path still serves the last complete epoch, un-degraded.
+    expect(client.roundtrip(
+        {"op": "count_ord", "q": "author(name,affil)",
+         "strategy": "merged"}),
+        "merged while degraded", ok=True, partial=False,
+        estimate=healthy_estimate)
+
+    # --- 4: restart the worker on the same port; full recovery. -------
+    workers[2] = start_worker(args.cli, synopsis, port=victim_port)
+    deadline = time.monotonic() + 15
+    recovered = None
+    while time.monotonic() < deadline:
+        reply = client.roundtrip(
+            {"op": "count_ord", "q": "author(name,affil)",
+             "strategy": "scatter"})
+        if reply.get("ok") and not reply.get("partial"):
+            recovered = reply
+            break
+        time.sleep(0.2)
+    if recovered is None:
+        fail("no full (partial:false) reply within 15s of worker restart")
+    expect(recovered, "recovered scatter", shards_ok=3,
+           estimate=healthy_estimate)
+
+    # --- 5: cluster stats and clean shutdown. -------------------------
+    stats = expect(client.roundtrip({"op": "stats"}), "stats", ok=True,
+                   shards_total=3)
+    for field in ("scatter_queries", "partial_replies", "refresh_ok"):
+        if field not in stats:
+            fail(f"stats lacks cluster field {field!r}: {stats}")
+    if stats["partial_replies"] < 1:
+        fail(f"stats did not count the degraded replies: {stats}")
+
+    expect(client.roundtrip({"op": "shutdown"}), "shutdown", ok=True)
+    try:
+        code = coordinator.wait(timeout=20)
+    except subprocess.TimeoutExpired:
+        fail("coordinator did not exit within 20s of the shutdown op")
+    if code != 0:
+        fail(f"coordinator exited with status {code}")
+
+    for proc, _ in workers:
+        if proc.poll() is None:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    print("check_cluster: OK: scatter == merged bit-identical on 4 query "
+          "kinds, worker kill mid-load degraded to partial:true from 2/3 "
+          "survivors with a widened error scale (coordinator alive "
+          "throughout), restart on the same port recovered bit-exact full "
+          "answers, cluster stats present, clean shutdown")
+
+
+if __name__ == "__main__":
+    main()

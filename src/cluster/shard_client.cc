@@ -1,0 +1,296 @@
+#include "cluster/shard_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "faultinject/fault_injector.h"
+
+namespace sketchtree {
+
+namespace {
+
+/// Whole milliseconds left until `deadline`, clamped to [0, INT_MAX]
+/// for poll(). Rounded up so a sub-millisecond remainder still polls
+/// once instead of spinning.
+int RemainingMs(std::chrono::steady_clock::time_point deadline) {
+  auto remaining = deadline - std::chrono::steady_clock::now();
+  auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count();
+  if (remaining > std::chrono::milliseconds(ms)) ++ms;
+  if (ms < 0) return 0;
+  if (ms > 1000 * 3600) return 1000 * 3600;
+  return static_cast<int>(ms);
+}
+
+bool DeadlinePassed(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() >= deadline;
+}
+
+}  // namespace
+
+ShardClient::ShardClient(ShardAddress address)
+    : address_(std::move(address)) {}
+
+ShardClient::~ShardClient() { Close(); }
+
+void ShardClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status ShardClient::Connect(std::chrono::steady_clock::time_point deadline) {
+  if (FaultInjector::Global().ShouldFire(FaultSite::kNetConnectRefused)) {
+    return Status::IOError("injected: connection refused by " +
+                           address_.ToString());
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(address_.port));
+  if (::inet_pton(AF_INET, address_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad shard host \"" + address_.host + "\"");
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    Status status = Status::IOError("connect " + address_.ToString() + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (rc < 0) {
+    // Connection in progress: wait for writability up to the deadline.
+    while (true) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int n = ::poll(&pfd, 1, RemainingMs(deadline));
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded("connect " + address_.ToString() +
+                                        " timed out");
+      }
+      if (n < 0) {
+        Status status = Status::IOError(std::string("poll: ") +
+                                        std::strerror(errno));
+        ::close(fd);
+        return status;
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::IOError("connect " + address_.ToString() + ": " +
+                             std::strerror(err));
+    }
+  }
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status ShardClient::SendLine(const std::string& line,
+                             std::chrono::steady_clock::time_point deadline) {
+  uint64_t stall_ms = 0;
+  if (FaultInjector::Global().ShouldFire(FaultSite::kNetSlowWrite,
+                                         &stall_ms)) {
+    // A stalled write path: sleep the injected duration, but never past
+    // the caller's deadline — the deadline machinery must win.
+    auto wake = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(stall_ms);
+    std::this_thread::sleep_until(std::min(wake, deadline));
+    if (DeadlinePassed(deadline)) {
+      Close();
+      return Status::DeadlineExceeded("send to " + address_.ToString() +
+                                      " stalled past the deadline");
+    }
+  }
+  std::string frame = line + "\n";
+  size_t limit = frame.size();
+  bool injected_disconnect = false;
+  if (FaultInjector::Global().ShouldFire(FaultSite::kNetDisconnect)) {
+    // Drop the connection after half the frame: the worker sees a
+    // truncated line, this caller sees a dead socket.
+    limit = frame.size() / 2;
+    injected_disconnect = true;
+  }
+  size_t sent = 0;
+  while (sent < limit) {
+    ssize_t n = ::send(fd_, frame.data() + sent, limit - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      int p = ::poll(&pfd, 1, RemainingMs(deadline));
+      if (p < 0 && errno == EINTR) continue;
+      if (p == 0) {
+        Close();
+        return Status::DeadlineExceeded("send to " + address_.ToString() +
+                                        " timed out");
+      }
+      if (p < 0) {
+        Close();
+        return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      }
+      continue;
+    }
+    Close();
+    return Status::IOError("send to " + address_.ToString() + ": " +
+                           std::strerror(errno));
+  }
+  if (injected_disconnect) {
+    Close();
+    return Status::IOError("injected: connection to " + address_.ToString() +
+                           " dropped mid-frame");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ShardClient::RecvLine(
+    std::chrono::steady_clock::time_point deadline) {
+  char chunk[16384];
+  while (true) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    // Replies are bounded by the largest snapshot a worker can ship;
+    // anything past this cap is a protocol violation, not a big reply.
+    if (buffer_.size() > (256u << 20)) {
+      Close();
+      return Status::Corruption("reply from " + address_.ToString() +
+                                " exceeds 256 MiB without a newline");
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      if (FaultInjector::Global().ShouldFire(FaultSite::kNetGarbledReply)) {
+        // Corrupt the frame's first byte: the JSON parse downstream
+        // fails and the attempt is charged as a failure.
+        chunk[0] = static_cast<char>(chunk[0] ^ 0x7F);
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      Close();
+      return Status::IOError("connection to " + address_.ToString() +
+                             " closed mid-reply");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int p = ::poll(&pfd, 1, RemainingMs(deadline));
+      if (p < 0 && errno == EINTR) continue;
+      if (p == 0) {
+        Close();
+        return Status::DeadlineExceeded("reply from " + address_.ToString() +
+                                        " timed out");
+      }
+      if (p < 0) {
+        Close();
+        return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      }
+      continue;
+    }
+    Close();
+    return Status::IOError("recv from " + address_.ToString() + ": " +
+                           std::strerror(errno));
+  }
+}
+
+Result<std::string> ShardClient::Call(
+    const std::string& line, std::chrono::steady_clock::time_point deadline) {
+  if (DeadlinePassed(deadline)) {
+    return Status::DeadlineExceeded("shard call to " + address_.ToString() +
+                                    " started past its deadline");
+  }
+  if (fd_ < 0) {
+    SKETCHTREE_RETURN_NOT_OK(Connect(deadline));
+  }
+  Status sent = SendLine(line, deadline);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  Result<std::string> reply = RecvLine(deadline);
+  if (!reply.ok()) Close();
+  return reply;
+}
+
+CircuitBreaker::CircuitBreaker(int failure_threshold,
+                               std::chrono::milliseconds cooldown)
+    : failure_threshold_(failure_threshold), cooldown_(cooldown) {}
+
+bool CircuitBreaker::AllowRequest(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return true;
+  if (now < retry_at_ || probe_in_flight_) return false;
+  probe_in_flight_ = true;  // Half-open: exactly one probe at a time.
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  open_ = false;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure(
+    std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  probe_in_flight_ = false;
+  if (consecutive_failures_ >= failure_threshold_) {
+    open_ = true;
+    retry_at_ = now + cooldown_;
+  }
+}
+
+bool CircuitBreaker::open(std::chrono::steady_clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_ && now < retry_at_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+}  // namespace sketchtree

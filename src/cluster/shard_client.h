@@ -1,0 +1,111 @@
+#ifndef SKETCHTREE_CLUSTER_SHARD_CLIENT_H_
+#define SKETCHTREE_CLUSTER_SHARD_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// One shard worker's address. Workers listen on 127.0.0.1 (the server
+/// binds loopback only), so an address is just a port plus an optional
+/// host for forward compatibility.
+struct ShardAddress {
+  std::string host = "127.0.0.1";
+  int port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+/// Blocking line-oriented TCP client for the coordinator-to-worker leg:
+/// one `Call` sends a single request line and reads a single reply
+/// line, with every socket operation (connect, send, recv) bounded by
+/// the caller's absolute deadline via poll(). The connection persists
+/// across calls; any failure closes it so the next call reconnects
+/// from scratch — a half-dead socket is never reused.
+///
+/// Failure taxonomy (what the coordinator's retry loop switches on):
+///   IOError            — connect refused / peer reset / send failed
+///   DeadlineExceeded   — the deadline elapsed mid-operation
+///   Corruption         — reply arrived but is not a parseable line
+///                        (the garbled-reply fault site surfaces here)
+///
+/// The four net.* fault-injection sites are consulted here, client
+/// side, so chaos tests can refuse connections, drop them mid-frame,
+/// stall writes, and corrupt replies without a misbehaving peer.
+///
+/// Thread-compatible: one coordinator call at a time per client (the
+/// coordinator serializes access per shard; hedges use a fresh
+/// one-shot client instead of sharing this one).
+class ShardClient {
+ public:
+  explicit ShardClient(ShardAddress address);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  /// Sends `line` (newline appended) and returns the reply line
+  /// (newline stripped), connecting first if needed.
+  Result<std::string> Call(const std::string& line,
+                           std::chrono::steady_clock::time_point deadline);
+
+  /// Drops the connection; the next Call reconnects.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  const ShardAddress& address() const { return address_; }
+
+ private:
+  Status Connect(std::chrono::steady_clock::time_point deadline);
+  Status SendLine(const std::string& line,
+                  std::chrono::steady_clock::time_point deadline);
+  Result<std::string> RecvLine(
+      std::chrono::steady_clock::time_point deadline);
+
+  ShardAddress address_;
+  int fd_ = -1;
+  /// Bytes received past the previous reply's newline.
+  std::string buffer_;
+};
+
+/// Per-worker circuit breaker (closed → open → half-open). After
+/// `failure_threshold` consecutive call failures the breaker opens and
+/// AllowRequest refuses instantly — a dead worker costs nothing per
+/// query instead of a full deadline. After `cooldown` it half-opens:
+/// one probe is allowed through; success closes the breaker, failure
+/// re-opens it for another cooldown.
+///
+/// Thread-safe; time is passed in so tests drive transitions
+/// deterministically.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int failure_threshold, std::chrono::milliseconds cooldown);
+
+  /// True when a request may be sent now (closed, or half-open probe).
+  bool AllowRequest(std::chrono::steady_clock::time_point now);
+  void RecordSuccess();
+  void RecordFailure(std::chrono::steady_clock::time_point now);
+
+  bool open(std::chrono::steady_clock::time_point now) const;
+  int consecutive_failures() const;
+
+ private:
+  const int failure_threshold_;
+  const std::chrono::milliseconds cooldown_;
+  mutable std::mutex mu_;
+  int consecutive_failures_ = 0;
+  bool open_ = false;
+  /// When open: the instant the next half-open probe is allowed.
+  std::chrono::steady_clock::time_point retry_at_{};
+  /// True while a half-open probe is in flight, so concurrent queries
+  /// don't all pile onto a possibly-still-dead worker.
+  bool probe_in_flight_ = false;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_CLUSTER_SHARD_CLIENT_H_

@@ -1,0 +1,91 @@
+#include "common/base64.h"
+
+#include <array>
+#include <cstdint>
+
+namespace sketchtree {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int8_t, 256> BuildReverse() {
+  std::array<int8_t, 256> reverse;
+  reverse.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    reverse[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return reverse;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view bytes) {
+  std::string out;
+  out.reserve((bytes.size() + 2) / 3 * 4);
+  size_t i = 0;
+  for (; i + 3 <= bytes.size(); i += 3) {
+    uint32_t word = (static_cast<unsigned char>(bytes[i]) << 16) |
+                    (static_cast<unsigned char>(bytes[i + 1]) << 8) |
+                    static_cast<unsigned char>(bytes[i + 2]);
+    out.push_back(kAlphabet[(word >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(word >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(word >> 6) & 0x3F]);
+    out.push_back(kAlphabet[word & 0x3F]);
+  }
+  if (i + 1 == bytes.size()) {
+    uint32_t word = static_cast<unsigned char>(bytes[i]) << 16;
+    out.push_back(kAlphabet[(word >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(word >> 12) & 0x3F]);
+    out += "==";
+  } else if (i + 2 == bytes.size()) {
+    uint32_t word = (static_cast<unsigned char>(bytes[i]) << 16) |
+                    (static_cast<unsigned char>(bytes[i + 1]) << 8);
+    out.push_back(kAlphabet[(word >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(word >> 12) & 0x3F]);
+    out.push_back(kAlphabet[(word >> 6) & 0x3F]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view text) {
+  static const std::array<int8_t, 256> reverse = BuildReverse();
+  if (text.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length is not a multiple of 4");
+  }
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int pad = 0;
+    uint32_t word = 0;
+    for (int k = 0; k < 4; ++k) {
+      char c = text[i + k];
+      if (c == '=') {
+        // Padding is only legal in the last one or two positions of the
+        // final quartet.
+        if (i + 4 != text.size() || k < 2) {
+          return Status::InvalidArgument("unexpected base64 padding");
+        }
+        ++pad;
+        word <<= 6;
+        continue;
+      }
+      if (pad > 0) {
+        return Status::InvalidArgument("base64 data after padding");
+      }
+      int8_t v = reverse[static_cast<unsigned char>(c)];
+      if (v < 0) {
+        return Status::InvalidArgument("invalid base64 byte");
+      }
+      word = (word << 6) | static_cast<uint32_t>(v);
+    }
+    out.push_back(static_cast<char>((word >> 16) & 0xFF));
+    if (pad < 2) out.push_back(static_cast<char>((word >> 8) & 0xFF));
+    if (pad < 1) out.push_back(static_cast<char>(word & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,26 @@
+#ifndef SKETCHTREE_COMMON_BASE64_H_
+#define SKETCHTREE_COMMON_BASE64_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Standard base64 (RFC 4648, '+'/'/' alphabet, '=' padding). The wire
+/// protocol is line-delimited JSON, so binary payloads — serialized
+/// synopses shipped by the `shard_snapshot` op — must ride inside a
+/// string field without newlines or quotes; base64 is the narrow waist
+/// for that.
+std::string Base64Encode(std::string_view bytes);
+
+/// Decodes `text`; rejects non-alphabet bytes, bad padding, and
+/// truncated input with InvalidArgument (the caller maps that to a
+/// CORRUPTION-class failure — a garbled snapshot must never
+/// half-decode).
+Result<std::string> Base64Decode(std::string_view text);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_COMMON_BASE64_H_

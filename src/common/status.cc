@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "Corruption";
     case Status::Code::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -32,6 +32,12 @@ class Status {
     /// slow query (retryable, possibly against a warmer cache) from a
     /// malformed one.
     kDeadlineExceeded,
+    /// A required remote peer cannot be reached right now — the
+    /// connection was refused, dropped, or timed out past the retry
+    /// budget. Distinct from kIOError (a local I/O primitive failed) so
+    /// the serving layer can map it to a retryable wire code: the
+    /// cluster coordinator returns it only when *no* shard can answer.
+    kUnavailable,
   };
 
   Status() : code_(Code::kOk) {}
@@ -61,6 +67,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -76,6 +85,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == Code::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable "<CODE>: <message>" string for logs and test output.
   std::string ToString() const;

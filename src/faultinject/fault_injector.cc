@@ -33,6 +33,14 @@ const char* FaultInjector::SiteName(FaultSite site) {
       return "tree.malformed";
     case FaultSite::kReaderError:
       return "reader.error";
+    case FaultSite::kNetConnectRefused:
+      return "net.connect_refused";
+    case FaultSite::kNetDisconnect:
+      return "net.disconnect";
+    case FaultSite::kNetSlowWrite:
+      return "net.slow_write";
+    case FaultSite::kNetGarbledReply:
+      return "net.garbled_reply";
   }
   return "unknown";
 }

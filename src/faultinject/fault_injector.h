@@ -39,9 +39,28 @@ enum class FaultSite {
   /// ParallelIngester::IngestAll's source read fails with a transient
   /// injected EIO (the pull-API twin of kFileReadError).
   kReaderError,
+
+  // Network-layer sites, consulted by the cluster coordinator's shard
+  // client (DESIGN.md section 13). They simulate the peer-side failures
+  // a TCP client actually sees, so the retry / hedge / circuit-breaker
+  // machinery is exercised without real packet loss.
+  /// ShardClient::Connect fails as if the worker refused the connection
+  /// (worker down, port not yet bound).
+  kNetConnectRefused,
+  /// The shard connection drops mid-frame: the client's own socket is
+  /// closed after a partial write, so the in-flight call fails and the
+  /// next call must reconnect.
+  kNetDisconnect,
+  /// The client's write path stalls for `param` milliseconds (bounded
+  /// by the call deadline) before sending — a congested or half-dead
+  /// peer. This is the site hedged requests exist for.
+  kNetSlowWrite,
+  /// The reply bytes are corrupted in flight (one byte flipped), so the
+  /// caller's parse fails and the attempt counts as a failure.
+  kNetGarbledReply,
 };
 
-inline constexpr int kNumFaultSites = 7;
+inline constexpr int kNumFaultSites = 11;
 
 /// When and how a site misbehaves.
 struct FaultPlan {
@@ -51,7 +70,7 @@ struct FaultPlan {
   /// Consecutive hits that fail once triggered; 0 = every hit forever.
   uint64_t fire_count = 1;
   /// Site-specific knob: bytes kept by kFileShortWrite, stall
-  /// milliseconds for kQueueStall. Ignored elsewhere.
+  /// milliseconds for kQueueStall and kNetSlowWrite. Ignored elsewhere.
   uint64_t param = 0;
 };
 
@@ -89,7 +108,8 @@ class FaultInjector {
   ///   entry     := site '@' skip_first ['x' fire_count] [':' param]
   ///   site      := file.short_write | file.write_error | file.torn_rename
   ///              | file.read_error | queue.stall | tree.malformed
-  ///              | reader.error
+  ///              | reader.error | net.connect_refused | net.disconnect
+  ///              | net.slow_write | net.garbled_reply
   ///
   /// e.g. "file.torn_rename@2" (third atomic write crashes before
   /// rename), "reader.error@0x3" (first three source reads fail),

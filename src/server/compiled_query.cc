@@ -82,6 +82,38 @@ SumPlan BuildSumPlan(const VirtualStreams& streams,
   return plan;
 }
 
+std::vector<double> ComputeProjectionMatrix(
+    const VirtualStreams& streams, const std::vector<uint64_t>& values) {
+  const int s1 = streams.s1();
+  const int s2 = streams.s2();
+  // Distinct residues in first-appearance order, matching BuildSumPlan —
+  // the summation order is part of the bit-exactness contract.
+  std::vector<uint32_t> residues;
+  residues.reserve(values.size());
+  for (uint64_t v : values) {
+    uint32_t r = streams.ResidueOf(v);
+    if (std::find(residues.begin(), residues.end(), r) == residues.end()) {
+      residues.push_back(r);
+    }
+  }
+  const bool has_topk = streams.topk(0) != nullptr;
+  std::vector<double> x(static_cast<size_t>(s1) * s2, 0.0);
+  for (int i = 0; i < s2; ++i) {
+    for (int j = 0; j < s1; ++j) {
+      double sum = 0.0;
+      for (uint32_t r : residues) sum += streams.array(r).value(i, j);
+      if (has_topk) {
+        for (uint64_t v : values) {
+          auto freq = streams.topk(streams.ResidueOf(v))->TrackedFrequency(v);
+          if (freq.has_value()) sum += streams.Xi(i, j, v) * *freq;
+        }
+      }
+      x[static_cast<size_t>(i) * s1 + j] = sum;
+    }
+  }
+  return x;
+}
+
 double EstimateSumPlan(const SumPlan& plan, const VirtualStreams& streams) {
   const int s1 = streams.s1();
   const int s2 = streams.s2();
@@ -263,6 +295,36 @@ Result<std::shared_ptr<CompiledQuery>> CompileQuery(
   return compiled;
 }
 
+Result<std::shared_ptr<const SumPlan>> ResolveExtendedPlan(
+    const CompiledQuery& query, const SketchSnapshot& snapshot,
+    QueryMapper* mapper) {
+  const StructuralSummary* summary = snapshot.sketch.summary();
+  if (summary == nullptr) {
+    return Status::InvalidArgument(
+        "extended queries need build_structural_summary=true");
+  }
+  std::lock_guard<std::mutex> lock(query.extended_mu);
+  if (query.extended_epoch == snapshot.epoch) {
+    return query.extended_plan;
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      std::vector<LabeledTree> resolved,
+      ResolveExtendedQuery(*query.extended, *summary,
+                           mapper->options().max_pattern_edges));
+  if (resolved.empty()) {
+    // The summary proves no occurrence exists.
+    query.extended_epoch = snapshot.epoch;
+    query.extended_plan = nullptr;
+    return query.extended_plan;
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(std::vector<uint64_t> values,
+                              MapDistinct(resolved, mapper));
+  query.extended_plan = std::make_shared<const SumPlan>(
+      BuildSumPlan(snapshot.sketch.streams(), std::move(values)));
+  query.extended_epoch = snapshot.epoch;
+  return query.extended_plan;
+}
+
 namespace {
 
 /// The extended path: resolve against this snapshot's summary (memoized
@@ -270,35 +332,8 @@ namespace {
 Result<double> ExecuteExtended(const CompiledQuery& query,
                                const SketchSnapshot& snapshot,
                                QueryMapper* mapper) {
-  const StructuralSummary* summary = snapshot.sketch.summary();
-  if (summary == nullptr) {
-    return Status::InvalidArgument(
-        "extended queries need build_structural_summary=true");
-  }
-  std::shared_ptr<const SumPlan> plan;
-  {
-    std::lock_guard<std::mutex> lock(query.extended_mu);
-    if (query.extended_epoch == snapshot.epoch) {
-      plan = query.extended_plan;
-    } else {
-      SKETCHTREE_ASSIGN_OR_RETURN(
-          std::vector<LabeledTree> resolved,
-          ResolveExtendedQuery(*query.extended, *summary,
-                               mapper->options().max_pattern_edges));
-      if (resolved.empty()) {
-        // The summary proves no occurrence exists.
-        query.extended_epoch = snapshot.epoch;
-        query.extended_plan = nullptr;
-        return 0.0;
-      }
-      SKETCHTREE_ASSIGN_OR_RETURN(std::vector<uint64_t> values,
-                                  MapDistinct(resolved, mapper));
-      plan = std::make_shared<const SumPlan>(
-          BuildSumPlan(snapshot.sketch.streams(), std::move(values)));
-      query.extended_epoch = snapshot.epoch;
-      query.extended_plan = plan;
-    }
-  }
+  SKETCHTREE_ASSIGN_OR_RETURN(std::shared_ptr<const SumPlan> plan,
+                              ResolveExtendedPlan(query, snapshot, mapper));
   if (plan == nullptr) return 0.0;
   return EstimateSumPlan(*plan, snapshot.sketch.streams());
 }

@@ -59,6 +59,18 @@ SumPlan BuildSumPlan(const VirtualStreams& streams,
 /// order, with the xi sums replayed from the plan.
 double EstimateSumPlan(const SumPlan& plan, const VirtualStreams& streams);
 
+/// The per-instance combined projection X(i,j) for `values`, row-major
+/// [i * s1 + j] — exactly the `x` EstimateSumPlan computes before
+/// multiplying in the xi sums: counters of the values' distinct
+/// residues summed in first-appearance order, plus the top-k
+/// compensation in value order. Every entry is an exact integer (the
+/// counters are ±1 sums below 2^53), which is what makes the cluster
+/// scatter-gather path bit-exact: a coordinator that sums these
+/// matrices across shards elementwise gets the same doubles as
+/// evaluating the merged synopsis (src/cluster/coordinator.h).
+std::vector<double> ComputeProjectionMatrix(const VirtualStreams& streams,
+                                            const std::vector<uint64_t>& values);
+
 /// A fully compiled query: parsed once, arrangements expanded once,
 /// every pattern fingerprinted once. Immutable after compilation (the
 /// mapping from pattern to value is fixed by the synopsis options, so a
@@ -174,6 +186,16 @@ Result<std::shared_ptr<CompiledQuery>> CompileQuery(
 Result<double> ExecuteCompiled(const CompiledQuery& query,
                                const SketchSnapshot& snapshot,
                                QueryMapper* mapper);
+
+/// Resolves an extended (kExtended) compiled query against `snapshot`'s
+/// structural summary into the explicit sum plan it estimates, sharing
+/// the compiled query's per-epoch memo. A null plan means the summary
+/// proves the count is zero. Exposed for the cluster coordinator, which
+/// resolves against its merged snapshot and then scatters the resolved
+/// values to the shards.
+Result<std::shared_ptr<const SumPlan>> ResolveExtendedPlan(
+    const CompiledQuery& query, const SketchSnapshot& snapshot,
+    QueryMapper* mapper);
 
 }  // namespace sketchtree
 

@@ -60,6 +60,29 @@ Result<QueryAnswer> QueryService::Execute(const QueryRequest& request) {
   return ExecuteOn(request, snapshots_->Current());
 }
 
+Result<QueryService::PreparedQuery> QueryService::PrepareCompiled(
+    QueryKind kind, const std::string& text, const SketchSnapshot& snapshot) {
+  TRACE_SPAN("server.cache_lookup");
+  PreparedQuery prepared;
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      std::string key,
+      CanonicalQueryKey(kind, text, mapper_->options().max_pattern_edges));
+  prepared.plan = cache_->Get(key);
+  if (prepared.plan == nullptr) {
+    SKETCHTREE_ASSIGN_OR_RETURN(
+        std::shared_ptr<CompiledQuery> compiled,
+        CompileQuery(kind, text, mapper_.get(), snapshot.sketch.streams(),
+                     options_.max_arrangements));
+    compiled->key = key;
+    prepared.plan = std::move(compiled);
+    cache_->Put(key, prepared.plan);
+  } else {
+    TRACE_INSTANT("server.cache_hit");
+    prepared.cache_hit = true;
+  }
+  return prepared;
+}
+
 Result<QueryAnswer> QueryService::ExecuteOn(
     const QueryRequest& request,
     const std::shared_ptr<const SketchSnapshot>& snapshot) {
@@ -79,28 +102,11 @@ Result<QueryAnswer> QueryService::ExecuteOn(
   // computed from the parsed form, so textual variants of one unordered
   // pattern (any child order) share a single compiled entry.
   WallTimer compile_timer;
-  std::shared_ptr<const CompiledQuery> plan;
-  {
-    TRACE_SPAN("server.cache_lookup");
-    SKETCHTREE_ASSIGN_OR_RETURN(
-        std::string key,
-        CanonicalQueryKey(request.kind, request.text,
-                          mapper_->options().max_pattern_edges));
-    plan = cache_->Get(key);
-    if (plan == nullptr) {
-      SKETCHTREE_ASSIGN_OR_RETURN(
-          std::shared_ptr<CompiledQuery> compiled,
-          CompileQuery(request.kind, request.text, mapper_.get(),
-                       snapshot->sketch.streams(),
-                       options_.max_arrangements));
-      compiled->key = key;
-      plan = std::move(compiled);
-      cache_->Put(key, plan);
-    } else {
-      TRACE_INSTANT("server.cache_hit");
-      answer.cache_hit = true;
-    }
-  }
+  SKETCHTREE_ASSIGN_OR_RETURN(
+      PreparedQuery prepared,
+      PrepareCompiled(request.kind, request.text, *snapshot));
+  answer.cache_hit = prepared.cache_hit;
+  const std::shared_ptr<const CompiledQuery>& plan = prepared.plan;
   answer.compile_micros = compile_timer.ElapsedSeconds() * 1e6;
   compile_us_->Observe(static_cast<uint64_t>(answer.compile_micros));
   answer.num_arrangements = plan->num_arrangements;

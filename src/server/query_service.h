@@ -43,6 +43,26 @@ struct QueryAnswer {
   size_t num_arrangements = 1;
   double compile_micros = 0.0;
   double estimate_micros = 0.0;
+
+  // Cluster provenance, set only by the coordinator (src/cluster/).
+  // `from_cluster` gates the extra reply fields so a single-node
+  // server's replies stay byte-identical to pre-cluster builds.
+  bool from_cluster = false;
+  /// Which strategy produced this answer ("scatter" or "merged").
+  std::string strategy;
+  /// True when at least one shard was unreachable past its retry budget
+  /// and the estimate covers only the surviving shards.
+  bool partial = false;
+  int shards_ok = 0;
+  int shards_total = 0;
+  /// Stream trees covered by the shards that answered / known to exist
+  /// cluster-wide (last successful health probe per shard).
+  uint64_t covered_trees = 0;
+  uint64_t total_trees = 0;
+  /// Theorem-1 absolute error scale sqrt(8 * SJ / s1) over the covered
+  /// shards, divided by the covered-tree fraction when partial — the
+  /// honest "how wrong can this be" figure for a degraded answer.
+  double error_scale = 0.0;
 };
 
 /// The online query engine: compile (or fetch the cached plan), pick
@@ -83,9 +103,25 @@ class QueryService {
       const QueryRequest& request,
       const std::shared_ptr<const SketchSnapshot>& snapshot);
 
+  /// A compiled plan plus whether the plan cache already held it.
+  struct PreparedQuery {
+    std::shared_ptr<const CompiledQuery> plan;
+    bool cache_hit = false;
+  };
+
+  /// Compile-or-fetch against the plan cache without executing — the
+  /// front half of ExecuteOn, exposed for the cluster coordinator,
+  /// which evaluates the plan itself from shard projection matrices.
+  /// `snapshot` supplies the xi families for a cold compile (any
+  /// snapshot of the stream; plans are snapshot-independent).
+  Result<PreparedQuery> PrepareCompiled(QueryKind kind,
+                                        const std::string& text,
+                                        const SketchSnapshot& snapshot);
+
   const SketchTreeOptions& sketch_options() const {
     return mapper_->options();
   }
+  QueryMapper* mapper() { return mapper_.get(); }
   const QueryServiceOptions& options() const { return options_; }
   PlanCache& plan_cache() { return *cache_; }
   SnapshotPublisher& snapshots() { return *snapshots_; }

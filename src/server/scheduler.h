@@ -149,6 +149,34 @@ class TwoLaneQueue {
     return AdmitResult::kAdmitted;
   }
 
+  /// Atomically admits one item per lane — the mixed-lane batch split:
+  /// either both parts are queued or neither is, so a split batch can
+  /// never leak half its sub-queries when the other lane is full. With
+  /// two_lanes off both parts land in the single FIFO back to back
+  /// (needing two free slots), preserving unsplit semantics.
+  AdmitResult PushSplit(T fast_item, T slow_item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return AdmitResult::kStopped;
+    if (!options_.two_lanes) {
+      if (fast_.size() + 2 > options_.fast_capacity + options_.slow_capacity) {
+        return AdmitResult::kFastFull;
+      }
+      fast_.push_back(std::move(fast_item));
+      fast_.push_back(std::move(slow_item));
+    } else {
+      if (fast_.size() >= options_.fast_capacity) {
+        return AdmitResult::kFastFull;
+      }
+      if (slow_.size() >= options_.slow_capacity) {
+        return AdmitResult::kSlowFull;
+      }
+      fast_.push_back(std::move(fast_item));
+      slow_.push_back(std::move(slow_item));
+    }
+    cv_.notify_all();  // Two items: wake up to two waiting workers.
+    return AdmitResult::kAdmitted;
+  }
+
   /// Blocks for the next item per the dispatch rule. Returns false only
   /// when the queue is stopped *and* empty — after Stop(), remaining
   /// items keep coming out so the owner can drain them (the server

@@ -14,7 +14,9 @@
 #include <string>
 #include <utility>
 
+#include "common/base64.h"
 #include "common/timer.h"
+#include "server/compiled_query.h"
 #include "trace/trace.h"
 
 namespace sketchtree {
@@ -72,6 +74,19 @@ SchedulerOptions SchedulerOptionsFor(const QueryServerOptions& options) {
 
 }  // namespace
 
+/// Shared state of one mixed-lane split batch. The two WorkItems (one
+/// per lane) hold a shared_ptr to this; the snapshot is pinned by
+/// whichever part executes first so both parts answer from one epoch —
+/// the same single-{epoch, trees} contract an unsplit batch gives.
+struct QueryServer::BatchShared {
+  WireRequest request;
+  std::mutex mu;
+  std::shared_ptr<const SketchSnapshot> snapshot;
+  std::vector<std::optional<Result<QueryAnswer>>> results;
+  int parts_remaining = 2;
+  WallTimer timer;
+};
+
 QueryServer::QueryServer(QueryService* service,
                          const QueryServerOptions& options)
     : service_(service),
@@ -89,6 +104,12 @@ QueryServer::QueryServer(QueryService* service,
           "server.fast_wait_us", Histogram::ExponentialBounds(1, 2.0, 21))),
       slow_wait_us_(GlobalMetrics().GetHistogram(
           "server.slow_wait_us", Histogram::ExponentialBounds(1, 2.0, 21))),
+      fast_latency_us_(GlobalMetrics().GetHistogram(
+          "server.fast_latency_us",
+          Histogram::ExponentialBounds(1, 2.0, 21))),
+      slow_latency_us_(GlobalMetrics().GetHistogram(
+          "server.slow_latency_us",
+          Histogram::ExponentialBounds(1, 2.0, 21))),
       replies_ok_(GlobalMetrics().GetCounter("server.replies_ok")),
       replies_error_(GlobalMetrics().GetCounter("server.replies_error")),
       replies_dropped_(GlobalMetrics().GetCounter("server.replies_dropped")),
@@ -103,6 +124,8 @@ QueryServer::QueryServer(QueryService* service,
       fast_admitted_(GlobalMetrics().GetCounter("server.fast_admitted")),
       slow_admitted_(GlobalMetrics().GetCounter("server.slow_admitted")),
       batch_queries_(GlobalMetrics().GetCounter("server.batch_queries")),
+      batch_splits_(GlobalMetrics().GetCounter("server.batch_split")),
+      shard_ops_(GlobalMetrics().GetCounter("server.shard_ops")),
       connections_(GlobalMetrics().GetCounter("server.connections")) {}
 
 Result<std::unique_ptr<QueryServer>> QueryServer::Start(
@@ -357,18 +380,32 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     }
 
     // Price the work: plan-cache probe + closed-form arrangement count.
-    // A batch takes the worst lane of its members — one expensive cold
-    // member makes the whole batch slow-lane work.
+    // A single-lane batch queues whole; a batch whose members classify
+    // into *different* lanes is split — the cheap members inherit the
+    // fast lane's latency instead of the slowest member's (S1), and the
+    // parts rejoin into one reply.
     const int max_edges = service_->sketch_options().max_pattern_edges;
     const SchedulerOptions scheduler = SchedulerOptionsFor(options_);
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    if (request.timeout_ms > 0) {
+      deadline = now + std::chrono::milliseconds(request.timeout_ms);
+    }
     AdmissionDecision decision;
+    std::vector<size_t> fast_idx;
+    std::vector<size_t> slow_idx;
     if (is_batch) {
-      for (const WireBatchItem& sub : request.batch) {
+      for (size_t i = 0; i < request.batch.size(); ++i) {
+        const WireBatchItem& sub = request.batch[i];
         AdmissionDecision d =
             ClassifyForAdmission(*KindForOp(sub.op), sub.query,
                                  service_->plan_cache(), max_edges,
                                  scheduler);
-        if (d.lane == Lane::kSlow) decision.lane = Lane::kSlow;
+        if (d.lane == Lane::kSlow) {
+          decision.lane = Lane::kSlow;
+          slow_idx.push_back(i);
+        } else {
+          fast_idx.push_back(i);
+        }
         decision.arrangements += d.arrangements;
       }
     } else {
@@ -377,15 +414,70 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                                       scheduler);
     }
 
+    if (is_batch && options_.two_lanes && !fast_idx.empty() &&
+        !slow_idx.empty()) {
+      const std::string id_json = request.id_json;
+      auto shared = std::make_shared<BatchShared>();
+      shared->results.resize(request.batch.size());
+      shared->request = std::move(request);
+      auto make_part = [&](Lane lane, std::vector<size_t> indices) {
+        WorkItem part;
+        part.conn = conn;
+        part.is_batch = true;
+        part.lane = lane;
+        part.enqueued = now;
+        part.deadline = deadline;
+        part.shared = shared;
+        part.part_indices = std::move(indices);
+        return part;
+      };
+      switch (queue_.PushSplit(make_part(Lane::kFast, std::move(fast_idx)),
+                               make_part(Lane::kSlow, std::move(slow_idx)))) {
+        case AdmitResult::kAdmitted:
+          batch_splits_->Increment();
+          fast_admitted_->Increment();
+          slow_admitted_->Increment();
+          queue_depth_->Set(static_cast<int64_t>(queue_.total_depth()));
+          return;
+        case AdmitResult::kSlowFull:
+          shed_retry_after_->Increment();
+          SendCounted(conn,
+                      FormatRetryAfterReply(
+                          id_json, "RETRY_AFTER",
+                          "slow lane full (" +
+                              std::to_string(options_.slow_queue_capacity) +
+                              " cold compiles pending); expensive queries "
+                              "are shed first under overload",
+                          SlowRetryHintMs()),
+                      /*ok=*/false);
+          return;
+        case AdmitResult::kFastFull:
+          overloaded_->Increment();
+          SendCounted(conn,
+                      FormatCodedErrorReply(
+                          id_json, "OVERLOADED",
+                          "admission queue full (" +
+                              std::to_string(options_.queue_capacity) +
+                              " queries pending); retry with backoff"),
+                      /*ok=*/false);
+          return;
+        case AdmitResult::kStopped:
+          SendCounted(conn,
+                      FormatCodedErrorReply(id_json, "SHUTTING_DOWN",
+                                            "server is shutting down"),
+                      /*ok=*/false);
+          return;
+      }
+      return;
+    }
+
     WorkItem item;
     item.conn = conn;
     item.is_batch = is_batch;
     if (kind.has_value()) item.kind = *kind;
     item.lane = decision.lane;
     item.enqueued = now;
-    if (request.timeout_ms > 0) {
-      item.deadline = now + std::chrono::milliseconds(request.timeout_ms);
-    }
+    item.deadline = deadline;
     const Lane lane = decision.lane;
     const std::string id_json = request.id_json;
     item.request = std::move(request);
@@ -438,7 +530,7 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     PlanCache::Stats cache = service_->plan_cache().GetStats();
     std::shared_ptr<const SketchSnapshot> snapshot =
         service_->snapshots().Current();
-    char fields[512];
+    char fields[1024];
     std::snprintf(
         fields, sizeof(fields),
         "\"epoch\":%llu,\"trees\":%llu,\"cache_hits\":%llu,"
@@ -446,7 +538,11 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         "\"cache_entries\":%zu,\"queue_depth\":%lld,"
         "\"fast_depth\":%zu,\"slow_depth\":%zu,"
         "\"shed_retry_after\":%llu,\"quota_rejected\":%llu,"
-        "\"replies_dropped\":%llu",
+        "\"replies_dropped\":%llu,"
+        "\"fast_p50_us\":%.1f,\"fast_p95_us\":%.1f,"
+        "\"slow_p50_us\":%.1f,\"slow_p95_us\":%.1f,"
+        "\"overloaded\":%llu,\"expired_at_dequeue\":%llu,"
+        "\"shed_on_shutdown\":%llu,\"batch_splits\":%llu",
         static_cast<unsigned long long>(snapshot ? snapshot->epoch : 0),
         static_cast<unsigned long long>(snapshot ? snapshot->trees_processed
                                                  : 0),
@@ -457,8 +553,76 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         queue_.depth(Lane::kFast), queue_.depth(Lane::kSlow),
         static_cast<unsigned long long>(shed_retry_after_->value()),
         static_cast<unsigned long long>(quota_rejected_->value()),
-        static_cast<unsigned long long>(replies_dropped_->value()));
-    SendCounted(conn, SimpleOkReply(request.id_json, fields), /*ok=*/true);
+        static_cast<unsigned long long>(replies_dropped_->value()),
+        fast_latency_us_->Percentile(0.5), fast_latency_us_->Percentile(0.95),
+        slow_latency_us_->Percentile(0.5), slow_latency_us_->Percentile(0.95),
+        static_cast<unsigned long long>(overloaded_->value()),
+        static_cast<unsigned long long>(expired_at_dequeue_->value()),
+        static_cast<unsigned long long>(shed_on_shutdown_->value()),
+        static_cast<unsigned long long>(batch_splits_->value()));
+    std::string all = fields;
+    if (options_.stats_extra_fields) {
+      std::string extra = options_.stats_extra_fields();
+      if (!extra.empty()) all += "," + extra;
+    }
+    SendCounted(conn, SimpleOkReply(request.id_json, all), /*ok=*/true);
+    return;
+  }
+
+  // Coordinator-to-worker ops (DESIGN.md section 13), answered inline on
+  // the reader thread: each is a bounded snapshot read with no compile,
+  // so lane admission would only add latency to the cluster's serve
+  // path.
+  if (request.op == "health" || request.op == "shard_estimate" ||
+      request.op == "shard_snapshot") {
+    shard_ops_->Increment();
+    std::shared_ptr<const SketchSnapshot> snapshot =
+        service_->snapshots().Current();
+    if (snapshot == nullptr) {
+      SendCounted(conn,
+                  FormatCodedErrorReply(request.id_json, "UNAVAILABLE",
+                                        "no snapshot published yet"),
+                  /*ok=*/false);
+      return;
+    }
+    if (request.op == "health") {
+      SendCounted(conn,
+                  FormatHealthReply(request.id_json, snapshot->epoch,
+                                    snapshot->trees_processed,
+                                    snapshot->sketch.EstimateSelfJoinSize(),
+                                    stopping_.load()),
+                  /*ok=*/true);
+      return;
+    }
+    if (request.op == "shard_estimate") {
+      Result<std::vector<uint64_t>> values = ParseHexValues(request.values);
+      if (!values.ok()) {
+        SendCounted(conn,
+                    FormatCodedErrorReply(request.id_json,
+                                          "MALFORMED_REQUEST",
+                                          values.status().message()),
+                    /*ok=*/false);
+        return;
+      }
+      std::vector<double> x = ComputeProjectionMatrix(
+          snapshot->sketch.streams(), values.value());
+      const SketchTreeOptions& opts = service_->sketch_options();
+      SendCounted(conn,
+                  FormatShardEstimateReply(request.id_json, opts.s1, opts.s2,
+                                           snapshot->epoch,
+                                           snapshot->trees_processed, x),
+                  /*ok=*/true);
+      return;
+    }
+    // shard_snapshot: the merge-at-publish pull. The serialized synopsis
+    // is the checkpoint format, so a coordinator can also hand it to a
+    // fresh worker (shard handoff).
+    std::string bytes = snapshot->sketch.SerializeToString();
+    SendCounted(conn,
+                FormatShardSnapshotReply(request.id_json, snapshot->epoch,
+                                         snapshot->trees_processed,
+                                         Base64Encode(bytes)),
+                /*ok=*/true);
     return;
   }
   if (request.op == "shutdown") {
@@ -478,17 +642,32 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                   request.id_json, "MALFORMED_REQUEST",
                   "unknown op \"" + request.op +
                       "\" (want count, count_ord, extended, expr, batch, "
-                      "stats, ping, or shutdown)"),
+                      "stats, ping, shutdown, health, shard_estimate, or "
+                      "shard_snapshot)"),
               /*ok=*/false);
 }
 
-void QueryServer::ExecuteSingle(const WorkItem& item) {
+Result<QueryAnswer> QueryServer::RunQuery(
+    QueryKind kind, const std::string& text,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const std::string& strategy,
+    const std::shared_ptr<const SketchSnapshot>& snapshot) {
+  if (options_.cluster_handler) {
+    return options_.cluster_handler(kind, text, deadline, strategy);
+  }
   QueryRequest query;
-  query.kind = item.kind;
-  query.text = item.request.query;
-  query.deadline = item.deadline;
+  query.kind = kind;
+  query.text = text;
+  query.deadline = deadline;
+  return snapshot ? service_->ExecuteOn(query, snapshot)
+                  : service_->Execute(query);
+}
+
+void QueryServer::ExecuteSingle(const WorkItem& item) {
   WallTimer timer;
-  Result<QueryAnswer> answer = service_->Execute(query);
+  Result<QueryAnswer> answer =
+      RunQuery(item.kind, item.request.query, item.deadline,
+               item.request.strategy, nullptr);
   if (item.lane == Lane::kSlow) {
     // Fold the observed service time into the shed hint's EMA
     // (weight 1/4 new): retry_after_ms tracks what a cold compile
@@ -518,11 +697,8 @@ void QueryServer::ExecuteBatch(const WorkItem& item) {
   std::vector<Result<QueryAnswer>> results;
   results.reserve(item.request.batch.size());
   for (const WireBatchItem& sub : item.request.batch) {
-    QueryRequest query;
-    query.kind = *KindForOp(sub.op);  // Validated at admission.
-    query.text = sub.query;
-    query.deadline = item.deadline;
-    results.push_back(service_->ExecuteOn(query, snapshot));
+    results.push_back(RunQuery(*KindForOp(sub.op), sub.query, item.deadline,
+                               item.request.strategy, snapshot));
   }
   batch_queries_->Increment(item.request.batch.size());
   std::string reply;
@@ -531,6 +707,54 @@ void QueryServer::ExecuteBatch(const WorkItem& item) {
     reply = FormatBatchReply(item.request, snapshot ? snapshot->epoch : 0,
                              snapshot ? snapshot->trees_processed : 0,
                              results, timer.ElapsedSeconds() * 1e6);
+  }
+  SendCounted(item.conn, reply, /*ok=*/true);
+}
+
+void QueryServer::ExecuteSplitPart(const WorkItem& item, const Status& shed) {
+  BatchShared& shared = *item.shared;
+  std::shared_ptr<const SketchSnapshot> snapshot;
+  if (shed.ok()) {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    if (shared.snapshot == nullptr) {
+      shared.snapshot = service_->snapshots().Current();
+    }
+    snapshot = shared.snapshot;
+  }
+  for (size_t idx : item.part_indices) {
+    Result<QueryAnswer> result = shed.ok()
+        ? RunQuery(*KindForOp(shared.request.batch[idx].op),
+                   shared.request.batch[idx].query, item.deadline,
+                   shared.request.strategy, snapshot)
+        : Result<QueryAnswer>(shed);
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.results[idx] = std::move(result);
+  }
+  if (shed.ok()) batch_queries_->Increment(item.part_indices.size());
+
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    last = --shared.parts_remaining == 0;
+  }
+  if (!last) return;
+  // Both parts have landed; this worker rejoins them into the single
+  // batch reply the client expects.
+  std::vector<Result<QueryAnswer>> results;
+  results.reserve(shared.results.size());
+  for (std::optional<Result<QueryAnswer>>& r : shared.results) {
+    results.push_back(r.has_value()
+                          ? std::move(*r)
+                          : Result<QueryAnswer>(Status::Internal(
+                                "split batch part never executed")));
+  }
+  std::string reply;
+  {
+    TRACE_SPAN("server.serialize");
+    reply = FormatBatchReply(
+        shared.request, shared.snapshot ? shared.snapshot->epoch : 0,
+        shared.snapshot ? shared.snapshot->trees_processed : 0, results,
+        shared.timer.ElapsedSeconds() * 1e6);
   }
   SendCounted(item.conn, reply, /*ok=*/true);
 }
@@ -550,9 +774,18 @@ void QueryServer::WorkerLoop() {
     (lane == Lane::kFast ? fast_wait_us_ : slow_wait_us_)->Observe(wait_us);
 
     // Shutdown drain: queued-but-unstarted work is shed, not executed —
-    // a queue full of cold compiles must not delay the exit.
+    // a queue full of cold compiles must not delay the exit. A split
+    // part sheds into its slots of the shared reply (the client still
+    // gets one batch reply, with those items erroring) rather than
+    // sending a second top-level error line.
     if (stopping_.load()) {
       shed_on_shutdown_->Increment();
+      if (item.shared != nullptr) {
+        ExecuteSplitPart(item, Status::Unavailable(
+                                   "server is shutting down; request was "
+                                   "queued but not executed"));
+        continue;
+      }
       SendCounted(item.conn,
                   FormatCodedErrorReply(
                       item.request.id_json, "SHUTTING_DOWN",
@@ -565,6 +798,14 @@ void QueryServer::WorkerLoop() {
     // immediately — no snapshot pin, no compile, no estimate.
     if (item.deadline.has_value() && dequeued > *item.deadline) {
       expired_at_dequeue_->Increment();
+      if (item.shared != nullptr) {
+        ExecuteSplitPart(item,
+                         Status::DeadlineExceeded(
+                             "deadline expired after " +
+                             std::to_string(wait_us / 1000) +
+                             "ms in the admission queue"));
+        continue;
+      }
       SendCounted(item.conn,
                   FormatCodedErrorReply(
                       item.request.id_json, "DEADLINE_EXCEEDED",
@@ -575,11 +816,21 @@ void QueryServer::WorkerLoop() {
       continue;
     }
 
-    if (item.is_batch) {
+    if (item.shared != nullptr) {
+      ExecuteSplitPart(item, Status::OK());
+    } else if (item.is_batch) {
       ExecuteBatch(item);
     } else {
       ExecuteSingle(item);
     }
+    // Per-lane end-to-end latency (admission to reply), exported as
+    // p50/p95 through the stats op.
+    const uint64_t total_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - item.enqueued)
+            .count());
+    (lane == Lane::kFast ? fast_latency_us_ : slow_latency_us_)
+        ->Observe(total_us);
   }
 }
 

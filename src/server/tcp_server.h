@@ -5,9 +5,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,22 @@ struct QueryServerOptions {
   /// qps <= 0 disables quotas; burst <= 0 defaults to 2 * qps.
   double client_quota_qps = 0.0;
   double client_quota_burst = 0.0;
+
+  /// Cluster front end (coordinator mode): when set, admitted query ops
+  /// are answered by this handler — the cluster coordinator's
+  /// scatter-gather / merged execution — instead of the local service.
+  /// Arguments: kind, query text, absolute deadline, and the request's
+  /// `strategy` override ("" = coordinator default). Admission pricing
+  /// and the plan cache still run against the local service, which in
+  /// coordinator mode serves the merged snapshots.
+  std::function<Result<QueryAnswer>(
+      QueryKind, const std::string&,
+      const std::optional<std::chrono::steady_clock::time_point>&,
+      const std::string&)>
+      cluster_handler;
+  /// Extra flat JSON fields (no leading comma) appended to the `stats`
+  /// reply — the coordinator's shard/hedge/retry counters.
+  std::function<std::string()> stats_extra_fields;
 };
 
 /// Line-delimited JSON over TCP in front of a QueryService (wire.h has
@@ -94,6 +112,11 @@ class QueryServer {
     std::mutex write_mu;
   };
 
+  /// Shared state of a mixed-lane batch split across both lanes
+  /// (priority inheritance): cheap members keep fast-lane latency while
+  /// the expensive members queue slow. Defined in the .cc.
+  struct BatchShared;
+
   struct WorkItem {
     std::shared_ptr<Connection> conn;
     WireRequest request;
@@ -105,6 +128,11 @@ class QueryServer {
     /// at dequeue so an expired request is answered DEADLINE_EXCEEDED
     /// without pinning a snapshot or burning a compile.
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Split-batch part: non-null shared state plus the indexes into
+    /// the batch this part executes. The last part to finish formats
+    /// and sends the single batch reply.
+    std::shared_ptr<BatchShared> shared;
+    std::vector<size_t> part_indices;
   };
 
   QueryServer(QueryService* service, const QueryServerOptions& options);
@@ -119,6 +147,16 @@ class QueryServer {
                      WireRequest request);
   void ExecuteSingle(const WorkItem& item);
   void ExecuteBatch(const WorkItem& item);
+  /// Runs (or, when `shed` is non-OK, fails) one part of a split batch;
+  /// whichever part finishes last sends the combined reply.
+  void ExecuteSplitPart(const WorkItem& item, const Status& shed);
+  /// One query via the cluster handler when configured, else the local
+  /// service (optionally against a pinned snapshot).
+  Result<QueryAnswer> RunQuery(
+      QueryKind kind, const std::string& text,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      const std::string& strategy,
+      const std::shared_ptr<const SketchSnapshot>& snapshot);
   /// Writes one reply line; returns true when fully delivered. A write
   /// error counts server.replies_dropped and shuts the socket down so
   /// the reader retires the connection instead of replies silently
@@ -158,6 +196,10 @@ class QueryServer {
   Histogram* queue_wait_us_;
   Histogram* fast_wait_us_;
   Histogram* slow_wait_us_;
+  /// End-to-end (admission to reply) latency per lane — the stats op
+  /// exports their p50/p95 so clients see what each lane delivers.
+  Histogram* fast_latency_us_;
+  Histogram* slow_latency_us_;
   Counter* replies_ok_;
   Counter* replies_error_;
   Counter* replies_dropped_;
@@ -169,6 +211,8 @@ class QueryServer {
   Counter* fast_admitted_;
   Counter* slow_admitted_;
   Counter* batch_queries_;
+  Counter* batch_splits_;
+  Counter* shard_ops_;
   Counter* connections_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sketchtree {
 
@@ -236,6 +237,10 @@ class FlatJsonParser {
     } else if (key == "timeout_ms" && !is_string) {
       request->timeout_ms =
           static_cast<int64_t>(std::atof(std::string(raw).c_str()));
+    } else if (key == "values" && is_string) {
+      request->values = std::move(string_value);
+    } else if (key == "strategy" && is_string) {
+      request->strategy = std::move(string_value);
     }
     return Status::OK();
   }
@@ -284,6 +289,7 @@ const char* WireCodeFor(const Status& status) {
     case Status::Code::kInternal: return "INTERNAL";
     case Status::Code::kCorruption: return "CORRUPTION";
     case Status::Code::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::Code::kUnavailable: return "UNAVAILABLE";
   }
   return "INTERNAL";
 }
@@ -303,13 +309,27 @@ std::string FormatAnswerReply(const WireRequest& request,
   std::snprintf(buf, sizeof(buf),
                 "\"ok\":true,\"estimate\":%.17g,\"epoch\":%llu,"
                 "\"trees\":%llu,\"cache\":\"%s\",\"arrangements\":%zu,"
-                "\"micros\":%.1f}",
+                "\"micros\":%.1f",
                 answer.estimate,
                 static_cast<unsigned long long>(answer.epoch),
                 static_cast<unsigned long long>(answer.trees_processed),
                 answer.cache_hit ? "hit" : "miss", answer.num_arrangements,
                 answer.compile_micros + answer.estimate_micros);
-  return IdPrefix(request.id_json) + buf;
+  std::string out = IdPrefix(request.id_json) + buf;
+  if (answer.from_cluster) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"strategy\":\"%s\",\"partial\":%s,\"shards_ok\":%d,"
+                  "\"shards_total\":%d,\"covered_trees\":%llu,"
+                  "\"total_trees\":%llu,\"error_scale\":%.17g",
+                  answer.strategy.c_str(), answer.partial ? "true" : "false",
+                  answer.shards_ok, answer.shards_total,
+                  static_cast<unsigned long long>(answer.covered_trees),
+                  static_cast<unsigned long long>(answer.total_trees),
+                  answer.error_scale);
+    out += buf;
+  }
+  out += '}';
+  return out;
 }
 
 std::string FormatErrorReply(const WireRequest& request,
@@ -365,6 +385,288 @@ std::string FormatBatchReply(const WireRequest& request, uint64_t epoch,
   std::snprintf(buf, sizeof(buf), "],\"micros\":%.1f}", total_micros);
   out += buf;
   return out;
+}
+
+std::string FormatHexValues(const std::vector<uint64_t>& values) {
+  std::string out;
+  out.reserve(values.size() * 17);
+  char buf[24];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(values[i]));
+    out += buf;
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> ParseHexValues(std::string_view csv) {
+  if (csv.empty()) {
+    return Status::InvalidArgument("empty \"values\" list");
+  }
+  std::vector<uint64_t> values;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string_view::npos) comma = csv.size();
+    std::string_view entry = csv.substr(start, comma - start);
+    if (entry.empty() || entry.size() > 16) {
+      return Status::InvalidArgument("bad hex value in \"values\"");
+    }
+    uint64_t value = 0;
+    for (char c : entry) {
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<uint64_t>(c - 'A' + 10);
+      else return Status::InvalidArgument("bad hex value in \"values\"");
+    }
+    values.push_back(value);
+    if (comma == csv.size()) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+std::string FormatShardEstimateReply(std::string_view id_json, int s1, int s2,
+                                     uint64_t epoch, uint64_t trees,
+                                     const std::vector<double>& x) {
+  std::string out = IdPrefix(id_json);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "\"ok\":true,\"s1\":%d,\"s2\":%d,\"epoch\":%llu,"
+                "\"trees\":%llu,\"x\":\"",
+                s1, s2, static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(trees));
+  out += buf;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf), "%.17g", x[i]);
+    out += buf;
+  }
+  out += "\"}";
+  return out;
+}
+
+std::string FormatShardSnapshotReply(std::string_view id_json, uint64_t epoch,
+                                     uint64_t trees,
+                                     std::string_view base64_sketch) {
+  std::string out = IdPrefix(id_json);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "\"ok\":true,\"epoch\":%llu,\"trees\":%llu,\"sketch\":\"",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(trees));
+  out += buf;
+  out += base64_sketch;  // Base64 never needs JSON escaping.
+  out += "\"}";
+  return out;
+}
+
+std::string FormatHealthReply(std::string_view id_json, uint64_t epoch,
+                              uint64_t trees, double self_join_size,
+                              bool stopping) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"ok\":true,\"epoch\":%llu,\"trees\":%llu,"
+                "\"self_join_size\":%.17g,\"stopping\":%s}",
+                static_cast<unsigned long long>(epoch),
+                static_cast<unsigned long long>(trees), self_join_size,
+                stopping ? "true" : "false");
+  return IdPrefix(id_json) + buf;
+}
+
+namespace {
+
+/// Cursor over one reply line for top-level field extraction.
+struct FieldScan {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  /// pos at the opening quote; leaves pos past the closing quote.
+  bool SkipString() {
+    if (!Consume('"')) return false;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        ++pos;
+      }
+    }
+    return false;
+  }
+  /// Skips one value of any shape (nested arrays/objects are opaque).
+  bool SkipValue() {
+    SkipSpace();
+    if (pos >= text.size()) return false;
+    char c = text[pos];
+    if (c == '"') return SkipString();
+    if (c == '{' || c == '[') {
+      int depth = 0;
+      while (pos < text.size()) {
+        char d = text[pos];
+        if (d == '"') {
+          if (!SkipString()) return false;
+          continue;
+        }
+        ++pos;
+        if (d == '{' || d == '[') ++depth;
+        if (d == '}' || d == ']') {
+          if (--depth == 0) return true;
+        }
+      }
+      return false;
+    }
+    size_t start = pos;
+    while (pos < text.size() && text[pos] != ',' && text[pos] != '}' &&
+           text[pos] != ']' &&
+           !std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    return pos > start;
+  }
+};
+
+/// Decodes the escapes FlatJsonParser accepts (the reply side emits a
+/// subset of them via JsonEscape).
+Result<std::string> JsonUnescapeString(std::string_view raw) {
+  // `raw` includes the surrounding quotes.
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') {
+    return Status::Corruption("reply field is not a JSON string");
+  }
+  std::string_view body = raw.substr(1, raw.size() - 2);
+  std::string out;
+  out.reserve(body.size());
+  for (size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (++i >= body.size()) {
+      return Status::Corruption("truncated escape in reply string");
+    }
+    switch (body[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 >= body.size()) {
+          return Status::Corruption("truncated \\u escape in reply string");
+        }
+        uint32_t code = 0;
+        for (int h = 0; h < 4; ++h) {
+          char hc = body[++i];
+          code <<= 4;
+          if (hc >= '0' && hc <= '9') code |= hc - '0';
+          else if (hc >= 'a' && hc <= 'f') code |= hc - 'a' + 10;
+          else if (hc >= 'A' && hc <= 'F') code |= hc - 'A' + 10;
+          else return Status::Corruption("bad \\u escape in reply string");
+        }
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return Status::Corruption("unsupported escape in reply string");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> JsonFieldRaw(std::string_view line, std::string_view key) {
+  FieldScan scan{line};
+  scan.SkipSpace();
+  if (!scan.Consume('{')) {
+    return Status::Corruption("reply is not a JSON object");
+  }
+  scan.SkipSpace();
+  if (scan.Consume('}')) {
+    return Status::NotFound("reply has no \"" + std::string(key) + "\"");
+  }
+  while (true) {
+    scan.SkipSpace();
+    size_t key_start = scan.pos;
+    if (!scan.SkipString()) {
+      return Status::Corruption("bad key in reply object");
+    }
+    // Keys in this protocol are plain ASCII identifiers, so the raw
+    // span between the quotes compares directly.
+    std::string_view found =
+        line.substr(key_start + 1, scan.pos - key_start - 2);
+    scan.SkipSpace();
+    if (!scan.Consume(':')) {
+      return Status::Corruption("missing ':' in reply object");
+    }
+    scan.SkipSpace();
+    size_t value_start = scan.pos;
+    if (!scan.SkipValue()) {
+      return Status::Corruption("bad value in reply object");
+    }
+    if (found == key) {
+      return std::string(line.substr(value_start, scan.pos - value_start));
+    }
+    scan.SkipSpace();
+    if (scan.Consume(',')) continue;
+    if (scan.Consume('}')) {
+      return Status::NotFound("reply has no \"" + std::string(key) + "\"");
+    }
+    return Status::Corruption("expected ',' or '}' in reply object");
+  }
+}
+
+Result<std::string> JsonFieldString(std::string_view line,
+                                    std::string_view key) {
+  SKETCHTREE_ASSIGN_OR_RETURN(std::string raw, JsonFieldRaw(line, key));
+  return JsonUnescapeString(raw);
+}
+
+Result<double> JsonFieldNumber(std::string_view line, std::string_view key) {
+  SKETCHTREE_ASSIGN_OR_RETURN(std::string raw, JsonFieldRaw(line, key));
+  char* end = nullptr;
+  double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    return Status::Corruption("reply field \"" + std::string(key) +
+                              "\" is not a number");
+  }
+  return value;
+}
+
+Result<bool> JsonFieldBool(std::string_view line, std::string_view key) {
+  SKETCHTREE_ASSIGN_OR_RETURN(std::string raw, JsonFieldRaw(line, key));
+  if (raw == "true") return true;
+  if (raw == "false") return false;
+  return Status::Corruption("reply field \"" + std::string(key) +
+                            "\" is not a boolean");
 }
 
 }  // namespace sketchtree

@@ -18,21 +18,43 @@ namespace sketchtree {
 /// Request grammar (flat object; unknown fields are ignored):
 ///
 ///   {"op": "count" | "count_ord" | "extended" | "expr" | "batch"
-///          | "stats" | "ping" | "shutdown",
+///          | "stats" | "ping" | "shutdown"
+///          | "shard_estimate" | "shard_snapshot" | "health",
 ///    "q": "<query text>",          // required for the four query ops
 ///    "queries": [{"op": ..., "q": ...}, ...],  // batch op only
 ///    "id": <string or number>,     // optional, echoed verbatim
 ///    "client": "<client id>",      // optional, keys the token bucket
-///    "timeout_ms": <number>}       // optional per-query deadline
+///    "timeout_ms": <number>,       // optional per-query deadline
+///    "values": "<hex,hex,...>",    // shard_estimate only
+///    "strategy": "scatter"|"merged"}  // optional, coordinator only
 ///
 /// `queries` is the one permitted departure from flatness: an array of
 /// flat objects, each naming one of the four query ops. A batch pins a
 /// single snapshot, so every result shares one {epoch, trees}.
 ///
+/// The three shard_* / health ops are the coordinator-to-worker leg of
+/// distributed serving (DESIGN.md section 13). `shard_estimate` carries
+/// the query's mapped pattern values (lowercase hex, comma-separated)
+/// and returns the worker's per-instance combined projection matrix —
+/// exact integer counters, so the coordinator can sum matrices across
+/// shards bit-exactly. `shard_snapshot` returns the worker's current
+/// synopsis (base64 of the checkpoint serialization) for the
+/// merge-at-publish path, and `health` is a cheap liveness +
+/// staleness probe.
+///
 /// Success reply:
 ///   {"id": ..., "ok": true, "estimate": <num>, "epoch": <num>,
 ///    "trees": <num>, "cache": "hit"|"miss", "arrangements": <num>,
 ///    "micros": <num>}
+/// A coordinator's reply appends cluster provenance:
+///   ..., "strategy": "scatter"|"merged", "partial": <bool>,
+///   "shards_ok": <num>, "shards_total": <num>, "covered_trees": <num>,
+///   "total_trees": <num>, "error_scale": <num>}
+/// where `partial: true` means one or more shards were unreachable past
+/// their retry budget and the estimate covers only `covered_trees` of
+/// the cluster's `total_trees`; `error_scale` is the Theorem-1 absolute
+/// error scale sqrt(8 * SJ / s1) over the reachable shards, widened by
+/// the inverse covered fraction.
 /// Batch reply:
 ///   {"id": ..., "ok": true, "epoch": <num>, "trees": <num>,
 ///    "results": [{"ok": true, "estimate": ..., "cache": ...,
@@ -63,6 +85,11 @@ struct WireRequest {
   int64_t timeout_ms = 0;
   /// Sub-queries of a "batch" op, in request order.
   std::vector<WireBatchItem> batch;
+  /// shard_estimate: comma-separated lowercase-hex pattern values.
+  std::string values;
+  /// Coordinator strategy override ("scatter" / "merged"); empty uses
+  /// the coordinator's configured default. Ignored by plain servers.
+  std::string strategy;
 };
 
 /// Parses one request line. Accepts exactly a flat JSON object with
@@ -109,6 +136,49 @@ std::string FormatBatchReply(const WireRequest& request, uint64_t epoch,
 
 /// Wire code for a Status (INVALID_ARGUMENT, OUT_OF_RANGE, ...).
 const char* WireCodeFor(const Status& status);
+
+/// Encodes mapped pattern values as the `values` request field
+/// (lowercase hex, comma-separated, no 0x prefix).
+std::string FormatHexValues(const std::vector<uint64_t>& values);
+
+/// Parses a `values` field; rejects empty lists, empty entries, and
+/// non-hex bytes with InvalidArgument.
+Result<std::vector<uint64_t>> ParseHexValues(std::string_view csv);
+
+/// Renders a `shard_estimate` success reply: the worker's s2*s1
+/// combined-projection matrix (row-major [i*s1+j], %.17g so the exact
+/// integer counters round-trip) plus snapshot provenance.
+std::string FormatShardEstimateReply(std::string_view id_json, int s1, int s2,
+                                     uint64_t epoch, uint64_t trees,
+                                     const std::vector<double>& x);
+
+/// Renders a `shard_snapshot` success reply carrying the base64-encoded
+/// checkpoint serialization of the worker's current snapshot.
+std::string FormatShardSnapshotReply(std::string_view id_json, uint64_t epoch,
+                                     uint64_t trees,
+                                     std::string_view base64_sketch);
+
+/// Renders a `health` success reply: snapshot provenance plus the
+/// worker's current self-join-size estimate (the Theorem-1 error-scale
+/// input the coordinator caches per shard).
+std::string FormatHealthReply(std::string_view id_json, uint64_t epoch,
+                              uint64_t trees, double self_join_size,
+                              bool stopping);
+
+/// Field extraction from one flat reply line — the coordinator's client
+/// side. A proper scan of the top-level object (nested arrays/objects
+/// are skipped as opaque tokens), not a substring search, so values
+/// containing "key": text cannot confuse it. NotFound when the key is
+/// absent; Corruption when the line is not a JSON object — the caller
+/// treats that as a garbled reply and retries.
+Result<std::string> JsonFieldRaw(std::string_view line, std::string_view key);
+/// The key's decoded string value (Corruption if it is not a string).
+Result<std::string> JsonFieldString(std::string_view line,
+                                    std::string_view key);
+/// The key's numeric value (Corruption if it is not a number).
+Result<double> JsonFieldNumber(std::string_view line, std::string_view key);
+/// The key's boolean value (Corruption if it is not true/false).
+Result<bool> JsonFieldBool(std::string_view line, std::string_view key);
 
 }  // namespace sketchtree
 

@@ -1,0 +1,44 @@
+#include "common/base64.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sketchtree {
+namespace {
+
+TEST(Base64Test, EncodesRfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, RoundTripsEveryByteValue) {
+  std::string bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<char>(i));
+  // All three tail lengths (0, 1, 2 leftover bytes).
+  for (size_t len : {bytes.size(), bytes.size() - 1, bytes.size() - 2}) {
+    std::string_view view(bytes.data(), len);
+    Result<std::string> decoded = Base64Decode(Base64Encode(view));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, view);
+  }
+}
+
+TEST(Base64Test, RejectsGarbledInput) {
+  // A synopsis payload must never half-decode: anything outside the
+  // alphabet, truncated, or mis-padded is an error.
+  EXPECT_FALSE(Base64Decode("Zg").ok());         // Missing padding.
+  EXPECT_FALSE(Base64Decode("Z").ok());          // Impossible length.
+  EXPECT_FALSE(Base64Decode("Zm9v!A==").ok());   // Non-alphabet byte.
+  EXPECT_FALSE(Base64Decode("Zm9v\nZg==").ok()); // Embedded newline.
+  EXPECT_FALSE(Base64Decode("====").ok());       // Padding only.
+  EXPECT_FALSE(Base64Decode("Zg===").ok());      // Over-padded.
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -83,6 +83,25 @@ TEST(FaultInjectorTest, SpecGrammarRoundTrips) {
   EXPECT_EQ(param, 5u);
 }
 
+TEST(FaultInjectorTest, NetworkSitesParseFromSpec) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector
+                  .ArmFromSpec("net.connect_refused@0x2,net.disconnect@1,"
+                               "net.slow_write@0x1:250,"
+                               "net.garbled_reply@0")
+                  .ok());
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kNetConnectRefused));
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kNetConnectRefused));
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kNetConnectRefused));
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kNetDisconnect));
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kNetDisconnect));
+  uint64_t stall_ms = 0;
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kNetSlowWrite, &stall_ms));
+  EXPECT_EQ(stall_ms, 250u);  // The write-stall duration rides in param.
+  EXPECT_TRUE(injector.ShouldFire(FaultSite::kNetGarbledReply));
+  EXPECT_FALSE(injector.ShouldFire(FaultSite::kNetGarbledReply));
+}
+
 TEST(FaultInjectorTest, SpecRejectsUnknownSiteAndBadSyntax) {
   FaultInjector injector;
   EXPECT_FALSE(injector.ArmFromSpec("disk.on_fire@0").ok());

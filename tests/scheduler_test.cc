@@ -113,6 +113,49 @@ TEST(TwoLaneQueueTest, StopDrainsRemainingItemsThenEnds) {
   EXPECT_FALSE(queue.Pop(&item, nullptr));
 }
 
+TEST(TwoLaneQueueTest, PushSplitAdmitsBothOrNeither) {
+  TwoLaneQueue<int> queue(SmallScheduler());  // fast 4, slow 2.
+  ASSERT_EQ(queue.PushSplit(1, 100), AdmitResult::kAdmitted);
+  ASSERT_EQ(queue.PushSplit(2, 101), AdmitResult::kAdmitted);
+  EXPECT_EQ(queue.depth(Lane::kFast), 2u);
+  EXPECT_EQ(queue.depth(Lane::kSlow), 2u);
+
+  // Slow lane is now full: the split is refused whole — the fast part
+  // must NOT be admitted alone (a half-queued batch could never
+  // assemble its reply).
+  EXPECT_EQ(queue.PushSplit(3, 102), AdmitResult::kSlowFull);
+  EXPECT_EQ(queue.depth(Lane::kFast), 2u);
+  EXPECT_EQ(queue.depth(Lane::kSlow), 2u);
+
+  // Fast parts dispatch first, slow parts behind the starvation bound.
+  EXPECT_EQ(Drain(&queue, 4), (std::vector<int>{1, 2, 100, 101}));
+}
+
+TEST(TwoLaneQueueTest, PushSplitSingleLaneNeedsTwoSlots) {
+  SchedulerOptions options = SmallScheduler();
+  options.two_lanes = false;  // One FIFO, combined capacity 6.
+  TwoLaneQueue<int> queue(options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue.Push(Lane::kFast, i), AdmitResult::kAdmitted);
+  }
+  // One slot free but a split needs two: refused whole.
+  EXPECT_EQ(queue.PushSplit(10, 110), AdmitResult::kFastFull);
+  EXPECT_EQ(queue.total_depth(), 5u);
+  int item = 0;
+  ASSERT_TRUE(queue.Pop(&item, nullptr));
+  ASSERT_TRUE(queue.Pop(&item, nullptr));
+  // Two slots free: both parts land back to back in arrival order.
+  ASSERT_EQ(queue.PushSplit(10, 110), AdmitResult::kAdmitted);
+  EXPECT_EQ(Drain(&queue, 5), (std::vector<int>{2, 3, 4, 10, 110}));
+}
+
+TEST(TwoLaneQueueTest, PushSplitAfterStopReportsStopped) {
+  TwoLaneQueue<int> queue(SmallScheduler());
+  queue.Stop();
+  EXPECT_EQ(queue.PushSplit(1, 100), AdmitResult::kStopped);
+  EXPECT_EQ(queue.total_depth(), 0u);
+}
+
 TEST(TokenBucketLimiterTest, DisabledLimiterAdmitsEverything) {
   TokenBucketLimiter limiter(0.0, 0.0);
   EXPECT_FALSE(limiter.enabled());

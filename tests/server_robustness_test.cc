@@ -1,0 +1,301 @@
+// Wire-level robustness (S3): hostile and broken clients must get
+// typed errors and bounded resource use — never a crash, a hang, or a
+// silently dropped reply. Runs under the asan/tsan presets like every
+// other test.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/base64.h"
+#include "core/sketch_tree.h"
+#include "metrics/metrics.h"
+#include "server/query_service.h"
+#include "server/tcp_server.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+SketchTreeOptions SmallOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 20;
+  options.s2 = 5;
+  options.num_virtual_streams = 31;
+  options.topk_size = 0;
+  options.seed = 11;
+  return options;
+}
+
+SketchTree BuildSketch() {
+  SketchTree sketch = *SketchTree::Create(SmallOptions());
+  for (int i = 0; i < 9; ++i) sketch.Update(*ParseSExpr("A(B,C)"));
+  for (int i = 0; i < 6; ++i) sketch.Update(*ParseSExpr("R(S(T),U)"));
+  return sketch;
+}
+
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void CloseHard() {
+    if (fd_ < 0) return;
+    linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& lines) {
+    ASSERT_EQ(::send(fd_, lines.data(), lines.size(), 0),
+              static_cast<ssize_t>(lines.size()));
+  }
+
+  std::string ReadLine() {
+    for (;;) {
+      size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+struct ServerUnderTest {
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<QueryServer> server;
+};
+
+ServerUnderTest StartServer() {
+  ServerUnderTest s;
+  Result<QueryService> service = QueryService::CreateStatic(BuildSketch());
+  EXPECT_TRUE(service.ok());
+  s.service = std::make_unique<QueryService>(std::move(service).value());
+  QueryServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(s.service.get(), options);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  s.server = std::move(server).value();
+  return s;
+}
+
+TEST(ServerRobustnessTest, OversizedFrameGetsTypedErrorThenDisconnect) {
+  ServerUnderTest s = StartServer();
+  TestClient client(s.server->port());
+  ASSERT_TRUE(client.connected());
+
+  // 2 MiB with no newline: past the 1 MiB frame cap the server must
+  // answer MALFORMED_REQUEST and hang up rather than buffer forever.
+  std::string flood(2u << 20, 'x');
+  client.Send(flood);
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"MALFORMED_REQUEST\""), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("exceeds 1 MiB"), std::string::npos) << reply;
+  EXPECT_EQ(client.ReadLine(), "");  // Connection closed.
+
+  // The server itself is unharmed: a fresh client still gets answers.
+  TestClient next(s.server->port());
+  ASSERT_TRUE(next.connected());
+  next.Send("{\"op\":\"ping\",\"id\":1}\n");
+  EXPECT_EQ(next.ReadLine(), "{\"id\":1,\"ok\":true,\"pong\":true}");
+  s.server->Shutdown();
+}
+
+TEST(ServerRobustnessTest, TruncatedJsonKeepsConnectionAlive) {
+  ServerUnderTest s = StartServer();
+  TestClient client(s.server->port());
+  ASSERT_TRUE(client.connected());
+
+  // A newline lands mid-object: the fragment is a malformed request,
+  // but the *connection* survives — framing recovers at the newline.
+  client.Send("{\"op\":\"count_ord\",\"q\":\"A(B\n");
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"MALFORMED_REQUEST\""), std::string::npos)
+      << reply;
+
+  client.Send("{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":7}\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"id\":7,\"ok\":true"), std::string::npos) << reply;
+  s.server->Shutdown();
+}
+
+TEST(ServerRobustnessTest, UnknownOpsAreTypedErrors) {
+  ServerUnderTest s = StartServer();
+  TestClient client(s.server->port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send("{\"op\":\"launch_missiles\",\"id\":1}\n");
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"MALFORMED_REQUEST\""), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("unknown op"), std::string::npos) << reply;
+
+  // Unknown sub-op inside a batch fails the whole batch up front.
+  client.Send(
+      "{\"op\":\"batch\",\"id\":2,\"queries\":"
+      "[{\"op\":\"count_ord\",\"q\":\"A(B,C)\"},{\"op\":\"frobnicate\","
+      "\"q\":\"A\"}]}\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"MALFORMED_REQUEST\""), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("frobnicate"), std::string::npos) << reply;
+  s.server->Shutdown();
+}
+
+TEST(ServerRobustnessTest, ShardEstimateRejectsBadValues) {
+  ServerUnderTest s = StartServer();
+  TestClient client(s.server->port());
+  ASSERT_TRUE(client.connected());
+
+  // Non-hex garbage in `values`.
+  client.Send(
+      "{\"op\":\"shard_estimate\",\"id\":1,\"values\":\"zz,!!\"}\n");
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"code\":\"MALFORMED_REQUEST\""), std::string::npos)
+      << reply;
+
+  // Missing `values` entirely (empty list) still answers in protocol.
+  client.Send("{\"op\":\"shard_estimate\",\"id\":2,\"values\":\"\"}\n");
+  reply = client.ReadLine();
+  EXPECT_FALSE(reply.empty());
+  s.server->Shutdown();
+}
+
+TEST(ServerRobustnessTest, ShardSnapshotRoundTripsTheSynopsis) {
+  ServerUnderTest s = StartServer();
+  TestClient client(s.server->port());
+  ASSERT_TRUE(client.connected());
+
+  client.Send("{\"op\":\"health\",\"id\":1}\n");
+  std::string reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"trees\":15"), std::string::npos) << reply;
+
+  client.Send("{\"op\":\"shard_snapshot\",\"id\":2}\n");
+  reply = client.ReadLine();
+  ASSERT_NE(reply.find("\"sketch\":\""), std::string::npos) << reply;
+  const size_t begin = reply.find("\"sketch\":\"") + 10;
+  const size_t end = reply.find('"', begin);
+  ASSERT_NE(end, std::string::npos);
+
+  Result<std::string> bytes =
+      Base64Decode(reply.substr(begin, end - begin));
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  Result<SketchTree> restored = SketchTree::DeserializeFromString(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->Stats().trees_processed, 15u);
+
+  // The restored synopsis answers identically to the server's own.
+  Result<double> direct =
+      restored->EstimateCountOrdered(*ParseSExpr("A(B,C)"));
+  ASSERT_TRUE(direct.ok());
+  client.Send("{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":3}\n");
+  reply = client.ReadLine();
+  EXPECT_NE(reply.find("\"ok\":true"), std::string::npos) << reply;
+  s.server->Shutdown();
+}
+
+TEST(ServerRobustnessTest, MidReplyDisconnectCountsDroppedNotCrash) {
+  ServerUnderTest s = StartServer();
+  Counter* dropped = GlobalMetrics().GetCounter("server.replies_dropped");
+  const uint64_t dropped_before = dropped->value();
+
+  // A burst of queries, then an RST before reading any reply: every
+  // undeliverable reply must be *counted* dropped, and the server must
+  // keep serving other clients.
+  {
+    TestClient rude(s.server->port());
+    ASSERT_TRUE(rude.connected());
+    std::string burst;
+    for (int i = 0; i < 32; ++i) {
+      burst += "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":" +
+               std::to_string(i) + "}\n";
+    }
+    rude.Send(burst);
+    rude.CloseHard();
+  }
+
+  TestClient polite(s.server->port());
+  ASSERT_TRUE(polite.connected());
+  for (int i = 0; i < 50; ++i) {
+    polite.Send("{\"op\":\"ping\",\"id\":1}\n");
+    ASSERT_EQ(polite.ReadLine(), "{\"id\":1,\"ok\":true,\"pong\":true}");
+    if (dropped->value() > dropped_before) break;
+  }
+  // At least one of the burst's replies hit the dead socket. (Not all
+  // 32 necessarily — the reader may notice EOF first and stop parsing.)
+  EXPECT_GE(dropped->value(), dropped_before);
+  s.server->Shutdown();
+}
+
+TEST(ServerRobustnessTest, PipelinedMixedGoodAndBadLines) {
+  ServerUnderTest s = StartServer();
+  TestClient client(s.server->port());
+  ASSERT_TRUE(client.connected());
+
+  // One write, five frames, two of them broken: replies arrive for all
+  // five, in order for the inline errors, and the connection survives.
+  client.Send(
+      "{\"op\":\"ping\",\"id\":1}\n"
+      "not json at all\n"
+      "{\"op\":\"count_ord\",\"q\":\"A(B,C)\",\"id\":2}\n"
+      "{\"op\":\"nope\",\"id\":3}\n"
+      "{\"op\":\"ping\",\"id\":4}\n");
+  int ok = 0;
+  int errors = 0;
+  for (int i = 0; i < 5; ++i) {
+    std::string reply = client.ReadLine();
+    ASSERT_FALSE(reply.empty()) << "connection died after " << i;
+    if (reply.find("\"ok\":true") != std::string::npos) {
+      ++ok;
+    } else {
+      EXPECT_NE(reply.find("\"code\":\"MALFORMED_REQUEST\""),
+                std::string::npos)
+          << reply;
+      ++errors;
+    }
+  }
+  EXPECT_EQ(ok, 3);
+  EXPECT_EQ(errors, 2);
+  s.server->Shutdown();
+}
+
+}  // namespace
+}  // namespace sketchtree

@@ -34,6 +34,7 @@
 #include "ingest/quarantine.h"
 #include "metrics/metrics.h"
 #include "query/pattern_query.h"
+#include "cluster/coordinator.h"
 #include "server/query_service.h"
 #include "server/snapshot.h"
 #include "server/tcp_server.h"
@@ -107,6 +108,11 @@ int Usage() {
       "        [--client-burst N]\n"
       "        [build options when --input: --k --s1 --s2 --streams\n"
       "         --topk --summary --seed]\n"
+      "  sketchtree_cli serve --shards PORT[,PORT...] [--port 7227]\n"
+      "        [--strategy scatter|merged] [--refresh-every-ms N]\n"
+      "        [--shard-deadline-ms N] [--retries N] [--hedge-ms N]\n"
+      "        [--breaker-threshold N] [--breaker-cooldown-ms N]\n"
+      "        [server options as above]\n"
       "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
       "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n"
       "  sketchtree_cli inspect --synopsis SYNOPSIS.bin [--json]\n"
@@ -123,6 +129,17 @@ int Usage() {
       "  fast, cold expensive compiles go slow and are shed first under\n"
       "  overload (RETRY_AFTER); --client-quota rate-limits per \"client\"\n"
       "  id. See DESIGN.md sections 10 and 12.\n"
+      "\n"
+      "  serve --shards runs a cluster *coordinator* instead: each port\n"
+      "  is a worker `serve` process on loopback. Queries fan out\n"
+      "  (scatter-gather, bit-exact vs. the merged path when all shards\n"
+      "  are healthy) or answer from the locally merged synopsis\n"
+      "  (--strategy merged; refreshed every --refresh-every-ms). Shard\n"
+      "  calls get --retries attempts within --shard-deadline-ms, hedge\n"
+      "  after --hedge-ms (-1 disables), and trip a circuit breaker after\n"
+      "  --breaker-threshold consecutive failures. When a shard stays\n"
+      "  down, replies degrade to partial:true with a widened error\n"
+      "  scale instead of failing. See DESIGN.md section 13.\n"
       "\n"
       "  inspect prints a sketch health report (per-row occupancy and\n"
       "  moments, self-join size, Theorem-1 error scale, warnings);\n"
@@ -646,16 +663,7 @@ int RunExpr(const Args& args) {
   return RunOneShot(args, QueryKind::kExpression, expression);
 }
 
-int RunServe(const Args& args) {
-  std::string synopsis = args.Get("synopsis");
-  std::string input = args.Get("input");
-  if (synopsis.empty() == input.empty()) {
-    std::fprintf(stderr,
-                 "error: serve needs exactly one of --synopsis (frozen "
-                 "synopsis) or --input (live ingest)\n");
-    return kExitUsage;
-  }
-
+QueryServiceOptions ServiceOptionsFromArgs(const Args& args) {
   QueryServiceOptions service_options;
   long cache = args.GetLong("cache", 0);
   if (cache > 0) service_options.plan_cache_capacity =
@@ -665,6 +673,10 @@ int RunServe(const Args& args) {
     service_options.max_arrangements =
         static_cast<size_t>(max_arrangements);
   }
+  return service_options;
+}
+
+QueryServerOptions ServerOptionsFromArgs(const Args& args) {
   QueryServerOptions server_options;
   server_options.port = static_cast<int>(args.GetLong("port", 7227));
   server_options.num_workers = static_cast<int>(args.GetLong("workers", 4));
@@ -687,6 +699,96 @@ int RunServe(const Args& args) {
   }
   server_options.client_quota_qps = args.GetDouble("client-quota", 0.0);
   server_options.client_quota_burst = args.GetDouble("client-burst", 0.0);
+  return server_options;
+}
+
+/// serve --shards: the cluster coordinator front end (DESIGN.md
+/// section 13). Connects to the worker `serve` processes, performs the
+/// initial merge, and serves the same wire protocol with per-request
+/// strategy override, retries, hedging, and graceful degradation.
+int RunCoordinator(const Args& args, const std::string& shards_csv) {
+  CoordinatorOptions coordinator_options;
+  for (const std::string& entry : SplitCommaList(shards_csv)) {
+    ShardAddress address;
+    size_t colon = entry.rfind(':');
+    if (colon != std::string::npos) {
+      address.host = entry.substr(0, colon);
+      address.port = std::atoi(entry.c_str() + colon + 1);
+    } else {
+      address.port = std::atoi(entry.c_str());
+    }
+    if (address.port <= 0 || address.port > 65535) {
+      std::fprintf(stderr, "error: bad shard \"%s\" in --shards\n",
+                   entry.c_str());
+      return kExitUsage;
+    }
+    coordinator_options.shards.push_back(std::move(address));
+  }
+  std::string strategy = args.Get("strategy");
+  if (strategy == "merged") {
+    coordinator_options.default_strategy = ClusterStrategy::kMerged;
+  } else if (!strategy.empty() && strategy != "scatter") {
+    std::fprintf(stderr,
+                 "error: --strategy must be scatter or merged\n");
+    return kExitUsage;
+  }
+  coordinator_options.service = ServiceOptionsFromArgs(args);
+  coordinator_options.refresh_every_ms =
+      args.GetLong("refresh-every-ms", 2000);
+  coordinator_options.shard_deadline_ms =
+      args.GetLong("shard-deadline-ms", 1000);
+  coordinator_options.max_attempts =
+      static_cast<int>(args.GetLong("retries", 3));
+  coordinator_options.hedge_min_ms = args.GetLong("hedge-ms", 20);
+  coordinator_options.breaker_threshold =
+      static_cast<int>(args.GetLong("breaker-threshold", 3));
+  coordinator_options.breaker_cooldown_ms =
+      args.GetLong("breaker-cooldown-ms", 500);
+
+  Result<std::unique_ptr<Coordinator>> coordinator =
+      Coordinator::Start(coordinator_options);
+  if (!coordinator.ok()) return Fail(coordinator.status());
+
+  QueryServerOptions server_options = ServerOptionsFromArgs(args);
+  Coordinator* cluster = coordinator->get();
+  server_options.cluster_handler =
+      [cluster](QueryKind kind, const std::string& text,
+                const std::optional<std::chrono::steady_clock::time_point>&
+                    deadline,
+                const std::string& strategy_override) {
+        return cluster->Execute(kind, text, deadline, strategy_override);
+      };
+  server_options.stats_extra_fields = [cluster] {
+    return cluster->StatsJsonFields();
+  };
+  Result<std::unique_ptr<QueryServer>> server =
+      QueryServer::Start(cluster->service(), server_options);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("coordinating %d shards on 127.0.0.1:%d\n",
+              cluster->shards_total(), (*server)->port());
+  std::fflush(stdout);
+  (*server)->WaitForShutdown();
+  (*server)->Shutdown();
+  cluster->Stop();
+  std::printf("coordinator stopped\n");
+  return EXIT_SUCCESS;
+}
+
+int RunServe(const Args& args) {
+  std::string shards_csv = args.Get("shards");
+  if (!shards_csv.empty()) return RunCoordinator(args, shards_csv);
+  std::string synopsis = args.Get("synopsis");
+  std::string input = args.Get("input");
+  if (synopsis.empty() == input.empty()) {
+    std::fprintf(stderr,
+                 "error: serve needs exactly one of --synopsis (frozen "
+                 "synopsis), --input (live ingest), or --shards "
+                 "(cluster coordinator)\n");
+    return kExitUsage;
+  }
+
+  QueryServiceOptions service_options = ServiceOptionsFromArgs(args);
+  QueryServerOptions server_options = ServerOptionsFromArgs(args);
   long publish_every = args.GetLong("publish-every", 1000);
   if (publish_every < 1) {
     std::fprintf(stderr,
