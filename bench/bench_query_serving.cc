@@ -30,6 +30,12 @@
 // head-of-line guard (warm p95 while a >= 10k-arrangement cold compile
 // is continuously in flight must stay within 3x of the uncontended warm
 // p95 — second acceptance floor), also land in BENCH_query.json.
+//
+// Finally, a tracing-overhead guard re-runs the warm workload with the
+// trace recorder live and a sampled context installed (what `serve
+// --trace-out --trace-sample 1` costs per query) interleaved against
+// recorder-off passes: tracing-on warm p95 must stay within 5% of
+// tracing-off — third acceptance floor, also in BENCH_query.json.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -43,6 +49,7 @@
 #include "core/sketch_tree.h"
 #include "server/query_service.h"
 #include "server/scheduler.h"
+#include "trace/trace.h"
 #include "tree/tree_serialization.h"
 
 using namespace sketchtree;
@@ -438,6 +445,55 @@ int main() {
                                : 0.0;
   const bool hol_ok = hol_ratio <= 3.0 && contended.cold_completed > 0;
 
+  // Tracing-overhead guard (DESIGN.md section 14): the identical warm
+  // workload with the trace recorder live and a sampled context
+  // installed — every span the serve path emits (query, cache lookup,
+  // estimate) is recorded and id-stamped, exactly what `serve
+  // --trace-out --trace-sample 1` costs on the hot path. Recorder-off
+  // and recorder-on passes are interleaved round by round so clock
+  // drift, thermal state, and cache warmth cancel instead of biasing
+  // one leg. Acceptance floor: tracing-on warm p95 within 5% of
+  // tracing-off.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Stop();
+  recorder.Reset();
+  std::vector<double> plain_us, traced_us;
+  plain_us.reserve(workload.size() * kRounds);
+  traced_us.reserve(workload.size() * kRounds);
+  for (int round = 0; round < kRounds; ++round) {
+    for (int leg = 0; leg < 2; ++leg) {
+      const bool tracing = leg == 1;
+      if (tracing) recorder.Start();
+      {
+        TraceContextScope scope(tracing ? TraceContext::NewRoot()
+                                        : TraceContext{});
+        for (const std::string& text : workload) {
+          QueryRequest request;
+          request.kind = QueryKind::kUnordered;
+          request.text = text;
+          WallTimer timer;
+          Result<QueryAnswer> answer = warm_service.Execute(request);
+          double elapsed = timer.ElapsedSeconds() * 1e6;
+          if (!answer.ok() || !answer->cache_hit) {
+            std::fprintf(stderr, "tracing guard: warm query failed or "
+                                 "missed the cache on %s\n",
+                         text.c_str());
+            return 1;
+          }
+          (tracing ? traced_us : plain_us).push_back(elapsed);
+        }
+      }
+      if (tracing) recorder.Stop();
+    }
+  }
+  const size_t traced_events = recorder.event_count();
+  recorder.Reset();
+  LatencyStats plain = Summarize(std::move(plain_us));
+  LatencyStats traced = Summarize(std::move(traced_us));
+  const double trace_overhead =
+      plain.p95 > 0.0 ? traced.p95 / plain.p95 : 0.0;
+  const bool trace_ok = trace_overhead <= 1.05 && traced_events > 0;
+
   std::printf("EXP-SERVE: repeated unordered COUNT(Q), %zu patterns x %d "
               "rounds, 720 arrangements each (s1=%d s2=%d)\n",
               workload.size(), kRounds, kS1, kS2);
@@ -473,6 +529,11 @@ int main() {
               "ratio %.2fx (floor 3x), blockers completed %zu\n",
               uncontended.warm.p95, contended.warm.p95, hol_ratio,
               contended.cold_completed);
+  std::printf("\nEXP-SERVE-TRACE: warm path with the recorder live and a "
+              "sampled context installed\n");
+  std::printf("  tracing-off warm p95 %.1fus, tracing-on warm p95 %.1fus, "
+              "overhead %.3fx (floor 1.05x), %zu events recorded\n",
+              plain.p95, traced.p95, trace_overhead, traced_events);
 
   FILE* json = std::fopen("BENCH_query.json", "w");
   if (json != nullptr) {
@@ -532,11 +593,18 @@ int main() {
                  "\"met\": %s},\n",
                  uncontended.warm.p95, contended.warm.p95, hol_ratio,
                  contended.cold_completed, hol_ok ? "true" : "false");
+    std::fprintf(json,
+                 "  \"tracing_guard\": {\"tracing_off_warm_p95_us\": %.1f, "
+                 "\"tracing_on_warm_p95_us\": %.1f, \"overhead\": %.3f, "
+                 "\"floor\": 1.05, \"events_recorded\": %zu, "
+                 "\"met\": %s},\n",
+                 plain.p95, traced.p95, trace_overhead, traced_events,
+                 trace_ok ? "true" : "false");
     std::fprintf(json, "  \"speedup_p95_meets_5x_floor\": %s\n",
                  speedup_p95 >= 5.0 ? "true" : "false");
     std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("wrote BENCH_query.json\n");
   }
-  return (speedup_p95 >= 5.0 && hol_ok) ? 0 : 1;
+  return (speedup_p95 >= 5.0 && hol_ok && trace_ok) ? 0 : 1;
 }

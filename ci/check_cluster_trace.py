@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""CI validator for distributed tracing and the telemetry plane.
+
+Starts two shard workers and a coordinator, each with --trace-out, then
+checks over a real TCP socket:
+
+  1. a query carrying a sampled `trace` wire field comes back ok, and
+     after shutdown every process wrote a valid Chrome trace file;
+  2. `trace_merge` aligns the three files into one timeline that
+     chrome://tracing would accept (valid JSON, one pid per process);
+  3. the merged timeline shows the query end to end under the ONE
+     injected trace_id: coordinator spans (per-shard attempts) and both
+     workers' handler spans, i.e. the context crossed the wire twice;
+  4. the coordinator's `metrics` op returns Prometheus text that
+     actually parses line by line, plus the JSON registry snapshot;
+  5. the `slowlog` op answers with the drain shape (slowlog array,
+     slow_total, slow_query_ms).
+
+Usage:
+  check_cluster_trace.py [--cli build/tools/sketchtree_cli]
+                         [--merge build/tools/trace_merge]
+                         [--input examples/smoke_forest.xml]
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+
+TRACE_ID = "00000000deadbeef"
+SPAN_ID = "0000000000000001"
+
+procs = []
+
+
+def fail(message):
+    print(f"check_cluster_trace: FAIL: {message}", file=sys.stderr)
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+    sys.exit(1)
+
+
+class Client:
+    """One request in flight at a time, so replies arrive in order."""
+
+    def __init__(self, port):
+        import socket
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=10)
+        self.buffer = b""
+        self.next_id = 0
+
+    def roundtrip(self, request):
+        self.next_id += 1
+        line = json.dumps(dict(request, id=self.next_id))
+        self.sock.sendall(line.encode() + b"\n")
+        while b"\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail(f"connection closed awaiting reply to: {line}")
+            self.buffer += chunk
+        raw, self.buffer = self.buffer.split(b"\n", 1)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            fail(f"reply is not valid JSON ({error}): {raw!r}")
+
+
+def start_server(cli, argv, banner_re):
+    proc = subprocess.Popen([cli] + argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True)
+    procs.append(proc)
+    banner = proc.stdout.readline()
+    match = re.match(banner_re, banner)
+    if not match:
+        fail(f"unexpected banner: {banner!r}")
+    return proc, int(match.group(1))
+
+
+def validate_prometheus(text):
+    """Line-by-line parse of the exposition format; returns family count."""
+    families = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            fail(f"prometheus line {lineno} is blank")
+        if line.startswith("#"):
+            match = re.fullmatch(
+                r"# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                r"(counter|gauge|histogram)", line)
+            if not match:
+                fail(f"bad # TYPE line {lineno}: {line!r}")
+            families.add(match.group(1))
+            continue
+        match = re.fullmatch(
+            r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+]+|\+Inf)",
+            line)
+        if not match:
+            fail(f"unparseable sample line {lineno}: {line!r}")
+        try:
+            float(match.group(3))
+        except ValueError:
+            fail(f"non-numeric sample value on line {lineno}: {line!r}")
+        if not match.group(1).startswith("sketchtree_"):
+            fail(f"metric without namespace prefix: {line!r}")
+    if not families:
+        fail("prometheus text declares no metric families")
+    return len(families)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", default="build/tools/sketchtree_cli")
+    parser.add_argument("--merge", default="build/tools/trace_merge")
+    parser.add_argument("--input", default="examples/smoke_forest.xml")
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="check_cluster_trace_")
+    synopsis = os.path.join(tmp, "shard.bin")
+    built = subprocess.run(
+        [args.cli, "build", "--input", args.input, "--output", synopsis,
+         "--topk", "0", "--summary"],
+        capture_output=True, text=True)
+    if built.returncode != 0:
+        fail(f"synopsis build failed: {built.stderr}")
+
+    traces = {name: os.path.join(tmp, f"{name}.json")
+              for name in ("coordinator", "shard1", "shard2")}
+    workers = []
+    for name in ("shard1", "shard2"):
+        workers.append(start_server(
+            args.cli,
+            ["serve", "--synopsis", synopsis, "--port", "0",
+             "--workers", "2", "--trace-out", traces[name]],
+            r"serving on 127\.0\.0\.1:(\d+)"))
+    shard_ports = [port for _, port in workers]
+
+    coordinator, coord_port = start_server(
+        args.cli,
+        ["serve", "--shards", ",".join(str(p) for p in shard_ports),
+         "--port", "0", "--workers", "2",
+         "--trace-out", traces["coordinator"],
+         "--slow-query-ms", "1"],
+        r"coordinating 2 shards on 127\.0\.0\.1:(\d+)")
+    client = Client(coord_port)
+
+    # --- 1: a traced scatter query fans out to both shards. -----------
+    reply = client.roundtrip(
+        {"op": "count_ord", "q": "author(name,affil)",
+         "strategy": "scatter", "trace": f"{TRACE_ID}-{SPAN_ID}-1"})
+    if not reply.get("ok") or reply.get("shards_ok") != 2:
+        fail(f"traced scatter query did not hit both shards: {reply}")
+
+    # --- 4: metrics op — Prometheus must parse, JSON must be there. ---
+    metrics = client.roundtrip({"op": "metrics"})
+    if not metrics.get("ok"):
+        fail(f"metrics op failed: {metrics}")
+    if "prometheus" not in metrics or "metrics" not in metrics:
+        fail(f"metrics reply lacks prometheus/metrics fields: "
+             f"{sorted(metrics)}")
+    families = validate_prometheus(metrics["prometheus"])
+    if not isinstance(metrics["metrics"], dict) or \
+            "counters" not in metrics["metrics"]:
+        fail("metrics.metrics is not the registry JSON snapshot")
+
+    # --- 5: slowlog op answers with the drain shape. ------------------
+    slowlog = client.roundtrip({"op": "slowlog"})
+    if not slowlog.get("ok") or not isinstance(
+            slowlog.get("slowlog"), list):
+        fail(f"slowlog op lacks the drain array: {slowlog}")
+    for field in ("slow_total", "slow_query_ms"):
+        if field not in slowlog:
+            fail(f"slowlog reply lacks {field!r}: {slowlog}")
+
+    # --- Shut everything down cleanly so the trace files get written. -
+    client.roundtrip({"op": "shutdown"})
+    if coordinator.wait(timeout=20) != 0:
+        fail("coordinator exited non-zero")
+    for (proc, port), name in zip(workers, ("shard1", "shard2")):
+        Client(port).roundtrip({"op": "shutdown"})
+        if proc.wait(timeout=20) != 0:
+            fail(f"worker {name} exited non-zero")
+    for name, path in traces.items():
+        if not os.path.exists(path):
+            fail(f"{name} wrote no trace file at {path}")
+
+    # --- 2: merge the three files into one timeline. ------------------
+    merged_path = os.path.join(tmp, "merged.json")
+    merge = subprocess.run(
+        [args.merge, "--out", merged_path] +
+        [f"{name}={path}" for name, path in traces.items()],
+        capture_output=True, text=True)
+    if merge.returncode != 0:
+        fail(f"trace_merge failed: {merge.stderr}")
+    with open(merged_path, "rb") as handle:
+        try:
+            merged = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail(f"merged trace is not valid JSON: {error}")
+    events = merged.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("merged trace has no events")
+
+    # --- 3: one trace_id spans coordinator and BOTH shards. -----------
+    process_names = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            process_names[event["pid"]] = event["args"]["name"]
+    if sorted(process_names.values()) != \
+            ["coordinator", "shard1", "shard2"]:
+        fail(f"merged trace lacks the three processes: {process_names}")
+
+    by_process = {}
+    for event in events:
+        trace_id = (event.get("args") or {}).get("trace_id")
+        if trace_id == TRACE_ID:
+            name = process_names.get(event.get("pid"), "?")
+            by_process.setdefault(name, set()).add(event.get("name"))
+    for name in ("coordinator", "shard1", "shard2"):
+        if name not in by_process:
+            fail(f"no spans with trace_id {TRACE_ID} in {name}; "
+                 f"tagged processes: {sorted(by_process)}")
+    attempts = {span for span in by_process["coordinator"]
+                if span.startswith("cluster.")}
+    if not attempts:
+        fail(f"coordinator has no cluster.* spans under the trace id: "
+             f"{sorted(by_process['coordinator'])}")
+    for name in ("shard1", "shard2"):
+        if not any(span.startswith("server.") for span in by_process[name]):
+            fail(f"{name} has no server-side spans under the trace id: "
+                 f"{sorted(by_process[name])}")
+
+    total_tagged = sum(len(spans) for spans in by_process.values())
+    print(f"check_cluster_trace: OK: traced scatter query produced one "
+          f"merged timeline ({len(events)} events, 3 processes) with "
+          f"{total_tagged} span kinds under trace_id {TRACE_ID} spanning "
+          f"the coordinator and both shards; prometheus exposition parsed "
+          f"({families} families); slowlog drain shape valid")
+
+
+if __name__ == "__main__":
+    main()

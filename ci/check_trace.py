@@ -17,7 +17,7 @@ import argparse
 import json
 import sys
 
-VALID_PHASES = {"B", "E", "i", "C", "M"}
+VALID_PHASES = {"B", "E", "i", "C", "M", "X"}
 
 
 def fail(message):
@@ -61,12 +61,21 @@ def main():
             fail(f"event #{index} missing numeric ts: {event}")
         tid = event["tid"]
         tids.add(tid)
+        name = event["name"]
+        if phase == "X":
+            # Complete events are recorded retroactively (e.g. admission
+            # wait stamped at dequeue with the enqueue-time start), so
+            # their ts is the window start, not the record time: exempt
+            # from the per-thread monotonicity rule, but require dur.
+            if not isinstance(event.get("dur"), (int, float)):
+                fail(f"event #{index} X missing numeric dur: {event}")
+            span_names.add(name)
+            continue
         # Per-thread timestamps are monotone (steady_clock source, one
         # buffer per thread).
         if tid in last_ts and event["ts"] < last_ts[tid]:
             fail(f"event #{index} ts went backwards on tid {tid}")
         last_ts[tid] = event["ts"]
-        name = event["name"]
         if phase == "B":
             open_stacks.setdefault(tid, []).append(name)
             span_names.add(name)

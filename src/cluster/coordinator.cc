@@ -32,6 +32,47 @@ Status ValidateReplyLine(const std::string& line) {
   return JsonFieldBool(line, "ok").status();
 }
 
+/// `line` with the wire `trace` field for one attempt's child context
+/// spliced in before the closing brace. Lines here are coordinator-built
+/// flat objects, so the closing brace is always last.
+std::string WithTraceField(const std::string& line,
+                           const TraceContext& context) {
+  std::string out = line.substr(0, line.size() - 1);
+  out += ",\"trace\":\"";
+  out += FormatTraceField(context);
+  out += "\"}";
+  return out;
+}
+
+/// Imports the span summary of a traced shard reply as retroactive "X"
+/// events. The shard reports true remote time (remote_ns) and per-span
+/// name:offset:duration triples; lacking a cross-process clock we place
+/// the remote window at the midpoint of the local call window, which
+/// attributes the symmetric wire/queue time evenly to either side.
+void ImportRemoteSpans(const std::string& reply, uint64_t call_start_ns,
+                       uint64_t call_end_ns, const TraceContext& trace) {
+  Result<double> remote_ns = JsonFieldNumber(reply, "remote_ns");
+  Result<std::string> spans_field = JsonFieldString(reply, "spans");
+  if (!remote_ns.ok() || !spans_field.ok() || remote_ns.value() <= 0.0) {
+    return;
+  }
+  Result<std::vector<RemoteSpan>> spans =
+      ParseRemoteSpans(spans_field.value());
+  if (!spans.ok()) return;
+  const uint64_t remote_dur = static_cast<uint64_t>(remote_ns.value());
+  const uint64_t midpoint =
+      call_start_ns + (call_end_ns - call_start_ns) / 2;
+  const uint64_t remote_origin =
+      midpoint > remote_dur / 2 ? midpoint - remote_dur / 2 : call_start_ns;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  for (const RemoteSpan& span : spans.value()) {
+    TraceContext imported{trace.trace_id, TraceContext::NewSpanId(), true};
+    recorder.RecordComplete(recorder.InternName("remote." + span.name),
+                            remote_origin + span.offset_ns, span.dur_ns,
+                            imported);
+  }
+}
+
 /// Maps a worker's coded error reply to a Status the caller can relay.
 Status ShardErrorStatus(const ShardAddress& address,
                         const std::string& line) {
@@ -157,7 +198,9 @@ int64_t Coordinator::HedgeDelayMs(const ShardState& shard) const {
 
 Result<std::string> Coordinator::CallAttempts(
     ShardState& shard, const std::string& line,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    const TraceContext& trace) {
+  const bool traced = trace.valid() && trace.sampled;
   std::optional<Result<std::string>> last;
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) {
@@ -170,10 +213,23 @@ Result<std::string> Coordinator::CallAttempts(
       if (std::chrono::steady_clock::now() >= deadline) break;
       shard_retries_->Increment();
     }
+    // Each attempt is its own child span — retries show up as separate
+    // spans under the same trace, and the worker tags its handler spans
+    // with the attempt's forwarded context.
+    const TraceContext attempt_context =
+        traced ? TraceContext::ChildOf(trace) : TraceContext{};
+    const std::string attempt_line =
+        traced ? WithTraceField(line, attempt_context) : line;
+    const uint64_t attempt_start_ns = NowNanos();
     Result<std::string> result = [&] {
       std::lock_guard<std::mutex> lock(shard.mu);
-      return shard.client.Call(line, deadline);
+      return shard.client.Call(attempt_line, deadline);
     }();
+    if (traced) {
+      TraceRecorder::Global().RecordComplete(
+          attempt == 0 ? "cluster.attempt" : "cluster.retry",
+          attempt_start_ns, NowNanos() - attempt_start_ns, attempt_context);
+    }
     if (result.ok()) {
       Status valid = ValidateReplyLine(result.value());
       if (valid.ok()) return result;
@@ -197,10 +253,18 @@ Result<std::string> Coordinator::CallAttempts(
 
 Result<std::string> Coordinator::CallShard(
     ShardState& shard, const std::string& line,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    const TraceContext& trace) {
   const auto now = std::chrono::steady_clock::now();
   if (!shard.breaker.AllowRequest(now)) {
     breaker_skips_->Increment();
+    // Zero-duration marker: the timeline shows WHY this shard has no
+    // attempt bars for the query.
+    if (trace.valid() && trace.sampled) {
+      TraceRecorder::Global().RecordComplete(
+          "cluster.breaker_skip", NowNanos(), 0,
+          TraceContext{trace.trace_id, TraceContext::NewSpanId(), true});
+    }
     return Status::Unavailable("circuit breaker open for shard " +
                                shard.address.ToString());
   }
@@ -214,7 +278,7 @@ Result<std::string> Coordinator::CallShard(
   };
   auto state = std::make_shared<CallState>();
   std::thread primary([&, state] {
-    Result<std::string> result = CallAttempts(shard, line, deadline);
+    Result<std::string> result = CallAttempts(shard, line, deadline, trace);
     std::lock_guard<std::mutex> lock(state->mu);
     state->primary = std::move(result);
     state->primary_done = true;
@@ -237,8 +301,19 @@ Result<std::string> Coordinator::CallShard(
       // Hedge on a fresh connection so a wedged socket cannot stall
       // both legs; single attempt — the primary already owns retries.
       hedges_->Increment();
+      const bool traced = trace.valid() && trace.sampled;
+      const TraceContext hedge_context =
+          traced ? TraceContext::ChildOf(trace) : TraceContext{};
+      const std::string hedge_line =
+          traced ? WithTraceField(line, hedge_context) : line;
+      const uint64_t hedge_start_ns = NowNanos();
       ShardClient fresh(shard.address);
-      Result<std::string> result = fresh.Call(line, deadline);
+      Result<std::string> result = fresh.Call(hedge_line, deadline);
+      if (traced) {
+        TraceRecorder::Global().RecordComplete(
+            "cluster.hedge", hedge_start_ns, NowNanos() - hedge_start_ns,
+            hedge_context);
+      }
       if (result.ok() && !ValidateReplyLine(result.value()).ok()) {
         result = Status::Corruption("garbled hedge reply from " +
                                     shard.address.ToString());
@@ -279,12 +354,20 @@ Result<std::string> Coordinator::CallShard(
 
 Result<Coordinator::ShardEstimate> Coordinator::ShardEstimateCall(
     ShardState& shard, const std::string& values_hex,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    const TraceContext& trace) {
+  // Fan-out threads start with an empty thread-local context; install
+  // the query's so cluster.shard_call and the attempt spans carry it.
+  TraceContextScope scope(trace.valid() ? trace : CurrentTraceContext());
   TRACE_SPAN("cluster.shard_call");
   const std::string line =
       "{\"op\":\"shard_estimate\",\"values\":\"" + values_hex + "\"}";
+  const uint64_t call_start_ns = NowNanos();
   SKETCHTREE_ASSIGN_OR_RETURN(std::string reply,
-                              CallShard(shard, line, deadline));
+                              CallShard(shard, line, deadline, trace));
+  if (trace.valid() && trace.sampled) {
+    ImportRemoteSpans(reply, call_start_ns, NowNanos(), trace);
+  }
   SKETCHTREE_ASSIGN_OR_RETURN(bool ok, JsonFieldBool(reply, "ok"));
   if (!ok) return ShardErrorStatus(shard.address, reply);
 
@@ -330,7 +413,8 @@ Result<SketchTree> Coordinator::PullShardSnapshot(ShardState& shard) {
       std::chrono::milliseconds(4 * options_.shard_deadline_ms);
   SKETCHTREE_ASSIGN_OR_RETURN(
       std::string reply,
-      CallShard(shard, "{\"op\":\"shard_snapshot\"}", deadline));
+      CallShard(shard, "{\"op\":\"shard_snapshot\"}", deadline,
+                TraceContext{}));
   SKETCHTREE_ASSIGN_OR_RETURN(bool ok, JsonFieldBool(reply, "ok"));
   if (!ok) return ShardErrorStatus(shard.address, reply);
   SKETCHTREE_ASSIGN_OR_RETURN(double epoch, JsonFieldNumber(reply, "epoch"));
@@ -352,6 +436,27 @@ Result<SketchTree> Coordinator::PullShardSnapshot(ShardState& shard) {
   return sketch;
 }
 
+void Coordinator::ProbeShardClock(ShardState& shard) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.shard_deadline_ms);
+  const uint64_t send_ns = NowNanos();
+  Result<std::string> reply = [&] {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.client.Call("{\"op\":\"health\"}", deadline);
+  }();
+  const uint64_t recv_ns = NowNanos();
+  if (!reply.ok()) return;
+  Result<double> worker_now = JsonFieldNumber(reply.value(), "now_ns");
+  if (!worker_now.ok()) return;
+  // Standard NTP-style midpoint estimate: assume the wire legs are
+  // symmetric, so the worker read its clock at the RTT midpoint.
+  const int64_t midpoint =
+      static_cast<int64_t>(send_ns + (recv_ns - send_ns) / 2);
+  shard.clock_offset_ns.store(
+      static_cast<int64_t>(worker_now.value()) - midpoint);
+}
+
 Status Coordinator::RefreshOnce() {
   TRACE_SPAN("cluster.refresh");
   std::lock_guard<std::mutex> refresh_lock(refresh_mu_);
@@ -359,6 +464,7 @@ Status Coordinator::RefreshOnce() {
   Status first_failure;
   size_t ok_count = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
+    ProbeShardClock(*shards_[i]);
     Result<SketchTree> sketch = PullShardSnapshot(*shards_[i]);
     if (sketch.ok()) {
       pulled[i].emplace(std::move(sketch).value());
@@ -434,7 +540,8 @@ Result<QueryAnswer> Coordinator::ExecuteMerged(
 
 Result<QueryAnswer> Coordinator::ExecuteScatter(
     QueryKind kind, const std::string& text,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline,
+    const TraceContext& trace) {
   TRACE_SPAN("cluster.scatter");
   scatter_queries_->Increment();
   std::shared_ptr<const SketchSnapshot> snapshot = merged_.Current();
@@ -508,8 +615,8 @@ Result<QueryAnswer> Coordinator::ExecuteScatter(
     calls.reserve(shards_.size());
     for (size_t i = 0; i < shards_.size(); ++i) {
       calls.emplace_back([&, i] {
-        results[i] =
-            ShardEstimateCall(*shards_[i], values_hex, call_deadline);
+        results[i] = ShardEstimateCall(*shards_[i], values_hex,
+                                       call_deadline, trace);
       });
     }
     for (std::thread& call : calls) call.join();
@@ -590,7 +697,11 @@ Result<QueryAnswer> Coordinator::ExecuteScatter(
 Result<QueryAnswer> Coordinator::Execute(
     QueryKind kind, const std::string& text,
     const std::optional<std::chrono::steady_clock::time_point>& deadline,
-    const std::string& strategy_override) {
+    const std::string& strategy_override, const TraceContext& trace) {
+  // Install the caller's context when it carries one (a direct Execute
+  // call in tests); under the TCP server the worker thread already has
+  // it installed, and this re-install is a no-op.
+  TraceContextScope scope(trace.valid() ? trace : CurrentTraceContext());
   ClusterStrategy strategy = options_.default_strategy;
   if (strategy_override == "scatter") {
     strategy = ClusterStrategy::kScatter;
@@ -606,7 +717,7 @@ Result<QueryAnswer> Coordinator::Execute(
   }
   auto scatter_deadline =
       deadline.value_or(std::chrono::steady_clock::time_point::max());
-  return ExecuteScatter(kind, text, scatter_deadline);
+  return ExecuteScatter(kind, text, scatter_deadline, trace);
 }
 
 std::string Coordinator::StatsJsonFields() const {
@@ -630,7 +741,18 @@ std::string Coordinator::StatsJsonFields() const {
       static_cast<unsigned long long>(refresh_ok_->value()),
       static_cast<unsigned long long>(refresh_partial_->value()),
       static_cast<unsigned long long>(merged_trees_.load()));
-  return buf;
+  // Per-shard clock offsets (addr=ns;...), the alignment input for
+  // tools/trace_merge when coordinator and workers span hosts.
+  std::string out = buf;
+  out += ",\"clock_offsets_ns\":\"";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out += ';';
+    out += shards_[i]->address.ToString();
+    out += '=';
+    out += std::to_string(shards_[i]->clock_offset_ns.load());
+  }
+  out += "\"";
+  return out;
 }
 
 }  // namespace sketchtree

@@ -17,6 +17,7 @@
 #include "metrics/metrics.h"
 #include "server/query_service.h"
 #include "server/snapshot.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -110,11 +111,16 @@ class Coordinator {
 
   /// Answers one query with `strategy_override` ("scatter"/"merged"/""
   /// = configured default). This is what the TCP server's cluster
-  /// handler calls per admitted request.
+  /// handler calls per admitted request. A valid sampled `trace`
+  /// context is propagated to every shard call: each attempt (first
+  /// try, retry, hedge) becomes a distinct child span forwarded on the
+  /// wire, and shard-reported span summaries are imported back into the
+  /// local trace.
   Result<QueryAnswer> Execute(
       QueryKind kind, const std::string& text,
       const std::optional<std::chrono::steady_clock::time_point>& deadline,
-      const std::string& strategy_override);
+      const std::string& strategy_override,
+      const TraceContext& trace = TraceContext{});
 
   /// One synchronous refresh pass: per shard, health-probe + snapshot
   /// pull. Publishes a new merged epoch only when every shard answered
@@ -148,6 +154,11 @@ class Coordinator {
     std::atomic<uint64_t> last_epoch{0};
     std::atomic<uint64_t> last_trees{0};
     std::atomic<double> last_self_join{0.0};
+    /// Worker steady-clock minus coordinator steady-clock, estimated
+    /// each refresh from the health reply's now_ns against the RTT
+    /// midpoint. ~0 on one host (CLOCK_MONOTONIC is shared); exported
+    /// in StatsJsonFields so tools/trace_merge can align trace files.
+    std::atomic<int64_t> clock_offset_ns{0};
     Histogram* latency_us = nullptr;
 
     ShardState(const ShardAddress& addr, const CoordinatorOptions& options);
@@ -163,24 +174,34 @@ class Coordinator {
   explicit Coordinator(const CoordinatorOptions& options);
 
   /// One logical call with retries + hedging; records breaker/latency.
+  /// A sampled `trace` context stamps every attempt (including the
+  /// hedge) as its own child span, each forwarded on the wire.
   Result<std::string> CallShard(ShardState& shard, const std::string& line,
-                                std::chrono::steady_clock::time_point deadline);
+                                std::chrono::steady_clock::time_point deadline,
+                                const TraceContext& trace);
   /// Retry loop over the persistent client (the primary leg).
   Result<std::string> CallAttempts(
       ShardState& shard, const std::string& line,
-      std::chrono::steady_clock::time_point deadline);
+      std::chrono::steady_clock::time_point deadline,
+      const TraceContext& trace);
   Result<ShardEstimate> ShardEstimateCall(
       ShardState& shard, const std::string& values_hex,
-      std::chrono::steady_clock::time_point deadline);
+      std::chrono::steady_clock::time_point deadline,
+      const TraceContext& trace);
   Result<QueryAnswer> ExecuteScatter(
       QueryKind kind, const std::string& text,
-      std::chrono::steady_clock::time_point deadline);
+      std::chrono::steady_clock::time_point deadline,
+      const TraceContext& trace);
   Result<QueryAnswer> ExecuteMerged(
       QueryKind kind, const std::string& text,
       const std::optional<std::chrono::steady_clock::time_point>& deadline);
   /// Health-probe + snapshot pull for one shard; returns the
   /// deserialized sketch on success.
   Result<SketchTree> PullShardSnapshot(ShardState& shard);
+  /// Best-effort clock-offset estimate against one shard: a `health`
+  /// round trip whose reply carries the worker's NowNanos(); the offset
+  /// is that reading minus the local RTT midpoint.
+  void ProbeShardClock(ShardState& shard);
   void RefreshLoop();
   int64_t HedgeDelayMs(const ShardState& shard) const;
 

@@ -221,6 +221,65 @@ std::string MetricsRegistry::ToJson() const {
   return json;
 }
 
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted
+/// lowercase names only need '.' -> '_' plus a namespace prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "sketchtree_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string text;
+  char line[160];
+  for (const auto& [name, counter] : counters_) {
+    std::string prom = PrometheusName(name);
+    text += "# TYPE " + prom + " counter\n";
+    std::snprintf(line, sizeof line, " %" PRIu64 "\n", counter->value());
+    text += prom + line;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string prom = PrometheusName(name);
+    text += "# TYPE " + prom + " gauge\n";
+    std::snprintf(line, sizeof line, " %" PRId64 "\n", gauge->value());
+    text += prom + line;
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string prom = PrometheusName(name);
+    text += "# TYPE " + prom + " histogram\n";
+    const std::vector<uint64_t>& bounds = histogram->bounds();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < bounds.size(); ++b) {
+      cumulative += histogram->BucketCount(b);
+      std::snprintf(line, sizeof line,
+                    "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    prom.c_str(), bounds[b], cumulative);
+      text += line;
+    }
+    cumulative += histogram->BucketCount(bounds.size());
+    std::snprintf(line, sizeof line,
+                  "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", prom.c_str(),
+                  cumulative);
+    text += line;
+    std::snprintf(line, sizeof line, "%s_sum %" PRIu64 "\n", prom.c_str(),
+                  histogram->Sum());
+    text += line;
+    std::snprintf(line, sizeof line, "%s_count %" PRIu64 "\n", prom.c_str(),
+                  histogram->TotalCount());
+    text += line;
+  }
+  return text;
+}
+
 std::string MetricsRegistry::ToTable() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string table;

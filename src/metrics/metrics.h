@@ -122,6 +122,15 @@ class MetricsRegistry {
   /// Human-readable table of the same snapshot, one metric per line.
   std::string ToTable() const;
 
+  /// Prometheus text exposition (version 0.0.4) of the same snapshot —
+  /// the `metrics` wire op's scrape body. Dotted names become
+  /// underscore-separated ("ingest.queue_depth" ->
+  /// "sketchtree_ingest_queue_depth"); histograms emit cumulative
+  /// `_bucket{le="..."}` series plus `_sum` and `_count`, with the
+  /// mandatory `le="+Inf"` bucket. Deterministic: sorted names, fixed
+  /// formatting.
+  std::string ToPrometheus() const;
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.h"
+
 namespace sketchtree {
 
 const char* LaneName(Lane lane) {
@@ -17,6 +19,9 @@ AdmissionDecision ClassifyForAdmission(QueryKind kind,
   AdmissionDecision decision;
   if (!options.two_lanes) return decision;  // Everything fast (legacy FIFO).
 
+  // Pricing = cost analysis + non-promoting plan-cache probe; traced as
+  // one span (nested under server.lane_decision on the reader thread).
+  TRACE_SPAN("server.plan_probe");
   Result<QueryCostProfile> profile =
       AnalyzeQueryCost(kind, text, max_pattern_edges);
   if (!profile.ok()) {

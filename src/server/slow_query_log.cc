@@ -1,0 +1,71 @@
+#include "server/slow_query_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "server/wire.h"
+
+namespace sketchtree {
+
+void SlowQueryLog::Record(SlowQueryEntry entry) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryEntry> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, next_ points at the oldest entry.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(std::move(ring_[(next_ + i) % ring_.size()]));
+  }
+  ring_.clear();
+  next_ = 0;
+  return out;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string SlowQueryLog::DrainToJsonArray() {
+  std::vector<SlowQueryEntry> entries = Drain();
+  std::string out = "[";
+  char buf[224];
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowQueryEntry& entry = entries[i];
+    if (i > 0) out += ',';
+    // An untraced query has no exemplar: empty string, not a zero id
+    // that looks pullable.
+    if (entry.trace_id == 0) {
+      out += "{\"trace_id\":\"\",";
+    } else {
+      std::snprintf(buf, sizeof buf, "{\"trace_id\":\"%016" PRIx64 "\",",
+                    entry.trace_id);
+      out += buf;
+    }
+    out += "\"key\":\"" + JsonEscape(entry.key) + "\",\"lane\":\"" +
+           entry.lane + "\",";
+    std::snprintf(buf, sizeof buf,
+                  "\"arrangements\":%.17g,\"epoch\":%" PRIu64
+                  ",\"covered_trees\":%" PRIu64 ",\"total_trees\":%" PRIu64
+                  ",\"error_scale\":%.17g,\"micros\":%.1f}",
+                  entry.arrangements, entry.epoch, entry.covered_trees,
+                  entry.total_trees, entry.error_scale, entry.micros);
+    out += buf;
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace sketchtree

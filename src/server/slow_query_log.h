@@ -1,0 +1,70 @@
+#ifndef SKETCHTREE_SERVER_SLOW_QUERY_LOG_H_
+#define SKETCHTREE_SERVER_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sketchtree {
+
+/// One slow query worth keeping: enough provenance to go from "p99
+/// regressed" to a specific trace. `trace_id` is the exemplar — when
+/// the query was sampled, the operator can pull its merged timeline;
+/// zero means it ran untraced.
+struct SlowQueryEntry {
+  uint64_t trace_id = 0;
+  /// Canonical query key: "<op> <text>" — the plan-cache identity, so
+  /// entries group by logical query, not request bytes.
+  std::string key;
+  std::string lane;           ///< "fast" | "slow".
+  double arrangements = 0.0;  ///< Admission cost (ordered-arrangement count).
+  uint64_t epoch = 0;
+  uint64_t covered_trees = 0;
+  uint64_t total_trees = 0;
+  double error_scale = 0.0;  ///< Theorem-1 scale of the answer served.
+  double micros = 0.0;       ///< End-to-end (admission to reply).
+};
+
+/// Bounded ring of the most recent queries that crossed the
+/// `--slow-query-ms` threshold (DESIGN.md section 14). Writers take a
+/// short mutex on the slow path only — a query that beat the threshold
+/// never touches the lock. Overwrites oldest when full: the recent past
+/// is what debugging wants, and memory stays bounded no matter how bad
+/// the day is. `slowlog` drains destructively, oldest first.
+class SlowQueryLog {
+ public:
+  /// threshold_ms <= 0 disables recording entirely (capacity is still
+  /// allocated lazily on first record, so a disabled log costs nothing).
+  SlowQueryLog(size_t capacity, int64_t threshold_ms)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        threshold_ms_(threshold_ms) {}
+
+  bool enabled() const { return threshold_ms_ > 0; }
+  int64_t threshold_ms() const { return threshold_ms_; }
+
+  /// Records one entry (no-op while disabled).
+  void Record(SlowQueryEntry entry);
+
+  /// Removes and returns every buffered entry, oldest first.
+  std::vector<SlowQueryEntry> Drain();
+
+  /// Entries ever recorded (including those the ring overwrote).
+  uint64_t total_recorded() const;
+
+  /// Renders entries as the `slowlog` reply's JSON array body
+  /// ("[{...},...]"), oldest first, and clears the ring.
+  std::string DrainToJsonArray();
+
+ private:
+  const size_t capacity_;
+  const int64_t threshold_ms_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;  // Grows to capacity_, then wraps.
+  size_t next_ = 0;                   // Ring cursor once full.
+  uint64_t total_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_SERVER_SLOW_QUERY_LOG_H_

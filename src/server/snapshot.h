@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/status.h"
+#include "common/timer.h"
 #include "core/sketch_tree.h"
 
 namespace sketchtree {
@@ -19,11 +20,15 @@ struct SketchSnapshot {
   /// Stream position the snapshot corresponds to, for staleness
   /// reporting (`trees` in every wire reply).
   uint64_t trees_processed = 0;
+  /// NowNanos() at publish — the stats op's epoch-age field, so one
+  /// scrape shows how stale the served snapshot is.
+  uint64_t published_ns = 0;
   SketchTree sketch;
 
   SketchSnapshot(uint64_t epoch_in, SketchTree sketch_in)
       : epoch(epoch_in),
         trees_processed(sketch_in.Stats().trees_processed),
+        published_ns(NowNanos()),
         sketch(std::move(sketch_in)) {}
 };
 

@@ -17,6 +17,7 @@
 #include "common/base64.h"
 #include "common/timer.h"
 #include "server/compiled_query.h"
+#include "sketch/kernel_dispatch.h"
 #include "trace/trace.h"
 
 namespace sketchtree {
@@ -96,6 +97,8 @@ QueryServer::QueryServer(QueryService* service,
                options.client_quota_burst > 0.0
                    ? options.client_quota_burst
                    : 2.0 * options.client_quota_qps),
+      slow_log_(options.slow_query_log_capacity, options.slow_query_ms),
+      started_ns_(NowNanos()),
       slow_service_ms_x1024_(50 * 1024),  // Seed the retry hint at 50ms.
       queue_depth_(GlobalMetrics().GetGauge("server.queue_depth")),
       queue_wait_us_(GlobalMetrics().GetHistogram(
@@ -379,6 +382,25 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       return;
     }
 
+    // Trace context (DESIGN.md section 14): adopt a sampled inbound
+    // `trace` field as the parent (minting a child span id for this
+    // server's handling), else head-sample 1 in trace_sample_every
+    // requests with a fresh root. Malformed fields are ignored —
+    // observability must never fail a query.
+    TraceContext trace;
+    if (!request.trace.empty()) {
+      Result<TraceContext> inbound = ParseTraceField(request.trace);
+      if (inbound.ok() && inbound.value().sampled) {
+        trace = TraceContext::ChildOf(inbound.value());
+      }
+    }
+    if (!trace.valid() && options_.trace_sample_every > 0 &&
+        trace_sample_counter_.fetch_add(1, std::memory_order_relaxed) %
+                options_.trace_sample_every ==
+            0) {
+      trace = TraceContext::NewRoot();
+    }
+
     // Price the work: plan-cache probe + closed-form arrangement count.
     // A single-lane batch queues whole; a batch whose members classify
     // into *different* lanes is split — the cheap members inherit the
@@ -393,25 +415,32 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     AdmissionDecision decision;
     std::vector<size_t> fast_idx;
     std::vector<size_t> slow_idx;
-    if (is_batch) {
-      for (size_t i = 0; i < request.batch.size(); ++i) {
-        const WireBatchItem& sub = request.batch[i];
-        AdmissionDecision d =
-            ClassifyForAdmission(*KindForOp(sub.op), sub.query,
-                                 service_->plan_cache(), max_edges,
-                                 scheduler);
-        if (d.lane == Lane::kSlow) {
-          decision.lane = Lane::kSlow;
-          slow_idx.push_back(i);
-        } else {
-          fast_idx.push_back(i);
+    {
+      // The lane decision happens on the reader thread; the scope
+      // stamps its span (and the plan probe nested inside
+      // ClassifyForAdmission) with the query's context.
+      TraceContextScope trace_scope(trace);
+      TRACE_SPAN("server.lane_decision");
+      if (is_batch) {
+        for (size_t i = 0; i < request.batch.size(); ++i) {
+          const WireBatchItem& sub = request.batch[i];
+          AdmissionDecision d =
+              ClassifyForAdmission(*KindForOp(sub.op), sub.query,
+                                   service_->plan_cache(), max_edges,
+                                   scheduler);
+          if (d.lane == Lane::kSlow) {
+            decision.lane = Lane::kSlow;
+            slow_idx.push_back(i);
+          } else {
+            fast_idx.push_back(i);
+          }
+          decision.arrangements += d.arrangements;
         }
-        decision.arrangements += d.arrangements;
+      } else {
+        decision = ClassifyForAdmission(*kind, request.query,
+                                        service_->plan_cache(), max_edges,
+                                        scheduler);
       }
-    } else {
-      decision = ClassifyForAdmission(*kind, request.query,
-                                      service_->plan_cache(), max_edges,
-                                      scheduler);
     }
 
     if (is_batch && options_.two_lanes && !fast_idx.empty() &&
@@ -425,6 +454,8 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         part.conn = conn;
         part.is_batch = true;
         part.lane = lane;
+        part.trace = trace;
+        part.arrangements = decision.arrangements;
         part.enqueued = now;
         part.deadline = deadline;
         part.shared = shared;
@@ -476,6 +507,8 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     item.is_batch = is_batch;
     if (kind.has_value()) item.kind = *kind;
     item.lane = decision.lane;
+    item.trace = trace;
+    item.arrangements = decision.arrangements;
     item.enqueued = now;
     item.deadline = deadline;
     const Lane lane = decision.lane;
@@ -530,7 +563,7 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
     PlanCache::Stats cache = service_->plan_cache().GetStats();
     std::shared_ptr<const SketchSnapshot> snapshot =
         service_->snapshots().Current();
-    char fields[1024];
+    char fields[1280];
     std::snprintf(
         fields, sizeof(fields),
         "\"epoch\":%llu,\"trees\":%llu,\"cache_hits\":%llu,"
@@ -542,7 +575,9 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         "\"fast_p50_us\":%.1f,\"fast_p95_us\":%.1f,"
         "\"slow_p50_us\":%.1f,\"slow_p95_us\":%.1f,"
         "\"overloaded\":%llu,\"expired_at_dequeue\":%llu,"
-        "\"shed_on_shutdown\":%llu,\"batch_splits\":%llu",
+        "\"shed_on_shutdown\":%llu,\"batch_splits\":%llu,"
+        "\"uptime_s\":%.1f,\"epoch_age_s\":%.1f,\"kernel\":\"%s\","
+        "\"slow_queries\":%llu",
         static_cast<unsigned long long>(snapshot ? snapshot->epoch : 0),
         static_cast<unsigned long long>(snapshot ? snapshot->trees_processed
                                                  : 0),
@@ -559,13 +594,53 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
         static_cast<unsigned long long>(overloaded_->value()),
         static_cast<unsigned long long>(expired_at_dequeue_->value()),
         static_cast<unsigned long long>(shed_on_shutdown_->value()),
-        static_cast<unsigned long long>(batch_splits_->value()));
+        static_cast<unsigned long long>(batch_splits_->value()),
+        static_cast<double>(NowNanos() - started_ns_) / 1e9,
+        // -1 = no snapshot published yet (age of nothing is undefined).
+        snapshot ? static_cast<double>(NowNanos() - snapshot->published_ns) /
+                       1e9
+                 : -1.0,
+        SketchKernelName(ActiveSketchKernel()),
+        static_cast<unsigned long long>(slow_log_.total_recorded()));
     std::string all = fields;
     if (options_.stats_extra_fields) {
       std::string extra = options_.stats_extra_fields();
       if (!extra.empty()) all += "," + extra;
     }
     SendCounted(conn, SimpleOkReply(request.id_json, all), /*ok=*/true);
+    return;
+  }
+  if (request.op == "metrics") {
+    // The live telemetry plane's scrape op: the full registry as
+    // Prometheus text exposition (for scrapers) and as the registry's
+    // deterministic JSON (for humans and tests). Newlines inside the
+    // embedded JSON would break the line framing, so they become
+    // spaces — JSON whitespace is structurally insignificant.
+    std::string json = GlobalMetrics().ToJson();
+    for (char& c : json) {
+      if (c == '\n') c = ' ';
+    }
+    SendCounted(conn,
+                SimpleOkReply(request.id_json,
+                              "\"prometheus\":\"" +
+                                  JsonEscape(GlobalMetrics().ToPrometheus()) +
+                                  "\",\"metrics\":" + json),
+                /*ok=*/true);
+    return;
+  }
+  if (request.op == "slowlog") {
+    // Destructive drain, oldest first; slow_total keeps counting what
+    // the ring overwrote so operators know when they are losing
+    // entries.
+    SendCounted(
+        conn,
+        SimpleOkReply(request.id_json,
+                      "\"slowlog\":" + slow_log_.DrainToJsonArray() +
+                          ",\"slow_total\":" +
+                          std::to_string(slow_log_.total_recorded()) +
+                          ",\"slow_query_ms\":" +
+                          std::to_string(options_.slow_query_ms)),
+        /*ok=*/true);
     return;
   }
 
@@ -586,15 +661,31 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
       return;
     }
     if (request.op == "health") {
+      // now_ns rides every health reply: the coordinator estimates each
+      // worker's clock offset as worker_now - midpoint(send, recv), the
+      // alignment input trace merging uses.
       SendCounted(conn,
                   FormatHealthReply(request.id_json, snapshot->epoch,
                                     snapshot->trees_processed,
                                     snapshot->sketch.EstimateSelfJoinSize(),
-                                    stopping_.load()),
+                                    stopping_.load(), NowNanos()),
                   /*ok=*/true);
       return;
     }
     if (request.op == "shard_estimate") {
+      // A sampled trace context on the shard leg makes this worker
+      // record its handling under the coordinator's trace and return a
+      // compact span summary, so the merged timeline separates true
+      // remote compute from wire time.
+      TraceContext remote_trace;
+      if (!request.trace.empty()) {
+        Result<TraceContext> inbound = ParseTraceField(request.trace);
+        if (inbound.ok() && inbound.value().sampled) {
+          remote_trace = TraceContext::ChildOf(inbound.value());
+        }
+      }
+      TraceContextScope trace_scope(remote_trace);
+      const uint64_t handler_start = NowNanos();
       Result<std::vector<uint64_t>> values = ParseHexValues(request.values);
       if (!values.ok()) {
         SendCounted(conn,
@@ -604,13 +695,31 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                     /*ok=*/false);
         return;
       }
-      std::vector<double> x = ComputeProjectionMatrix(
-          snapshot->sketch.streams(), values.value());
+      const uint64_t estimate_start = NowNanos();
+      std::vector<double> x;
+      {
+        TRACE_SPAN("server.shard_estimate");
+        x = ComputeProjectionMatrix(snapshot->sketch.streams(),
+                                    values.value());
+      }
+      const uint64_t estimate_end = NowNanos();
+      uint64_t remote_ns = 0;
+      std::string spans;
+      if (remote_trace.valid()) {
+        std::vector<RemoteSpan> summary;
+        summary.push_back({"shard.estimate",
+                           estimate_start - handler_start,
+                           estimate_end - estimate_start});
+        spans = FormatRemoteSpans(summary);
+        remote_ns = NowNanos() - handler_start;
+        if (remote_ns == 0) remote_ns = 1;  // 0 means "untraced".
+      }
       const SketchTreeOptions& opts = service_->sketch_options();
       SendCounted(conn,
                   FormatShardEstimateReply(request.id_json, opts.s1, opts.s2,
                                            snapshot->epoch,
-                                           snapshot->trees_processed, x),
+                                           snapshot->trees_processed, x,
+                                           remote_ns, spans),
                   /*ok=*/true);
       return;
     }
@@ -642,18 +751,18 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                   request.id_json, "MALFORMED_REQUEST",
                   "unknown op \"" + request.op +
                       "\" (want count, count_ord, extended, expr, batch, "
-                      "stats, ping, shutdown, health, shard_estimate, or "
-                      "shard_snapshot)"),
+                      "stats, metrics, slowlog, ping, shutdown, health, "
+                      "shard_estimate, or shard_snapshot)"),
               /*ok=*/false);
 }
 
 Result<QueryAnswer> QueryServer::RunQuery(
     QueryKind kind, const std::string& text,
     const std::optional<std::chrono::steady_clock::time_point>& deadline,
-    const std::string& strategy,
+    const std::string& strategy, const TraceContext& trace,
     const std::shared_ptr<const SketchSnapshot>& snapshot) {
   if (options_.cluster_handler) {
-    return options_.cluster_handler(kind, text, deadline, strategy);
+    return options_.cluster_handler(kind, text, deadline, strategy, trace);
   }
   QueryRequest query;
   query.kind = kind;
@@ -667,7 +776,7 @@ void QueryServer::ExecuteSingle(const WorkItem& item) {
   WallTimer timer;
   Result<QueryAnswer> answer =
       RunQuery(item.kind, item.request.query, item.deadline,
-               item.request.strategy, nullptr);
+               item.request.strategy, item.trace, nullptr);
   if (item.lane == Lane::kSlow) {
     // Fold the observed service time into the shed hint's EMA
     // (weight 1/4 new): retry_after_ms tracks what a cold compile
@@ -684,6 +793,36 @@ void QueryServer::ExecuteSingle(const WorkItem& item) {
     reply = answer.ok() ? FormatAnswerReply(item.request, answer.value())
                         : FormatErrorReply(item.request, answer.status());
   }
+  // Slow-query log: end-to-end (admission to reply write) against the
+  // threshold. Recorded before the reply goes out so that once a client
+  // sees the answer, a slowlog drain is guaranteed to see the entry.
+  // The fast path pays one enabled() check and a subtraction.
+  if (slow_log_.enabled()) {
+    const double total_us =
+        static_cast<double>(std::chrono::duration_cast<
+                                std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() -
+                                item.enqueued)
+                                .count());
+    if (total_us >= static_cast<double>(slow_log_.threshold_ms()) * 1000.0) {
+      SlowQueryEntry entry;
+      entry.trace_id = item.trace.trace_id;
+      entry.key = item.request.op + " " + item.request.query;
+      entry.lane = LaneName(item.lane);
+      entry.arrangements = item.arrangements;
+      entry.micros = total_us;
+      if (answer.ok()) {
+        const QueryAnswer& a = answer.value();
+        entry.epoch = a.epoch;
+        entry.covered_trees = a.from_cluster ? a.covered_trees
+                                             : a.trees_processed;
+        entry.total_trees = a.from_cluster ? a.total_trees
+                                           : a.trees_processed;
+        entry.error_scale = a.error_scale;
+      }
+      slow_log_.Record(std::move(entry));
+    }
+  }
   SendCounted(item.conn, reply, answer.ok());
 }
 
@@ -698,7 +837,7 @@ void QueryServer::ExecuteBatch(const WorkItem& item) {
   results.reserve(item.request.batch.size());
   for (const WireBatchItem& sub : item.request.batch) {
     results.push_back(RunQuery(*KindForOp(sub.op), sub.query, item.deadline,
-                               item.request.strategy, snapshot));
+                               item.request.strategy, item.trace, snapshot));
   }
   batch_queries_->Increment(item.request.batch.size());
   std::string reply;
@@ -725,7 +864,7 @@ void QueryServer::ExecuteSplitPart(const WorkItem& item, const Status& shed) {
     Result<QueryAnswer> result = shed.ok()
         ? RunQuery(*KindForOp(shared.request.batch[idx].op),
                    shared.request.batch[idx].query, item.deadline,
-                   shared.request.strategy, snapshot)
+                   shared.request.strategy, item.trace, snapshot)
         : Result<QueryAnswer>(shed);
     std::lock_guard<std::mutex> lock(shared.mu);
     shared.results[idx] = std::move(result);
@@ -773,6 +912,23 @@ void QueryServer::WorkerLoop() {
     queue_wait_us_->Observe(wait_us);
     (lane == Lane::kFast ? fast_wait_us_ : slow_wait_us_)->Observe(wait_us);
 
+    // Admission wait as a retroactive "X" span: the window opened on the
+    // reader thread at enqueue, so it cannot be a B/E pair on this
+    // thread's strictly-ordered track.
+    if (item.trace.valid()) {
+      const uint64_t enqueued_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              item.enqueued.time_since_epoch())
+              .count());
+      TraceRecorder::Global().RecordComplete(
+          "server.admission_wait", enqueued_ns,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  dequeued - item.enqueued)
+                  .count()),
+          item.trace);
+    }
+
     // Shutdown drain: queued-but-unstarted work is shed, not executed —
     // a queue full of cold compiles must not delay the exit. A split
     // part sheds into its slots of the shared reply (the client still
@@ -816,12 +972,17 @@ void QueryServer::WorkerLoop() {
       continue;
     }
 
-    if (item.shared != nullptr) {
-      ExecuteSplitPart(item, Status::OK());
-    } else if (item.is_batch) {
-      ExecuteBatch(item);
-    } else {
-      ExecuteSingle(item);
+    {
+      // Install the query's context for the whole execution: compile,
+      // cache-lookup, estimate, and serialize spans all inherit it.
+      TraceContextScope trace_scope(item.trace);
+      if (item.shared != nullptr) {
+        ExecuteSplitPart(item, Status::OK());
+      } else if (item.is_batch) {
+        ExecuteBatch(item);
+      } else {
+        ExecuteSingle(item);
+      }
     }
     // Per-lane end-to-end latency (admission to reply), exported as
     // p50/p95 through the stats op.

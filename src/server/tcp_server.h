@@ -16,7 +16,9 @@
 #include "common/status.h"
 #include "server/query_service.h"
 #include "server/scheduler.h"
+#include "server/slow_query_log.h"
 #include "server/wire.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -57,18 +59,32 @@ struct QueryServerOptions {
   /// Cluster front end (coordinator mode): when set, admitted query ops
   /// are answered by this handler — the cluster coordinator's
   /// scatter-gather / merged execution — instead of the local service.
-  /// Arguments: kind, query text, absolute deadline, and the request's
-  /// `strategy` override ("" = coordinator default). Admission pricing
-  /// and the plan cache still run against the local service, which in
-  /// coordinator mode serves the merged snapshots.
+  /// Arguments: kind, query text, absolute deadline, the request's
+  /// `strategy` override ("" = coordinator default), and the query's
+  /// trace context (invalid when unsampled) which the coordinator
+  /// forwards to its shard calls. Admission pricing and the plan cache
+  /// still run against the local service, which in coordinator mode
+  /// serves the merged snapshots.
   std::function<Result<QueryAnswer>(
       QueryKind, const std::string&,
       const std::optional<std::chrono::steady_clock::time_point>&,
-      const std::string&)>
+      const std::string&, const TraceContext&)>
       cluster_handler;
   /// Extra flat JSON fields (no leading comma) appended to the `stats`
   /// reply — the coordinator's shard/hedge/retry counters.
   std::function<std::string()> stats_extra_fields;
+
+  // Observability (DESIGN.md section 14).
+  /// Trace-sample 1 in N query requests that arrive without their own
+  /// `trace` wire field (a root context is minted for them). 0 turns
+  /// head sampling off; requests carrying a sampled context are always
+  /// traced regardless.
+  uint64_t trace_sample_every = 0;
+  /// Queries whose end-to-end (admission to reply) latency is at or
+  /// above this threshold land in the slow-query log. <= 0 disables.
+  int64_t slow_query_ms = 0;
+  /// Ring capacity of the slow-query log (oldest entries overwritten).
+  size_t slow_query_log_capacity = 128;
 };
 
 /// Line-delimited JSON over TCP in front of a QueryService (wire.h has
@@ -123,6 +139,14 @@ class QueryServer {
     QueryKind kind = QueryKind::kOrdered;
     bool is_batch = false;
     Lane lane = Lane::kFast;
+    /// Trace context for this request (invalid = untraced): adopted
+    /// from the wire `trace` field or minted by head sampling. Workers
+    /// install it around execution so every span the query touches is
+    /// stamped with the trace/span ids.
+    TraceContext trace;
+    /// Admission price (ordered-arrangement count) — slow-query-log
+    /// provenance.
+    double arrangements = 0.0;
     std::chrono::steady_clock::time_point enqueued;
     /// Absolute deadline from timeout_ms, fixed at admission; checked
     /// at dequeue so an expired request is answered DEADLINE_EXCEEDED
@@ -155,7 +179,7 @@ class QueryServer {
   Result<QueryAnswer> RunQuery(
       QueryKind kind, const std::string& text,
       const std::optional<std::chrono::steady_clock::time_point>& deadline,
-      const std::string& strategy,
+      const std::string& strategy, const TraceContext& trace,
       const std::shared_ptr<const SketchSnapshot>& snapshot);
   /// Writes one reply line; returns true when fully delivered. A write
   /// error counts server.replies_dropped and shuts the socket down so
@@ -183,6 +207,11 @@ class QueryServer {
 
   TwoLaneQueue<WorkItem> queue_;
   TokenBucketLimiter limiter_;
+  SlowQueryLog slow_log_;
+  /// NowNanos() at Start() — the stats op's uptime field.
+  uint64_t started_ns_ = 0;
+  /// Round-robin head-sampling counter (1 in trace_sample_every).
+  std::atomic<uint64_t> trace_sample_counter_{0};
   /// EMA of slow-lane service time, milliseconds (scaled by 1024 so a
   /// relaxed integer atomic carries it).
   std::atomic<int64_t> slow_service_ms_x1024_;

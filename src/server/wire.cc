@@ -1,12 +1,39 @@
 #include "server/wire.h"
 
 #include <cctype>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
 namespace sketchtree {
 
 namespace {
+
+/// Appends one Unicode code point (any plane) as UTF-8.
+void AppendUtf8(uint32_t code, std::string* out) {
+  if (code < 0x80) {
+    out->push_back(static_cast<char>(code));
+  } else if (code < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+    out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else if (code < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  }
+}
+
+bool IsHighSurrogate(uint32_t code) {
+  return code >= 0xD800 && code <= 0xDBFF;
+}
+bool IsLowSurrogate(uint32_t code) {
+  return code >= 0xDC00 && code <= 0xDFFF;
+}
 
 /// Minimal recursive-descent reader for the flat request objects the
 /// protocol allows. Kept deliberately small: the grammar is one object
@@ -64,6 +91,21 @@ class FlatJsonParser {
     return false;
   }
 
+  /// Four hex digits of a \uXXXX escape (pos_ at the first digit).
+  Status ParseHexQuad(uint32_t* code) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    *code = 0;
+    for (int h = 0; h < 4; ++h) {
+      char hc = text_[pos_++];
+      *code <<= 4;
+      if (hc >= '0' && hc <= '9') *code |= hc - '0';
+      else if (hc >= 'a' && hc <= 'f') *code |= hc - 'a' + 10;
+      else if (hc >= 'A' && hc <= 'F') *code |= hc - 'A' + 10;
+      else return Error("bad \\u escape digit");
+    }
+    return Status::OK();
+  }
+
   Status ParseString(std::string* out) {
     if (!Consume('"')) return Error("expected '\"'");
     out->clear();
@@ -83,28 +125,29 @@ class FlatJsonParser {
           case 'r': out->push_back('\r'); break;
           case 't': out->push_back('\t'); break;
           case 'u': {
-            // \uXXXX: decode to UTF-8 (no surrogate-pair support —
-            // query texts are ASCII s-expressions in practice).
-            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            // \uXXXX: decode to UTF-8, pairing UTF-16 surrogates so
+            // astral-plane characters (labels beyond the BMP)
+            // round-trip. A lone surrogate is malformed JSON text and
+            // is rejected rather than smuggled through as WTF-8.
             uint32_t code = 0;
-            for (int h = 0; h < 4; ++h) {
-              char hc = text_[pos_++];
-              code <<= 4;
-              if (hc >= '0' && hc <= '9') code |= hc - '0';
-              else if (hc >= 'a' && hc <= 'f') code |= hc - 'a' + 10;
-              else if (hc >= 'A' && hc <= 'F') code |= hc - 'A' + 10;
-              else return Error("bad \\u escape digit");
+            SKETCHTREE_RETURN_NOT_OK(ParseHexQuad(&code));
+            if (IsLowSurrogate(code)) {
+              return Error("lone low surrogate in \\u escape");
             }
-            if (code < 0x80) {
-              out->push_back(static_cast<char>(code));
-            } else if (code < 0x800) {
-              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
-              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-            } else {
-              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
-              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            if (IsHighSurrogate(code)) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("high surrogate not followed by \\u escape");
+              }
+              pos_ += 2;
+              uint32_t low = 0;
+              SKETCHTREE_RETURN_NOT_OK(ParseHexQuad(&low));
+              if (!IsLowSurrogate(low)) {
+                return Error("high surrogate not followed by low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
             }
+            AppendUtf8(code, out);
             break;
           }
           default:
@@ -241,6 +284,8 @@ class FlatJsonParser {
       request->values = std::move(string_value);
     } else if (key == "strategy" && is_string) {
       request->strategy = std::move(string_value);
+    } else if (key == "trace" && is_string) {
+      request->trace = std::move(string_value);
     }
     return Status::OK();
   }
@@ -301,7 +346,93 @@ std::string IdPrefix(std::string_view id_json) {
   return "{\"id\":" + std::string(id_json) + ",";
 }
 
+/// Strict 16-lowercase-hex-digit parse (the FormatTraceField encoding).
+bool ParseHex64(std::string_view text, uint64_t* value) {
+  if (text.size() != 16) return false;
+  *value = 0;
+  for (char c : text) {
+    *value <<= 4;
+    if (c >= '0' && c <= '9') *value |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') *value |= static_cast<uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+std::string FormatTraceField(const TraceContext& context) {
+  if (!context.valid()) return std::string();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64 "-%016" PRIx64 "-%c",
+                context.trace_id, context.span_id,
+                context.sampled ? '1' : '0');
+  return buf;
+}
+
+Result<TraceContext> ParseTraceField(std::string_view field) {
+  TraceContext context;
+  if (field.size() != 35 || field[16] != '-' || field[33] != '-' ||
+      (field[34] != '0' && field[34] != '1') ||
+      !ParseHex64(field.substr(0, 16), &context.trace_id) ||
+      !ParseHex64(field.substr(17, 16), &context.span_id) ||
+      context.trace_id == 0) {
+    return Status::InvalidArgument("malformed trace field");
+  }
+  context.sampled = field[34] == '1';
+  return context;
+}
+
+std::string FormatRemoteSpans(const std::vector<RemoteSpan>& spans) {
+  std::string out;
+  char buf[48];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) out += ';';
+    out += spans[i].name;
+    std::snprintf(buf, sizeof buf, ":%" PRIu64 ":%" PRIu64,
+                  spans[i].offset_ns, spans[i].dur_ns);
+    out += buf;
+  }
+  return out;
+}
+
+Result<std::vector<RemoteSpan>> ParseRemoteSpans(std::string_view text) {
+  std::vector<RemoteSpan> spans;
+  if (text.empty()) return spans;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t semi = text.find(';', start);
+    if (semi == std::string_view::npos) semi = text.size();
+    std::string_view entry = text.substr(start, semi - start);
+    size_t c1 = entry.find(':');
+    size_t c2 = c1 == std::string_view::npos
+                    ? std::string_view::npos
+                    : entry.find(':', c1 + 1);
+    if (c1 == std::string_view::npos || c2 == std::string_view::npos ||
+        c1 == 0) {
+      return Status::InvalidArgument("malformed span summary entry");
+    }
+    RemoteSpan span;
+    span.name = std::string(entry.substr(0, c1));
+    auto parse_u64 = [](std::string_view digits, uint64_t* value) {
+      if (digits.empty() || digits.size() > 20) return false;
+      *value = 0;
+      for (char c : digits) {
+        if (c < '0' || c > '9') return false;
+        *value = *value * 10 + static_cast<uint64_t>(c - '0');
+      }
+      return true;
+    };
+    if (!parse_u64(entry.substr(c1 + 1, c2 - c1 - 1), &span.offset_ns) ||
+        !parse_u64(entry.substr(c2 + 1), &span.dur_ns)) {
+      return Status::InvalidArgument("malformed span summary number");
+    }
+    spans.push_back(std::move(span));
+    if (semi == text.size()) break;
+    start = semi + 1;
+  }
+  return spans;
+}
 
 std::string FormatAnswerReply(const WireRequest& request,
                               const QueryAnswer& answer) {
@@ -430,7 +561,9 @@ Result<std::vector<uint64_t>> ParseHexValues(std::string_view csv) {
 
 std::string FormatShardEstimateReply(std::string_view id_json, int s1, int s2,
                                      uint64_t epoch, uint64_t trees,
-                                     const std::vector<double>& x) {
+                                     const std::vector<double>& x,
+                                     uint64_t remote_ns,
+                                     std::string_view spans) {
   std::string out = IdPrefix(id_json);
   char buf[96];
   std::snprintf(buf, sizeof(buf),
@@ -444,7 +577,15 @@ std::string FormatShardEstimateReply(std::string_view id_json, int s1, int s2,
     std::snprintf(buf, sizeof(buf), "%.17g", x[i]);
     out += buf;
   }
-  out += "\"}";
+  out += '"';
+  if (remote_ns > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"remote_ns\":%llu,\"spans\":\"",
+                  static_cast<unsigned long long>(remote_ns));
+    out += buf;
+    out += spans;  // Dotted names + digits + ':'/';' — no escaping needed.
+    out += '"';
+  }
+  out += '}';
   return out;
 }
 
@@ -465,14 +606,16 @@ std::string FormatShardSnapshotReply(std::string_view id_json, uint64_t epoch,
 
 std::string FormatHealthReply(std::string_view id_json, uint64_t epoch,
                               uint64_t trees, double self_join_size,
-                              bool stopping) {
-  char buf[192];
+                              bool stopping, uint64_t now_ns) {
+  char buf[224];
   std::snprintf(buf, sizeof(buf),
                 "\"ok\":true,\"epoch\":%llu,\"trees\":%llu,"
-                "\"self_join_size\":%.17g,\"stopping\":%s}",
+                "\"self_join_size\":%.17g,\"stopping\":%s,"
+                "\"now_ns\":%llu}",
                 static_cast<unsigned long long>(epoch),
                 static_cast<unsigned long long>(trees), self_join_size,
-                stopping ? "true" : "false");
+                stopping ? "true" : "false",
+                static_cast<unsigned long long>(now_ns));
   return IdPrefix(id_json) + buf;
 }
 
@@ -570,28 +713,43 @@ Result<std::string> JsonUnescapeString(std::string_view raw) {
       case 'r': out.push_back('\r'); break;
       case 't': out.push_back('\t'); break;
       case 'u': {
-        if (i + 4 >= body.size()) {
-          return Status::Corruption("truncated \\u escape in reply string");
-        }
+        // Same surrogate-pairing rules as the request-side parser.
         uint32_t code = 0;
-        for (int h = 0; h < 4; ++h) {
-          char hc = body[++i];
-          code <<= 4;
-          if (hc >= '0' && hc <= '9') code |= hc - '0';
-          else if (hc >= 'a' && hc <= 'f') code |= hc - 'a' + 10;
-          else if (hc >= 'A' && hc <= 'F') code |= hc - 'A' + 10;
-          else return Status::Corruption("bad \\u escape in reply string");
+        auto hex_quad = [&](uint32_t* value) -> Status {
+          if (i + 4 >= body.size()) {
+            return Status::Corruption("truncated \\u escape in reply string");
+          }
+          *value = 0;
+          for (int h = 0; h < 4; ++h) {
+            char hc = body[++i];
+            *value <<= 4;
+            if (hc >= '0' && hc <= '9') *value |= hc - '0';
+            else if (hc >= 'a' && hc <= 'f') *value |= hc - 'a' + 10;
+            else if (hc >= 'A' && hc <= 'F') *value |= hc - 'A' + 10;
+            else return Status::Corruption("bad \\u escape in reply string");
+          }
+          return Status::OK();
+        };
+        SKETCHTREE_RETURN_NOT_OK(hex_quad(&code));
+        if (IsLowSurrogate(code)) {
+          return Status::Corruption("lone low surrogate in reply string");
         }
-        if (code < 0x80) {
-          out.push_back(static_cast<char>(code));
-        } else if (code < 0x800) {
-          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-        } else {
-          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        if (IsHighSurrogate(code)) {
+          if (i + 2 >= body.size() || body[i + 1] != '\\' ||
+              body[i + 2] != 'u') {
+            return Status::Corruption(
+                "high surrogate not followed by \\u escape in reply string");
+          }
+          i += 2;
+          uint32_t low = 0;
+          SKETCHTREE_RETURN_NOT_OK(hex_quad(&low));
+          if (!IsLowSurrogate(low)) {
+            return Status::Corruption(
+                "unpaired surrogate in reply string");
+          }
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
         }
+        AppendUtf8(code, &out);
         break;
       }
       default:

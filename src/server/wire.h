@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "server/query_service.h"
+#include "trace/trace.h"
 
 namespace sketchtree {
 
@@ -18,7 +19,7 @@ namespace sketchtree {
 /// Request grammar (flat object; unknown fields are ignored):
 ///
 ///   {"op": "count" | "count_ord" | "extended" | "expr" | "batch"
-///          | "stats" | "ping" | "shutdown"
+///          | "stats" | "metrics" | "slowlog" | "ping" | "shutdown"
 ///          | "shard_estimate" | "shard_snapshot" | "health",
 ///    "q": "<query text>",          // required for the four query ops
 ///    "queries": [{"op": ..., "q": ...}, ...],  // batch op only
@@ -26,11 +27,29 @@ namespace sketchtree {
 ///    "client": "<client id>",      // optional, keys the token bucket
 ///    "timeout_ms": <number>,       // optional per-query deadline
 ///    "values": "<hex,hex,...>",    // shard_estimate only
-///    "strategy": "scatter"|"merged"}  // optional, coordinator only
+///    "strategy": "scatter"|"merged",  // optional, coordinator only
+///    "trace": "<id>-<span>-<0|1>"}    // optional trace context
 ///
 /// `queries` is the one permitted departure from flatness: an array of
 /// flat objects, each naming one of the four query ops. A batch pins a
 /// single snapshot, so every result shares one {epoch, trees}.
+///
+/// `trace` carries distributed trace context (DESIGN.md section 14):
+/// 16-hex-digit trace id, 16-hex-digit parent span id, and a sampling
+/// bit, dash-separated. A server receiving a sampled context records
+/// its spans for that request under the context; a coordinator forwards
+/// a child context to each shard call. Malformed contexts are ignored
+/// (observability must never fail a query).
+///
+/// `metrics` returns the live metrics registry twice over:
+///   {"id": ..., "ok": true, "prometheus": "<text exposition>",
+///    "metrics": {<deterministic registry JSON>}}
+/// `slowlog` drains the bounded slow-query ring (oldest first):
+///   {"id": ..., "ok": true, "slowlog": [{"trace_id": "<hex>",
+///     "key": "<canonical query>", "lane": "fast"|"slow",
+///     "arrangements": <num>, "epoch": <num>, "micros": <num>,
+///     "covered_trees": <num>, "total_trees": <num>,
+///     "error_scale": <num>}, ...]}
 ///
 /// The three shard_* / health ops are the coordinator-to-worker leg of
 /// distributed serving (DESIGN.md section 13). `shard_estimate` carries
@@ -90,6 +109,10 @@ struct WireRequest {
   /// Coordinator strategy override ("scatter" / "merged"); empty uses
   /// the coordinator's configured default. Ignored by plain servers.
   std::string strategy;
+  /// Raw `trace` field ("<trace>-<span>-<sampled>"); empty when absent.
+  /// Decoded with ParseTraceField by the server; malformed values are
+  /// treated as no context, never as an error.
+  std::string trace;
 };
 
 /// Parses one request line. Accepts exactly a flat JSON object with
@@ -137,6 +160,33 @@ std::string FormatBatchReply(const WireRequest& request, uint64_t epoch,
 /// Wire code for a Status (INVALID_ARGUMENT, OUT_OF_RANGE, ...).
 const char* WireCodeFor(const Status& status);
 
+/// Encodes a trace context as the wire `trace` field:
+/// "<16-hex trace_id>-<16-hex span_id>-<0|1>". Empty for an invalid
+/// (zero trace_id) context, so callers can append unconditionally.
+std::string FormatTraceField(const TraceContext& context);
+
+/// Decodes a `trace` field. InvalidArgument on any malformation; the
+/// server treats that as "no context" rather than failing the request.
+Result<TraceContext> ParseTraceField(std::string_view field);
+
+/// One span of a worker-side summary returned in a shard reply, placed
+/// relative to the worker's handler start. Durations are what matters
+/// — offsets let the coordinator lay the spans out inside its own
+/// request window without sharing a clock with the worker.
+struct RemoteSpan {
+  std::string name;
+  uint64_t offset_ns = 0;  ///< Start relative to handler entry.
+  uint64_t dur_ns = 0;
+};
+
+/// Encodes a span summary as "name:offset_ns:dur_ns;..." — compact
+/// enough to ride every shard reply. Names must not contain ':' or ';'
+/// (the span-naming convention is dotted lowercase identifiers).
+std::string FormatRemoteSpans(const std::vector<RemoteSpan>& spans);
+
+/// Decodes a span summary; InvalidArgument on malformed entries.
+Result<std::vector<RemoteSpan>> ParseRemoteSpans(std::string_view text);
+
 /// Encodes mapped pattern values as the `values` request field
 /// (lowercase hex, comma-separated, no 0x prefix).
 std::string FormatHexValues(const std::vector<uint64_t>& values);
@@ -147,10 +197,16 @@ Result<std::vector<uint64_t>> ParseHexValues(std::string_view csv);
 
 /// Renders a `shard_estimate` success reply: the worker's s2*s1
 /// combined-projection matrix (row-major [i*s1+j], %.17g so the exact
-/// integer counters round-trip) plus snapshot provenance.
+/// integer counters round-trip) plus snapshot provenance. When the
+/// request carried a sampled trace context the worker appends
+/// `"remote_ns"` (its total handler time) and `"spans"` (a
+/// FormatRemoteSpans summary), so the coordinator's merged trace shows
+/// true remote time vs. wire time; pass remote_ns == 0 to omit both.
 std::string FormatShardEstimateReply(std::string_view id_json, int s1, int s2,
                                      uint64_t epoch, uint64_t trees,
-                                     const std::vector<double>& x);
+                                     const std::vector<double>& x,
+                                     uint64_t remote_ns = 0,
+                                     std::string_view spans = {});
 
 /// Renders a `shard_snapshot` success reply carrying the base64-encoded
 /// checkpoint serialization of the worker's current snapshot.
@@ -160,10 +216,12 @@ std::string FormatShardSnapshotReply(std::string_view id_json, uint64_t epoch,
 
 /// Renders a `health` success reply: snapshot provenance plus the
 /// worker's current self-join-size estimate (the Theorem-1 error-scale
-/// input the coordinator caches per shard).
+/// input the coordinator caches per shard) and the worker's steady
+/// clock (`now_ns`) — the clock-offset sample trace merging uses: the
+/// coordinator estimates offset = worker_now - midpoint(send, recv).
 std::string FormatHealthReply(std::string_view id_json, uint64_t epoch,
                               uint64_t trees, double self_join_size,
-                              bool stopping);
+                              bool stopping, uint64_t now_ns);
 
 /// Field extraction from one flat reply line — the coordinator's client
 /// side. A proper scan of the top-level object (nested arrays/objects

@@ -10,6 +10,57 @@
 
 namespace sketchtree {
 
+namespace {
+
+// splitmix64 (Steele et al.) — decorrelates the sequential counter so
+// ids from concurrently started processes don't collide in low bits.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t NextId() {
+  // Seeded once per process from the monotonic clock so ids differ
+  // across coordinator and workers; the counter keeps them unique
+  // within a process. Never returns 0 (0 means "no context").
+  static const uint64_t seed = NowNanos() | 1;
+  static std::atomic<uint64_t> counter{0};
+  uint64_t id =
+      MixId(seed + counter.fetch_add(1, std::memory_order_relaxed));
+  return id == 0 ? 1 : id;
+}
+
+thread_local TraceContext g_current_context;
+
+}  // namespace
+
+TraceContext TraceContext::NewRoot() {
+  TraceContext context;
+  context.trace_id = NextId();
+  context.span_id = NextId();
+  context.sampled = true;
+  return context;
+}
+
+TraceContext TraceContext::ChildOf(const TraceContext& parent) {
+  TraceContext context = parent;
+  context.span_id = NextId();
+  return context;
+}
+
+uint64_t TraceContext::NewSpanId() { return NextId(); }
+
+const TraceContext& CurrentTraceContext() { return g_current_context; }
+
+TraceContextScope::TraceContextScope(const TraceContext& context)
+    : saved_(g_current_context) {
+  g_current_context = context;
+}
+
+TraceContextScope::~TraceContextScope() { g_current_context = saved_; }
+
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();
   return *recorder;
@@ -32,6 +83,14 @@ TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
 
 void TraceRecorder::Append(const char* name, TracePhase phase,
                            int64_t value) {
+  const TraceContext& context = g_current_context;
+  AppendAt(name, phase, NowNanos(), value, context.trace_id,
+           context.span_id);
+}
+
+void TraceRecorder::AppendAt(const char* name, TracePhase phase,
+                             uint64_t ts_ns, int64_t value,
+                             uint64_t trace_id, uint64_t span_id) {
   ThreadBuffer* buffer = LocalBuffer();
   Chunk* chunk =
       buffer->chunks.empty() ? nullptr : buffer->chunks.back().get();
@@ -58,7 +117,7 @@ void TraceRecorder::Append(const char* name, TracePhase phase,
     index = 0;
   }
   chunk->events[index] =
-      TraceEvent{name, phase, NowNanos(), value};
+      TraceEvent{name, phase, ts_ns, value, trace_id, span_id};
   // Release pairs with the acquire in ToJson/event_count: once a reader
   // observes count > index, the event write above is visible.
   chunk->count.store(index + 1, std::memory_order_release);
@@ -85,6 +144,29 @@ void TraceRecorder::RecordInstant(const char* name) {
 void TraceRecorder::RecordCounter(const char* name, int64_t value) {
   if (!enabled()) return;
   Append(name, TracePhase::kCounter, value);
+}
+
+void TraceRecorder::RecordComplete(const char* name, uint64_t start_ns,
+                                   uint64_t dur_ns) {
+  RecordComplete(name, start_ns, dur_ns, g_current_context);
+}
+
+void TraceRecorder::RecordComplete(const char* name, uint64_t start_ns,
+                                   uint64_t dur_ns,
+                                   const TraceContext& context) {
+  if (!enabled()) return;
+  AppendAt(name, TracePhase::kComplete, start_ns,
+           static_cast<int64_t>(dur_ns), context.trace_id,
+           context.span_id);
+}
+
+const char* TraceRecorder::InternName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  for (const auto& interned : interned_) {
+    if (*interned == name) return interned->c_str();
+  }
+  interned_.push_back(std::make_unique<std::string>(name));
+  return interned_.back()->c_str();
 }
 
 void TraceRecorder::SetThreadName(const std::string& name) {
@@ -120,7 +202,7 @@ std::string TraceRecorder::ToJson() const {
     for (const auto& buffer : buffers_) buffers.push_back(buffer.get());
   }
   std::string json = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  char line[160];
+  char line[256];
   bool first = true;
   auto append_comma = [&] {
     json += first ? "\n" : ",\n";
@@ -158,6 +240,7 @@ std::string TraceRecorder::ToJson() const {
           case TracePhase::kEnd: ph = "E"; break;
           case TracePhase::kInstant: ph = "i"; break;
           case TracePhase::kCounter: ph = "C"; break;
+          case TracePhase::kComplete: ph = "X"; break;
         }
         // Microsecond timestamps with nanosecond decimals — the unit
         // chrome://tracing expects.
@@ -174,6 +257,23 @@ std::string TraceRecorder::ToJson() const {
         } else if (event.phase == TracePhase::kCounter) {
           std::snprintf(line, sizeof line, ", \"args\": {\"value\": %" PRId64
                         "}", event.value);
+          json += line;
+        } else if (event.phase == TracePhase::kComplete) {
+          // Duration in the same µs.ns unit as ts.
+          uint64_t dur_ns = static_cast<uint64_t>(event.value);
+          std::snprintf(line, sizeof line,
+                        ", \"dur\": %" PRIu64 ".%03u", dur_ns / 1000,
+                        static_cast<unsigned>(dur_ns % 1000));
+          json += line;
+        }
+        if (event.trace_id != 0 &&
+            event.phase != TracePhase::kCounter) {
+          // Hex ids under args: trace viewers group by them and the
+          // merge tool joins coordinator + shard spans on trace_id.
+          std::snprintf(line, sizeof line,
+                        ", \"args\": {\"trace_id\": \"%016" PRIx64
+                        "\", \"span_id\": \"%016" PRIx64 "\"}",
+                        event.trace_id, event.span_id);
           json += line;
         }
         json += "}";
@@ -212,6 +312,14 @@ std::vector<SpanAggregate> TraceRecorder::AggregateSpans() const {
         const TraceEvent& event = chunk->events[e];
         if (event.phase == TracePhase::kBegin) {
           open.emplace_back(event.name, event.ts_ns);
+          continue;
+        }
+        if (event.phase == TracePhase::kComplete) {
+          // Retroactive spans carry their own duration.
+          SpanAggregate& agg = totals[event.name];
+          if (agg.name.empty()) agg.name = event.name;
+          agg.count += 1;
+          agg.total_ns += static_cast<uint64_t>(event.value);
           continue;
         }
         if (event.phase != TracePhase::kEnd) continue;

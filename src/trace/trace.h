@@ -39,17 +39,58 @@ namespace sketchtree {
 /// What one trace event records. `name` must be a string with static
 /// storage duration (literal or interned): events store the pointer.
 enum class TracePhase : uint8_t {
-  kBegin,    // "ph":"B" — span opens on this thread.
-  kEnd,      // "ph":"E" — innermost open span closes.
-  kInstant,  // "ph":"i" — point event (thread scope).
-  kCounter,  // "ph":"C" — sample of a numeric track.
+  kBegin,     // "ph":"B" — span opens on this thread.
+  kEnd,       // "ph":"E" — innermost open span closes.
+  kInstant,   // "ph":"i" — point event (thread scope).
+  kCounter,   // "ph":"C" — sample of a numeric track.
+  kComplete,  // "ph":"X" — retroactive span: ts + explicit duration.
+};
+
+/// Distributed trace context (DESIGN.md section 14). A query sampled for
+/// tracing carries (trace_id, parent span_id, sampled) across the wire;
+/// every span a process records while a context is installed is stamped
+/// with the ids, so traces from coordinator and shards merge into one
+/// timeline keyed by trace_id. Zero trace_id == "no context".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  ///< The current (parent-of-children) span.
+  bool sampled = false;
+
+  bool valid() const { return trace_id != 0; }
+
+  /// Fresh root context (new trace_id + span_id), sampled.
+  static TraceContext NewRoot();
+  /// Child of `parent`: same trace_id/sampled, fresh span_id.
+  static TraceContext ChildOf(const TraceContext& parent);
+  /// A fresh span id (for per-attempt child spans).
+  static uint64_t NewSpanId();
+};
+
+/// The calling thread's installed context (all-zero when none). Spans
+/// recorded while a valid context is installed carry its ids.
+const TraceContext& CurrentTraceContext();
+
+/// RAII install/restore of the calling thread's trace context, used by
+/// server workers around query execution. Nesting restores the previous
+/// context on scope exit.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 struct TraceEvent {
   const char* name;
   TracePhase phase;
-  uint64_t ts_ns;  // NowNanos() at record time.
-  int64_t value;   // Counter sample; unused otherwise.
+  uint64_t ts_ns;      // NowNanos() at record time (start for kComplete).
+  int64_t value;       // Counter sample; duration (ns) for kComplete.
+  uint64_t trace_id;   // Distributed context; 0 = none.
+  uint64_t span_id;
 };
 
 /// Wall-time rollup of one span name across every thread's buffer —
@@ -88,6 +129,22 @@ class TraceRecorder {
   void RecordEnd(const char* name);
   void RecordInstant(const char* name);
   void RecordCounter(const char* name, int64_t value);
+  /// Retroactive span ("X" event): a window measured elsewhere — e.g.
+  /// admission wait timed enqueue-to-dequeue across threads, or a remote
+  /// span imported from a shard reply — recorded after the fact with an
+  /// explicit start and duration.
+  void RecordComplete(const char* name, uint64_t start_ns, uint64_t dur_ns);
+  /// RecordComplete under an explicit context instead of the thread's
+  /// installed one (imported remote spans carry the shard's span id).
+  void RecordComplete(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                      const TraceContext& context);
+
+  /// Interns `name` into recorder-owned storage and returns a pointer
+  /// with static-enough lifetime for TraceEvent (lives until process
+  /// exit; interned names survive Reset()). For cold paths whose span
+  /// names are built at runtime — remote span import, per-shard tracks.
+  /// Takes a lock: do not call on hot paths.
+  const char* InternName(const std::string& name);
 
   /// Serializes every buffered event as Chrome trace JSON:
   /// {"traceEvents": [...], "displayTimeUnit": "ms", ...}. Safe to call
@@ -147,12 +204,19 @@ class TraceRecorder {
   TraceRecorder() = default;
 
   ThreadBuffer* LocalBuffer();
+  /// Appends with the thread's installed trace context and ts = now.
   void Append(const char* name, TracePhase phase, int64_t value);
+  /// Full-control append (explicit timestamp and context) — the
+  /// kComplete path for retroactive and imported spans.
+  void AppendAt(const char* name, TracePhase phase, uint64_t ts_ns,
+                int64_t value, uint64_t trace_id, uint64_t span_id);
 
   std::atomic<bool> enabled_{false};
   size_t max_events_per_thread_ = size_t{1} << 20;
   mutable std::mutex mu_;  // Guards buffers_ registration and Reset.
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::mutex intern_mu_;  // Guards interned_ (cold path only).
+  std::vector<std::unique_ptr<std::string>> interned_;
 };
 
 /// RAII span scope: records a begin event at construction and the

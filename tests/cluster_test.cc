@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +21,7 @@
 #include "metrics/metrics.h"
 #include "server/query_service.h"
 #include "server/tcp_server.h"
+#include "trace/trace.h"
 #include "tree/tree_serialization.h"
 
 namespace sketchtree {
@@ -326,6 +329,117 @@ TEST(ClusterTest, HedgeWinsWhenPrimaryStalls) {
   EXPECT_GE(hedges->value(), hedges_before + 1);
   EXPECT_GE(hedge_wins->value(), wins_before + 1);
   EXPECT_FALSE(answer->partial);
+}
+
+/// All (trace_id, span_id) pairs of serialized events named `name` —
+/// string-level scanning over ToJson's one-event-per-line output.
+struct SpanIds {
+  std::string trace_id;
+  std::string span_id;
+};
+
+std::vector<SpanIds> FindSpans(const std::string& json,
+                               const std::string& name) {
+  std::vector<SpanIds> out;
+  const std::string needle = "\"name\": \"" + name + "\"";
+  size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string line = json.substr(pos, eol - pos);
+    auto sixteen_hex_after = [&](const char* key) {
+      const std::string prefix = std::string("\"") + key + "\": \"";
+      size_t at = line.find(prefix);
+      return at == std::string::npos
+                 ? std::string()
+                 : line.substr(at + prefix.size(), 16);
+    };
+    out.push_back(
+        {sixteen_hex_after("trace_id"), sixteen_hex_after("span_id")});
+    pos = eol;
+  }
+  return out;
+}
+
+std::string Hex16(uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+// The tentpole's distributed-tracing contract under faults: a retried
+// call and a hedged call each record their own child span — distinct
+// span ids, all under the query's one trace id — and the worker's own
+// handler time comes back as an imported remote.* span.
+TEST(ClusterTest, TracedRetriesAndHedgesAreDistinctChildSpans) {
+  FaultInjector::Global().DisarmAll();
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Stop();
+  recorder.Reset();
+
+  std::vector<Worker> workers;
+  workers.push_back(StartWorker(0));
+  CoordinatorOptions options = TestCoordinatorOptions(workers);
+  options.hedge_min_ms = 20;
+  options.hedge_p95_factor = 2.0;
+  options.shard_deadline_ms = 3000;
+  Result<std::unique_ptr<Coordinator>> coordinator =
+      Coordinator::Start(options);
+  ASSERT_TRUE(coordinator.ok()) << coordinator.status().ToString();
+
+  recorder.Start();
+  TraceContext root = TraceContext::NewRoot();
+
+  // Query 1: first reply garbled, so the primary leg retries.
+  FaultInjector::Global().Arm(FaultSite::kNetGarbledReply,
+                              FaultPlan{0, 1, 0});
+  Result<QueryAnswer> retried = (*coordinator)
+      ->Execute(QueryKind::kOrdered, "A(B,C)", std::nullopt, "scatter",
+                root);
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+
+  // Query 2: first write stalls 800ms, so the hedge fires and wins.
+  FaultInjector::Global().Arm(FaultSite::kNetSlowWrite,
+                              FaultPlan{0, 1, 800});
+  Result<QueryAnswer> hedged = (*coordinator)
+      ->Execute(QueryKind::kOrdered, "A(B,C)", std::nullopt, "scatter",
+                root);
+  FaultInjector::Global().DisarmAll();
+  ASSERT_TRUE(hedged.ok()) << hedged.status().ToString();
+
+  recorder.Stop();
+  const std::string json = recorder.ToJson();
+  recorder.Reset();
+
+  std::vector<SpanIds> attempts = FindSpans(json, "cluster.attempt");
+  std::vector<SpanIds> retries = FindSpans(json, "cluster.retry");
+  std::vector<SpanIds> hedges = FindSpans(json, "cluster.hedge");
+  ASSERT_GE(attempts.size(), 2u) << json.substr(0, 2000);
+  ASSERT_GE(retries.size(), 1u);
+  ASSERT_GE(hedges.size(), 1u);
+
+  const std::string want_trace = Hex16(root.trace_id);
+  const std::string root_span = Hex16(root.span_id);
+  std::set<std::string> span_ids;
+  size_t total = 0;
+  for (const auto* group : {&attempts, &retries, &hedges}) {
+    for (const SpanIds& ids : *group) {
+      EXPECT_EQ(ids.trace_id, want_trace);
+      EXPECT_NE(ids.span_id, root_span);
+      span_ids.insert(ids.span_id);
+      ++total;
+    }
+  }
+  // Every attempt minted its own child span id.
+  EXPECT_EQ(span_ids.size(), total);
+
+  // The worker (in-process here) reported its handler time; the
+  // coordinator imported it as a remote.* span under the same trace.
+  std::vector<SpanIds> remote = FindSpans(json, "remote.shard.estimate");
+  ASSERT_GE(remote.size(), 1u);
+  EXPECT_EQ(remote[0].trace_id, want_trace);
 }
 
 TEST(ClusterTest, BreakerSkipsDeadShardInstantly) {

@@ -237,6 +237,54 @@ TEST(MetricsRegistryTest, TableSnapshotMentionsEveryMetric) {
   EXPECT_NE(table.find("t.hist"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("p.counter")->Increment(7);
+  registry.GetGauge("p.gauge")->Set(-3);
+  Histogram* hist = registry.GetHistogram("p.hist", {10, 100});
+  hist->Observe(5);    // le="10"
+  hist->Observe(50);   // le="100"
+  hist->Observe(500);  // overflow -> only le="+Inf"
+  std::string text = registry.ToPrometheus();
+
+  // Dots become underscores under the namespace prefix; every family
+  // gets a # TYPE line.
+  EXPECT_NE(text.find("# TYPE sketchtree_p_counter counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sketchtree_p_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE sketchtree_p_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sketchtree_p_gauge -3\n"), std::string::npos);
+
+  // Histogram buckets are cumulative, ending at +Inf == _count.
+  EXPECT_NE(text.find("# TYPE sketchtree_p_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sketchtree_p_hist_bucket{le=\"10\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sketchtree_p_hist_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sketchtree_p_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("sketchtree_p_hist_sum 555\n"), std::string::npos);
+  EXPECT_NE(text.find("sketchtree_p_hist_count 3\n"), std::string::npos);
+
+  // Every line is a comment or a sample — no blank lines, and sample
+  // lines always carry a value after the name.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t eol = text.find('\n', start);
+    ASSERT_NE(eol, std::string::npos) << "missing trailing newline";
+    std::string line_text = text.substr(start, eol - start);
+    ASSERT_FALSE(line_text.empty());
+    if (line_text[0] != '#') {
+      EXPECT_NE(line_text.find(' '), std::string::npos) << line_text;
+    }
+    start = eol + 1;
+  }
+}
+
 TEST(MetricsRegistryTest, GlobalRegistryIsProcessWide) {
   Counter* counter = GlobalMetrics().GetCounter("test.global_counter");
   uint64_t before = counter->value();

@@ -1,0 +1,119 @@
+#include "server/slow_query_log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sketchtree {
+namespace {
+
+SlowQueryEntry Entry(uint64_t id) {
+  SlowQueryEntry entry;
+  entry.trace_id = id;
+  entry.key = "count q" + std::to_string(id);
+  entry.lane = "fast";
+  entry.arrangements = 1.0;
+  entry.epoch = 3;
+  entry.covered_trees = 9;
+  entry.total_trees = 10;
+  entry.error_scale = 0.5;
+  entry.micros = 1500.0 + static_cast<double>(id);
+  return entry;
+}
+
+TEST(SlowQueryLogTest, DisabledLogRecordsNothing) {
+  SlowQueryLog log(/*capacity=*/8, /*threshold_ms=*/0);
+  EXPECT_FALSE(log.enabled());
+  log.Record(Entry(1));
+  EXPECT_TRUE(log.Drain().empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(SlowQueryLogTest, DrainReturnsOldestFirstAndClears) {
+  SlowQueryLog log(/*capacity=*/8, /*threshold_ms=*/5);
+  EXPECT_TRUE(log.enabled());
+  EXPECT_EQ(log.threshold_ms(), 5);
+  for (uint64_t id = 1; id <= 3; ++id) log.Record(Entry(id));
+  std::vector<SlowQueryEntry> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].trace_id, 1u);
+  EXPECT_EQ(drained[2].trace_id, 3u);
+  EXPECT_TRUE(log.Drain().empty());  // Destructive.
+  EXPECT_EQ(log.total_recorded(), 3u);
+}
+
+TEST(SlowQueryLogTest, RingOverwritesOldestButCountsEverything) {
+  SlowQueryLog log(/*capacity=*/3, /*threshold_ms=*/1);
+  for (uint64_t id = 1; id <= 7; ++id) log.Record(Entry(id));
+  std::vector<SlowQueryEntry> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  // The three most recent survive, still oldest first.
+  EXPECT_EQ(drained[0].trace_id, 5u);
+  EXPECT_EQ(drained[1].trace_id, 6u);
+  EXPECT_EQ(drained[2].trace_id, 7u);
+  EXPECT_EQ(log.total_recorded(), 7u);  // Overwritten entries count.
+}
+
+TEST(SlowQueryLogTest, ZeroCapacityClampsToOne) {
+  SlowQueryLog log(/*capacity=*/0, /*threshold_ms=*/1);
+  log.Record(Entry(1));
+  log.Record(Entry(2));
+  std::vector<SlowQueryEntry> drained = log.Drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].trace_id, 2u);
+}
+
+TEST(SlowQueryLogTest, JsonArrayCarriesProvenanceFields) {
+  SlowQueryLog log(/*capacity=*/4, /*threshold_ms=*/1);
+  SlowQueryEntry entry = Entry(0xabc);
+  entry.key = "count A(\"B\")";  // Key must be JSON-escaped.
+  entry.lane = "slow";
+  log.Record(entry);
+  std::string json = log.DrainToJsonArray();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"trace_id\":\"0000000000000abc\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"key\":\"count A(\\\"B\\\")\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"lane\":\"slow\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"covered_trees\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"total_trees\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"error_scale\":"), std::string::npos);
+  EXPECT_NE(json.find("\"micros\":"), std::string::npos);
+  // An untraced entry renders trace_id as the empty string, and the
+  // drain is destructive here too.
+  SlowQueryEntry untraced = Entry(7);
+  untraced.trace_id = 0;
+  log.Record(untraced);
+  EXPECT_NE(log.DrainToJsonArray().find("\"trace_id\":\"\""),
+            std::string::npos);
+  EXPECT_EQ(log.DrainToJsonArray(), "[]");
+}
+
+TEST(SlowQueryLogTest, ConcurrentRecordsAreLossless) {
+  SlowQueryLog log(/*capacity=*/1024, /*threshold_ms=*/1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(Entry(static_cast<uint64_t>(t * kPerThread + i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(log.total_recorded(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(log.Drain().size(),
+            static_cast<size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace sketchtree

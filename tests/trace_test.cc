@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -377,6 +378,114 @@ TEST(TraceRecorderTest, JsonEscapesThreadNames) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+TEST(TraceContextTest, RootAndChildShareTraceId) {
+  TraceContext root = TraceContext::NewRoot();
+  EXPECT_TRUE(root.valid());
+  EXPECT_TRUE(root.sampled);
+  EXPECT_NE(root.span_id, 0u);
+  TraceContext child = TraceContext::ChildOf(root);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_TRUE(child.sampled);
+  TraceContext other = TraceContext::NewRoot();
+  EXPECT_NE(other.trace_id, root.trace_id);
+  EXPECT_NE(TraceContext::NewSpanId(), TraceContext::NewSpanId());
+}
+
+TEST(TraceContextTest, ScopeInstallsAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  TraceContext root = TraceContext::NewRoot();
+  {
+    TraceContextScope scope(root);
+    EXPECT_EQ(CurrentTraceContext().trace_id, root.trace_id);
+    {
+      TraceContext child = TraceContext::ChildOf(root);
+      TraceContextScope nested(child);
+      EXPECT_EQ(CurrentTraceContext().span_id, child.span_id);
+    }
+    EXPECT_EQ(CurrentTraceContext().span_id, root.span_id);
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+}
+
+// Spans recorded while a context is installed serialize with hex
+// trace_id/span_id args; spans without one carry no ids at all.
+TEST(TraceRecorderTest, SpansCarryInstalledContextIds) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  TraceContext root = TraceContext::NewRoot();
+  {
+    TraceContextScope scope(root);
+    TRACE_SPAN("ctx.tagged");
+  }
+  { TRACE_SPAN("ctx.untagged"); }
+  recorder.Stop();
+  char want_trace[17];
+  std::snprintf(want_trace, sizeof want_trace, "%016llx",
+                static_cast<unsigned long long>(root.trace_id));
+  JsonValue parsed;
+  ASSERT_TRUE(JsonReader(recorder.ToJson()).Parse(&parsed));
+  int tagged = 0;
+  for (const JsonValue& event : parsed.Find("traceEvents")->array) {
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr) continue;
+    if (name->string == "ctx.tagged") {
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr) << "ctx.tagged event lost its ids";
+      EXPECT_EQ(args->Find("trace_id")->string, want_trace);
+      EXPECT_FALSE(args->Find("span_id")->string.empty());
+      ++tagged;
+    } else if (name->string == "ctx.untagged") {
+      EXPECT_EQ(event.Find("args"), nullptr);
+    }
+  }
+  EXPECT_EQ(tagged, 2);  // B and E both carry the ids.
+}
+
+// Retroactive "X" events carry an explicit window (admission wait,
+// imported remote spans) and an explicit context, and they land in the
+// per-stage aggregation like a begin/end pair would.
+TEST(TraceRecorderTest, CompleteEventsRecordWindowAndContext) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Start();
+  TraceContext context{0x00000000000abcdeULL, 0x0000000000123456ULL, true};
+  recorder.RecordComplete("ctx.window", 5000, 2500, context);
+  recorder.Stop();
+  JsonValue parsed;
+  ASSERT_TRUE(JsonReader(recorder.ToJson()).Parse(&parsed));
+  bool found = false;
+  for (const JsonValue& event : parsed.Find("traceEvents")->array) {
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->string != "ctx.window") continue;
+    found = true;
+    EXPECT_EQ(event.Find("ph")->string, "X");
+    EXPECT_DOUBLE_EQ(event.Find("ts")->number, 5.0);    // µs.
+    EXPECT_DOUBLE_EQ(event.Find("dur")->number, 2.5);   // µs.
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->Find("trace_id")->string, "00000000000abcde");
+    EXPECT_EQ(args->Find("span_id")->string, "0000000000123456");
+  }
+  EXPECT_TRUE(found);
+  std::vector<SpanAggregate> stages = recorder.AggregateSpans();
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].name, "ctx.window");
+  EXPECT_EQ(stages[0].count, 1u);
+  EXPECT_EQ(stages[0].total_ns, 2500u);
+}
+
+TEST(TraceRecorderTest, InternNameDedupesAndSurvives) {
+  TraceTestEnvironment env;
+  TraceRecorder& recorder = TraceRecorder::Global();
+  const char* a = recorder.InternName("intern.name");
+  const char* b = recorder.InternName("intern.name");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "intern.name");
+  EXPECT_STRNE(a, recorder.InternName("intern.other"));
 }
 
 // Golden test: a real multi-threaded ingest, traced end to end, must

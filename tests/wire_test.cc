@@ -178,6 +178,135 @@ TEST(WireTest, FormatsBatchReply) {
             "],\"micros\":12.5}");
 }
 
+TEST(WireTest, DecodesUnicodeEscapes) {
+  // 1-, 2-, and 3-byte UTF-8 from BMP code points.
+  Result<WireRequest> parsed =
+      ParseWireRequest(R"({"op":"count","q":"\u0041\u00e9\u20ac"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->query, "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(WireTest, DecodesSurrogatePairs) {
+  // U+1F600 (😀) is \ud83d\ude00 — a surrogate pair that must decode
+  // to one 4-byte UTF-8 sequence, not two replacement blobs.
+  Result<WireRequest> parsed =
+      ParseWireRequest("{\"op\":\"count\",\"q\":\"\\uD83D\\uDE00!\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->query, "\xf0\x9f\x98\x80!");
+  // The reply-side field extractor shares the contract.
+  Result<std::string> field =
+      JsonFieldString("{\"q\":\"x\\ud83d\\ude00y\"}", "q");
+  ASSERT_TRUE(field.ok()) << field.status().ToString();
+  EXPECT_EQ(field.value(), "x\xf0\x9f\x98\x80y");
+}
+
+TEST(WireTest, RejectsLoneSurrogates) {
+  // Lone or mispaired surrogates are not valid JSON text and must not
+  // produce WTF-8; both decoders reject them.
+  const char* bad[] = {
+      "{\"op\":\"count\",\"q\":\"\\ud83d\"}",         // High at end.
+      "{\"op\":\"count\",\"q\":\"\\ud83dxx\"}",       // High then text.
+      "{\"op\":\"count\",\"q\":\"\\ud83d\\u0041\"}",  // High then non-low.
+      "{\"op\":\"count\",\"q\":\"\\ud83d\\ud83d\"}",  // High then high.
+      "{\"op\":\"count\",\"q\":\"\\ude00\"}",         // Lone low.
+  };
+  for (const char* line : bad) {
+    Result<WireRequest> parsed = ParseWireRequest(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+  }
+  EXPECT_FALSE(JsonFieldString("{\"q\":\"\\ude00\"}", "q").ok());
+  EXPECT_FALSE(JsonFieldString("{\"q\":\"\\ud83d!\"}", "q").ok());
+  EXPECT_FALSE(JsonFieldString("{\"q\":\"\\ud83d\"}", "q").ok());
+}
+
+TEST(WireTest, TraceFieldRoundTrips) {
+  TraceContext context{0x0123456789abcdefULL, 0xfedcba9876543210ULL, true};
+  std::string field = FormatTraceField(context);
+  EXPECT_EQ(field, "0123456789abcdef-fedcba9876543210-1");
+  Result<TraceContext> parsed = ParseTraceField(field);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace_id, context.trace_id);
+  EXPECT_EQ(parsed->span_id, context.span_id);
+  EXPECT_TRUE(parsed->sampled);
+
+  context.sampled = false;
+  parsed = ParseTraceField(FormatTraceField(context));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->sampled);
+
+  // An invalid context encodes as empty (callers append nothing).
+  EXPECT_EQ(FormatTraceField(TraceContext{}), "");
+
+  const char* bad[] = {
+      "",
+      "0123456789abcdef-fedcba9876543210",    // Missing sampled bit.
+      "0123456789abcdef-fedcba9876543210-2",  // Bad sampled bit.
+      "0123456789ABCDEF-fedcba9876543210-1",  // Uppercase hex.
+      "0000000000000000-fedcba9876543210-1",  // Zero trace id.
+      "0123456789abcdef+fedcba9876543210-1",  // Bad separator.
+  };
+  for (const char* field_text : bad) {
+    EXPECT_FALSE(ParseTraceField(field_text).ok())
+        << "accepted: " << field_text;
+  }
+}
+
+TEST(WireTest, RequestCarriesRawTraceField) {
+  Result<WireRequest> parsed = ParseWireRequest(
+      "{\"op\":\"count\",\"q\":\"A\","
+      "\"trace\":\"0123456789abcdef-fedcba9876543210-1\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->trace, "0123456789abcdef-fedcba9876543210-1");
+  parsed = ParseWireRequest("{\"op\":\"ping\"}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->trace.empty());
+}
+
+TEST(WireTest, RemoteSpansRoundTrip) {
+  std::vector<RemoteSpan> spans = {{"server.compile", 10, 20},
+                                   {"shard.estimate", 0, 1234567}};
+  std::string text = FormatRemoteSpans(spans);
+  EXPECT_EQ(text, "server.compile:10:20;shard.estimate:0:1234567");
+  Result<std::vector<RemoteSpan>> parsed = ParseRemoteSpans(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].name, "server.compile");
+  EXPECT_EQ((*parsed)[0].offset_ns, 10u);
+  EXPECT_EQ((*parsed)[0].dur_ns, 20u);
+  EXPECT_EQ((*parsed)[1].name, "shard.estimate");
+  EXPECT_EQ((*parsed)[1].dur_ns, 1234567u);
+
+  Result<std::vector<RemoteSpan>> empty = ParseRemoteSpans("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_FALSE(ParseRemoteSpans("noseparators").ok());
+  EXPECT_FALSE(ParseRemoteSpans("a:b:c").ok());
+  EXPECT_FALSE(ParseRemoteSpans("x:1").ok());
+  EXPECT_FALSE(ParseRemoteSpans(":1:2").ok());
+}
+
+TEST(WireTest, ShardEstimateReplyCarriesSpansOnlyWhenTraced) {
+  std::vector<double> x = {1.0, 2.0};
+  std::string untraced = FormatShardEstimateReply("1", 2, 1, 3, 10, x);
+  EXPECT_EQ(untraced.find("remote_ns"), std::string::npos);
+  EXPECT_EQ(untraced.find("spans"), std::string::npos);
+  std::string traced = FormatShardEstimateReply(
+      "1", 2, 1, 3, 10, x, 4200, "shard.estimate:0:4200");
+  EXPECT_NE(traced.find("\"remote_ns\":4200"), std::string::npos);
+  EXPECT_NE(traced.find("\"spans\":\"shard.estimate:0:4200\""),
+            std::string::npos);
+}
+
+TEST(WireTest, HealthReplyCarriesWorkerClock) {
+  std::string reply = FormatHealthReply("7", 3, 100, 2.5, false,
+                                        987654321012345ULL);
+  EXPECT_NE(reply.find("\"now_ns\":987654321012345"), std::string::npos);
+  Result<double> now = JsonFieldNumber(reply, "now_ns");
+  ASSERT_TRUE(now.ok()) << now.status().ToString();
+  EXPECT_EQ(static_cast<uint64_t>(now.value()), 987654321012345ULL);
+}
+
 TEST(WireTest, WireCodesCoverStatusCodes) {
   EXPECT_STREQ(WireCodeFor(Status::InvalidArgument("x")),
                "INVALID_ARGUMENT");

@@ -105,7 +105,8 @@ int Usage() {
       "        [--max-arrangements N] [--publish-every N]\n"
       "        [--lanes 1|2] [--slow-queue N] [--fast-threshold A]\n"
       "        [--starvation-bound N] [--client-quota QPS]\n"
-      "        [--client-burst N]\n"
+      "        [--client-burst N] [--trace-sample N]\n"
+      "        [--slow-query-ms N] [--slowlog-capacity N]\n"
       "        [build options when --input: --k --s1 --s2 --streams\n"
       "         --topk --summary --seed]\n"
       "  sketchtree_cli serve --shards PORT[,PORT...] [--port 7227]\n"
@@ -153,6 +154,15 @@ int Usage() {
       "  any command also accepts --trace-out PATH to record a Chrome\n"
       "  trace (chrome://tracing / ui.perfetto.dev) of the run's pipeline\n"
       "  stages across all threads.\n"
+      "\n"
+      "  serve observability (DESIGN.md section 14): with --trace-out,\n"
+      "  --trace-sample N head-samples 1 in N queries into the trace\n"
+      "  (requests carrying a sampled `trace` wire field are always\n"
+      "  traced); the coordinator forwards the context to its shards, so\n"
+      "  per-process traces merge into one timeline with trace_merge.\n"
+      "  --slow-query-ms N logs queries at or over N ms end to end into\n"
+      "  a --slowlog-capacity ring, drained by the `slowlog` wire op;\n"
+      "  the `metrics` op serves the registry in Prometheus text form.\n"
       "\n"
       "  --parse-threads N (or a comma-separated --input list) runs the\n"
       "  parse front end in parallel: each document is split into\n"
@@ -699,6 +709,20 @@ QueryServerOptions ServerOptionsFromArgs(const Args& args) {
   }
   server_options.client_quota_qps = args.GetDouble("client-quota", 0.0);
   server_options.client_quota_burst = args.GetDouble("client-burst", 0.0);
+  // Observability (DESIGN.md section 14). Head sampling only records
+  // when the recorder is on, i.e. with --trace-out; slow-query logging
+  // is independent of tracing.
+  long trace_sample = args.GetLong("trace-sample", 0);
+  if (trace_sample > 0) {
+    server_options.trace_sample_every =
+        static_cast<uint64_t>(trace_sample);
+  }
+  server_options.slow_query_ms = args.GetLong("slow-query-ms", 0);
+  long slowlog_capacity = args.GetLong("slowlog-capacity", 0);
+  if (slowlog_capacity > 0) {
+    server_options.slow_query_log_capacity =
+        static_cast<size_t>(slowlog_capacity);
+  }
   return server_options;
 }
 
@@ -755,8 +779,10 @@ int RunCoordinator(const Args& args, const std::string& shards_csv) {
       [cluster](QueryKind kind, const std::string& text,
                 const std::optional<std::chrono::steady_clock::time_point>&
                     deadline,
-                const std::string& strategy_override) {
-        return cluster->Execute(kind, text, deadline, strategy_override);
+                const std::string& strategy_override,
+                const TraceContext& trace) {
+        return cluster->Execute(kind, text, deadline, strategy_override,
+                                trace);
       };
   server_options.stats_extra_fields = [cluster] {
     return cluster->StatsJsonFields();

@@ -1,0 +1,326 @@
+// trace_merge: aligns per-process Chrome trace files (written by
+// --trace-out on the coordinator and its shard workers) into one
+// timeline, so chrome://tracing / ui.perfetto.dev shows a distributed
+// query end to end — coordinator spans, per-attempt shard calls, and
+// the workers' own handler spans, joined by the trace_id each span
+// carries in its args.
+//
+//   trace_merge --out merged.json coordinator=coord.json
+//       shard1=worker1.json shard2=worker2.json
+//       [--offsets 0,NS1,NS2] [--probes ,HOST:PORT,HOST:PORT]
+//
+// Each input becomes its own pid (with a process_name metadata record),
+// so the merged view groups spans per process while counters and
+// thread names survive unchanged.
+//
+// Clock alignment: trace timestamps are steady-clock (CLOCK_MONOTONIC)
+// nanoseconds, which every process on one host shares — the common
+// case needs no correction. Across hosts, --offsets gives each input a
+// signed "that process's clock minus the first input's clock" value in
+// nanoseconds, subtracted from its timestamps; --probes measures the
+// offset live instead by sending the `health` wire op to the named
+// worker and reading its now_ns against the local RTT midpoint (the
+// same NTP-style estimate the coordinator records per shard in its
+// stats reply as clock_offsets_ns). An empty list entry means "no
+// correction for this input".
+//
+// The parser leans on the exact shape TraceRecorder::ToJson() emits —
+// one event object per line inside "traceEvents" — which is a fixed
+// contract of this repo, not general-purpose JSON handling.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_client.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "server/wire.h"
+
+namespace sketchtree {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_merge --out MERGED.json NAME=TRACE.json "
+      "[NAME=TRACE.json ...]\n"
+      "       [--offsets NS,NS,...]   per-input clock offset (that "
+      "process's\n"
+      "                               clock minus the first input's), "
+      "subtracted\n"
+      "                               from its timestamps; empty entry "
+      "= 0\n"
+      "       [--probes HOST:PORT,...] measure an input's offset live "
+      "via the\n"
+      "                               health op instead; empty entry "
+      "skips\n");
+  return 2;
+}
+
+struct Input {
+  std::string name;
+  std::string path;
+  int64_t offset_ns = 0;
+};
+
+/// Splits on commas, keeping empty entries ("a,,b" -> ["a","","b"]).
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(csv.substr(start));
+      return parts;
+    }
+    parts.push_back(csv.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+/// One health round trip to `address`; returns the worker's steady
+/// clock minus ours, estimated at the RTT midpoint.
+Result<int64_t> ProbeOffset(const std::string& address) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("probe address '" + address +
+                                   "' is not HOST:PORT");
+  }
+  ShardAddress addr;
+  addr.host = address.substr(0, colon);
+  addr.port = std::atoi(address.c_str() + colon + 1);
+  if (addr.port <= 0 || addr.port > 65535) {
+    return Status::InvalidArgument("bad probe port in '" + address + "'");
+  }
+  ShardClient client(addr);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  const uint64_t send_ns = NowNanos();
+  SKETCHTREE_ASSIGN_OR_RETURN(std::string reply,
+                              client.Call("{\"op\":\"health\"}", deadline));
+  const uint64_t recv_ns = NowNanos();
+  SKETCHTREE_ASSIGN_OR_RETURN(double worker_now,
+                              JsonFieldNumber(reply, "now_ns"));
+  const int64_t midpoint =
+      static_cast<int64_t>(send_ns + (recv_ns - send_ns) / 2);
+  return static_cast<int64_t>(worker_now) - midpoint;
+}
+
+/// Parses ToJson's "<us>.<nnn>" timestamp into nanoseconds. Returns -1
+/// on malformed input.
+int64_t ParseTsNs(const std::string& text, size_t begin, size_t end) {
+  int64_t us = 0;
+  int64_t ns = 0;
+  size_t i = begin;
+  bool any = false;
+  for (; i < end && text[i] >= '0' && text[i] <= '9'; ++i) {
+    us = us * 10 + (text[i] - '0');
+    any = true;
+  }
+  if (!any) return -1;
+  if (i < end && text[i] == '.') {
+    int digits = 0;
+    for (++i; i < end && text[i] >= '0' && text[i] <= '9'; ++i, ++digits) {
+      ns = ns * 10 + (text[i] - '0');
+    }
+    for (; digits < 3; ++digits) ns *= 10;
+  }
+  return us * 1000 + ns;
+}
+
+/// Rewrites one event line for the merged file: remaps pid 1 to this
+/// input's pid and shifts "ts" by -offset_ns (clamped at zero — an
+/// event from before the reference clock's origin has no meaningful
+/// position anyway). Durations are clock-independent and untouched.
+std::string RewriteEvent(const std::string& event, int pid,
+                         int64_t offset_ns) {
+  std::string out = event;
+  const std::string pid_old = "\"pid\": 1";
+  size_t at = out.find(pid_old);
+  if (at != std::string::npos) {
+    out = out.substr(0, at) + "\"pid\": " + std::to_string(pid) +
+          out.substr(at + pid_old.size());
+  }
+  if (offset_ns != 0) {
+    const std::string ts_key = "\"ts\": ";
+    size_t ts_at = out.find(ts_key);
+    if (ts_at != std::string::npos) {
+      size_t num_begin = ts_at + ts_key.size();
+      size_t num_end = num_begin;
+      while (num_end < out.size() &&
+             (out[num_end] == '.' ||
+              (out[num_end] >= '0' && out[num_end] <= '9'))) {
+        ++num_end;
+      }
+      int64_t ts_ns = ParseTsNs(out, num_begin, num_end);
+      if (ts_ns >= 0) {
+        int64_t shifted = ts_ns - offset_ns;
+        if (shifted < 0) shifted = 0;
+        char buf[48];
+        std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", shifted / 1000,
+                      static_cast<int>(shifted % 1000));
+        out = out.substr(0, num_begin) + buf + out.substr(num_end);
+      }
+    }
+  }
+  return out;
+}
+
+/// Appends every event of one trace file to `merged`, pid-remapped and
+/// clock-shifted, preceded by a process_name metadata record.
+Status MergeFile(const Input& input, int pid, bool* first,
+                 std::string* merged) {
+  std::ifstream in(input.path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open trace file '" + input.path + "'");
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+
+  const std::string marker = "\"traceEvents\": [";
+  size_t begin = text.find(marker);
+  if (begin == std::string::npos) {
+    return Status::Corruption("'" + input.path +
+                              "' has no traceEvents array");
+  }
+  begin += marker.size();
+  size_t end = text.find("\n]", begin);
+  if (end == std::string::npos) end = begin;  // Empty trace: "[]".
+
+  auto append = [&](const std::string& event) {
+    *merged += *first ? "\n" : ",\n";
+    *first = false;
+    *merged += event;
+  };
+  append("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(pid) + ", \"args\": {\"name\": \"" + input.name +
+         "\"}}");
+
+  size_t line_start = begin;
+  size_t events = 0;
+  while (line_start < end) {
+    size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos || line_end > end) line_end = end;
+    size_t first_char = line_start;
+    while (first_char < line_end &&
+           (text[first_char] == ' ' || text[first_char] == '\n')) {
+      ++first_char;
+    }
+    if (first_char < line_end && text[first_char] == '{') {
+      size_t last = line_end;
+      while (last > first_char && (text[last - 1] == ',' ||
+                                   text[last - 1] == '\r')) {
+        --last;
+      }
+      append(RewriteEvent(text.substr(first_char, last - first_char), pid,
+                          input.offset_ns));
+      ++events;
+    }
+    line_start = line_end + 1;
+  }
+  std::fprintf(stderr, "%s: %zu events from %s (offset %" PRId64 " ns)\n",
+               input.name.c_str(), events, input.path.c_str(),
+               input.offset_ns);
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  std::string out_path;
+  std::string offsets_csv;
+  std::string probes_csv;
+  std::vector<Input> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--out" || arg == "--offsets" || arg == "--probes") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        return Usage();
+      }
+      std::string value = argv[++i];
+      if (arg == "--out") out_path = value;
+      if (arg == "--offsets") offsets_csv = value;
+      if (arg == "--probes") probes_csv = value;
+      continue;
+    }
+    size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+      std::fprintf(stderr, "error: input '%s' is not NAME=PATH\n",
+                   arg.c_str());
+      return Usage();
+    }
+    Input input;
+    input.name = arg.substr(0, eq);
+    input.path = arg.substr(eq + 1);
+    inputs.push_back(std::move(input));
+  }
+  if (out_path.empty() || inputs.empty()) return Usage();
+
+  if (!offsets_csv.empty()) {
+    std::vector<std::string> offsets = SplitCsv(offsets_csv);
+    if (offsets.size() > inputs.size()) {
+      std::fprintf(stderr, "error: more --offsets than inputs\n");
+      return Usage();
+    }
+    for (size_t i = 0; i < offsets.size(); ++i) {
+      if (offsets[i].empty()) continue;
+      inputs[i].offset_ns = std::strtoll(offsets[i].c_str(), nullptr, 10);
+    }
+  }
+  if (!probes_csv.empty()) {
+    std::vector<std::string> probes = SplitCsv(probes_csv);
+    if (probes.size() > inputs.size()) {
+      std::fprintf(stderr, "error: more --probes than inputs\n");
+      return Usage();
+    }
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (probes[i].empty()) continue;
+      Result<int64_t> offset = ProbeOffset(probes[i]);
+      if (!offset.ok()) {
+        // Best-effort: a worker that already exited keeps offset 0
+        // (same-host merges need none), but say so.
+        std::fprintf(stderr, "warning: probe %s failed: %s\n",
+                     probes[i].c_str(),
+                     offset.status().ToString().c_str());
+        continue;
+      }
+      inputs[i].offset_ns = offset.value();
+    }
+  }
+
+  std::string merged = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    Status status = MergeFile(inputs[i], static_cast<int>(i) + 1, &first,
+                              &merged);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  merged += first ? "]}\n" : "\n]}\n";
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << merged;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "merged %zu traces into %s\n", inputs.size(),
+               out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sketchtree
+
+int main(int argc, char** argv) { return sketchtree::Run(argc, argv); }
