@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""CI validator for the persistent synopsis store (`--store`).
+
+Scenario: a live-ingest server persists its published epochs into a
+store directory (one full snapshot, then a delta chain) and saves its
+plan cache; the process is then SIGKILLed — no shutdown handler runs —
+and a fresh `serve --store DIR` must warm-restart from the newest
+persisted epoch and answer the first query bit-identically to the
+pre-kill answer, with `cache: hit` (the plan was restored from disk,
+not recompiled).
+
+Also drives `inspect --store DIR` over the surviving files: every
+epoch must verify (page CRCs), and the delta epochs must report their
+base chain.
+
+Usage:
+  check_store.py [--cli build/tools/sketchtree_cli]
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+server = None
+
+# 12 trees, published every 3: one full epoch, then deltas.
+FOREST = "<forest>" + "".join(
+    "<author><name/><affil/></author>"
+    "<book><title/><author/></book>"
+    "<article><author><name/><affil/></author><year/></article>"
+    for _ in range(4)) + "</forest>"
+TREES = 12
+QUERY = {"op": "count", "q": "author(name,affil)"}
+
+
+def fail(message):
+    print(f"check_store: FAIL: {message}", file=sys.stderr)
+    if server is not None and server.poll() is None:
+        server.kill()
+    sys.exit(1)
+
+
+def roundtrip(port, request):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    try:
+        sock.sendall(json.dumps(request).encode() + b"\n")
+        buffer = b""
+        while b"\n" not in buffer:
+            chunk = sock.recv(65536)
+            if not chunk:
+                fail(f"connection closed awaiting reply to {request}")
+            buffer += chunk
+        return json.loads(buffer.split(b"\n", 1)[0])
+    finally:
+        sock.close()
+
+
+def start_server(cli, extra_args, stderr_path):
+    global server
+    stderr_file = open(stderr_path, "w")
+    server = subprocess.Popen(
+        [cli, "serve", "--port", "0"] + extra_args,
+        stdout=subprocess.PIPE, stderr=stderr_file, text=True)
+    banner = server.stdout.readline()
+    match = re.match(r"serving on 127\.0\.0\.1:(\d+)", banner)
+    if not match:
+        fail(f"unexpected serve banner: {banner!r} "
+             f"(stderr: {open(stderr_path).read()!r})")
+    return int(match.group(1))
+
+
+def wait_for_stderr(stderr_path, needle, timeout_s=30):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        text = open(stderr_path).read()
+        if needle in text:
+            return text
+        if server.poll() is not None:
+            fail(f"server exited ({server.returncode}) before "
+                 f"{needle!r} appeared; stderr: {text!r}")
+        time.sleep(0.05)
+    fail(f"{needle!r} never appeared in {stderr_path}")
+
+
+def main():
+    global server
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--cli", default="build/tools/sketchtree_cli")
+    args = parser.parse_args()
+
+    tmp = tempfile.mkdtemp(prefix="check_store_")
+    forest = os.path.join(tmp, "forest.xml")
+    with open(forest, "w") as f:
+        f.write(FOREST)
+    store = os.path.join(tmp, "store")
+
+    # --- Run 1: live ingest, persisting every published epoch. -----------
+    port = start_server(
+        args.cli,
+        # --topk 0: with tracking on, this tiny corpus would be tracked
+        # in full and the deltas would carry no counter pages at all.
+        ["--input", forest, "--store", store, "--publish-every", "3",
+         "--topk", "0", "--plan-save-every-ms", "200"],
+        os.path.join(tmp, "run1.stderr"))
+    wait_for_stderr(os.path.join(tmp, "run1.stderr"), "ingest finished")
+
+    before = roundtrip(port, QUERY)
+    if not before.get("ok"):
+        fail(f"pre-kill query failed: {before}")
+    if before.get("trees") != TREES:
+        fail(f"pre-kill reply not at the final epoch: {before}")
+    if before.get("cache") != "miss":
+        fail(f"pre-kill query should be the compiling miss: {before}")
+
+    # Let the periodic saver flush the compiled plan, then crash hard:
+    # SIGKILL, so nothing that depends on a shutdown path may matter.
+    time.sleep(1.0)
+    if not os.path.exists(os.path.join(store, "plans.skpc")):
+        fail("plan cache file never appeared despite --plan-save-every-ms")
+    server.send_signal(signal.SIGKILL)
+    server.wait()
+
+    epochs = sorted(int(m.group(1)) for m in (
+        re.match(r"epoch-(\d+)\.sks3$", name)
+        for name in os.listdir(store)) if m)
+    if len(epochs) < 4:
+        fail(f"expected a full epoch plus >= 3 deltas in the store, "
+             f"found epoch files {epochs}")
+
+    # --- The surviving files verify, and the deltas report their chain. --
+    inspected = subprocess.run(
+        [args.cli, "inspect", "--store", store, "--json"],
+        capture_output=True, text=True)
+    if inspected.returncode != 0:
+        fail(f"inspect --store failed: {inspected.stderr}")
+    report = json.loads(inspected.stdout)
+    if not report.get("ok"):
+        fail(f"inspect --store found damage: {report}")
+    entries = report.get("epochs", [])
+    if [e.get("epoch") for e in entries] != epochs:
+        fail(f"inspect listed {entries} but the directory holds {epochs}")
+    if any(e.get("pages_ok") is not True for e in entries):
+        fail(f"inspect reports unverified pages: {entries}")
+    deltas = [e for e in entries if e.get("kind") == "delta"]
+    if len(deltas) < 3:
+        fail(f"expected >= 3 delta epochs, got: {entries}")
+    trees_at = {e["epoch"]: e.get("trees", 0) for e in entries}
+    for entry in deltas:
+        if entry.get("base_epoch", 0) != entry["epoch"] - 1:
+            fail(f"delta chain broken at {entry}")
+        # The final ingest epoch republishes an unchanged plane — an
+        # empty delta. Every delta that ingested trees must carry pages.
+        if (entry.get("counter_pages", 0) < 1 and
+                entry.get("trees") != trees_at.get(entry["epoch"] - 1)):
+            fail(f"delta epoch carries no dirty counter pages: {entry}")
+
+    # --- Run 2: warm restart from the store alone. -----------------------
+    stderr2 = os.path.join(tmp, "run2.stderr")
+    port = start_server(args.cli, ["--store", store], stderr2)
+    text = wait_for_stderr(stderr2, "warm restart: epoch")
+    if "plan cache: restored" not in wait_for_stderr(
+            stderr2, "plan cache: restored"):
+        fail(f"no plan-cache restore message; stderr: {text!r}")
+
+    after = roundtrip(port, QUERY)
+    if not after.get("ok"):
+        fail(f"post-restart query failed: {after}")
+    if after.get("cache") != "hit":
+        fail(f"first warm query recompiled its plan: {after}")
+    if after.get("estimate") != before.get("estimate"):
+        fail(f"warm restart changed the estimate: "
+             f"{before['estimate']} vs {after['estimate']}")
+    if after.get("trees") != TREES:
+        fail(f"warm restart lost trees: {after}")
+
+    if not roundtrip(port, {"op": "shutdown"}).get("ok"):
+        fail("shutdown op refused")
+    if server.wait(timeout=20) != 0:
+        fail(f"restarted server exited with status {server.returncode}")
+
+    shutil.rmtree(tmp, ignore_errors=True)
+    print("check_store: OK: ingest persisted 1 full + "
+          f"{len(deltas)} delta epochs, inspect verified every page, "
+          "SIGKILL survived, warm restart answered the first query "
+          "bit-identically from the restored plan cache (cache hit)")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,12 @@ struct CoordinatorOptions {
   /// giving up (every shard must answer once to establish the merged
   /// base and the synopsis options).
   int64_t startup_deadline_ms = 10000;
+  /// Refresh pulls send the last fully-materialized epoch per shard, so
+  /// workers that retain that epoch's plane reply with only the dirty
+  /// counter pages (a v3 delta image) instead of the full serialized
+  /// synopsis. Any delta that fails to apply falls back to one full
+  /// pull — correctness never depends on the cache.
+  bool delta_refresh = true;
 };
 
 /// The serving front end of a SketchTree cluster: owns one ShardClient
@@ -161,6 +167,17 @@ class Coordinator {
     std::atomic<int64_t> clock_offset_ns{0};
     Histogram* latency_us = nullptr;
 
+    /// Delta-refresh state: the plane of the last epoch fully
+    /// materialized from this shard — the base the next pull asks the
+    /// worker to diff against. Guarded by refresh_mu_ (only the
+    /// refresh path reads or writes it); null until the first full
+    /// pull, and reset whenever a delta fails to apply.
+    struct SnapCache {
+      uint64_t epoch = 0;
+      std::vector<double> plane;
+    };
+    std::unique_ptr<SnapCache> snap_cache;
+
     ShardState(const ShardAddress& addr, const CoordinatorOptions& options);
   };
 
@@ -227,6 +244,8 @@ class Coordinator {
   Counter* breaker_skips_;
   Counter* refresh_ok_;
   Counter* refresh_partial_;
+  Counter* refresh_deltas_;
+  Counter* refresh_delta_fallbacks_;
 };
 
 }  // namespace sketchtree

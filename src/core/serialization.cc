@@ -23,6 +23,12 @@ constexpr uint32_t kMagic = 0x53'4B'54'52;  // "SKTR".
 constexpr uint32_t kVersion = 2;
 constexpr size_t kCrcTrailerBytes = 4;
 
+// Meta blob of the v3 paged store (src/store/): the synopsis minus its
+// counter planes. No trailing CRC — every page the store embeds this in
+// carries its own CRC-32.
+constexpr uint32_t kMetaMagic = 0x53'4B'54'4D;  // "SKTM".
+constexpr uint32_t kMetaVersion = 3;
+
 void WriteOptions(const SketchTreeOptions& options, BinaryWriter* writer) {
   writer->WriteU32(static_cast<uint32_t>(options.max_pattern_edges));
   writer->WriteU32(static_cast<uint32_t>(options.s1));
@@ -135,6 +141,117 @@ Result<SketchTree> SketchTree::DeserializeFromString(
     return Status::InvalidArgument("trailing bytes after synopsis");
   }
   return sketch;
+}
+
+std::string SketchTree::SerializeMetaToString() const {
+  BinaryWriter writer;
+  writer.WriteU32(kMetaMagic);
+  writer.WriteU32(kMetaVersion);
+  WriteOptions(options_, &writer);
+  writer.WriteU64(trees_processed_);
+  writer.WriteU64(trees_removed_);
+  writer.WriteU64(patterns_removed_);
+  streams_->SaveMeta(&writer);
+  writer.WriteU8(summary_ != nullptr ? 1 : 0);
+  if (summary_ != nullptr) summary_->SaveState(&writer);
+  return writer.Release();
+}
+
+namespace {
+
+/// Decodes a meta blob's envelope and options; positions `reader` at the
+/// stream counters.
+Result<SketchTreeOptions> ReadMetaEnvelope(BinaryReader* reader) {
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t magic, reader->ReadU32());
+  if (magic != kMetaMagic) {
+    return Status::InvalidArgument(
+        "not a SketchTree snapshot meta blob (bad magic)");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t version, reader->ReadU32());
+  if (version != kMetaVersion) {
+    return Status::InvalidArgument("unsupported snapshot meta version " +
+                                   std::to_string(version));
+  }
+  return ReadOptions(reader);
+}
+
+bool SameSketchOptions(const SketchTreeOptions& a,
+                       const SketchTreeOptions& b) {
+  return a.max_pattern_edges == b.max_pattern_edges && a.s1 == b.s1 &&
+         a.s2 == b.s2 && a.num_virtual_streams == b.num_virtual_streams &&
+         a.topk_size == b.topk_size &&
+         a.topk_probability == b.topk_probability &&
+         a.fingerprint_degree == b.fingerprint_degree &&
+         a.independence == b.independence && a.seed == b.seed &&
+         a.sketch_seed == b.sketch_seed &&
+         a.build_structural_summary == b.build_structural_summary &&
+         a.summary_max_nodes == b.summary_max_nodes;
+}
+
+}  // namespace
+
+Result<SketchTree> SketchTree::FromMetaAndCounters(std::string_view meta,
+                                                   const double* plane,
+                                                   size_t count,
+                                                   bool attach) {
+  BinaryReader reader(meta);
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTreeOptions options,
+                              ReadMetaEnvelope(&reader));
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTree sketch, Create(options));
+  SKETCHTREE_ASSIGN_OR_RETURN(sketch.trees_processed_, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(sketch.trees_removed_, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(sketch.patterns_removed_, reader.ReadU64());
+  SKETCHTREE_RETURN_NOT_OK(sketch.streams_->LoadMeta(&reader));
+  SKETCHTREE_ASSIGN_OR_RETURN(uint8_t has_summary, reader.ReadU8());
+  if ((has_summary != 0) != (sketch.summary_ != nullptr)) {
+    return Status::InvalidArgument(
+        "summary presence flag conflicts with the serialized options");
+  }
+  if (sketch.summary_ != nullptr) {
+    SKETCHTREE_RETURN_NOT_OK(sketch.summary_->LoadState(&reader));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot meta");
+  }
+  if (attach) {
+    SKETCHTREE_RETURN_NOT_OK(sketch.streams_->AttachCounterPlane(plane,
+                                                                 count));
+  } else {
+    SKETCHTREE_RETURN_NOT_OK(sketch.streams_->LoadCounterPlane(plane,
+                                                               count));
+  }
+  return sketch;
+}
+
+Status SketchTree::LoadMetaFromString(std::string_view meta) {
+  BinaryReader reader(meta);
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTreeOptions options,
+                              ReadMetaEnvelope(&reader));
+  if (!SameSketchOptions(options, options_)) {
+    return Status::InvalidArgument(
+        "snapshot meta was written under different synopsis options");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(trees_processed_, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(trees_removed_, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(patterns_removed_, reader.ReadU64());
+  SKETCHTREE_RETURN_NOT_OK(streams_->LoadMeta(&reader));
+  SKETCHTREE_ASSIGN_OR_RETURN(uint8_t has_summary, reader.ReadU8());
+  if ((has_summary != 0) != (summary_ != nullptr)) {
+    return Status::InvalidArgument(
+        "summary presence flag conflicts with the synopsis options");
+  }
+  if (summary_ != nullptr) {
+    // LoadState requires a pristine summary; replace-in-place is the
+    // delta-application path, so rebuild it before loading.
+    StructuralSummary::Options summary_options;
+    summary_options.max_nodes = options_.summary_max_nodes;
+    summary_ = std::make_unique<StructuralSummary>(summary_options);
+    SKETCHTREE_RETURN_NOT_OK(summary_->LoadState(&reader));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot meta");
+  }
+  return Status::OK();
 }
 
 Status SketchTree::SaveToFile(const std::string& path) const {

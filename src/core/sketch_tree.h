@@ -173,6 +173,42 @@ class SketchTree {
   /// accepts damaged bytes.
   static Result<SketchTree> DeserializeFromString(std::string_view bytes);
 
+  /// The non-counter mutable state — options, stream counters, top-k
+  /// entries, structural summary — as a self-contained blob: the "meta"
+  /// half of the v3 paged snapshot format (src/store/), which pages the
+  /// counter planes out separately as page-aligned blocks. No checksum:
+  /// the paged store checksums every page it embeds this in.
+  std::string SerializeMetaToString() const;
+
+  /// Rebuilds a synopsis from a SerializeMetaToString blob plus a full
+  /// counter plane (CounterPlaneDoubles() doubles, stream-major). With
+  /// `attach` false the plane is copied; with `attach` true the synopsis
+  /// reads the caller's memory directly (an mmap'd snapshot — the
+  /// caller keeps it alive and unchanged; any mutation copies-on-write
+  /// first). Both forms produce bit-identical estimates to the v2
+  /// deserialize path.
+  static Result<SketchTree> FromMetaAndCounters(std::string_view meta,
+                                                const double* plane,
+                                                size_t count,
+                                                bool attach = false);
+
+  /// Replaces this synopsis's meta state in place with a blob written
+  /// under the *same options* (delta-epoch application: counters are
+  /// patched separately, meta is replaced wholesale).
+  Status LoadMetaFromString(std::string_view meta);
+
+  /// Counter-plane bulk access, forwarded to VirtualStreams — the unit
+  /// the paged store serializes, diffs, and maps.
+  size_t CounterPlaneDoubles() const {
+    return streams_->CounterPlaneDoubles();
+  }
+  void CopyCounterPlane(double* out) const {
+    streams_->CopyCounterPlane(out);
+  }
+  Status LoadCounterPlane(const double* data, size_t count) {
+    return streams_->LoadCounterPlane(data, count);
+  }
+
   /// Atomically persists the synopsis: write to `path`.tmp, fsync,
   /// rename over `path`, fsync the directory. A crash mid-save leaves
   /// the previous file intact.

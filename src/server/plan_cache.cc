@@ -89,4 +89,17 @@ size_t PlanCache::size() const {
   return total;
 }
 
+std::vector<std::pair<std::string, std::shared_ptr<const CompiledQuery>>>
+PlanCache::Entries() const {
+  std::vector<std::pair<std::string, std::shared_ptr<const CompiledQuery>>>
+      entries;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
+      entries.push_back(*it);
+    }
+  }
+  return entries;
+}
+
 }  // namespace sketchtree

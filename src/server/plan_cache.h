@@ -58,6 +58,12 @@ class PlanCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// Every cached entry, least recently used first within each shard —
+  /// the order plan persistence (plan_store.h) saves in, so re-Putting
+  /// a loaded file in sequence reproduces each shard's LRU order.
+  std::vector<std::pair<std::string, std::shared_ptr<const CompiledQuery>>>
+  Entries() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;

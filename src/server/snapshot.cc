@@ -1,6 +1,7 @@
 #include "server/snapshot.h"
 
 #include "metrics/metrics.h"
+#include "store/page_format.h"
 #include "trace/trace.h"
 
 namespace sketchtree {
@@ -15,6 +16,16 @@ uint64_t SnapshotPublisher::Publish(SketchTree sketch) {
     snapshot = std::make_shared<const SketchSnapshot>(epoch,
                                                       std::move(sketch));
     current_ = std::move(snapshot);
+    if (retain_epochs_ > 0) {
+      auto retained = std::make_shared<RetainedPlane>();
+      retained->epoch = epoch;
+      retained->plane.resize(current_->sketch.CounterPlaneDoubles());
+      current_->sketch.CopyCounterPlane(retained->plane.data());
+      retained->plane_crc =
+          PlaneCrc(retained->plane.data(), retained->plane.size());
+      retained_.push_back(std::move(retained));
+      while (retained_.size() > retain_epochs_) retained_.pop_front();
+    }
   }
   GlobalMetrics().GetCounter("server.snapshots_published")->Increment();
   GlobalMetrics()
@@ -39,6 +50,26 @@ std::shared_ptr<const SketchSnapshot> SnapshotPublisher::Current() const {
 uint64_t SnapshotPublisher::current_epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_ == nullptr ? 0 : current_->epoch;
+}
+
+void SnapshotPublisher::SetNextEpoch(uint64_t next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next > next_epoch_) next_epoch_ = next;
+}
+
+void SnapshotPublisher::RetainPlanes(size_t epochs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  retain_epochs_ = epochs;
+  while (retained_.size() > retain_epochs_) retained_.pop_front();
+}
+
+std::shared_ptr<const RetainedPlane> SnapshotPublisher::RetainedFor(
+    uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& retained : retained_) {
+    if (retained->epoch == epoch) return retained;
+  }
+  return nullptr;
 }
 
 }  // namespace sketchtree

@@ -2,8 +2,10 @@
 #define SKETCHTREE_SERVER_SNAPSHOT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "common/status.h"
 #include "common/timer.h"
@@ -30,6 +32,18 @@ struct SketchSnapshot {
         trees_processed(sketch_in.Stats().trees_processed),
         published_ns(NowNanos()),
         sketch(std::move(sketch_in)) {}
+};
+
+/// One retained counter plane of a recently published epoch — what the
+/// worker diffs against to answer a delta-mode shard_snapshot pull
+/// (the coordinator names its last-seen epoch; the worker replies with
+/// only the pages that changed since). Immutable once retained.
+struct RetainedPlane {
+  uint64_t epoch = 0;
+  /// CRC-32 over the raw plane bytes — the chain stamp the v3 delta
+  /// format uses to refuse application to a stale base.
+  uint32_t plane_crc = 0;
+  std::vector<double> plane;
 };
 
 /// Epoch-published snapshot exchange between one ingest thread and many
@@ -60,10 +74,28 @@ class SnapshotPublisher {
   /// Epoch of the current snapshot (0 before the first Publish).
   uint64_t current_epoch() const;
 
+  /// Makes the next Publish stamp epoch `next` (must exceed every epoch
+  /// published so far). A server warm-restarting from a synopsis store
+  /// calls this with the store's newest epoch + 1, so epoch numbering
+  /// survives the restart and clients never see it run backwards.
+  void SetNextEpoch(uint64_t next);
+
+  /// Keeps the counter planes of the last `epochs` published snapshots
+  /// (0 disables, the default — retention costs one plane copy per
+  /// publish). Workers enable this to answer delta-mode shard_snapshot
+  /// pulls against any base still in the ring.
+  void RetainPlanes(size_t epochs);
+
+  /// The retained plane of `epoch`, or nullptr if retention is off or
+  /// the epoch has aged out of the ring.
+  std::shared_ptr<const RetainedPlane> RetainedFor(uint64_t epoch) const;
+
  private:
   mutable std::mutex mu_;
   std::shared_ptr<const SketchSnapshot> current_;
   uint64_t next_epoch_ = 1;
+  size_t retain_epochs_ = 0;
+  std::deque<std::shared_ptr<const RetainedPlane>> retained_;
 };
 
 }  // namespace sketchtree

@@ -18,6 +18,7 @@
 #include "common/timer.h"
 #include "server/compiled_query.h"
 #include "sketch/kernel_dispatch.h"
+#include "store/page_format.h"
 #include "trace/trace.h"
 
 namespace sketchtree {
@@ -723,9 +724,36 @@ void QueryServer::HandleRequest(const std::shared_ptr<Connection>& conn,
                   /*ok=*/true);
       return;
     }
-    // shard_snapshot: the merge-at-publish pull. The serialized synopsis
-    // is the checkpoint format, so a coordinator can also hand it to a
-    // fresh worker (shard handoff).
+    // shard_snapshot: the merge-at-publish pull. Delta mode first: when
+    // the coordinator names a base epoch whose plane the publisher
+    // still retains, reply with a v3 counter-diff image — only the
+    // pages dirtied since that epoch cross the wire. Any miss (ring
+    // aged out, retention off, dimension drift) falls through to the
+    // full reply, which the coordinator always accepts.
+    if (request.base_epoch != 0) {
+      std::shared_ptr<const RetainedPlane> base =
+          service_->snapshots().RetainedFor(request.base_epoch);
+      size_t doubles = snapshot->sketch.CounterPlaneDoubles();
+      if (base != nullptr && base->plane.size() == doubles) {
+        std::vector<double> plane(doubles);
+        snapshot->sketch.CopyCounterPlane(plane.data());
+        std::string image = EncodeDeltaSnapshotImage(
+            snapshot->sketch.SerializeMetaToString(), plane.data(),
+            base->plane.data(), doubles, snapshot->epoch,
+            snapshot->trees_processed, base->epoch, base->plane_crc,
+            /*chain_depth=*/1);
+        GlobalMetrics().GetCounter("server.shard_snapshot_deltas")
+            ->Increment();
+        SendCounted(conn,
+                    FormatShardDeltaReply(request.id_json, snapshot->epoch,
+                                          snapshot->trees_processed,
+                                          base->epoch, Base64Encode(image)),
+                    /*ok=*/true);
+        return;
+      }
+    }
+    // The serialized synopsis is the checkpoint format, so a
+    // coordinator can also hand it to a fresh worker (shard handoff).
     std::string bytes = snapshot->sketch.SerializeToString();
     SendCounted(conn,
                 FormatShardSnapshotReply(request.id_json, snapshot->epoch,

@@ -12,6 +12,7 @@ SketchArray::SketchArray(int s1, int s2, int independence, uint64_t base_seed)
   assert(s1 >= 1 && s2 >= 1 && independence >= 2);
   const size_t n = static_cast<size_t>(s1) * s2;
   counters_.assign(n, 0.0);
+  read_ = counters_.data();
   coeffs_.resize(static_cast<size_t>(independence) * n);
   scratch_.resize(n);
   // Instance inst = i * s1 + j draws its coefficients from the same PRNG
@@ -32,6 +33,7 @@ void SketchArray::UpdateBatch(std::span<const uint64_t> values,
                               double weight) {
   constexpr uint64_t kPrime = KWiseHash::kPrime;
   const size_t n = num_instances();
+  EnsureOwnedCounters();  // Never write through an attached (mapped) plane.
 #ifdef SKETCHTREE_HAVE_AVX2_KERNEL
   // The AVX2 kernel applies exactly the same per-counter add sequence as
   // the scalar loop below (differential-tested), so dispatch never

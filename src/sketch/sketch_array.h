@@ -28,6 +28,25 @@ class SketchArray {
  public:
   SketchArray(int s1, int s2, int independence, uint64_t base_seed);
 
+  // Moves keep `read_` valid without fixup: a vector move transfers the
+  // heap buffer, so an owned read pointer still points at the (now
+  // moved-to) plane, and an external one stays external. Copies must
+  // re-point an owned read pointer at the copied plane.
+  SketchArray(SketchArray&&) = default;
+  SketchArray& operator=(SketchArray&&) = default;
+  SketchArray(const SketchArray& other)
+      : s1_(other.s1_),
+        s2_(other.s2_),
+        independence_(other.independence_),
+        counters_(other.counters_),
+        coeffs_(other.coeffs_),
+        scratch_(other.scratch_),
+        read_(other.counters_external() ? other.read_ : counters_.data()) {}
+  SketchArray& operator=(const SketchArray& other) {
+    if (this != &other) *this = SketchArray(other);
+    return *this;
+  }
+
   int s1() const { return s1_; }
   int s2() const { return s2_; }
   int independence() const { return independence_; }
@@ -43,13 +62,46 @@ class SketchArray {
   /// in a tight loop over the contiguous coefficient matrix.
   void UpdateBatch(std::span<const uint64_t> values, double weight = 1.0);
 
-  /// Instance (i, j)'s projection value X.
-  double value(int i, int j) const { return counters_[Index(i, j)]; }
+  /// Instance (i, j)'s projection value X. Reads through `read_`, which
+  /// points either at the owned plane or at an attached external one
+  /// (an mmap'd snapshot page) — the estimate path is identical either
+  /// way, which is what makes mapped and deserialized snapshots produce
+  /// bit-identical answers.
+  double value(int i, int j) const { return read_[Index(i, j)]; }
 
   /// Overwrites instance (i, j)'s X directly — used by synopsis
   /// deserialization and merging (the xi families are rebuilt from the
   /// seed, so the counter plane is the whole mutable state).
-  void set_value(int i, int j, double x) { counters_[Index(i, j)] = x; }
+  void set_value(int i, int j, double x) {
+    EnsureOwnedCounters();
+    counters_[Index(i, j)] = x;
+  }
+
+  /// The counter plane as a contiguous row-major array of s2*s1 doubles
+  /// — the unit the paged snapshot store pages out and maps back in.
+  const double* counter_data() const { return read_; }
+  size_t counter_count() const { return counters_.size(); }
+
+  /// Points the read path at an external, caller-owned plane of s2*s1
+  /// doubles (a counter block inside a memory-mapped snapshot). The
+  /// array becomes a read-only view: any subsequent write (Update,
+  /// set_value, bulk load) first copies the external plane into owned
+  /// storage, so attached storage is never written through. The caller
+  /// keeps `external` alive (and unchanged) for as long as the array —
+  /// or anything moved from it — may read.
+  void AttachCounters(const double* external) { read_ = external; }
+
+  /// True when reads come from caller-owned storage (AttachCounters).
+  bool counters_external() const { return read_ != counters_.data(); }
+
+  /// Copy-on-write seam: materializes an attached external plane into
+  /// the owned vector so writes cannot touch mapped memory.
+  void EnsureOwnedCounters() {
+    if (counters_external()) {
+      std::copy(read_, read_ + counters_.size(), counters_.begin());
+      read_ = counters_.data();
+    }
+  }
 
   /// The ±1 variable xi_v of instance (i, j). Not stored — recomputed
   /// from the coefficient matrix during query processing, exactly as the
@@ -84,6 +136,9 @@ class SketchArray {
   /// instance inst's degree-c coefficient (n = s1 * s2 instances).
   std::vector<uint64_t> coeffs_;
   std::vector<uint64_t> scratch_;  // Horner accumulators, one per instance.
+  /// Where value() reads from: counters_.data() (owned) or an attached
+  /// external plane (a mapped snapshot's counter block).
+  const double* read_ = nullptr;
 };
 
 /// Average-of-s1 / median-of-s2 boosting over arbitrary per-instance

@@ -1,0 +1,61 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "faultinject/fault_injector.h"
+
+namespace sketchtree {
+
+Result<MmapFile> MmapFile::Map(const std::string& path) {
+  if (FaultInjector::Global().ShouldFire(FaultSite::kStoreMmapFail)) {
+    return Status::IOError("injected mmap failure for '" + path + "'");
+  }
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound("no such file '" + path + "'");
+    }
+    return Status::IOError("open('" + path +
+                           "') failed: " + std::strerror(err));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("fstat('" + path +
+                           "') failed: " + std::strerror(err));
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot map empty file '" + path + "'");
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping outlives the descriptor either way.
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    return Status::IOError("mmap('" + path +
+                           "') failed: " + std::strerror(errno));
+  }
+  MmapFile file;
+  file.data_ = static_cast<const char*>(base);
+  file.size_ = size;
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,61 @@
+#ifndef SKETCHTREE_STORE_MMAP_FILE_H_
+#define SKETCHTREE_STORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// Read-only memory mapping of a whole file, the zero-copy substrate of
+/// the paged snapshot store: a mapped v3 snapshot's counter pages *are*
+/// the synopsis's counter plane, so warm restart skips the per-double
+/// deserialize entirely (DESIGN.md section 15).
+///
+/// Movable, not copyable; unmaps on destruction. The mapping is private
+/// to this process and never written through — mutation of an attached
+/// synopsis copies-on-write at the sketch layer instead.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. NotFound when the file does not exist,
+  /// InvalidArgument when it is empty (nothing to map), IOError when
+  /// open/stat/mmap fail — including the kStoreMmapFail injected
+  /// failure — so callers can fall back to the portable
+  /// read-and-deserialize path.
+  static Result<MmapFile> Map(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile() { Reset(); }
+
+  MmapFile(MmapFile&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MmapFile& operator=(MmapFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view view() const { return std::string_view(data_, size_); }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void Reset();
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_STORE_MMAP_FILE_H_

@@ -1,0 +1,473 @@
+#include "store/page_format.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/crc32.h"
+#include "faultinject/fault_injector.h"
+
+namespace sketchtree {
+
+// Counter pages are raw in-memory doubles; the format pins them
+// little-endian so a mapped file is directly usable as the plane.
+static_assert(std::endian::native == std::endian::little,
+              "the v3 paged snapshot format stores counter pages as raw "
+              "little-endian doubles; big-endian hosts must use the v2 "
+              "serialized path");
+static_assert(sizeof(double) == 8, "counter pages assume 8-byte doubles");
+
+namespace {
+
+std::string_view BytesOf(const double* plane, size_t count) {
+  return std::string_view(reinterpret_cast<const char*>(plane),
+                          count * sizeof(double));
+}
+
+size_t PagesFor(size_t bytes) {
+  return (bytes + kPagedPageSize - 1) / kPagedPageSize;
+}
+
+void EncodeHeader(const PagedHeader& header, std::string* out) {
+  BinaryWriter writer;
+  writer.WriteU32(kPagedMagic);
+  writer.WriteU32(kPagedVersion);
+  writer.WriteU32(kPagedPageSize);
+  writer.WriteU32(header.flags);
+  writer.WriteU64(header.epoch);
+  writer.WriteU64(header.trees_processed);
+  writer.WriteU64(header.base_epoch);
+  writer.WriteU32(header.base_plane_crc);
+  writer.WriteU32(header.plane_crc);
+  writer.WriteU64(header.counter_doubles);
+  writer.WriteU32(header.chain_depth);
+  writer.WriteU32(header.page_count);
+  writer.WriteU64(header.dir_offset);
+  writer.WriteU64(header.dir_length);
+  writer.WriteU32(header.dir_crc);
+  writer.WriteU64(header.meta_length);
+  writer.WriteU32(0);  // reserved — pads the CRC-covered prefix to 96 bytes
+  writer.WriteU32(Crc32(writer.buffer()));
+  std::string encoded = writer.Release();
+  out->append(encoded);
+  out->append(kPagedPageSize - encoded.size(), '\0');
+}
+
+std::string EncodeDirectory(const std::vector<PageEntry>& entries) {
+  BinaryWriter writer;
+  for (const PageEntry& entry : entries) {
+    writer.WriteU32(entry.page_id);
+    writer.WriteU32(static_cast<uint32_t>(entry.kind));
+    writer.WriteU64(entry.file_offset);
+    writer.WriteU32(entry.payload_length);
+    writer.WriteU32(entry.crc);
+  }
+  return writer.Release();
+}
+
+/// Assembles header + directory + payload pages into one image. The
+/// payload entries must already carry their page_id/kind/length/crc;
+/// this fills in file offsets (meta pages first, then counter pages,
+/// in the order given).
+std::string AssembleImage(PagedHeader header, std::vector<PageEntry> entries,
+                          const std::vector<std::string_view>& payloads) {
+  header.page_count = static_cast<uint32_t>(entries.size());
+  header.dir_offset = kPagedPageSize;
+  header.dir_length = entries.size() * kPagedDirEntryBytes;
+  size_t dir_pages = PagesFor(header.dir_length);
+  size_t offset = kPagedPageSize * (1 + dir_pages);
+  for (PageEntry& entry : entries) {
+    entry.file_offset = offset;
+    offset += kPagedPageSize;
+  }
+  std::string directory = EncodeDirectory(entries);
+  header.dir_crc = Crc32(directory);
+
+  std::string image;
+  image.reserve(offset);
+  EncodeHeader(header, &image);
+  image.append(directory);
+  image.append(kPagedPageSize * dir_pages - directory.size(), '\0');
+  for (size_t i = 0; i < entries.size(); ++i) {
+    image.append(payloads[i]);
+    image.append(kPagedPageSize - payloads[i].size(), '\0');
+  }
+  return image;
+}
+
+/// Splits the meta blob and the given counter page set into directory
+/// entries + payload views, shared by the full and delta encoders.
+/// `counter_page_ids` selects which plane pages to emit.
+std::string EncodeImage(PagedHeader header, std::string_view meta,
+                        const double* plane, size_t plane_doubles,
+                        const std::vector<uint32_t>& counter_page_ids) {
+  header.meta_length = meta.size();
+  header.counter_doubles = plane_doubles;
+
+  std::vector<PageEntry> entries;
+  std::vector<std::string_view> payloads;
+  size_t meta_pages = PagesFor(meta.size());
+  entries.reserve(meta_pages + counter_page_ids.size());
+  payloads.reserve(meta_pages + counter_page_ids.size());
+  for (size_t i = 0; i < meta_pages; ++i) {
+    std::string_view slice = meta.substr(
+        i * kPagedPageSize, std::min<size_t>(kPagedPageSize,
+                                             meta.size() - i * kPagedPageSize));
+    PageEntry entry;
+    entry.page_id = static_cast<uint32_t>(i);
+    entry.kind = PageKind::kMeta;
+    entry.payload_length = static_cast<uint32_t>(slice.size());
+    entry.crc = Crc32(slice);
+    entries.push_back(entry);
+    payloads.push_back(slice);
+  }
+  std::string_view plane_bytes = BytesOf(plane, plane_doubles);
+  for (uint32_t page_id : counter_page_ids) {
+    size_t begin = static_cast<size_t>(page_id) * kPagedPageSize;
+    std::string_view slice = plane_bytes.substr(
+        begin, std::min<size_t>(kPagedPageSize, plane_bytes.size() - begin));
+    PageEntry entry;
+    entry.page_id = page_id;
+    entry.kind = PageKind::kCounters;
+    entry.payload_length = static_cast<uint32_t>(slice.size());
+    entry.crc = Crc32(slice);
+    entries.push_back(entry);
+    payloads.push_back(slice);
+  }
+  return AssembleImage(std::move(header), std::move(entries), payloads);
+}
+
+Result<PagedHeader> ParseHeader(std::string_view bytes) {
+  if (bytes.size() < kPagedHeaderBytes) {
+    return Status::OutOfRange("paged snapshot shorter than its header (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  BinaryReader reader(bytes.substr(0, kPagedHeaderBytes));
+  PagedHeader header;
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kPagedMagic) {
+    return Status::InvalidArgument("not a paged snapshot (bad magic)");
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kPagedVersion) {
+    return Status::InvalidArgument("unsupported paged snapshot version " +
+                                   std::to_string(version));
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t page_size, reader.ReadU32());
+  if (page_size != kPagedPageSize) {
+    return Status::InvalidArgument("unsupported page size " +
+                                   std::to_string(page_size));
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(header.flags, reader.ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.epoch, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.trees_processed, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.base_epoch, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.base_plane_crc, reader.ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.plane_crc, reader.ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.counter_doubles, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.chain_depth, reader.ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.page_count, reader.ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.dir_offset, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.dir_length, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.dir_crc, reader.ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(header.meta_length, reader.ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t reserved, reader.ReadU32());
+  (void)reserved;
+  uint32_t stored_crc = 0;
+  SKETCHTREE_ASSIGN_OR_RETURN(stored_crc, reader.ReadU32());
+  uint32_t computed = Crc32(bytes.substr(0, kPagedHeaderBytes - 4));
+  if (stored_crc != computed) {
+    return Status::Corruption("paged snapshot header checksum mismatch");
+  }
+  if (header.is_delta() == (header.chain_depth == 0)) {
+    return Status::Corruption("paged snapshot delta flag disagrees with "
+                              "chain depth " +
+                              std::to_string(header.chain_depth));
+  }
+  return header;
+}
+
+}  // namespace
+
+bool IsPagedSnapshot(std::string_view bytes) {
+  if (bytes.size() < 4) return false;
+  uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  return magic == kPagedMagic;
+}
+
+uint32_t PlaneCrc(const double* plane, size_t count) {
+  return Crc32(BytesOf(plane, count));
+}
+
+std::string EncodeFullSnapshotImage(std::string_view meta, const double* plane,
+                                    size_t plane_doubles, uint64_t epoch,
+                                    uint64_t trees_processed) {
+  PagedHeader header;
+  header.epoch = epoch;
+  header.trees_processed = trees_processed;
+  header.plane_crc = PlaneCrc(plane, plane_doubles);
+  std::vector<uint32_t> page_ids;
+  size_t plane_pages = PagesFor(plane_doubles * sizeof(double));
+  page_ids.reserve(plane_pages);
+  for (size_t i = 0; i < plane_pages; ++i) {
+    page_ids.push_back(static_cast<uint32_t>(i));
+  }
+  return EncodeImage(header, meta, plane, plane_doubles, page_ids);
+}
+
+std::string EncodeDeltaSnapshotImage(std::string_view meta,
+                                     const double* plane,
+                                     const double* base_plane,
+                                     size_t plane_doubles, uint64_t epoch,
+                                     uint64_t trees_processed,
+                                     uint64_t base_epoch,
+                                     uint32_t base_plane_crc,
+                                     uint32_t chain_depth) {
+  PagedHeader header;
+  header.flags = kPagedFlagDelta;
+  header.epoch = epoch;
+  header.trees_processed = trees_processed;
+  header.base_epoch = base_epoch;
+  header.base_plane_crc = base_plane_crc;
+  header.plane_crc = PlaneCrc(plane, plane_doubles);
+  header.chain_depth = chain_depth;
+  if (FaultInjector::Global().ShouldFire(FaultSite::kStoreStaleDeltaBase)) {
+    header.base_plane_crc ^= 0xDEADBEEFu;
+  }
+
+  std::string_view now = BytesOf(plane, plane_doubles);
+  std::string_view then = BytesOf(base_plane, plane_doubles);
+  std::vector<uint32_t> dirty;
+  size_t plane_pages = PagesFor(now.size());
+  for (size_t i = 0; i < plane_pages; ++i) {
+    size_t begin = i * kPagedPageSize;
+    size_t length = std::min<size_t>(kPagedPageSize, now.size() - begin);
+    if (std::memcmp(now.data() + begin, then.data() + begin, length) != 0) {
+      dirty.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return EncodeImage(header, meta, plane, plane_doubles, dirty);
+}
+
+Result<ParsedSnapshot> ParsePagedSnapshot(std::string_view bytes,
+                                          PageVerify verify) {
+  ParsedSnapshot parsed;
+  SKETCHTREE_ASSIGN_OR_RETURN(parsed.header, ParseHeader(bytes));
+  const PagedHeader& header = parsed.header;
+
+  if (header.dir_offset + header.dir_length > bytes.size()) {
+    return Status::OutOfRange(
+        "paged snapshot truncated: directory ends at " +
+        std::to_string(header.dir_offset + header.dir_length) + " but file is " +
+        std::to_string(bytes.size()) + " bytes");
+  }
+  if (header.dir_length !=
+      static_cast<uint64_t>(header.page_count) * kPagedDirEntryBytes) {
+    return Status::Corruption("paged snapshot directory length disagrees "
+                              "with its page count");
+  }
+  std::string_view dir_bytes =
+      bytes.substr(header.dir_offset, header.dir_length);
+  if (Crc32(dir_bytes) != header.dir_crc) {
+    return Status::Corruption("paged snapshot directory checksum mismatch");
+  }
+
+  BinaryReader dir(dir_bytes);
+  std::vector<ParsedPage> meta_pages;
+  uint64_t meta_bytes = 0;
+  uint64_t counter_bytes = 0;
+  for (uint32_t i = 0; i < header.page_count; ++i) {
+    PageEntry entry;
+    SKETCHTREE_ASSIGN_OR_RETURN(entry.page_id, dir.ReadU32());
+    SKETCHTREE_ASSIGN_OR_RETURN(uint32_t kind, dir.ReadU32());
+    SKETCHTREE_ASSIGN_OR_RETURN(entry.file_offset, dir.ReadU64());
+    SKETCHTREE_ASSIGN_OR_RETURN(entry.payload_length, dir.ReadU32());
+    SKETCHTREE_ASSIGN_OR_RETURN(entry.crc, dir.ReadU32());
+    if (kind != static_cast<uint32_t>(PageKind::kMeta) &&
+        kind != static_cast<uint32_t>(PageKind::kCounters)) {
+      return Status::Corruption("page " + std::to_string(entry.page_id) +
+                                " has unknown kind " + std::to_string(kind));
+    }
+    entry.kind = static_cast<PageKind>(kind);
+    // Every page occupies a full zero-padded 4 KiB slot, so a file
+    // that ends inside a slot is truncated even if the payload bytes
+    // themselves survived.
+    if (entry.payload_length > kPagedPageSize ||
+        entry.file_offset % kPagedPageSize != 0 ||
+        entry.file_offset + kPagedPageSize > bytes.size()) {
+      const char* what =
+          entry.kind == PageKind::kMeta ? "meta page " : "counter page ";
+      return Status::Corruption(
+          std::string(what) + std::to_string(entry.page_id) +
+          " lies outside the file (offset " +
+          std::to_string(entry.file_offset) + ", length " +
+          std::to_string(entry.payload_length) + ", file " +
+          std::to_string(bytes.size()) + " bytes)");
+    }
+    ParsedPage page;
+    page.entry = entry;
+    page.payload = bytes.substr(entry.file_offset, entry.payload_length);
+    if (entry.kind == PageKind::kMeta) {
+      // Meta is always verified — it is needed to build anything at all.
+      if (Crc32(page.payload) != entry.crc) {
+        return Status::Corruption("meta page " + std::to_string(entry.page_id) +
+                                  " checksum mismatch");
+      }
+      meta_bytes += entry.payload_length;
+      meta_pages.push_back(page);
+    } else {
+      if (verify == PageVerify::kAll && Crc32(page.payload) != entry.crc) {
+        return Status::Corruption("counter page " +
+                                  std::to_string(entry.page_id) +
+                                  " checksum mismatch");
+      }
+      counter_bytes += entry.payload_length;
+      parsed.counter_pages.push_back(page);
+    }
+  }
+
+  if (meta_bytes != header.meta_length) {
+    return Status::Corruption("meta pages hold " + std::to_string(meta_bytes) +
+                              " bytes but the header promises " +
+                              std::to_string(header.meta_length));
+  }
+  std::sort(meta_pages.begin(), meta_pages.end(),
+            [](const ParsedPage& a, const ParsedPage& b) {
+              return a.entry.page_id < b.entry.page_id;
+            });
+  parsed.meta.reserve(meta_bytes);
+  for (size_t i = 0; i < meta_pages.size(); ++i) {
+    if (meta_pages[i].entry.page_id != i) {
+      return Status::Corruption("meta page sequence has a gap at ordinal " +
+                                std::to_string(i));
+    }
+    parsed.meta.append(meta_pages[i].payload);
+  }
+
+  std::sort(parsed.counter_pages.begin(), parsed.counter_pages.end(),
+            [](const ParsedPage& a, const ParsedPage& b) {
+              return a.entry.page_id < b.entry.page_id;
+            });
+  uint64_t plane_bytes = header.counter_doubles * sizeof(double);
+  uint64_t plane_pages = PagesFor(plane_bytes);
+  for (size_t i = 0; i + 1 < parsed.counter_pages.size(); ++i) {
+    if (parsed.counter_pages[i].entry.page_id ==
+        parsed.counter_pages[i + 1].entry.page_id) {
+      return Status::Corruption(
+          "counter page " +
+          std::to_string(parsed.counter_pages[i].entry.page_id) +
+          " appears twice in the directory");
+    }
+  }
+  for (const ParsedPage& page : parsed.counter_pages) {
+    if (page.entry.page_id >= plane_pages) {
+      return Status::Corruption("counter page " +
+                                std::to_string(page.entry.page_id) +
+                                " exceeds the plane's " +
+                                std::to_string(plane_pages) + " pages");
+    }
+    size_t begin = static_cast<size_t>(page.entry.page_id) * kPagedPageSize;
+    size_t expect = std::min<uint64_t>(kPagedPageSize, plane_bytes - begin);
+    if (page.entry.payload_length != expect) {
+      return Status::Corruption(
+          "counter page " + std::to_string(page.entry.page_id) + " holds " +
+          std::to_string(page.entry.payload_length) + " bytes, expected " +
+          std::to_string(expect));
+    }
+  }
+  if (!header.is_delta()) {
+    if (parsed.counter_pages.size() != plane_pages ||
+        counter_bytes != plane_bytes) {
+      return Status::Corruption(
+          "full snapshot carries " +
+          std::to_string(parsed.counter_pages.size()) + " counter pages (" +
+          std::to_string(counter_bytes) + " bytes) but the plane needs " +
+          std::to_string(plane_pages) + " (" + std::to_string(plane_bytes) +
+          " bytes)");
+    }
+    parsed.counters_contiguous = !parsed.counter_pages.empty();
+    for (size_t i = 0; i < parsed.counter_pages.size(); ++i) {
+      if (parsed.counter_pages[i].entry.file_offset !=
+          parsed.counter_pages[0].entry.file_offset + i * kPagedPageSize) {
+        parsed.counters_contiguous = false;
+        break;
+      }
+    }
+    if (parsed.counters_contiguous) {
+      parsed.counters_offset = parsed.counter_pages[0].entry.file_offset;
+    }
+  }
+  return parsed;
+}
+
+Status VerifyCounterPages(const ParsedSnapshot& parsed) {
+  for (const ParsedPage& page : parsed.counter_pages) {
+    if (Crc32(page.payload) != page.entry.crc) {
+      return Status::Corruption("counter page " +
+                                std::to_string(page.entry.page_id) +
+                                " checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplyDeltaToPlane(const ParsedSnapshot& delta,
+                         std::vector<double>* plane) {
+  const PagedHeader& header = delta.header;
+  if (!header.is_delta()) {
+    return Status::InvalidArgument("ApplyDeltaToPlane on a full snapshot");
+  }
+  if (plane->size() != header.counter_doubles) {
+    return Status::InvalidArgument(
+        "delta for epoch " + std::to_string(header.epoch) + " covers " +
+        std::to_string(header.counter_doubles) + " doubles but the base has " +
+        std::to_string(plane->size()));
+  }
+  uint32_t have = PlaneCrc(plane->data(), plane->size());
+  if (have != header.base_plane_crc) {
+    return Status::Corruption(
+        "delta for epoch " + std::to_string(header.epoch) +
+        " was built against epoch " + std::to_string(header.base_epoch) +
+        " (plane crc " + std::to_string(header.base_plane_crc) +
+        ") but the supplied base hashes to " + std::to_string(have) +
+        " — stale or wrong base");
+  }
+  char* plane_bytes = reinterpret_cast<char*>(plane->data());
+  for (const ParsedPage& page : delta.counter_pages) {
+    size_t begin = static_cast<size_t>(page.entry.page_id) * kPagedPageSize;
+    std::memcpy(plane_bytes + begin, page.payload.data(),
+                page.payload.size());
+  }
+  uint32_t result = PlaneCrc(plane->data(), plane->size());
+  if (result != header.plane_crc) {
+    return Status::Corruption("plane after applying delta for epoch " +
+                              std::to_string(header.epoch) +
+                              " fails its checksum — damaged delta pages");
+  }
+  return Status::OK();
+}
+
+Status ExtractFullPlane(const ParsedSnapshot& full,
+                        std::vector<double>* plane) {
+  if (full.header.is_delta()) {
+    return Status::InvalidArgument(
+        "cannot extract a full plane from a delta snapshot");
+  }
+  plane->assign(full.header.counter_doubles, 0.0);
+  char* plane_bytes = reinterpret_cast<char*>(plane->data());
+  for (const ParsedPage& page : full.counter_pages) {
+    std::memcpy(plane_bytes +
+                    static_cast<size_t>(page.entry.page_id) * kPagedPageSize,
+                page.payload.data(), page.payload.size());
+  }
+  uint32_t crc = PlaneCrc(plane->data(), plane->size());
+  if (crc != full.header.plane_crc) {
+    return Status::Corruption("full snapshot plane fails its checksum "
+                              "after reassembly");
+  }
+  return Status::OK();
+}
+
+}  // namespace sketchtree

@@ -1,0 +1,179 @@
+#ifndef SKETCHTREE_STORE_PAGE_FORMAT_H_
+#define SKETCHTREE_STORE_PAGE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sketchtree {
+
+/// The v3 paged snapshot format (DESIGN.md section 15).
+///
+/// A v2 synopsis file is one CRC-guarded blob: a single flipped bit
+/// condemns the whole file, and loading it means deserializing every
+/// counter. v3 instead lays the synopsis out in 4 KiB page-aligned
+/// blocks behind an explicit directory:
+///
+///   page 0        fixed header (magic "SKP3", epoch, chain stamps,
+///                 directory location, header CRC)
+///   pages 1..d    page directory: one 24-byte entry per payload page
+///                 {page_id, kind, file_offset, payload_length, crc}
+///   meta pages    the SerializeMetaToString blob, split into pages
+///   counter pages the counter plane, 512 doubles per page, written
+///                 consecutively at page-aligned offsets
+///
+/// Every payload page carries its own CRC-32, so corruption is typed at
+/// page granularity ("counter page 17 checksum mismatch") and a mapped
+/// reader can verify lazily. Full snapshots keep the counter pages
+/// contiguous and raw little-endian, which makes the mapped file's
+/// counter region directly usable as the synopsis's counter plane —
+/// the zero-copy warm-restart path. Delta snapshots (flag bit 0)
+/// carry only the pages that changed since `base_epoch`, stamped with
+/// the base plane's CRC so replay onto the wrong base is refused as
+/// Corruption rather than producing silently wrong counts.
+///
+/// This layer works on byte images only; SynopsisStore (synopsis_store.h)
+/// owns files, chains, and the SketchTree round trip.
+
+inline constexpr uint32_t kPagedMagic = 0x53'4B'50'33;  // "SKP3".
+inline constexpr uint32_t kPagedVersion = 3;
+inline constexpr uint32_t kPagedPageSize = 4096;
+/// Doubles per counter page (kPagedPageSize / sizeof(double)).
+inline constexpr size_t kPagedDoublesPerPage = kPagedPageSize / sizeof(double);
+/// Header flag: the file is a counter-diff delta against base_epoch.
+inline constexpr uint32_t kPagedFlagDelta = 1u << 0;
+/// Serialized bytes of the fixed header (the tail of page 0 is zero).
+inline constexpr size_t kPagedHeaderBytes = 100;
+/// Serialized bytes of one directory entry.
+inline constexpr size_t kPagedDirEntryBytes = 24;
+
+enum class PageKind : uint32_t {
+  kMeta = 1,      ///< A slice of the meta blob.
+  kCounters = 2,  ///< 512 raw little-endian doubles of the plane.
+};
+
+/// Fixed header, page 0. `header_crc` covers the preceding 96 bytes.
+struct PagedHeader {
+  uint32_t flags = 0;
+  uint64_t epoch = 0;
+  uint64_t trees_processed = 0;
+  /// Delta chaining: the epoch this delta patches, and the CRC-32 of
+  /// that epoch's *materialized full plane bytes* — the stamp that
+  /// detects replay onto a stale or wrong base. Zero for full snapshots.
+  uint64_t base_epoch = 0;
+  uint32_t base_plane_crc = 0;
+  /// CRC-32 of this epoch's materialized full plane bytes (for a delta:
+  /// the plane *after* applying it). Lets replay verify end-to-end.
+  uint32_t plane_crc = 0;
+  uint64_t counter_doubles = 0;  ///< Full plane length, in doubles.
+  uint32_t chain_depth = 0;      ///< 0 = full snapshot; delta = base + 1.
+  uint32_t page_count = 0;       ///< Directory entries (meta + counters).
+  uint64_t dir_offset = 0;
+  uint64_t dir_length = 0;
+  uint32_t dir_crc = 0;
+  uint64_t meta_length = 0;  ///< Meta blob bytes across the meta pages.
+
+  bool is_delta() const { return (flags & kPagedFlagDelta) != 0; }
+};
+
+/// One directory entry: where a payload page lives and what guards it.
+struct PageEntry {
+  uint32_t page_id = 0;  ///< Meta: slice ordinal. Counters: plane page index.
+  PageKind kind = PageKind::kMeta;
+  uint64_t file_offset = 0;
+  uint32_t payload_length = 0;  ///< <= kPagedPageSize.
+  uint32_t crc = 0;             ///< CRC-32 of the payload bytes.
+};
+
+/// A directory entry plus a view of its payload inside the parsed image.
+struct ParsedPage {
+  PageEntry entry;
+  std::string_view payload;
+};
+
+/// How much of the image ParsePagedSnapshot checksums up front.
+enum class PageVerify {
+  /// Header, directory, and meta pages only — counter page CRCs are
+  /// recorded but not computed. The mapped warm-restart path uses this
+  /// so attach cost stays O(meta), then verifies counters lazily via
+  /// VerifyCounterPages (inspect) or materialization.
+  kMetaOnly,
+  /// Everything, counter pages included.
+  kAll,
+};
+
+/// A validated v3 image. Payload views alias the input bytes.
+struct ParsedSnapshot {
+  PagedHeader header;
+  std::string meta;  ///< Reassembled meta blob (meta_length bytes).
+  /// Counter pages in ascending page_id order. For a full snapshot the
+  /// ids are exactly 0..N-1; for a delta they are the dirty subset.
+  std::vector<ParsedPage> counter_pages;
+  /// True when the counter pages form one contiguous full-plane region
+  /// in the image — the precondition for zero-copy attach. Always false
+  /// for deltas.
+  bool counters_contiguous = false;
+  /// Byte offset of that region within the input image (valid only when
+  /// counters_contiguous). Page-aligned, so the doubles are too.
+  size_t counters_offset = 0;
+};
+
+/// True when `bytes` starts with the v3 magic — the format sniff the
+/// CLI uses to route --synopsis files between the v2 and v3 loaders.
+bool IsPagedSnapshot(std::string_view bytes);
+
+/// CRC-32 over the raw bytes of a counter plane — the chain stamp.
+uint32_t PlaneCrc(const double* plane, size_t count);
+
+/// Encodes a full (chain-depth-0) snapshot image: every counter page,
+/// contiguous, plus the meta blob.
+std::string EncodeFullSnapshotImage(std::string_view meta,
+                                    const double* plane, size_t plane_doubles,
+                                    uint64_t epoch, uint64_t trees_processed);
+
+/// Encodes a delta image: only the counter pages on which `plane`
+/// differs from `base_plane` (same length), stamped with the base's
+/// epoch and plane CRC. `chain_depth` is the delta's own depth
+/// (base depth + 1). The full meta blob rides along — it is small and
+/// changes every epoch. Consults kStoreStaleDeltaBase, which corrupts
+/// the base stamp to simulate a delta published against a base that was
+/// since rewritten.
+std::string EncodeDeltaSnapshotImage(std::string_view meta,
+                                     const double* plane,
+                                     const double* base_plane,
+                                     size_t plane_doubles, uint64_t epoch,
+                                     uint64_t trees_processed,
+                                     uint64_t base_epoch,
+                                     uint32_t base_plane_crc,
+                                     uint32_t chain_depth);
+
+/// Validates and indexes a v3 image. InvalidArgument for wrong
+/// magic/version, OutOfRange for an image too short to hold what the
+/// header promises, Corruption — naming the page index — for any
+/// checksum or structural mismatch.
+Result<ParsedSnapshot> ParsePagedSnapshot(std::string_view bytes,
+                                          PageVerify verify);
+
+/// The deferred half of PageVerify::kMetaOnly: checks every counter
+/// page's CRC against the directory. Corruption names the first bad
+/// page index.
+Status VerifyCounterPages(const ParsedSnapshot& parsed);
+
+/// Patches `plane` (the materialized base plane, counter_doubles long)
+/// with a delta's dirty pages, after verifying the base stamp against
+/// the plane's actual CRC; verifies the result against the delta's
+/// plane_crc. On success `plane` holds the delta epoch's plane.
+Status ApplyDeltaToPlane(const ParsedSnapshot& delta,
+                         std::vector<double>* plane);
+
+/// Extracts a full snapshot's counter plane into `plane` (resized).
+/// Fails on deltas — those must be materialized through their chain.
+Status ExtractFullPlane(const ParsedSnapshot& full, std::vector<double>* plane);
+
+}  // namespace sketchtree
+
+#endif  // SKETCHTREE_STORE_PAGE_FORMAT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "metrics/metrics.h"
 #include "sketch/estimators.h"
@@ -250,6 +251,10 @@ void VirtualStreams::SaveState(BinaryWriter* writer) const {
       }
     }
   }
+  SaveTrackers(writer);
+}
+
+void VirtualStreams::SaveTrackers(BinaryWriter* writer) const {
   writer->WriteU32(static_cast<uint32_t>(trackers_.size()));
   for (const TopKTracker& tracker : trackers_) {
     // Canonical order: the tracker's hash-map iteration order depends
@@ -287,18 +292,92 @@ Status VirtualStreams::LoadState(BinaryReader* reader) {
       }
     }
   }
+  return LoadTrackers(reader);
+}
+
+Status VirtualStreams::LoadTrackers(BinaryReader* reader) {
   SKETCHTREE_ASSIGN_OR_RETURN(uint32_t num_trackers, reader->ReadU32());
   if (num_trackers != trackers_.size()) {
     return Status::InvalidArgument(
         "serialized top-k tracker count does not match the options");
   }
   for (TopKTracker& tracker : trackers_) {
+    tracker.ClearTracked();
     SKETCHTREE_ASSIGN_OR_RETURN(uint64_t entries, reader->ReadU64());
     for (uint64_t e = 0; e < entries; ++e) {
       SKETCHTREE_ASSIGN_OR_RETURN(uint64_t value, reader->ReadU64());
       SKETCHTREE_ASSIGN_OR_RETURN(double freq, reader->ReadDouble());
       SKETCHTREE_RETURN_NOT_OK(tracker.RestoreTracked(value, freq));
     }
+  }
+  return Status::OK();
+}
+
+void VirtualStreams::SaveMeta(BinaryWriter* writer) const {
+  writer->WriteU64(values_inserted_);
+  writer->WriteU32(options_.num_streams);
+  writer->WriteU32(static_cast<uint32_t>(options_.s1));
+  writer->WriteU32(static_cast<uint32_t>(options_.s2));
+  SaveTrackers(writer);
+}
+
+Status VirtualStreams::LoadMeta(BinaryReader* reader) {
+  SKETCHTREE_ASSIGN_OR_RETURN(values_inserted_, reader->ReadU64());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t num_streams, reader->ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t s1, reader->ReadU32());
+  SKETCHTREE_ASSIGN_OR_RETURN(uint32_t s2, reader->ReadU32());
+  if (num_streams != options_.num_streams ||
+      s1 != static_cast<uint32_t>(options_.s1) ||
+      s2 != static_cast<uint32_t>(options_.s2)) {
+    return Status::InvalidArgument(
+        "serialized synopsis dimensions do not match the options");
+  }
+  return LoadTrackers(reader);
+}
+
+size_t VirtualStreams::CounterPlaneDoubles() const {
+  return static_cast<size_t>(options_.num_streams) * options_.s1 *
+         options_.s2;
+}
+
+void VirtualStreams::CopyCounterPlane(double* out) const {
+  for (const SketchArray& array : arrays_) {
+    std::memcpy(out, array.counter_data(),
+                array.counter_count() * sizeof(double));
+    out += array.counter_count();
+  }
+}
+
+Status VirtualStreams::LoadCounterPlane(const double* data, size_t count) {
+  if (count != CounterPlaneDoubles()) {
+    return Status::InvalidArgument(
+        "counter plane holds " + std::to_string(count) + " doubles, want " +
+        std::to_string(CounterPlaneDoubles()));
+  }
+  const size_t per_stream =
+      static_cast<size_t>(options_.s1) * options_.s2;
+  for (uint32_t r = 0; r < options_.num_streams; ++r) {
+    for (int i = 0; i < options_.s2; ++i) {
+      for (int j = 0; j < options_.s1; ++j) {
+        arrays_[r].set_value(i, j,
+                             data[r * per_stream +
+                                  static_cast<size_t>(i) * options_.s1 + j]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VirtualStreams::AttachCounterPlane(const double* data, size_t count) {
+  if (count != CounterPlaneDoubles()) {
+    return Status::InvalidArgument(
+        "counter plane holds " + std::to_string(count) + " doubles, want " +
+        std::to_string(CounterPlaneDoubles()));
+  }
+  const size_t per_stream =
+      static_cast<size_t>(options_.s1) * options_.s2;
+  for (uint32_t r = 0; r < options_.num_streams; ++r) {
+    arrays_[r].AttachCounters(data + r * per_stream);
   }
   return Status::OK();
 }

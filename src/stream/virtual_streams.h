@@ -138,8 +138,45 @@ class VirtualStreams {
   /// truncation.
   Status LoadState(BinaryReader* reader);
 
+  /// SaveState minus the counter planes: stream length, dimensions, and
+  /// top-k entries. The paged snapshot store (src/store/) serializes
+  /// counters separately as page-aligned blocks, so the residual "meta"
+  /// state gets its own (small) encoding.
+  void SaveMeta(BinaryWriter* writer) const;
+
+  /// Restores SaveMeta state; the counter planes are left untouched
+  /// (the store loads or attaches them afterwards). Safe to call on a
+  /// synopsis that already holds state: top-k trackers are cleared and
+  /// rebuilt from the serialized entries.
+  Status LoadMeta(BinaryReader* reader);
+
+  /// Doubles in the full counter plane: num_streams * s1 * s2. The
+  /// global plane is the concatenation of every stream's row-major
+  /// plane in stream order — the layout the paged store pages out.
+  size_t CounterPlaneDoubles() const;
+
+  /// Copies the full counter plane into `out` (CounterPlaneDoubles()
+  /// doubles), stream-major.
+  void CopyCounterPlane(double* out) const;
+
+  /// Overwrites every stream's counters from a full plane (bit-exact
+  /// bulk form of set_value over all instances).
+  Status LoadCounterPlane(const double* data, size_t count);
+
+  /// Points every stream's read path at slices of an external plane
+  /// (a mapped snapshot's counter region) without copying. The caller
+  /// keeps `data` alive for the synopsis's lifetime; any write
+  /// copies-on-write first (see SketchArray::AttachCounters).
+  Status AttachCounterPlane(const double* data, size_t count);
+
  private:
   VirtualStreams(const VirtualStreamsOptions& options);
+
+  /// Shared tail of SaveState/SaveMeta (LoadState/LoadMeta): the top-k
+  /// tracker entries in canonical order. Both formats keep identical
+  /// tracker bytes, so the v2 and v3 loaders share one decoder.
+  void SaveTrackers(BinaryWriter* writer) const;
+  Status LoadTrackers(BinaryReader* reader);
 
   /// Applies `count` values of the given weight to the stream-length
   /// accounting. Exact for the ±1 turnstile weights; fractional weights

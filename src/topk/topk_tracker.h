@@ -62,6 +62,14 @@ class TopKTracker {
   /// deletion). Fails if v is already tracked or capacity is exceeded.
   Status RestoreTracked(uint64_t v, double freq);
 
+  /// Drops every tracked entry WITHOUT touching the sketches — the
+  /// companion to RestoreTracked when meta state is re-loaded into a
+  /// synopsis that already holds entries (delta-epoch application).
+  void ClearTracked() {
+    frequencies_.clear();
+    heap_.clear();
+  }
+
  private:
   /// Removes v from H and L, adding its f_v instances back to the
   /// sketches (restores the pre-tracking state for v).

@@ -1,0 +1,653 @@
+#include "store/synopsis_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "faultinject/fault_injector.h"
+#include "query/pattern_query.h"
+#include "server/plan_store.h"
+#include "server/query_service.h"
+#include "server/snapshot.h"
+#include "server/wire.h"
+#include "store/mmap_file.h"
+#include "store/page_format.h"
+#include "tree/tree_serialization.h"
+
+namespace sketchtree {
+namespace {
+
+namespace fs = std::filesystem;
+
+SketchTreeOptions SmallOptions() {
+  SketchTreeOptions options;
+  options.max_pattern_edges = 3;
+  options.s1 = 40;
+  options.s2 = 5;
+  options.num_virtual_streams = 31;
+  // No top-k tracking: tracked values are deleted from the sketch
+  // (Section 5.2), and this tiny corpus would be tracked in full,
+  // leaving an all-zero counter plane that passes CRC checks vacuously.
+  options.topk_size = 0;
+  options.independence = 8;
+  options.seed = 42;
+  return options;
+}
+
+/// A sketch with `docs` small trees streamed in, deterministic.
+SketchTree BuildSketch(int docs, const SketchTreeOptions& options) {
+  SketchTree sketch = *SketchTree::Create(options);
+  const char* shapes[] = {"A(B,C)", "A(B(D),C)", "X(Y,Z)", "A(C,B)",
+                          "S(NP,VP(V))"};
+  for (int i = 0; i < docs; ++i) {
+    sketch.Update(*ParseSExpr(shapes[i % 5]));
+  }
+  return sketch;
+}
+
+std::vector<double> PlaneOf(const SketchTree& sketch) {
+  std::vector<double> plane(sketch.CounterPlaneDoubles());
+  sketch.CopyCounterPlane(plane.data());
+  return plane;
+}
+
+/// Estimates that must agree bit-for-bit across load paths.
+std::vector<double> Probe(SketchTree& sketch) {
+  std::vector<double> estimates;
+  for (const char* q : {"A(B)", "A(B,C)", "X(Y)", "S(NP)"}) {
+    Result<double> estimate = sketch.EstimateCountOrdered(*ParseSExpr(q));
+    EXPECT_TRUE(estimate.ok()) << q << ": " << estimate.status().ToString();
+    estimates.push_back(estimate.ok() ? *estimate : -1.0);
+  }
+  return estimates;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("store_" + std::string(::testing::UnitTest::GetInstance()
+                                       ->current_test_info()
+                                       ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().DisarmAll();
+    fs::remove_all(dir_);
+  }
+  std::string DirString() const { return dir_.string(); }
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Page format.
+
+TEST_F(StoreTest, FullImageParsesAndExtracts) {
+  SketchTree sketch = BuildSketch(20, SmallOptions());
+  std::vector<double> plane = PlaneOf(sketch);
+  std::string meta = sketch.SerializeMetaToString();
+  std::string image = EncodeFullSnapshotImage(meta, plane.data(),
+                                              plane.size(), /*epoch=*/7,
+                                              /*trees=*/20);
+  ASSERT_EQ(image.size() % kPagedPageSize, 0u);
+  ASSERT_TRUE(IsPagedSnapshot(image));
+
+  Result<ParsedSnapshot> parsed = ParsePagedSnapshot(image, PageVerify::kAll);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->header.epoch, 7u);
+  EXPECT_EQ(parsed->header.trees_processed, 20u);
+  EXPECT_FALSE(parsed->header.is_delta());
+  EXPECT_EQ(parsed->header.counter_doubles, plane.size());
+  EXPECT_TRUE(parsed->counters_contiguous);
+  EXPECT_EQ(parsed->meta, meta);
+
+  std::vector<double> extracted;
+  ASSERT_TRUE(ExtractFullPlane(*parsed, &extracted).ok());
+  ASSERT_EQ(extracted.size(), plane.size());
+  EXPECT_EQ(std::memcmp(extracted.data(), plane.data(),
+                        plane.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(StoreTest, DeltaImageCarriesOnlyDirtyPagesAndApplies) {
+  SketchTree sketch = BuildSketch(20, SmallOptions());
+  std::vector<double> base = PlaneOf(sketch);
+  uint32_t base_crc = PlaneCrc(base.data(), base.size());
+
+  sketch.Update(*ParseSExpr("A(B,C)"));  // Touch a few counters.
+  std::vector<double> next = PlaneOf(sketch);
+  std::string meta = sketch.SerializeMetaToString();
+
+  std::string delta = EncodeDeltaSnapshotImage(
+      meta, next.data(), base.data(), next.size(), /*epoch=*/2, /*trees=*/21,
+      /*base_epoch=*/1, base_crc, /*chain_depth=*/1);
+  std::string full = EncodeFullSnapshotImage(meta, next.data(), next.size(),
+                                             /*epoch=*/2, /*trees=*/21);
+  EXPECT_LT(delta.size(), full.size());
+
+  Result<ParsedSnapshot> parsed = ParsePagedSnapshot(delta, PageVerify::kAll);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->header.is_delta());
+  EXPECT_EQ(parsed->header.base_epoch, 1u);
+  EXPECT_EQ(parsed->header.chain_depth, 1u);
+  size_t plane_pages = (next.size() * sizeof(double) + kPagedPageSize - 1) /
+                       kPagedPageSize;
+  EXPECT_LT(parsed->counter_pages.size(), plane_pages);
+
+  std::vector<double> replayed = base;
+  ASSERT_TRUE(ApplyDeltaToPlane(*parsed, &replayed).ok());
+  EXPECT_EQ(std::memcmp(replayed.data(), next.data(),
+                        next.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(StoreTest, DeltaRefusesStaleBase) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  std::vector<double> base = PlaneOf(sketch);
+  uint32_t base_crc = PlaneCrc(base.data(), base.size());
+  sketch.Update(*ParseSExpr("X(Y,Z)"));
+  std::vector<double> next = PlaneOf(sketch);
+  std::string delta = EncodeDeltaSnapshotImage(
+      sketch.SerializeMetaToString(), next.data(), base.data(), next.size(),
+      2, 11, 1, base_crc, 1);
+  Result<ParsedSnapshot> parsed = ParsePagedSnapshot(delta, PageVerify::kAll);
+  ASSERT_TRUE(parsed.ok());
+
+  std::vector<double> wrong_base(base.size(), 0.0);
+  Status applied = ApplyDeltaToPlane(*parsed, &wrong_base);
+  EXPECT_TRUE(applied.IsCorruption()) << applied.ToString();
+}
+
+TEST_F(StoreTest, TruncationAtPageBoundariesIsTyped) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  std::vector<double> plane = PlaneOf(sketch);
+  std::string image = EncodeFullSnapshotImage(
+      sketch.SerializeMetaToString(), plane.data(), plane.size(), 1, 10);
+  for (size_t cut = 0; cut < image.size();
+       cut += kPagedPageSize / 2) {
+    Result<ParsedSnapshot> parsed =
+        ParsePagedSnapshot(std::string_view(image).substr(0, cut),
+                           PageVerify::kAll);
+    ASSERT_FALSE(parsed.ok()) << "cut at " << cut << " parsed";
+    EXPECT_TRUE(parsed.status().IsCorruption() ||
+                parsed.status().IsInvalidArgument() ||
+                parsed.status().IsOutOfRange())
+        << "cut at " << cut << ": " << parsed.status().ToString();
+  }
+}
+
+TEST_F(StoreTest, CounterPageBitFlipNamesThePage) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  std::vector<double> plane = PlaneOf(sketch);
+  std::string image = EncodeFullSnapshotImage(
+      sketch.SerializeMetaToString(), plane.data(), plane.size(), 1, 10);
+  Result<ParsedSnapshot> clean = ParsePagedSnapshot(image, PageVerify::kAll);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_GE(clean->counter_pages.size(), 3u);
+  // Flip one bit inside the third counter page's payload.
+  size_t offset = clean->counters_offset + 2 * kPagedPageSize + 17;
+  image[offset] = static_cast<char>(image[offset] ^ 0x40);
+
+  Result<ParsedSnapshot> corrupt = ParsePagedSnapshot(image, PageVerify::kAll);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_TRUE(corrupt.status().IsCorruption());
+  EXPECT_NE(corrupt.status().ToString().find("counter page 2"),
+            std::string::npos)
+      << corrupt.status().ToString();
+
+  // Meta-only parsing defers the sweep, and the sweep then names it.
+  Result<ParsedSnapshot> deferred =
+      ParsePagedSnapshot(image, PageVerify::kMetaOnly);
+  ASSERT_TRUE(deferred.ok()) << deferred.status().ToString();
+  Status verdict = VerifyCounterPages(*deferred);
+  EXPECT_TRUE(verdict.IsCorruption());
+  EXPECT_NE(verdict.ToString().find("counter page 2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Store: persist / load / delta chains.
+
+TEST_F(StoreTest, MmapAndMaterializedLoadsAreBitIdentical) {
+  SketchTree sketch = BuildSketch(25, SmallOptions());
+  std::vector<double> live_probe = Probe(sketch);
+  {
+    Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Persist(sketch, 1).ok());
+  }
+
+  SynopsisStoreOptions mapped_options;
+  mapped_options.use_mmap = true;
+  Result<SynopsisStore> mapped_store =
+      SynopsisStore::Open(DirString(), mapped_options);
+  ASSERT_TRUE(mapped_store.ok());
+  Result<LoadedSynopsis> mapped = mapped_store->LoadNewest();
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mapped);
+  EXPECT_EQ(mapped->epoch, 1u);
+
+  SynopsisStoreOptions owned_options;
+  owned_options.use_mmap = false;
+  Result<SynopsisStore> owned_store =
+      SynopsisStore::Open(DirString(), owned_options);
+  ASSERT_TRUE(owned_store.ok());
+  Result<LoadedSynopsis> owned = owned_store->LoadNewest();
+  ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+  EXPECT_FALSE(owned->mapped);
+
+  std::vector<double> mapped_probe = Probe(mapped->sketch);
+  std::vector<double> owned_probe = Probe(owned->sketch);
+  ASSERT_EQ(mapped_probe.size(), live_probe.size());
+  for (size_t i = 0; i < live_probe.size(); ++i) {
+    EXPECT_EQ(mapped_probe[i], live_probe[i]) << "query " << i;
+    EXPECT_EQ(owned_probe[i], live_probe[i]) << "query " << i;
+  }
+  EXPECT_EQ(mapped->sketch.Stats().trees_processed, 25u);
+}
+
+TEST_F(StoreTest, DeltaChainMaterializesByteIdenticalToFull) {
+  SketchTreeOptions options = SmallOptions();
+  SketchTree sketch = BuildSketch(10, options);
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 1).ok());  // Full.
+  for (uint64_t epoch = 2; epoch <= 4; ++epoch) {  // Three deltas.
+    sketch.Update(*ParseSExpr("A(B(D),C)"));
+    sketch.Update(*ParseSExpr("X(Y,Z)"));
+    ASSERT_TRUE(store->Persist(sketch, epoch).ok());
+  }
+  std::vector<uint64_t> epochs = store->ListEpochs();
+  ASSERT_EQ(epochs.size(), 4u);
+  for (uint64_t epoch = 2; epoch <= 4; ++epoch) {
+    Result<StoreEpochInfo> info = store->InspectEpoch(epoch);
+    ASSERT_TRUE(info.ok());
+    EXPECT_TRUE(info->is_delta) << "epoch " << epoch;
+    EXPECT_EQ(info->base_epoch, epoch - 1);
+    EXPECT_EQ(info->chain_depth, epoch - 1);
+    EXPECT_LT(info->dirty_ratio, 1.0);
+    EXPECT_TRUE(info->page_verdict.ok());
+  }
+  Result<uint64_t> chain_base = store->ChainBase(4);
+  ASSERT_TRUE(chain_base.ok());
+  EXPECT_EQ(*chain_base, 1u);
+
+  // The replayed chain tip is byte-identical to the live plane (which a
+  // full snapshot of epoch 4 would have serialized verbatim).
+  Result<SketchTree> replayed = store->MaterializeEpoch(4);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  std::vector<double> live_plane = PlaneOf(sketch);
+  std::vector<double> replayed_plane = PlaneOf(*replayed);
+  ASSERT_EQ(replayed_plane.size(), live_plane.size());
+  EXPECT_EQ(std::memcmp(replayed_plane.data(), live_plane.data(),
+                        live_plane.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(replayed->SerializeToString(), sketch.SerializeToString());
+}
+
+TEST_F(StoreTest, FullRewriteAfterMaxChainPrunesOldEpochs) {
+  SynopsisStoreOptions options;
+  options.delta_max_chain = 2;
+  SketchTree sketch = BuildSketch(5, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString(), options);
+  ASSERT_TRUE(store.ok());
+  for (uint64_t epoch = 1; epoch <= 4; ++epoch) {
+    sketch.Update(*ParseSExpr("A(B,C)"));
+    ASSERT_TRUE(store->Persist(sketch, epoch).ok());
+  }
+  // 1 full, 2-3 deltas, 4 full again (chain exhausted) pruning 1-3.
+  std::vector<uint64_t> epochs = store->ListEpochs();
+  ASSERT_EQ(epochs.size(), 1u);
+  EXPECT_EQ(epochs[0], 4u);
+  Result<StoreEpochInfo> info = store->InspectEpoch(4);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->is_delta);
+}
+
+TEST_F(StoreTest, LoadNewestDegradesPastCorruptEpoch) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 1).ok());
+  sketch.Update(*ParseSExpr("A(B,C)"));
+  ASSERT_TRUE(store->Persist(sketch, 2).ok());
+
+  // Flip a byte in epoch 2's (delta) counter payload on disk. The
+  // directory pins the payload location — padding bytes are not
+  // CRC-guarded, so the flip must land inside the payload proper.
+  std::string path = DirString() + "/" + SynopsisStore::EpochFileName(2);
+  Result<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  Result<ParsedSnapshot> intact =
+      ParsePagedSnapshot(*bytes, PageVerify::kMetaOnly);
+  ASSERT_TRUE(intact.ok()) << intact.status().ToString();
+  ASSERT_FALSE(intact->counter_pages.empty());
+  const ParsedPage& victim = intact->counter_pages.back();
+  std::string damaged = *bytes;
+  damaged[victim.entry.file_offset] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(path, damaged).ok());
+
+  Result<LoadedSynopsis> loaded = store->LoadNewest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 1u);  // Degraded to the intact epoch.
+  EXPECT_EQ(loaded->sketch.Stats().trees_processed, 10u);
+
+  Result<SketchTree> direct = store->MaterializeEpoch(2);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsCorruption()) << direct.status().ToString();
+}
+
+TEST_F(StoreTest, PersistRejectsNonAdvancingEpoch) {
+  SketchTree sketch = BuildSketch(5, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 3).ok());
+  Status again = store->Persist(sketch, 3);
+  EXPECT_TRUE(again.IsInvalidArgument()) << again.ToString();
+  EXPECT_TRUE(store->Persist(sketch, 3).IsInvalidArgument());
+  EXPECT_TRUE(store->Persist(sketch, 4).ok());
+}
+
+TEST_F(StoreTest, ReopenedStoreStartsChainFull) {
+  SketchTree sketch = BuildSketch(5, SmallOptions());
+  {
+    Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Persist(sketch, 1).ok());
+    sketch.Update(*ParseSExpr("A(B,C)"));
+    ASSERT_TRUE(store->Persist(sketch, 2).ok());  // Delta.
+  }
+  Result<SynopsisStore> reopened = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->newest_epoch(), 2u);
+  sketch.Update(*ParseSExpr("X(Y,Z)"));
+  ASSERT_TRUE(reopened->Persist(sketch, 3).ok());
+  // Chains never span writer restarts: epoch 3 must be full.
+  Result<StoreEpochInfo> info = reopened->InspectEpoch(3);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->is_delta);
+  // And the full write pruned the superseded chain.
+  EXPECT_EQ(reopened->ListEpochs(), std::vector<uint64_t>{3});
+}
+
+TEST_F(StoreTest, StandalonePagedFileLoadsBothPaths) {
+  SketchTree sketch = BuildSketch(15, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 1).ok());
+  std::string path = DirString() + "/" + SynopsisStore::EpochFileName(1);
+
+  Result<LoadedSynopsis> mapped = LoadPagedSnapshotFile(path, true);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->mapped);
+  Result<LoadedSynopsis> owned = LoadPagedSnapshotFile(path, false);
+  ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+  EXPECT_FALSE(owned->mapped);
+  std::vector<double> a = Probe(mapped->sketch);
+  std::vector<double> b = Probe(owned->sketch);
+  std::vector<double> live = Probe(sketch);
+  EXPECT_EQ(a, live);
+  EXPECT_EQ(b, live);
+
+  // A delta file is refused — its base lives in the store.
+  sketch.Update(*ParseSExpr("A(B,C)"));
+  ASSERT_TRUE(store->Persist(sketch, 2).ok());
+  std::string delta_path =
+      DirString() + "/" + SynopsisStore::EpochFileName(2);
+  Result<LoadedSynopsis> refused = LoadPagedSnapshotFile(delta_path, false);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsInvalidArgument())
+      << refused.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection at the store.* sites.
+
+TEST_F(StoreTest, TornPageWriteIsSkippedByLoader) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 1).ok());
+
+  // The next persist tears: only the first two pages reach disk.
+  FaultInjector::Global().Arm(FaultSite::kStoreTornPageWrite,
+                              {0, 1, 2 * kPagedPageSize});
+  sketch.Update(*ParseSExpr("A(B,C)"));
+  ASSERT_TRUE(store->Persist(sketch, 2).ok());  // Writer believes it.
+  FaultInjector::Global().DisarmAll();
+
+  Result<LoadedSynopsis> loaded = store->LoadNewest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 1u);
+  EXPECT_EQ(loaded->sketch.Stats().trees_processed, 10u);
+
+  Result<SketchTree> torn = store->MaterializeEpoch(2);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(torn.status().IsCorruption() ||
+              torn.status().IsInvalidArgument() ||
+              torn.status().IsOutOfRange())
+      << torn.status().ToString();
+}
+
+TEST_F(StoreTest, HeaderOnlyTornWriteIsSkippedByLoader) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 1).ok());
+  FaultInjector::Global().Arm(FaultSite::kStoreTornPageWrite, {0, 1, 0});
+  sketch.Update(*ParseSExpr("A(B,C)"));
+  ASSERT_TRUE(store->Persist(sketch, 2).ok());
+  FaultInjector::Global().DisarmAll();
+  Result<LoadedSynopsis> loaded = store->LoadNewest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 1u);
+}
+
+TEST_F(StoreTest, StaleDeltaBaseIsRefusedAndDegrades) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 1).ok());
+
+  // The delta of epoch 2 gets stamped with a corrupted base CRC — as if
+  // it were diffed against a plane that never matched epoch 1.
+  FaultInjector::Global().Arm(FaultSite::kStoreStaleDeltaBase, {0, 1, 0});
+  sketch.Update(*ParseSExpr("A(B,C)"));
+  ASSERT_TRUE(store->Persist(sketch, 2).ok());
+  FaultInjector::Global().DisarmAll();
+
+  Result<SketchTree> direct = store->MaterializeEpoch(2);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsCorruption()) << direct.status().ToString();
+  EXPECT_NE(direct.status().ToString().find("base"), std::string::npos);
+
+  Result<LoadedSynopsis> loaded = store->LoadNewest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 1u);
+}
+
+TEST_F(StoreTest, MmapFailureFallsBackToMaterialization) {
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  Result<SynopsisStore> store = SynopsisStore::Open(DirString());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Persist(sketch, 1).ok());
+
+  FaultInjector::Global().Arm(FaultSite::kStoreMmapFail, {0, 0, 0});
+  Result<LoadedSynopsis> loaded = store->LoadNewest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->mapped);  // Fallback path.
+  EXPECT_EQ(loaded->epoch, 1u);
+  EXPECT_EQ(Probe(loaded->sketch), Probe(sketch));
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache persistence.
+
+TEST_F(StoreTest, PlanCacheRoundTripServesWithoutRecompiling) {
+  fs::create_directories(dir_);
+  SketchTreeOptions options = SmallOptions();
+  SketchTree sketch = BuildSketch(10, options);
+  Result<QueryService> service =
+      QueryService::CreateStatic(std::move(sketch));
+  ASSERT_TRUE(service.ok());
+
+  QueryRequest request;
+  request.kind = QueryKind::kOrdered;
+  request.text = "A(B,C)";
+  Result<QueryAnswer> cold = service->Execute(request);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cache_hit);
+  request.text = "X(Y)";
+  ASSERT_TRUE(service->Execute(request).ok());
+
+  std::string path = (dir_ / "plans.skpc").string();
+  ASSERT_TRUE(
+      SavePlanCache(service->plan_cache(), options, path).ok());
+
+  // A fresh service with the restored cache answers the same queries as
+  // hits, bit-identically, without compiling.
+  SketchTree again = BuildSketch(10, options);
+  std::vector<double> live = Probe(again);
+  Result<QueryService> restarted =
+      QueryService::CreateStatic(std::move(again));
+  ASSERT_TRUE(restarted.ok());
+  Result<size_t> restored =
+      LoadPlanCache(path, options, &restarted->plan_cache());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, 2u);
+
+  request.text = "A(B,C)";
+  Result<QueryAnswer> warm = restarted->Execute(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->estimate, cold->estimate);
+}
+
+TEST_F(StoreTest, PlanCacheRejectsForeignOptionsTag) {
+  fs::create_directories(dir_);
+  SketchTreeOptions options = SmallOptions();
+  Result<QueryService> service =
+      QueryService::CreateStatic(BuildSketch(5, options));
+  ASSERT_TRUE(service.ok());
+  QueryRequest request;
+  request.kind = QueryKind::kOrdered;
+  request.text = "A(B)";
+  ASSERT_TRUE(service->Execute(request).ok());
+  std::string path = (dir_ / "plans.skpc").string();
+  ASSERT_TRUE(SavePlanCache(service->plan_cache(), options, path).ok());
+
+  SketchTreeOptions other = options;
+  other.seed = 43;  // Different mapping — plans would be wrong.
+  PlanCache fresh(16);
+  Result<size_t> loaded = LoadPlanCache(path, other, &fresh);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument())
+      << loaded.status().ToString();
+  EXPECT_EQ(fresh.size(), 0u);
+
+  // Truncation is Corruption; a missing file is NotFound.
+  Result<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      WriteFileAtomic(path, bytes->substr(0, bytes->size() - 3)).ok());
+  Result<size_t> truncated = LoadPlanCache(path, options, &fresh);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_TRUE(truncated.status().IsCorruption() ||
+              truncated.status().IsOutOfRange())
+      << truncated.status().ToString();
+  Result<size_t> missing =
+      LoadPlanCache((dir_ / "absent.skpc").string(), options, &fresh);
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------------
+// Publisher retention + wire deltas.
+
+TEST_F(StoreTest, PublisherRetainsRecentPlanesOnly) {
+  SnapshotPublisher publisher;
+  publisher.RetainPlanes(2);
+  SketchTree sketch = BuildSketch(5, SmallOptions());
+  for (int i = 0; i < 3; ++i) {
+    sketch.Update(*ParseSExpr("A(B,C)"));
+    ASSERT_TRUE(publisher.PublishCopyOf(sketch).ok());
+  }
+  EXPECT_EQ(publisher.RetainedFor(1), nullptr);  // Aged out of the ring.
+  std::shared_ptr<const RetainedPlane> second = publisher.RetainedFor(2);
+  std::shared_ptr<const RetainedPlane> third = publisher.RetainedFor(3);
+  ASSERT_NE(second, nullptr);
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(third->epoch, 3u);
+  EXPECT_EQ(third->plane_crc,
+            PlaneCrc(third->plane.data(), third->plane.size()));
+  std::vector<double> live = PlaneOf(sketch);
+  ASSERT_EQ(third->plane.size(), live.size());
+  EXPECT_EQ(std::memcmp(third->plane.data(), live.data(),
+                        live.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(StoreTest, SetNextEpochSurvivesWarmRestartNumbering) {
+  SnapshotPublisher publisher;
+  publisher.SetNextEpoch(7);
+  SketchTree sketch = BuildSketch(3, SmallOptions());
+  EXPECT_EQ(publisher.Publish(BuildSketch(3, SmallOptions())), 7u);
+  ASSERT_TRUE(publisher.PublishCopyOf(sketch).ok());
+  EXPECT_EQ(publisher.current_epoch(), 8u);
+}
+
+TEST_F(StoreTest, WireDeltaRoundTripMatchesFullSnapshot) {
+  // What the worker's shard_snapshot delta path does, end to end at the
+  // library level: retained base plane -> delta image -> coordinator
+  // applies it onto its cached plane.
+  SnapshotPublisher publisher;
+  publisher.RetainPlanes(4);
+  SketchTree sketch = BuildSketch(10, SmallOptions());
+  ASSERT_TRUE(publisher.PublishCopyOf(sketch).ok());  // Epoch 1 (base).
+  std::shared_ptr<const RetainedPlane> base = publisher.RetainedFor(1);
+  ASSERT_NE(base, nullptr);
+
+  sketch.Update(*ParseSExpr("S(NP,VP(V))"));
+  ASSERT_TRUE(publisher.PublishCopyOf(sketch).ok());  // Epoch 2.
+  std::shared_ptr<const SketchSnapshot> current = publisher.Current();
+  std::vector<double> plane(current->sketch.CounterPlaneDoubles());
+  current->sketch.CopyCounterPlane(plane.data());
+  std::string delta = EncodeDeltaSnapshotImage(
+      current->sketch.SerializeMetaToString(), plane.data(),
+      base->plane.data(), plane.size(), current->epoch,
+      current->trees_processed, base->epoch, base->plane_crc, 1);
+
+  // Coordinator side: apply onto its copy of the epoch-1 plane.
+  Result<ParsedSnapshot> parsed = ParsePagedSnapshot(delta, PageVerify::kAll);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::vector<double> cached = base->plane;
+  ASSERT_TRUE(ApplyDeltaToPlane(*parsed, &cached).ok());
+  Result<SketchTree> rebuilt = SketchTree::FromMetaAndCounters(
+      parsed->meta, cached.data(), cached.size());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt->SerializeToString(),
+            current->sketch.SerializeToString());
+}
+
+TEST_F(StoreTest, WireRequestParsesBaseEpochAndDeltaReplyFormats) {
+  Result<WireRequest> request = ParseWireRequest(
+      R"({"op":"shard_snapshot","id":9,"base_epoch":12})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->base_epoch, 12u);
+  Result<WireRequest> without =
+      ParseWireRequest(R"({"op":"shard_snapshot","id":9})");
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->base_epoch, 0u);
+
+  std::string reply = FormatShardDeltaReply("9", 13, 500, 12, "QUJD");
+  EXPECT_NE(reply.find("\"format\":\"v3delta\""), std::string::npos);
+  EXPECT_NE(reply.find("\"base_epoch\":12"), std::string::npos);
+  EXPECT_NE(reply.find("\"epoch\":13"), std::string::npos);
+  EXPECT_NE(reply.find("\"sketch\":\"QUJD\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sketchtree

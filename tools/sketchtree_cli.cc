@@ -16,16 +16,21 @@
 // stream trees (the paper's Section 7.2 construction). The synopsis file
 // is the self-contained binary produced by SketchTree::SaveToFile; a
 // build can be resumed by loading it and streaming more documents.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "checkpoint/checkpointer.h"
+#include "common/atomic_file.h"
 #include "common/timer.h"
 #include "core/sketch_tree.h"
 #include "faultinject/fault_injector.h"
@@ -35,11 +40,14 @@
 #include "metrics/metrics.h"
 #include "query/pattern_query.h"
 #include "cluster/coordinator.h"
+#include "server/plan_store.h"
 #include "server/query_service.h"
 #include "server/snapshot.h"
 #include "server/tcp_server.h"
 #include "sketch/health.h"
 #include "stats/sentinel.h"
+#include "store/page_format.h"
+#include "store/synopsis_store.h"
 #include "trace/trace.h"
 #include "xml/xml_tree_reader.h"
 
@@ -100,7 +108,10 @@ int Usage() {
       "        [--unordered] [--max-arrangements N]\n"
       "  sketchtree_cli extended --synopsis SYNOPSIS.bin --query EXTPAT\n"
       "  sketchtree_cli expr --synopsis SYNOPSIS.bin --expression EXPR\n"
-      "  sketchtree_cli serve (--synopsis SYNOPSIS.bin | --input FOREST.xml)\n"
+      "  sketchtree_cli serve (--synopsis SYNOPSIS.bin | --input FOREST.xml\n"
+      "        | --store DIR)\n"
+      "        [--store DIR] [--no-mmap] [--delta-max-chain N]\n"
+      "        [--plan-save-every-ms N]\n"
       "        [--port 7227] [--workers N] [--queue N] [--cache N]\n"
       "        [--max-arrangements N] [--publish-every N]\n"
       "        [--lanes 1|2] [--slow-queue N] [--fast-threshold A]\n"
@@ -116,7 +127,8 @@ int Usage() {
       "        [server options as above]\n"
       "  sketchtree_cli merge --inputs A.bin,B.bin[,...] --output OUT.bin\n"
       "  sketchtree_cli stats --synopsis SYNOPSIS.bin\n"
-      "  sketchtree_cli inspect --synopsis SYNOPSIS.bin [--json]\n"
+      "  sketchtree_cli inspect (--synopsis SYNOPSIS.bin | --store DIR)\n"
+      "        [--json]\n"
       "\n"
       "  serve answers line-delimited JSON queries over TCP (loopback\n"
       "  only) against epoch-published snapshots of the synopsis: with\n"
@@ -142,9 +154,26 @@ int Usage() {
       "  down, replies degrade to partial:true with a widened error\n"
       "  scale instead of failing. See DESIGN.md section 13.\n"
       "\n"
+      "  serve --store DIR persists every published epoch into DIR as a\n"
+      "  v3 paged snapshot — dirty counter pages only when the delta\n"
+      "  chain is at most --delta-max-chain deep (default 8), a full\n"
+      "  rewrite (pruning the superseded chain) otherwise — and saves\n"
+      "  compiled plans to DIR/plans.skpc every --plan-save-every-ms\n"
+      "  (default 2000; 0 disables). serve --store DIR *alone*\n"
+      "  warm-restarts: the newest intact epoch is mmap-attached\n"
+      "  read-only (--no-mmap or a failed map falls back to the\n"
+      "  deserialize path, bit-identical either way), epoch numbering\n"
+      "  continues where it left off, and the restored plan cache means\n"
+      "  the first warm query compiles nothing. --synopsis also accepts\n"
+      "  a store epoch file (v3, sniffed by magic). See DESIGN.md\n"
+      "  section 15.\n"
+      "\n"
       "  inspect prints a sketch health report (per-row occupancy and\n"
       "  moments, self-join size, Theorem-1 error scale, warnings);\n"
-      "  --json emits it as a JSON object instead.\n"
+      "  --json emits it as a JSON object instead. inspect --store DIR\n"
+      "  (or --synopsis on a v3 file) prints the page-level report —\n"
+      "  pages, dirty ratio, chain depth, per-page CRC verdict — without\n"
+      "  loading counters; exit 1 if any epoch fails validation.\n"
       "\n"
       "  build --sentinel K tracks exact counts for a K-pattern bottom-K\n"
       "  sample during a single-threaded build and reports the observed\n"
@@ -207,7 +236,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
     std::string name(arg.substr(2));
     // Boolean flags take no value; everything else consumes the next arg.
     if (name == "summary" || name == "unordered" || name == "resume" ||
-        name == "fail-fast" || name == "json") {
+        name == "fail-fast" || name == "json" || name == "no-mmap") {
       args.flags.push_back(name);
       continue;
     }
@@ -800,16 +829,37 @@ int RunCoordinator(const Args& args, const std::string& shards_csv) {
   return EXIT_SUCCESS;
 }
 
+/// serve --synopsis accepts both formats: the v2 self-contained file
+/// (PR-5 deserialize path) and a v3 paged store epoch, sniffed by the
+/// leading magic so existing invocations keep working unchanged.
+Result<LoadedSynopsis> LoadServeSynopsis(const std::string& path,
+                                         bool use_mmap) {
+  char head[4] = {0};
+  std::ifstream probe(path, std::ios::binary);
+  probe.read(head, sizeof head);
+  if (probe.gcount() == sizeof(head) &&
+      IsPagedSnapshot(std::string_view(head, sizeof head))) {
+    return LoadPagedSnapshotFile(path, use_mmap);
+  }
+  SKETCHTREE_ASSIGN_OR_RETURN(SketchTree sketch,
+                              SketchTree::LoadFromFile(path));
+  return LoadedSynopsis(std::move(sketch), /*epoch=*/1, /*mapped=*/false,
+                        nullptr);
+}
+
 int RunServe(const Args& args) {
   std::string shards_csv = args.Get("shards");
   if (!shards_csv.empty()) return RunCoordinator(args, shards_csv);
   std::string synopsis = args.Get("synopsis");
   std::string input = args.Get("input");
-  if (synopsis.empty() == input.empty()) {
+  std::string store_dir = args.Get("store");
+  int sources = (synopsis.empty() ? 0 : 1) + (input.empty() ? 0 : 1);
+  if (sources > 1 || (sources == 0 && store_dir.empty())) {
     std::fprintf(stderr,
                  "error: serve needs exactly one of --synopsis (frozen "
-                 "synopsis), --input (live ingest), or --shards "
-                 "(cluster coordinator)\n");
+                 "synopsis), --input (live ingest), --shards (cluster "
+                 "coordinator), or --store alone (warm restart from the "
+                 "newest persisted epoch)\n");
     return kExitUsage;
   }
 
@@ -821,16 +871,35 @@ int RunServe(const Args& args) {
                  "error: --publish-every must be a positive integer\n");
     return kExitUsage;
   }
+  bool use_mmap = !args.HasFlag("no-mmap");
+  long plan_save_every_ms = args.GetLong("plan-save-every-ms", 2000);
 
-  // The live synopsis (ingest mode) or the frozen one (synopsis mode);
-  // snapshots of it flow to readers through the publisher.
+  std::optional<SynopsisStore> store;
+  if (!store_dir.empty()) {
+    SynopsisStoreOptions store_options;
+    long chain = args.GetLong("delta-max-chain", 8);
+    store_options.delta_max_chain =
+        chain < 0 ? 0 : static_cast<size_t>(chain);
+    store_options.use_mmap = use_mmap;
+    Result<SynopsisStore> opened =
+        SynopsisStore::Open(store_dir, store_options);
+    if (!opened.ok()) return Fail(opened.status());
+    store.emplace(std::move(opened).value());
+  }
+
+  // The live synopsis (ingest mode) or the frozen one (synopsis / warm
+  // restart); snapshots of it flow to readers through the publisher.
+  // A few recent planes are retained so a coordinator's delta-mode
+  // shard_snapshot pulls can be answered with dirty pages only.
   SnapshotPublisher publisher;
+  publisher.RetainPlanes(4);
   std::optional<SketchTree> live;
-  if (!synopsis.empty()) {
-    Result<SketchTree> loaded = SketchTree::LoadFromFile(synopsis);
-    if (!loaded.ok()) return Fail(loaded.status());
-    live.emplace(std::move(loaded).value());
-  } else {
+  // A mapped warm start aliases this mapping from inside the published
+  // snapshot; it must live as long as the server does.
+  std::shared_ptr<MmapFile> mapping;
+  SketchTreeOptions sketch_options;
+
+  if (!input.empty()) {
     SketchTreeOptions options;
     options.max_pattern_edges = static_cast<int>(args.GetLong("k", 4));
     options.s1 = static_cast<int>(args.GetLong("s1", 50));
@@ -843,24 +912,111 @@ int RunServe(const Args& args) {
     Result<SketchTree> created = SketchTree::Create(options);
     if (!created.ok()) return Fail(created.status());
     live.emplace(std::move(created).value());
+    sketch_options = live->options();
+    // Epoch numbering continues past whatever the store already holds,
+    // so persisted epochs never run backwards across restarts.
+    if (store) publisher.SetNextEpoch(store->newest_epoch() + 1);
+    // First epoch: the empty sketch (live mode serves zeros until the
+    // first publish).
+    Result<uint64_t> first = publisher.PublishCopyOf(*live);
+    if (!first.ok()) return Fail(first.status());
+  } else if (!synopsis.empty()) {
+    Result<LoadedSynopsis> loaded = LoadServeSynopsis(synopsis, use_mmap);
+    if (!loaded.ok()) return Fail(loaded.status());
+    sketch_options = loaded->sketch.options();
+    mapping = loaded->mapping;
+    if (loaded->mapped) {
+      std::fprintf(stderr, "synopsis mapped read-only (epoch %llu)\n",
+                   static_cast<unsigned long long>(loaded->epoch));
+    }
+    // Frozen mode: the sketch moves straight into the publisher — no
+    // serialize round trip, which is what keeps a mapped load zero-copy.
+    if (loaded->epoch > 0) publisher.SetNextEpoch(loaded->epoch);
+    publisher.Publish(std::move(loaded->sketch));
+  } else {
+    Result<LoadedSynopsis> loaded = store->LoadNewest();
+    if (!loaded.ok()) return Fail(loaded.status());
+    sketch_options = loaded->sketch.options();
+    mapping = loaded->mapping;
+    std::fprintf(stderr, "warm restart: epoch %llu (%s), %llu trees\n",
+                 static_cast<unsigned long long>(loaded->epoch),
+                 loaded->mapped ? "mmap" : "materialized",
+                 static_cast<unsigned long long>(
+                     loaded->sketch.Stats().trees_processed));
+    publisher.SetNextEpoch(loaded->epoch);
+    publisher.Publish(std::move(loaded->sketch));
   }
-  // Epoch 1: the loaded synopsis, or the empty sketch (live mode serves
-  // zeros until the first publish).
-  Result<uint64_t> first = publisher.PublishCopyOf(*live);
-  if (!first.ok()) return Fail(first.status());
 
   Result<QueryService> service =
-      QueryService::Create(live->options(), service_options, &publisher);
+      QueryService::Create(sketch_options, service_options, &publisher);
   if (!service.ok()) return Fail(service.status());
+
+  // Plan-cache persistence: restore at startup so the first warm query
+  // after a restart compiles nothing; failures other than "no file yet"
+  // degrade to a cold cache with a warning.
+  if (store) {
+    Result<size_t> restored = LoadPlanCache(
+        store->PlanCachePath(), sketch_options, &service->plan_cache());
+    if (restored.ok()) {
+      std::fprintf(stderr, "plan cache: restored %zu plans\n",
+                   restored.value());
+    } else if (!restored.status().IsNotFound()) {
+      std::fprintf(stderr, "warning: plan cache not restored: %s\n",
+                   restored.status().ToString().c_str());
+    }
+  }
+
   Result<std::unique_ptr<QueryServer>> server =
       QueryServer::Start(&service.value(), server_options);
   if (!server.ok()) return Fail(server.status());
   std::printf("serving on 127.0.0.1:%d\n", (*server)->port());
   std::fflush(stdout);
 
+  // Periodic plan saver: every --plan-save-every-ms, write the cache to
+  // the store when compiles happened since the last save (every cold
+  // compile is a cache miss, so the miss counter is the change marker).
+  std::atomic<bool> saver_stop{false};
+  std::thread plan_saver;
+  struct SaverGuard {
+    std::atomic<bool>* stop;
+    std::thread* thread;
+    ~SaverGuard() {
+      stop->store(true, std::memory_order_release);
+      if (thread->joinable()) thread->join();
+    }
+  } saver_guard{&saver_stop, &plan_saver};
+  if (store && plan_save_every_ms > 0) {
+    PlanCache* cache = &service->plan_cache();
+    std::string plan_path = store->PlanCachePath();
+    SketchTreeOptions tag_options = sketch_options;
+    long every_ms = plan_save_every_ms;
+    plan_saver = std::thread([cache, plan_path, tag_options, every_ms,
+                              &saver_stop] {
+      uint64_t saved_misses = 0;
+      while (!saver_stop.load(std::memory_order_acquire)) {
+        for (long slept = 0;
+             slept < every_ms &&
+             !saver_stop.load(std::memory_order_acquire);
+             slept += 50) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        PlanCache::Stats stats = cache->GetStats();
+        if (stats.misses == saved_misses || stats.entries == 0) continue;
+        Status saved = SavePlanCache(*cache, tag_options, plan_path);
+        if (saved.ok()) {
+          saved_misses = stats.misses;
+        } else {
+          std::fprintf(stderr, "warning: plan cache not saved: %s\n",
+                       saved.ToString().c_str());
+        }
+      }
+    });
+  }
+
   if (!input.empty()) {
     // Live ingest on this thread while the server answers from the
-    // published snapshots; a new epoch every --publish-every trees.
+    // published snapshots; a new epoch every --publish-every trees,
+    // each persisted to the store (full or delta) when one is attached.
     uint64_t trees = 0;
     Status streamed = StreamXmlForestFile(
         input,
@@ -870,6 +1026,15 @@ int RunServe(const Args& args) {
               !(*server)->stopping()) {
             SKETCHTREE_ASSIGN_OR_RETURN(uint64_t epoch,
                                         publisher.PublishCopyOf(*live));
+            if (store) {
+              Status persisted = store->Persist(*live, epoch);
+              if (!persisted.ok()) {
+                std::fprintf(stderr,
+                             "warning: epoch %llu not persisted: %s\n",
+                             static_cast<unsigned long long>(epoch),
+                             persisted.ToString().c_str());
+              }
+            }
             std::fprintf(stderr, "published epoch %llu at %llu trees\n",
                          static_cast<unsigned long long>(epoch),
                          static_cast<unsigned long long>(trees));
@@ -879,6 +1044,14 @@ int RunServe(const Args& args) {
     if (!streamed.ok() && !(*server)->stopping()) return Fail(streamed);
     Result<uint64_t> final_epoch = publisher.PublishCopyOf(*live);
     if (!final_epoch.ok()) return Fail(final_epoch.status());
+    if (store) {
+      Status persisted = store->Persist(*live, final_epoch.value());
+      if (!persisted.ok()) {
+        std::fprintf(stderr, "warning: epoch %llu not persisted: %s\n",
+                     static_cast<unsigned long long>(final_epoch.value()),
+                     persisted.ToString().c_str());
+      }
+    }
     std::fprintf(stderr,
                  "ingest finished: %llu trees, final epoch %llu; still "
                  "serving\n",
@@ -888,6 +1061,20 @@ int RunServe(const Args& args) {
 
   (*server)->WaitForShutdown();
   (*server)->Shutdown();
+  // One final plan save so compiles from the last save window survive
+  // a clean shutdown (a SIGKILL still has the periodic saves).
+  if (store) {
+    saver_stop.store(true, std::memory_order_release);
+    if (plan_saver.joinable()) plan_saver.join();
+    if (service->plan_cache().size() > 0) {
+      Status saved = SavePlanCache(service->plan_cache(), sketch_options,
+                                   store->PlanCachePath());
+      if (!saved.ok()) {
+        std::fprintf(stderr, "warning: plan cache not saved: %s\n",
+                     saved.ToString().c_str());
+      }
+    }
+  }
   std::printf("server stopped\n");
   return EXIT_SUCCESS;
 }
@@ -947,9 +1134,145 @@ int RunStats(const Args& args) {
   return EXIT_SUCCESS;
 }
 
+/// One line (text) or one JSON object of the paged report for a store
+/// epoch. Returns whether the epoch validates.
+bool ReportEpochInfo(const StoreEpochInfo& info, bool json, bool first) {
+  bool ok = info.page_verdict.ok();
+  if (json) {
+    std::printf(
+        "%s{\"epoch\":%llu,\"file\":\"%s\",\"bytes\":%llu,"
+        "\"kind\":\"%s\",\"base_epoch\":%llu,\"chain_depth\":%u,"
+        "\"trees\":%llu,\"pages\":%u,\"meta_pages\":%u,"
+        "\"counter_pages\":%u,\"dirty_ratio\":%.4f,\"pages_ok\":%s%s%s%s}",
+        first ? "" : ",", static_cast<unsigned long long>(info.epoch),
+        info.path.c_str(), static_cast<unsigned long long>(info.file_bytes),
+        info.is_delta ? "delta" : "full",
+        static_cast<unsigned long long>(info.base_epoch), info.chain_depth,
+        static_cast<unsigned long long>(info.trees_processed),
+        info.page_count, info.meta_pages, info.counter_pages,
+        info.dirty_ratio, ok ? "true" : "false",
+        ok ? "" : ",\"verdict\":\"",
+        ok ? "" : info.page_verdict.ToString().c_str(), ok ? "" : "\"");
+  } else {
+    char kind[64];
+    if (info.is_delta) {
+      std::snprintf(kind, sizeof kind, "delta(base %llu, depth %u)",
+                    static_cast<unsigned long long>(info.base_epoch),
+                    info.chain_depth);
+    } else {
+      std::snprintf(kind, sizeof kind, "full");
+    }
+    std::printf(
+        "  epoch %llu  %-24s %u pages (%u meta, %u counter, "
+        "dirty %.1f%%)  %llu bytes  %llu trees  %s\n",
+        static_cast<unsigned long long>(info.epoch), kind, info.page_count,
+        info.meta_pages, info.counter_pages, info.dirty_ratio * 100.0,
+        static_cast<unsigned long long>(info.file_bytes),
+        static_cast<unsigned long long>(info.trees_processed),
+        ok ? "pages ok" : info.page_verdict.ToString().c_str());
+  }
+  return ok;
+}
+
+/// inspect --store DIR: the page-level report of every epoch in the
+/// store — header/directory fields plus a per-page CRC sweep, counters
+/// never loaded. Exit 1 if any epoch fails validation.
+int RunInspectStore(const Args& args, const std::string& dir) {
+  Result<SynopsisStore> opened = SynopsisStore::Open(dir, {});
+  if (!opened.ok()) return Fail(opened.status());
+  SynopsisStore& store = opened.value();
+  std::vector<uint64_t> epochs = store.ListEpochs();
+  bool json = args.HasFlag("json");
+  if (json) {
+    std::printf("{\"store\":\"%s\",\"epochs\":[", dir.c_str());
+  } else {
+    std::printf("store: %s\n  epochs: %zu (newest %llu), plan cache %s\n",
+                dir.c_str(), epochs.size(),
+                static_cast<unsigned long long>(store.newest_epoch()),
+                std::ifstream(store.PlanCachePath()).good() ? "present"
+                                                            : "absent");
+  }
+  bool all_ok = true;
+  bool first = true;
+  for (uint64_t epoch : epochs) {
+    Result<StoreEpochInfo> info = store.InspectEpoch(epoch);
+    if (!info.ok()) {
+      all_ok = false;
+      if (json) {
+        std::printf("%s{\"epoch\":%llu,\"pages_ok\":false,\"verdict\":"
+                    "\"%s\"}",
+                    first ? "" : ",",
+                    static_cast<unsigned long long>(epoch),
+                    info.status().ToString().c_str());
+      } else {
+        std::printf("  epoch %llu  unreadable: %s\n",
+                    static_cast<unsigned long long>(epoch),
+                    info.status().ToString().c_str());
+      }
+      first = false;
+      continue;
+    }
+    if (!ReportEpochInfo(info.value(), json, first)) all_ok = false;
+    first = false;
+  }
+  if (json) {
+    std::printf("],\"ok\":%s}\n", all_ok ? "true" : "false");
+  }
+  return all_ok ? kExitOk : kExitFailure;
+}
+
+/// inspect --synopsis on a v3 paged file: the same page-level report
+/// for one standalone snapshot.
+int RunInspectPagedFile(const Args& args, const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return Fail(bytes.status());
+  Result<ParsedSnapshot> parsed =
+      ParsePagedSnapshot(bytes.value(), PageVerify::kMetaOnly);
+  if (!parsed.ok()) return Fail(parsed.status());
+  const PagedHeader& header = parsed.value().header;
+  StoreEpochInfo info;
+  info.epoch = header.epoch;
+  info.path = path;
+  info.file_bytes = bytes.value().size();
+  info.is_delta = header.is_delta();
+  info.base_epoch = header.base_epoch;
+  info.chain_depth = header.chain_depth;
+  info.trees_processed = header.trees_processed;
+  info.page_count = header.page_count;
+  info.counter_pages =
+      static_cast<uint32_t>(parsed.value().counter_pages.size());
+  info.meta_pages = info.page_count - info.counter_pages;
+  info.counter_doubles = header.counter_doubles;
+  uint64_t plane_pages =
+      (header.counter_doubles * sizeof(double) + kPagedPageSize - 1) /
+      kPagedPageSize;
+  info.dirty_ratio = plane_pages == 0
+                         ? 0.0
+                         : static_cast<double>(info.counter_pages) /
+                               static_cast<double>(plane_pages);
+  info.page_verdict = VerifyCounterPages(parsed.value());
+  bool json = args.HasFlag("json");
+  if (json) std::printf("{\"snapshots\":[");
+  else std::printf("paged snapshot: %s\n", path.c_str());
+  bool ok = ReportEpochInfo(info, json, /*first=*/true);
+  if (json) std::printf("],\"ok\":%s}\n", ok ? "true" : "false");
+  return ok ? kExitOk : kExitFailure;
+}
+
 int RunInspect(const Args& args) {
+  std::string store_dir = args.Get("store");
+  if (!store_dir.empty()) return RunInspectStore(args, store_dir);
   std::string synopsis = args.Get("synopsis");
   if (synopsis.empty()) return Usage();
+  {
+    char head[4] = {0};
+    std::ifstream probe(synopsis, std::ios::binary);
+    probe.read(head, sizeof head);
+    if (probe.gcount() == sizeof(head) &&
+        IsPagedSnapshot(std::string_view(head, sizeof head))) {
+      return RunInspectPagedFile(args, synopsis);
+    }
+  }
   Result<SketchTree> sketch = SketchTree::LoadFromFile(synopsis);
   if (!sketch.ok()) return Fail(sketch.status());
   SketchHealthReport report = ComputeSketchHealth(*sketch);
